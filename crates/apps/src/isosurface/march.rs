@@ -1,0 +1,246 @@
+//! Cube test and triangle extraction.
+//!
+//! The isosurface algorithms (Section 3 and 6.1) process the grid as a set
+//! of cubes: a cube whose eight corner values all lie on one side of the
+//! isovalue is discarded — this *crossing test* is exactly the loop the
+//! compiler's Decomp version pushes to the data nodes. Crossing cubes
+//! yield triangles approximating the surface; we use an edge-interpolation
+//! scheme (a simplified marching cubes: interpolate a vertex on every
+//! sign-changing edge, fan-triangulate) which exercises the same
+//! per-cube computation pattern as the full table-driven algorithm.
+
+use super::dataset::ScalarGrid;
+
+/// A triangle in grid coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    pub v: [[f32; 3]; 3],
+}
+
+/// Cube edges as corner-index pairs (canonical corner order of
+/// [`ScalarGrid::corners`]).
+const EDGES: [(usize, usize); 12] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 4),
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// Corner offsets in (x, y, z).
+const CORNER_OFS: [[f32; 3]; 8] = [
+    [0.0, 0.0, 0.0],
+    [1.0, 0.0, 0.0],
+    [1.0, 1.0, 0.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 0.0, 1.0],
+    [1.0, 0.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [0.0, 1.0, 1.0],
+];
+
+/// Does the isosurface pass through a cube with these corner values?
+#[inline]
+pub fn crosses(corners: &[f32; 8], isovalue: f32) -> bool {
+    let mut above = false;
+    let mut below = false;
+    for v in corners {
+        if *v > isovalue {
+            above = true;
+        } else {
+            below = true;
+        }
+        if above && below {
+            return true;
+        }
+    }
+    false
+}
+
+/// The crossing test over a cube range (the Decomp data-node loop).
+/// Returns the crossing cube ids. Walks the grid with incremental
+/// indexing — eight loads and compares per cube, the way a production
+/// data-node filter would scan its slab.
+pub fn crossing_cubes(grid: &ScalarGrid, range: std::ops::Range<usize>, isovalue: f32) -> Vec<u32> {
+    let (nx, ny) = (grid.nx, grid.ny);
+    let cx_n = nx - 1;
+    let cy_n = ny - 1;
+    let data = &grid.data[..];
+    // Offsets of the 8 corners relative to the cube's (x, y, z) point.
+    let ofs = [
+        0,
+        1,
+        nx + 1,
+        nx,
+        nx * ny,
+        nx * ny + 1,
+        nx * ny + nx + 1,
+        nx * ny + nx,
+    ];
+    let mut out = Vec::new();
+    for c in range {
+        let cx = c % cx_n;
+        let rest = c / cx_n;
+        let cy = rest % cy_n;
+        let cz = rest / cy_n;
+        let base = (cz * ny + cy) * nx + cx;
+        let mut above = false;
+        let mut below = false;
+        for o in ofs {
+            if data[base + o] > isovalue {
+                above = true;
+            } else {
+                below = true;
+            }
+        }
+        if above && below {
+            out.push(c as u32);
+        }
+    }
+    out
+}
+
+/// Extract triangles for one crossing cube given its cell coordinates.
+pub fn extract_cube(
+    corners: &[f32; 8],
+    cell: (usize, usize, usize),
+    isovalue: f32,
+    out: &mut Vec<Triangle>,
+) {
+    // Interpolated vertex on every sign-changing edge.
+    let mut verts: [[f32; 3]; 12] = [[0.0; 3]; 12];
+    let mut n = 0usize;
+    for (a, b) in EDGES {
+        let (va, vb) = (corners[a], corners[b]);
+        if (va > isovalue) != (vb > isovalue) {
+            let t = if (vb - va).abs() > 1e-12 {
+                ((isovalue - va) / (vb - va)).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            let (oa, ob) = (CORNER_OFS[a], CORNER_OFS[b]);
+            verts[n] = [
+                cell.0 as f32 + oa[0] + t * (ob[0] - oa[0]),
+                cell.1 as f32 + oa[1] + t * (ob[1] - oa[1]),
+                cell.2 as f32 + oa[2] + t * (ob[2] - oa[2]),
+            ];
+            n += 1;
+        }
+    }
+    // Fan-triangulate the edge vertices.
+    for k in 2..n {
+        out.push(Triangle { v: [verts[0], verts[k - 1], verts[k]] });
+    }
+}
+
+/// Extract triangles for a list of crossing cubes.
+pub fn extract_triangles(grid: &ScalarGrid, cubes: &[u32], isovalue: f32) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for &c in cubes {
+        let corners = grid.corners(c as usize);
+        extract_cube(&corners, grid.cube_coords(c as usize), isovalue, &mut out);
+    }
+    out
+}
+
+/// Extract triangles from serialized crossing-cube records (id + corners),
+/// as a downstream filter does after a filtering cut.
+pub fn extract_from_records(
+    grid_dims: (usize, usize, usize),
+    records: &[(u32, [f32; 8])],
+    isovalue: f32,
+) -> Vec<Triangle> {
+    let (nx, ny, _) = grid_dims;
+    let cx_n = nx - 1;
+    let cy_n = ny - 1;
+    let mut out = Vec::new();
+    for (c, corners) in records {
+        let c = *c as usize;
+        let cell = (c % cx_n, (c / cx_n) % cy_n, c / (cx_n * cy_n));
+        extract_cube(corners, cell, isovalue, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_detection() {
+        assert!(crosses(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0], 0.5));
+        assert!(!crosses(&[0.0; 8], 0.5));
+        assert!(!crosses(&[1.0; 8], 0.5));
+        // boundary: values equal to isovalue count as "below"
+        assert!(!crosses(&[0.5; 8], 0.5));
+    }
+
+    #[test]
+    fn simple_plane_cut_yields_triangles() {
+        // Corners below on z=0 face, above on z=1 face → 4 edge crossings →
+        // 2 triangles.
+        let corners = [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+        let mut tris = Vec::new();
+        extract_cube(&corners, (0, 0, 0), 0.5, &mut tris);
+        assert_eq!(tris.len(), 2);
+        // All vertices at z = 0.5 (linear interpolation).
+        for t in &tris {
+            for v in &t.v {
+                assert!((v[2] - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn non_crossing_cube_yields_nothing() {
+        let mut tris = Vec::new();
+        extract_cube(&[0.0; 8], (0, 0, 0), 0.5, &mut tris);
+        assert!(tris.is_empty());
+    }
+
+    #[test]
+    fn extract_matches_records_path() {
+        let g = ScalarGrid::synthetic(12, 12, 12, 5);
+        let iso = 0.6;
+        let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
+        assert!(!cubes.is_empty());
+        let direct = extract_triangles(&g, &cubes, iso);
+        let records: Vec<(u32, [f32; 8])> =
+            cubes.iter().map(|&c| (c, g.corners(c as usize))).collect();
+        let via_records = extract_from_records((g.nx, g.ny, g.nz), &records, iso);
+        assert_eq!(direct.len(), via_records.len());
+        for (a, b) in direct.iter().zip(&via_records) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn vertices_lie_within_cell_bounds() {
+        let g = ScalarGrid::synthetic(10, 10, 10, 9);
+        let iso = 0.55;
+        let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
+        let tris = extract_triangles(&g, &cubes, iso);
+        assert!(!tris.is_empty());
+        for t in &tris {
+            for v in &t.v {
+                assert!(v.iter().all(|x| x.is_finite()));
+                assert!(v[0] >= 0.0 && v[0] <= g.nx as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_is_a_fraction() {
+        let g = ScalarGrid::synthetic(24, 24, 24, 11);
+        let cubes = crossing_cubes(&g, 0..g.cubes(), 0.6);
+        let sel = cubes.len() as f64 / g.cubes() as f64;
+        assert!(sel > 0.001 && sel < 0.8, "selectivity {sel}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Isosurface rendering (z-buffer and active-pixel algorithms).
+
+pub mod dataset;
+pub mod march;
+pub mod pipelines;
+pub mod render;
+
+pub use dataset::ScalarGrid;
+pub use march::{crosses, crossing_cubes, extract_triangles, Triangle};
+pub use pipelines::{large_grid, small_grid, IsoPipeline, IsoVersion, Renderer, ISOVALUE};
+pub use render::{rasterize_apix, rasterize_zbuf, transform_project, ActivePixels, ScreenTri, ViewParams, ZBuffer};

@@ -1,0 +1,283 @@
+//! Isosurface pipeline variants (zbuf and active-pixels × Default/Decomp).
+//!
+//! - **Default** — data nodes only read and transmit: every cube's corner
+//!   values cross the first link; compute nodes run the crossing test,
+//!   extraction, transformation and rasterization.
+//! - **Decomp** — the compiler-chosen decomposition: the crossing-test loop
+//!   runs on the data nodes, and only crossing cubes (id + corners) cross
+//!   the link — less communication *and* less downstream work.
+//!
+//! Accumulation (z-buffer or active pixels) happens at the compute stage;
+//! the merged result reaches the view node once, at finalize.
+
+use super::dataset::ScalarGrid;
+use super::march::{crossing_cubes, extract_from_records, Triangle};
+use super::render::{
+    rasterize_apix, rasterize_zbuf, transform_project, ActivePixels, ViewParams, ZBuffer,
+};
+use crate::profile::{timed, timed_scan, AppVariant, PacketProfile};
+use std::ops::Range;
+
+/// Which accumulation structure the variant renders into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Renderer {
+    ZBuffer,
+    ActivePixels,
+}
+
+/// Which decomposition the variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsoVersion {
+    Default,
+    Decomp,
+}
+
+/// A runnable isosurface pipeline.
+pub struct IsoPipeline {
+    grid: ScalarGrid,
+    packets: Vec<Range<usize>>,
+    isovalue: f32,
+    view: ViewParams,
+    renderer: Renderer,
+    version: IsoVersion,
+    zbuf: ZBuffer,
+    apix: ActivePixels,
+    label: String,
+}
+
+/// Serialized crossing-cube record: id + 8 corners.
+const RECORD_BYTES: f64 = 4.0 + 8.0 * 4.0;
+
+impl IsoPipeline {
+    pub fn new(
+        grid: ScalarGrid,
+        isovalue: f32,
+        n_packets: usize,
+        screen: usize,
+        renderer: Renderer,
+        version: IsoVersion,
+        label: impl Into<String>,
+    ) -> IsoPipeline {
+        let packets = grid.cube_packets(n_packets);
+        let extent = grid.nx.max(grid.ny).max(grid.nz) as f32;
+        let view = ViewParams::looking_at(extent, 0.5, 0.35, screen);
+        IsoPipeline {
+            grid,
+            packets,
+            isovalue,
+            view,
+            renderer,
+            version,
+            zbuf: ZBuffer::new(screen),
+            apix: ActivePixels::new(),
+            label: label.into(),
+        }
+    }
+
+    /// Average crossing-test selectivity (used to parameterize the
+    /// compiler's cost model in examples/benches).
+    pub fn measure_selectivity(&self) -> f64 {
+        let total = self.grid.cubes();
+        let crossing = crossing_cubes(&self.grid, 0..total, self.isovalue).len();
+        crossing as f64 / total as f64
+    }
+
+    /// Point-index range of the grid slab covering a cube range (the rows
+    /// of z-planes those cubes' corners live in).
+    fn slab_points(&self, range: &Range<usize>) -> Range<usize> {
+        let plane = (self.grid.nx - 1) * (self.grid.ny - 1);
+        let z0 = range.start / plane;
+        let z1 = (range.end.saturating_sub(1)) / plane;
+        let pts = self.grid.nx * self.grid.ny;
+        let lo = z0 * pts;
+        let hi = ((z1 + 2) * pts).min(self.grid.data.len());
+        lo..hi
+    }
+
+    fn render(&mut self, records: &[(u32, [f32; 8])]) -> usize {
+        let tris: Vec<Triangle> = extract_from_records(
+            (self.grid.nx, self.grid.ny, self.grid.nz),
+            records,
+            self.isovalue,
+        );
+        let st = transform_project(&tris, &self.view);
+        match self.renderer {
+            Renderer::ZBuffer => rasterize_zbuf(&st, &mut self.zbuf),
+            Renderer::ActivePixels => {
+                rasterize_apix(&st, self.view.screen, &mut self.apix)
+            }
+        }
+        tris.len()
+    }
+}
+
+impl AppVariant for IsoPipeline {
+    fn name(&self) -> String {
+        format!(
+            "{}/{}",
+            self.label,
+            match self.version {
+                IsoVersion::Default => "Default",
+                IsoVersion::Decomp => "Decomp",
+            }
+        )
+    }
+
+    fn packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    fn run_packet(&mut self, p: usize) -> PacketProfile {
+        let range = self.packets[p].clone();
+        match self.version {
+            IsoVersion::Default => {
+                // Data node: read + ship the raw grid slab covering this
+                // cube range (unique points — corners are shared by eight
+                // cubes, so the slab is ~8× smaller than per-cube records).
+                let (slab_bytes, t0) = timed_scan(|| {
+                    let slab: Vec<f32> = self.grid.data[self.slab_points(&range)].to_vec();
+                    slab.len() * 4
+                });
+                let bytes0 = slab_bytes as f64;
+                let read0 = slab_bytes as f64;
+                // Compute node: crossing test + corner gather (scan-class)
+                // then extraction + render (FP-class) — reading the same
+                // values the slab carries.
+                let (records, t1a) = timed_scan(|| {
+                    let ids = crossing_cubes(&self.grid, range.clone(), self.isovalue);
+                    ids.into_iter()
+                        .map(|c| (c, self.grid.corners(c as usize)))
+                        .collect::<Vec<_>>()
+                });
+                let (_, t1b) = timed(|| self.render(&records));
+                PacketProfile::new([t0, t1a + t1b, 0.0], [bytes0, 0.0]).with_read(read0)
+            }
+            IsoVersion::Decomp => {
+                // Data node: crossing test + serialize only crossing cubes.
+                let (records, t0) = timed_scan(|| {
+                    let ids = crossing_cubes(&self.grid, range.clone(), self.isovalue);
+                    ids.into_iter()
+                        .map(|c| (c, self.grid.corners(c as usize)))
+                        .collect::<Vec<_>>()
+                });
+                let bytes0 = records.len() as f64 * RECORD_BYTES;
+                // Both versions scan the whole slab from storage.
+                let read0 = (self.slab_points(&range).len() * 4) as f64;
+                // Compute node: extraction + render only.
+                let (_, t1) = timed(|| self.render(&records));
+                PacketProfile::new([t0, t1, 0.0], [bytes0, 0.0]).with_read(read0)
+            }
+        }
+    }
+
+    fn finalize_bytes(&self) -> [f64; 2] {
+        let result = match self.renderer {
+            Renderer::ZBuffer => self.zbuf.wire_bytes() as f64,
+            Renderer::ActivePixels => self.apix.wire_bytes() as f64,
+        };
+        [0.0, result]
+    }
+
+    fn result_digest(&self) -> u64 {
+        match self.renderer {
+            Renderer::ZBuffer => self.zbuf.digest(),
+            // Densify so zbuf and apix digests are comparable too.
+            Renderer::ActivePixels => self.apix.to_zbuffer(self.view.screen).digest(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.zbuf = ZBuffer::new(self.view.screen);
+        self.apix = ActivePixels::new();
+    }
+}
+
+/// The paper's two isosurface datasets, scaled to laptop runtimes: a
+/// "small" and a "large" synthetic grid (see DESIGN.md for the
+/// substitution).
+pub fn small_grid() -> ScalarGrid {
+    ScalarGrid::synthetic(40, 40, 40, 20030517)
+}
+
+pub fn large_grid() -> ScalarGrid {
+    ScalarGrid::synthetic(64, 64, 64, 20030517)
+}
+
+/// Standard isovalue used across experiments.
+pub const ISOVALUE: f32 = 0.85;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::run_all;
+
+    fn mk(renderer: Renderer, version: IsoVersion) -> IsoPipeline {
+        IsoPipeline::new(
+            ScalarGrid::synthetic(20, 20, 20, 99),
+            0.8,
+            8,
+            64,
+            renderer,
+            version,
+            "iso-test",
+        )
+    }
+
+    #[test]
+    fn default_and_decomp_agree_zbuf() {
+        let (_, d1) = run_all(&mut mk(Renderer::ZBuffer, IsoVersion::Default));
+        let (_, d2) = run_all(&mut mk(Renderer::ZBuffer, IsoVersion::Decomp));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn default_and_decomp_agree_apix() {
+        let (_, d1) = run_all(&mut mk(Renderer::ActivePixels, IsoVersion::Default));
+        let (_, d2) = run_all(&mut mk(Renderer::ActivePixels, IsoVersion::Decomp));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn zbuf_and_apix_render_identically() {
+        let (_, dz) = run_all(&mut mk(Renderer::ZBuffer, IsoVersion::Decomp));
+        let (_, da) = run_all(&mut mk(Renderer::ActivePixels, IsoVersion::Decomp));
+        assert_eq!(dz, da);
+    }
+
+    #[test]
+    fn decomp_ships_fewer_bytes() {
+        let (pd, _) = run_all(&mut mk(Renderer::ZBuffer, IsoVersion::Default));
+        let (pc, _) = run_all(&mut mk(Renderer::ZBuffer, IsoVersion::Decomp));
+        let bytes = |ps: &[PacketProfile]| ps.iter().map(|p| p.bytes[0]).sum::<f64>();
+        assert!(
+            bytes(&pc) < bytes(&pd) * 0.8,
+            "decomp {} vs default {}",
+            bytes(&pc),
+            bytes(&pd)
+        );
+    }
+
+    #[test]
+    fn apix_finalize_smaller_than_zbuf() {
+        let mut z = mk(Renderer::ZBuffer, IsoVersion::Decomp);
+        let mut a = mk(Renderer::ActivePixels, IsoVersion::Decomp);
+        run_all(&mut z);
+        run_all(&mut a);
+        assert!(a.finalize_bytes()[1] < z.finalize_bytes()[1]);
+    }
+
+    #[test]
+    fn selectivity_sane() {
+        let p = mk(Renderer::ZBuffer, IsoVersion::Decomp);
+        let s = p.measure_selectivity();
+        assert!(s > 0.0 && s < 1.0, "selectivity {s}");
+    }
+
+    #[test]
+    fn packet_profiles_have_work() {
+        let (ps, _) = run_all(&mut mk(Renderer::ZBuffer, IsoVersion::Default));
+        assert_eq!(ps.len(), 8);
+        assert!(ps.iter().all(|p| p.bytes[0] > 0.0));
+        assert!(ps.iter().map(|p| p.seconds[1]).sum::<f64>() > 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! View transformation, projection, and the two accumulation structures:
+//! the dense **z-buffer** and the sparse **active-pixel** set (Section 6.1).
+//!
+//! Both store, per screen pixel, the color at the least depth; their merge
+//! operations are associative and commutative (min by depth with a
+//! deterministic tie-break), which is what lets packets and transparent
+//! copies accumulate independently.
+
+use super::march::Triangle;
+
+/// Viewing parameters: a rotation (view angle) plus a screen.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewParams {
+    /// Row-major 3×3 rotation from grid coordinates to view coordinates.
+    pub rot: [[f32; 3]; 3],
+    /// Screen resolution (square).
+    pub screen: usize,
+    /// Scale from view coordinates to pixels.
+    pub scale: f32,
+    /// Translation applied after rotation (centers the object).
+    pub offset: [f32; 3],
+}
+
+impl ViewParams {
+    /// A view rotated by `yaw` and `pitch` (radians) around the grid
+    /// center, scaled to fit an object of `extent` grid units on screen.
+    pub fn looking_at(extent: f32, yaw: f32, pitch: f32, screen: usize) -> ViewParams {
+        let (cy, sy) = (yaw.cos(), yaw.sin());
+        let (cp, sp) = (pitch.cos(), pitch.sin());
+        // R = Rx(pitch) · Ry(yaw)
+        let rot = [
+            [cy, 0.0, sy],
+            [sy * sp, cp, -cy * sp],
+            [-sy * cp, sp, cy * cp],
+        ];
+        let scale = screen as f32 / (extent * 1.8);
+        let c = extent / 2.0;
+        ViewParams { rot, screen, scale, offset: [-c, -c, -c] }
+    }
+
+    /// Transform a grid-space point to (pixel x, pixel y, depth).
+    #[inline]
+    pub fn project(&self, p: [f32; 3]) -> [f32; 3] {
+        let q = [p[0] + self.offset[0], p[1] + self.offset[1], p[2] + self.offset[2]];
+        let r = &self.rot;
+        let vx = r[0][0] * q[0] + r[0][1] * q[1] + r[0][2] * q[2];
+        let vy = r[1][0] * q[0] + r[1][1] * q[1] + r[1][2] * q[2];
+        let vz = r[2][0] * q[0] + r[2][1] * q[1] + r[2][2] * q[2];
+        let half = self.screen as f32 / 2.0;
+        [vx * self.scale + half, vy * self.scale + half, vz]
+    }
+}
+
+/// A screen-space triangle with a flat shade.
+#[derive(Debug, Clone, Copy)]
+pub struct ScreenTri {
+    pub v: [[f32; 3]; 3],
+    pub shade: f32,
+}
+
+/// Transform, project and clip triangles; compute a flat shade from the
+/// grid-space normal.
+pub fn transform_project(tris: &[Triangle], view: &ViewParams) -> Vec<ScreenTri> {
+    let mut out = Vec::with_capacity(tris.len());
+    let s = view.screen as f32;
+    for t in tris {
+        // Flat shade from the unnormalized normal's z component.
+        let e1 = [
+            t.v[1][0] - t.v[0][0],
+            t.v[1][1] - t.v[0][1],
+            t.v[1][2] - t.v[0][2],
+        ];
+        let e2 = [
+            t.v[2][0] - t.v[0][0],
+            t.v[2][1] - t.v[0][1],
+            t.v[2][2] - t.v[0][2],
+        ];
+        let nx = e1[1] * e2[2] - e1[2] * e2[1];
+        let ny = e1[2] * e2[0] - e1[0] * e2[2];
+        let nz = e1[0] * e2[1] - e1[1] * e2[0];
+        let len = (nx * nx + ny * ny + nz * nz).sqrt();
+        let shade = if len > 1e-12 { 0.2 + 0.8 * (nz / len).abs() } else { 0.2 };
+
+        let p = [view.project(t.v[0]), view.project(t.v[1]), view.project(t.v[2])];
+        // Clip: reject triangles entirely off screen.
+        let minx = p.iter().map(|q| q[0]).fold(f32::INFINITY, f32::min);
+        let maxx = p.iter().map(|q| q[0]).fold(f32::NEG_INFINITY, f32::max);
+        let miny = p.iter().map(|q| q[1]).fold(f32::INFINITY, f32::min);
+        let maxy = p.iter().map(|q| q[1]).fold(f32::NEG_INFINITY, f32::max);
+        if maxx < 0.0 || maxy < 0.0 || minx >= s || miny >= s {
+            continue;
+        }
+        out.push(ScreenTri { v: p, shade });
+    }
+    out
+}
+
+/// Dense z-buffer: per pixel, depth and color; the reduction variable of
+/// the zbuf algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZBuffer {
+    pub screen: usize,
+    pub depth: Vec<f32>,
+    pub color: Vec<f32>,
+}
+
+impl ZBuffer {
+    pub fn new(screen: usize) -> ZBuffer {
+        ZBuffer {
+            screen,
+            depth: vec![f32::INFINITY; screen * screen],
+            color: vec![0.0; screen * screen],
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, x: usize, y: usize, depth: f32, color: f32) {
+        let i = y * self.screen + x;
+        // Least depth wins; on exact ties prefer the larger color for a
+        // deterministic, order-independent merge.
+        if depth < self.depth[i] || (depth == self.depth[i] && color > self.color[i]) {
+            self.depth[i] = depth;
+            self.color[i] = color;
+        }
+    }
+
+    /// Accumulate another z-buffer (associative + commutative merge).
+    pub fn reduce(&mut self, other: &ZBuffer) {
+        assert_eq!(self.screen, other.screen);
+        for i in 0..self.depth.len() {
+            let (d, c) = (other.depth[i], other.color[i]);
+            if d < self.depth[i] || (d == self.depth[i] && c > self.color[i]) {
+                self.depth[i] = d;
+                self.color[i] = c;
+            }
+        }
+    }
+
+    /// Bytes a full z-buffer occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.depth.len() * 8
+    }
+
+    pub fn digest(&self) -> u64 {
+        crate::profile::digest_f32s(self.depth.iter().chain(self.color.iter()).copied())
+    }
+}
+
+/// Sparse active-pixel set: only touched pixels are stored (Section 6.1:
+/// "a sparse representation of the dense z-buffer, \[which\] avoids
+/// allocating, initializing, or communicating a full z-buffer").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActivePixels {
+    /// pixel index → (depth, color).
+    pixels: std::collections::HashMap<u32, (f32, f32)>,
+}
+
+impl ActivePixels {
+    pub fn new() -> ActivePixels {
+        ActivePixels::default()
+    }
+
+    #[inline]
+    fn put(&mut self, idx: u32, depth: f32, color: f32) {
+        let e = self.pixels.entry(idx).or_insert((f32::INFINITY, 0.0));
+        if depth < e.0 || (depth == e.0 && color > e.1) {
+            *e = (depth, color);
+        }
+    }
+
+    /// Merge another active-pixel set (associative + commutative).
+    pub fn reduce(&mut self, other: &ActivePixels) {
+        for (idx, (d, c)) in &other.pixels {
+            self.put(*idx, *d, *c);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Entries sorted by pixel index (deterministic view).
+    pub fn sorted(&self) -> Vec<(u32, f32, f32)> {
+        let mut v: Vec<(u32, f32, f32)> =
+            self.pixels.iter().map(|(i, (d, c))| (*i, *d, *c)).collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
+    /// Wire size: 16 bytes per active pixel.
+    pub fn wire_bytes(&self) -> usize {
+        self.pixels.len() * 16
+    }
+
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.pixels.len() * 12);
+        for (i, d, c) in self.sorted() {
+            bytes.extend_from_slice(&i.to_le_bytes());
+            bytes.extend_from_slice(&d.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        crate::profile::fnv1a(&bytes)
+    }
+
+    /// Densify into a z-buffer (what the view node displays).
+    pub fn to_zbuffer(&self, screen: usize) -> ZBuffer {
+        let mut z = ZBuffer::new(screen);
+        for (idx, (d, c)) in &self.pixels {
+            let (x, y) = ((*idx as usize) % screen, (*idx as usize) / screen);
+            z.put(x, y, *d, *c);
+        }
+        z
+    }
+}
+
+/// Rasterize screen triangles into a dense z-buffer.
+pub fn rasterize_zbuf(tris: &[ScreenTri], zbuf: &mut ZBuffer) {
+    let screen = zbuf.screen;
+    rasterize_with(tris, screen, |x, y, d, c| zbuf.put(x, y, d, c));
+}
+
+/// Rasterize screen triangles into an active-pixel set.
+pub fn rasterize_apix(tris: &[ScreenTri], screen: usize, apix: &mut ActivePixels) {
+    rasterize_with(tris, screen, |x, y, d, c| {
+        apix.put((y * screen + x) as u32, d, c)
+    });
+}
+
+/// Barycentric scanline rasterization with per-pixel depth interpolation.
+fn rasterize_with(tris: &[ScreenTri], screen: usize, mut put: impl FnMut(usize, usize, f32, f32)) {
+    let s = screen as f32;
+    for t in tris {
+        let (a, b, c) = (t.v[0], t.v[1], t.v[2]);
+        let minx = a[0].min(b[0]).min(c[0]).max(0.0).floor() as usize;
+        let maxx = (a[0].max(b[0]).max(c[0]).min(s - 1.0)).ceil() as usize;
+        let miny = a[1].min(b[1]).min(c[1]).max(0.0).floor() as usize;
+        let maxy = (a[1].max(b[1]).max(c[1]).min(s - 1.0)).ceil() as usize;
+        let denom = (b[1] - c[1]) * (a[0] - c[0]) + (c[0] - b[0]) * (a[1] - c[1]);
+        if denom.abs() < 1e-12 {
+            continue; // degenerate
+        }
+        for y in miny..=maxy.min(screen - 1) {
+            for x in minx..=maxx.min(screen - 1) {
+                let px = x as f32 + 0.5;
+                let py = y as f32 + 0.5;
+                let w0 = ((b[1] - c[1]) * (px - c[0]) + (c[0] - b[0]) * (py - c[1])) / denom;
+                let w1 = ((c[1] - a[1]) * (px - c[0]) + (a[0] - c[0]) * (py - c[1])) / denom;
+                let w2 = 1.0 - w0 - w1;
+                if w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0 {
+                    let depth = w0 * a[2] + w1 * b[2] + w2 * c[2];
+                    put(x, y, depth, t.shade);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isosurface::dataset::ScalarGrid;
+    use crate::isosurface::march::{crossing_cubes, extract_triangles};
+
+    fn scene() -> (Vec<ScreenTri>, usize) {
+        let g = ScalarGrid::synthetic(16, 16, 16, 3);
+        let iso = 0.6;
+        let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
+        let tris = extract_triangles(&g, &cubes, iso);
+        let view = ViewParams::looking_at(16.0, 0.4, 0.3, 64);
+        (transform_project(&tris, &view), 64)
+    }
+
+    #[test]
+    fn projection_lands_on_screen() {
+        let (st, screen) = scene();
+        assert!(!st.is_empty());
+        let on_screen = st
+            .iter()
+            .flat_map(|t| t.v.iter())
+            .filter(|v| v[0] >= 0.0 && v[0] < screen as f32)
+            .count();
+        assert!(on_screen > 0);
+    }
+
+    #[test]
+    fn zbuf_and_apix_agree() {
+        let (st, screen) = scene();
+        let mut z = ZBuffer::new(screen);
+        rasterize_zbuf(&st, &mut z);
+        let mut a = ActivePixels::new();
+        rasterize_apix(&st, screen, &mut a);
+        assert!(!a.is_empty());
+        assert_eq!(a.to_zbuffer(screen).digest(), z.digest());
+        // Sparse representation touches fewer entries than the dense one.
+        assert!(a.len() < screen * screen);
+    }
+
+    #[test]
+    fn zbuffer_merge_is_commutative() {
+        let (st, screen) = scene();
+        let (half1, half2) = st.split_at(st.len() / 2);
+        let mut za = ZBuffer::new(screen);
+        rasterize_zbuf(half1, &mut za);
+        let mut zb = ZBuffer::new(screen);
+        rasterize_zbuf(half2, &mut zb);
+
+        let mut ab = za.clone();
+        ab.reduce(&zb);
+        let mut ba = zb.clone();
+        ba.reduce(&za);
+        assert_eq!(ab.digest(), ba.digest());
+
+        // And equals rasterizing everything at once.
+        let mut all = ZBuffer::new(screen);
+        rasterize_zbuf(&st, &mut all);
+        assert_eq!(ab.digest(), all.digest());
+    }
+
+    #[test]
+    fn apix_merge_is_commutative() {
+        let (st, screen) = scene();
+        let (h1, h2) = st.split_at(st.len() / 3);
+        let mut a = ActivePixels::new();
+        rasterize_apix(h1, screen, &mut a);
+        let mut b = ActivePixels::new();
+        rasterize_apix(h2, screen, &mut b);
+        let mut ab = a.clone();
+        ab.reduce(&b);
+        let mut ba = b.clone();
+        ba.reduce(&a);
+        assert_eq!(ab.digest(), ba.digest());
+    }
+
+    #[test]
+    fn apix_wire_bytes_smaller_than_zbuf() {
+        let (st, screen) = scene();
+        let mut z = ZBuffer::new(screen);
+        rasterize_zbuf(&st, &mut z);
+        let mut a = ActivePixels::new();
+        rasterize_apix(&st, screen, &mut a);
+        assert!(a.wire_bytes() < z.wire_bytes());
+    }
+
+    #[test]
+    fn empty_rasterization_is_identity() {
+        let z0 = ZBuffer::new(32);
+        let mut z1 = ZBuffer::new(32);
+        rasterize_zbuf(&[], &mut z1);
+        assert_eq!(z0, z1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Application pipeline profiles.
+//!
+//! Every application variant (Default / Decomp-Comp / Decomp-Manual)
+//! implements [`AppVariant`]: it runs the *real* computation of each packet,
+//! stage by stage, measuring per-stage wall time and recording the exact
+//! bytes each link would carry. The bench harness feeds those measurements
+//! to `cgp-grid`'s virtual-time simulator to obtain figure-style execution
+//! times on 1-1-1 / 2-2-1 / 4-4-1 configurations (see DESIGN.md for why the
+//! cluster is simulated).
+//!
+//! Variants of the same application must produce identical results — a
+//! `result_digest` makes that checkable.
+
+use cgp_grid::PacketWork;
+use std::time::Instant;
+
+/// Measured profile of one packet through the three pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketProfile {
+    /// Real seconds of computation at each stage (data, compute, view).
+    pub seconds: [f64; 3],
+    /// Bytes each link carries (data→compute, compute→view).
+    pub bytes: [f64; 2],
+    /// Bytes the data stage reads from its local storage (charged against
+    /// the simulated disk when the grid models one).
+    pub read_bytes: f64,
+}
+
+impl PacketProfile {
+    pub fn new(seconds: [f64; 3], bytes: [f64; 2]) -> Self {
+        PacketProfile { seconds, bytes, read_bytes: 0.0 }
+    }
+
+    pub fn with_read(mut self, read_bytes: f64) -> Self {
+        self.read_bytes = read_bytes;
+        self
+    }
+
+    /// As simulator work with hosts of the given power: the simulator's
+    /// "standard ops" are calibrated so that `ops / power` reproduces the
+    /// measured seconds on a power-`calibration` host.
+    pub fn to_work(&self, calibration: f64) -> PacketWork {
+        PacketWork {
+            comp_ops: self.seconds.iter().map(|s| s * calibration).collect(),
+            bytes: self.bytes.to_vec(),
+            read_bytes: self.read_bytes,
+        }
+    }
+}
+
+/// One runnable application pipeline variant.
+pub trait AppVariant {
+    /// e.g. `zbuf-small/Default`.
+    fn name(&self) -> String;
+
+    /// Number of packets the workload splits into.
+    fn packets(&self) -> usize;
+
+    /// Execute packet `p`'s real work (all stages) and return its profile.
+    fn run_packet(&mut self, p: usize) -> PacketProfile;
+
+    /// One-time end-of-work transfer out of each stage (bytes; len 2).
+    fn finalize_bytes(&self) -> [f64; 2];
+
+    /// Digest of the final result, for cross-variant agreement checks.
+    fn result_digest(&self) -> u64;
+
+    /// Clear accumulated results so the packet sweep can be re-measured.
+    fn reset(&mut self);
+}
+
+/// Run every packet of a variant, returning profiles (for the simulator)
+/// and the result digest.
+pub fn run_all(variant: &mut dyn AppVariant) -> (Vec<PacketProfile>, u64) {
+    let profiles: Vec<PacketProfile> =
+        (0..variant.packets()).map(|p| variant.run_packet(p)).collect();
+    (profiles, variant.result_digest())
+}
+
+/// Like [`run_all`] but repeats the whole packet sweep `rounds` times
+/// (resetting accumulators in between) and keeps, per packet and stage, the
+/// *minimum* measured time — suppressing scheduler noise in the µs-scale
+/// measurements the simulator consumes. Each round must reproduce the same
+/// result and byte counts, which is asserted.
+pub fn run_all_min(variant: &mut dyn AppVariant, rounds: usize) -> (Vec<PacketProfile>, u64) {
+    assert!(rounds >= 1);
+    let (mut best, digest) = run_all(variant);
+    for _ in 1..rounds {
+        variant.reset();
+        let (again, digest2) = run_all(variant);
+        assert_eq!(digest, digest2, "re-running the sweep must be deterministic");
+        for (b, a) in best.iter_mut().zip(&again) {
+            debug_assert_eq!(b.bytes, a.bytes);
+            for s in 0..3 {
+                b.seconds[s] = b.seconds[s].min(a.seconds[s]);
+            }
+        }
+    }
+    (best, digest)
+}
+
+/// Convert measured profiles into simulator packets.
+pub fn to_sim_packets(profiles: &[PacketProfile], calibration: f64) -> Vec<PacketWork> {
+    profiles.iter().map(|p| p.to_work(calibration)).collect()
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Relative aging factor for memory-scan kernels (streaming loads,
+/// compares, copies). The simulated testbed's global slowdown constant is
+/// calibrated for floating-point compute kernels; cache-friendly scan
+/// kernels aged far less between a 700 MHz Pentium III and a modern core
+/// (~10× vs ~25×), so their measured time is scaled by this factor before
+/// entering a profile. See EXPERIMENTS.md, "calibration".
+pub const SCAN_KERNEL_SCALE: f64 = 0.4;
+
+/// Time a scan-class kernel: measured seconds are scaled by
+/// [`SCAN_KERNEL_SCALE`] so the global (FP-calibrated) slowdown constant
+/// does not overcharge it.
+pub fn timed_scan<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let (r, s) = timed(f);
+    (r, s * SCAN_KERNEL_SCALE)
+}
+
+/// FNV-1a — small deterministic digest helper for result comparison.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Digest a sequence of f32s bit-exactly.
+pub fn digest_f32s(vals: impl Iterator<Item = f32>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_converts_to_work() {
+        let p = PacketProfile::new([0.5, 1.0, 0.0], [100.0, 10.0]);
+        let w = p.to_work(1e6);
+        assert_eq!(w.comp_ops, vec![5e5, 1e6, 0.0]);
+        assert_eq!(w.bytes, vec![100.0, 10.0]);
+    }
+
+    #[test]
+    fn fnv_digests_differ() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn digest_f32_is_bit_exact() {
+        let a = digest_f32s([1.0f32, 2.0].into_iter());
+        let b = digest_f32s([1.0f32, 2.0].into_iter());
+        let c = digest_f32s([1.0f32, 2.0000002].into_iter());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, s) = timed(|| (0..10000).sum::<u64>());
+        assert_eq!(v, 49995000);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests on the applications' reduction structures: the
+//! merges the runtime relies on must be associative, commutative and
+//! order-insensitive, and each application must equal its brute-force
+//! oracle under arbitrary packetizations.
+
+use cgp_apps::isosurface::{
+    crossing_cubes, extract_triangles, rasterize_apix, rasterize_zbuf, transform_project,
+    ActivePixels, ScalarGrid, ViewParams, ZBuffer,
+};
+use cgp_apps::knn::{generate_points, Candidate, KNearest};
+use cgp_apps::vmscope::{decode_chunk, encode_chunk};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vmscope_codec_roundtrip(raw in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(decode_chunk(&encode_chunk(&raw)), raw);
+    }
+
+    #[test]
+    fn knearest_merge_is_order_insensitive(
+        n in 1usize..500,
+        k in 1usize..64,
+        parts in 2usize..6,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let pts = generate_points(n, seed);
+        let q = [0.5, 0.5, 0.5];
+        let cand = |i: usize| {
+            let p = &pts[i];
+            let d = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
+            Candidate { dist2: d, index: i as u32 }
+        };
+        // Split candidates into `parts` groups, reduce in two different
+        // orders; results must agree with the single-pass result.
+        let mut groups: Vec<KNearest> = (0..parts).map(|_| KNearest::new(k)).collect();
+        for i in 0..n {
+            groups[i % parts].push(cand(i));
+        }
+        let mut forward = KNearest::new(k);
+        for g in &groups {
+            forward.reduce(g);
+        }
+        let mut backward = KNearest::new(k);
+        for g in groups.iter().rev() {
+            backward.reduce(g);
+        }
+        // pseudo-random order
+        let mut order: Vec<usize> = (0..parts).collect();
+        let mut s = perm_seed;
+        for i in (1..parts).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut shuffled = KNearest::new(k);
+        for &gi in &order {
+            shuffled.reduce(&groups[gi]);
+        }
+        let mut single = KNearest::new(k);
+        for i in 0..n {
+            single.push(cand(i));
+        }
+        prop_assert_eq!(forward.digest(), single.digest());
+        prop_assert_eq!(backward.digest(), single.digest());
+        prop_assert_eq!(shuffled.digest(), single.digest());
+    }
+
+    #[test]
+    fn zbuffer_merge_matches_single_pass(
+        dims in 6usize..14,
+        seed in any::<u64>(),
+        parts in 2usize..5,
+        iso in 0.4f32..1.2,
+    ) {
+        let g = ScalarGrid::synthetic(dims, dims, dims, seed);
+        let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
+        let tris = extract_triangles(&g, &cubes, iso);
+        let view = ViewParams::looking_at(dims as f32, 0.4, 0.3, 48);
+        let st = transform_project(&tris, &view);
+
+        let mut single = ZBuffer::new(48);
+        rasterize_zbuf(&st, &mut single);
+
+        // Rasterize chunks into separate buffers and merge in reverse order.
+        let chunk = st.len().div_ceil(parts).max(1);
+        let mut partials: Vec<ZBuffer> = st
+            .chunks(chunk)
+            .map(|c| {
+                let mut z = ZBuffer::new(48);
+                rasterize_zbuf(c, &mut z);
+                z
+            })
+            .collect();
+        let mut merged = ZBuffer::new(48);
+        while let Some(z) = partials.pop() {
+            merged.reduce(&z);
+        }
+        prop_assert_eq!(merged.digest(), single.digest());
+    }
+
+    #[test]
+    fn apix_equals_zbuf_densified(
+        dims in 6usize..14,
+        seed in any::<u64>(),
+        iso in 0.4f32..1.2,
+    ) {
+        let g = ScalarGrid::synthetic(dims, dims, dims, seed);
+        let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
+        let tris = extract_triangles(&g, &cubes, iso);
+        let view = ViewParams::looking_at(dims as f32, 0.4, 0.3, 48);
+        let st = transform_project(&tris, &view);
+        let mut z = ZBuffer::new(48);
+        rasterize_zbuf(&st, &mut z);
+        let mut a = ActivePixels::new();
+        rasterize_apix(&st, 48, &mut a);
+        prop_assert_eq!(a.to_zbuffer(48).digest(), z.digest());
+        prop_assert!(a.len() <= 48 * 48);
+    }
+
+    #[test]
+    fn crossing_cubes_equals_naive(dims in 4usize..12, seed in any::<u64>(), iso in 0.3f32..1.3) {
+        let g = ScalarGrid::synthetic(dims, dims, dims, seed);
+        let fast = crossing_cubes(&g, 0..g.cubes(), iso);
+        let naive: Vec<u32> = (0..g.cubes())
+            .filter(|&c| cgp_apps::isosurface::crosses(&g.corners(c), iso))
+            .map(|c| c as u32)
+            .collect();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn crossing_cubes_respects_range(dims in 4usize..12, seed in any::<u64>(), lo_frac in 0.0f64..1.0, len_frac in 0.0f64..1.0) {
+        let g = ScalarGrid::synthetic(dims, dims, dims, seed);
+        let total = g.cubes();
+        let lo = (lo_frac * total as f64) as usize;
+        let hi = (lo + (len_frac * (total - lo) as f64) as usize).min(total);
+        let sub = crossing_cubes(&g, lo..hi, 0.8);
+        for c in &sub {
+            prop_assert!((*c as usize) >= lo && (*c as usize) < hi);
+        }
+        // Subrange result == filtered full result.
+        let full = crossing_cubes(&g, 0..total, 0.8);
+        let expect: Vec<u32> = full
+            .into_iter()
+            .filter(|c| (*c as usize) >= lo && (*c as usize) < hi)
+            .collect();
+        prop_assert_eq!(sub, expect);
+    }
+}

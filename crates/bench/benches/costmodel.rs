@@ -1,0 +1,43 @@
+//! Ablation A4: virtual-time simulator throughput and agreement with the
+//! paper's closed-form total-time formula (Section 4.3).
+
+use cgp_core::grid::{analytic_total_time, simulate, GridConfig, LinkSpec, PacketWork};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn packets(n: usize, m: usize) -> Vec<PacketWork> {
+    (0..n)
+        .map(|i| PacketWork {
+            comp_ops: (0..m).map(|s| 1e5 * (1.0 + ((i + s) % 7) as f64 / 10.0)).collect(),
+            bytes: (0..m - 1).map(|l| 1e4 * (1.0 + l as f64)).collect(),
+            read_bytes: 0.0,
+        })
+        .collect()
+}
+
+fn bench_costmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("costmodel");
+    let link = LinkSpec { bandwidth: 1e8, latency: 2e-5 };
+    for &n in &[100usize, 10_000] {
+        let grid = GridConfig::w_w_1(4, 1e9, link);
+        let pkts = packets(n, 3);
+        group.bench_with_input(BenchmarkId::new("simulate_4_4_1", n), &pkts, |b, pkts| {
+            b.iter(|| simulate(&grid, pkts, &[1e6, 1e6]))
+        });
+    }
+    let grid1 = GridConfig::uniform_chain(3, 1e9, link);
+    let one = packets(1, 3).remove(0);
+    group.bench_function("analytic_formula", |b| {
+        b.iter(|| analytic_total_time(&grid1, &one, 10_000))
+    });
+    group.finish();
+
+    // Sanity (not timed): simulator equals the closed form on uniform
+    // packets over a width-1 chain.
+    let uniform: Vec<PacketWork> = (0..500).map(|_| one.clone()).collect();
+    let sim = simulate(&grid1, &uniform, &[]);
+    let ana = analytic_total_time(&grid1, &one, 500);
+    assert!((sim.makespan - ana).abs() < 1e-9 * ana);
+}
+
+criterion_group!(benches, bench_costmodel);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation A1: the paper's `O(nm)` dynamic program vs the exponential
+//! brute force (Section 4.4 claims exactly this trade-off), plus the
+//! `O(m)`-space rolling variant.
+
+use cgp_core::{Decomposition, PipelineEnv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn synthetic_problem(n_atoms: usize) -> cgp_compiler::Problem {
+    use cgp_compiler::cost::OpCount;
+    let tasks: Vec<OpCount> = (0..=n_atoms)
+        .map(|i| OpCount {
+            flops: if i == 0 { 0.0 } else { 100.0 + 37.0 * (i as f64 * 1.7).sin().abs() },
+            iops: 10.0,
+            mem: 20.0,
+        })
+        .collect();
+    let volumes: Vec<f64> = (0..=n_atoms)
+        .map(|i| {
+            if i == n_atoms {
+                0.0
+            } else {
+                1000.0 / (i as f64 + 1.0)
+            }
+        })
+        .collect();
+    cgp_compiler::Problem::synthetic(tasks, volumes)
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for &n in &[6usize, 10, 14] {
+        for &m in &[3usize, 5] {
+            let p = synthetic_problem(n);
+            let env = PipelineEnv::uniform(m, 1e6, 1e5, 1e-5);
+            group.bench_with_input(
+                BenchmarkId::new("dp", format!("n{n}_m{m}")),
+                &(&p, &env),
+                |b, (p, env)| b.iter(|| cgp_compiler::decompose_dp(p, env)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("dp_rolling", format!("n{n}_m{m}")),
+                &(&p, &env),
+                |b, (p, env)| b.iter(|| cgp_compiler::decompose::decompose_dp_cost_only(p, env)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("brute_force", format!("n{n}_m{m}")),
+                &(&p, &env),
+                |b, (p, env)| b.iter(|| cgp_compiler::decompose_brute_force(p, env)),
+            );
+        }
+    }
+    group.finish();
+    // keep Decomposition linked in for default_style
+    let _ = Decomposition::default_style(3, 2);
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

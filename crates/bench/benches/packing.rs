@@ -1,0 +1,73 @@
+//! Ablation A3: instance-wise vs field-wise packing cost (Section 5 /
+//! Figure 4) over a packet of object fields.
+
+use cgp_compiler::packing::{pack, unpack, PackEntry, PackLayout, RuntimeEnv, ScalarKind};
+use cgp_compiler::place::{Place, Section, SymExpr};
+use cgp_lang::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+
+fn entry(root: &str, field: &str, n: i64, first: usize) -> PackEntry {
+    let mut place = Place::sliced(
+        root,
+        Section::dense(SymExpr::konst(0), SymExpr::konst(n - 1)),
+    );
+    place.fields.push(field.to_string());
+    PackEntry { place, first_consumer: first, elem: ScalarKind::F64 }
+}
+
+fn vars(n: usize) -> HashMap<String, Value> {
+    let mk_obj = |x: f64| {
+        let mut f = HashMap::new();
+        f.insert("x".to_string(), Value::Double(x));
+        f.insert("y".to_string(), Value::Double(-x));
+        Value::new_object("T", f)
+    };
+    let arr = Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+        (0..n).map(|i| mk_obj(i as f64)).collect(),
+    )));
+    let mut v = HashMap::new();
+    v.insert("t".to_string(), arr);
+    v
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    for &n in &[256usize, 4096] {
+        let env = RuntimeEnv::for_packet("pkt", 0, n as i64 - 1);
+        let instance = PackLayout {
+            instance_wise: vec![
+                entry("t", "x", n as i64, 1),
+                entry("t", "y", n as i64, 1),
+            ],
+            ..Default::default()
+        };
+        let field = PackLayout {
+            field_wise: vec![
+                entry("t", "x", n as i64, 1),
+                entry("t", "y", n as i64, 2),
+            ],
+            ..Default::default()
+        };
+        let v = vars(n);
+        for (name, layout) in [("instance_wise", &instance), ("field_wise", &field)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pack_{name}"), n),
+                &(layout, &v, &env),
+                |b, (layout, v, env)| {
+                    b.iter(|| pack(layout, v, env, (0, n as i64 - 1), None).unwrap())
+                },
+            );
+            let buf = pack(layout, &v, &env, (0, n as i64 - 1), None).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("unpack_{name}"), n),
+                &(layout, &buf, &env),
+                |b, (layout, buf, env)| b.iter(|| unpack(layout, env, buf).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

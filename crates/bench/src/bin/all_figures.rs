@@ -1,0 +1,23 @@
+//! Runs every figure harness and prints both the console tables and the
+//! Markdown blocks EXPERIMENTS.md embeds.
+use cgp_bench::figures;
+
+fn main() {
+    let figs = [
+        figures::fig05(),
+        figures::fig06(),
+        figures::fig07(),
+        figures::fig08(),
+        figures::fig09(),
+        figures::fig10(),
+        figures::fig11(),
+        figures::fig12(),
+    ];
+    for f in &figs {
+        f.print();
+    }
+    println!("---- markdown ----\n");
+    for f in &figs {
+        println!("{}", f.to_markdown());
+    }
+}

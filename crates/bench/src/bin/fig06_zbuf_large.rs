@@ -1,0 +1,4 @@
+//! Reproduces Figure 06 of the paper. See EXPERIMENTS.md.
+fn main() {
+    cgp_bench::figures::fig06().print();
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 07 of the paper. See EXPERIMENTS.md.
+fn main() {
+    cgp_bench::figures::fig07().print();
+}

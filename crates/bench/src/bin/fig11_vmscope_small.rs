@@ -1,0 +1,4 @@
+//! Reproduces Figure 11 of the paper. See EXPERIMENTS.md.
+fn main() {
+    cgp_bench::figures::fig11().print();
+}

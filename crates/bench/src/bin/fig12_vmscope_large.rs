@@ -1,0 +1,4 @@
+//! Reproduces Figure 12 of the paper. See EXPERIMENTS.md.
+fn main() {
+    cgp_bench::figures::fig12().print();
+}

@@ -1,0 +1,457 @@
+//! Filter decomposition (Section 4.4, Figure 3).
+//!
+//! Given `n+1` atomic filters separated by `n` candidate boundaries and a
+//! pipeline of `m` computing units joined by `m−1` links, choose where each
+//! atomic filter runs so the per-packet cost is minimal:
+//!
+//! ```text
+//! T[i,j] = min( T[i−1,j] + Cost_comp(P(C_j), Task(f_i)),
+//!               T[i,j−1] + Cost_comm(B(L_{j−1}), Vol(f_i)) )
+//! ```
+//!
+//! filled in `O(nm)` time (and `O(m)` space in the rolling variant). The
+//! brute-force reference enumerates all `C(n+m−1, m−1)` monotone
+//! assignments and is used by tests/benches to verify optimality and to
+//! reproduce the paper's complexity comparison.
+//!
+//! One deviation, documented in DESIGN.md: we prepend a **virtual source
+//! atom** pinned to `C_1` whose "result volume" is the raw input
+//! (`ReqComm` at the chain start). The paper's formulation starts with
+//! `T[0,j] = 0`, which would let the first real filter run anywhere without
+//! paying to move the input off the data host; the virtual source charges
+//! that movement, which is exactly what distinguishes the *Default*
+//! placement (ship everything) from compiler decompositions.
+
+use crate::cost::{ChainCosts, CostWeights, OpCount, PipelineEnv, StageTimes};
+
+/// A decomposition problem: tasks (virtual source first) and the volume
+/// crossing after each task.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// `tasks[0]` is the virtual source (zero work). `tasks[i]` for `i ≥ 1`
+    /// is atomic filter `f_i`.
+    pub tasks: Vec<OpCount>,
+    /// `volumes[i]` = bytes crossing a cut placed right after `tasks[i]`;
+    /// `volumes[last]` is 0 (the paper's `ReqComm(end) = ∅`).
+    pub volumes: Vec<f64>,
+    pub weights: CostWeights,
+}
+
+impl Problem {
+    /// Build from chain costs plus the raw-input volume at the chain start.
+    pub fn from_chain(costs: &ChainCosts, input_volume: f64) -> Problem {
+        let mut tasks = Vec::with_capacity(costs.tasks.len() + 1);
+        tasks.push(OpCount::zero());
+        tasks.extend(costs.tasks.iter().copied());
+        let mut volumes = Vec::with_capacity(tasks.len());
+        volumes.push(input_volume);
+        volumes.extend(costs.volumes.iter().copied());
+        volumes.push(0.0);
+        assert_eq!(volumes.len(), tasks.len());
+        Problem { tasks, volumes, weights: costs.weights }
+    }
+
+    /// Build directly (tests, synthetic benches).
+    pub fn synthetic(tasks: Vec<OpCount>, volumes: Vec<f64>) -> Problem {
+        assert_eq!(tasks.len(), volumes.len());
+        Problem { tasks, volumes, weights: CostWeights::default() }
+    }
+
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// A decomposition: which computing unit runs each task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// `unit_of[i]` ∈ `0..m`, non-decreasing; `unit_of[0] == 0` (the virtual
+    /// source sits on the data host).
+    pub unit_of: Vec<usize>,
+    /// Objective value (per-packet end-to-end cost, the DP objective).
+    pub cost: f64,
+}
+
+impl Decomposition {
+    /// The *Default* placement of the paper's evaluation: the data host only
+    /// reads/sends, the first compute unit does all processing, the results
+    /// land on the view host. With `m == 1` everything runs on the single
+    /// unit.
+    pub fn default_style(n_tasks: usize, m: usize) -> Decomposition {
+        let unit = if m >= 2 { 1 } else { 0 };
+        let mut unit_of = vec![unit; n_tasks];
+        unit_of[0] = 0;
+        Decomposition { unit_of, cost: f64::NAN }
+    }
+
+    /// Task indices assigned to unit `j`.
+    pub fn tasks_on(&self, j: usize) -> Vec<usize> {
+        (0..self.unit_of.len()).filter(|i| self.unit_of[*i] == j).collect()
+    }
+
+    /// For each link `l`, the index of the last task completed on units
+    /// `≤ l` (whose results the link carries).
+    pub fn carried_task(&self, m: usize) -> Vec<usize> {
+        (0..m.saturating_sub(1))
+            .map(|l| {
+                (0..self.unit_of.len())
+                    .filter(|i| self.unit_of[*i] <= l)
+                    .next_back()
+                    .expect("virtual source is always on unit 0")
+            })
+            .collect()
+    }
+
+    /// Cut positions per link as boundary indices of the original chain:
+    /// `None` means the cut falls before the first real atom (raw data
+    /// crosses, the Default shape); `Some(b)` means candidate boundary `b`.
+    pub fn cut_boundaries(&self, m: usize) -> Vec<Option<usize>> {
+        self.carried_task(m)
+            .into_iter()
+            .map(|t| if t == 0 { None } else { Some(t - 1) })
+            .collect()
+    }
+}
+
+/// Evaluate the DP objective for an assignment: all computation plus, per
+/// link, the volume of the last task completed before it.
+pub fn evaluate(problem: &Problem, env: &PipelineEnv, unit_of: &[usize]) -> f64 {
+    debug_assert_eq!(unit_of.len(), problem.n_tasks());
+    debug_assert!(unit_of.windows(2).all(|w| w[0] <= w[1]), "assignment must be monotone");
+    let mut cost = 0.0;
+    for (i, &j) in unit_of.iter().enumerate() {
+        cost += env.cost_comp(j, &problem.tasks[i], &problem.weights);
+    }
+    for l in 0..env.m() - 1 {
+        let carried = (0..unit_of.len())
+            .filter(|i| unit_of[*i] <= l)
+            .next_back()
+            .expect("virtual source on unit 0");
+        cost += env.cost_comm(l, problem.volumes[carried]);
+    }
+    cost
+}
+
+/// Per-packet stage times of an assignment (for the paper's total-time
+/// formula and the simulator).
+pub fn stage_times(problem: &Problem, env: &PipelineEnv, unit_of: &[usize]) -> StageTimes {
+    let m = env.m();
+    let mut comp = vec![0.0; m];
+    for (i, &j) in unit_of.iter().enumerate() {
+        comp[j] += env.cost_comp(j, &problem.tasks[i], &problem.weights);
+    }
+    let mut comm = Vec::with_capacity(m.saturating_sub(1));
+    for l in 0..m.saturating_sub(1) {
+        let carried = (0..unit_of.len())
+            .filter(|i| unit_of[*i] <= l)
+            .next_back()
+            .expect("virtual source on unit 0");
+        comm.push(env.cost_comm(l, problem.volumes[carried]));
+    }
+    StageTimes { comp, comm }
+}
+
+/// The `O(nm)` dynamic program of Figure 3, with backtracking.
+pub fn decompose_dp(problem: &Problem, env: &PipelineEnv) -> Decomposition {
+    let n = problem.n_tasks();
+    let m = env.m();
+    assert!(n >= 1 && m >= 1);
+    const INF: f64 = f64::INFINITY;
+
+    // t[i][j]: min cost with tasks 0..=i done and results of task i on C_j.
+    let mut t = vec![vec![INF; m]; n];
+    // choice[i][j]: true → task i computed on C_j (came from t[i-1][j]);
+    //               false → forwarded over L_{j-1} (came from t[i][j-1]).
+    let mut choice = vec![vec![false; m]; n];
+
+    t[0][0] = env.cost_comp(0, &problem.tasks[0], &problem.weights);
+    choice[0][0] = true;
+    for j in 1..m {
+        t[0][j] = t[0][j - 1] + env.cost_comm(j - 1, problem.volumes[0]);
+    }
+    for i in 1..n {
+        for j in 0..m {
+            let computed = t[i - 1][j] + env.cost_comp(j, &problem.tasks[i], &problem.weights);
+            let forwarded = if j >= 1 {
+                t[i][j - 1] + env.cost_comm(j - 1, problem.volumes[i])
+            } else {
+                INF
+            };
+            if computed <= forwarded {
+                t[i][j] = computed;
+                choice[i][j] = true;
+            } else {
+                t[i][j] = forwarded;
+            }
+        }
+    }
+
+    // Backtrack from (n-1, m-1).
+    let mut unit_of = vec![0usize; n];
+    let (mut i, mut j) = (n - 1, m - 1);
+    loop {
+        if choice[i][j] {
+            unit_of[i] = j;
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        } else {
+            debug_assert!(j > 0);
+            j -= 1;
+        }
+    }
+    Decomposition { unit_of, cost: t[n - 1][m - 1] }
+}
+
+/// Rolling-array variant: same optimum, `O(m)` space, no backtracking
+/// (returns only the cost). Matches the paper's space-complexity remark.
+pub fn decompose_dp_cost_only(problem: &Problem, env: &PipelineEnv) -> f64 {
+    let n = problem.n_tasks();
+    let m = env.m();
+    const INF: f64 = f64::INFINITY;
+    let mut row = vec![INF; m];
+    row[0] = env.cost_comp(0, &problem.tasks[0], &problem.weights);
+    for j in 1..m {
+        row[j] = row[j - 1] + env.cost_comm(j - 1, problem.volumes[0]);
+    }
+    for i in 1..n {
+        // row currently holds t[i-1][*]; update left-to-right so row[j-1]
+        // is already t[i][j-1].
+        for j in 0..m {
+            let computed = row[j] + env.cost_comp(j, &problem.tasks[i], &problem.weights);
+            let forwarded = if j >= 1 {
+                row[j - 1] + env.cost_comm(j - 1, problem.volumes[i])
+            } else {
+                INF
+            };
+            row[j] = computed.min(forwarded);
+        }
+    }
+    row[m - 1]
+}
+
+/// Brute force over all monotone assignments (`C(n+m−1, m−1)` of them):
+/// the optimality reference. Exponential in `m`; use only for small inputs.
+pub fn decompose_brute_force(problem: &Problem, env: &PipelineEnv) -> Decomposition {
+    let n = problem.n_tasks();
+    let m = env.m();
+    let mut best: Option<Decomposition> = None;
+    let mut unit_of = vec![0usize; n];
+    fn rec(
+        problem: &Problem,
+        env: &PipelineEnv,
+        unit_of: &mut Vec<usize>,
+        i: usize,
+        min_unit: usize,
+        best: &mut Option<Decomposition>,
+    ) {
+        let n = problem.n_tasks();
+        if i == n {
+            let cost = evaluate(problem, env, unit_of);
+            if best.as_ref().map_or(true, |b| cost < b.cost) {
+                *best = Some(Decomposition { unit_of: unit_of.clone(), cost });
+            }
+            return;
+        }
+        let start = if i == 0 { 0 } else { min_unit };
+        let end = if i == 0 { 0 } else { env.m() - 1 };
+        for j in start..=end {
+            unit_of[i] = j;
+            rec(problem, env, unit_of, i + 1, j, best);
+        }
+    }
+    rec(problem, env, &mut unit_of, 0, 0, &mut best);
+    let _ = m;
+    best.expect("at least one assignment exists")
+}
+
+/// Exhaustive minimization of the *steady-state* total time
+/// `(N−1)·T(bottleneck) + fill` — an ablation target comparing the paper's
+/// per-packet-latency DP objective against bottleneck-optimal placement.
+pub fn decompose_bottleneck_optimal(
+    problem: &Problem,
+    env: &PipelineEnv,
+    n_packets: u64,
+) -> Decomposition {
+    let n = problem.n_tasks();
+    let mut best: Option<Decomposition> = None;
+    let mut unit_of = vec![0usize; n];
+    fn rec(
+        problem: &Problem,
+        env: &PipelineEnv,
+        n_packets: u64,
+        unit_of: &mut Vec<usize>,
+        i: usize,
+        min_unit: usize,
+        best: &mut Option<Decomposition>,
+    ) {
+        if i == problem.n_tasks() {
+            let st = stage_times(problem, env, unit_of);
+            let cost = st.total_time(n_packets);
+            if best.as_ref().map_or(true, |b| cost < b.cost) {
+                *best = Some(Decomposition { unit_of: unit_of.clone(), cost });
+            }
+            return;
+        }
+        let start = if i == 0 { 0 } else { min_unit };
+        let end = if i == 0 { 0 } else { env.m() - 1 };
+        for j in start..=end {
+            unit_of[i] = j;
+            rec(problem, env, n_packets, unit_of, i + 1, j, best);
+        }
+    }
+    rec(problem, env, n_packets, &mut unit_of, 0, 0, &mut best);
+    best.expect("at least one assignment exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flops(f: f64) -> OpCount {
+        OpCount { flops: f, iops: 0.0, mem: 0.0 }
+    }
+
+    fn problem(work: &[f64], vols: &[f64]) -> Problem {
+        // prepend virtual source
+        let mut tasks = vec![OpCount::zero()];
+        tasks.extend(work.iter().map(|w| flops(*w)));
+        let mut volumes = vec![vols[0]];
+        volumes.extend(vols[1..].iter().copied());
+        volumes.push(0.0);
+        assert_eq!(tasks.len(), volumes.len());
+        Problem { tasks, volumes, weights: CostWeights::default() }
+    }
+
+    #[test]
+    fn dp_places_heavy_filter_on_fast_unit() {
+        // Two real tasks; input huge, intermediate small → both tasks should
+        // move to unit 0 (data host) to avoid shipping the input... unless
+        // unit 0 is slow. Make all units equal: computation cost identical
+        // anywhere, so minimizing communication wins.
+        let p = problem(&[100.0, 100.0], &[1_000_000.0, 10.0]);
+        let env = PipelineEnv::uniform(3, 1e6, 1e6, 0.0);
+        let d = decompose_dp(&p, &env);
+        // Everything on unit 0 keeps links carrying only the small
+        // intermediate / final nothing (vol of last task = 0).
+        assert_eq!(d.unit_of, vec![0, 0, 0], "cost={}", d.cost);
+    }
+
+    #[test]
+    fn dp_ships_raw_data_when_data_host_is_weak() {
+        // The data host is 10× slower than the compute units and the input
+        // is small → ship the raw input and compute downstream.
+        let p = problem(&[100.0, 100.0], &[10.0, 10.0]);
+        let env = PipelineEnv {
+            power: vec![1e5, 1e6, 1e6],
+            bandwidth: vec![1e6, 1e6],
+            latency: vec![0.0, 0.0],
+        };
+        let d = decompose_dp(&p, &env);
+        assert_eq!(d.unit_of[0], 0);
+        assert!(d.unit_of[1] >= 1, "{:?} cost={}", d.unit_of, d.cost);
+        let bf = decompose_brute_force(&p, &env);
+        assert!((d.cost - bf.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_grid() {
+        // Sweep small synthetic problems; DP must equal brute force.
+        let works: [&[f64]; 3] = [&[10.0, 20.0, 5.0], &[1.0, 1.0, 1.0, 1.0], &[50.0]];
+        let volss: [&[f64]; 3] = [&[100.0, 50.0, 25.0], &[5.0, 500.0, 5.0, 250.0], &[10.0]];
+        for (w, v) in works.iter().zip(volss.iter()) {
+            for m in 1..=4usize {
+                for bw in [1e3, 1e5] {
+                    let p = problem(w, v);
+                    let env = PipelineEnv::uniform(m, 1e4, bw, 1e-5);
+                    let dp = decompose_dp(&p, &env);
+                    let bf = decompose_brute_force(&p, &env);
+                    assert!(
+                        (dp.cost - bf.cost).abs() < 1e-9 * (1.0 + bf.cost.abs()),
+                        "m={m} bw={bw}: dp={} bf={}",
+                        dp.cost,
+                        bf.cost
+                    );
+                    // And the DP's own assignment evaluates to its cost.
+                    let ev = evaluate(&p, &env, &dp.unit_of);
+                    assert!((ev - dp.cost).abs() < 1e-9 * (1.0 + ev.abs()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_variant_matches_full_table() {
+        let p = problem(&[3.0, 8.0, 2.0, 9.0], &[100.0, 40.0, 70.0, 20.0]);
+        for m in 1..=5 {
+            let env = PipelineEnv::uniform(m, 100.0, 10.0, 0.01);
+            let full = decompose_dp(&p, &env).cost;
+            let roll = decompose_dp_cost_only(&p, &env);
+            assert!((full - roll).abs() < 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_monotone_and_source_pinned() {
+        let p = problem(&[5.0, 1.0, 7.0, 2.0], &[300.0, 10.0, 200.0, 5.0]);
+        let env = PipelineEnv::uniform(4, 50.0, 25.0, 0.0);
+        let d = decompose_dp(&p, &env);
+        assert_eq!(d.unit_of[0], 0);
+        assert!(d.unit_of.windows(2).all(|w| w[0] <= w[1]), "{:?}", d.unit_of);
+    }
+
+    #[test]
+    fn cut_boundaries_reporting() {
+        let d = Decomposition { unit_of: vec![0, 0, 1, 1], cost: 0.0 };
+        // m=3: link 0 carries task 1's results (cut after atom 0 → boundary
+        // 0); link 1 carries task 3's results (boundary 2).
+        assert_eq!(d.cut_boundaries(3), vec![Some(0), Some(2)]);
+        let default = Decomposition::default_style(4, 3);
+        // link 0 carries the virtual source's raw data.
+        assert_eq!(default.cut_boundaries(3)[0], None);
+    }
+
+    #[test]
+    fn default_style_shape() {
+        let d = Decomposition::default_style(5, 3);
+        assert_eq!(d.unit_of, vec![0, 1, 1, 1, 1]);
+        let d1 = Decomposition::default_style(3, 1);
+        assert_eq!(d1.unit_of, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn stage_times_sum_to_evaluate() {
+        let p = problem(&[5.0, 9.0], &[100.0, 50.0]);
+        let env = PipelineEnv::uniform(3, 10.0, 20.0, 0.5);
+        let d = decompose_dp(&p, &env);
+        let st = stage_times(&p, &env, &d.unit_of);
+        let sum: f64 = st.comp.iter().sum::<f64>() + st.comm.iter().sum::<f64>();
+        assert!((sum - d.cost).abs() < 1e-9, "sum={sum} cost={}", d.cost);
+    }
+
+    #[test]
+    fn bottleneck_optimal_can_differ_from_latency_optimal() {
+        // With many packets the bottleneck objective may prefer spreading
+        // work even at higher one-packet latency.
+        let p = problem(&[10.0, 10.0], &[8.0, 8.0]);
+        let env = PipelineEnv::uniform(3, 1.0, 100.0, 0.0);
+        let lat = decompose_dp(&p, &env);
+        let bot = decompose_bottleneck_optimal(&p, &env, 1000);
+        let lat_steady = stage_times(&p, &env, &lat.unit_of).total_time(1000);
+        assert!(bot.cost <= lat_steady + 1e-9);
+        // The bottleneck solution spreads the two tasks across units.
+        let st = stage_times(&p, &env, &bot.unit_of);
+        let max_comp = st.comp.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max_comp <= 10.0 + 1e-9, "{:?}", st.comp);
+    }
+
+    #[test]
+    fn single_unit_pipeline_degenerates() {
+        let p = problem(&[4.0, 6.0], &[100.0, 10.0]);
+        let env = PipelineEnv::uniform(1, 2.0, 1.0, 0.0);
+        let d = decompose_dp(&p, &env);
+        assert_eq!(d.unit_of, vec![0, 0, 0]);
+        assert!((d.cost - (10.0 / 2.0)).abs() < 1e-9);
+    }
+}

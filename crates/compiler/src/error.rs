@@ -1,0 +1,56 @@
+//! Compiler-phase errors.
+
+use cgp_lang::span::Span;
+use std::fmt;
+
+/// An error from any decomposition-compiler phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub span: Option<Span>,
+    pub message: String,
+}
+
+impl CompileError {
+    pub fn new(message: impl Into<String>) -> Self {
+        CompileError { span: None, message: message.into() }
+    }
+
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        CompileError { span: Some(span), message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) if !s.is_synthetic() => write!(f, "compile error at {s}: {}", self.message),
+            _ => write!(f, "compile error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<cgp_lang::Diagnostic> for CompileError {
+    fn from(d: cgp_lang::Diagnostic) -> Self {
+        CompileError { span: Some(d.span), message: d.to_string() }
+    }
+}
+
+/// Result alias for compiler phases.
+pub type CompileResult<T> = Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_span() {
+        let e = CompileError::new("boom");
+        assert_eq!(e.to_string(), "compile error: boom");
+        let e = CompileError::at(Span::new(0, 1, 3, 9), "boom");
+        assert_eq!(e.to_string(), "compile error at 3:9: boom");
+        let e = CompileError::at(Span::synthetic(), "boom");
+        assert_eq!(e.to_string(), "compile error: boom");
+    }
+}

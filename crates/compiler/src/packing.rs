@@ -1,0 +1,839 @@
+//! Packing of communicated values (Section 5, Figure 4).
+//!
+//! For each boundary chosen as a filter cut, the fields crossing it are
+//! sorted by the first downstream filter that consumes them:
+//!
+//! - fields first used by the **immediately next** filter are packed
+//!   *instance-wise* (array-of-structs):
+//!   `<count, t1.x, t1.y, …, tcount.x, tcount.y>`;
+//! - fields first used by **later** filters are packed *field-wise*
+//!   (struct-of-arrays, each field contiguous with an offset), sorted by
+//!   the order in which they are first read:
+//!   `<count, offset1, t1.x, …, tcount.x, t1.y, …, tcount.y>`.
+//!
+//! Instance-wise packing puts values the next filter touches together in
+//! memory; field-wise packing lets a filter forward an untouched field with
+//! one contiguous copy instead of re-gathering it.
+//!
+//! This module computes layouts *and* implements the byte-level
+//! pack/unpack over interpreter [`Value`]s used by Path-A execution,
+//! including compaction at filtering (`CondFilter`) cuts: upstream packs
+//! only passing elements plus the passing-index list, downstream scatters
+//! them back.
+
+use crate::error::{CompileError, CompileResult};
+use crate::normalize::NormalizedPipeline;
+use crate::place::{Place, Sectioning};
+use cgp_lang::ast::Type;
+use cgp_lang::value::Value;
+use std::collections::HashMap;
+
+/// One packed field: the place and the filter (pipeline-unit index) that
+/// first consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackEntry {
+    pub place: Place,
+    pub first_consumer: usize,
+    /// Scalar element type of the packed values.
+    pub elem: ScalarKind,
+}
+
+/// Scalar wire types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarKind {
+    I64,
+    F64,
+    Bool,
+    /// A 1-D RectDomain value (two i64s).
+    Domain,
+}
+
+impl ScalarKind {
+    pub fn byte_len(self) -> usize {
+        match self {
+            ScalarKind::I64 | ScalarKind::F64 => 8,
+            ScalarKind::Bool => 1,
+            ScalarKind::Domain => 16,
+        }
+    }
+}
+
+/// A buffer layout for one filter cut.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PackLayout {
+    /// Entries packed instance-wise (interleaved per element).
+    pub instance_wise: Vec<PackEntry>,
+    /// Entries packed field-wise (contiguous per field), in first-read
+    /// order.
+    pub field_wise: Vec<PackEntry>,
+    /// `Some(cond_id)` when this cut is a filtering boundary: sectioned
+    /// entries carry only passing elements plus the passing-index list.
+    pub filtered: Option<usize>,
+}
+
+impl PackLayout {
+    pub fn entries(&self) -> impl Iterator<Item = &PackEntry> {
+        self.instance_wise.iter().chain(self.field_wise.iter())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instance_wise.is_empty() && self.field_wise.is_empty()
+    }
+}
+
+/// Compute the layout for a cut whose ReqComm is `set`, given the Cons sets
+/// of the downstream filters in pipeline order (`downstream[0]` is the
+/// filter immediately after the cut; its pipeline index is
+/// `first_unit_after`).
+pub fn compute_layout(
+    np: &NormalizedPipeline,
+    set: &crate::place::PlaceSet,
+    downstream_cons: &[crate::place::PlaceSet],
+    first_unit_after: usize,
+    filtered: Option<usize>,
+) -> CompileResult<PackLayout> {
+    let mut entries: Vec<PackEntry> = Vec::new();
+    for p in set.sorted() {
+        let first = downstream_cons
+            .iter()
+            .position(|cons| cons.iter().any(|q| touches(q, p)))
+            .map(|k| first_unit_after + k)
+            // Unconsumed leftovers (conservative analysis) go last.
+            .unwrap_or(first_unit_after + downstream_cons.len());
+        entries.push(PackEntry {
+            place: (*p).clone(),
+            first_consumer: first,
+            elem: scalar_kind(np, p)?,
+        });
+    }
+    let mut layout = PackLayout { filtered, ..Default::default() };
+    for e in entries {
+        if e.first_consumer == first_unit_after {
+            layout.instance_wise.push(e);
+        } else {
+            layout.field_wise.push(e);
+        }
+    }
+    // Field-wise: sorted by the order in which they are first read.
+    layout
+        .field_wise
+        .sort_by(|a, b| a.first_consumer.cmp(&b.first_consumer).then(a.place.cmp(&b.place)));
+    Ok(layout)
+}
+
+/// Do two places refer to overlapping storage (same root, one field path a
+/// prefix of the other)?
+fn touches(a: &Place, b: &Place) -> bool {
+    a.root == b.root
+        && (a.fields.starts_with(&b.fields) || b.fields.starts_with(&a.fields))
+}
+
+/// The scalar wire type a place's packed values have.
+fn scalar_kind(np: &NormalizedPipeline, p: &Place) -> CompileResult<ScalarKind> {
+    let mut ty = np
+        .typed
+        .symbols
+        .scope(&np.class, "main")
+        .and_then(|sc| sc.get(&p.root).cloned())
+        .or_else(|| np.typed.symbols.externs.get(&p.root).cloned())
+        .ok_or_else(|| CompileError::new(format!("unknown root `{}` in pack layout", p.root)))?;
+    if !matches!(p.sect, Sectioning::NotIndexed) {
+        let Type::Array(el) = ty else {
+            return Err(CompileError::new(format!(
+                "sectioned non-array `{}` in pack layout",
+                p.root
+            )));
+        };
+        ty = *el;
+    }
+    for f in &p.fields {
+        let Type::Class(c) = &ty else {
+            return Err(CompileError::new(format!(
+                "field path on non-class in pack layout: {p}"
+            )));
+        };
+        ty = np
+            .typed
+            .program
+            .class(c)
+            .and_then(|cd| cd.field(f))
+            .map(|fd| fd.ty.clone())
+            .ok_or_else(|| CompileError::new(format!("unknown field `{f}` of `{c}`")))?;
+    }
+    match ty {
+        Type::Int => Ok(ScalarKind::I64),
+        Type::Double => Ok(ScalarKind::F64),
+        Type::Bool => Ok(ScalarKind::Bool),
+        Type::RectDomain(1) => Ok(ScalarKind::Domain),
+        other => Err(CompileError::new(format!(
+            "cannot pack value of type `{other}` (place {p}); decompose at a different boundary"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// runtime pack / unpack over interpreter values
+
+/// Concrete per-packet environment used to evaluate symbolic section bounds.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeEnv {
+    pub symbols: HashMap<String, i64>,
+}
+
+impl RuntimeEnv {
+    pub fn for_packet(pkt_var: &str, lo: i64, hi: i64) -> Self {
+        let mut symbols = HashMap::new();
+        symbols.insert(format!("{pkt_var}.lo"), lo);
+        symbols.insert(format!("{pkt_var}.hi"), hi);
+        RuntimeEnv { symbols }
+    }
+
+    pub fn with(mut self, name: impl Into<String>, v: i64) -> Self {
+        self.symbols.insert(name.into(), v);
+        self
+    }
+
+    fn lookup(&self, s: &str) -> Option<i64> {
+        self.symbols.get(s).copied()
+    }
+}
+
+/// Concrete index range (lo, hi, stride) selected by a place's section for
+/// this packet.
+fn concrete_range(p: &Place, env: &RuntimeEnv, value_len: usize) -> CompileResult<(i64, i64, i64)> {
+    match &p.sect {
+        Sectioning::NotIndexed => Ok((0, 0, 1)),
+        Sectioning::All => Ok((0, value_len as i64 - 1, 1)),
+        Sectioning::Range(sec) => {
+            let f = |s: &str| env.lookup(s);
+            let lo = sec.lo.eval(&f).ok_or_else(|| {
+                CompileError::new(format!("cannot evaluate section lower bound of {p}"))
+            })?;
+            let hi = sec.hi.eval(&f).ok_or_else(|| {
+                CompileError::new(format!("cannot evaluate section upper bound of {p}"))
+            })?;
+            Ok((lo, hi, sec.stride.max(1)))
+        }
+    }
+}
+
+/// The concrete element indices of a section (dense or strided).
+fn section_indices(lo: i64, hi: i64, stride: i64) -> Vec<i64> {
+    if hi < lo {
+        return Vec::new();
+    }
+    (lo..=hi).step_by(stride.max(1) as usize).collect()
+}
+
+fn push_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_i64(buf: &[u8], pos: &mut usize) -> CompileResult<i64> {
+    let end = *pos + 8;
+    let b = buf
+        .get(*pos..end)
+        .ok_or_else(|| CompileError::new("buffer underrun (i64)"))?;
+    *pos = end;
+    Ok(i64::from_le_bytes(b.try_into().expect("8-byte slice")))
+}
+
+fn push_scalar(out: &mut Vec<u8>, kind: ScalarKind, v: &Value) -> CompileResult<()> {
+    match (kind, v) {
+        (ScalarKind::I64, Value::Int(x)) => push_i64(out, *x),
+        (ScalarKind::F64, Value::Double(x)) => push_i64(out, x.to_bits() as i64),
+        (ScalarKind::F64, Value::Int(x)) => push_i64(out, (*x as f64).to_bits() as i64),
+        (ScalarKind::Bool, Value::Bool(x)) => out.push(*x as u8),
+        (ScalarKind::Domain, Value::Domain(lo, hi)) => {
+            push_i64(out, *lo);
+            push_i64(out, *hi);
+        }
+        // Unwritten slots of expanded arrays keep their default; Null can
+        // only appear for object defaults, which scalar places never select.
+        (k, other) => {
+            return Err(CompileError::new(format!(
+                "cannot pack value `{other}` as {k:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn read_scalar(buf: &[u8], pos: &mut usize, kind: ScalarKind) -> CompileResult<Value> {
+    Ok(match kind {
+        ScalarKind::I64 => Value::Int(read_i64(buf, pos)?),
+        ScalarKind::F64 => Value::Double(f64::from_bits(read_i64(buf, pos)? as u64)),
+        ScalarKind::Bool => {
+            let b = *buf
+                .get(*pos)
+                .ok_or_else(|| CompileError::new("buffer underrun (bool)"))?;
+            *pos += 1;
+            Value::Bool(b != 0)
+        }
+        ScalarKind::Domain => {
+            let lo = read_i64(buf, pos)?;
+            let hi = read_i64(buf, pos)?;
+            Value::Domain(lo, hi)
+        }
+    })
+}
+
+/// Extract the scalar a place selects at element index `idx` from `vars`.
+fn select(vars: &HashMap<String, Value>, p: &Place, idx: Option<i64>) -> CompileResult<Value> {
+    let root = vars
+        .get(&p.root)
+        .ok_or_else(|| CompileError::new(format!("missing variable `{}` while packing", p.root)))?;
+    let mut cur = match (idx, root) {
+        (None, v) => v.clone(),
+        (Some(i), Value::Array(a)) => {
+            let a = a.borrow();
+            a.get(i as usize)
+                .cloned()
+                .ok_or_else(|| CompileError::new(format!("pack index {i} out of range for `{}`", p.root)))?
+        }
+        (Some(_), other) => {
+            return Err(CompileError::new(format!(
+                "sectioned place `{p}` but `{}` is `{other}`",
+                p.root
+            )))
+        }
+    };
+    for f in &p.fields {
+        let Value::Object(o) = &cur else {
+            // default-constructed slot never touched upstream: substitute
+            // the field type's default (numeric zero)
+            return Ok(Value::Double(0.0));
+        };
+        let next = o
+            .borrow()
+            .fields
+            .get(f)
+            .cloned()
+            .ok_or_else(|| CompileError::new(format!("missing field `{f}` while packing {p}")))?;
+        cur = next;
+    }
+    Ok(cur)
+}
+
+/// Store a scalar into `vars` at the slot a place selects; allocates arrays
+/// and objects as needed (the receiving filter starts from an empty frame).
+fn store(
+    vars: &mut HashMap<String, Value>,
+    p: &Place,
+    idx: Option<i64>,
+    alloc_len: usize,
+    v: Value,
+) -> CompileResult<()> {
+    let root = vars.entry(p.root.clone()).or_insert_with(|| match idx {
+        Some(_) => Value::new_array(alloc_len, Value::Null),
+        None => Value::Null,
+    });
+    if p.fields.is_empty() {
+        match idx {
+            None => {
+                *root = v;
+            }
+            Some(i) => {
+                let Value::Array(a) = root else {
+                    return Err(CompileError::new(format!("`{}` is not an array", p.root)));
+                };
+                let mut a = a.borrow_mut();
+                let i = i as usize;
+                if i >= a.len() {
+                    return Err(CompileError::new(format!("unpack index {i} out of range")));
+                }
+                a[i] = v;
+            }
+        }
+        return Ok(());
+    }
+    // field path: ensure an object exists at the slot, then walk/create
+    let slot_obj = |slot: &mut Value| -> Value {
+        if !matches!(slot, Value::Object(_)) {
+            *slot = Value::new_object("__packed", HashMap::new());
+        }
+        slot.clone()
+    };
+    let mut cur = match idx {
+        None => slot_obj(root),
+        Some(i) => {
+            let Value::Array(a) = root else {
+                return Err(CompileError::new(format!("`{}` is not an array", p.root)));
+            };
+            let mut a = a.borrow_mut();
+            let i = i as usize;
+            if i >= a.len() {
+                return Err(CompileError::new(format!("unpack index {i} out of range")));
+            }
+            slot_obj(&mut a[i])
+        }
+    };
+    for (k, f) in p.fields.iter().enumerate() {
+        let Value::Object(o) = &cur else {
+            unreachable!("slot_obj guarantees an object");
+        };
+        if k == p.fields.len() - 1 {
+            o.borrow_mut().fields.insert(f.clone(), v);
+            return Ok(());
+        }
+        let next = {
+            let mut ob = o.borrow_mut();
+            ob.fields
+                .entry(f.clone())
+                .or_insert_with(|| Value::new_object("__packed", HashMap::new()))
+                .clone()
+        };
+        cur = next;
+    }
+    unreachable!("fields is non-empty")
+}
+
+/// Pack the layout's values from `vars` into a byte buffer.
+///
+/// Header: `pkt.lo`, `pkt.hi` (i64 each). If the layout is filtered, the
+/// passing-index list (count + absolute indices) follows; sectioned entries
+/// then carry `selection.len()` elements each instead of their full range.
+pub fn pack(
+    layout: &PackLayout,
+    vars: &HashMap<String, Value>,
+    env: &RuntimeEnv,
+    pkt: (i64, i64),
+    selection: Option<&[i64]>,
+) -> CompileResult<Vec<u8>> {
+    let mut out = Vec::new();
+    push_i64(&mut out, pkt.0);
+    push_i64(&mut out, pkt.1);
+    if layout.filtered.is_some() {
+        let sel = selection.ok_or_else(|| {
+            CompileError::new("filtered layout requires a selection list")
+        })?;
+        push_i64(&mut out, sel.len() as i64);
+        for i in sel {
+            push_i64(&mut out, *i);
+        }
+    }
+
+    // The element index list for a sectioned entry.
+    let indices_for = |p: &Place| -> CompileResult<Option<Vec<i64>>> {
+        if matches!(p.sect, Sectioning::NotIndexed) {
+            return Ok(None);
+        }
+        let root_len = vars
+            .get(&p.root)
+            .and_then(|v| match v {
+                Value::Array(a) => Some(a.borrow().len()),
+                _ => None,
+            })
+            .unwrap_or(0);
+        let (slo, shi, stride) = concrete_range(p, env, root_len)?;
+        // Selection compaction applies only to sections that map each
+        // domain point to exactly one element (dense, packet-sized); other
+        // shapes (strided, multi-element-per-point) travel in full.
+        let per_point = stride == 1 && shi - slo == pkt.1 - pkt.0;
+        if let (Some(sel), Some(_), true) = (selection, layout.filtered, per_point) {
+            // Selection indices are absolute domain points; the section's
+            // lower bound is aligned with the packet's first point, so the
+            // array slot for point `i` is `section_lo + (i − pkt.lo)`
+            // (identity for absolute dense arrays, rebasing for expanded
+            // ones).
+            return Ok(Some(sel.iter().map(|i| slo + (i - pkt.0)).collect()));
+        }
+        Ok(Some(section_indices(slo, shi, stride)))
+    };
+
+    // Instance-wise: interleave entries element-by-element. Entries may
+    // have different index spaces, so interleave per position.
+    let mut inst_indices: Vec<Option<Vec<i64>>> = Vec::new();
+    for e in &layout.instance_wise {
+        inst_indices.push(indices_for(&e.place)?);
+    }
+    let count = inst_indices
+        .iter()
+        .filter_map(|ix| ix.as_ref().map(|v| v.len()))
+        .max()
+        .unwrap_or(0);
+    push_i64(&mut out, count as i64);
+    for pos in 0..count.max(1) {
+        for (e, ix) in layout.instance_wise.iter().zip(&inst_indices) {
+            match ix {
+                None => {
+                    if pos == 0 {
+                        push_scalar(&mut out, e.elem, &select(vars, &e.place, None)?)?;
+                    }
+                }
+                Some(ix) => {
+                    if let Some(i) = ix.get(pos) {
+                        push_scalar(&mut out, e.elem, &select(vars, &e.place, Some(*i))?)?;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            break;
+        }
+    }
+
+    // Field-wise: each entry contiguous, preceded by its own count.
+    for e in &layout.field_wise {
+        match indices_for(&e.place)? {
+            None => {
+                push_i64(&mut out, -1); // scalar marker
+                push_scalar(&mut out, e.elem, &select(vars, &e.place, None)?)?;
+            }
+            Some(ix) => {
+                push_i64(&mut out, ix.len() as i64);
+                for i in &ix {
+                    push_scalar(&mut out, e.elem, &select(vars, &e.place, Some(*i))?)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn pkt_lo_symbol(env: &RuntimeEnv) -> String {
+    env.symbols
+        .keys()
+        .find(|k| k.ends_with(".lo"))
+        .cloned()
+        .unwrap_or_else(|| "pkt.lo".to_string())
+}
+
+/// Result of unpacking a buffer.
+#[derive(Debug)]
+pub struct Unpacked {
+    pub pkt: (i64, i64),
+    /// Passing indices (absolute) when the layout was filtered.
+    pub selection: Option<Vec<i64>>,
+    /// Variable bindings reconstructed from the payload.
+    pub vars: HashMap<String, Value>,
+}
+
+/// Unpack a buffer produced by [`pack`] with the same layout.
+pub fn unpack(layout: &PackLayout, env: &RuntimeEnv, buf: &[u8]) -> CompileResult<Unpacked> {
+    let mut pos = 0usize;
+    let lo = read_i64(buf, &mut pos)?;
+    let hi = read_i64(buf, &mut pos)?;
+    let mut env = env.clone();
+    // Re-seed the packet symbols from the header so section ranges match.
+    let pkt_var_lo = pkt_lo_symbol(&env);
+    let pkt_var = pkt_var_lo.trim_end_matches(".lo").to_string();
+    env.symbols.insert(format!("{pkt_var}.lo"), lo);
+    env.symbols.insert(format!("{pkt_var}.hi"), hi);
+
+    let selection = if layout.filtered.is_some() {
+        let n = read_i64(buf, &mut pos)?;
+        let mut sel = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            sel.push(read_i64(buf, &mut pos)?);
+        }
+        Some(sel)
+    } else {
+        None
+    };
+
+    let mut vars: HashMap<String, Value> = HashMap::new();
+    let packet_len = (hi - lo + 1).max(0) as usize;
+
+    let indices_for = |p: &Place| -> CompileResult<Option<Vec<i64>>> {
+        if matches!(p.sect, Sectioning::NotIndexed) {
+            return Ok(None);
+        }
+        let (slo, shi, stride) = concrete_range(p, &env, packet_len)?;
+        let per_point = stride == 1 && shi - slo == hi - lo;
+        if let (Some(sel), true) = (&selection, per_point) {
+            return Ok(Some(sel.iter().map(|i| slo + (i - lo)).collect()));
+        }
+        Ok(Some(section_indices(slo, shi, stride)))
+    };
+    // Allocation length for arrays: enough to hold the section's top index.
+    let alloc_len = |_p: &Place, ix: &Option<Vec<i64>>| -> usize {
+        match ix {
+            Some(v) => v.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0),
+            None => 0,
+        }
+        .max(packet_len)
+    };
+
+    let mut inst_indices: Vec<Option<Vec<i64>>> = Vec::new();
+    for e in &layout.instance_wise {
+        inst_indices.push(indices_for(&e.place)?);
+    }
+    let count = read_i64(buf, &mut pos)? as usize;
+    for p in 0..count.max(1) {
+        for (e, ix) in layout.instance_wise.iter().zip(&inst_indices) {
+            match ix {
+                None => {
+                    if p == 0 {
+                        let v = read_scalar(buf, &mut pos, e.elem)?;
+                        store(&mut vars, &e.place, None, 0, v)?;
+                    }
+                }
+                Some(list) => {
+                    if let Some(i) = list.get(p) {
+                        let v = read_scalar(buf, &mut pos, e.elem)?;
+                        store(&mut vars, &e.place, Some(*i), alloc_len(&e.place, ix), v)?;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            break;
+        }
+    }
+
+    for e in &layout.field_wise {
+        let n = read_i64(buf, &mut pos)?;
+        if n < 0 {
+            let v = read_scalar(buf, &mut pos, e.elem)?;
+            store(&mut vars, &e.place, None, 0, v)?;
+        } else {
+            let ix = indices_for(&e.place)?
+                .ok_or_else(|| CompileError::new("sectioned payload for scalar place"))?;
+            if ix.len() != n as usize {
+                return Err(CompileError::new(format!(
+                    "count mismatch unpacking {}: wire {} vs layout {}",
+                    e.place,
+                    n,
+                    ix.len()
+                )));
+            }
+            for i in &ix {
+                let v = read_scalar(buf, &mut pos, e.elem)?;
+                store(&mut vars, &e.place, Some(*i), alloc_len(&e.place, &Some(ix.clone())), v)?;
+            }
+        }
+    }
+
+    Ok(Unpacked { pkt: (lo, hi), selection, vars })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{Section, SymExpr};
+
+    fn dense_place(root: &str, lo: i64, hi: i64) -> Place {
+        Place::sliced(root, Section::dense(SymExpr::konst(lo), SymExpr::konst(hi)))
+    }
+
+    fn entry(place: Place, first: usize, elem: ScalarKind) -> PackEntry {
+        PackEntry { place, first_consumer: first, elem }
+    }
+
+    #[test]
+    fn roundtrip_instance_wise() {
+        let layout = PackLayout {
+            instance_wise: vec![
+                entry(dense_place("xs", 0, 3), 1, ScalarKind::F64),
+                entry(dense_place("ys", 0, 3), 1, ScalarKind::I64),
+            ],
+            ..Default::default()
+        };
+        let mut vars = HashMap::new();
+        vars.insert(
+            "xs".to_string(),
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+                (0..4).map(|i| Value::Double(i as f64 * 1.5)).collect(),
+            ))),
+        );
+        vars.insert(
+            "ys".to_string(),
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+                (0..4).map(Value::Int).collect(),
+            ))),
+        );
+        let env = RuntimeEnv::for_packet("pkt", 0, 3);
+        let buf = pack(&layout, &vars, &env, (0, 3), None).unwrap();
+        let un = unpack(&layout, &env, &buf).unwrap();
+        assert_eq!(un.pkt, (0, 3));
+        let xs = &un.vars["xs"];
+        let ys = &un.vars["ys"];
+        assert!(xs.deep_eq(&vars["xs"]));
+        assert!(ys.deep_eq(&vars["ys"]));
+    }
+
+    #[test]
+    fn roundtrip_scalars_and_domains() {
+        let layout = PackLayout {
+            field_wise: vec![
+                entry(Place::var("count"), 2, ScalarKind::I64),
+                entry(Place::var("flag"), 2, ScalarKind::Bool),
+                entry(Place::var("dom"), 3, ScalarKind::Domain),
+            ],
+            ..Default::default()
+        };
+        let mut vars = HashMap::new();
+        vars.insert("count".to_string(), Value::Int(42));
+        vars.insert("flag".to_string(), Value::Bool(true));
+        vars.insert("dom".to_string(), Value::Domain(5, 9));
+        let env = RuntimeEnv::for_packet("pkt", 0, 0);
+        let buf = pack(&layout, &vars, &env, (0, 0), None).unwrap();
+        let un = unpack(&layout, &env, &buf).unwrap();
+        assert!(un.vars["count"].deep_eq(&Value::Int(42)));
+        assert!(un.vars["flag"].deep_eq(&Value::Bool(true)));
+        assert!(un.vars["dom"].deep_eq(&Value::Domain(5, 9)));
+    }
+
+    #[test]
+    fn roundtrip_object_fields() {
+        // tri[0..2].x packed as a field of objects.
+        let mut p = dense_place("tri", 0, 2);
+        p.fields.push("x".to_string());
+        let layout = PackLayout {
+            instance_wise: vec![entry(p, 1, ScalarKind::F64)],
+            ..Default::default()
+        };
+        let mk_obj = |x: f64| {
+            let mut f = HashMap::new();
+            f.insert("x".to_string(), Value::Double(x));
+            f.insert("y".to_string(), Value::Double(-x));
+            Value::new_object("Tri", f)
+        };
+        let mut vars = HashMap::new();
+        vars.insert(
+            "tri".to_string(),
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(vec![
+                mk_obj(1.0),
+                mk_obj(2.0),
+                mk_obj(3.0),
+            ]))),
+        );
+        let env = RuntimeEnv::for_packet("pkt", 0, 2);
+        let buf = pack(&layout, &vars, &env, (0, 2), None).unwrap();
+        let un = unpack(&layout, &env, &buf).unwrap();
+        // Only x made it across.
+        if let Value::Array(a) = &un.vars["tri"] {
+            let a = a.borrow();
+            for (i, v) in a.iter().enumerate() {
+                let Value::Object(o) = v else { panic!("not an object") };
+                assert!(o.borrow().fields["x"].deep_eq(&Value::Double((i + 1) as f64)));
+                assert!(!o.borrow().fields.contains_key("y"));
+            }
+        } else {
+            panic!("tri not an array");
+        }
+    }
+
+    #[test]
+    fn filtered_layout_compacts_and_scatters() {
+        // Packet [10, 17]; rebased array vs__x of len 8; selection keeps
+        // absolute indices 11, 13, 16.
+        let p = dense_place_sym("v__x");
+        let layout = PackLayout {
+            instance_wise: vec![entry(p, 1, ScalarKind::F64)],
+            filtered: Some(0),
+            ..Default::default()
+        };
+        let mut vars = HashMap::new();
+        vars.insert(
+            "v__x".to_string(),
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+                (0..8).map(|i| Value::Double(i as f64)).collect(),
+            ))),
+        );
+        let env = RuntimeEnv::for_packet("pkt", 10, 17);
+        let sel = vec![11i64, 13, 16];
+        let buf = pack(&layout, &vars, &env, (10, 17), Some(&sel)).unwrap();
+        let un = unpack(&layout, &env, &buf).unwrap();
+        assert_eq!(un.selection.as_deref(), Some(&sel[..]));
+        if let Value::Array(a) = &un.vars["v__x"] {
+            let a = a.borrow();
+            assert_eq!(a.len(), 8);
+            assert!(a[1].deep_eq(&Value::Double(1.0)));
+            assert!(a[3].deep_eq(&Value::Double(3.0)));
+            assert!(a[6].deep_eq(&Value::Double(6.0)));
+            assert!(matches!(a[0], Value::Null)); // untouched slot
+        } else {
+            panic!("not an array");
+        }
+        // Volume check: only 3 elements crossed.
+        let dense_buf = {
+            let layout = PackLayout {
+                instance_wise: vec![entry(dense_place_sym("v__x"), 1, ScalarKind::F64)],
+                ..Default::default()
+            };
+            pack(&layout, &vars, &env, (10, 17), None).unwrap()
+        };
+        assert!(buf.len() < dense_buf.len());
+    }
+
+    /// Place with section [0 : pkt.hi - pkt.lo] (rebased expanded array).
+    fn dense_place_sym(root: &str) -> Place {
+        Place::sliced(
+            root,
+            Section::dense(
+                SymExpr::konst(0),
+                SymExpr::sym("pkt.hi").sub(&SymExpr::sym("pkt.lo")),
+            ),
+        )
+    }
+
+    #[test]
+    fn layout_rule_instance_vs_field_wise() {
+        // Set with three places; consumers: filter 1 uses a and b, filter 2
+        // uses c. a,b → instance-wise; c → field-wise.
+        use crate::place::PlaceSet;
+        let a = dense_place("a", 0, 7);
+        let b = dense_place("b", 0, 7);
+        let c = dense_place("c", 0, 7);
+        let set: PlaceSet = [a.clone(), b.clone(), c.clone()].into_iter().collect();
+
+        let mut cons1 = PlaceSet::new();
+        cons1.insert(a.clone());
+        cons1.insert(b.clone());
+        let mut cons2 = PlaceSet::new();
+        cons2.insert(c.clone());
+
+        // A minimal NormalizedPipeline for scalar_kind resolution.
+        let np = tiny_np();
+        let layout = compute_layout(&np, &set, &[cons1, cons2], 1, None).unwrap();
+        let inst: Vec<&str> = layout.instance_wise.iter().map(|e| e.place.root.as_str()).collect();
+        let fw: Vec<&str> = layout.field_wise.iter().map(|e| e.place.root.as_str()).collect();
+        assert_eq!(inst, vec!["a", "b"]);
+        assert_eq!(fw, vec!["c"]);
+        assert_eq!(layout.field_wise[0].first_consumer, 2);
+    }
+
+    #[test]
+    fn layout_sorts_field_wise_by_first_read() {
+        use crate::place::PlaceSet;
+        let a = dense_place("a", 0, 7);
+        let c = dense_place("c", 0, 7);
+        let set: PlaceSet = [a.clone(), c.clone()].into_iter().collect();
+        let empty = PlaceSet::new();
+        let mut cons2 = PlaceSet::new();
+        cons2.insert(c.clone());
+        let mut cons3 = PlaceSet::new();
+        cons3.insert(a.clone());
+        let np = tiny_np();
+        // consumers: filter1 none, filter2 uses c, filter3 uses a.
+        let layout = compute_layout(&np, &set, &[empty, cons2, cons3], 1, None).unwrap();
+        assert!(layout.instance_wise.is_empty());
+        let fw: Vec<&str> = layout.field_wise.iter().map(|e| e.place.root.as_str()).collect();
+        assert_eq!(fw, vec!["c", "a"], "sorted by first reader");
+    }
+
+    fn tiny_np() -> NormalizedPipeline {
+        let src = r#"
+            extern int n;
+            extern double[] a;
+            extern double[] b;
+            extern double[] c;
+            class Acc implements Reducinterface {
+                double t;
+                void reduce(Acc o) { t = t + o.t; }
+                void add(double v) { t = t + v; }
+            }
+            class Main { void main() {
+                RectDomain<1> all = [0 : n - 1];
+                Acc acc = new Acc();
+                PipelinedLoop (pkt in all; 2) {
+                    foreach (i in pkt) { acc.add(a[i] + b[i] + c[i]); }
+                }
+                print(acc.t);
+            } }
+        "#;
+        crate::normalize::normalize(&cgp_lang::frontend(src).unwrap()).unwrap()
+    }
+}

@@ -1,0 +1,146 @@
+//! Error paths: malformed or unsupported programs must fail with clear
+//! diagnostics, never panic.
+
+use cgp_compiler::cost::PipelineEnv;
+use cgp_compiler::{compile, CompileOptions};
+
+fn opts() -> CompileOptions {
+    CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e7, 1e-5), 64)
+}
+
+fn err_of(src: &str) -> String {
+    compile(src, &opts()).unwrap_err().to_string()
+}
+
+#[test]
+fn missing_main_is_reported() {
+    let msg = err_of("class A { void f() { } }");
+    assert!(msg.contains("main"), "{msg}");
+}
+
+#[test]
+fn missing_pipelined_loop_is_reported() {
+    let msg = err_of("class A { void main() { int x = 1; } }");
+    assert!(msg.contains("PipelinedLoop"), "{msg}");
+}
+
+#[test]
+fn multiple_pipelined_loops_rejected() {
+    let msg = err_of(
+        r#"
+        extern int n;
+        class A { void main() {
+            RectDomain<1> d = [0 : n - 1];
+            PipelinedLoop (p in d; 2) { }
+            PipelinedLoop (q in d; 2) { }
+        } }
+    "#,
+    );
+    assert!(msg.contains("multiple PipelinedLoop") || msg.contains("empty"), "{msg}");
+}
+
+#[test]
+fn parse_errors_carry_location() {
+    let msg = err_of("class A { void main() {\n  !!! } }");
+    assert!(msg.contains("2:"), "{msg}");
+}
+
+#[test]
+fn type_errors_surface_through_compile() {
+    let msg = err_of(
+        r#"
+        class A { void main() {
+            RectDomain<1> d = [0 : true];
+            PipelinedLoop (p in d; 2) { }
+        } }
+    "#,
+    );
+    assert!(msg.contains("type mismatch") || msg.contains("expected"), "{msg}");
+}
+
+#[test]
+fn cross_cut_outer_local_is_explained() {
+    // A per-iteration value carried across a fission cut but declared
+    // outside the loop — unsupported, and the error says why.
+    let msg = err_of(
+        r#"
+        extern int n;
+        class Acc implements Reducinterface {
+            double t;
+            void reduce(Acc o) { t = t + o.t; }
+            void add(double v) { t = t + v; }
+        }
+        class A { void main() {
+            RectDomain<1> d = [0 : n - 1];
+            Acc acc = new Acc();
+            double tmp = 0.0;
+            PipelinedLoop (p in d; 2) {
+                foreach (i in p) {
+                    tmp = toDouble(i);
+                    if (tmp > 1.0) { acc.add(tmp); }
+                }
+            }
+            print(acc.t);
+        } }
+    "#,
+    );
+    assert!(msg.contains("fission"), "{msg}");
+}
+
+#[test]
+fn reduction_without_reduce_method_rejected() {
+    let msg = err_of(
+        r#"
+        extern int n;
+        class Bad implements Reducinterface { int v; }
+        class A { void main() {
+            RectDomain<1> d = [0 : n - 1];
+            PipelinedLoop (p in d; 2) { }
+        } }
+    "#,
+    );
+    assert!(msg.contains("reduce"), "{msg}");
+}
+
+#[test]
+fn heterogeneous_pipelines_shift_the_decomposition() {
+    // Not an error, but an environment-sensitivity check: making the data
+    // host much weaker pushes atoms downstream.
+    let src = r#"
+        extern int n;
+        extern double[] xs;
+        class Acc implements Reducinterface {
+            double t;
+            void reduce(Acc o) { t = t + o.t; }
+            void add(double v) { t = t + v; }
+        }
+        class A { void main() {
+            RectDomain<1> d = [0 : n - 1];
+            Acc acc = new Acc();
+            PipelinedLoop (pkt in d; 8) {
+                foreach (i in pkt) {
+                    double v = xs[i] * xs[i] + sqrt(xs[i]);
+                    if (v > 1.0) { acc.add(v); }
+                }
+            }
+            print(acc.t);
+        } }
+    "#;
+    let uniform = PipelineEnv::uniform(3, 1e8, 1e7, 1e-5);
+    let mut weak_source = uniform.clone();
+    weak_source.power[0] = 1e4; // data host is 10,000× weaker
+    let base = CompileOptions::new(uniform, 512).with_symbol("n", 4096);
+    let weak = CompileOptions::new(weak_source, 512).with_symbol("n", 4096);
+    let c_uni = compile(src, &base).unwrap();
+    let c_weak = compile(src, &weak).unwrap();
+    let work_on_source = |c: &cgp_compiler::Compiled| {
+        c.plan.decomposition.unit_of.iter().skip(1).filter(|u| **u == 0).count()
+    };
+    assert!(
+        work_on_source(&c_weak) <= work_on_source(&c_uni),
+        "weak source must not attract more atoms: {:?} vs {:?}",
+        c_weak.plan.decomposition.unit_of,
+        c_uni.plan.decomposition.unit_of
+    );
+    assert_eq!(work_on_source(&c_weak), 0, "{:?}", c_weak.plan.decomposition.unit_of);
+}

@@ -1,0 +1,267 @@
+//! Property-based tests for the compiler's core data structures: the place
+//! lattice, symbolic expressions, and the pack/unpack round trip.
+
+use cgp_compiler::packing::{pack, unpack, PackEntry, PackLayout, RuntimeEnv, ScalarKind};
+use cgp_compiler::place::{Place, PlaceSet, Section, Sectioning, SymExpr};
+use cgp_lang::Value;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---- SymExpr algebra -------------------------------------------------------
+
+fn arb_sym() -> impl Strategy<Value = SymExpr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(SymExpr::konst),
+        prop_oneof![Just("x"), Just("y"), Just("pkt.lo")].prop_map(SymExpr::sym),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(&b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(&b)),
+            (inner.clone(), -5i64..5).prop_map(|(a, k)| a.scale(k)),
+        ]
+    })
+}
+
+fn env(x: i64, y: i64, p: i64) -> impl Fn(&str) -> Option<i64> {
+    move |s: &str| match s {
+        "x" => Some(x),
+        "y" => Some(y),
+        "pkt.lo" => Some(p),
+        _ => None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn symexpr_add_commutes(a in arb_sym(), b in arb_sym(), x in -50i64..50, y in -50i64..50) {
+        let e = env(x, y, 7);
+        prop_assert_eq!(a.add(&b).eval(&e), b.add(&a).eval(&e));
+    }
+
+    #[test]
+    fn symexpr_add_associates(a in arb_sym(), b in arb_sym(), c in arb_sym()) {
+        let e = env(3, -4, 11);
+        prop_assert_eq!(a.add(&b).add(&c).eval(&e), a.add(&b.add(&c)).eval(&e));
+    }
+
+    #[test]
+    fn symexpr_sub_is_add_neg(a in arb_sym(), b in arb_sym()) {
+        let e = env(-2, 9, 0);
+        prop_assert_eq!(a.sub(&b).eval(&e), a.add(&b.scale(-1)).eval(&e));
+    }
+
+    #[test]
+    fn symexpr_eval_matches_semantics(a in arb_sym(), x in -20i64..20, y in -20i64..20) {
+        // Evaluate via substitution of constants, then is_const.
+        let e = env(x, y, 5);
+        let direct = a.eval(&e);
+        let substituted = a
+            .subst("x", &SymExpr::konst(x))
+            .subst("y", &SymExpr::konst(y))
+            .subst("pkt.lo", &SymExpr::konst(5));
+        prop_assert_eq!(direct, substituted.is_const());
+    }
+
+    #[test]
+    fn symexpr_const_diff_sound(a in arb_sym(), d in -50i64..50) {
+        let shifted = a.add(&SymExpr::konst(d));
+        prop_assert_eq!(shifted.const_diff(&a), Some(d));
+    }
+}
+
+// ---- place lattice ---------------------------------------------------------
+
+fn arb_place() -> impl Strategy<Value = Place> {
+    let root = prop_oneof![Just("a"), Just("b"), Just("t")];
+    let fields = proptest::collection::vec(prop_oneof![Just("x"), Just("y")], 0..3);
+    let sect = prop_oneof![
+        Just(Sectioning::NotIndexed),
+        Just(Sectioning::All),
+        (0i64..50, 0i64..50).prop_map(|(lo, len)| Sectioning::Range(Section::dense(
+            SymExpr::konst(lo),
+            SymExpr::konst(lo + len)
+        ))),
+    ];
+    (root, sect, fields).prop_map(|(r, s, f)| Place {
+        root: r.to_string(),
+        sect: s,
+        fields: f.into_iter().map(String::from).collect(),
+    })
+}
+
+proptest! {
+    #[test]
+    fn covers_is_reflexive(p in arb_place()) {
+        prop_assert!(p.covers(&p));
+    }
+
+    #[test]
+    fn covers_is_transitive(a in arb_place(), b in arb_place(), c in arb_place()) {
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c), "{a} ⊇ {b} ⊇ {c}");
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent(ps in proptest::collection::vec(arb_place(), 0..8), p in arb_place()) {
+        let mut s1: PlaceSet = ps.iter().cloned().collect();
+        s1.insert(p.clone());
+        let mut s2 = s1.clone();
+        s2.insert(p.clone());
+        prop_assert_eq!(s1.sorted(), s2.sorted());
+    }
+
+    #[test]
+    fn insert_preserves_coverage(ps in proptest::collection::vec(arb_place(), 0..8), p in arb_place()) {
+        let mut set: PlaceSet = ps.iter().cloned().collect();
+        // everything previously covered stays covered after any insert
+        let before: Vec<Place> = ps.clone();
+        set.insert(p.clone());
+        for q in &before {
+            prop_assert!(set.covers_place(q), "{q} lost after inserting {p}");
+        }
+        prop_assert!(set.covers_place(&p));
+    }
+
+    #[test]
+    fn kill_removes_only_covered(ps in proptest::collection::vec(arb_place(), 0..8), k in arb_place()) {
+        let set: PlaceSet = ps.iter().cloned().collect();
+        let mut killed = set.clone();
+        killed.kill(&k);
+        for q in set.sorted() {
+            if k.covers(q) {
+                prop_assert!(!killed.contains(q));
+            } else {
+                prop_assert!(killed.contains(q), "{q} wrongly killed by {k}");
+            }
+        }
+    }
+}
+
+// ---- pack / unpack round trip ----------------------------------------------
+
+#[derive(Debug, Clone)]
+struct WireCase {
+    scalars: Vec<(String, i64)>,
+    array_len: usize,
+    doubles: Vec<f64>,
+}
+
+fn arb_wire() -> impl Strategy<Value = WireCase> {
+    (
+        proptest::collection::vec(-1000i64..1000, 0..4),
+        1usize..64,
+    )
+        .prop_flat_map(|(ints, len)| {
+            proptest::collection::vec(-1e6f64..1e6, len).prop_map(move |doubles| WireCase {
+                scalars: ints
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("s{i}"), *v))
+                    .collect(),
+                array_len: doubles.len(),
+                doubles,
+            })
+        })
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrip(case in arb_wire(), field_wise in any::<bool>()) {
+        let n = case.array_len as i64;
+        let arr_place = Place::sliced(
+            "xs",
+            Section::dense(SymExpr::konst(0), SymExpr::konst(n - 1)),
+        );
+        let mut entries = vec![PackEntry {
+            place: arr_place,
+            first_consumer: 1,
+            elem: ScalarKind::F64,
+        }];
+        for (name, _) in &case.scalars {
+            entries.push(PackEntry {
+                place: Place::var(name.clone()),
+                first_consumer: 2,
+                elem: ScalarKind::I64,
+            });
+        }
+        let layout = if field_wise {
+            PackLayout { field_wise: entries, ..Default::default() }
+        } else {
+            PackLayout { instance_wise: entries, ..Default::default() }
+        };
+
+        let mut vars: HashMap<String, Value> = HashMap::new();
+        vars.insert(
+            "xs".into(),
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+                case.doubles.iter().map(|d| Value::Double(*d)).collect(),
+            ))),
+        );
+        for (name, v) in &case.scalars {
+            vars.insert(name.clone(), Value::Int(*v));
+        }
+
+        let env = RuntimeEnv::for_packet("pkt", 0, n - 1);
+        let buf = pack(&layout, &vars, &env, (0, n - 1), None).unwrap();
+        let un = unpack(&layout, &env, &buf).unwrap();
+        prop_assert_eq!(un.pkt, (0, n - 1));
+        prop_assert!(un.vars["xs"].deep_eq(&vars["xs"]));
+        for (name, _) in &case.scalars {
+            prop_assert!(un.vars[name].deep_eq(&vars[name]), "{}", name);
+        }
+    }
+
+    #[test]
+    fn filtered_pack_roundtrip(
+        len in 1usize..64,
+        mask in proptest::collection::vec(any::<bool>(), 64),
+        lo in 0i64..1000,
+    ) {
+        let n = len as i64;
+        let place = Place::sliced(
+            "v",
+            Section::dense(
+                SymExpr::konst(0),
+                SymExpr::sym("pkt.hi").sub(&SymExpr::sym("pkt.lo")),
+            ),
+        );
+        let layout = PackLayout {
+            instance_wise: vec![PackEntry { place, first_consumer: 1, elem: ScalarKind::F64 }],
+            filtered: Some(0),
+            ..Default::default()
+        };
+        let vars: HashMap<String, Value> = [(
+            "v".to_string(),
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+                (0..len).map(|i| Value::Double(i as f64 * 1.25)).collect(),
+            ))),
+        )]
+        .into_iter()
+        .collect();
+        let env = RuntimeEnv::for_packet("pkt", lo, lo + n - 1);
+        let selection: Vec<i64> = (0..len)
+            .filter(|i| mask[*i])
+            .map(|i| lo + i as i64)
+            .collect();
+        let buf = pack(&layout, &vars, &env, (lo, lo + n - 1), Some(&selection)).unwrap();
+        let un = unpack(&layout, &env, &buf).unwrap();
+        prop_assert_eq!(un.selection.as_deref(), Some(&selection[..]));
+        if selection.is_empty() {
+            // Nothing crossed: the binding is absent (the receiving filter
+            // re-allocates packet-local arrays it needs).
+            prop_assert!(!un.vars.contains_key("v"));
+        } else {
+            let Value::Array(arr) = &un.vars["v"] else { panic!("not array") };
+            let arr = arr.borrow();
+            for i in 0..len {
+                if mask[i] {
+                    prop_assert!(arr[i].deep_eq(&Value::Double(i as f64 * 1.25)));
+                }
+            }
+        }
+        // volume proportional to selection
+        prop_assert!(buf.len() <= 16 + 8 + 8 * selection.len() + 8 * (selection.len() + 1) + 8);
+    }
+}

@@ -1,0 +1,249 @@
+//! A small self-describing codec for interpreter [`Value`]s.
+//!
+//! Used by the threaded executor's finalization protocol: each filter's
+//! reduction-variable state must travel downstream as bytes at end-of-work.
+//! (Per-packet data uses the compiler's typed [`cgp_compiler::packing`]
+//! layouts instead — this codec is only for whole-object state transfer.)
+
+use cgp_lang::value::{ObjectVal, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Encoding error (decode side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_INT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_VOID: u8 = 4;
+const TAG_NULL: u8 = 5;
+const TAG_DOMAIN: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+/// Append the encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(x) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Double(x) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Bool(x) => {
+            out.push(TAG_BOOL);
+            out.push(*x as u8);
+        }
+        Value::Void => out.push(TAG_VOID),
+        Value::Null => out.push(TAG_NULL),
+        Value::Domain(lo, hi) => {
+            out.push(TAG_DOMAIN);
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+        }
+        Value::Array(a) => {
+            out.push(TAG_ARRAY);
+            let a = a.borrow();
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            for e in a.iter() {
+                encode_value(e, out);
+            }
+        }
+        Value::Object(o) => {
+            out.push(TAG_OBJECT);
+            let o = o.borrow();
+            encode_str(&o.class, out);
+            // sorted fields for deterministic encodings
+            let mut keys: Vec<&String> = o.fields.keys().collect();
+            keys.sort();
+            out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+            for k in keys {
+                encode_str(k, out);
+                encode_value(&o.fields[k], out);
+            }
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a named map of values (a filter's reduction state).
+pub fn encode_state(state: &HashMap<String, Value>) -> Vec<u8> {
+    let mut keys: Vec<&String> = state.keys().collect();
+    keys.sort();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    for k in keys {
+        encode_str(k, &mut out);
+        encode_value(&state[k], &mut out);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos + n;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| CodecError("unexpected end of input".into()))?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|e| CodecError(e.to_string()))
+    }
+
+    fn value(&mut self) -> Result<Value, CodecError> {
+        match self.u8()? {
+            TAG_INT => Ok(Value::Int(self.i64()?)),
+            TAG_DOUBLE => Ok(Value::Double(f64::from_bits(self.u64()?))),
+            TAG_BOOL => Ok(Value::Bool(self.u8()? != 0)),
+            TAG_VOID => Ok(Value::Void),
+            TAG_NULL => Ok(Value::Null),
+            TAG_DOMAIN => Ok(Value::Domain(self.i64()?, self.i64()?)),
+            TAG_ARRAY => {
+                let n = self.u64()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(self.value()?);
+                }
+                Ok(Value::Array(Rc::new(RefCell::new(v))))
+            }
+            TAG_OBJECT => {
+                let class = self.string()?;
+                let n = self.u64()? as usize;
+                let mut fields = HashMap::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let k = self.string()?;
+                    fields.insert(k, self.value()?);
+                }
+                Ok(Value::Object(Rc::new(RefCell::new(ObjectVal { class, fields }))))
+            }
+            t => Err(CodecError(format!("unknown tag {t}"))),
+        }
+    }
+}
+
+/// Decode one value.
+pub fn decode_value(buf: &[u8]) -> Result<Value, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    r.value()
+}
+
+/// Decode a state map produced by [`encode_state`].
+pub fn decode_state(buf: &[u8]) -> Result<HashMap<String, Value>, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    let n = r.u64()? as usize;
+    let mut out = HashMap::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = r.string()?;
+        out.insert(k, r.value()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let back = decode_value(&buf).unwrap();
+        assert!(v.deep_eq(&back), "{v} vs {back}");
+        back
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Double(std::f64::consts::PI));
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Void);
+        roundtrip(Value::Null);
+        roundtrip(Value::Domain(3, 99));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let arr = Value::new_array(3, Value::Double(1.5));
+        let mut fields = HashMap::new();
+        fields.insert("xs".to_string(), arr);
+        fields.insert("n".to_string(), Value::Int(7));
+        let obj = Value::new_object("Acc", fields);
+        let outer = Value::Array(Rc::new(RefCell::new(vec![obj, Value::Null])));
+        roundtrip(outer);
+    }
+
+    #[test]
+    fn state_map_roundtrip() {
+        let mut st = HashMap::new();
+        st.insert("acc".to_string(), Value::new_object("A", HashMap::new()));
+        st.insert("count".to_string(), Value::Int(10));
+        let buf = encode_state(&st);
+        let back = decode_state(&buf).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back["count"].deep_eq(&Value::Int(10)));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Int(5), &mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(decode_value(&buf).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut f1 = HashMap::new();
+        f1.insert("b".to_string(), Value::Int(1));
+        f1.insert("a".to_string(), Value::Int(2));
+        let o = Value::new_object("C", f1);
+        let mut b1 = Vec::new();
+        encode_value(&o, &mut b1);
+        let mut b2 = Vec::new();
+        encode_value(&o, &mut b2);
+        assert_eq!(b1, b2);
+    }
+}

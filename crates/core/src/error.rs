@@ -1,0 +1,54 @@
+//! Unified error type for the facade crate.
+
+use std::fmt;
+
+/// Anything that can go wrong compiling or executing a pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Frontend / analysis / codegen error.
+    Compile(cgp_compiler::CompileError),
+    /// Runtime (filter/stream) error.
+    Runtime(cgp_datacutter::FilterError),
+    /// Value codec error.
+    Codec(crate::codec::CodecError),
+    /// Configuration mistake (widths, tags, …).
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Compile(e) => write!(f, "{e}"),
+            CoreError::Runtime(e) => write!(f, "{e}"),
+            CoreError::Codec(e) => write!(f, "{e}"),
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<cgp_compiler::CompileError> for CoreError {
+    fn from(e: cgp_compiler::CompileError) -> Self {
+        CoreError::Compile(e)
+    }
+}
+
+impl From<cgp_datacutter::FilterError> for CoreError {
+    fn from(e: cgp_datacutter::FilterError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e: CoreError = cgp_compiler::CompileError::new("x").into();
+        assert!(matches!(e, CoreError::Compile(_)));
+    }
+}

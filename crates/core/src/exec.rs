@@ -1,0 +1,286 @@
+//! Threaded execution of compiled filter plans on the DataCutter runtime.
+//!
+//! Each pipeline unit of the plan becomes one DataCutter stage; stages may
+//! be *transparently copied* (`widths`). Packets travel as tagged buffers:
+//!
+//! - tag `0` — per-packet data, laid out by the compiler's pack layouts;
+//! - tag `1` — a filter copy's reduction-variable state, shipped at
+//!   end-of-work and merged downstream via each object's `reduce` method
+//!   (associativity/commutativity make the merge order irrelevant).
+//!
+//! The source stage's copies partition the packet sequence round-robin
+//! (the paper's "data available at w nodes"); interior stages receive
+//! whatever the runtime's round-robin delivers. The last stage runs the
+//! epilogue once every upstream copy's state has been merged.
+//!
+//! Interpreter values are thread-local (`Rc`-based), so each filter copy
+//! rebuilds its host bindings on its own thread through the provided
+//! builder — deterministic builders make every copy see the same data,
+//! while the analysis guarantees only the source actually touches the
+//! extern arrays per packet.
+
+use crate::codec::{decode_state, encode_state};
+use crate::error::CoreError;
+use cgp_compiler::FilterPlan;
+use cgp_compiler::FilterStepper;
+use cgp_datacutter::{Buffer, Filter, FilterIo, FilterResult, Pipeline, StageSpec};
+use cgp_lang::interp::{split_domain, HostEnv};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const TAG_DATA: u8 = 0;
+const TAG_REDUCTION: u8 = 1;
+
+/// A deterministic host-environment builder, invoked once per filter copy
+/// on its own thread.
+pub type HostBuilder = Arc<dyn Fn() -> HostEnv + Send + Sync>;
+
+/// Run a compiled plan on real threads through the DataCutter runtime.
+/// `widths[j]` is the number of transparent copies of pipeline unit `j`
+/// (`None` = all width 1). Returns the epilogue's `print` output.
+pub fn run_plan_threaded(
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    widths: Option<&[usize]>,
+) -> Result<Vec<String>, CoreError> {
+    let m = plan.m;
+    let widths: Vec<usize> = match widths {
+        Some(w) => {
+            if w.len() != m {
+                return Err(CoreError::Config(format!(
+                    "widths has {} entries for {} pipeline units",
+                    w.len(),
+                    m
+                )));
+            }
+            if *w.last().expect("m >= 1") != 1 {
+                return Err(CoreError::Config(
+                    "the final (view) stage cannot be transparently copied — results are \
+                     merged and viewed at one host"
+                        .into(),
+                ));
+            }
+            w.to_vec()
+        }
+        None => vec![1; m],
+    };
+    let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut pipeline = Pipeline::new().with_capacity(32);
+    for j in 0..m {
+        let plan = Arc::clone(&plan);
+        let hb = Arc::clone(&host_builder);
+        let out = Arc::clone(&output);
+        let width = widths[j];
+        pipeline = pipeline.add_stage(StageSpec::new(
+            format!("f{}", j + 1),
+            width,
+            Box::new(move |copy| {
+                Box::new(PlanFilter {
+                    plan: Arc::clone(&plan),
+                    host_builder: Arc::clone(&hb),
+                    j,
+                    copy,
+                    width,
+                    m,
+                    output: Arc::clone(&out),
+                })
+            }),
+        ));
+    }
+    pipeline.run().map_err(CoreError::Runtime)?;
+    let mut out = output.lock();
+    Ok(std::mem::take(&mut *out))
+}
+
+struct PlanFilter {
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    j: usize,
+    copy: usize,
+    width: usize,
+    m: usize,
+    output: Arc<Mutex<Vec<String>>>,
+}
+
+impl PlanFilter {
+    fn run_unit_of_work(&mut self, io: &mut FilterIo) -> Result<(), CoreError> {
+        let host = (self.host_builder)();
+        let plan = Arc::clone(&self.plan);
+        let mut stepper = FilterStepper::new(&plan, &host).map_err(CoreError::Compile)?;
+        let j = self.j;
+
+        if j == 0 {
+            // Source: generate this copy's share of the packets.
+            let ((lo, hi), n_packets) =
+                stepper.loop_bounds().map_err(CoreError::Compile)?;
+            for (i, (plo, phi)) in split_domain(lo, hi, n_packets as usize).iter().enumerate() {
+                if i % self.width != self.copy {
+                    continue;
+                }
+                let out = stepper
+                    .step(0, (*plo, *phi), None)
+                    .map_err(CoreError::Compile)?;
+                if let Some(payload) = out {
+                    let mut buf = Vec::with_capacity(payload.len() + 1);
+                    buf.push(TAG_DATA);
+                    buf.extend_from_slice(&payload);
+                    io.write(Buffer::from_vec(buf)).map_err(CoreError::Runtime)?;
+                }
+            }
+        } else {
+            // Interior/terminal: consume tagged buffers until end-of-work.
+            while let Some(buf) = io.read() {
+                let bytes = buf.as_slice();
+                let (tag, body) = bytes
+                    .split_first()
+                    .ok_or_else(|| CoreError::Config("empty buffer".into()))?;
+                match *tag {
+                    TAG_DATA => {
+                        // Packet header: lo, hi.
+                        if body.len() < 16 {
+                            return Err(CoreError::Config("short packet header".into()));
+                        }
+                        let lo = i64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+                        let hi = i64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+                        let out = stepper
+                            .step(j, (lo, hi), Some(body))
+                            .map_err(CoreError::Compile)?;
+                        if let Some(payload) = out {
+                            let mut fwd = Vec::with_capacity(payload.len() + 1);
+                            fwd.push(TAG_DATA);
+                            fwd.extend_from_slice(&payload);
+                            io.write(Buffer::from_vec(fwd)).map_err(CoreError::Runtime)?;
+                        }
+                    }
+                    TAG_REDUCTION => {
+                        let partial = decode_state(body).map_err(CoreError::Codec)?;
+                        stepper
+                            .merge_reduction(j, &partial)
+                            .map_err(CoreError::Compile)?;
+                    }
+                    t => return Err(CoreError::Config(format!("unknown buffer tag {t}"))),
+                }
+            }
+        }
+
+        // End of work: ship reduction state downstream, or finish here.
+        if j < self.m - 1 {
+            let state = stepper.reduction_state(j);
+            let mut buf = vec![TAG_REDUCTION];
+            buf.extend_from_slice(&encode_state(&state));
+            io.write(Buffer::from_vec(buf)).map_err(CoreError::Runtime)?;
+        } else {
+            let lines = stepper.epilogue_at(j).map_err(CoreError::Compile)?;
+            self.output.lock().extend(lines);
+        }
+        Ok(())
+    }
+}
+
+impl Filter for PlanFilter {
+    fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+        self.run_unit_of_work(io)
+            .map_err(|e| cgp_datacutter::FilterError::new(format!("f{}[{}]", self.j + 1, self.copy), e.to_string()))
+    }
+
+    fn name(&self) -> &str {
+        "plan-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_compiler::cost::PipelineEnv;
+    use cgp_compiler::{compile, CompileOptions};
+    use cgp_lang::interp::Interp;
+    use cgp_lang::Value;
+
+    const SRC: &str = r#"
+        extern int n;
+        extern double[] data;
+        runtime_define int num_packets;
+        class Acc implements Reducinterface {
+            double total;
+            void reduce(Acc other) { total = total + other.total; }
+            void add(double x) { total = total + x; }
+        }
+        class A {
+            void main() {
+                RectDomain<1> all = [0 : n - 1];
+                Acc acc = new Acc();
+                PipelinedLoop (pkt in all; num_packets) {
+                    foreach (i in pkt) {
+                        double v = data[i] * 2.0 + 1.0;
+                        if (v > 60.0) {
+                            acc.add(v);
+                        }
+                    }
+                }
+                print(acc.total);
+            }
+        }
+    "#;
+
+    fn host() -> HostEnv {
+        let data = Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
+            (0..200).map(|i| Value::Double((i * 13 % 101) as f64)).collect(),
+        )));
+        HostEnv::new()
+            .bind("n", Value::Int(200))
+            .bind("num_packets", Value::Int(10))
+            .bind("data", data)
+    }
+
+    fn oracle() -> Vec<String> {
+        let tp = cgp_lang::frontend(SRC).unwrap();
+        let mut it = Interp::new(&tp, host());
+        it.run_main().unwrap();
+        it.output
+    }
+
+    #[test]
+    fn threaded_run_matches_oracle() {
+        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20)
+            .with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let out =
+            run_plan_threaded(Arc::new(c.plan), Arc::new(host), None).unwrap();
+        assert_eq!(out, oracle());
+    }
+
+    #[test]
+    fn threaded_run_with_transparent_copies() {
+        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20)
+            .with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        for widths in [[1usize, 2, 1], [2, 2, 1], [4, 4, 1]] {
+            let out = run_plan_threaded(
+                Arc::new(c.plan.clone()),
+                Arc::new(host),
+                Some(&widths),
+            )
+            .unwrap();
+            assert_eq!(out, oracle(), "widths={widths:?}");
+        }
+    }
+
+    #[test]
+    fn single_unit_plan_runs() {
+        let opts = CompileOptions::new(PipelineEnv::uniform(1, 1e7, 1e6, 1e-5), 20)
+            .with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let out = run_plan_threaded(Arc::new(c.plan), Arc::new(host), None).unwrap();
+        assert_eq!(out, oracle());
+    }
+
+    #[test]
+    fn bad_widths_rejected() {
+        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20)
+            .with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let err = run_plan_threaded(Arc::new(c.plan), Arc::new(host), Some(&[1, 2]));
+        assert!(err.is_err());
+    }
+}

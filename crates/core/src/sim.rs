@@ -1,0 +1,112 @@
+//! Glue: run an application variant's real computation and replay it on a
+//! simulated grid (the figure-generation path).
+
+use cgp_apps::profile::{run_all_min, to_sim_packets, AppVariant};
+use cgp_grid::{simulate, GridConfig, SimResult};
+
+/// Measurement rounds per variant; the per-packet minimum is kept
+/// (see [`cgp_apps::profile::run_all_min`]).
+pub const MEASURE_ROUNDS: usize = 3;
+
+/// Calibration constant: how many simulator "standard ops" one measured
+/// second equals. Host powers in [`GridConfig`]s used with
+/// [`simulate_variant`] should be expressed on the same scale, so a host of
+/// power `CALIBRATION` executes one measured-second of work per simulated
+/// second.
+pub const CALIBRATION: f64 = 1.0e9;
+
+/// How much slower the paper's 700 MHz Pentium III nodes are than the
+/// machine measuring the per-packet work. The figures' *shape* (who wins,
+/// crossovers) depends on the compute-to-communication ratio; measuring
+/// work on a modern core but keeping Myrinet-class links would make every
+/// experiment link-bound, which the paper's testbed was not. A factor
+/// around 25 (clock × IPC) restores the paper's regime; EXPERIMENTS.md
+/// records the sensitivity of each figure to this constant.
+pub const PENTIUM_SLOWDOWN: f64 = 25.0;
+
+/// Outcome of simulating one application variant on one configuration.
+#[derive(Debug, Clone)]
+pub struct VariantRun {
+    pub name: String,
+    pub makespan: f64,
+    pub result_digest: u64,
+    pub sim: SimResult,
+}
+
+/// Execute every packet of `variant` for real, then simulate the pipeline
+/// schedule on `grid`.
+pub fn simulate_variant(variant: &mut dyn AppVariant, grid: &GridConfig) -> VariantRun {
+    let (profiles, digest) = run_all_min(variant, MEASURE_ROUNDS);
+    let packets = to_sim_packets(&profiles, CALIBRATION);
+    let fin = variant.finalize_bytes();
+    let sim = simulate(grid, &packets, &fin);
+    VariantRun {
+        name: variant.name(),
+        makespan: sim.makespan,
+        result_digest: digest,
+        sim,
+    }
+}
+
+/// Effective end-to-end stream throughput of the paper's testbed:
+/// DataCutter's buffer-at-a-time streams over Myrinet LANai 7.0 delivered
+/// well below the raw ~100 MB/s wire rate; 50 MB/s is a representative
+/// middleware-level figure. EXPERIMENTS.md records each figure's
+/// sensitivity to this constant.
+pub const LINK_BANDWIDTH: f64 = 5.0e7;
+
+/// The paper's testbed as a `w-w-1` grid: 700 MHz-class hosts (measured
+/// work slowed by [`PENTIUM_SLOWDOWN`]) on Myrinet-class links at the
+/// effective [`LINK_BANDWIDTH`], 20 µs latency.
+pub fn paper_grid(w: usize) -> GridConfig {
+    GridConfig::w_w_1(
+        w,
+        CALIBRATION / PENTIUM_SLOWDOWN,
+        cgp_grid::LinkSpec { bandwidth: LINK_BANDWIDTH, latency: 2.0e-5 },
+    )
+}
+
+/// 2003-era sequential disk bandwidth (~35 MB/s) for datasets that live in
+/// files at the data nodes (isosurface grids, microscope slides).
+pub const DISK_BANDWIDTH: f64 = 3.5e7;
+
+/// [`paper_grid`] with local disks at the data nodes.
+pub fn paper_grid_disk(w: usize) -> GridConfig {
+    paper_grid(w).with_stage0_disk(DISK_BANDWIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgp_apps::isosurface::{IsoPipeline, IsoVersion, Renderer, ScalarGrid};
+
+    fn variant(version: IsoVersion) -> IsoPipeline {
+        IsoPipeline::new(
+            ScalarGrid::synthetic(16, 16, 16, 4),
+            0.8,
+            8,
+            32,
+            Renderer::ZBuffer,
+            version,
+            "sim-test",
+        )
+    }
+
+    #[test]
+    fn simulate_variant_produces_times_and_digest() {
+        let g = paper_grid(1);
+        let run = simulate_variant(&mut variant(IsoVersion::Decomp), &g);
+        assert!(run.makespan > 0.0);
+        assert!(run.name.contains("Decomp"));
+    }
+
+    #[test]
+    fn variants_agree_and_widths_speed_up() {
+        let r1 = simulate_variant(&mut variant(IsoVersion::Decomp), &paper_grid(1));
+        let r2 = simulate_variant(&mut variant(IsoVersion::Decomp), &paper_grid(2));
+        assert_eq!(r1.result_digest, r2.result_digest);
+        // More width never hurts the simulated makespan (same measured work
+        // modulo timing noise; allow 25% slack).
+        assert!(r2.makespan <= r1.makespan * 1.25, "{} vs {}", r2.makespan, r1.makespan);
+    }
+}

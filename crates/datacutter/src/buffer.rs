@@ -1,0 +1,155 @@
+//! The buffer abstraction (Section 2.2).
+//!
+//! "A buffer represents a contiguous memory region containing useful data.
+//! Streams transfer data in fixed size buffers." — buffers are immutable
+//! once sealed ([`Buffer`]), built through a [`BufferBuilder`] with a
+//! capacity limit mirroring DataCutter's fixed buffer size.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Default stream buffer capacity (64 KiB, DataCutter-style).
+pub const DEFAULT_BUFFER_CAPACITY: usize = 64 * 1024;
+
+/// An immutable, cheaply-clonable chunk of stream data.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Buffer {
+    data: Bytes,
+}
+
+impl Buffer {
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Buffer { data: Bytes::from(v) }
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Buffer { data: Bytes::from_static(s) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Zero-copy sub-range.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Buffer {
+        Buffer { data: self.data.slice(range) }
+    }
+}
+
+impl fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Buffer({} bytes)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Buffer {
+    fn from(v: Vec<u8>) -> Self {
+        Buffer::from_vec(v)
+    }
+}
+
+/// Accumulates payload up to a fixed capacity, splitting into sealed
+/// buffers — the way a filter writes a large result across multiple
+/// fixed-size stream buffers.
+pub struct BufferBuilder {
+    capacity: usize,
+    current: Vec<u8>,
+    sealed: Vec<Buffer>,
+}
+
+impl BufferBuilder {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BufferBuilder { capacity, current: Vec::new(), sealed: Vec::new() }
+    }
+
+    /// Append payload, sealing full buffers as the capacity is reached.
+    pub fn push(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let room = self.capacity - self.current.len();
+            let take = room.min(bytes.len());
+            self.current.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.current.len() == self.capacity {
+                let full = std::mem::take(&mut self.current);
+                self.sealed.push(Buffer::from_vec(full));
+            }
+        }
+    }
+
+    /// Seal any remaining partial buffer and return the sequence.
+    pub fn finish(mut self) -> Vec<Buffer> {
+        if !self.current.is_empty() {
+            self.sealed.push(Buffer::from_vec(self.current));
+        }
+        self.sealed
+    }
+}
+
+/// Reassemble a logical payload from a buffer sequence (inverse of
+/// [`BufferBuilder`]).
+pub fn reassemble(buffers: &[Buffer]) -> Vec<u8> {
+    let total: usize = buffers.iter().map(Buffer::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for b in buffers {
+        out.extend_from_slice(b.as_slice());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_splits_at_capacity() {
+        let mut b = BufferBuilder::new(4);
+        b.push(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let bufs = b.finish();
+        assert_eq!(bufs.len(), 3);
+        assert_eq!(bufs[0].len(), 4);
+        assert_eq!(bufs[1].len(), 4);
+        assert_eq!(bufs[2].len(), 1);
+        assert_eq!(reassemble(&bufs), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn builder_exact_multiple_has_no_tail() {
+        let mut b = BufferBuilder::new(2);
+        b.push(&[1, 2, 3, 4]);
+        let bufs = b.finish();
+        assert_eq!(bufs.len(), 2);
+    }
+
+    #[test]
+    fn empty_builder_finishes_empty() {
+        let b = BufferBuilder::new(8);
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let b = Buffer::from_vec(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn incremental_pushes_accumulate() {
+        let mut b = BufferBuilder::new(8);
+        b.push(&[1, 2, 3]);
+        b.push(&[4, 5]);
+        let bufs = b.finish();
+        assert_eq!(bufs.len(), 1);
+        assert_eq!(reassemble(&bufs), vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// An error raised by a filter or the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// Name of the filter (or subsystem) that failed.
+    pub filter: String,
+    pub message: String,
+}
+
+impl FilterError {
+    pub fn new(filter: impl Into<String>, message: impl Into<String>) -> Self {
+        FilterError { filter: filter.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter `{}` failed: {}", self.filter, self.message)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Result alias for filter code.
+pub type FilterResult<T> = Result<T, FilterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FilterError::new("extract", "bad buffer");
+        assert_eq!(e.to_string(), "filter `extract` failed: bad buffer");
+    }
+}

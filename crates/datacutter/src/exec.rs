@@ -1,0 +1,387 @@
+//! Threaded pipeline executor.
+//!
+//! Builds the logical streams between consecutive stages (honouring each
+//! stage's transparent-copy width) and runs every filter copy on its own
+//! thread through the unit-of-work cycle `init → process → finalize →
+//! close-output`.
+
+use crate::error::{FilterError, FilterResult};
+use crate::filter::{FilterFactory, FilterIo};
+use crate::stream::{logical_stream, Distribution};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One pipeline stage: a logical filter with `width` transparent copies.
+pub struct StageSpec {
+    pub name: String,
+    pub width: usize,
+    pub factory: FilterFactory,
+}
+
+impl StageSpec {
+    pub fn new(name: impl Into<String>, width: usize, factory: FilterFactory) -> Self {
+        assert!(width >= 1);
+        StageSpec { name: name.into(), width, factory }
+    }
+}
+
+/// Per-stage statistics from a run.
+#[derive(Debug, Clone, Default)]
+pub struct StageStats {
+    pub name: String,
+    pub buffers_in: u64,
+    pub bytes_in: u64,
+    pub buffers_out: u64,
+    pub bytes_out: u64,
+    /// Wall-clock busy time summed over copies.
+    pub busy: Duration,
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub wall: Duration,
+    pub stages: Vec<StageStats>,
+}
+
+/// A linear pipeline of stages connected by logical streams.
+pub struct Pipeline {
+    stages: Vec<StageSpec>,
+    buffer_capacity: usize,
+    distribution: Distribution,
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Pipeline {
+            stages: Vec::new(),
+            buffer_capacity: 64,
+            distribution: Distribution::RoundRobin,
+        }
+    }
+
+    /// Queue depth (buffers in flight) per stream; provides backpressure.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    pub fn with_distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    pub fn add_stage(mut self, stage: StageSpec) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Run one unit of work through the whole pipeline.
+    pub fn run(self) -> FilterResult<RunStats> {
+        if self.stages.is_empty() {
+            return Err(FilterError::new("pipeline", "no stages"));
+        }
+        let t0 = Instant::now();
+        let n = self.stages.len();
+
+        // Build streams between consecutive stages.
+        let mut writers_per_stage: Vec<Vec<Option<crate::stream::StreamWriter>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut readers_per_stage: Vec<Vec<Option<crate::stream::StreamReader>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for s in 0..n {
+            readers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
+            writers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
+        }
+        for s in 0..n.saturating_sub(1) {
+            let (ws, rs) = logical_stream(
+                self.stages[s].width,
+                self.stages[s + 1].width,
+                self.buffer_capacity,
+                self.distribution,
+            );
+            for (i, w) in ws.into_iter().enumerate() {
+                writers_per_stage[s][i] = Some(w);
+            }
+            for (i, r) in rs.into_iter().enumerate() {
+                readers_per_stage[s + 1][i] = Some(r);
+            }
+        }
+
+        // Spawn every copy.
+        let stats: Arc<Mutex<Vec<StageStats>>> = Arc::new(Mutex::new(
+            self.stages
+                .iter()
+                .map(|s| StageStats { name: s.name.clone(), ..Default::default() })
+                .collect(),
+        ));
+        let first_error: Arc<Mutex<Option<FilterError>>> = Arc::new(Mutex::new(None));
+
+        std::thread::scope(|scope| {
+            for (s, stage) in self.stages.iter().enumerate() {
+                for c in 0..stage.width {
+                    let mut filter = (stage.factory)(c);
+                    let mut io = FilterIo {
+                        input: readers_per_stage[s][c].take(),
+                        output: writers_per_stage[s][c].take(),
+                        copy_index: c,
+                        width: stage.width,
+                    };
+                    let stats = Arc::clone(&stats);
+                    let first_error = Arc::clone(&first_error);
+                    let stage_name = stage.name.clone();
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let result = filter
+                            .init(&mut io)
+                            .and_then(|_| filter.process(&mut io))
+                            .and_then(|_| filter.finalize(&mut io));
+                        // Close output so downstream sees end-of-work even
+                        // on error.
+                        if let Some(w) = io.output.as_mut() {
+                            w.close();
+                        }
+                        // Drain remaining input on error to unblock
+                        // upstream writers.
+                        if result.is_err() {
+                            while io.read().is_some() {}
+                        }
+                        let busy = t.elapsed();
+                        {
+                            let mut st = stats.lock();
+                            let entry = &mut st[s];
+                            if let Some(r) = &io.input {
+                                let (b, by) = r.stats();
+                                entry.buffers_in += b;
+                                entry.bytes_in += by;
+                            }
+                            if let Some(w) = &io.output {
+                                let (b, by) = w.stats();
+                                entry.buffers_out += b;
+                                entry.bytes_out += by;
+                            }
+                            entry.busy += busy;
+                        }
+                        if let Err(e) = result {
+                            let mut fe = first_error.lock();
+                            if fe.is_none() {
+                                *fe = Some(FilterError::new(
+                                    format!("{stage_name}[{c}]"),
+                                    e.message,
+                                ));
+                            }
+                        }
+                    });
+                }
+            }
+        });
+
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
+        }
+        let stages = stats.lock().clone();
+        Ok(RunStats { wall: t0.elapsed(), stages })
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::filter::{ClosureFilter, Filter};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn source(n: u64) -> FilterFactory {
+        Box::new(move |_| {
+            Box::new(ClosureFilter::new("src", move |io: &mut FilterIo| {
+                for i in 0..n {
+                    io.write(Buffer::from_vec(i.to_le_bytes().to_vec()))?;
+                }
+                Ok(())
+            }))
+        })
+    }
+
+    #[test]
+    fn three_stage_pipeline_computes() {
+        let total = Arc::new(AtomicU64::new(0));
+        let total2 = Arc::clone(&total);
+        let stats = Pipeline::new()
+            .add_stage(StageSpec::new("source", 1, source(100)))
+            .add_stage(StageSpec::new(
+                "square",
+                1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("square", |io: &mut FilterIo| {
+                        while let Some(b) = io.read() {
+                            let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                            io.write(Buffer::from_vec((v * v).to_le_bytes().to_vec()))?;
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .add_stage(StageSpec::new(
+                "sum",
+                1,
+                Box::new(move |_| {
+                    let total = Arc::clone(&total2);
+                    Box::new(ClosureFilter::new("sum", move |io: &mut FilterIo| {
+                        while let Some(b) = io.read() {
+                            let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                            total.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap();
+        let expect: u64 = (0..100u64).map(|i| i * i).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+        assert_eq!(stats.stages[0].buffers_out, 100);
+        assert_eq!(stats.stages[2].buffers_in, 100);
+    }
+
+    #[test]
+    fn transparent_copies_preserve_totals() {
+        for width in [1usize, 2, 4] {
+            let total = Arc::new(AtomicU64::new(0));
+            let total2 = Arc::clone(&total);
+            Pipeline::new()
+                .add_stage(StageSpec::new("source", 1, source(200)))
+                .add_stage(StageSpec::new(
+                    "work",
+                    width,
+                    Box::new(|_| {
+                        Box::new(ClosureFilter::new("work", |io: &mut FilterIo| {
+                            while let Some(b) = io.read() {
+                                io.write(b)?;
+                            }
+                            Ok(())
+                        }))
+                    }),
+                ))
+                .add_stage(StageSpec::new(
+                    "sum",
+                    1,
+                    Box::new(move |_| {
+                        let total = Arc::clone(&total2);
+                        Box::new(ClosureFilter::new("sum", move |io: &mut FilterIo| {
+                            while let Some(b) = io.read() {
+                                let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                                total.fetch_add(v, Ordering::Relaxed);
+                            }
+                            Ok(())
+                        }))
+                    }),
+                ))
+                .run()
+                .unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), (0..200).sum::<u64>(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn finalize_flushes_partial_state() {
+        // Each copy accumulates locally, flushing its partial sum at
+        // finalize — the reduction pattern.
+        struct Acc {
+            sum: u64,
+        }
+        impl Filter for Acc {
+            fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+                while let Some(b) = io.read() {
+                    self.sum += u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                }
+                Ok(())
+            }
+            fn finalize(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+                io.write(Buffer::from_vec(self.sum.to_le_bytes().to_vec()))
+            }
+            fn name(&self) -> &str {
+                "acc"
+            }
+        }
+        let total = Arc::new(AtomicU64::new(0));
+        let total2 = Arc::clone(&total);
+        Pipeline::new()
+            .add_stage(StageSpec::new("source", 1, source(100)))
+            .add_stage(StageSpec::new("acc", 3, Box::new(|_| Box::new(Acc { sum: 0 }))))
+            .add_stage(StageSpec::new(
+                "merge",
+                1,
+                Box::new(move |_| {
+                    let total = Arc::clone(&total2);
+                    Box::new(ClosureFilter::new("merge", move |io: &mut FilterIo| {
+                        while let Some(b) = io.read() {
+                            let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                            total.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn error_propagates_and_does_not_hang() {
+        let err = Pipeline::new()
+            .add_stage(StageSpec::new("source", 1, source(1000)))
+            .add_stage(StageSpec::new(
+                "bad",
+                1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("bad", |io: &mut FilterIo| {
+                        let _ = io.read();
+                        Err(FilterError::new("bad", "intentional"))
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap_err();
+        assert!(err.filter.contains("bad"));
+        assert!(err.message.contains("intentional"));
+    }
+
+    #[test]
+    fn empty_pipeline_is_an_error() {
+        assert!(Pipeline::new().run().is_err());
+    }
+
+    #[test]
+    fn backpressure_small_capacity_still_completes() {
+        let total = Arc::new(AtomicU64::new(0));
+        let total2 = Arc::clone(&total);
+        Pipeline::new()
+            .with_capacity(1)
+            .add_stage(StageSpec::new("source", 1, source(500)))
+            .add_stage(StageSpec::new(
+                "sink",
+                1,
+                Box::new(move |_| {
+                    let total = Arc::clone(&total2);
+                    Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+                        while let Some(_b) = io.read() {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 500);
+    }
+}

@@ -1,0 +1,152 @@
+//! The filter interface (Section 2.2).
+//!
+//! "The interface for filters consists of an initialization function
+//! (`init`), a processing function (`process`), and a finalization function
+//! (`finalize`)." Filter operations progress as unit-of-work cycles: the
+//! service calls `init`, then `process` reads buffers arriving on the input
+//! stream until end-of-work, then `finalize` releases resources (and may
+//! flush final results — e.g. reduction state — downstream).
+
+use crate::error::FilterResult;
+use crate::stream::{StreamReader, StreamWriter};
+
+/// I/O endpoints handed to a filter copy for one unit of work.
+pub struct FilterIo {
+    /// Input stream (absent for the first filter, which reads the data
+    /// source itself).
+    pub input: Option<StreamReader>,
+    /// Output stream (absent for the last filter, which delivers results).
+    pub output: Option<StreamWriter>,
+    /// Which transparent copy of the logical filter this instance is.
+    pub copy_index: usize,
+    /// Total transparent copies of this logical filter.
+    pub width: usize,
+}
+
+impl FilterIo {
+    /// Read the next input buffer; `None` at end-of-work.
+    pub fn read(&mut self) -> Option<crate::buffer::Buffer> {
+        self.input.as_mut().and_then(StreamReader::read)
+    }
+
+    /// Write one buffer downstream.
+    pub fn write(&mut self, buf: crate::buffer::Buffer) -> FilterResult<()> {
+        match self.output.as_mut() {
+            Some(w) => w.write(buf),
+            None => Ok(()), // terminal filter: writes are results, kept by the filter itself
+        }
+    }
+
+    pub fn has_input(&self) -> bool {
+        self.input.is_some()
+    }
+
+    pub fn has_output(&self) -> bool {
+        self.output.is_some()
+    }
+}
+
+/// A user-defined filter. One instance exists per transparent copy; state
+/// is per-copy (the runtime merges cross-copy results in `finalize`
+/// protocols defined by the application, e.g. reduction objects flushed
+/// downstream).
+pub trait Filter: Send {
+    /// Pre-allocate resources for the unit of work.
+    fn init(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+        let _ = io;
+        Ok(())
+    }
+
+    /// Consume input buffers / produce output buffers until end-of-work.
+    fn process(&mut self, io: &mut FilterIo) -> FilterResult<()>;
+
+    /// Called after `process` returns; may flush final state downstream
+    /// (the executor closes the output stream afterwards).
+    fn finalize(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+        let _ = io;
+        Ok(())
+    }
+
+    /// Display name for errors and stats.
+    fn name(&self) -> &str {
+        "filter"
+    }
+}
+
+/// Factory producing one filter instance per transparent copy.
+pub type FilterFactory = Box<dyn Fn(usize) -> Box<dyn Filter> + Send>;
+
+/// Convenience: a filter from three closures (init/process/finalize are
+/// often tiny in tests and examples).
+pub struct ClosureFilter<P> {
+    pub name: String,
+    pub process_fn: P,
+}
+
+impl<P> ClosureFilter<P>
+where
+    P: FnMut(&mut FilterIo) -> FilterResult<()> + Send,
+{
+    pub fn new(name: impl Into<String>, process_fn: P) -> Self {
+        ClosureFilter { name: name.into(), process_fn }
+    }
+}
+
+impl<P> Filter for ClosureFilter<P>
+where
+    P: FnMut(&mut FilterIo) -> FilterResult<()> + Send,
+{
+    fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+        (self.process_fn)(io)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::stream::{logical_stream, Distribution};
+
+    #[test]
+    fn closure_filter_passes_through() {
+        let (ws, mut rs) = logical_stream(1, 1, 8, Distribution::RoundRobin);
+        let (mut ws2, mut rs2) = logical_stream(1, 1, 8, Distribution::RoundRobin);
+        let mut f = ClosureFilter::new("double", |io: &mut FilterIo| {
+            while let Some(b) = io.read() {
+                let doubled: Vec<u8> = b.as_slice().iter().map(|x| x * 2).collect();
+                io.write(Buffer::from_vec(doubled))?;
+            }
+            Ok(())
+        });
+        // feed
+        let mut w = ws.into_iter().next().unwrap();
+        w.write(Buffer::from_vec(vec![1, 2, 3])).unwrap();
+        w.close();
+        let mut io = FilterIo {
+            input: Some(rs.remove(0)),
+            output: Some(ws2.remove(0)),
+            copy_index: 0,
+            width: 1,
+        };
+        f.init(&mut io).unwrap();
+        f.process(&mut io).unwrap();
+        f.finalize(&mut io).unwrap();
+        io.output.take();
+        let out = rs2[0].read().unwrap();
+        assert_eq!(out.as_slice(), &[2, 4, 6]);
+        assert_eq!(f.name(), "double");
+    }
+
+    #[test]
+    fn terminal_filter_write_is_noop() {
+        let mut io = FilterIo { input: None, output: None, copy_index: 0, width: 1 };
+        assert!(io.write(Buffer::from_vec(vec![1])).is_ok());
+        assert!(!io.has_input());
+        assert!(!io.has_output());
+        assert!(io.read().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! # cgp-datacutter — filter-stream runtime
+//!
+//! A Rust implementation of the DataCutter middleware abstractions the
+//! paper targets (Section 2.2): applications are sets of interacting
+//! **filters** with `init` / `process` / `finalize` interfaces, connected
+//! by **streams** that move fixed-size **buffers**, with **transparent
+//! copies** providing width-w parallelism behind a single logical stream
+//! (round-robin buffer delivery for load balance).
+//!
+//! ```
+//! use cgp_datacutter::{Buffer, ClosureFilter, FilterIo, Pipeline, StageSpec};
+//! use std::sync::{Arc, atomic::{AtomicU64, Ordering}};
+//!
+//! let total = Arc::new(AtomicU64::new(0));
+//! let t2 = Arc::clone(&total);
+//! Pipeline::new()
+//!     .add_stage(StageSpec::new("source", 1, Box::new(|_| Box::new(
+//!         ClosureFilter::new("source", |io: &mut FilterIo| {
+//!             for i in 0u64..10 {
+//!                 io.write(Buffer::from_vec(i.to_le_bytes().to_vec()))?;
+//!             }
+//!             Ok(())
+//!         })))))
+//!     .add_stage(StageSpec::new("sink", 2, Box::new(move |_| {
+//!         let total = Arc::clone(&t2);
+//!         Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+//!             while let Some(b) = io.read() {
+//!                 total.fetch_add(
+//!                     u64::from_le_bytes(b.as_slice().try_into().unwrap()),
+//!                     Ordering::Relaxed);
+//!             }
+//!             Ok(())
+//!         }))
+//!     })))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(total.load(Ordering::Relaxed), 45);
+//! ```
+
+pub mod buffer;
+pub mod error;
+pub mod exec;
+pub mod filter;
+pub mod placement;
+pub mod stream;
+
+pub use buffer::{reassemble, Buffer, BufferBuilder, DEFAULT_BUFFER_CAPACITY};
+pub use error::{FilterError, FilterResult};
+pub use exec::{Pipeline, RunStats, StageSpec, StageStats};
+pub use filter::{ClosureFilter, Filter, FilterFactory, FilterIo};
+pub use placement::{HostId, Placement, StagePlacement};
+pub use stream::{logical_stream, Distribution, StreamReader, StreamWriter};

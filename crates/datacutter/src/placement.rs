@@ -1,0 +1,85 @@
+//! Placement descriptions: which host runs which filter copies.
+//!
+//! The executor in this crate runs everything on local threads; placement
+//! metadata describes the *intended* distributed deployment and is consumed
+//! by `cgp-grid`'s simulator (hosts, links) and by reports.
+
+use std::fmt;
+
+/// A named host in the execution environment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HostId(pub String);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Placement of one logical filter: one host per transparent copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlacement {
+    pub stage: String,
+    pub hosts: Vec<HostId>,
+}
+
+impl StagePlacement {
+    pub fn width(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+/// A full pipeline placement.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement {
+    pub stages: Vec<StagePlacement>,
+}
+
+impl Placement {
+    /// The paper's `w-w-1` style configurations: `widths[i]` copies of
+    /// stage `i`, hosts named `c<i>-<copy>`.
+    pub fn uniform(stage_names: &[&str], widths: &[usize]) -> Placement {
+        assert_eq!(stage_names.len(), widths.len());
+        Placement {
+            stages: stage_names
+                .iter()
+                .zip(widths)
+                .enumerate()
+                .map(|(i, (name, w))| StagePlacement {
+                    stage: (*name).to_string(),
+                    hosts: (0..*w).map(|c| HostId(format!("c{i}-{c}"))).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total hosts used.
+    pub fn host_count(&self) -> usize {
+        self.stages.iter().map(StagePlacement::width).sum()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}×{}", s.stage, s.width())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_builds_expected_hosts() {
+        let p = Placement::uniform(&["read", "compute", "view"], &[2, 2, 1]);
+        assert_eq!(p.host_count(), 5);
+        assert_eq!(p.stages[0].hosts[1], HostId("c0-1".into()));
+        assert_eq!(p.to_string(), "read×2 -> compute×2 -> view×1");
+    }
+}

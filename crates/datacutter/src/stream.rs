@@ -1,0 +1,309 @@
+//! Streams: how filters are logically connected (Section 2.2).
+//!
+//! A stream carries fixed-size [`Buffer`]s from a logical producer filter
+//! to a logical consumer filter. Either side may be *transparently copied*
+//! (Section 2.2, "Transparent copies"): the runtime preserves the illusion
+//! of one logical point-to-point stream while distributing buffers among
+//! the copies — round-robin for load balancing, or through a shared
+//! (demand-driven) queue.
+
+use crate::buffer::Buffer;
+use crate::error::{FilterError, FilterResult};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// How a producer distributes buffers among consumer copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Distribution {
+    /// Rotate through consumer copies (DataCutter's load-balancing default).
+    #[default]
+    RoundRobin,
+    /// One shared queue: whichever consumer copy is free takes the next
+    /// buffer (demand-driven).
+    Shared,
+}
+
+enum Msg {
+    Data(Buffer),
+    /// A producer copy finished its unit of work.
+    End,
+}
+
+/// Reading end held by one consumer copy.
+pub struct StreamReader {
+    rx: Receiver<Msg>,
+    producers_remaining: usize,
+    buffers_read: u64,
+    bytes_read: u64,
+}
+
+impl StreamReader {
+    /// Blocking read; `None` once every producer copy has closed.
+    pub fn read(&mut self) -> Option<Buffer> {
+        while self.producers_remaining > 0 {
+            match self.rx.recv() {
+                Ok(Msg::Data(b)) => {
+                    self.buffers_read += 1;
+                    self.bytes_read += b.len() as u64;
+                    return Some(b);
+                }
+                Ok(Msg::End) => {
+                    self.producers_remaining -= 1;
+                }
+                Err(_) => return None, // all senders dropped
+            }
+        }
+        None
+    }
+
+    pub fn stats(&self) -> (u64, u64) {
+        (self.buffers_read, self.bytes_read)
+    }
+}
+
+/// Writing end held by one producer copy.
+pub struct StreamWriter {
+    txs: Vec<Sender<Msg>>,
+    distribution: Distribution,
+    next: usize,
+    buffers_written: u64,
+    bytes_written: u64,
+    closed: bool,
+}
+
+impl StreamWriter {
+    /// Send one buffer to (one copy of) the logical consumer.
+    pub fn write(&mut self, buf: Buffer) -> FilterResult<()> {
+        if self.closed {
+            return Err(FilterError::new("stream", "write after close"));
+        }
+        self.buffers_written += 1;
+        self.bytes_written += buf.len() as u64;
+        let target = match self.distribution {
+            Distribution::RoundRobin => {
+                let t = self.next % self.txs.len();
+                self.next += 1;
+                t
+            }
+            Distribution::Shared => 0,
+        };
+        self.txs[target]
+            .send(Msg::Data(buf))
+            .map_err(|_| FilterError::new("stream", "consumer hung up"))
+    }
+
+    /// Signal end-of-work to every consumer copy. Idempotent.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        for tx in &self.txs {
+            let _ = tx.send(Msg::End);
+        }
+    }
+
+    pub fn stats(&self) -> (u64, u64) {
+        (self.buffers_written, self.bytes_written)
+    }
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Build the endpoints of one logical stream between `producers` copies of
+/// the upstream filter and `consumers` copies of the downstream filter.
+///
+/// Returns one writer per producer copy and one reader per consumer copy.
+/// `capacity` bounds each underlying queue (buffers in flight), providing
+/// backpressure.
+pub fn logical_stream(
+    producers: usize,
+    consumers: usize,
+    capacity: usize,
+    distribution: Distribution,
+) -> (Vec<StreamWriter>, Vec<StreamReader>) {
+    assert!(producers > 0 && consumers > 0);
+    assert!(capacity > 0);
+    match distribution {
+        Distribution::RoundRobin => {
+            // One queue per consumer copy; every producer can reach every
+            // consumer and rotates among them. Each producer sends one End
+            // per consumer; each consumer therefore waits for `producers`
+            // Ends.
+            let mut txs_per_consumer = Vec::with_capacity(consumers);
+            let mut readers = Vec::with_capacity(consumers);
+            for _ in 0..consumers {
+                let (tx, rx) = bounded(capacity);
+                txs_per_consumer.push(tx);
+                readers.push(StreamReader {
+                    rx,
+                    producers_remaining: producers,
+                    buffers_read: 0,
+                    bytes_read: 0,
+                });
+            }
+            let writers = (0..producers)
+                .map(|p| StreamWriter {
+                    txs: txs_per_consumer.clone(),
+                    distribution,
+                    // Stagger start positions so multiple producers do not
+                    // all hit consumer 0 first.
+                    next: p,
+                    buffers_written: 0,
+                    bytes_written: 0,
+                    closed: false,
+                })
+                .collect();
+            (writers, readers)
+        }
+        Distribution::Shared => {
+            // One shared MPMC queue; consumers race for buffers. Each
+            // producer sends `consumers` Ends so that every consumer
+            // eventually sees `producers` Ends.
+            let (tx, rx) = bounded(capacity);
+            let writers = (0..producers)
+                .map(|_| StreamWriter {
+                    txs: vec![tx.clone(); consumers],
+                    distribution,
+                    next: 0,
+                    buffers_written: 0,
+                    bytes_written: 0,
+                    closed: false,
+                })
+                .collect();
+            let readers = (0..consumers)
+                .map(|_| StreamReader {
+                    rx: rx.clone(),
+                    producers_remaining: producers,
+                    buffers_read: 0,
+                    bytes_read: 0,
+                })
+                .collect();
+            (writers, readers)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(tag: u8) -> Buffer {
+        Buffer::from_vec(vec![tag])
+    }
+
+    #[test]
+    fn point_to_point_delivers_in_order() {
+        let (mut ws, mut rs) = logical_stream(1, 1, 16, Distribution::RoundRobin);
+        for t in 0..5 {
+            ws[0].write(buf(t)).unwrap();
+        }
+        ws[0].close();
+        let mut seen = Vec::new();
+        while let Some(b) = rs[0].read() {
+            seen.push(b.as_slice()[0]);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_robin_distributes_evenly() {
+        let (mut ws, mut rs) = logical_stream(1, 3, 16, Distribution::RoundRobin);
+        for t in 0..9 {
+            ws[0].write(buf(t)).unwrap();
+        }
+        ws[0].close();
+        for (c, r) in rs.iter_mut().enumerate() {
+            let mut seen = Vec::new();
+            while let Some(b) = r.read() {
+                seen.push(b.as_slice()[0]);
+            }
+            assert_eq!(seen.len(), 3, "consumer {c}");
+            for v in seen {
+                assert_eq!(v as usize % 3, c, "round robin order");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_producers_all_must_close() {
+        let (mut ws, mut rs) = logical_stream(2, 1, 16, Distribution::RoundRobin);
+        ws[0].write(buf(1)).unwrap();
+        ws[1].write(buf(2)).unwrap();
+        ws[0].close();
+        // Reader must still see producer 1's buffer, then wait for its End.
+        ws[1].close();
+        let mut n = 0;
+        while rs[0].read().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn shared_queue_consumed_exactly_once() {
+        let (mut ws, rs) = logical_stream(1, 2, 32, Distribution::Shared);
+        for t in 0..10 {
+            ws[0].write(buf(t)).unwrap();
+        }
+        ws[0].close();
+        let handles: Vec<_> = rs
+            .into_iter()
+            .map(|mut r| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(b) = r.read() {
+                        got.push(b.as_slice()[0]);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u8> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn write_after_close_errors() {
+        let (mut ws, _rs) = logical_stream(1, 1, 4, Distribution::RoundRobin);
+        ws[0].close();
+        assert!(ws[0].write(buf(0)).is_err());
+    }
+
+    #[test]
+    fn drop_closes_stream() {
+        let (ws, mut rs) = logical_stream(1, 1, 4, Distribution::RoundRobin);
+        drop(ws);
+        assert!(rs[0].read().is_none());
+    }
+
+    #[test]
+    fn staggered_start_balances_multi_producer_round_robin() {
+        let (mut ws, mut rs) = logical_stream(2, 2, 32, Distribution::RoundRobin);
+        // each producer writes 2 buffers
+        ws[0].write(buf(0)).unwrap();
+        ws[0].write(buf(1)).unwrap();
+        ws[1].write(buf(2)).unwrap();
+        ws[1].write(buf(3)).unwrap();
+        ws.iter_mut().for_each(StreamWriter::close);
+        let c0: Vec<u8> = std::iter::from_fn(|| rs[0].read()).map(|b| b.as_slice()[0]).collect();
+        let c1: Vec<u8> = std::iter::from_fn(|| rs[1].read()).map(|b| b.as_slice()[0]).collect();
+        assert_eq!(c0.len(), 2);
+        assert_eq!(c1.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_buffers_and_bytes() {
+        let (mut ws, mut rs) = logical_stream(1, 1, 4, Distribution::RoundRobin);
+        ws[0].write(Buffer::from_vec(vec![0; 10])).unwrap();
+        ws[0].write(Buffer::from_vec(vec![0; 5])).unwrap();
+        assert_eq!(ws[0].stats(), (2, 15));
+        ws[0].close();
+        while rs[0].read().is_some() {}
+        assert_eq!(rs[0].stats(), (2, 15));
+    }
+}

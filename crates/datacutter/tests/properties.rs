@@ -1,0 +1,88 @@
+//! Property-based tests for the filter-stream runtime: buffers are
+//! conserved across arbitrary pipeline shapes, regardless of widths,
+//! capacities and distribution policy.
+
+use cgp_datacutter::{
+    Buffer, BufferBuilder, ClosureFilter, Distribution, FilterIo, Pipeline, StageSpec,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_buffer_arrives_exactly_once(
+        n in 1u64..300,
+        w1 in 1usize..4,
+        w2 in 1usize..4,
+        cap in 1usize..32,
+        shared in any::<bool>(),
+    ) {
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (s2, c2) = (Arc::clone(&sum), Arc::clone(&count));
+        let dist = if shared { Distribution::Shared } else { Distribution::RoundRobin };
+        Pipeline::new()
+            .with_capacity(cap)
+            .with_distribution(dist)
+            .add_stage(StageSpec::new(
+                "src",
+                1,
+                Box::new(move |_| {
+                    Box::new(ClosureFilter::new("src", move |io: &mut FilterIo| {
+                        for i in 0..n {
+                            io.write(Buffer::from_vec(i.to_le_bytes().to_vec()))?;
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .add_stage(StageSpec::new(
+                "mid",
+                w1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("mid", |io: &mut FilterIo| {
+                        while let Some(b) = io.read() {
+                            io.write(b)?;
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .add_stage(StageSpec::new(
+                "sink",
+                w2,
+                Box::new(move |_| {
+                    let s = Arc::clone(&s2);
+                    let c = Arc::clone(&c2);
+                    Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+                        while let Some(b) = io.read() {
+                            s.fetch_add(
+                                u64::from_le_bytes(b.as_slice().try_into().unwrap()),
+                                Ordering::Relaxed,
+                            );
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap();
+        prop_assert_eq!(count.load(Ordering::Relaxed), n);
+        prop_assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn buffer_builder_reassembles(payload in proptest::collection::vec(any::<u8>(), 0..5000), cap in 1usize..512) {
+        let mut b = BufferBuilder::new(cap);
+        b.push(&payload);
+        let bufs = b.finish();
+        for buf in &bufs {
+            prop_assert!(buf.len() <= cap);
+        }
+        prop_assert_eq!(cgp_datacutter::reassemble(&bufs), payload);
+    }
+}

@@ -1,0 +1,160 @@
+//! Phased execution: environments that change mid-run.
+//!
+//! The paper's future work (Section 8) names "an environment where
+//! available compute and communication resources can change at runtime"
+//! and "generating code that can adapt to such changes". This module
+//! provides the simulation substrate for that study: a run split into
+//! *phases*, each with its own grid configuration (the resource change)
+//! and its own per-packet work (the decomposition in force). Switching
+//! decompositions drains the pipeline and pays a redeployment penalty.
+
+use crate::config::GridConfig;
+use crate::sim::{simulate, PacketWork, SimResult};
+
+/// One phase: an environment plus the packets processed during it.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    pub grid: GridConfig,
+    pub packets: Vec<PacketWork>,
+}
+
+/// Result of a phased run.
+#[derive(Debug, Clone)]
+pub struct PhasedResult {
+    pub makespan: f64,
+    pub per_phase: Vec<SimResult>,
+}
+
+/// Simulate phases back to back. Between consecutive phases the pipeline
+/// drains (the phase boundary is a barrier) and `switch_penalty` seconds
+/// are charged when the *decomposition* changes (filter redeployment);
+/// resource-only changes are free.
+///
+/// `switches[i]` says whether a redeployment happens entering phase `i+1`.
+pub fn simulate_phased(
+    phases: &[Phase],
+    switches: &[bool],
+    switch_penalty: f64,
+    finalize_bytes: &[f64],
+) -> PhasedResult {
+    assert!(!phases.is_empty());
+    assert_eq!(switches.len(), phases.len().saturating_sub(1));
+    let mut makespan = 0.0;
+    let mut per_phase = Vec::with_capacity(phases.len());
+    for (i, phase) in phases.iter().enumerate() {
+        // Only the final phase carries the end-of-work reduction transfer.
+        let fin: &[f64] = if i + 1 == phases.len() { finalize_bytes } else { &[] };
+        let r = simulate(&phase.grid, &phase.packets, fin);
+        makespan += r.makespan;
+        per_phase.push(r);
+        if i + 1 < phases.len() && switches[i] {
+            makespan += switch_penalty;
+        }
+    }
+    PhasedResult { makespan, per_phase }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkSpec;
+
+    fn pkts(n: usize, ops: [f64; 3], bytes: [f64; 2]) -> Vec<PacketWork> {
+        (0..n)
+            .map(|_| PacketWork {
+                comp_ops: ops.to_vec(),
+                bytes: bytes.to_vec(),
+                read_bytes: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn phases_add_up() {
+        let link = LinkSpec { bandwidth: 1e6, latency: 0.0 };
+        let g = GridConfig::w_w_1(1, 1e3, link);
+        let a = Phase { grid: g.clone(), packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) };
+        let b = Phase { grid: g.clone(), packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) };
+        let one = simulate(&g, &a.packets, &[]).makespan;
+        let r = simulate_phased(&[a, b], &[false], 5.0, &[]);
+        assert!((r.makespan - 2.0 * one).abs() < 1e-9);
+        let r2 = simulate_phased(
+            &[
+                Phase { grid: g.clone(), packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) },
+                Phase { grid: g, packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) },
+            ],
+            &[true],
+            5.0,
+            &[],
+        );
+        assert!((r2.makespan - (2.0 * one + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapting_to_a_bandwidth_drop_pays_off() {
+        // Environment: link bandwidth drops 10× halfway through.
+        // Decomposition A (ship-heavy, less data-node compute) is best for
+        // the fast phase; decomposition B (compute-at-source, light link)
+        // is best for the slow phase. Adapting at the switch beats either
+        // static choice even after the redeployment penalty.
+        let fast = LinkSpec { bandwidth: 1e6, latency: 0.0 };
+        let slow = LinkSpec { bandwidth: 1e5, latency: 0.0 };
+        let gf = GridConfig::w_w_1(1, 1e4, fast);
+        let gs = GridConfig::w_w_1(1, 1e4, slow);
+        // A: little compute, big transfer — wins while the link is fast.
+        // B: compute-at-source, small transfer — wins once it is slow.
+        let work_a = |n| pkts(n, [5e2, 5e2, 0.0], [2e4, 0.0]);
+        let work_b = |n| pkts(n, [1.5e3, 5e2, 0.0], [2e3, 0.0]);
+        let n = 50;
+
+        let static_a = simulate_phased(
+            &[
+                Phase { grid: gf.clone(), packets: work_a(n) },
+                Phase { grid: gs.clone(), packets: work_a(n) },
+            ],
+            &[false],
+            0.0,
+            &[],
+        )
+        .makespan;
+        let static_b = simulate_phased(
+            &[
+                Phase { grid: gf.clone(), packets: work_b(n) },
+                Phase { grid: gs.clone(), packets: work_b(n) },
+            ],
+            &[false],
+            0.0,
+            &[],
+        )
+        .makespan;
+        let adaptive = simulate_phased(
+            &[
+                Phase { grid: gf, packets: work_a(n) },
+                Phase { grid: gs, packets: work_b(n) },
+            ],
+            &[true],
+            0.05,
+            &[],
+        )
+        .makespan;
+        assert!(
+            adaptive < static_a && adaptive < static_b,
+            "adaptive {adaptive} vs static A {static_a} / B {static_b}"
+        );
+    }
+
+    #[test]
+    fn finalize_only_at_the_last_phase() {
+        let link = LinkSpec { bandwidth: 1e3, latency: 0.0 };
+        let g = GridConfig::w_w_1(1, 1e6, link);
+        let phases = vec![
+            Phase { grid: g.clone(), packets: pkts(2, [1.0, 1.0, 0.0], [0.0, 0.0]) },
+            Phase { grid: g, packets: pkts(2, [1.0, 1.0, 0.0], [0.0, 0.0]) },
+        ];
+        let with_fin = simulate_phased(&phases, &[false], 0.0, &[1e3, 1e3]);
+        // The tail (2 links × 1 s each) appears once, not per phase.
+        let without = simulate_phased(&phases, &[false], 0.0, &[]);
+        let delta = with_fin.makespan - without.makespan;
+        assert!((1.9..2.3).contains(&delta), "tail delta {delta}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Grid environment descriptions: hosts, links, and the paper's pipeline
+//! configurations (Section 6.2).
+//!
+//! The paper's experiments use a cluster of 700 MHz Pentium nodes on
+//! Myrinet, arranged in three pipeline stages: data nodes → compute nodes →
+//! one view node, in widths 1-1-1, 2-2-1, and 4-4-1. We model a host by its
+//! computing power (standard ops per second) and a link by bandwidth and
+//! latency.
+
+/// A computing host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    pub name: String,
+    /// Standard operations per second.
+    pub power: f64,
+    /// Local storage bandwidth (bytes/s) for packets' `read_bytes`; `None`
+    /// models memory-resident data (reads are part of measured compute).
+    pub disk_bandwidth: Option<f64>,
+}
+
+/// A network link (one host's egress toward the next stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Bytes per second.
+    pub bandwidth: f64,
+    /// Seconds per message.
+    pub latency: f64,
+}
+
+/// One pipeline stage: `hosts.len()` transparent copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageResources {
+    pub hosts: Vec<HostSpec>,
+}
+
+impl StageResources {
+    pub fn width(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+/// A full pipeline environment: stages and the links between consecutive
+/// stages (one spec per stage boundary; each sending host gets its own
+/// egress at that spec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridConfig {
+    pub stages: Vec<StageResources>,
+    pub links: Vec<LinkSpec>,
+}
+
+impl GridConfig {
+    /// Number of pipeline stages.
+    pub fn m(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage widths, e.g. `[4, 4, 1]`.
+    pub fn widths(&self) -> Vec<usize> {
+        self.stages.iter().map(StageResources::width).collect()
+    }
+
+    /// The paper's `w-w-1` configuration: `w` data nodes, `w` compute
+    /// nodes, one view node, uniform host power and link spec.
+    pub fn w_w_1(w: usize, power: f64, link: LinkSpec) -> GridConfig {
+        assert!(w >= 1);
+        let mk = |prefix: &str, count: usize| StageResources {
+            hosts: (0..count)
+                .map(|i| HostSpec {
+                    name: format!("{prefix}{i}"),
+                    power,
+                    disk_bandwidth: None,
+                })
+                .collect(),
+        };
+        GridConfig {
+            stages: vec![mk("data", w), mk("compute", w), mk("view", 1)],
+            links: vec![link, link],
+        }
+    }
+
+    /// Give every data-stage (stage 0) host a local disk of `bandwidth`
+    /// bytes/s; packets' `read_bytes` are then charged against it.
+    pub fn with_stage0_disk(mut self, bandwidth: f64) -> GridConfig {
+        for h in &mut self.stages[0].hosts {
+            h.disk_bandwidth = Some(bandwidth);
+        }
+        self
+    }
+
+    /// A uniform `m`-stage width-1 pipeline (decomposition experiments).
+    pub fn uniform_chain(m: usize, power: f64, link: LinkSpec) -> GridConfig {
+        assert!(m >= 1);
+        GridConfig {
+            stages: (0..m)
+                .map(|i| StageResources {
+                    hosts: vec![HostSpec {
+                        name: format!("c{i}"),
+                        power,
+                        disk_bandwidth: None,
+                    }],
+                })
+                .collect(),
+            links: vec![link; m.saturating_sub(1)],
+        }
+    }
+
+    /// Reference environment mirroring the paper's testbed scale:
+    /// 700 MHz-class nodes (~7·10⁸ standard ops/s) on Myrinet-class links
+    /// (~100 MB/s, 20 µs latency).
+    pub fn paper_cluster(w: usize) -> GridConfig {
+        GridConfig::w_w_1(w, 7.0e8, LinkSpec { bandwidth: 1.0e8, latency: 2.0e-5 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_w_1_shapes() {
+        for w in [1usize, 2, 4] {
+            let g = GridConfig::paper_cluster(w);
+            assert_eq!(g.widths(), vec![w, w, 1]);
+            assert_eq!(g.m(), 3);
+            assert_eq!(g.links.len(), 2);
+        }
+    }
+
+    #[test]
+    fn uniform_chain_shape() {
+        let g = GridConfig::uniform_chain(4, 1e9, LinkSpec { bandwidth: 1e8, latency: 0.0 });
+        assert_eq!(g.widths(), vec![1, 1, 1, 1]);
+        assert_eq!(g.links.len(), 3);
+        assert_eq!(g.stages[2].hosts[0].name, "c2");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the virtual-time simulator: conservation
+//! (busy time ≤ makespan), monotonicity in work, and exactness of the
+//! closed form on uniform width-1 chains.
+
+use cgp_grid::{analytic_total_time, simulate, GridConfig, LinkSpec, PacketWork};
+use proptest::prelude::*;
+
+fn arb_packets(m: usize) -> impl Strategy<Value = Vec<PacketWork>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(1.0f64..1e6, m),
+            proptest::collection::vec(0.0f64..1e5, m - 1),
+        )
+            .prop_map(|(comp_ops, bytes)| PacketWork { comp_ops, bytes, read_bytes: 0.0 }),
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn busy_time_never_exceeds_makespan(
+        pkts in arb_packets(3),
+        w in 1usize..5,
+        power in 1.0f64..1e6,
+        bw in 1.0f64..1e6,
+    ) {
+        let grid = GridConfig::w_w_1(w, power, LinkSpec { bandwidth: bw, latency: 1e-6 });
+        let r = simulate(&grid, &pkts, &[]);
+        for copies in r.stage_busy.iter().chain(r.link_busy.iter()) {
+            for b in copies {
+                prop_assert!(*b <= r.makespan * (1.0 + 1e-9));
+            }
+        }
+        prop_assert!(r.bottleneck_utilization <= 1.0 + 1e-9);
+        prop_assert!(r.packets_done <= r.makespan + 1e-12);
+    }
+
+    #[test]
+    fn makespan_monotone_in_work(
+        pkts in arb_packets(3),
+        extra in 1.0f64..1e6,
+        stage in 0usize..3,
+    ) {
+        let grid = GridConfig::w_w_1(2, 1e3, LinkSpec { bandwidth: 1e4, latency: 1e-6 });
+        let base = simulate(&grid, &pkts, &[]).makespan;
+        let mut heavier = pkts.clone();
+        for p in &mut heavier {
+            p.comp_ops[stage] += extra;
+        }
+        let more = simulate(&grid, &heavier, &[]).makespan;
+        prop_assert!(more >= base - 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_total_work_over_capacity(
+        pkts in arb_packets(3),
+        w in 1usize..4,
+    ) {
+        let power = 1e4;
+        let grid = GridConfig::w_w_1(w, power, LinkSpec { bandwidth: 1e9, latency: 0.0 });
+        let r = simulate(&grid, &pkts, &[]);
+        for s in 0..3 {
+            let width = grid.widths()[s] as f64;
+            let total: f64 = pkts.iter().map(|p| p.comp_ops[s] / power).sum();
+            prop_assert!(
+                r.makespan + 1e-9 >= total / width,
+                "stage {s}: makespan {} < {}",
+                r.makespan,
+                total / width
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_exact_on_uniform_chain(
+        m in 1usize..5,
+        n in 1usize..150,
+        ops in proptest::collection::vec(1.0f64..1e6, 4),
+        bytes in proptest::collection::vec(0.0f64..1e6, 3),
+        latency in 0.0f64..1e-3,
+    ) {
+        let grid = GridConfig::uniform_chain(m, 1e5, LinkSpec { bandwidth: 1e5, latency });
+        let one = PacketWork {
+            comp_ops: ops[..m].to_vec(),
+            bytes: bytes[..m - 1].to_vec(),
+            read_bytes: 0.0,
+        };
+        let pkts: Vec<PacketWork> = (0..n).map(|_| one.clone()).collect();
+        let sim = simulate(&grid, &pkts, &[]).makespan;
+        let ana = analytic_total_time(&grid, &one, n as u64);
+        prop_assert!((sim - ana).abs() <= 1e-9 * ana.max(1.0), "{sim} vs {ana}");
+    }
+
+    #[test]
+    fn finalize_tail_is_additive_and_monotone(
+        pkts in arb_packets(3),
+        fin in 0.0f64..1e6,
+    ) {
+        let grid = GridConfig::w_w_1(2, 1e3, LinkSpec { bandwidth: 1e4, latency: 1e-6 });
+        let base = simulate(&grid, &pkts, &[0.0, 0.0]).makespan;
+        let tail = simulate(&grid, &pkts, &[fin, fin]).makespan;
+        prop_assert!(tail >= base - 1e-12);
+    }
+}

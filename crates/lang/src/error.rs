@@ -1,0 +1,87 @@
+//! Diagnostics shared by the lexer, parser, type checker and interpreter.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Which frontend phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    TypeCheck,
+    Interp,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::TypeCheck => "typecheck",
+            Phase::Interp => "interp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single diagnostic with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub phase: Phase,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { phase, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Result alias used across the frontend.
+pub type LangResult<T> = Result<T, Diagnostic>;
+
+/// Convenience constructors.
+pub fn lex_err(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::Lex, span, msg)
+}
+pub fn parse_err(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::Parse, span, msg)
+}
+pub fn type_err(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::TypeCheck, span, msg)
+}
+pub fn interp_err(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Phase::Interp, span, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_location() {
+        let d = parse_err(Span::new(0, 3, 4, 7), "unexpected token");
+        assert_eq!(d.to_string(), "parse error at 4:7: unexpected token");
+    }
+
+    #[test]
+    fn phases_display_distinctly() {
+        let names: Vec<String> = [Phase::Lex, Phase::Parse, Phase::TypeCheck, Phase::Interp]
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,323 @@
+//! Hand-written lexer for the dialect.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, integer and
+//! floating literals (with exponents), all operators in [`TokenKind`].
+
+use crate::error::{lex_err, Diagnostic};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lex `src` into a token vector terminated by an [`TokenKind::Eof`] token.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start, line, col),
+                });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.number()?
+            } else if c == b'_' || c.is_ascii_alphabetic() {
+                self.ident_or_keyword()
+            } else {
+                self.operator()?
+            };
+            out.push(Token { kind, span: Span::new(start, self.pos, line, col) });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> Span {
+        Span::new(self.pos, self.pos + 1, self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(lex_err(open, "unterminated block comment"));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        let span0 = self.here();
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // Fractional part: only if a digit follows the dot, so `0.` in member
+        // position never lexes as a float (we have no such syntax anyway, but
+        // `a.0` should be an error, not silently a float).
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let next = self.peek2();
+            let exp_ok = match next {
+                Some(c) if c.is_ascii_digit() => true,
+                Some(b'+' | b'-') => self.bytes.get(self.pos + 2).is_some_and(|c| c.is_ascii_digit()),
+                _ => false,
+            };
+            if exp_ok {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::DoubleLit)
+                .map_err(|e| lex_err(span0, format!("invalid float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|e| lex_err(span0, format!("invalid integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn operator(&mut self) -> Result<TokenKind, Diagnostic> {
+        let span = self.here();
+        let c = self.bump().expect("operator called at eof");
+        let two = |lexer: &mut Self, kind: TokenKind| {
+            lexer.bump();
+            kind
+        };
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b':' => TokenKind::Colon,
+            b'?' => TokenKind::Question,
+            b'%' => TokenKind::Percent,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'+' if self.peek() == Some(b'=') => two(self, TokenKind::PlusAssign),
+            b'+' => TokenKind::Plus,
+            b'-' if self.peek() == Some(b'=') => two(self, TokenKind::MinusAssign),
+            b'-' => TokenKind::Minus,
+            b'=' if self.peek() == Some(b'=') => two(self, TokenKind::EqEq),
+            b'=' => TokenKind::Assign,
+            b'<' if self.peek() == Some(b'=') => two(self, TokenKind::Le),
+            b'<' => TokenKind::Lt,
+            b'>' if self.peek() == Some(b'=') => two(self, TokenKind::Ge),
+            b'>' => TokenKind::Gt,
+            b'!' if self.peek() == Some(b'=') => two(self, TokenKind::NotEq),
+            b'!' => TokenKind::Not,
+            b'&' if self.peek() == Some(b'&') => two(self, TokenKind::AndAnd),
+            b'|' if self.peek() == Some(b'|') => two(self, TokenKind::OrOr),
+            other => {
+                return Err(lex_err(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let ks = kinds("int x = 3 + y;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(3),
+                TokenKind::Plus,
+                TokenKind::Ident("y".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_exponents() {
+        assert_eq!(kinds("1.5")[0], TokenKind::DoubleLit(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::DoubleLit(2000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::DoubleLit(0.25));
+        // `1e` with no exponent digits stays an int followed by ident.
+        assert_eq!(
+            kinds("1e")[..2],
+            [TokenKind::IntLit(1), TokenKind::Ident("e".into())]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_without_digit_is_member_access() {
+        assert_eq!(
+            kinds("1.x")[..3],
+            [TokenKind::IntLit(1), TokenKind::Dot, TokenKind::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let ks = kinds("<= >= == != && || += -=");
+        assert_eq!(
+            ks[..8],
+            [
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::PlusAssign,
+                TokenKind::MinusAssign,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a // line\n /* block \n over lines */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = lex("/* nope").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(kinds("foreach")[0], TokenKind::KwForeach);
+        assert_eq!(kinds("foreachx")[0], TokenKind::Ident("foreachx".into()));
+    }
+
+    #[test]
+    fn single_ampersand_is_error() {
+        assert!(lex("a & b").is_err());
+    }
+}

@@ -1,0 +1,949 @@
+//! Recursive-descent parser for the dialect.
+//!
+//! Grammar sketch (see `ast.rs` for node semantics):
+//!
+//! ```text
+//! program      := (extern | classdecl)*
+//! extern       := ("extern" | "runtime_define") type IDENT ";"
+//! classdecl    := "class" IDENT ("implements" "Reducinterface")? "{" member* "}"
+//! member       := type IDENT ";"                      // field
+//!               | type IDENT "(" params ")" block      // method
+//! type         := ("int"|"double"|"boolean"|"void"|"RectDomain" "<" INT ">"|IDENT) ("[" "]")*
+//! stmt         := block | if | while | for | foreach | pipelined
+//!               | "return" expr? ";" | "break" ";" | "continue" ";"
+//!               | vardecl ";" | simple ";"
+//! foreach      := "foreach" "(" IDENT "in" expr ")" stmt
+//! pipelined    := "PipelinedLoop" "(" IDENT "in" expr ";" expr ")" stmt
+//! simple       := lvalue ("="|"+="|"-=") expr | expr
+//! expr         := ternary; usual precedence tower below
+//! primary      := literal | IDENT | "this" | "(" expr ")" | "new" ...
+//!               | "[" expr ":" expr "]"
+//! ```
+
+use crate::ast::*;
+use crate::error::{parse_err, Diagnostic};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a full program from source text.
+pub fn parse(src: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parse a single expression (used by tests and the REPL-ish helpers).
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    ids: NodeIdGen,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, ids: NodeIdGen::new() }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diagnostic> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(parse_err(
+                self.span(),
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(parse_err(
+                span,
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut externs = Vec::new();
+        let mut classes = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::KwExtern | TokenKind::KwRuntimeDefine => {
+                    externs.push(self.extern_decl()?)
+                }
+                TokenKind::KwClass => classes.push(self.class_decl()?),
+                other => {
+                    return Err(parse_err(
+                        self.span(),
+                        format!(
+                            "expected `class`, `extern` or `runtime_define` at top level, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(Program { externs, classes })
+    }
+
+    fn extern_decl(&mut self) -> Result<ExternDecl, Diagnostic> {
+        let start = self.span();
+        let runtime_define = matches!(self.peek(), TokenKind::KwRuntimeDefine);
+        self.bump(); // extern / runtime_define
+        let ty = self.parse_type()?;
+        if runtime_define && ty != Type::Int {
+            return Err(parse_err(start, "runtime_define variables must have type int"));
+        }
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(ExternDecl { name, ty, runtime_define, span: start.merge(self.prev_span()) })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, Diagnostic> {
+        let start = self.span();
+        self.expect(TokenKind::KwClass)?;
+        let (name, _) = self.expect_ident()?;
+        let mut is_reduction = false;
+        if self.eat(&TokenKind::KwImplements) {
+            self.expect(TokenKind::KwReducinterface)?;
+            is_reduction = true;
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let mstart = self.span();
+            let ty = self.parse_type()?;
+            let (mname, _) = self.expect_ident()?;
+            if self.peek() == &TokenKind::LParen {
+                let params = self.params()?;
+                let body = self.block()?;
+                methods.push(MethodDecl {
+                    name: mname,
+                    ret: ty,
+                    params,
+                    body,
+                    span: mstart.merge(self.prev_span()),
+                });
+            } else {
+                self.expect(TokenKind::Semi)?;
+                if ty == Type::Void {
+                    return Err(parse_err(mstart, "fields cannot have type void"));
+                }
+                fields.push(FieldDecl { name: mname, ty, span: mstart.merge(self.prev_span()) });
+            }
+        }
+        Ok(ClassDecl {
+            name,
+            is_reduction,
+            fields,
+            methods,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.parse_type()?;
+                let (name, _) = self.expect_ident()?;
+                out.push(Param { name, ty });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(out)
+    }
+
+    fn parse_type(&mut self) -> Result<Type, Diagnostic> {
+        let base = match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                Type::Int
+            }
+            TokenKind::KwDouble => {
+                self.bump();
+                Type::Double
+            }
+            TokenKind::KwBoolean => {
+                self.bump();
+                Type::Bool
+            }
+            TokenKind::KwVoid => {
+                self.bump();
+                Type::Void
+            }
+            TokenKind::KwRectDomain => {
+                self.bump();
+                self.expect(TokenKind::Lt)?;
+                let dim = match self.peek().clone() {
+                    TokenKind::IntLit(d) if (1..=3).contains(&d) => {
+                        self.bump();
+                        d as u8
+                    }
+                    other => {
+                        return Err(parse_err(
+                            self.span(),
+                            format!("expected RectDomain dimension 1..3, found {}", other.describe()),
+                        ))
+                    }
+                };
+                self.expect(TokenKind::Gt)?;
+                Type::RectDomain(dim)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Type::Class(name)
+            }
+            other => {
+                return Err(parse_err(
+                    self.span(),
+                    format!("expected a type, found {}", other.describe()),
+                ))
+            }
+        };
+        let mut ty = base;
+        while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            ty = Type::array_of(ty);
+        }
+        Ok(ty)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(parse_err(self.span(), "unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block::new(stmts))
+    }
+
+    /// A statement used as a loop body: we require braces for loop bodies so
+    /// the boundary analysis always has a block to segment.
+    fn body_block(&mut self) -> Result<Block, Diagnostic> {
+        if self.peek() != &TokenKind::LBrace {
+            return Err(parse_err(self.span(), "loop and conditional bodies must be blocks `{ ... }`"));
+        }
+        self.block()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.span();
+        let id = self.ids.fresh();
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                let b = self.block()?;
+                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Block(b)))
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_blk = self.body_block()?;
+                let else_blk = if self.eat(&TokenKind::KwElse) {
+                    if self.peek() == &TokenKind::KwIf {
+                        // else-if chain: wrap the nested if in a block
+                        let nested = self.stmt()?;
+                        Some(Block::new(vec![nested]))
+                    } else {
+                        Some(self.body_block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::If { cond, then_blk, else_blk },
+                ))
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.body_block()?;
+                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::While { cond, body }))
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_or_decl()?))
+                };
+                self.expect(TokenKind::Semi)?;
+                let cond = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                let step = if self.peek() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_or_decl()?))
+                };
+                self.expect(TokenKind::RParen)?;
+                let body = self.body_block()?;
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::For { init, cond, step, body },
+                ))
+            }
+            TokenKind::KwForeach => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (var, _) = self.expect_ident()?;
+                self.expect(TokenKind::KwIn)?;
+                let domain = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.body_block()?;
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::Foreach { var, domain, body },
+                ))
+            }
+            TokenKind::KwPipelinedLoop => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (var, _) = self.expect_ident()?;
+                self.expect(TokenKind::KwIn)?;
+                let domain = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let num_packets = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.body_block()?;
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::Pipelined { var, domain, num_packets, body },
+                ))
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Return(value)))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Break))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Continue))
+            }
+            _ => {
+                let s = self.simple_or_decl()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// True if the upcoming tokens start a variable declaration.
+    fn at_var_decl(&self) -> bool {
+        match self.peek() {
+            TokenKind::KwInt
+            | TokenKind::KwDouble
+            | TokenKind::KwBoolean
+            | TokenKind::KwRectDomain => true,
+            TokenKind::Ident(_) => {
+                // `T x` or `T[] x`
+                match self.peek_at(1) {
+                    TokenKind::Ident(_) => true,
+                    TokenKind::LBracket => self.peek_at(2) == &TokenKind::RBracket,
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses a declaration, assignment, or expression statement (no `;`).
+    fn simple_or_decl(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.span();
+        let id = self.ids.fresh();
+        if self.at_var_decl() {
+            let ty = self.parse_type()?;
+            let (name, _) = self.expect_ident()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::new(
+                id,
+                start.merge(self.prev_span()),
+                StmtKind::VarDecl { name, ty, init },
+            ));
+        }
+        let e = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let target = Self::expr_to_lvalue(e)?;
+            let value = self.expr()?;
+            Ok(Stmt::new(
+                id,
+                start.merge(self.prev_span()),
+                StmtKind::Assign { target, op, value },
+            ))
+        } else {
+            Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Expr(e)))
+        }
+    }
+
+    fn expr_to_lvalue(e: Expr) -> Result<LValue, Diagnostic> {
+        match e.kind {
+            ExprKind::Var(name) => Ok(LValue::Var(name)),
+            ExprKind::Field(base, field) => Ok(LValue::Field(base, field)),
+            ExprKind::Index(base, idx) => Ok(LValue::Index(base, idx)),
+            _ => Err(parse_err(e.span, "expression is not assignable")),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, Diagnostic> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let a = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let b = self.expr()?;
+            let span = cond.span.merge(b.span);
+            Ok(Expr::new(
+                span,
+                ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_chain(
+        &mut self,
+        next: fn(&mut Self) -> Result<Expr, Diagnostic>,
+        table: &[(TokenKind, BinOp)],
+    ) -> Result<Expr, Diagnostic> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span.merge(rhs.span);
+                    lhs = Expr::new(span, ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_chain(Self::and_expr, &[(TokenKind::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_chain(Self::equality, &[(TokenKind::AndAnd, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_chain(
+            Self::relational,
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::NotEq, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_chain(
+            Self::additive,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_chain(
+            Self::multiplicative,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_chain(
+            Self::unary,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary()?;
+            let span = start.merge(e.span);
+            Ok(Expr::new(span, ExprKind::Unary(UnOp::Neg, Box::new(e))))
+        } else if self.eat(&TokenKind::Not) {
+            let e = self.unary()?;
+            let span = start.merge(e.span);
+            Ok(Expr::new(span, ExprKind::Unary(UnOp::Not, Box::new(e))))
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let (name, nspan) = self.expect_ident()?;
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.args()?;
+                    let span = e.span.merge(self.prev_span());
+                    e = Expr::new(
+                        span,
+                        ExprKind::Call { recv: Some(Box::new(e)), method: name, args },
+                    );
+                } else {
+                    let span = e.span.merge(nspan);
+                    e = Expr::new(span, ExprKind::Field(Box::new(e), name));
+                }
+            } else if self.peek() == &TokenKind::LBracket {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                let span = e.span.merge(self.prev_span());
+                e = Expr::new(span, ExprKind::Index(Box::new(e), Box::new(idx)));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                out.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(out)
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(start, ExprKind::IntLit(v)))
+            }
+            TokenKind::DoubleLit(v) => {
+                self.bump();
+                Ok(Expr::new(start, ExprKind::DoubleLit(v)))
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Expr::new(start, ExprKind::BoolLit(true)))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Expr::new(start, ExprKind::BoolLit(false)))
+            }
+            TokenKind::KwNull => {
+                self.bump();
+                Ok(Expr::new(start, ExprKind::Null))
+            }
+            TokenKind::KwThis => {
+                self.bump();
+                Ok(Expr::new(start, ExprKind::This))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.args()?;
+                    Ok(Expr::new(
+                        start.merge(self.prev_span()),
+                        ExprKind::Call { recv: None, method: name, args },
+                    ))
+                } else {
+                    Ok(Expr::new(start, ExprKind::Var(name)))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::KwNew => {
+                self.bump();
+                // `new T[len]` or `new C()`
+                let elem = match self.peek().clone() {
+                    TokenKind::KwInt => {
+                        self.bump();
+                        Some(Type::Int)
+                    }
+                    TokenKind::KwDouble => {
+                        self.bump();
+                        Some(Type::Double)
+                    }
+                    TokenKind::KwBoolean => {
+                        self.bump();
+                        Some(Type::Bool)
+                    }
+                    TokenKind::Ident(cname) => {
+                        self.bump();
+                        if self.peek() == &TokenKind::LParen {
+                            self.bump();
+                            self.expect(TokenKind::RParen)?;
+                            return Ok(Expr::new(
+                                start.merge(self.prev_span()),
+                                ExprKind::New(cname),
+                            ));
+                        }
+                        Some(Type::Class(cname))
+                    }
+                    other => {
+                        return Err(parse_err(
+                            self.span(),
+                            format!("expected type after `new`, found {}", other.describe()),
+                        ))
+                    }
+                };
+                let mut elem_ty = elem.expect("all non-return paths set elem");
+                self.expect(TokenKind::LBracket)?;
+                let len = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                // `new double[n][]`-style nested arrays: extra `[]` pairs
+                while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+                    self.bump();
+                    self.bump();
+                    elem_ty = Type::array_of(elem_ty);
+                }
+                Ok(Expr::new(
+                    start.merge(self.prev_span()),
+                    ExprKind::NewArray(elem_ty, Box::new(len)),
+                ))
+            }
+            TokenKind::LBracket => {
+                // domain literal [lo : hi]
+                self.bump();
+                let lo = self.expr()?;
+                self.expect(TokenKind::Colon)?;
+                let hi = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(Expr::new(
+                    start.merge(self.prev_span()),
+                    ExprKind::DomainLit(Box::new(lo), Box::new(hi)),
+                ))
+            }
+            other => Err(parse_err(
+                start,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_empty_class() {
+        let p = parse("class A { }").unwrap();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].name, "A");
+        assert!(!p.classes[0].is_reduction);
+    }
+
+    #[test]
+    fn parses_reduction_class() {
+        let p = parse("class ZBuf implements Reducinterface { double[] depth; }").unwrap();
+        assert!(p.classes[0].is_reduction);
+        assert_eq!(p.classes[0].fields[0].ty, Type::array_of(Type::Double));
+    }
+
+    #[test]
+    fn parses_externs() {
+        let p = parse("extern int n; runtime_define int num_packets; class A {}").unwrap();
+        assert_eq!(p.externs.len(), 2);
+        assert!(!p.externs[0].runtime_define);
+        assert!(p.externs[1].runtime_define);
+    }
+
+    #[test]
+    fn runtime_define_must_be_int() {
+        assert!(parse("runtime_define double x;").is_err());
+    }
+
+    #[test]
+    fn parses_method_with_statements() {
+        let src = r#"
+            class A {
+                int f(int x, double y) {
+                    int z = x + 2;
+                    z += 1;
+                    if (z > 3) { z = 0; } else { z = 1; }
+                    return z;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let m = &p.classes[0].methods[0];
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parses_foreach_and_pipelined() {
+        let src = r#"
+            class A {
+                void main() {
+                    RectDomain<1> d = [0 : 99];
+                    PipelinedLoop (pkt in d; num_packets) {
+                        foreach (i in pkt) {
+                            process(i);
+                        }
+                    }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let body = &p.classes[0].methods[0].body;
+        assert!(matches!(body.stmts[1].kind, StmtKind::Pipelined { .. }));
+        if let StmtKind::Pipelined { body, .. } = &body.stmts[1].kind {
+            assert!(matches!(body.stmts[0].kind, StmtKind::Foreach { .. }));
+        }
+    }
+
+    #[test]
+    fn statement_ids_are_unique() {
+        let src = r#"
+            class A {
+                void f() { int a = 1; int b = 2; if (a < b) { a = b; } }
+                void g() { int c = 3; }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let mut ids = Vec::new();
+        p.visit_stmts(&mut |s| ids.push(s.id));
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(n >= 4);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let e = parse_expr("a < b && c > d").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn parses_field_access_and_calls() {
+        let e = parse_expr("t.x").unwrap();
+        assert!(matches!(e.kind, ExprKind::Field(_, _)));
+        let e = parse_expr("zbuf.accumulate(p, d)").unwrap();
+        if let ExprKind::Call { recv, method, args } = e.kind {
+            assert!(recv.is_some());
+            assert_eq!(method, "accumulate");
+            assert_eq!(args.len(), 2);
+        } else {
+            panic!("expected call");
+        }
+        let e = parse_expr("sqrt(x)").unwrap();
+        assert!(matches!(e.kind, ExprKind::Call { recv: None, .. }));
+    }
+
+    #[test]
+    fn parses_index_chain() {
+        let e = parse_expr("a[i][j]").unwrap();
+        assert!(matches!(e.kind, ExprKind::Index(_, _)));
+    }
+
+    #[test]
+    fn parses_new_forms() {
+        assert!(matches!(parse_expr("new Point()").unwrap().kind, ExprKind::New(_)));
+        if let ExprKind::NewArray(ty, _) = parse_expr("new double[10]").unwrap().kind {
+            assert_eq!(ty, Type::Double);
+        } else {
+            panic!("expected NewArray");
+        }
+    }
+
+    #[test]
+    fn parses_domain_literal() {
+        let e = parse_expr("[0 : n - 1]").unwrap();
+        assert!(matches!(e.kind, ExprKind::DomainLit(_, _)));
+    }
+
+    #[test]
+    fn parses_ternary() {
+        let e = parse_expr("a < b ? a : b").unwrap();
+        assert!(matches!(e.kind, ExprKind::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn rejects_assignment_to_rvalue() {
+        assert!(parse("class A { void f() { 1 + 2 = 3; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_unbraced_loop_body() {
+        assert!(parse("class A { void f() { while (true) x = 1; } }").is_err());
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = r#"
+            class A { void f(int x) {
+                if (x < 1) { x = 0; } else if (x < 2) { x = 1; } else { x = 2; }
+            } }
+        "#;
+        let p = parse(src).unwrap();
+        if let StmtKind::If { else_blk, .. } = &p.classes[0].methods[0].body.stmts[0].kind {
+            let inner = else_blk.as_ref().unwrap();
+            assert!(matches!(inner.stmts[0].kind, StmtKind::If { .. }));
+        } else {
+            panic!("expected if");
+        }
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let src = "class A { void f() { for (int i = 0; i < 10; i += 1) { g(i); } } }";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.classes[0].methods[0].body.stmts[0].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let err = parse("class A { void f() {\n      @ } }").unwrap_err();
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn class_typed_var_decl_vs_index_expr() {
+        // `T x = ...` is a decl; `t[0] = ...` is an assignment.
+        let src = r#"
+            class T { int v; }
+            class A { void f(T[] t) {
+                T x = t[0];
+                t[0] = x;
+            } }
+        "#;
+        let p = parse(src).unwrap();
+        let b = &p.classes[1].methods[0].body;
+        assert!(matches!(b.stmts[0].kind, StmtKind::VarDecl { .. }));
+        assert!(matches!(b.stmts[1].kind, StmtKind::Assign { .. }));
+    }
+}

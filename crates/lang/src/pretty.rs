@@ -1,0 +1,240 @@
+//! Pretty-printer for the AST, used in diagnostics, tests of rewriting
+//! passes (loop fission), and generated-plan dumps.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a whole program back to (normalized) dialect source.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for e in &p.externs {
+        let kw = if e.runtime_define { "runtime_define" } else { "extern" };
+        let _ = writeln!(out, "{kw} {} {};", e.ty, e.name);
+    }
+    for c in &p.classes {
+        let imp = if c.is_reduction { " implements Reducinterface" } else { "" };
+        let _ = writeln!(out, "class {}{imp} {{", c.name);
+        for f in &c.fields {
+            let _ = writeln!(out, "    {} {};", f.ty, f.name);
+        }
+        for m in &c.methods {
+            let params: Vec<String> =
+                m.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+            let _ = writeln!(out, "    {} {}({}) {{", m.ret, m.name, params.join(", "));
+            for s in &m.body.stmts {
+                write_stmt(&mut out, s, 2);
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Render a statement list at an indent level (used for filter body dumps).
+pub fn stmts_to_string(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        write_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        write_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push_str("}");
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match &s.kind {
+        StmtKind::VarDecl { name, ty, init } => {
+            let _ = write!(out, "{ty} {name}");
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr_to_string(e));
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { target, op, value } => {
+            let t = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Field(b, f) => format!("{}.{f}", expr_to_string(b)),
+                LValue::Index(b, i) => format!("{}[{}]", expr_to_string(b), expr_to_string(i)),
+            };
+            let o = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+            };
+            let _ = writeln!(out, "{t} {o} {};", expr_to_string(value));
+        }
+        StmtKind::If { cond, then_blk, else_blk } => {
+            let _ = write!(out, "if ({}) ", expr_to_string(cond));
+            write_block(out, then_blk, level);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                write_block(out, e, level);
+            }
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            let _ = write!(out, "while ({}) ", expr_to_string(cond));
+            write_block(out, body, level);
+            out.push('\n');
+        }
+        StmtKind::For { init, cond, step, body } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                let mut tmp = String::new();
+                write_stmt(&mut tmp, i, 0);
+                out.push_str(tmp.trim_end().trim_end_matches(';'));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&expr_to_string(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                let mut tmp = String::new();
+                write_stmt(&mut tmp, st, 0);
+                out.push_str(tmp.trim_end().trim_end_matches(';'));
+            }
+            out.push_str(") ");
+            write_block(out, body, level);
+            out.push('\n');
+        }
+        StmtKind::Foreach { var, domain, body } => {
+            let _ = write!(out, "foreach ({var} in {}) ", expr_to_string(domain));
+            write_block(out, body, level);
+            out.push('\n');
+        }
+        StmtKind::Pipelined { var, domain, num_packets, body } => {
+            let _ = write!(
+                out,
+                "PipelinedLoop ({var} in {}; {}) ",
+                expr_to_string(domain),
+                expr_to_string(num_packets)
+            );
+            write_block(out, body, level);
+            out.push('\n');
+        }
+        StmtKind::Return(v) => match v {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", expr_to_string(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::Expr(e) => {
+            let _ = writeln!(out, "{};", expr_to_string(e));
+        }
+        StmtKind::Block(b) => {
+            write_block(out, b, level);
+            out.push('\n');
+        }
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+    }
+}
+
+/// Render an expression (fully parenthesized for unambiguity).
+pub fn expr_to_string(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::DoubleLit(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        ExprKind::BoolLit(v) => v.to_string(),
+        ExprKind::Null => "null".to_string(),
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::This => "this".to_string(),
+        ExprKind::Field(b, f) => format!("{}.{f}", expr_to_string(b)),
+        ExprKind::Index(b, i) => format!("{}[{}]", expr_to_string(b), expr_to_string(i)),
+        ExprKind::Unary(UnOp::Neg, x) => format!("(-{})", expr_to_string(x)),
+        ExprKind::Unary(UnOp::Not, x) => format!("(!{})", expr_to_string(x)),
+        ExprKind::Binary(op, l, r) => {
+            format!("({} {op} {})", expr_to_string(l), expr_to_string(r))
+        }
+        ExprKind::Ternary(c, a, b) => format!(
+            "({} ? {} : {})",
+            expr_to_string(c),
+            expr_to_string(a),
+            expr_to_string(b)
+        ),
+        ExprKind::Call { recv, method, args } => {
+            let argstr: Vec<String> = args.iter().map(expr_to_string).collect();
+            match recv {
+                Some(r) => format!("{}.{method}({})", expr_to_string(r), argstr.join(", ")),
+                None => format!("{method}({})", argstr.join(", ")),
+            }
+        }
+        ExprKind::New(c) => format!("new {c}()"),
+        ExprKind::NewArray(t, len) => format!("new {t}[{}]", expr_to_string(len)),
+        ExprKind::DomainLit(lo, hi) => {
+            format!("[{} : {}]", expr_to_string(lo), expr_to_string(hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    #[test]
+    fn roundtrip_reparses() {
+        let src = r#"
+            extern int n;
+            class P { double x; double y; }
+            class A {
+                double f(P p) { return sqrt(p.x * p.x + p.y * p.y); }
+                void main() {
+                    RectDomain<1> d = [0 : n - 1];
+                    int total = 0;
+                    foreach (i in d) {
+                        if (i % 2 == 0) { total += i; }
+                    }
+                    print(total);
+                }
+            }
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse(&printed).unwrap();
+        // Same shape: same classes/methods/statement counts.
+        assert_eq!(p1.classes.len(), p2.classes.len());
+        let count = |p: &crate::ast::Program| {
+            let mut n = 0;
+            p.visit_stmts(&mut |_| n += 1);
+            n
+        };
+        assert_eq!(count(&p1), count(&p2));
+        // And printing again is a fixpoint.
+        assert_eq!(printed, program_to_string(&p2));
+    }
+
+    #[test]
+    fn expr_printing_parenthesizes() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(expr_to_string(&e), "(a + (b * c))");
+    }
+
+    #[test]
+    fn double_literals_keep_a_dot() {
+        let e = parse_expr("2.0").unwrap();
+        assert_eq!(expr_to_string(&e), "2.0");
+    }
+}

@@ -1,0 +1,89 @@
+//! Source positions and spans for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into a source string, with line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` beginning at `line:col`.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The zero span, used for synthesized nodes (e.g. after loop fission).
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    /// Line/column come from whichever starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// True for spans created with [`Span::synthetic`].
+    pub fn is_synthetic(&self) -> bool {
+        *self == Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_earliest_position() {
+        let a = Span::new(10, 20, 2, 3);
+        let b = Span::new(5, 15, 1, 6);
+        let m = a.merge(b);
+        assert_eq!(m.start, 5);
+        assert_eq!(m.end, 20);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.col, 6);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(10, 20, 2, 3);
+        let b = Span::new(5, 15, 1, 6);
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn synthetic_displays_marker() {
+        assert_eq!(Span::synthetic().to_string(), "<synthetic>");
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::new(0, 1, 1, 1).is_synthetic());
+    }
+}

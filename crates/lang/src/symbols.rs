@@ -1,0 +1,91 @@
+//! Symbol tables produced by type checking and consumed by the compiler
+//! passes and the interpreter.
+
+use crate::ast::{ClassDecl, MethodDecl, Program, Type};
+use std::collections::HashMap;
+
+/// Fully-qualified method key, `Class::method`.
+pub fn method_key(class: &str, method: &str) -> String {
+    format!("{class}::{method}")
+}
+
+/// Name resolution data for one method: every parameter and local variable
+/// with its declared type. The dialect forbids shadowing and duplicate local
+/// names within a method, so a flat map suffices to answer "what is the type
+/// of `x` anywhere inside this method".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MethodScope {
+    pub vars: HashMap<String, Type>,
+}
+
+impl MethodScope {
+    pub fn get(&self, name: &str) -> Option<&Type> {
+        self.vars.get(name)
+    }
+}
+
+/// Symbol information for a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Class name → is_reduction flag (classes are also reachable through
+    /// the AST; this caches the reduction set for fast queries).
+    pub reduction_classes: Vec<String>,
+    /// `Class::method` → its scope.
+    pub method_scopes: HashMap<String, MethodScope>,
+    /// Extern / runtime_define globals.
+    pub externs: HashMap<String, Type>,
+}
+
+impl SymbolTable {
+    /// Is `class_name` a reduction class (`implements Reducinterface`)?
+    pub fn is_reduction_class(&self, class_name: &str) -> bool {
+        self.reduction_classes.iter().any(|c| c == class_name)
+    }
+
+    /// Scope for `Class::method`.
+    pub fn scope(&self, class: &str, method: &str) -> Option<&MethodScope> {
+        self.method_scopes.get(&method_key(class, method))
+    }
+
+    /// Resolve the type of a bare name inside `Class::method`: local or
+    /// parameter first, then a field of the class, then an extern.
+    pub fn resolve<'p>(
+        &self,
+        program: &'p Program,
+        class: &ClassDecl,
+        method: &MethodDecl,
+        name: &str,
+    ) -> Option<Type> {
+        let _ = program;
+        if let Some(t) = self
+            .scope(&class.name, &method.name)
+            .and_then(|s| s.get(name))
+        {
+            return Some(t.clone());
+        }
+        if let Some(f) = class.field(name) {
+            return Some(f.ty.clone());
+        }
+        self.externs.get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_key_format() {
+        assert_eq!(method_key("A", "main"), "A::main");
+    }
+
+    #[test]
+    fn reduction_lookup() {
+        let t = SymbolTable {
+            reduction_classes: vec!["ZBuf".into()],
+            ..Default::default()
+        };
+        assert!(t.is_reduction_class("ZBuf"));
+        assert!(!t.is_reduction_class("Triangle"));
+    }
+}

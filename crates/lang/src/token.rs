@@ -1,0 +1,214 @@
+//! Token definitions for the dialect lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Token kinds. Keywords are distinguished from identifiers at lex time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    IntLit(i64),
+    DoubleLit(f64),
+    Ident(String),
+
+    // Keywords
+    KwClass,
+    KwImplements,
+    KwReducinterface,
+    KwExtern,
+    KwVoid,
+    KwInt,
+    KwDouble,
+    KwBoolean,
+    KwTrue,
+    KwFalse,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwForeach,
+    KwPipelinedLoop,
+    KwIn,
+    KwReturn,
+    KwNew,
+    KwRectDomain,
+    KwRuntimeDefine,
+    KwNull,
+    KwBreak,
+    KwContinue,
+    KwThis,
+
+    // Punctuation and operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Assign,       // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusAssign,   // +=
+    MinusAssign,  // -=
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Not,
+    Question,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup used by the lexer after scanning an identifier.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "class" => TokenKind::KwClass,
+            "implements" => TokenKind::KwImplements,
+            "Reducinterface" => TokenKind::KwReducinterface,
+            "extern" => TokenKind::KwExtern,
+            "void" => TokenKind::KwVoid,
+            "int" => TokenKind::KwInt,
+            "double" | "float" => TokenKind::KwDouble,
+            "boolean" => TokenKind::KwBoolean,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "foreach" => TokenKind::KwForeach,
+            "PipelinedLoop" => TokenKind::KwPipelinedLoop,
+            "in" => TokenKind::KwIn,
+            "return" => TokenKind::KwReturn,
+            "new" => TokenKind::KwNew,
+            "RectDomain" => TokenKind::KwRectDomain,
+            "runtime_define" => TokenKind::KwRuntimeDefine,
+            "null" => TokenKind::KwNull,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "this" => TokenKind::KwThis,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable name used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::DoubleLit(v) => format!("double literal `{v}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::KwClass => "class",
+            TokenKind::KwImplements => "implements",
+            TokenKind::KwReducinterface => "Reducinterface",
+            TokenKind::KwExtern => "extern",
+            TokenKind::KwVoid => "void",
+            TokenKind::KwInt => "int",
+            TokenKind::KwDouble => "double",
+            TokenKind::KwBoolean => "boolean",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwFor => "for",
+            TokenKind::KwForeach => "foreach",
+            TokenKind::KwPipelinedLoop => "PipelinedLoop",
+            TokenKind::KwIn => "in",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwNew => "new",
+            TokenKind::KwRectDomain => "RectDomain",
+            TokenKind::KwRuntimeDefine => "runtime_define",
+            TokenKind::KwNull => "null",
+            TokenKind::KwBreak => "break",
+            TokenKind::KwContinue => "continue",
+            TokenKind::KwThis => "this",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Colon => ":",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Not => "!",
+            TokenKind::Question => "?",
+            _ => unreachable!("symbol() called on non-symbol token"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A lexed token: kind plus source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_roundtrips() {
+        assert_eq!(TokenKind::keyword("foreach"), Some(TokenKind::KwForeach));
+        assert_eq!(TokenKind::keyword("PipelinedLoop"), Some(TokenKind::KwPipelinedLoop));
+        assert_eq!(TokenKind::keyword("notakeyword"), None);
+    }
+
+    #[test]
+    fn float_is_alias_for_double() {
+        assert_eq!(TokenKind::keyword("float"), Some(TokenKind::KwDouble));
+    }
+
+    #[test]
+    fn describe_literals() {
+        assert_eq!(TokenKind::IntLit(42).describe(), "integer literal `42`");
+        assert_eq!(TokenKind::Ident("abc".into()).describe(), "identifier `abc`");
+        assert_eq!(TokenKind::PlusAssign.describe(), "`+=`");
+    }
+}

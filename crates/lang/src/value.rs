@@ -1,0 +1,187 @@
+//! Runtime values for the dialect interpreter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. Arrays and objects have reference semantics (shared
+/// mutable), matching Java; everything else is a copied scalar.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Void,
+    /// Inclusive 1-D rectdomain `[lo, hi]`. `lo > hi` encodes an empty
+    /// domain.
+    Domain(i64, i64),
+    Array(Rc<RefCell<Vec<Value>>>),
+    Object(Rc<RefCell<ObjectVal>>),
+    Null,
+}
+
+/// Heap object: class name plus field values.
+#[derive(Debug, Clone)]
+pub struct ObjectVal {
+    pub class: String,
+    pub fields: HashMap<String, Value>,
+}
+
+impl Value {
+    pub fn new_array(len: usize, fill: Value) -> Value {
+        Value::Array(Rc::new(RefCell::new(vec![fill; len])))
+    }
+
+    pub fn new_object(class: impl Into<String>, fields: HashMap<String, Value>) -> Value {
+        Value::Object(Rc::new(RefCell::new(ObjectVal { class: class.into(), fields })))
+    }
+
+    /// Numeric value as f64 (int widens); None for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of points in a domain value.
+    pub fn domain_size(&self) -> Option<i64> {
+        match self {
+            Value::Domain(lo, hi) => Some((hi - lo + 1).max(0)),
+            _ => None,
+        }
+    }
+
+    /// Structural equality used by tests: deep for arrays/objects, bitwise
+    /// for doubles.
+    pub fn deep_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Void, Value::Void) | (Value::Null, Value::Null) => true,
+            (Value::Domain(a1, a2), Value::Domain(b1, b2)) => a1 == b1 && a2 == b2,
+            (Value::Array(a), Value::Array(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.deep_eq(y))
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.class == b.class
+                    && a.fields.len() == b.fields.len()
+                    && a.fields
+                        .iter()
+                        .all(|(k, v)| b.fields.get(k).is_some_and(|w| v.deep_eq(w)))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Void => write!(f, "void"),
+            Value::Null => write!(f, "null"),
+            Value::Domain(lo, hi) => write!(f, "[{lo} : {hi}]"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if i >= 8 {
+                        write!(f, "... ({} elems)", a.borrow().len())?;
+                        break;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(o) => {
+                let o = o.borrow();
+                write!(f, "{}{{", o.class)?;
+                let mut keys: Vec<_> = o.fields.keys().collect();
+                keys.sort();
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {}", o.fields[*k])?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Double(3.0).as_i64(), None);
+    }
+
+    #[test]
+    fn domain_size_handles_empty() {
+        assert_eq!(Value::Domain(0, 9).domain_size(), Some(10));
+        assert_eq!(Value::Domain(5, 4).domain_size(), Some(0));
+    }
+
+    #[test]
+    fn arrays_share_storage() {
+        let a = Value::new_array(3, Value::Int(0));
+        let b = a.clone();
+        if let Value::Array(arr) = &a {
+            arr.borrow_mut()[0] = Value::Int(7);
+        }
+        if let Value::Array(arr) = &b {
+            assert_eq!(arr.borrow()[0].as_i64(), Some(7));
+        }
+    }
+
+    #[test]
+    fn deep_eq_arrays_and_objects() {
+        let a = Value::new_array(2, Value::Int(1));
+        let b = Value::new_array(2, Value::Int(1));
+        assert!(a.deep_eq(&b));
+        let mut f1 = HashMap::new();
+        f1.insert("x".to_string(), Value::Double(1.0));
+        let o1 = Value::new_object("P", f1.clone());
+        let o2 = Value::new_object("P", f1);
+        assert!(o1.deep_eq(&o2));
+        assert!(!o1.deep_eq(&a));
+    }
+
+    #[test]
+    fn display_truncates_long_arrays() {
+        let a = Value::new_array(100, Value::Int(0));
+        let s = a.to_string();
+        assert!(s.contains("100 elems"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the frontend: the lexer never panics, the
+//! pretty-printer/parser pair is a round trip, the interpreter's
+//! PipelinedLoop semantics are packet-count independent, and domain
+//! splitting is a partition.
+
+use cgp_lang::ast::{BinOp, Expr, ExprKind, UnOp};
+use cgp_lang::interp::{split_domain, HostEnv, Interp};
+use cgp_lang::parser::{parse, parse_expr};
+use cgp_lang::pretty::expr_to_string;
+use cgp_lang::span::Span;
+use cgp_lang::types::check;
+use cgp_lang::Value;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(s in "\\PC*") {
+        let _ = cgp_lang::lexer::lex(&s);
+    }
+
+    #[test]
+    fn lexer_accepts_ascii_noise(s in "[a-zA-Z0-9_+\\-*/%<>=!&|(){}\\[\\];,.: \n\t]*") {
+        let _ = cgp_lang::lexer::lex(&s);
+    }
+
+    #[test]
+    fn split_domain_is_a_partition(lo in -1000i64..1000, len in 0i64..2000, n in 1usize..50) {
+        let hi = lo + len - 1;
+        let parts = split_domain(lo, hi, n);
+        let total: i64 = parts.iter().map(|(a, b)| b - a + 1).sum();
+        prop_assert_eq!(total, len.max(0));
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].1 + 1, w[1].0, "contiguous");
+        }
+        if let (Some(first), Some(last)) = (parts.first(), parts.last()) {
+            prop_assert_eq!(first.0, lo);
+            prop_assert_eq!(last.1, hi);
+        }
+        if let Some((min, max)) = parts
+            .iter()
+            .map(|(a, b)| b - a + 1)
+            .fold(None, |acc: Option<(i64, i64)>, l| Some(match acc {
+                None => (l, l),
+                Some((mn, mx)) => (mn.min(l), mx.max(l)),
+            }))
+        {
+            prop_assert!(max - min <= 1, "balanced");
+        }
+    }
+}
+
+/// Generator for well-formed expressions over variables `a`, `b`, `c`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| Expr::new(Span::synthetic(), ExprKind::IntLit(v))),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|n| Expr::new(Span::synthetic(), ExprKind::Var(n.into()))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+                Just(BinOp::Div), Just(BinOp::Rem),
+            ])
+                .prop_map(|(l, r, op)| Expr::new(
+                    Span::synthetic(),
+                    ExprKind::Binary(op, Box::new(l), Box::new(r))
+                )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::new(Span::synthetic(), ExprKind::Unary(UnOp::Neg, Box::new(e)))),
+        ]
+    })
+}
+
+/// Structural equality modulo spans.
+fn expr_eq(a: &Expr, b: &Expr) -> bool {
+    expr_to_string(a) == expr_to_string(b)
+}
+
+proptest! {
+    #[test]
+    fn pretty_print_parse_roundtrip(e in arb_expr()) {
+        let printed = expr_to_string(&e);
+        let back = parse_expr(&printed).unwrap();
+        prop_assert!(expr_eq(&e, &back), "{} vs {}", printed, expr_to_string(&back));
+    }
+
+    #[test]
+    fn pipelined_loop_is_packet_count_invariant(
+        n in 1i64..300,
+        packets in 1i64..64,
+        scale in 1i64..100,
+    ) {
+        let src = r#"
+            extern int n;
+            extern int scale;
+            runtime_define int num_packets;
+            class Acc implements Reducinterface {
+                int total;
+                void reduce(Acc o) { total = total + o.total; }
+                void add(int x) { total = total + x; }
+            }
+            class A { void main() {
+                RectDomain<1> all = [0 : n - 1];
+                Acc acc = new Acc();
+                PipelinedLoop (pkt in all; num_packets) {
+                    foreach (i in pkt) { acc.add(i * scale); }
+                }
+                print(acc.total);
+            } }
+        "#;
+        let tp = check(parse(src).unwrap()).unwrap();
+        let run = |np: i64| {
+            let host = HostEnv::new()
+                .bind("n", Value::Int(n))
+                .bind("scale", Value::Int(scale))
+                .bind("num_packets", Value::Int(np));
+            let mut it = Interp::new(&tp, host);
+            it.run_main().unwrap();
+            it.output
+        };
+        prop_assert_eq!(run(1), run(packets));
+    }
+
+    #[test]
+    fn interp_arithmetic_matches_rust(a in -10_000i64..10_000, b in 1i64..10_000) {
+        let src = format!(
+            "class A {{ void main() {{ print({a} + {b}); print({a} * {b}); print({a} / {b}); print({a} % {b}); }} }}"
+        );
+        let tp = check(parse(&src).unwrap()).unwrap();
+        let mut it = Interp::new(&tp, HostEnv::new());
+        it.run_main().unwrap();
+        prop_assert_eq!(&it.output[0], &(a + b).to_string());
+        prop_assert_eq!(&it.output[1], &(a * b).to_string());
+        prop_assert_eq!(&it.output[2], &(a / b).to_string());
+        prop_assert_eq!(&it.output[3], &(a % b).to_string());
+    }
+}
