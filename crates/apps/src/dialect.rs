@@ -362,9 +362,7 @@ pub fn knn_host_env(points: &[[f64; 3]], query: [f64; 3], k: i64, num_packets: i
 /// so the merge's "written" sentinel of 0 never collides with real data).
 pub fn vmscope_host_env(slide: &Slide, subsample: i64, num_packets: i64) -> HostEnv {
     let pixels: Vec<Value> = (0..slide.height)
-        .flat_map(|y| {
-            (0..slide.width).map(move |x| (x, y))
-        })
+        .flat_map(|y| (0..slide.width).map(move |x| (x, y)))
         .map(|(x, y)| {
             let p = slide.pixel(x, y);
             Value::Double(0.05 + p[0] as f64 / 260.0)
@@ -448,12 +446,9 @@ mod tests {
         // …and the chosen decomposition must beat the Default placement on
         // the steady-state objective.
         let default = cgp_compiler::Decomposition::default_style(c.problem.n_tasks(), 3);
-        let default_cost = cgp_compiler::decompose::stage_times(
-            &c.problem,
-            &c.pipeline,
-            &default.unit_of,
-        )
-        .total_time(64);
+        let default_cost =
+            cgp_compiler::decompose::stage_times(&c.problem, &c.pipeline, &default.unit_of)
+                .total_time(64);
         assert!(
             c.plan.decomposition.cost < default_cost,
             "decomp {} vs default {default_cost}",
@@ -532,12 +527,10 @@ mod tests {
         let c = compile(VMSCOPE_SRC, &opts).unwrap();
         // With width/subsample known, the pixels consumption should be a
         // strided rectilinear section, not the whole array.
-        let has_section = c
-            .plan
-            .analysis
-            .input_set
-            .iter()
-            .any(|p| p.root == "pixels" && matches!(p.sect, cgp_compiler::Sectioning::Range(_)));
+        let has_section =
+            c.plan.analysis.input_set.iter().any(|p| {
+                p.root == "pixels" && matches!(p.sect, cgp_compiler::Sectioning::Range(_))
+            });
         assert!(has_section, "input set: {}", c.plan.analysis.input_set);
     }
 

@@ -136,7 +136,9 @@ pub fn extract_cube(
     }
     // Fan-triangulate the edge vertices.
     for k in 2..n {
-        out.push(Triangle { v: [verts[0], verts[k - 1], verts[k]] });
+        out.push(Triangle {
+            v: [verts[0], verts[k - 1], verts[k]],
+        });
     }
 }
 

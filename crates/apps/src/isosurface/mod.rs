@@ -8,4 +8,6 @@ pub mod render;
 pub use dataset::ScalarGrid;
 pub use march::{crosses, crossing_cubes, extract_triangles, Triangle};
 pub use pipelines::{large_grid, small_grid, IsoPipeline, IsoVersion, Renderer, ISOVALUE};
-pub use render::{rasterize_apix, rasterize_zbuf, transform_project, ActivePixels, ScreenTri, ViewParams, ZBuffer};
+pub use render::{
+    rasterize_apix, rasterize_zbuf, transform_project, ActivePixels, ScreenTri, ViewParams, ZBuffer,
+};

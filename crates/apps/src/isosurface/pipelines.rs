@@ -103,9 +103,7 @@ impl IsoPipeline {
         let st = transform_project(&tris, &self.view);
         match self.renderer {
             Renderer::ZBuffer => rasterize_zbuf(&st, &mut self.zbuf),
-            Renderer::ActivePixels => {
-                rasterize_apix(&st, self.view.screen, &mut self.apix)
-            }
+            Renderer::ActivePixels => rasterize_apix(&st, self.view.screen, &mut self.apix),
         }
         tris.len()
     }

@@ -35,13 +35,22 @@ impl ViewParams {
         ];
         let scale = screen as f32 / (extent * 1.8);
         let c = extent / 2.0;
-        ViewParams { rot, screen, scale, offset: [-c, -c, -c] }
+        ViewParams {
+            rot,
+            screen,
+            scale,
+            offset: [-c, -c, -c],
+        }
     }
 
     /// Transform a grid-space point to (pixel x, pixel y, depth).
     #[inline]
     pub fn project(&self, p: [f32; 3]) -> [f32; 3] {
-        let q = [p[0] + self.offset[0], p[1] + self.offset[1], p[2] + self.offset[2]];
+        let q = [
+            p[0] + self.offset[0],
+            p[1] + self.offset[1],
+            p[2] + self.offset[2],
+        ];
         let r = &self.rot;
         let vx = r[0][0] * q[0] + r[0][1] * q[1] + r[0][2] * q[2];
         let vy = r[1][0] * q[0] + r[1][1] * q[1] + r[1][2] * q[2];
@@ -79,9 +88,17 @@ pub fn transform_project(tris: &[Triangle], view: &ViewParams) -> Vec<ScreenTri>
         let ny = e1[2] * e2[0] - e1[0] * e2[2];
         let nz = e1[0] * e2[1] - e1[1] * e2[0];
         let len = (nx * nx + ny * ny + nz * nz).sqrt();
-        let shade = if len > 1e-12 { 0.2 + 0.8 * (nz / len).abs() } else { 0.2 };
+        let shade = if len > 1e-12 {
+            0.2 + 0.8 * (nz / len).abs()
+        } else {
+            0.2
+        };
 
-        let p = [view.project(t.v[0]), view.project(t.v[1]), view.project(t.v[2])];
+        let p = [
+            view.project(t.v[0]),
+            view.project(t.v[1]),
+            view.project(t.v[2]),
+        ];
         // Clip: reject triangles entirely off screen.
         let minx = p.iter().map(|q| q[0]).fold(f32::INFINITY, f32::min);
         let maxx = p.iter().map(|q| q[0]).fold(f32::NEG_INFINITY, f32::max);

@@ -19,14 +19,13 @@
 //!   overhead here reproduces that.
 
 use crate::profile::{fnv1a, timed, AppVariant, PacketProfile};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cgp_obs::SmallRng;
 
 /// Deterministic 3-D point cloud (24 bytes per point, like the paper's).
 pub fn generate_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .map(|_| [rng.gen_f64(), rng.gen_f64(), rng.gen_f64()])
         .collect()
 }
 
@@ -59,7 +58,10 @@ pub struct KNearest {
 impl KNearest {
     pub fn new(k: usize) -> KNearest {
         assert!(k >= 1);
-        KNearest { k, heap: Vec::with_capacity(k) }
+        KNearest {
+            k,
+            heap: Vec::with_capacity(k),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -331,12 +333,18 @@ mod tests {
         for k in [1usize, 3, 17, 200, 5000] {
             let mut kn = KNearest::new(k);
             for (i, p) in pts.iter().enumerate() {
-                kn.push(Candidate { dist2: dist2(p, &q), index: i as u32 });
+                kn.push(Candidate {
+                    dist2: dist2(p, &q),
+                    index: i as u32,
+                });
             }
             let mut all: Vec<Candidate> = pts
                 .iter()
                 .enumerate()
-                .map(|(i, p)| Candidate { dist2: dist2(p, &q), index: i as u32 })
+                .map(|(i, p)| Candidate {
+                    dist2: dist2(p, &q),
+                    index: i as u32,
+                })
                 .collect();
             all.sort_by(|a, b| a.key().partial_cmp(&b.key()).unwrap());
             all.truncate(k);
@@ -351,7 +359,10 @@ mod tests {
         let mut a = KNearest::new(10);
         let mut b = KNearest::new(10);
         for (i, p) in pts.iter().enumerate() {
-            let c = Candidate { dist2: dist2(p, &q), index: i as u32 };
+            let c = Candidate {
+                dist2: dist2(p, &q),
+                index: i as u32,
+            };
             if i % 2 == 0 {
                 a.push(c);
             } else {
@@ -386,7 +397,10 @@ mod tests {
         let mut all: Vec<Candidate> = pts
             .iter()
             .enumerate()
-            .map(|(i, p)| Candidate { dist2: dist2(p, &q), index: i as u32 })
+            .map(|(i, p)| Candidate {
+                dist2: dist2(p, &q),
+                index: i as u32,
+            })
             .collect();
         all.sort_by(|a, b| a.key().partial_cmp(&b.key()).unwrap());
         let expect: Vec<Candidate> = all.into_iter().take(5).collect();
@@ -398,7 +412,12 @@ mod tests {
         let (pd, _) = run_all(&mut mk(KnnVersion::Default, 3));
         let (pc, _) = run_all(&mut mk(KnnVersion::DecompManual, 3));
         let bytes = |ps: &[PacketProfile]| ps.iter().map(|p| p.bytes[0]).sum::<f64>();
-        assert!(bytes(&pc) < bytes(&pd) / 50.0, "{} vs {}", bytes(&pc), bytes(&pd));
+        assert!(
+            bytes(&pc) < bytes(&pd) / 50.0,
+            "{} vs {}",
+            bytes(&pc),
+            bytes(&pd)
+        );
     }
 
     #[test]

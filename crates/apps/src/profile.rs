@@ -28,7 +28,11 @@ pub struct PacketProfile {
 
 impl PacketProfile {
     pub fn new(seconds: [f64; 3], bytes: [f64; 2]) -> Self {
-        PacketProfile { seconds, bytes, read_bytes: 0.0 }
+        PacketProfile {
+            seconds,
+            bytes,
+            read_bytes: 0.0,
+        }
     }
 
     pub fn with_read(mut self, read_bytes: f64) -> Self {
@@ -72,8 +76,9 @@ pub trait AppVariant {
 /// Run every packet of a variant, returning profiles (for the simulator)
 /// and the result digest.
 pub fn run_all(variant: &mut dyn AppVariant) -> (Vec<PacketProfile>, u64) {
-    let profiles: Vec<PacketProfile> =
-        (0..variant.packets()).map(|p| variant.run_packet(p)).collect();
+    let profiles: Vec<PacketProfile> = (0..variant.packets())
+        .map(|p| variant.run_packet(p))
+        .collect();
     (profiles, variant.result_digest())
 }
 
@@ -88,7 +93,10 @@ pub fn run_all_min(variant: &mut dyn AppVariant, rounds: usize) -> (Vec<PacketPr
     for _ in 1..rounds {
         variant.reset();
         let (again, digest2) = run_all(variant);
-        assert_eq!(digest, digest2, "re-running the sweep must be deterministic");
+        assert_eq!(
+            digest, digest2,
+            "re-running the sweep must be deterministic"
+        );
         for (b, a) in best.iter_mut().zip(&again) {
             debug_assert_eq!(b.bytes, a.bytes);
             for s in 0..3 {

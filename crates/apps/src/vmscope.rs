@@ -54,7 +54,11 @@ impl Slide {
                 data.push((h >> 48) as u8);
             }
         }
-        Slide { width, height, data }
+        Slide {
+            width,
+            height,
+            data,
+        }
     }
 
     #[inline]
@@ -266,7 +270,7 @@ impl AppVariant for VmscopePipeline {
                     out
                 });
                 let bytes0 = kept.len() as f64 + 16.0; // payload + row header
-                // Compute node: assemble (positions implied by the grid).
+                                                       // Compute node: assemble (positions implied by the grid).
                 let (_, t1) = timed(|| {
                     let mut it = kept.chunks_exact(3);
                     let mut ry = rows.start.next_multiple_of(f);
@@ -343,12 +347,24 @@ impl AppVariant for VmscopePipeline {
 /// The paper's "small query": a modest region at low subsampling — too few
 /// packets for good load balance at width 4.
 pub fn small_query() -> Query {
-    Query { x0: 128, y0: 128, width: 256, height: 256, subsample: 2 }
+    Query {
+        x0: 128,
+        y0: 128,
+        width: 256,
+        height: 256,
+        subsample: 2,
+    }
 }
 
 /// The paper's "large query": a big region at a higher subsampling factor.
 pub fn large_query() -> Query {
-    Query { x0: 0, y0: 0, width: 1024, height: 1024, subsample: 8 }
+    Query {
+        x0: 0,
+        y0: 0,
+        width: 1024,
+        height: 1024,
+        subsample: 8,
+    }
 }
 
 #[cfg(test)]
@@ -358,7 +374,13 @@ mod tests {
 
     fn mk(version: VmVersion) -> VmscopePipeline {
         let slide = Slide::synthetic(512, 512, 17);
-        let q = Query { x0: 32, y0: 64, width: 256, height: 192, subsample: 4 };
+        let q = Query {
+            x0: 32,
+            y0: 64,
+            width: 256,
+            height: 192,
+            subsample: 4,
+        };
         VmscopePipeline::new(slide, q, 12, version, "vm-test")
     }
 
@@ -388,7 +410,9 @@ mod tests {
         let mut expect = vec![0u8; ow * oh * 3];
         for oy in 0..oh {
             for ox in 0..ow {
-                let px = p.slide.pixel(q.x0 + ox * q.subsample, q.y0 + oy * q.subsample);
+                let px = p
+                    .slide
+                    .pixel(q.x0 + ox * q.subsample, q.y0 + oy * q.subsample);
                 expect[(oy * ow + ox) * 3..(oy * ow + ox) * 3 + 3].copy_from_slice(&px);
             }
         }
@@ -401,7 +425,12 @@ mod tests {
         let (pm, _) = run_all(&mut mk(VmVersion::DecompManual));
         let bytes = |ps: &[PacketProfile]| ps.iter().map(|p| p.bytes[0]).sum::<f64>();
         // f = 4 → 16× fewer pixels.
-        assert!(bytes(&pm) < bytes(&pd) / 10.0, "{} vs {}", bytes(&pm), bytes(&pd));
+        assert!(
+            bytes(&pm) < bytes(&pd) / 10.0,
+            "{} vs {}",
+            bytes(&pm),
+            bytes(&pd)
+        );
     }
 
     #[test]
@@ -427,7 +456,13 @@ mod tests {
     #[test]
     fn comp_version_does_more_data_node_work() {
         let slide = Slide::synthetic(1024, 1024, 3);
-        let q = Query { x0: 0, y0: 0, width: 1024, height: 1024, subsample: 8 };
+        let q = Query {
+            x0: 0,
+            y0: 0,
+            width: 1024,
+            height: 1024,
+            subsample: 8,
+        };
         let mut comp = VmscopePipeline::new(slide.clone(), q, 8, VmVersion::DecompComp, "big");
         let mut man = VmscopePipeline::new(slide, q, 8, VmVersion::DecompManual, "big");
         let (pc, dc) = crate::profile::run_all_min(&mut comp, 3);

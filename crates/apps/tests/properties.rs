@@ -1,7 +1,8 @@
-//! Property-based tests on the applications' reduction structures: the
+//! Property-style tests on the applications' reduction structures: the
 //! merges the runtime relies on must be associative, commutative and
 //! order-insensitive, and each application must equal its brute-force
-//! oracle under arbitrary packetizations.
+//! oracle under arbitrary packetizations. Cases come from a seeded PRNG
+//! (the build is offline, so no proptest).
 
 use cgp_apps::isosurface::{
     crossing_cubes, extract_triangles, rasterize_apix, rasterize_zbuf, transform_project,
@@ -9,30 +10,48 @@ use cgp_apps::isosurface::{
 };
 use cgp_apps::knn::{generate_points, Candidate, KNearest};
 use cgp_apps::vmscope::{decode_chunk, encode_chunk};
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 
-proptest! {
-    #[test]
-    fn vmscope_codec_roundtrip(raw in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        prop_assert_eq!(decode_chunk(&encode_chunk(&raw)), raw);
+#[test]
+fn vmscope_codec_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xA9_0001);
+    for _case in 0..100 {
+        let len = rng.gen_range(0, 4096);
+        // Mix of runs and noise so RLE-ish codecs hit both paths.
+        let mut raw = Vec::with_capacity(len);
+        while raw.len() < len {
+            if rng.gen_bool(0.5) {
+                let b = rng.gen_range_u64(256) as u8;
+                let run = rng.gen_range(1, 40).min(len - raw.len());
+                raw.extend(std::iter::repeat_n(b, run));
+            } else {
+                raw.push(rng.gen_range_u64(256) as u8);
+            }
+        }
+        assert_eq!(decode_chunk(&encode_chunk(&raw)), raw);
     }
+}
 
-    #[test]
-    fn knearest_merge_is_order_insensitive(
-        n in 1usize..500,
-        k in 1usize..64,
-        parts in 2usize..6,
-        seed in any::<u64>(),
-        perm_seed in any::<u64>(),
-    ) {
+#[test]
+fn knearest_merge_is_order_insensitive() {
+    let mut rng = SmallRng::seed_from_u64(0xA9_0002);
+    for case in 0..60 {
+        let n = rng.gen_range(1, 500);
+        let k = rng.gen_range(1, 64);
+        let parts = rng.gen_range(2, 6);
+        let seed = rng.next_u64();
+
         let pts = generate_points(n, seed);
         let q = [0.5, 0.5, 0.5];
         let cand = |i: usize| {
             let p = &pts[i];
             let d = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
-            Candidate { dist2: d, index: i as u32 }
+            Candidate {
+                dist2: d,
+                index: i as u32,
+            }
         };
-        // Split candidates into `parts` groups, reduce in two different
+        // Split candidates into `parts` groups, reduce in several
         // orders; results must agree with the single-pass result.
         let mut groups: Vec<KNearest> = (0..parts).map(|_| KNearest::new(k)).collect();
         for i in 0..n {
@@ -46,13 +65,8 @@ proptest! {
         for g in groups.iter().rev() {
             backward.reduce(g);
         }
-        // pseudo-random order
         let mut order: Vec<usize> = (0..parts).collect();
-        let mut s = perm_seed;
-        for i in (1..parts).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            order.swap(i, (s >> 33) as usize % (i + 1));
-        }
+        rng.shuffle(&mut order);
         let mut shuffled = KNearest::new(k);
         for &gi in &order {
             shuffled.reduce(&groups[gi]);
@@ -61,18 +75,22 @@ proptest! {
         for i in 0..n {
             single.push(cand(i));
         }
-        prop_assert_eq!(forward.digest(), single.digest());
-        prop_assert_eq!(backward.digest(), single.digest());
-        prop_assert_eq!(shuffled.digest(), single.digest());
+        let ctx = format!("case {case}: n={n} k={k} parts={parts} seed={seed}");
+        assert_eq!(forward.digest(), single.digest(), "{ctx}");
+        assert_eq!(backward.digest(), single.digest(), "{ctx}");
+        assert_eq!(shuffled.digest(), single.digest(), "{ctx}");
     }
+}
 
-    #[test]
-    fn zbuffer_merge_matches_single_pass(
-        dims in 6usize..14,
-        seed in any::<u64>(),
-        parts in 2usize..5,
-        iso in 0.4f32..1.2,
-    ) {
+#[test]
+fn zbuffer_merge_matches_single_pass() {
+    let mut rng = SmallRng::seed_from_u64(0xA9_0003);
+    for case in 0..40 {
+        let dims = rng.gen_range(6, 14);
+        let seed = rng.next_u64();
+        let parts = rng.gen_range(2, 5);
+        let iso = 0.4 + rng.gen_f64() as f32 * 0.8;
+
         let g = ScalarGrid::synthetic(dims, dims, dims, seed);
         let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
         let tris = extract_triangles(&g, &cubes, iso);
@@ -96,15 +114,22 @@ proptest! {
         while let Some(z) = partials.pop() {
             merged.reduce(&z);
         }
-        prop_assert_eq!(merged.digest(), single.digest());
+        assert_eq!(
+            merged.digest(),
+            single.digest(),
+            "case {case}: seed={seed} iso={iso}"
+        );
     }
+}
 
-    #[test]
-    fn apix_equals_zbuf_densified(
-        dims in 6usize..14,
-        seed in any::<u64>(),
-        iso in 0.4f32..1.2,
-    ) {
+#[test]
+fn apix_equals_zbuf_densified() {
+    let mut rng = SmallRng::seed_from_u64(0xA9_0004);
+    for case in 0..40 {
+        let dims = rng.gen_range(6, 14);
+        let seed = rng.next_u64();
+        let iso = 0.4 + rng.gen_f64() as f32 * 0.8;
+
         let g = ScalarGrid::synthetic(dims, dims, dims, seed);
         let cubes = crossing_cubes(&g, 0..g.cubes(), iso);
         let tris = extract_triangles(&g, &cubes, iso);
@@ -114,30 +139,49 @@ proptest! {
         rasterize_zbuf(&st, &mut z);
         let mut a = ActivePixels::new();
         rasterize_apix(&st, 48, &mut a);
-        prop_assert_eq!(a.to_zbuffer(48).digest(), z.digest());
-        prop_assert!(a.len() <= 48 * 48);
+        assert_eq!(
+            a.to_zbuffer(48).digest(),
+            z.digest(),
+            "case {case}: seed={seed}"
+        );
+        assert!(a.len() <= 48 * 48);
     }
+}
 
-    #[test]
-    fn crossing_cubes_equals_naive(dims in 4usize..12, seed in any::<u64>(), iso in 0.3f32..1.3) {
+#[test]
+fn crossing_cubes_equals_naive() {
+    let mut rng = SmallRng::seed_from_u64(0xA9_0005);
+    for case in 0..40 {
+        let dims = rng.gen_range(4, 12);
+        let seed = rng.next_u64();
+        let iso = 0.3 + rng.gen_f64() as f32;
+
         let g = ScalarGrid::synthetic(dims, dims, dims, seed);
         let fast = crossing_cubes(&g, 0..g.cubes(), iso);
         let naive: Vec<u32> = (0..g.cubes())
             .filter(|&c| cgp_apps::isosurface::crosses(&g.corners(c), iso))
             .map(|c| c as u32)
             .collect();
-        prop_assert_eq!(fast, naive);
+        assert_eq!(fast, naive, "case {case}: seed={seed} iso={iso}");
     }
+}
 
-    #[test]
-    fn crossing_cubes_respects_range(dims in 4usize..12, seed in any::<u64>(), lo_frac in 0.0f64..1.0, len_frac in 0.0f64..1.0) {
+#[test]
+fn crossing_cubes_respects_range() {
+    let mut rng = SmallRng::seed_from_u64(0xA9_0006);
+    for case in 0..40 {
+        let dims = rng.gen_range(4, 12);
+        let seed = rng.next_u64();
+        let lo_frac = rng.gen_f64();
+        let len_frac = rng.gen_f64();
+
         let g = ScalarGrid::synthetic(dims, dims, dims, seed);
         let total = g.cubes();
         let lo = (lo_frac * total as f64) as usize;
         let hi = (lo + (len_frac * (total - lo) as f64) as usize).min(total);
         let sub = crossing_cubes(&g, lo..hi, 0.8);
         for c in &sub {
-            prop_assert!((*c as usize) >= lo && (*c as usize) < hi);
+            assert!((*c as usize) >= lo && (*c as usize) < hi, "case {case}");
         }
         // Subrange result == filtered full result.
         let full = crossing_cubes(&g, 0..total, 0.8);
@@ -145,6 +189,6 @@ proptest! {
             .into_iter()
             .filter(|c| (*c as usize) >= lo && (*c as usize) < hi)
             .collect();
-        prop_assert_eq!(sub, expect);
+        assert_eq!(sub, expect, "case {case}: seed={seed}");
     }
 }

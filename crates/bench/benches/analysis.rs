@@ -2,18 +2,24 @@
 //! paper argues single-pass efficiency matters for JIT settings.
 
 use cgp_core::apps::dialect::{KNN_SRC, VMSCOPE_SRC, ZBUF_SRC};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgp_obs::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
-    for (name, src) in [("zbuf", ZBUF_SRC), ("knn", KNN_SRC), ("vmscope", VMSCOPE_SRC)] {
+    for (name, src) in [
+        ("zbuf", ZBUF_SRC),
+        ("knn", KNN_SRC),
+        ("vmscope", VMSCOPE_SRC),
+    ] {
         group.bench_with_input(BenchmarkId::new("frontend", name), &src, |b, src| {
             b.iter(|| cgp_lang::frontend(src).unwrap())
         });
         let typed = cgp_lang::frontend(src).unwrap();
-        group.bench_with_input(BenchmarkId::new("normalize_fission", name), &typed, |b, tp| {
-            b.iter(|| cgp_compiler::normalize(tp).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("normalize_fission", name),
+            &typed,
+            |b, tp| b.iter(|| cgp_compiler::normalize(tp).unwrap()),
+        );
         let np = cgp_compiler::normalize(&typed).unwrap();
         let graph = cgp_compiler::graph::build_graph(&np).unwrap();
         group.bench_with_input(

@@ -2,12 +2,14 @@
 //! paper's closed-form total-time formula (Section 4.3).
 
 use cgp_core::grid::{analytic_total_time, simulate, GridConfig, LinkSpec, PacketWork};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgp_obs::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn packets(n: usize, m: usize) -> Vec<PacketWork> {
     (0..n)
         .map(|i| PacketWork {
-            comp_ops: (0..m).map(|s| 1e5 * (1.0 + ((i + s) % 7) as f64 / 10.0)).collect(),
+            comp_ops: (0..m)
+                .map(|s| 1e5 * (1.0 + ((i + s) % 7) as f64 / 10.0))
+                .collect(),
             bytes: (0..m - 1).map(|l| 1e4 * (1.0 + l as f64)).collect(),
             read_bytes: 0.0,
         })
@@ -16,7 +18,10 @@ fn packets(n: usize, m: usize) -> Vec<PacketWork> {
 
 fn bench_costmodel(c: &mut Criterion) {
     let mut group = c.benchmark_group("costmodel");
-    let link = LinkSpec { bandwidth: 1e8, latency: 2e-5 };
+    let link = LinkSpec {
+        bandwidth: 1e8,
+        latency: 2e-5,
+    };
     for &n in &[100usize, 10_000] {
         let grid = GridConfig::w_w_1(4, 1e9, link);
         let pkts = packets(n, 3);

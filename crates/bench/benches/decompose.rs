@@ -3,13 +3,17 @@
 //! `O(m)`-space rolling variant.
 
 use cgp_core::{Decomposition, PipelineEnv};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgp_obs::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn synthetic_problem(n_atoms: usize) -> cgp_compiler::Problem {
     use cgp_compiler::cost::OpCount;
     let tasks: Vec<OpCount> = (0..=n_atoms)
         .map(|i| OpCount {
-            flops: if i == 0 { 0.0 } else { 100.0 + 37.0 * (i as f64 * 1.7).sin().abs() },
+            flops: if i == 0 {
+                0.0
+            } else {
+                100.0 + 37.0 * (i as f64 * 1.7).sin().abs()
+            },
             iops: 10.0,
             mem: 20.0,
         })

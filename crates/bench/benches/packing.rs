@@ -4,7 +4,7 @@
 use cgp_compiler::packing::{pack, unpack, PackEntry, PackLayout, RuntimeEnv, ScalarKind};
 use cgp_compiler::place::{Place, Section, SymExpr};
 use cgp_lang::Value;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgp_obs::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
 
 fn entry(root: &str, field: &str, n: i64, first: usize) -> PackEntry {
@@ -13,7 +13,11 @@ fn entry(root: &str, field: &str, n: i64, first: usize) -> PackEntry {
         Section::dense(SymExpr::konst(0), SymExpr::konst(n - 1)),
     );
     place.fields.push(field.to_string());
-    PackEntry { place, first_consumer: first, elem: ScalarKind::F64 }
+    PackEntry {
+        place,
+        first_consumer: first,
+        elem: ScalarKind::F64,
+    }
 }
 
 fn vars(n: usize) -> HashMap<String, Value> {
@@ -36,17 +40,11 @@ fn bench_packing(c: &mut Criterion) {
     for &n in &[256usize, 4096] {
         let env = RuntimeEnv::for_packet("pkt", 0, n as i64 - 1);
         let instance = PackLayout {
-            instance_wise: vec![
-                entry("t", "x", n as i64, 1),
-                entry("t", "y", n as i64, 1),
-            ],
+            instance_wise: vec![entry("t", "x", n as i64, 1), entry("t", "y", n as i64, 1)],
             ..Default::default()
         };
         let field = PackLayout {
-            field_wise: vec![
-                entry("t", "x", n as i64, 1),
-                entry("t", "y", n as i64, 2),
-            ],
+            field_wise: vec![entry("t", "x", n as i64, 1), entry("t", "y", n as i64, 2)],
             ..Default::default()
         };
         let v = vars(n);

@@ -18,7 +18,10 @@ fn grid(bandwidth: f64, data_host_share: f64) -> GridConfig {
     let mut g = GridConfig::w_w_1(
         1,
         CALIBRATION / PENTIUM_SLOWDOWN,
-        LinkSpec { bandwidth, latency: 2.0e-5 },
+        LinkSpec {
+            bandwidth,
+            latency: 2.0e-5,
+        },
     );
     for h in &mut g.stages[0].hosts {
         h.power *= data_host_share;
@@ -54,8 +57,14 @@ fn main() {
     let run = |a: &[PacketWork], b: &[PacketWork], switch: bool| {
         simulate_phased(
             &[
-                Phase { grid: phase1.clone(), packets: a.to_vec() },
-                Phase { grid: phase2.clone(), packets: b.to_vec() },
+                Phase {
+                    grid: phase1.clone(),
+                    packets: a.to_vec(),
+                },
+                Phase {
+                    grid: phase2.clone(),
+                    packets: b.to_vec(),
+                },
             ],
             &[switch],
             if switch { penalty } else { 0.0 },

@@ -4,16 +4,23 @@
 //! memory-resident (as the paper's repeated-run measurements would).
 
 use cgp_bench::workloads::iso_variant;
-use cgp_bench::{grid_with_bandwidth, env};
+use cgp_bench::{env, grid_with_bandwidth};
 use cgp_core::apps::isosurface::{IsoVersion, Renderer};
 use cgp_core::{simulate_variant, DISK_BANDWIDTH};
 
 fn main() {
     println!("zbuf small dataset, 1-1-1, memory-resident vs disk-resident data:\n");
-    println!("{:<18} {:>12} {:>12} {:>8}", "storage", "Default(s)", "Decomp(s)", "gain");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "storage", "Default(s)", "Decomp(s)", "gain"
+    );
     for disk in [false, true] {
         let base = grid_with_bandwidth(1, env::ISO_BANDWIDTH);
-        let grid = if disk { base.with_stage0_disk(DISK_BANDWIDTH) } else { base };
+        let grid = if disk {
+            base.with_stage0_disk(DISK_BANDWIDTH)
+        } else {
+            base
+        };
         let d = simulate_variant(
             &mut iso_variant(false, Renderer::ZBuffer, IsoVersion::Default),
             &grid,

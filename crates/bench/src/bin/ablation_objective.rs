@@ -42,9 +42,9 @@ fn main() {
         let latency = compile(src, &base.clone()).expect("latency compile");
         let steady = compile(
             src,
-            &base
-                .clone()
-                .with_objective(Objective::SteadyState { n_packets: N_PACKETS }),
+            &base.clone().with_objective(Objective::SteadyState {
+                n_packets: N_PACKETS,
+            }),
         )
         .expect("steady compile");
         let n_tasks = latency.problem.n_tasks();

@@ -3,8 +3,8 @@
 //! the predicted total time per candidate; the interior optimum shows the
 //! overlap-vs-latency trade-off the paper describes.
 
-use cgp_core::apps::dialect::ZBUF_SRC;
 use cgp_compiler::choose_packet_count;
+use cgp_core::apps::dialect::ZBUF_SRC;
 use cgp_core::{CompileOptions, Objective, PipelineEnv};
 
 fn main() {
@@ -15,18 +15,27 @@ fn main() {
         .with_selectivity(0, 0.08)
         .with_objective(Objective::SteadyState { n_packets: 64 });
     let candidates: Vec<i64> = (0..=16).map(|e| 1i64 << e).collect();
-    let (best, sweep) =
-        choose_packet_count(ZBUF_SRC, &opts, domain, &candidates).expect("sweep");
+    let (best, sweep) = choose_packet_count(ZBUF_SRC, &opts, domain, &candidates).expect("sweep");
     println!("packet-count sweep, zbuf, {domain} cubes, link latency 5 ms:\n");
-    println!("{:>12} {:>12} {:>16}", "num_packets", "packet_size", "predicted (s)");
+    println!(
+        "{:>12} {:>12} {:>16}",
+        "num_packets", "packet_size", "predicted (s)"
+    );
     for p in &sweep {
-        let marker = if p.num_packets == best.num_packets { "  <== best" } else { "" };
+        let marker = if p.num_packets == best.num_packets {
+            "  <== best"
+        } else {
+            ""
+        };
         println!(
             "{:>12} {:>12} {:>16.4}{marker}",
             p.num_packets, p.packet_size, p.predicted_time
         );
     }
-    assert!(best.num_packets > 1, "one packet cannot be optimal with overlap available");
+    assert!(
+        best.num_packets > 1,
+        "one packet cannot be optimal with overlap available"
+    );
     assert!(
         best.num_packets < *candidates.last().unwrap(),
         "per-packet latency must eventually dominate"

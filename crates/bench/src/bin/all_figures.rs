@@ -1,8 +1,11 @@
 //! Runs every figure harness and prints both the console tables and the
-//! Markdown blocks EXPERIMENTS.md embeds.
+//! Markdown blocks EXPERIMENTS.md embeds. Supports `CGP_TRACE=<path>` /
+//! `--trace-out <path>` / `--explain` (see `cgp_bench::harness`).
 use cgp_bench::figures;
+use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
+    let obs = Obs::init();
     let figs = [
         figures::fig05(),
         figures::fig06(),
@@ -20,4 +23,13 @@ fn main() {
     for f in &figs {
         println!("{}", f.to_markdown());
     }
+    for app in [
+        DialectApp::Zbuf,
+        DialectApp::Apix,
+        DialectApp::Knn { k: 3 },
+        DialectApp::Vmscope,
+    ] {
+        obs.compiler_demo(app);
+    }
+    obs.finish();
 }

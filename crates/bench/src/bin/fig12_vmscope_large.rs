@@ -1,4 +1,11 @@
 //! Reproduces Figure 12 of the paper. See EXPERIMENTS.md.
+//! Supports `CGP_TRACE=<path>` / `--trace-out <path>` / `--explain`
+//! (see `cgp_bench::harness`).
+use cgp_bench::harness::{DialectApp, Obs};
+
 fn main() {
+    let obs = Obs::init();
     cgp_bench::figures::fig12().print();
+    obs.compiler_demo(DialectApp::Vmscope);
+    obs.finish();
 }

@@ -1,0 +1,207 @@
+//! Observability wiring shared by the figure binaries.
+//!
+//! Every figure binary accepts:
+//!
+//! - `CGP_TRACE=<path>` (env) or `--trace-out <path>` (flag, wins over the
+//!   env var) — write a Chrome `trace_event` JSON file covering the run:
+//!   the virtual-time simulator timeline, the seven compiler phases of the
+//!   matching dialect program, and a real threaded DataCutter execution of
+//!   its compiled plan (per-filter-copy spans, per-packet events);
+//! - `--explain` — print the compiler's decision report for the matching
+//!   dialect program: candidate boundary graph, per-boundary
+//!   Gen/Cons/ReqComm byte volumes, every candidate decomposition's cost,
+//!   and why the winner won.
+//!
+//! When neither is given the binaries run exactly as before — no sink is
+//! installed and the tracing hooks reduce to one relaxed atomic load.
+
+use cgp_core::apps::dialect::{
+    iso_host_env, knn_host_env, vmscope_host_env, APIX_SRC, KNN_SRC, VMSCOPE_SRC, ZBUF_SRC,
+};
+use cgp_core::apps::isosurface::ScalarGrid;
+use cgp_core::apps::vmscope::Slide;
+use cgp_core::{compile, run_plan_threaded, CompileOptions, PipelineEnv};
+use cgp_obs::trace::{self, TraceEvent};
+use cgp_obs::{ChromeTraceSink, TraceSink};
+use std::sync::{Arc, Mutex};
+
+/// Which dialect program matches the figure being run.
+#[derive(Debug, Clone, Copy)]
+pub enum DialectApp {
+    Zbuf,
+    Apix,
+    Knn { k: i64 },
+    Vmscope,
+}
+
+/// Forwards to the Chrome sink while accumulating a per-phase timing
+/// summary of the compiler spans.
+struct SummarySink {
+    inner: ChromeTraceSink,
+    phases: Mutex<Vec<(String, f64)>>,
+}
+
+impl TraceSink for SummarySink {
+    fn record(&self, event: TraceEvent) {
+        if event.ph == 'X' && event.cat == "compiler-phase" {
+            self.phases
+                .lock()
+                .unwrap()
+                .push((event.name.clone(), event.dur_us));
+        }
+        self.inner.record(event);
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+/// Per-run observability state for a figure binary.
+pub struct Obs {
+    explain: bool,
+    trace_path: Option<String>,
+    sink: Option<Arc<SummarySink>>,
+}
+
+impl Obs {
+    /// Parse `--trace-out`/`--explain` from the command line and `CGP_TRACE`
+    /// from the environment; install the trace sink if either asks for one.
+    pub fn init() -> Obs {
+        let mut explain = false;
+        let mut trace_path: Option<String> = std::env::var(trace::TRACE_ENV).ok();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--explain" => explain = true,
+                "--trace-out" => trace_path = args.next(),
+                _ => {
+                    if let Some(p) = a.strip_prefix("--trace-out=") {
+                        trace_path = Some(p.to_string());
+                    }
+                }
+            }
+        }
+        let sink = trace_path.as_ref().map(|p| {
+            let inner = ChromeTraceSink::create(p)
+                .unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"));
+            let sink = Arc::new(SummarySink {
+                inner,
+                phases: Mutex::new(Vec::new()),
+            });
+            trace::install_sink(sink.clone());
+            sink
+        });
+        Obs {
+            explain,
+            trace_path,
+            sink,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.explain || self.sink.is_some()
+    }
+
+    /// Compile (and, when tracing, execute on real threads) the dialect
+    /// program matching this figure, on a demo-sized workload. Emits the
+    /// seven compiler phase spans, the decision report, and the runtime's
+    /// per-filter spans into the trace; prints the report with `--explain`.
+    pub fn compiler_demo(&self, app: DialectApp) {
+        if !self.active() {
+            return;
+        }
+        let (name, src, opts) = demo_config(app);
+        let compiled = match compile(src, &opts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[obs] dialect compile failed for {name}: {e}");
+                return;
+            }
+        };
+        if self.explain {
+            println!("--- {name}: compiler decision report ---");
+            print!("{}", compiled.report.render_text());
+        }
+        if self.sink.is_some() {
+            let builder = demo_host_builder(app);
+            if let Err(e) = run_plan_threaded(Arc::new(compiled.plan), builder, None) {
+                eprintln!("[obs] threaded demo run failed for {name}: {e}");
+            }
+        }
+    }
+
+    /// Flush the trace (writes the Chrome JSON array) and print the
+    /// phase-timing summary.
+    pub fn finish(self) {
+        let Some(sink) = self.sink else { return };
+        trace::clear_sink();
+        let phases = sink.phases.lock().unwrap();
+        if !phases.is_empty() {
+            println!("--- compiler phase timings ---");
+            for (name, dur_us) in phases.iter() {
+                println!("  {name:<12} {dur_us:>10.1} us");
+            }
+        }
+        if let Some(p) = &self.trace_path {
+            println!("trace written to {p} (open in Perfetto / chrome://tracing)");
+        }
+    }
+}
+
+/// Demo-sized compile configuration per app (small workloads — these runs
+/// exist to populate traces and reports, not to measure).
+fn demo_config(app: DialectApp) -> (&'static str, &'static str, CompileOptions) {
+    match app {
+        DialectApp::Zbuf => (
+            "zbuf",
+            ZBUF_SRC,
+            CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e6, 1e-5), 128)
+                .with_symbol("ncubes", 343)
+                .with_symbol("screen", 16)
+                .with_selectivity(0, 0.15),
+        ),
+        DialectApp::Apix => (
+            "apix",
+            APIX_SRC,
+            CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e6, 1e-5), 128)
+                .with_symbol("ncubes", 343)
+                .with_symbol("screen", 16)
+                .with_selectivity(0, 0.15),
+        ),
+        DialectApp::Knn { k } => (
+            "knn",
+            KNN_SRC,
+            CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e6, 1e-5), 64)
+                .with_symbol("npoints", 300)
+                .with_symbol("k", k.min(50)),
+        ),
+        DialectApp::Vmscope => (
+            "vmscope",
+            VMSCOPE_SRC,
+            CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e6, 1e-5), 8)
+                .with_symbol("height", 32)
+                .with_symbol("width", 32)
+                .with_symbol("subsample", 2)
+                .with_selectivity(0, 0.5),
+        ),
+    }
+}
+
+fn demo_host_builder(app: DialectApp) -> cgp_core::HostBuilder {
+    match app {
+        DialectApp::Zbuf | DialectApp::Apix => {
+            let grid = ScalarGrid::synthetic(8, 8, 8, 21);
+            Arc::new(move || iso_host_env(&grid, 0.8, 16, 4))
+        }
+        DialectApp::Knn { k } => {
+            let pts = cgp_core::apps::knn::generate_points(300, 5);
+            let k = k.min(50);
+            Arc::new(move || knn_host_env(&pts, [0.3, 0.6, 0.2], k, 6))
+        }
+        DialectApp::Vmscope => {
+            let slide = Slide::synthetic(32, 32, 9);
+            Arc::new(move || vmscope_host_env(&slide, 2, 4))
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! Per-figure environment constants (host slowdown, effective link
 //! bandwidth) and their justification are recorded in EXPERIMENTS.md.
 
+pub mod harness;
+
 use cgp_core::apps::profile::AppVariant;
 use cgp_core::grid::{GridConfig, LinkSpec};
 use cgp_core::{simulate_variant, CALIBRATION, PENTIUM_SLOWDOWN};
@@ -33,7 +35,10 @@ pub fn grid_with(w: usize, bandwidth: f64, slowdown: f64) -> GridConfig {
     GridConfig::w_w_1(
         w,
         CALIBRATION / slowdown,
-        LinkSpec { bandwidth, latency: 2.0e-5 },
+        LinkSpec {
+            bandwidth,
+            latency: 2.0e-5,
+        },
     )
 }
 
@@ -62,7 +67,13 @@ impl Figure {
         bandwidth: f64,
         versions: Vec<VariantMaker>,
     ) -> Figure {
-        Self::run_with(id, title, bandwidth, crate::PENTIUM_SLOWDOWN_DEFAULT, versions)
+        Self::run_with(
+            id,
+            title,
+            bandwidth,
+            crate::PENTIUM_SLOWDOWN_DEFAULT,
+            versions,
+        )
     }
 
     /// [`Figure::run`] with an explicit host slowdown.
@@ -194,7 +205,11 @@ pub mod workloads {
     /// Screen scales with the dataset extent so the per-triangle raster
     /// area (hence the compute/communication balance) is size-independent.
     pub fn iso_screen(large: bool) -> usize {
-        if large { 1536 } else { 1024 }
+        if large {
+            1536
+        } else {
+            1024
+        }
     }
 
     pub fn iso_variant(large: bool, renderer: Renderer, version: IsoVersion) -> IsoPipeline {
@@ -231,15 +246,37 @@ pub mod workloads {
     }
 
     pub fn vm_small_query() -> (Query, usize) {
-        (Query { x0: 512, y0: 512, width: 256, height: 256, subsample: 4 }, 5)
+        (
+            Query {
+                x0: 512,
+                y0: 512,
+                width: 256,
+                height: 256,
+                subsample: 4,
+            },
+            5,
+        )
     }
 
     pub fn vm_large_query() -> (Query, usize) {
-        (Query { x0: 0, y0: 0, width: 2048, height: 2048, subsample: 8 }, 64)
+        (
+            Query {
+                x0: 0,
+                y0: 0,
+                width: 2048,
+                height: 2048,
+                subsample: 8,
+            },
+            64,
+        )
     }
 
     pub fn vm_variant(large: bool, version: VmVersion) -> VmscopePipeline {
-        let (q, packets) = if large { vm_large_query() } else { vm_small_query() };
+        let (q, packets) = if large {
+            vm_large_query()
+        } else {
+            vm_small_query()
+        };
         VmscopePipeline::new(
             vm_slide(),
             q,
@@ -260,7 +297,9 @@ pub mod figures {
     use cgp_core::apps::profile::AppVariant;
     use cgp_core::apps::vmscope::VmVersion;
 
-    fn boxed<V: AppVariant + 'static>(f: impl Fn() -> V + 'static) -> Box<dyn Fn() -> Box<dyn AppVariant>> {
+    fn boxed<V: AppVariant + 'static>(
+        f: impl Fn() -> V + 'static,
+    ) -> Box<dyn Fn() -> Box<dyn AppVariant>> {
         Box::new(move || Box::new(f()))
     }
 
@@ -279,7 +318,10 @@ pub mod figures {
 
     fn knn_versions(k: usize) -> Vec<VariantMaker> {
         vec![
-            ("Default".into(), boxed(move || knn_variant(k, KnnVersion::Default))),
+            (
+                "Default".into(),
+                boxed(move || knn_variant(k, KnnVersion::Default)),
+            ),
             (
                 "Decomp-Comp".into(),
                 boxed(move || knn_variant(k, KnnVersion::DecompComp)),
@@ -293,7 +335,10 @@ pub mod figures {
 
     fn vm_versions(large: bool) -> Vec<VariantMaker> {
         vec![
-            ("Default".into(), boxed(move || vm_variant(large, VmVersion::Default))),
+            (
+                "Default".into(),
+                boxed(move || vm_variant(large, VmVersion::Default)),
+            ),
             (
                 "Decomp-Comp".into(),
                 boxed(move || vm_variant(large, VmVersion::DecompComp)),

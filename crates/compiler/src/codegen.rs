@@ -75,9 +75,18 @@ impl FilterPlan {
         use std::fmt::Write as _;
         let mut s = String::new();
         for f in &self.filters {
-            let labels: Vec<&str> =
-                f.atoms.iter().map(|a| self.graph.atoms[*a].label.as_str()).collect();
-            let _ = writeln!(s, "filter {} on C{}: [{}]", f.name, f.unit + 1, labels.join(", "));
+            let labels: Vec<&str> = f
+                .atoms
+                .iter()
+                .map(|a| self.graph.atoms[*a].label.as_str())
+                .collect();
+            let _ = writeln!(
+                s,
+                "filter {} on C{}: [{}]",
+                f.name,
+                f.unit + 1,
+                labels.join(", ")
+            );
         }
         for (l, lay) in self.layouts.iter().enumerate() {
             let places: Vec<String> = lay.entries().map(|e| e.place.to_string()).collect();
@@ -86,7 +95,11 @@ impl FilterPlan {
                 "link L{}: {} {}",
                 l + 1,
                 places.join(", "),
-                if lay.filtered.is_some() { "(filtered)" } else { "" }
+                if lay.filtered.is_some() {
+                    "(filtered)"
+                } else {
+                    ""
+                }
             );
         }
         s
@@ -121,7 +134,9 @@ pub fn build_plan(
         .collect();
     for (task, &unit) in decomposition.unit_of.iter().enumerate().skip(1) {
         if unit >= m {
-            return Err(CompileError::new("assignment references a unit beyond the pipeline"));
+            return Err(CompileError::new(
+                "assignment references a unit beyond the pipeline",
+            ));
         }
         filters[unit].atoms.push(task - 1);
     }
@@ -274,10 +289,8 @@ fn atom_names(code: &AtomCode, declared: &mut HashSet<String>, needed: &mut Vec<
 
 fn collect_stmt_var_reads(s: &Stmt, out: &mut Vec<String>) {
     match &s.kind {
-        StmtKind::VarDecl { init, .. } => {
-            if let Some(e) = init {
-                collect_expr_vars(e, out);
-            }
+        StmtKind::VarDecl { init: Some(e), .. } => {
+            collect_expr_vars(e, out);
         }
         StmtKind::Assign { target, value, .. } => {
             collect_expr_vars(value, out);
@@ -292,10 +305,8 @@ fn collect_stmt_var_reads(s: &Stmt, out: &mut Vec<String>) {
         }
         StmtKind::If { cond, .. } => collect_expr_vars(cond, out),
         StmtKind::While { cond, .. } => collect_expr_vars(cond, out),
-        StmtKind::For { cond, .. } => {
-            if let Some(c) = cond {
-                collect_expr_vars(c, out);
-            }
+        StmtKind::For { cond: Some(c), .. } => {
+            collect_expr_vars(c, out);
         }
         StmtKind::Foreach { domain, .. } => collect_expr_vars(domain, out),
         StmtKind::Return(Some(e)) | StmtKind::Expr(e) => collect_expr_vars(e, out),
@@ -371,7 +382,12 @@ impl<'p> FilterStepper<'p> {
         for _ in 0..plan.m {
             // Each filter runs the prologue against the full host env (the
             // prologue must be cheap and deterministic — documented).
-            let mut interp = Interp::new(tp, HostEnv { values: host.values.clone() });
+            let mut interp = Interp::new(
+                tp,
+                HostEnv {
+                    values: host.values.clone(),
+                },
+            );
             let mut vars = HashMap::new();
             interp
                 .exec_stmts_with_vars(&plan.np.class, &plan.np.prologue, &mut vars)
@@ -391,7 +407,12 @@ impl<'p> FilterStepper<'p> {
     pub fn loop_bounds(&self) -> CompileResult<((i64, i64), i64)> {
         let plan = self.plan;
         let tp = &plan.np.typed;
-        let mut interp = Interp::new(tp, HostEnv { values: self.source_env.clone() });
+        let mut interp = Interp::new(
+            tp,
+            HostEnv {
+                values: self.source_env.clone(),
+            },
+        );
         let mut vars = self.state[0].clone();
         let mut ids = NodeIdGen::above(&tp.program);
         let probe = vec![
@@ -468,9 +489,8 @@ impl<'p> FilterStepper<'p> {
         let mut vars: HashMap<String, Value> = self.state[j].clone();
         let mut selection: Option<Vec<i64>> = None;
         if j > 0 {
-            let input = input.ok_or_else(|| {
-                CompileError::new(format!("filter {j} expected an input buffer"))
-            })?;
+            let input = input
+                .ok_or_else(|| CompileError::new(format!("filter {j} expected an input buffer")))?;
             let un = unpack(&plan.layouts[j - 1], &renv, input)?;
             selection = un.selection;
             for (k, v) in un.vars {
@@ -517,10 +537,15 @@ impl<'p> FilterStepper<'p> {
                         .exec_stmts_with_vars(&plan.np.class, std::slice::from_ref(&s), &mut vars)
                         .map_err(CompileError::from)?;
                 }
-                AtomCode::CondSelect { var, domain, cond, cond_id } => {
+                AtomCode::CondSelect {
+                    var,
+                    domain,
+                    cond,
+                    cond_id,
+                } => {
                     // Same-filter body? Reconstitute the conditional foreach.
-                    let body_here =
-                        k + 1 < atoms.len() && matches!(&plan.graph.atoms[atoms[k+1]].code, AtomCode::CondBody { cond_id: c2, .. } if c2 == cond_id);
+                    let body_here = k + 1 < atoms.len()
+                        && matches!(&plan.graph.atoms[atoms[k+1]].code, AtomCode::CondBody { cond_id: c2, .. } if c2 == cond_id);
                     if body_here {
                         let AtomCode::CondBody { body, .. } = &plan.graph.atoms[atoms[k + 1]].code
                         else {
@@ -558,9 +583,9 @@ impl<'p> FilterStepper<'p> {
                 AtomCode::CondBody { var, body, .. } => {
                     // Executed for passing points only (received or locally
                     // produced selection).
-                    let sel = selection.clone().ok_or_else(|| {
-                        CompileError::new("CondBody without a selection list")
-                    })?;
+                    let sel = selection
+                        .clone()
+                        .ok_or_else(|| CompileError::new("CondBody without a selection list"))?;
                     let var = var.clone();
                     let body = body.clone();
                     for i in sel {
@@ -605,7 +630,12 @@ impl<'p> FilterStepper<'p> {
         partial: &HashMap<String, Value>,
     ) -> CompileResult<()> {
         let tp = &self.plan.np.typed;
-        let mut interp = Interp::new(tp, HostEnv { values: self.config.clone() });
+        let mut interp = Interp::new(
+            tp,
+            HostEnv {
+                values: self.config.clone(),
+            },
+        );
         for (root, part) in partial {
             let Some(Value::Object(own)) = self.state[j].get(root).cloned() else {
                 continue;
@@ -622,7 +652,12 @@ impl<'p> FilterStepper<'p> {
     /// been merged into it). Returns the captured `print` output.
     pub fn epilogue_at(&mut self, j: usize) -> CompileResult<Vec<String>> {
         let tp = &self.plan.np.typed;
-        let mut interp = Interp::new(tp, HostEnv { values: self.config.clone() });
+        let mut interp = Interp::new(
+            tp,
+            HostEnv {
+                values: self.config.clone(),
+            },
+        );
         let mut vars = self.state[j].clone();
         let epi = self.plan.np.epilogue.clone();
         interp
@@ -636,7 +671,12 @@ impl<'p> FilterStepper<'p> {
     pub fn finalize(&mut self, host: &HostEnv) -> CompileResult<Vec<String>> {
         let plan = self.plan;
         let tp = &plan.np.typed;
-        let mut interp = Interp::new(tp, HostEnv { values: host.values.clone() });
+        let mut interp = Interp::new(
+            tp,
+            HostEnv {
+                values: host.values.clone(),
+            },
+        );
         let last = plan.m - 1;
         let red_roots: Vec<String> = plan.analysis.reduction_roots.iter().cloned().collect();
         for root in &red_roots {
@@ -667,7 +707,11 @@ fn reconstitute(var: &str, domain: &Expr, cond: &Expr, body: &Block) -> Stmt {
     let iff = Stmt::new(
         NodeId(u32::MAX - 2),
         Span::synthetic(),
-        StmtKind::If { cond: cond.clone(), then_blk: body.clone(), else_blk: None },
+        StmtKind::If {
+            cond: cond.clone(),
+            then_blk: body.clone(),
+            else_blk: None,
+        },
     );
     Stmt::new(
         NodeId(u32::MAX - 3),
@@ -685,11 +729,19 @@ fn select_probe(var: &str, domain: &Expr, cond: &Expr) -> Vec<Stmt> {
     let mk = |kind| Stmt::new(NodeId(u32::MAX - 4), Span::synthetic(), kind);
     let size = Expr::new(
         Span::synthetic(),
-        ExprKind::Call { recv: Some(Box::new(domain.clone())), method: "size".into(), args: vec![] },
+        ExprKind::Call {
+            recv: Some(Box::new(domain.clone())),
+            method: "size".into(),
+            args: vec![],
+        },
     );
     let lo = Expr::new(
         Span::synthetic(),
-        ExprKind::Call { recv: Some(Box::new(domain.clone())), method: "lo".into(), args: vec![] },
+        ExprKind::Call {
+            recv: Some(Box::new(domain.clone())),
+            method: "lo".into(),
+            args: vec![],
+        },
     );
     let idx = Expr::new(
         Span::synthetic(),
@@ -764,7 +816,10 @@ mod tests {
                 for i in 0..g.atoms.len() {
                     unit_of.push(((i + 1) * m / n_tasks).min(m - 1));
                 }
-                Decomposition { unit_of, cost: f64::NAN }
+                Decomposition {
+                    unit_of,
+                    cost: f64::NAN,
+                }
             }
             DecompStyle::Dp => {
                 let env = CostEnv::for_packet(64).with_symbol("n", 256);
@@ -819,7 +874,9 @@ mod tests {
 
     fn base_host(n: i64, num_packets: i64) -> HostEnv {
         let data = Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
-            (0..n).map(|i| Value::Double((i * 7 % 100) as f64)).collect(),
+            (0..n)
+                .map(|i| Value::Double((i * 7 % 100) as f64))
+                .collect(),
         )));
         HostEnv::new()
             .bind("n", Value::Int(n))
@@ -908,8 +965,8 @@ mod tests {
         // Plan A: cut exactly at the filtering boundary (atoms ≤ cond_b on
         // unit 0, rest on unit 1).
         let mut unit_of = vec![0usize; n_tasks];
-        for t in 1..n_tasks {
-            unit_of[t] = if t - 1 <= cond_b { 0 } else { 1 };
+        for (t, u) in unit_of.iter_mut().enumerate().skip(1) {
+            *u = if t - 1 <= cond_b { 0 } else { 1 };
         }
         let plan_a = build_plan(&np, &g, &ca, &Decomposition { unit_of, cost: 0.0 }, 2).unwrap();
         // Plan B: Default (everything downstream).
@@ -929,8 +986,14 @@ mod tests {
             buf_b.len()
         );
         // And both plans still agree with the oracle.
-        assert_eq!(run_plan_sequential(&plan_a, &host).unwrap(), oracle(src, &host));
-        assert_eq!(run_plan_sequential(&plan_b, &host).unwrap(), oracle(src, &host));
+        assert_eq!(
+            run_plan_sequential(&plan_a, &host).unwrap(),
+            oracle(src, &host)
+        );
+        assert_eq!(
+            run_plan_sequential(&plan_b, &host).unwrap(),
+            oracle(src, &host)
+        );
     }
 
     #[test]
@@ -968,7 +1031,9 @@ mod tests {
         "#;
         let n = 90;
         let xs = Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
-            (0..n).map(|i| Value::Double((i % 13) as f64 * 0.31)).collect(),
+            (0..n)
+                .map(|i| Value::Double((i % 13) as f64 * 0.31))
+                .collect(),
         )));
         let host = HostEnv::new()
             .bind("n", Value::Int(n))

@@ -27,6 +27,7 @@ use crate::normalize::NormalizedPipeline;
 use crate::place::{PlaceSet, Sectioning};
 use cgp_lang::ast::*;
 use std::collections::HashMap;
+use std::ops::Add;
 
 /// Operation counts for a piece of code (fractional: trip counts and
 /// selectivities scale them).
@@ -42,21 +43,29 @@ impl OpCount {
         Self::default()
     }
 
-    pub fn add(self, o: OpCount) -> OpCount {
-        OpCount {
-            flops: self.flops + o.flops,
-            iops: self.iops + o.iops,
-            mem: self.mem + o.mem,
-        }
-    }
-
     pub fn scale(self, k: f64) -> OpCount {
-        OpCount { flops: self.flops * k, iops: self.iops * k, mem: self.mem * k }
+        OpCount {
+            flops: self.flops * k,
+            iops: self.iops * k,
+            mem: self.mem * k,
+        }
     }
 
     /// Weighted total operations.
     pub fn weighted(&self, w: &CostWeights) -> f64 {
         self.flops * w.flop + self.iops * w.iop + self.mem * w.mem
+    }
+}
+
+impl Add for OpCount {
+    type Output = OpCount;
+
+    fn add(self, o: OpCount) -> OpCount {
+        OpCount {
+            flops: self.flops + o.flops,
+            iops: self.iops + o.iops,
+            mem: self.mem + o.mem,
+        }
     }
 }
 
@@ -70,7 +79,11 @@ pub struct CostWeights {
 
 impl Default for CostWeights {
     fn default() -> Self {
-        CostWeights { flop: 1.0, iop: 0.5, mem: 0.5 }
+        CostWeights {
+            flop: 1.0,
+            iop: 0.5,
+            mem: 0.5,
+        }
     }
 }
 
@@ -150,7 +163,12 @@ pub fn count_atom(np: &NormalizedPipeline, code: &AtomCode, env: &CostEnv) -> Op
             let trips = counter.domain_trips(domain);
             counter.expr(cond).scale(trips)
         }
-        AtomCode::CondBody { domain, body, cond_id, .. } => {
+        AtomCode::CondBody {
+            domain,
+            body,
+            cond_id,
+            ..
+        } => {
             let trips = counter.domain_trips(domain) * env.sel(*cond_id);
             counter.stmts(&body.stmts).scale(trips)
         }
@@ -170,20 +188,29 @@ struct Counter<'a> {
 
 impl Counter<'_> {
     fn stmts(&mut self, stmts: &[Stmt]) -> OpCount {
-        stmts.iter().map(|s| self.stmt(s)).fold(OpCount::zero(), OpCount::add)
+        stmts
+            .iter()
+            .map(|s| self.stmt(s))
+            .fold(OpCount::zero(), OpCount::add)
     }
 
     fn stmt(&mut self, s: &Stmt) -> OpCount {
         match &s.kind {
             StmtKind::VarDecl { init, .. } => {
-                let mut c = OpCount { mem: 1.0, ..OpCount::zero() };
+                let mut c = OpCount {
+                    mem: 1.0,
+                    ..OpCount::zero()
+                };
                 if let Some(e) = init {
                     c = c.add(self.expr(e));
                 }
                 c
             }
             StmtKind::Assign { target, op, value } => {
-                let mut c = OpCount { mem: 1.0, ..OpCount::zero() };
+                let mut c = OpCount {
+                    mem: 1.0,
+                    ..OpCount::zero()
+                };
                 if *op != AssignOp::Set {
                     c.flops += 1.0;
                 }
@@ -197,7 +224,11 @@ impl Counter<'_> {
                 }
                 c.add(self.expr(value))
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 // Expected cost: half of each branch (no per-site
                 // selectivity knowledge inside segments).
                 let mut c = self.expr(cond);
@@ -211,7 +242,12 @@ impl Counter<'_> {
                 let t = self.env.default_trip;
                 self.expr(cond).add(self.stmts(&body.stmts)).scale(t)
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let trips = self.for_trips(init, cond);
                 let mut c = OpCount::zero();
                 if let Some(i) = init {
@@ -292,7 +328,11 @@ impl Counter<'_> {
                     _ => None,
                 }
             }
-            ExprKind::Call { recv: Some(r), method, args } if args.is_empty() => {
+            ExprKind::Call {
+                recv: Some(r),
+                method,
+                args,
+            } if args.is_empty() => {
                 if let ExprKind::Var(d) = &r.kind {
                     match method.as_str() {
                         "lo" => self.env.lookup(&format!("{d}.lo")),
@@ -314,18 +354,27 @@ impl Counter<'_> {
 
     fn expr(&mut self, e: &Expr) -> OpCount {
         match &e.kind {
-            ExprKind::IntLit(_) | ExprKind::DoubleLit(_) | ExprKind::BoolLit(_) | ExprKind::Null => {
-                OpCount::zero()
-            }
-            ExprKind::Var(_) | ExprKind::This => OpCount { mem: 1.0, ..OpCount::zero() },
-            ExprKind::Field(b, _) => self.expr(b).add(OpCount { mem: 1.0, ..OpCount::zero() }),
-            ExprKind::Index(b, i) => self
-                .expr(b)
-                .add(self.expr(i))
-                .add(OpCount { mem: 1.0, iops: 1.0, ..OpCount::zero() }),
-            ExprKind::Unary(_, x) => {
-                self.expr(x).add(OpCount { iops: 1.0, ..OpCount::zero() })
-            }
+            ExprKind::IntLit(_)
+            | ExprKind::DoubleLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Null => OpCount::zero(),
+            ExprKind::Var(_) | ExprKind::This => OpCount {
+                mem: 1.0,
+                ..OpCount::zero()
+            },
+            ExprKind::Field(b, _) => self.expr(b).add(OpCount {
+                mem: 1.0,
+                ..OpCount::zero()
+            }),
+            ExprKind::Index(b, i) => self.expr(b).add(self.expr(i)).add(OpCount {
+                mem: 1.0,
+                iops: 1.0,
+                ..OpCount::zero()
+            }),
+            ExprKind::Unary(_, x) => self.expr(x).add(OpCount {
+                iops: 1.0,
+                ..OpCount::zero()
+            }),
             ExprKind::Binary(op, l, r) => {
                 let mut c = self.expr(l).add(self.expr(r));
                 // Without per-expression type inference here, count double
@@ -345,16 +394,23 @@ impl Counter<'_> {
                 .add(self.expr(a).scale(0.5))
                 .add(self.expr(b).scale(0.5)),
             ExprKind::Call { recv, method, args } => {
-                let mut c = args.iter().map(|a| self.expr(a)).fold(OpCount::zero(), OpCount::add);
+                let mut c = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .fold(OpCount::zero(), OpCount::add);
                 if let Some(r) = recv {
                     c = c.add(self.expr(r));
                 }
                 c.add(self.call_cost(recv, method))
             }
-            ExprKind::New(_) => OpCount { mem: 4.0, ..OpCount::zero() },
-            ExprKind::NewArray(_, len) => {
-                self.expr(len).add(OpCount { mem: 8.0, ..OpCount::zero() })
-            }
+            ExprKind::New(_) => OpCount {
+                mem: 4.0,
+                ..OpCount::zero()
+            },
+            ExprKind::NewArray(_, len) => self.expr(len).add(OpCount {
+                mem: 8.0,
+                ..OpCount::zero()
+            }),
             ExprKind::DomainLit(lo, hi) => self.expr(lo).add(self.expr(hi)),
         }
     }
@@ -364,10 +420,17 @@ impl Counter<'_> {
             return builtin_cost(method);
         }
         if recv.is_some() && (DOMAIN_METHODS.contains(&method) || ARRAY_METHODS.contains(&method)) {
-            return OpCount { iops: 1.0, ..OpCount::zero() };
+            return OpCount {
+                iops: 1.0,
+                ..OpCount::zero()
+            };
         }
         if self.depth >= 8 {
-            return OpCount { flops: 4.0, iops: 4.0, mem: 4.0 }; // recursion fallback
+            return OpCount {
+                flops: 4.0,
+                iops: 4.0,
+                mem: 4.0,
+            }; // recursion fallback
         }
         // Resolve the method body: receiver's class if known, else search
         // all classes for a uniquely-named method (counting only).
@@ -377,9 +440,16 @@ impl Counter<'_> {
                 self.depth += 1;
                 let c = self.stmts(&m.body.stmts);
                 self.depth -= 1;
-                c.add(OpCount { mem: 2.0, ..OpCount::zero() }) // call overhead
+                c.add(OpCount {
+                    mem: 2.0,
+                    ..OpCount::zero()
+                }) // call overhead
             }
-            None => OpCount { flops: 2.0, iops: 2.0, mem: 2.0 },
+            None => OpCount {
+                flops: 2.0,
+                iops: 2.0,
+                mem: 2.0,
+            },
         }
     }
 
@@ -406,14 +476,30 @@ impl Counter<'_> {
 /// Standard-operation estimates for builtins.
 fn builtin_cost(name: &str) -> OpCount {
     match name {
-        "sqrt" => OpCount { flops: 8.0, ..OpCount::zero() },
-        "pow" | "exp" | "log" => OpCount { flops: 20.0, ..OpCount::zero() },
-        "floor" | "ceil" | "abs" | "toInt" | "toDouble" => {
-            OpCount { flops: 1.0, ..OpCount::zero() }
-        }
-        "min" | "max" => OpCount { flops: 1.0, ..OpCount::zero() },
-        "print" => OpCount { mem: 4.0, ..OpCount::zero() },
-        _ => OpCount { flops: 1.0, ..OpCount::zero() },
+        "sqrt" => OpCount {
+            flops: 8.0,
+            ..OpCount::zero()
+        },
+        "pow" | "exp" | "log" => OpCount {
+            flops: 20.0,
+            ..OpCount::zero()
+        },
+        "floor" | "ceil" | "abs" | "toInt" | "toDouble" => OpCount {
+            flops: 1.0,
+            ..OpCount::zero()
+        },
+        "min" | "max" => OpCount {
+            flops: 1.0,
+            ..OpCount::zero()
+        },
+        "print" => OpCount {
+            mem: 4.0,
+            ..OpCount::zero()
+        },
+        _ => OpCount {
+            flops: 1.0,
+            ..OpCount::zero()
+        },
     }
 }
 
@@ -477,7 +563,10 @@ fn elem_size(np: &NormalizedPipeline, root: &str, fields: &[String]) -> f64 {
         let Some(Type::Class(c)) = &ty else {
             return 8.0;
         };
-        ty = prog.class(c).and_then(|cd| cd.field(f)).map(|fd| fd.ty.clone());
+        ty = prog
+            .class(c)
+            .and_then(|cd| cd.field(f))
+            .map(|fd| fd.ty.clone());
         if let Some(Type::Array(el)) = &ty {
             ty = Some((**el).clone());
         }
@@ -635,7 +724,11 @@ pub fn chain_costs(
         })
         .collect();
     let _ = reduction_roots(np);
-    ChainCosts { tasks, volumes, weights: env.weights }
+    ChainCosts {
+        tasks,
+        volumes,
+        weights: env.weights,
+    }
 }
 
 #[cfg(test)]
@@ -727,12 +820,19 @@ mod tests {
             .position(|b| b.kind == BoundaryKind::CondFilter)
             .unwrap();
         // v__x section of 100 doubles × 0.25 = 200 bytes.
-        assert!((costs.volumes[cond_b] - 200.0).abs() < 1e-6, "{:?}", costs.volumes);
+        assert!(
+            (costs.volumes[cond_b] - 200.0).abs() < 1e-6,
+            "{:?}",
+            costs.volumes
+        );
     }
 
     #[test]
     fn pipeline_time_formula_matches_paper() {
-        let st = StageTimes { comp: vec![1.0, 3.0, 1.0], comm: vec![0.5, 0.5] };
+        let st = StageTimes {
+            comp: vec![1.0, 3.0, 1.0],
+            comm: vec![0.5, 0.5],
+        };
         // bottleneck = C_2 at 3.0; fill = 6.0
         assert_eq!(st.bottleneck(), ("C", 1));
         let t = st.total_time(10);
@@ -743,14 +843,21 @@ mod tests {
 
     #[test]
     fn link_bottleneck_detected() {
-        let st = StageTimes { comp: vec![1.0, 1.0], comm: vec![5.0] };
+        let st = StageTimes {
+            comp: vec![1.0, 1.0],
+            comm: vec![5.0],
+        };
         assert_eq!(st.bottleneck(), ("L", 0));
     }
 
     #[test]
     fn uniform_env_costs() {
         let env = PipelineEnv::uniform(3, 1e9, 1e8, 1e-4);
-        let task = OpCount { flops: 1e6, iops: 0.0, mem: 0.0 };
+        let task = OpCount {
+            flops: 1e6,
+            iops: 0.0,
+            mem: 0.0,
+        };
         let t = env.cost_comp(0, &task, &CostWeights::default());
         assert!((t - 1e-3).abs() < 1e-12);
         let c = env.cost_comm(0, 1e6);

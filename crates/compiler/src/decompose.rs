@@ -48,13 +48,21 @@ impl Problem {
         volumes.extend(costs.volumes.iter().copied());
         volumes.push(0.0);
         assert_eq!(volumes.len(), tasks.len());
-        Problem { tasks, volumes, weights: costs.weights }
+        Problem {
+            tasks,
+            volumes,
+            weights: costs.weights,
+        }
     }
 
     /// Build directly (tests, synthetic benches).
     pub fn synthetic(tasks: Vec<OpCount>, volumes: Vec<f64>) -> Problem {
         assert_eq!(tasks.len(), volumes.len());
-        Problem { tasks, volumes, weights: CostWeights::default() }
+        Problem {
+            tasks,
+            volumes,
+            weights: CostWeights::default(),
+        }
     }
 
     pub fn n_tasks(&self) -> usize {
@@ -81,12 +89,17 @@ impl Decomposition {
         let unit = if m >= 2 { 1 } else { 0 };
         let mut unit_of = vec![unit; n_tasks];
         unit_of[0] = 0;
-        Decomposition { unit_of, cost: f64::NAN }
+        Decomposition {
+            unit_of,
+            cost: f64::NAN,
+        }
     }
 
     /// Task indices assigned to unit `j`.
     pub fn tasks_on(&self, j: usize) -> Vec<usize> {
-        (0..self.unit_of.len()).filter(|i| self.unit_of[*i] == j).collect()
+        (0..self.unit_of.len())
+            .filter(|i| self.unit_of[*i] == j)
+            .collect()
     }
 
     /// For each link `l`, the index of the last task completed on units
@@ -95,8 +108,7 @@ impl Decomposition {
         (0..m.saturating_sub(1))
             .map(|l| {
                 (0..self.unit_of.len())
-                    .filter(|i| self.unit_of[*i] <= l)
-                    .next_back()
+                    .rfind(|i| self.unit_of[*i] <= l)
                     .expect("virtual source is always on unit 0")
             })
             .collect()
@@ -117,15 +129,17 @@ impl Decomposition {
 /// link, the volume of the last task completed before it.
 pub fn evaluate(problem: &Problem, env: &PipelineEnv, unit_of: &[usize]) -> f64 {
     debug_assert_eq!(unit_of.len(), problem.n_tasks());
-    debug_assert!(unit_of.windows(2).all(|w| w[0] <= w[1]), "assignment must be monotone");
+    debug_assert!(
+        unit_of.windows(2).all(|w| w[0] <= w[1]),
+        "assignment must be monotone"
+    );
     let mut cost = 0.0;
     for (i, &j) in unit_of.iter().enumerate() {
         cost += env.cost_comp(j, &problem.tasks[i], &problem.weights);
     }
     for l in 0..env.m() - 1 {
         let carried = (0..unit_of.len())
-            .filter(|i| unit_of[*i] <= l)
-            .next_back()
+            .rfind(|i| unit_of[*i] <= l)
             .expect("virtual source on unit 0");
         cost += env.cost_comm(l, problem.volumes[carried]);
     }
@@ -143,8 +157,7 @@ pub fn stage_times(problem: &Problem, env: &PipelineEnv, unit_of: &[usize]) -> S
     let mut comm = Vec::with_capacity(m.saturating_sub(1));
     for l in 0..m.saturating_sub(1) {
         let carried = (0..unit_of.len())
-            .filter(|i| unit_of[*i] <= l)
-            .next_back()
+            .rfind(|i| unit_of[*i] <= l)
             .expect("virtual source on unit 0");
         comm.push(env.cost_comm(l, problem.volumes[carried]));
     }
@@ -201,7 +214,10 @@ pub fn decompose_dp(problem: &Problem, env: &PipelineEnv) -> Decomposition {
             j -= 1;
         }
     }
-    Decomposition { unit_of, cost: t[n - 1][m - 1] }
+    Decomposition {
+        unit_of,
+        cost: t[n - 1][m - 1],
+    }
 }
 
 /// Rolling-array variant: same optimum, `O(m)` space, no backtracking
@@ -249,8 +265,11 @@ pub fn decompose_brute_force(problem: &Problem, env: &PipelineEnv) -> Decomposit
         let n = problem.n_tasks();
         if i == n {
             let cost = evaluate(problem, env, unit_of);
-            if best.as_ref().map_or(true, |b| cost < b.cost) {
-                *best = Some(Decomposition { unit_of: unit_of.clone(), cost });
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
+                *best = Some(Decomposition {
+                    unit_of: unit_of.clone(),
+                    cost,
+                });
             }
             return;
         }
@@ -289,8 +308,11 @@ pub fn decompose_bottleneck_optimal(
         if i == problem.n_tasks() {
             let st = stage_times(problem, env, unit_of);
             let cost = st.total_time(n_packets);
-            if best.as_ref().map_or(true, |b| cost < b.cost) {
-                *best = Some(Decomposition { unit_of: unit_of.clone(), cost });
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
+                *best = Some(Decomposition {
+                    unit_of: unit_of.clone(),
+                    cost,
+                });
             }
             return;
         }
@@ -310,7 +332,11 @@ mod tests {
     use super::*;
 
     fn flops(f: f64) -> OpCount {
-        OpCount { flops: f, iops: 0.0, mem: 0.0 }
+        OpCount {
+            flops: f,
+            iops: 0.0,
+            mem: 0.0,
+        }
     }
 
     fn problem(work: &[f64], vols: &[f64]) -> Problem {
@@ -321,7 +347,11 @@ mod tests {
         volumes.extend(vols[1..].iter().copied());
         volumes.push(0.0);
         assert_eq!(tasks.len(), volumes.len());
-        Problem { tasks, volumes, weights: CostWeights::default() }
+        Problem {
+            tasks,
+            volumes,
+            weights: CostWeights::default(),
+        }
     }
 
     #[test]
@@ -398,12 +428,19 @@ mod tests {
         let env = PipelineEnv::uniform(4, 50.0, 25.0, 0.0);
         let d = decompose_dp(&p, &env);
         assert_eq!(d.unit_of[0], 0);
-        assert!(d.unit_of.windows(2).all(|w| w[0] <= w[1]), "{:?}", d.unit_of);
+        assert!(
+            d.unit_of.windows(2).all(|w| w[0] <= w[1]),
+            "{:?}",
+            d.unit_of
+        );
     }
 
     #[test]
     fn cut_boundaries_reporting() {
-        let d = Decomposition { unit_of: vec![0, 0, 1, 1], cost: 0.0 };
+        let d = Decomposition {
+            unit_of: vec![0, 0, 1, 1],
+            cost: 0.0,
+        };
         // m=3: link 0 carries task 1's results (cut after atom 0 → boundary
         // 0); link 1 carries task 3's results (boundary 2).
         assert_eq!(d.cut_boundaries(3), vec![Some(0), Some(2)]);

@@ -2,15 +2,22 @@
 
 use crate::codegen::{build_plan, FilterPlan};
 use crate::cost::{chain_costs, volume_bytes, CostEnv, PipelineEnv};
-use crate::decompose::{
-    decompose_bottleneck_optimal, decompose_dp, Decomposition, Problem,
-};
+use crate::decompose::{decompose_bottleneck_optimal, decompose_dp, Decomposition, Problem};
 use crate::error::CompileResult;
 use crate::graph::build_graph;
 use crate::normalize::normalize;
-use crate::reqcomm::analyze_chain_with;
+use crate::report::{build_report, DecisionReport};
+use crate::reqcomm::{atom_sets_with, propagate_reqcomm};
 use cgp_lang::frontend;
+use cgp_obs::trace::{self, PID_COMPILER};
 use std::collections::HashMap;
+
+/// Run one compiler phase inside a trace span (tid 0 = the driver).
+/// Allocation-free when no trace sink is installed.
+fn phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _s = trace::span(name, "compiler-phase", PID_COMPILER, 0);
+    f()
+}
 
 /// Which objective the decomposition minimizes.
 ///
@@ -102,12 +109,19 @@ pub struct Compiled {
     pub problem: Problem,
     /// The options' pipeline environment.
     pub pipeline: PipelineEnv,
+    /// Why this decomposition won: boundary graph, per-boundary volumes,
+    /// candidate costs (see [`crate::report`]).
+    pub report: DecisionReport,
 }
 
 impl Compiled {
     /// Per-packet stage times of the chosen decomposition.
     pub fn stage_times(&self) -> crate::cost::StageTimes {
-        crate::decompose::stage_times(&self.problem, &self.pipeline, &self.plan.decomposition.unit_of)
+        crate::decompose::stage_times(
+            &self.problem,
+            &self.pipeline,
+            &self.plan.decomposition.unit_of,
+        )
     }
 }
 
@@ -139,7 +153,9 @@ pub fn choose_packet_count(
     candidates: &[i64],
 ) -> CompileResult<(PacketSizePoint, Vec<PacketSizePoint>)> {
     if candidates.is_empty() {
-        return Err(crate::error::CompileError::new("no packet-count candidates"));
+        return Err(crate::error::CompileError::new(
+            "no packet-count candidates",
+        ));
     }
     let mut sweep = Vec::with_capacity(candidates.len());
     for &n in candidates {
@@ -176,25 +192,76 @@ pub fn choose_packet_count(
 }
 
 /// Compile dialect source into a filter plan for the given environment.
+///
+/// When a [`cgp_obs`] trace sink is installed each of the seven phases —
+/// normalize, graph, gencons, reqcomm, cost, decompose, codegen — is
+/// recorded as a span under [`PID_COMPILER`].
 pub fn compile(src: &str, options: &CompileOptions) -> CompileResult<Compiled> {
-    let typed = frontend(src)?;
-    let np = normalize(&typed)?;
-    let graph = build_graph(&np)?;
+    if trace::enabled() {
+        trace::name_process(PID_COMPILER, "cgp-compiler");
+        trace::name_thread(PID_COMPILER, 0, "driver");
+    }
+    let _all = trace::span("compile", "compiler", PID_COMPILER, 0);
+    // Phase 1 — normalize: frontend + loop fission / scalar expansion.
+    let np = phase("normalize", || -> CompileResult<_> {
+        let typed = frontend(src)?;
+        normalize(&typed)
+    })?;
+    // Phase 2 — graph: the candidate filter boundary chain.
+    let graph = phase("graph", || build_graph(&np))?;
     let consts: HashMap<String, i64> = options.symbols.iter().cloned().collect();
-    let analysis = analyze_chain_with(&np, &graph, &consts)?;
+    // Phase 3 — gencons: per-atom Gen/Cons sets.
+    let atom_sets = phase("gencons", || atom_sets_with(&np, &graph, &consts))?;
+    // Phase 4 — reqcomm: backward propagation over the chain.
+    let analysis = phase("reqcomm", || propagate_reqcomm(&np, &graph, atom_sets))?;
+    // Phase 5 — cost: op counting and volume estimation.
     let env = options.cost_env();
-    let costs = chain_costs(&np, &graph, &analysis.reqcomm, &env);
-    let input_vol = volume_bytes(&np, &analysis.input_set, &env, None);
-    let problem = Problem::from_chain(&costs, input_vol);
-    let decomposition = match (&options.force_decomposition, options.objective) {
-        (Some(d), _) => d.clone(),
-        (None, Objective::PerPacketLatency) => decompose_dp(&problem, &options.pipeline),
-        (None, Objective::SteadyState { n_packets }) => {
-            decompose_bottleneck_optimal(&problem, &options.pipeline, n_packets)
-        }
-    };
-    let plan = build_plan(&np, &graph, &analysis, &decomposition, options.pipeline.m())?;
-    Ok(Compiled { plan, problem, pipeline: options.pipeline.clone() })
+    let problem = phase("cost", || {
+        let costs = chain_costs(&np, &graph, &analysis.reqcomm, &env);
+        let input_vol = volume_bytes(&np, &analysis.input_set, &env, None);
+        Problem::from_chain(&costs, input_vol)
+    });
+    // Phase 6 — decompose: pick the placement and build the report.
+    let (decomposition, report) = phase("decompose", || {
+        let (decomposition, name): (Decomposition, &'static str) =
+            match (&options.force_decomposition, options.objective) {
+                (Some(d), _) => (d.clone(), "forced"),
+                (None, Objective::PerPacketLatency) => {
+                    (decompose_dp(&problem, &options.pipeline), "latency-dp")
+                }
+                (None, Objective::SteadyState { n_packets }) => (
+                    decompose_bottleneck_optimal(&problem, &options.pipeline, n_packets),
+                    "steady-state",
+                ),
+            };
+        let n_packets_hint = match options.objective {
+            Objective::SteadyState { n_packets } => n_packets,
+            Objective::PerPacketLatency => 64,
+        };
+        let report = build_report(
+            &np,
+            &graph,
+            &analysis,
+            &analysis.atom_sets,
+            &env,
+            &problem,
+            &options.pipeline,
+            &decomposition,
+            name,
+            n_packets_hint,
+        );
+        (decomposition, report)
+    });
+    // Phase 7 — codegen: the executable filter plan.
+    let plan = phase("codegen", || {
+        build_plan(&np, &graph, &analysis, &decomposition, options.pipeline.m())
+    })?;
+    Ok(Compiled {
+        plan,
+        problem,
+        pipeline: options.pipeline.clone(),
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -264,8 +331,7 @@ mod tests {
         let dp = compile(SRC, &opts).unwrap();
         let n_tasks = dp.problem.n_tasks();
         let default = Decomposition::default_style(n_tasks, 3);
-        let default_cost =
-            crate::decompose::evaluate(&dp.problem, &dp.pipeline, &default.unit_of);
+        let default_cost = crate::decompose::evaluate(&dp.problem, &dp.pipeline, &default.unit_of);
         assert!(
             dp.plan.decomposition.cost <= default_cost + 1e-12,
             "dp {} vs default {default_cost}",
@@ -275,8 +341,8 @@ mod tests {
 
     #[test]
     fn stage_times_available() {
-        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 0.0), 64)
-            .with_symbol("n", 512);
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 0.0), 64).with_symbol("n", 512);
         let c = compile(SRC, &opts).unwrap();
         let st = c.stage_times();
         assert_eq!(st.comp.len(), 3);
@@ -295,7 +361,9 @@ mod tests {
         let candidates: Vec<i64> = (0..=14).map(|e| 1i64 << e).collect();
         let (best, sweep) = choose_packet_count(SRC, &opts, 65536, &candidates).unwrap();
         assert_eq!(sweep.len(), 15);
-        assert!(sweep.windows(2).all(|w| w[0].num_packets < w[1].num_packets));
+        assert!(sweep
+            .windows(2)
+            .all(|w| w[0].num_packets < w[1].num_packets));
         let t1 = sweep.first().unwrap().predicted_time;
         let tmax = sweep.last().unwrap().predicted_time;
         assert!(best.predicted_time <= t1);
@@ -310,16 +378,16 @@ sweep = {sweep:#?}"
 
     #[test]
     fn packet_sweep_rejects_empty_candidates() {
-        let opts = CompileOptions::new(PipelineEnv::uniform(2, 1e7, 1e7, 1e-4), 64)
-            .with_symbol("n", 100);
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(2, 1e7, 1e7, 1e-4), 64).with_symbol("n", 100);
         assert!(choose_packet_count(SRC, &opts, 100, &[]).is_err());
         assert!(choose_packet_count(SRC, &opts, 100, &[200]).is_err());
     }
 
     #[test]
     fn forced_decomposition_respected() {
-        let opts0 = CompileOptions::new(PipelineEnv::uniform(2, 1e7, 1e6, 0.0), 64)
-            .with_symbol("n", 512);
+        let opts0 =
+            CompileOptions::new(PipelineEnv::uniform(2, 1e7, 1e6, 0.0), 64).with_symbol("n", 512);
         let c0 = compile(SRC, &opts0).unwrap();
         let forced = Decomposition::default_style(c0.problem.n_tasks(), 2);
         let opts = opts0.with_decomposition(forced.clone());

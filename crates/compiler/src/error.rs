@@ -12,11 +12,17 @@ pub struct CompileError {
 
 impl CompileError {
     pub fn new(message: impl Into<String>) -> Self {
-        CompileError { span: None, message: message.into() }
+        CompileError {
+            span: None,
+            message: message.into(),
+        }
     }
 
     pub fn at(span: Span, message: impl Into<String>) -> Self {
-        CompileError { span: Some(span), message: message.into() }
+        CompileError {
+            span: Some(span),
+            message: message.into(),
+        }
     }
 }
 
@@ -33,7 +39,10 @@ impl std::error::Error for CompileError {}
 
 impl From<cgp_lang::Diagnostic> for CompileError {
     fn from(d: cgp_lang::Diagnostic) -> Self {
-        CompileError { span: Some(d.span), message: d.to_string() }
+        CompileError {
+            span: Some(d.span),
+            message: d.to_string(),
+        }
     }
 }
 

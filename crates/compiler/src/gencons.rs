@@ -59,7 +59,9 @@ pub fn analyze_atom_with(
     match code {
         AtomCode::Straight(stmts) => an.segment(stmts),
         AtomCode::Foreach(stmt) => an.segment(std::slice::from_ref(stmt)),
-        AtomCode::CondSelect { var, domain, cond, .. } => {
+        AtomCode::CondSelect {
+            var, domain, cond, ..
+        } => {
             // Evaluates `cond` once per point: consumes cond's places widened
             // over the domain; defines nothing visible.
             let mut sets = SegmentSets::default();
@@ -76,7 +78,9 @@ pub fn analyze_atom_with(
             }
             Ok(sets)
         }
-        AtomCode::CondBody { var, domain, body, .. } => {
+        AtomCode::CondBody {
+            var, domain, body, ..
+        } => {
             // Conservatively analyzed as if every point passed the filter.
             let fe = Stmt::new(
                 NodeId(u32::MAX),
@@ -215,7 +219,11 @@ impl<'a> Analyzer<'a> {
                 }
                 self.add_reads(sets, value)?;
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 // Branch Gen is NOT added (conditional defs are may-defs);
                 // branch Cons is added. A value both defined and used inside
                 // the branch stays out of Cons because each branch is
@@ -236,7 +244,12 @@ impl<'a> Analyzer<'a> {
                 sets.cons.extend(&c);
                 self.add_reads(sets, cond)?;
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 // Canonical `for (int v = A; v < B; v += 1)` gets precise
                 // section widening; anything else is conservative.
                 if let Some((var, lo, hi)) = self.canonical_for_bounds(init, cond, step) {
@@ -338,7 +351,10 @@ impl<'a> Analyzer<'a> {
     /// Symbolic bounds of a domain expression.
     fn domain_bounds(&self, domain: &Expr) -> CompileResult<(SymExpr, SymExpr)> {
         match &domain.kind {
-            ExprKind::Var(d) => Ok((SymExpr::sym(format!("{d}.lo")), SymExpr::sym(format!("{d}.hi")))),
+            ExprKind::Var(d) => Ok((
+                SymExpr::sym(format!("{d}.lo")),
+                SymExpr::sym(format!("{d}.hi")),
+            )),
             ExprKind::DomainLit(lo, hi) => Ok((self.expr_to_sym(lo), self.expr_to_sym(hi))),
             _ => Ok((SymExpr::unknown(), SymExpr::unknown())),
         }
@@ -370,7 +386,11 @@ impl<'a> Analyzer<'a> {
                     _ => SymExpr::unknown(),
                 }
             }
-            ExprKind::Call { recv: Some(r), method, args } if args.is_empty() => {
+            ExprKind::Call {
+                recv: Some(r),
+                method,
+                args,
+            } if args.is_empty() => {
                 if let ExprKind::Var(d) = &r.kind {
                     match method.as_str() {
                         "lo" => SymExpr::sym(format!("{d}.lo")),
@@ -648,7 +668,9 @@ impl<'a> Analyzer<'a> {
                     }
                     // Defs of the formal's *binding* (scalar copy) do not
                     // escape; defs through fields/sections do.
-                    if is_def && q.fields.len() == ap_len(&q) && matches!(q.sect, Sectioning::NotIndexed)
+                    if is_def
+                        && q.fields.len() == ap_len(&q)
+                        && matches!(q.sect, Sectioning::NotIndexed)
                     {
                         // plain rebinding of the copy — does not escape
                         return None;
@@ -762,7 +784,13 @@ fn widen_place(p: Place, v: &str, lo: &SymExpr, hi: &SymExpr) -> Place {
     let Sectioning::Range(sec) = &p.sect else {
         return p;
     };
-    let coef = |e: &SymExpr| e.terms.iter().find(|(s, _)| s == v).map(|(_, c)| *c).unwrap_or(0);
+    let coef = |e: &SymExpr| {
+        e.terms
+            .iter()
+            .find(|(s, _)| s == v)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
     let (clo, chi) = (coef(&sec.lo), coef(&sec.hi));
     if clo == 0 && chi == 0 {
         return p;
@@ -773,7 +801,11 @@ fn widen_place(p: Place, v: &str, lo: &SymExpr, hi: &SymExpr) -> Place {
         let with = if (c > 0) == want_low { lo } else { hi };
         e.subst(v, with)
     };
-    let stride = if sec.lo == sec.hi { clo.abs().max(1) } else { 1 };
+    let stride = if sec.lo == sec.hi {
+        clo.abs().max(1)
+    } else {
+        1
+    };
     let mut q = p.clone();
     q.sect = Sectioning::Range(Section {
         lo: sub(&sec.lo, if clo != 0 { clo } else { chi }, true),
@@ -785,7 +817,9 @@ fn widen_place(p: Place, v: &str, lo: &SymExpr, hi: &SymExpr) -> Place {
 
 /// Widen every section in the set over `v ∈ [lo, hi]`.
 fn widen_set(set: PlaceSet, v: &str, lo: &SymExpr, hi: &SymExpr) -> PlaceSet {
-    set.iter().map(|p| widen_place(p.clone(), v, lo, hi)).collect()
+    set.iter()
+        .map(|p| widen_place(p.clone(), v, lo, hi))
+        .collect()
 }
 
 /// Conservative widening for loops without known bounds: sectioned places
@@ -814,7 +848,12 @@ impl Analyzer<'_> {
         step: &Option<Box<Stmt>>,
     ) -> Option<(String, SymExpr, SymExpr)> {
         let init = init.as_ref()?;
-        let StmtKind::VarDecl { name, ty: Type::Int, init: Some(lo_e) } = &init.kind else {
+        let StmtKind::VarDecl {
+            name,
+            ty: Type::Int,
+            init: Some(lo_e),
+        } = &init.kind
+        else {
             return None;
         };
         let cond = cond.as_ref()?;
@@ -828,7 +867,11 @@ impl Analyzer<'_> {
             return None;
         }
         let step = step.as_ref()?;
-        let StmtKind::Assign { target: LValue::Var(sv), op: AssignOp::Add, value } = &step.kind
+        let StmtKind::Assign {
+            target: LValue::Var(sv),
+            op: AssignOp::Add,
+            value,
+        } = &step.kind
         else {
             return None;
         };
@@ -903,7 +946,10 @@ mod tests {
         assert!(cons.contains("data[pkt.lo : pkt.hi]"), "cons = {cons}");
         // The expanded array is must-defined over the whole packet.
         let gen = fmt(&sets.gen);
-        assert!(gen.contains("v__x[0 : pkt.hi - pkt.lo]") || gen.contains("v__x["), "gen = {gen}");
+        assert!(
+            gen.contains("v__x[0 : pkt.hi - pkt.lo]") || gen.contains("v__x["),
+            "gen = {gen}"
+        );
     }
 
     #[test]
@@ -968,7 +1014,10 @@ mod tests {
         assert!(!cons.contains("y"), "cons = {cons}");
         assert!(cons.contains("pkt"), "cons = {cons}");
         let gen = fmt(&sets.gen);
-        assert!(gen.contains("x") && gen.contains("y") && gen.contains("a"), "gen = {gen}");
+        assert!(
+            gen.contains("x") && gen.contains("y") && gen.contains("a"),
+            "gen = {gen}"
+        );
     }
 
     #[test]

@@ -56,16 +56,29 @@ pub enum AtomCode {
     Foreach(Stmt),
     /// The selecting half of a conditional-in-foreach: evaluates `cond` for
     /// each point of `domain`; only passing points continue.
-    CondSelect { var: String, domain: Expr, cond: Expr, cond_id: usize },
+    CondSelect {
+        var: String,
+        domain: Expr,
+        cond: Expr,
+        cond_id: usize,
+    },
     /// The guarded body, executed for passing points only.
-    CondBody { var: String, domain: Expr, body: Block, cond_id: usize },
+    CondBody {
+        var: String,
+        domain: Expr,
+        body: Block,
+        cond_id: usize,
+    },
 }
 
 impl AtomCode {
     /// Statements equivalent to this atom when executed in full (select and
     /// body halves merged back produce the original conditional foreach).
     pub fn is_cond_half(&self) -> bool {
-        matches!(self, AtomCode::CondSelect { .. } | AtomCode::CondBody { .. })
+        matches!(
+            self,
+            AtomCode::CondSelect { .. } | AtomCode::CondBody { .. }
+        )
     }
 }
 
@@ -116,30 +129,38 @@ pub fn build_graph(np: &NormalizedPipeline) -> CompileResult<BoundaryGraph> {
     let mut cond_boundaries: Vec<(usize, usize)> = Vec::new();
     let mut next_cond_id = 0usize;
 
-    let push_atom =
-        |atoms: &mut Vec<Atom>, boundaries: &mut Vec<Boundary>, code: AtomCode, label: String, unit_idx: usize, kind_before: BoundaryKind| {
-            if !atoms.is_empty() {
-                boundaries.push(Boundary {
-                    index: boundaries.len(),
-                    kind: kind_before,
-                    label: format!("b{}", boundaries.len() + 1),
-                });
-            }
-            atoms.push(Atom { idx: atoms.len(), code, label, unit_idx });
-        };
+    let push_atom = |atoms: &mut Vec<Atom>,
+                     boundaries: &mut Vec<Boundary>,
+                     code: AtomCode,
+                     label: String,
+                     unit_idx: usize,
+                     kind_before: BoundaryKind| {
+        if !atoms.is_empty() {
+            boundaries.push(Boundary {
+                index: boundaries.len(),
+                kind: kind_before,
+                label: format!("b{}", boundaries.len() + 1),
+            });
+        }
+        atoms.push(Atom {
+            idx: atoms.len(),
+            code,
+            label,
+            unit_idx,
+        });
+    };
 
     for (ui, unit) in np.units.iter().enumerate() {
         match unit.kind {
             UnitKind::Straight => {
                 // Boundary before a straight unit: if the unit is an
                 // isolated conditional, label it so.
-                let kind = if unit.stmts.len() == 1
-                    && matches!(unit.stmts[0].kind, StmtKind::If { .. })
-                {
-                    BoundaryKind::Conditional
-                } else {
-                    BoundaryKind::ForeachEnd
-                };
+                let kind =
+                    if unit.stmts.len() == 1 && matches!(unit.stmts[0].kind, StmtKind::If { .. }) {
+                        BoundaryKind::Conditional
+                    } else {
+                        BoundaryKind::ForeachEnd
+                    };
                 push_atom(
                     &mut atoms,
                     &mut boundaries,
@@ -165,9 +186,9 @@ pub fn build_graph(np: &NormalizedPipeline) -> CompileResult<BoundaryGraph> {
                 );
             }
             UnitKind::CondForeach => {
-                let (var, domain, cond, then) = unit.cond_parts().ok_or_else(|| {
-                    CompileError::new("malformed CondForeach unit")
-                })?;
+                let (var, domain, cond, then) = unit
+                    .cond_parts()
+                    .ok_or_else(|| CompileError::new("malformed CondForeach unit"))?;
                 let cond_id = next_cond_id;
                 next_cond_id += 1;
                 let kind = BoundaryKind::ForeachStart;
@@ -206,7 +227,11 @@ pub fn build_graph(np: &NormalizedPipeline) -> CompileResult<BoundaryGraph> {
     if atoms.is_empty() {
         return Err(CompileError::new("no atomic filters in pipeline body"));
     }
-    Ok(BoundaryGraph { atoms, boundaries, cond_boundaries })
+    Ok(BoundaryGraph {
+        atoms,
+        boundaries,
+        cond_boundaries,
+    })
 }
 
 #[cfg(test)]
@@ -249,7 +274,12 @@ mod tests {
     fn chain_shape_and_counts() {
         let g = graph(SRC);
         // alloc straight, compute foreach, cond-select, cond-body
-        assert_eq!(g.atoms.len(), 4, "{:?}", g.atoms.iter().map(|a| &a.label).collect::<Vec<_>>());
+        assert_eq!(
+            g.atoms.len(),
+            4,
+            "{:?}",
+            g.atoms.iter().map(|a| &a.label).collect::<Vec<_>>()
+        );
         assert_eq!(g.n_boundaries(), 3);
         assert!(g.is_acyclic());
         assert_eq!(g.flow_path(), vec![0, 1, 2, 3]);

@@ -56,11 +56,15 @@ pub mod graph;
 pub mod normalize;
 pub mod packing;
 pub mod place;
+pub mod report;
 pub mod reqcomm;
 
 pub use codegen::{build_plan, run_plan_sequential, FilterPlan, FilterSpec, FilterStepper};
 pub use decompose::{decompose_brute_force, decompose_dp, Decomposition, Problem};
-pub use driver::{choose_packet_count, compile, Compiled, CompileOptions, Objective, PacketSizePoint};
+pub use driver::{
+    choose_packet_count, compile, CompileOptions, Compiled, Objective, PacketSizePoint,
+};
 pub use error::{CompileError, CompileResult};
 pub use normalize::{normalize, AtomicUnit, NormalizedPipeline, UnitKind};
 pub use place::{Place, PlaceSet, Section, Sectioning, SymExpr};
+pub use report::DecisionReport;

@@ -103,7 +103,10 @@ impl NormalizedPipeline {
     /// All unit statements flattened, in program order (the fissioned loop
     /// body).
     pub fn body_stmts(&self) -> Vec<Stmt> {
-        self.units.iter().flat_map(|u| u.stmts.iter().cloned()).collect()
+        self.units
+            .iter()
+            .flat_map(|u| u.stmts.iter().cloned())
+            .collect()
     }
 }
 
@@ -134,14 +137,22 @@ pub fn normalize(tp: &TypedProgram) -> CompileResult<NormalizedPipeline> {
     })?;
     let prologue: Vec<Stmt> = body.stmts[..pipe_idx].to_vec();
     let epilogue: Vec<Stmt> = body.stmts[pipe_idx + 1..].to_vec();
-    let StmtKind::Pipelined { var, domain, num_packets, body: loop_body } =
-        body.stmts[pipe_idx].kind.clone()
+    let StmtKind::Pipelined {
+        var,
+        domain,
+        num_packets,
+        body: loop_body,
+    } = body.stmts[pipe_idx].kind.clone()
     else {
         unreachable!("pipe_idx points at a Pipelined stmt");
     };
 
     let mut ids = NodeIdGen::above(&tp.program);
-    let mut fission = Fission { ids: &mut ids, expanded: Vec::new(), alloc_stmts: Vec::new() };
+    let mut fission = Fission {
+        ids: &mut ids,
+        expanded: Vec::new(),
+        alloc_stmts: Vec::new(),
+    };
     let units = fission.split_body(&loop_body.stmts)?;
     let expanded = fission.expanded.clone();
 
@@ -177,7 +188,9 @@ pub fn normalize(tp: &TypedProgram) -> CompileResult<NormalizedPipeline> {
         m.body = Block::new(new_main_stmts);
     }
     let typed = check(program).map_err(|d| {
-        CompileError::new(format!("internal: fissioned program failed type check: {d}"))
+        CompileError::new(format!(
+            "internal: fissioned program failed type check: {d}"
+        ))
     })?;
 
     Ok(NormalizedPipeline {
@@ -248,7 +261,10 @@ impl Fission<'_> {
                     });
                 }
                 StmtKind::Pipelined { .. } => {
-                    return Err(CompileError::at(s.span, "nested PipelinedLoop is not supported"));
+                    return Err(CompileError::at(
+                        s.span,
+                        "nested PipelinedLoop is not supported",
+                    ));
                 }
                 _ => run.push(s.clone()),
             }
@@ -308,8 +324,8 @@ impl Fission<'_> {
             .collect();
         for i in 0..group_stmts.len() {
             let writes = collect_writes(&group_stmts[i]);
-            for j in i + 1..group_stmts.len() {
-                let reads = collect_reads(&group_stmts[j]);
+            for later in &group_stmts[i + 1..] {
+                let reads = collect_reads(later);
                 for w in &writes {
                     if w != var && reads.contains(w) && !to_expand.contains(w) {
                         to_expand.push(w.clone());
@@ -423,7 +439,11 @@ impl Fission<'_> {
                 body: Block::new(body_stmts),
             },
         );
-        Ok(AtomicUnit { kind, stmts: vec![fe], label })
+        Ok(AtomicUnit {
+            kind,
+            stmts: vec![fe],
+            label,
+        })
     }
 
     fn rewrite_group(
@@ -449,15 +469,14 @@ fn collect_writes(stmts: &[&Stmt]) -> Vec<String> {
         walk_stmt(s, &mut |st| {
             match &st.kind {
                 StmtKind::VarDecl { name, .. } => out.push(name.clone()),
-                StmtKind::Assign { target, .. } => {
-                    if let LValue::Var(n) = target {
-                        out.push(n.clone());
-                    }
-                    // Writes through fields/indexes mutate shared heap
-                    // objects; the *binding* is what scalar expansion cares
-                    // about, and field writes only matter if the binding
-                    // itself crosses, which the read side catches.
-                }
+                // Writes through fields/indexes mutate shared heap
+                // objects; the *binding* is what scalar expansion cares
+                // about, and field writes only matter if the binding
+                // itself crosses, which the read side catches.
+                StmtKind::Assign {
+                    target: LValue::Var(n),
+                    ..
+                } => out.push(n.clone()),
                 _ => {}
             }
         });
@@ -539,7 +558,11 @@ fn each_expr_in_stmt(s: &Stmt, f: &mut impl FnMut(&Expr)) {
             }
         }
         StmtKind::Foreach { domain, .. } => f(domain),
-        StmtKind::Pipelined { domain, num_packets, .. } => {
+        StmtKind::Pipelined {
+            domain,
+            num_packets,
+            ..
+        } => {
             f(domain);
             f(num_packets);
         }
@@ -636,21 +659,40 @@ fn rewrite_stmt(s: &Stmt, rename: &[(String, String)], idx: &Expr, ids: &mut Nod
                     Box::new(rewrite_expr(i, rename, idx)),
                 ),
             };
-            StmtKind::Assign { target, op: *op, value: rewrite_expr(value, rename, idx) }
+            StmtKind::Assign {
+                target,
+                op: *op,
+                value: rewrite_expr(value, rename, idx),
+            }
         }
-        StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => StmtKind::If {
             cond: rewrite_expr(cond, rename, idx),
             then_blk: rewrite_block(then_blk, rename, idx, ids),
-            else_blk: else_blk.as_ref().map(|b| rewrite_block(b, rename, idx, ids)),
+            else_blk: else_blk
+                .as_ref()
+                .map(|b| rewrite_block(b, rename, idx, ids)),
         },
         StmtKind::While { cond, body } => StmtKind::While {
             cond: rewrite_expr(cond, rename, idx),
             body: rewrite_block(body, rename, idx, ids),
         },
-        StmtKind::For { init, cond, step, body } => StmtKind::For {
-            init: init.as_ref().map(|s| Box::new(rewrite_stmt(s, rename, idx, ids))),
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::For {
+            init: init
+                .as_ref()
+                .map(|s| Box::new(rewrite_stmt(s, rename, idx, ids))),
             cond: cond.as_ref().map(|e| rewrite_expr(e, rename, idx)),
-            step: step.as_ref().map(|s| Box::new(rewrite_stmt(s, rename, idx, ids))),
+            step: step
+                .as_ref()
+                .map(|s| Box::new(rewrite_stmt(s, rename, idx, ids))),
             body: rewrite_block(body, rename, idx, ids),
         },
         StmtKind::Foreach { var, domain, body } => StmtKind::Foreach {
@@ -658,7 +700,12 @@ fn rewrite_stmt(s: &Stmt, rename: &[(String, String)], idx: &Expr, ids: &mut Nod
             domain: rewrite_expr(domain, rename, idx),
             body: rewrite_block(body, rename, idx, ids),
         },
-        StmtKind::Pipelined { var, domain, num_packets, body } => StmtKind::Pipelined {
+        StmtKind::Pipelined {
+            var,
+            domain,
+            num_packets,
+            body,
+        } => StmtKind::Pipelined {
             var: var.clone(),
             domain: rewrite_expr(domain, rename, idx),
             num_packets: rewrite_expr(num_packets, rename, idx),
@@ -674,7 +721,12 @@ fn rewrite_stmt(s: &Stmt, rename: &[(String, String)], idx: &Expr, ids: &mut Nod
 }
 
 fn rewrite_block(b: &Block, rename: &[(String, String)], idx: &Expr, ids: &mut NodeIdGen) -> Block {
-    Block::new(b.stmts.iter().map(|s| rewrite_stmt(s, rename, idx, ids)).collect())
+    Block::new(
+        b.stmts
+            .iter()
+            .map(|s| rewrite_stmt(s, rename, idx, ids))
+            .collect(),
+    )
 }
 
 fn rewrite_expr(e: &Expr, rename: &[(String, String)], idx: &Expr) -> Expr {
@@ -689,9 +741,7 @@ fn rewrite_expr(e: &Expr, rename: &[(String, String)], idx: &Expr) -> Expr {
                 ExprKind::Var(n.clone())
             }
         }
-        ExprKind::Field(b, f) => {
-            ExprKind::Field(Box::new(rewrite_expr(b, rename, idx)), f.clone())
-        }
+        ExprKind::Field(b, f) => ExprKind::Field(Box::new(rewrite_expr(b, rename, idx)), f.clone()),
         ExprKind::Index(b, i) => ExprKind::Index(
             Box::new(rewrite_expr(b, rename, idx)),
             Box::new(rewrite_expr(i, rename, idx)),
@@ -708,7 +758,9 @@ fn rewrite_expr(e: &Expr, rename: &[(String, String)], idx: &Expr) -> Expr {
             Box::new(rewrite_expr(b, rename, idx)),
         ),
         ExprKind::Call { recv, method, args } => ExprKind::Call {
-            recv: recv.as_ref().map(|r| Box::new(rewrite_expr(r, rename, idx))),
+            recv: recv
+                .as_ref()
+                .map(|r| Box::new(rewrite_expr(r, rename, idx))),
             method: method.clone(),
             args: args.iter().map(|a| rewrite_expr(a, rename, idx)).collect(),
         },
@@ -936,7 +988,10 @@ mod tests {
         let np = norm(src);
         // acc.add(v) is a call statement → its own foreach unit.
         let labels: Vec<&str> = np.units.iter().map(|u| u.label.as_str()).collect();
-        assert!(labels.iter().any(|l| l.starts_with("call")), "labels: {labels:?}");
+        assert!(
+            labels.iter().any(|l| l.starts_with("call")),
+            "labels: {labels:?}"
+        );
     }
 
     #[test]

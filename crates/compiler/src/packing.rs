@@ -106,7 +106,10 @@ pub fn compute_layout(
             elem: scalar_kind(np, p)?,
         });
     }
-    let mut layout = PackLayout { filtered, ..Default::default() };
+    let mut layout = PackLayout {
+        filtered,
+        ..Default::default()
+    };
     for e in entries {
         if e.first_consumer == first_unit_after {
             layout.instance_wise.push(e);
@@ -115,17 +118,18 @@ pub fn compute_layout(
         }
     }
     // Field-wise: sorted by the order in which they are first read.
-    layout
-        .field_wise
-        .sort_by(|a, b| a.first_consumer.cmp(&b.first_consumer).then(a.place.cmp(&b.place)));
+    layout.field_wise.sort_by(|a, b| {
+        a.first_consumer
+            .cmp(&b.first_consumer)
+            .then(a.place.cmp(&b.place))
+    });
     Ok(layout)
 }
 
 /// Do two places refer to overlapping storage (same root, one field path a
 /// prefix of the other)?
 fn touches(a: &Place, b: &Place) -> bool {
-    a.root == b.root
-        && (a.fields.starts_with(&b.fields) || b.fields.starts_with(&a.fields))
+    a.root == b.root && (a.fields.starts_with(&b.fields) || b.fields.starts_with(&a.fields))
 }
 
 /// The scalar wire type a place's packed values have.
@@ -287,9 +291,9 @@ fn select(vars: &HashMap<String, Value>, p: &Place, idx: Option<i64>) -> Compile
         (None, v) => v.clone(),
         (Some(i), Value::Array(a)) => {
             let a = a.borrow();
-            a.get(i as usize)
-                .cloned()
-                .ok_or_else(|| CompileError::new(format!("pack index {i} out of range for `{}`", p.root)))?
+            a.get(i as usize).cloned().ok_or_else(|| {
+                CompileError::new(format!("pack index {i} out of range for `{}`", p.root))
+            })?
         }
         (Some(_), other) => {
             return Err(CompileError::new(format!(
@@ -304,12 +308,10 @@ fn select(vars: &HashMap<String, Value>, p: &Place, idx: Option<i64>) -> Compile
             // the field type's default (numeric zero)
             return Ok(Value::Double(0.0));
         };
-        let next = o
-            .borrow()
-            .fields
-            .get(f)
-            .cloned()
-            .ok_or_else(|| CompileError::new(format!("missing field `{f}` while packing {p}")))?;
+        let next =
+            o.borrow().fields.get(f).cloned().ok_or_else(|| {
+                CompileError::new(format!("missing field `{f}` while packing {p}"))
+            })?;
         cur = next;
     }
     Ok(cur)
@@ -404,9 +406,8 @@ pub fn pack(
     push_i64(&mut out, pkt.0);
     push_i64(&mut out, pkt.1);
     if layout.filtered.is_some() {
-        let sel = selection.ok_or_else(|| {
-            CompileError::new("filtered layout requires a selection list")
-        })?;
+        let sel = selection
+            .ok_or_else(|| CompileError::new("filtered layout requires a selection list"))?;
         push_i64(&mut out, sel.len() as i64);
         for i in sel {
             push_i64(&mut out, *i);
@@ -600,12 +601,22 @@ pub fn unpack(layout: &PackLayout, env: &RuntimeEnv, buf: &[u8]) -> CompileResul
             }
             for i in &ix {
                 let v = read_scalar(buf, &mut pos, e.elem)?;
-                store(&mut vars, &e.place, Some(*i), alloc_len(&e.place, &Some(ix.clone())), v)?;
+                store(
+                    &mut vars,
+                    &e.place,
+                    Some(*i),
+                    alloc_len(&e.place, &Some(ix.clone())),
+                    v,
+                )?;
             }
         }
     }
 
-    Ok(Unpacked { pkt: (lo, hi), selection, vars })
+    Ok(Unpacked {
+        pkt: (lo, hi),
+        selection,
+        vars,
+    })
 }
 
 #[cfg(test)]
@@ -618,7 +629,11 @@ mod tests {
     }
 
     fn entry(place: Place, first: usize, elem: ScalarKind) -> PackEntry {
-        PackEntry { place, first_consumer: first, elem }
+        PackEntry {
+            place,
+            first_consumer: first,
+            elem,
+        }
     }
 
     #[test]
@@ -706,7 +721,9 @@ mod tests {
         if let Value::Array(a) = &un.vars["tri"] {
             let a = a.borrow();
             for (i, v) in a.iter().enumerate() {
-                let Value::Object(o) = v else { panic!("not an object") };
+                let Value::Object(o) = v else {
+                    panic!("not an object")
+                };
                 assert!(o.borrow().fields["x"].deep_eq(&Value::Double((i + 1) as f64)));
                 assert!(!o.borrow().fields.contains_key("y"));
             }
@@ -788,8 +805,16 @@ mod tests {
         // A minimal NormalizedPipeline for scalar_kind resolution.
         let np = tiny_np();
         let layout = compute_layout(&np, &set, &[cons1, cons2], 1, None).unwrap();
-        let inst: Vec<&str> = layout.instance_wise.iter().map(|e| e.place.root.as_str()).collect();
-        let fw: Vec<&str> = layout.field_wise.iter().map(|e| e.place.root.as_str()).collect();
+        let inst: Vec<&str> = layout
+            .instance_wise
+            .iter()
+            .map(|e| e.place.root.as_str())
+            .collect();
+        let fw: Vec<&str> = layout
+            .field_wise
+            .iter()
+            .map(|e| e.place.root.as_str())
+            .collect();
         assert_eq!(inst, vec!["a", "b"]);
         assert_eq!(fw, vec!["c"]);
         assert_eq!(layout.field_wise[0].first_consumer, 2);
@@ -810,7 +835,11 @@ mod tests {
         // consumers: filter1 none, filter2 uses c, filter3 uses a.
         let layout = compute_layout(&np, &set, &[empty, cons2, cons3], 1, None).unwrap();
         assert!(layout.instance_wise.is_empty());
-        let fw: Vec<&str> = layout.field_wise.iter().map(|e| e.place.root.as_str()).collect();
+        let fw: Vec<&str> = layout
+            .field_wise
+            .iter()
+            .map(|e| e.place.root.as_str())
+            .collect();
         assert_eq!(fw, vec!["c", "a"], "sorted by first reader");
     }
 

@@ -35,16 +35,28 @@ pub struct SymExpr {
 
 impl SymExpr {
     pub fn konst(v: i64) -> Self {
-        SymExpr { konst: v, terms: Vec::new(), opaque: false }
+        SymExpr {
+            konst: v,
+            terms: Vec::new(),
+            opaque: false,
+        }
     }
 
     pub fn sym(name: impl Into<String>) -> Self {
-        SymExpr { konst: 0, terms: vec![(name.into(), 1)], opaque: false }
+        SymExpr {
+            konst: 0,
+            terms: vec![(name.into(), 1)],
+            opaque: false,
+        }
     }
 
     /// A fully opaque expression (unknown value).
     pub fn unknown() -> Self {
-        SymExpr { konst: 0, terms: Vec::new(), opaque: true }
+        SymExpr {
+            konst: 0,
+            terms: Vec::new(),
+            opaque: true,
+        }
     }
 
     pub fn is_const(&self) -> Option<i64> {
@@ -269,7 +281,11 @@ pub struct Place {
 
 impl Place {
     pub fn var(name: impl Into<String>) -> Self {
-        Place { root: name.into(), sect: Sectioning::NotIndexed, fields: Vec::new() }
+        Place {
+            root: name.into(),
+            sect: Sectioning::NotIndexed,
+            fields: Vec::new(),
+        }
     }
 
     pub fn field(mut self, f: impl Into<String>) -> Self {
@@ -278,11 +294,19 @@ impl Place {
     }
 
     pub fn whole_array(name: impl Into<String>) -> Self {
-        Place { root: name.into(), sect: Sectioning::All, fields: Vec::new() }
+        Place {
+            root: name.into(),
+            sect: Sectioning::All,
+            fields: Vec::new(),
+        }
     }
 
     pub fn sliced(name: impl Into<String>, sect: Section) -> Self {
-        Place { root: name.into(), sect: Sectioning::Range(sect), fields: Vec::new() }
+        Place {
+            root: name.into(),
+            sect: Sectioning::Range(sect),
+            fields: Vec::new(),
+        }
     }
 
     /// Same storage root and field path (ignoring the section)?
@@ -427,7 +451,10 @@ mod tests {
     #[test]
     fn symexpr_mul_affine_only() {
         let x = SymExpr::sym("x");
-        assert_eq!(x.mul(&SymExpr::konst(4)).eval(&env_of(&[("x", 3)])), Some(12));
+        assert_eq!(
+            x.mul(&SymExpr::konst(4)).eval(&env_of(&[("x", 3)])),
+            Some(12)
+        );
         assert!(x.mul(&x).opaque);
     }
 
@@ -449,7 +476,10 @@ mod tests {
 
     #[test]
     fn section_len_and_cover() {
-        let s = Section::dense(SymExpr::sym("lo"), SymExpr::sym("lo").add(&SymExpr::konst(9)));
+        let s = Section::dense(
+            SymExpr::sym("lo"),
+            SymExpr::sym("lo").add(&SymExpr::konst(9)),
+        );
         assert_eq!(s.len(&env_of(&[("lo", 5)])), Some(10));
         assert_eq!(s.symbolic_len().unwrap().is_const(), Some(10));
         let inner = Section::dense(
@@ -465,7 +495,11 @@ mod tests {
 
     #[test]
     fn strided_section_covers_only_identical() {
-        let s = Section { lo: SymExpr::konst(0), hi: SymExpr::konst(10), stride: 2 };
+        let s = Section {
+            lo: SymExpr::konst(0),
+            hi: SymExpr::konst(10),
+            stride: 2,
+        };
         assert!(s.covers(&s.clone()));
         let dense = Section::dense(SymExpr::konst(0), SymExpr::konst(10));
         assert!(!s.covers(&dense), "strided does not cover dense");

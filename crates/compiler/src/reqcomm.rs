@@ -28,11 +28,11 @@
 
 use crate::error::CompileResult;
 use crate::gencons::{analyze_atom_with, prologue_roots, reduction_roots, SegmentSets};
-use std::collections::HashMap;
 use crate::graph::BoundaryGraph;
 use crate::normalize::NormalizedPipeline;
 use crate::place::PlaceSet;
 use cgp_lang::ast::Type;
+use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// Per-chain analysis results.
@@ -55,7 +55,10 @@ pub struct ChainAnalysis {
 }
 
 /// Run Gen/Cons per atom and propagate ReqComm backward over the chain.
-pub fn analyze_chain(np: &NormalizedPipeline, graph: &BoundaryGraph) -> CompileResult<ChainAnalysis> {
+pub fn analyze_chain(
+    np: &NormalizedPipeline,
+    graph: &BoundaryGraph,
+) -> CompileResult<ChainAnalysis> {
     analyze_chain_with(np, graph, &HashMap::new())
 }
 
@@ -66,12 +69,31 @@ pub fn analyze_chain_with(
     graph: &BoundaryGraph,
     consts: &HashMap<String, i64>,
 ) -> CompileResult<ChainAnalysis> {
-    let atom_sets: Vec<SegmentSets> = graph
+    let atom_sets = atom_sets_with(np, graph, consts)?;
+    propagate_reqcomm(np, graph, atom_sets)
+}
+
+/// Phase 1 — the Gen/Cons pass: analyze each atom in chain order. Split
+/// out so the driver can time it separately from the propagation.
+pub fn atom_sets_with(
+    np: &NormalizedPipeline,
+    graph: &BoundaryGraph,
+    consts: &HashMap<String, i64>,
+) -> CompileResult<Vec<SegmentSets>> {
+    graph
         .atoms
         .iter()
         .map(|a| analyze_atom_with(np, &a.code, consts))
-        .collect::<CompileResult<_>>()?;
+        .collect()
+}
 
+/// Phase 2 — the backward ReqComm propagation over precomputed Gen/Cons
+/// sets (from [`atom_sets_with`]).
+pub fn propagate_reqcomm(
+    np: &NormalizedPipeline,
+    graph: &BoundaryGraph,
+    atom_sets: Vec<SegmentSets>,
+) -> CompileResult<ChainAnalysis> {
     let n = graph.n_boundaries();
     let mut reqcomm_raw = vec![PlaceSet::new(); n];
     // Backward pass: start from ∅ after the last atom.
@@ -194,7 +216,10 @@ mod tests {
             assert!(!s.contains("pkt,"), "b{i} = {s}");
         }
         // … but the raw sets retain them for inspection.
-        assert!(ca.reqcomm_raw.iter().any(|rc| rc.to_string().contains("acc")));
+        assert!(ca
+            .reqcomm_raw
+            .iter()
+            .any(|rc| rc.to_string().contains("acc")));
     }
 
     #[test]

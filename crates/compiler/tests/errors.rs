@@ -36,7 +36,10 @@ fn multiple_pipelined_loops_rejected() {
         } }
     "#,
     );
-    assert!(msg.contains("multiple PipelinedLoop") || msg.contains("empty"), "{msg}");
+    assert!(
+        msg.contains("multiple PipelinedLoop") || msg.contains("empty"),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -55,7 +58,10 @@ fn type_errors_surface_through_compile() {
         } }
     "#,
     );
-    assert!(msg.contains("type mismatch") || msg.contains("expected"), "{msg}");
+    assert!(
+        msg.contains("type mismatch") || msg.contains("expected"),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -134,7 +140,13 @@ fn heterogeneous_pipelines_shift_the_decomposition() {
     let c_uni = compile(src, &base).unwrap();
     let c_weak = compile(src, &weak).unwrap();
     let work_on_source = |c: &cgp_compiler::Compiled| {
-        c.plan.decomposition.unit_of.iter().skip(1).filter(|u| **u == 0).count()
+        c.plan
+            .decomposition
+            .unit_of
+            .iter()
+            .skip(1)
+            .filter(|u| **u == 0)
+            .count()
     };
     assert!(
         work_on_source(&c_weak) <= work_on_source(&c_uni),
@@ -142,5 +154,10 @@ fn heterogeneous_pipelines_shift_the_decomposition() {
         c_weak.plan.decomposition.unit_of,
         c_uni.plan.decomposition.unit_of
     );
-    assert_eq!(work_on_source(&c_weak), 0, "{:?}", c_weak.plan.decomposition.unit_of);
+    assert_eq!(
+        work_on_source(&c_weak),
+        0,
+        "{:?}",
+        c_weak.plan.decomposition.unit_of
+    );
 }

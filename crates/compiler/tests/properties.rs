@@ -1,26 +1,30 @@
-//! Property-based tests for the compiler's core data structures: the place
-//! lattice, symbolic expressions, and the pack/unpack round trip.
+//! Property-style tests for the compiler's core data structures: the place
+//! lattice, symbolic expressions, and the pack/unpack round trip. Cases
+//! come from a seeded PRNG (the build is offline, so no proptest);
+//! failures reproduce deterministically from the printed parameters.
 
 use cgp_compiler::packing::{pack, unpack, PackEntry, PackLayout, RuntimeEnv, ScalarKind};
 use cgp_compiler::place::{Place, PlaceSet, Section, Sectioning, SymExpr};
 use cgp_lang::Value;
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 use std::collections::HashMap;
 
 // ---- SymExpr algebra -------------------------------------------------------
 
-fn arb_sym() -> impl Strategy<Value = SymExpr> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(SymExpr::konst),
-        prop_oneof![Just("x"), Just("y"), Just("pkt.lo")].prop_map(SymExpr::sym),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(&b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(&b)),
-            (inner.clone(), -5i64..5).prop_map(|(a, k)| a.scale(k)),
-        ]
-    })
+fn random_sym(rng: &mut SmallRng, depth: usize) -> SymExpr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        if rng.gen_bool(0.5) {
+            SymExpr::konst(rng.gen_range(0, 200) as i64 - 100)
+        } else {
+            SymExpr::sym(["x", "y", "pkt.lo"][rng.gen_range(0, 3)])
+        }
+    } else {
+        match rng.gen_range(0, 3) {
+            0 => random_sym(rng, depth - 1).add(&random_sym(rng, depth - 1)),
+            1 => random_sym(rng, depth - 1).sub(&random_sym(rng, depth - 1)),
+            _ => random_sym(rng, depth - 1).scale(rng.gen_range(0, 10) as i64 - 5),
+        }
+    }
 }
 
 fn env(x: i64, y: i64, p: i64) -> impl Fn(&str) -> Option<i64> {
@@ -32,27 +36,57 @@ fn env(x: i64, y: i64, p: i64) -> impl Fn(&str) -> Option<i64> {
     }
 }
 
-proptest! {
-    #[test]
-    fn symexpr_add_commutes(a in arb_sym(), b in arb_sym(), x in -50i64..50, y in -50i64..50) {
+#[test]
+fn symexpr_add_commutes() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0001);
+    for _case in 0..200 {
+        let a = random_sym(&mut rng, 3);
+        let b = random_sym(&mut rng, 3);
+        let x = rng.gen_range(0, 100) as i64 - 50;
+        let y = rng.gen_range(0, 100) as i64 - 50;
         let e = env(x, y, 7);
-        prop_assert_eq!(a.add(&b).eval(&e), b.add(&a).eval(&e));
+        assert_eq!(a.add(&b).eval(&e), b.add(&a).eval(&e), "{a} + {b}");
     }
+}
 
-    #[test]
-    fn symexpr_add_associates(a in arb_sym(), b in arb_sym(), c in arb_sym()) {
+#[test]
+fn symexpr_add_associates() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0002);
+    for _case in 0..200 {
+        let a = random_sym(&mut rng, 3);
+        let b = random_sym(&mut rng, 3);
+        let c = random_sym(&mut rng, 3);
         let e = env(3, -4, 11);
-        prop_assert_eq!(a.add(&b).add(&c).eval(&e), a.add(&b.add(&c)).eval(&e));
+        assert_eq!(
+            a.add(&b).add(&c).eval(&e),
+            a.add(&b.add(&c)).eval(&e),
+            "{a}, {b}, {c}"
+        );
     }
+}
 
-    #[test]
-    fn symexpr_sub_is_add_neg(a in arb_sym(), b in arb_sym()) {
+#[test]
+fn symexpr_sub_is_add_neg() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0003);
+    for _case in 0..200 {
+        let a = random_sym(&mut rng, 3);
+        let b = random_sym(&mut rng, 3);
         let e = env(-2, 9, 0);
-        prop_assert_eq!(a.sub(&b).eval(&e), a.add(&b.scale(-1)).eval(&e));
+        assert_eq!(
+            a.sub(&b).eval(&e),
+            a.add(&b.scale(-1)).eval(&e),
+            "{a} - {b}"
+        );
     }
+}
 
-    #[test]
-    fn symexpr_eval_matches_semantics(a in arb_sym(), x in -20i64..20, y in -20i64..20) {
+#[test]
+fn symexpr_eval_matches_semantics() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0004);
+    for _case in 0..200 {
+        let a = random_sym(&mut rng, 3);
+        let x = rng.gen_range(0, 40) as i64 - 20;
+        let y = rng.gen_range(0, 40) as i64 - 20;
         // Evaluate via substitution of constants, then is_const.
         let e = env(x, y, 5);
         let direct = a.eval(&e);
@@ -60,80 +94,116 @@ proptest! {
             .subst("x", &SymExpr::konst(x))
             .subst("y", &SymExpr::konst(y))
             .subst("pkt.lo", &SymExpr::konst(5));
-        prop_assert_eq!(direct, substituted.is_const());
+        assert_eq!(direct, substituted.is_const(), "{a} at x={x} y={y}");
     }
+}
 
-    #[test]
-    fn symexpr_const_diff_sound(a in arb_sym(), d in -50i64..50) {
+#[test]
+fn symexpr_const_diff_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0005);
+    for _case in 0..200 {
+        let a = random_sym(&mut rng, 3);
+        let d = rng.gen_range(0, 100) as i64 - 50;
         let shifted = a.add(&SymExpr::konst(d));
-        prop_assert_eq!(shifted.const_diff(&a), Some(d));
+        assert_eq!(shifted.const_diff(&a), Some(d), "{a} + {d}");
     }
 }
 
 // ---- place lattice ---------------------------------------------------------
 
-fn arb_place() -> impl Strategy<Value = Place> {
-    let root = prop_oneof![Just("a"), Just("b"), Just("t")];
-    let fields = proptest::collection::vec(prop_oneof![Just("x"), Just("y")], 0..3);
-    let sect = prop_oneof![
-        Just(Sectioning::NotIndexed),
-        Just(Sectioning::All),
-        (0i64..50, 0i64..50).prop_map(|(lo, len)| Sectioning::Range(Section::dense(
-            SymExpr::konst(lo),
-            SymExpr::konst(lo + len)
-        ))),
-    ];
-    (root, sect, fields).prop_map(|(r, s, f)| Place {
-        root: r.to_string(),
-        sect: s,
-        fields: f.into_iter().map(String::from).collect(),
-    })
+fn random_place(rng: &mut SmallRng) -> Place {
+    let root = ["a", "b", "t"][rng.gen_range(0, 3)];
+    let sect = match rng.gen_range(0, 3) {
+        0 => Sectioning::NotIndexed,
+        1 => Sectioning::All,
+        _ => {
+            let lo = rng.gen_range(0, 50) as i64;
+            let len = rng.gen_range(0, 50) as i64;
+            Sectioning::Range(Section::dense(SymExpr::konst(lo), SymExpr::konst(lo + len)))
+        }
+    };
+    let n_fields = rng.gen_range(0, 3);
+    let fields = (0..n_fields)
+        .map(|_| ["x", "y"][rng.gen_range(0, 2)].to_string())
+        .collect();
+    Place {
+        root: root.to_string(),
+        sect,
+        fields,
+    }
 }
 
-proptest! {
-    #[test]
-    fn covers_is_reflexive(p in arb_place()) {
-        prop_assert!(p.covers(&p));
-    }
+fn random_places(rng: &mut SmallRng, max: usize) -> Vec<Place> {
+    let n = rng.gen_range(0, max + 1);
+    (0..n).map(|_| random_place(rng)).collect()
+}
 
-    #[test]
-    fn covers_is_transitive(a in arb_place(), b in arb_place(), c in arb_place()) {
+#[test]
+fn covers_is_reflexive() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0006);
+    for _case in 0..300 {
+        let p = random_place(&mut rng);
+        assert!(p.covers(&p), "{p}");
+    }
+}
+
+#[test]
+fn covers_is_transitive() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0007);
+    for _case in 0..2000 {
+        let a = random_place(&mut rng);
+        let b = random_place(&mut rng);
+        let c = random_place(&mut rng);
         if a.covers(&b) && b.covers(&c) {
-            prop_assert!(a.covers(&c), "{a} ⊇ {b} ⊇ {c}");
+            assert!(a.covers(&c), "{a} ⊇ {b} ⊇ {c}");
         }
     }
+}
 
-    #[test]
-    fn insert_is_idempotent(ps in proptest::collection::vec(arb_place(), 0..8), p in arb_place()) {
+#[test]
+fn insert_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0008);
+    for _case in 0..300 {
+        let ps = random_places(&mut rng, 8);
+        let p = random_place(&mut rng);
         let mut s1: PlaceSet = ps.iter().cloned().collect();
         s1.insert(p.clone());
         let mut s2 = s1.clone();
         s2.insert(p.clone());
-        prop_assert_eq!(s1.sorted(), s2.sorted());
+        assert_eq!(s1.sorted(), s2.sorted(), "inserting {p}");
     }
+}
 
-    #[test]
-    fn insert_preserves_coverage(ps in proptest::collection::vec(arb_place(), 0..8), p in arb_place()) {
+#[test]
+fn insert_preserves_coverage() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_0009);
+    for _case in 0..300 {
+        let ps = random_places(&mut rng, 8);
+        let p = random_place(&mut rng);
         let mut set: PlaceSet = ps.iter().cloned().collect();
         // everything previously covered stays covered after any insert
-        let before: Vec<Place> = ps.clone();
         set.insert(p.clone());
-        for q in &before {
-            prop_assert!(set.covers_place(q), "{q} lost after inserting {p}");
+        for q in &ps {
+            assert!(set.covers_place(q), "{q} lost after inserting {p}");
         }
-        prop_assert!(set.covers_place(&p));
+        assert!(set.covers_place(&p));
     }
+}
 
-    #[test]
-    fn kill_removes_only_covered(ps in proptest::collection::vec(arb_place(), 0..8), k in arb_place()) {
+#[test]
+fn kill_removes_only_covered() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_000A);
+    for _case in 0..300 {
+        let ps = random_places(&mut rng, 8);
+        let k = random_place(&mut rng);
         let set: PlaceSet = ps.iter().cloned().collect();
         let mut killed = set.clone();
         killed.kill(&k);
         for q in set.sorted() {
             if k.covers(q) {
-                prop_assert!(!killed.contains(q));
+                assert!(!killed.contains(q));
             } else {
-                prop_assert!(killed.contains(q), "{q} wrongly killed by {k}");
+                assert!(killed.contains(q), "{q} wrongly killed by {k}");
             }
         }
     }
@@ -148,27 +218,29 @@ struct WireCase {
     doubles: Vec<f64>,
 }
 
-fn arb_wire() -> impl Strategy<Value = WireCase> {
-    (
-        proptest::collection::vec(-1000i64..1000, 0..4),
-        1usize..64,
-    )
-        .prop_flat_map(|(ints, len)| {
-            proptest::collection::vec(-1e6f64..1e6, len).prop_map(move |doubles| WireCase {
-                scalars: ints
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| (format!("s{i}"), *v))
-                    .collect(),
-                array_len: doubles.len(),
-                doubles,
-            })
-        })
+fn random_wire(rng: &mut SmallRng) -> WireCase {
+    let n_ints = rng.gen_range(0, 4);
+    let scalars = (0..n_ints)
+        .map(|i| (format!("s{i}"), rng.gen_range(0, 2000) as i64 - 1000))
+        .collect();
+    let len = rng.gen_range(1, 64);
+    let doubles = (0..len)
+        .map(|_| (rng.gen_f64() - 0.5) * 2e6)
+        .collect::<Vec<f64>>();
+    WireCase {
+        scalars,
+        array_len: len,
+        doubles,
+    }
 }
 
-proptest! {
-    #[test]
-    fn pack_unpack_roundtrip(case in arb_wire(), field_wise in any::<bool>()) {
+#[test]
+fn pack_unpack_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_000B);
+    for case_no in 0..200 {
+        let case = random_wire(&mut rng);
+        let field_wise = rng.gen_bool(0.5);
+
         let n = case.array_len as i64;
         let arr_place = Place::sliced(
             "xs",
@@ -187,9 +259,15 @@ proptest! {
             });
         }
         let layout = if field_wise {
-            PackLayout { field_wise: entries, ..Default::default() }
+            PackLayout {
+                field_wise: entries,
+                ..Default::default()
+            }
         } else {
-            PackLayout { instance_wise: entries, ..Default::default() }
+            PackLayout {
+                instance_wise: entries,
+                ..Default::default()
+            }
         };
 
         let mut vars: HashMap<String, Value> = HashMap::new();
@@ -206,19 +284,22 @@ proptest! {
         let env = RuntimeEnv::for_packet("pkt", 0, n - 1);
         let buf = pack(&layout, &vars, &env, (0, n - 1), None).unwrap();
         let un = unpack(&layout, &env, &buf).unwrap();
-        prop_assert_eq!(un.pkt, (0, n - 1));
-        prop_assert!(un.vars["xs"].deep_eq(&vars["xs"]));
+        assert_eq!(un.pkt, (0, n - 1), "case {case_no}");
+        assert!(un.vars["xs"].deep_eq(&vars["xs"]), "case {case_no}");
         for (name, _) in &case.scalars {
-            prop_assert!(un.vars[name].deep_eq(&vars[name]), "{}", name);
+            assert!(un.vars[name].deep_eq(&vars[name]), "case {case_no}: {name}");
         }
     }
+}
 
-    #[test]
-    fn filtered_pack_roundtrip(
-        len in 1usize..64,
-        mask in proptest::collection::vec(any::<bool>(), 64),
-        lo in 0i64..1000,
-    ) {
+#[test]
+fn filtered_pack_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_000C);
+    for case_no in 0..200 {
+        let len = rng.gen_range(1, 64);
+        let mask: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+        let lo = rng.gen_range(0, 1000) as i64;
+
         let n = len as i64;
         let place = Place::sliced(
             "v",
@@ -228,7 +309,11 @@ proptest! {
             ),
         );
         let layout = PackLayout {
-            instance_wise: vec![PackEntry { place, first_consumer: 1, elem: ScalarKind::F64 }],
+            instance_wise: vec![PackEntry {
+                place,
+                first_consumer: 1,
+                elem: ScalarKind::F64,
+            }],
             filtered: Some(0),
             ..Default::default()
         };
@@ -247,21 +332,33 @@ proptest! {
             .collect();
         let buf = pack(&layout, &vars, &env, (lo, lo + n - 1), Some(&selection)).unwrap();
         let un = unpack(&layout, &env, &buf).unwrap();
-        prop_assert_eq!(un.selection.as_deref(), Some(&selection[..]));
+        assert_eq!(
+            un.selection.as_deref(),
+            Some(&selection[..]),
+            "case {case_no}"
+        );
         if selection.is_empty() {
             // Nothing crossed: the binding is absent (the receiving filter
             // re-allocates packet-local arrays it needs).
-            prop_assert!(!un.vars.contains_key("v"));
+            assert!(!un.vars.contains_key("v"), "case {case_no}");
         } else {
-            let Value::Array(arr) = &un.vars["v"] else { panic!("not array") };
+            let Value::Array(arr) = &un.vars["v"] else {
+                panic!("not array")
+            };
             let arr = arr.borrow();
             for i in 0..len {
                 if mask[i] {
-                    prop_assert!(arr[i].deep_eq(&Value::Double(i as f64 * 1.25)));
+                    assert!(
+                        arr[i].deep_eq(&Value::Double(i as f64 * 1.25)),
+                        "case {case_no}"
+                    );
                 }
             }
         }
         // volume proportional to selection
-        prop_assert!(buf.len() <= 16 + 8 + 8 * selection.len() + 8 * (selection.len() + 1) + 8);
+        assert!(
+            buf.len() <= 16 + 8 + 8 * selection.len() + 8 * (selection.len() + 1) + 8,
+            "case {case_no}"
+        );
     }
 }

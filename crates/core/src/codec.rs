@@ -116,15 +116,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn string(&mut self) -> Result<String, CodecError> {
@@ -157,7 +163,10 @@ impl<'a> Reader<'a> {
                     let k = self.string()?;
                     fields.insert(k, self.value()?);
                 }
-                Ok(Value::Object(Rc::new(RefCell::new(ObjectVal { class, fields }))))
+                Ok(Value::Object(Rc::new(RefCell::new(ObjectVal {
+                    class,
+                    fields,
+                }))))
             }
             t => Err(CodecError(format!("unknown tag {t}"))),
         }

@@ -25,8 +25,7 @@ use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{Buffer, Filter, FilterIo, FilterResult, Pipeline, StageSpec};
 use cgp_lang::interp::{split_domain, HostEnv};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const TAG_DATA: u8 = 0;
 const TAG_REDUCTION: u8 = 1;
@@ -67,11 +66,10 @@ pub fn run_plan_threaded(
     let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut pipeline = Pipeline::new().with_capacity(32);
-    for j in 0..m {
+    for (j, &width) in widths.iter().enumerate() {
         let plan = Arc::clone(&plan);
         let hb = Arc::clone(&host_builder);
         let out = Arc::clone(&output);
-        let width = widths[j];
         pipeline = pipeline.add_stage(StageSpec::new(
             format!("f{}", j + 1),
             width,
@@ -89,7 +87,7 @@ pub fn run_plan_threaded(
         ));
     }
     pipeline.run().map_err(CoreError::Runtime)?;
-    let mut out = output.lock();
+    let mut out = output.lock().unwrap();
     Ok(std::mem::take(&mut *out))
 }
 
@@ -112,8 +110,7 @@ impl PlanFilter {
 
         if j == 0 {
             // Source: generate this copy's share of the packets.
-            let ((lo, hi), n_packets) =
-                stepper.loop_bounds().map_err(CoreError::Compile)?;
+            let ((lo, hi), n_packets) = stepper.loop_bounds().map_err(CoreError::Compile)?;
             for (i, (plo, phi)) in split_domain(lo, hi, n_packets as usize).iter().enumerate() {
                 if i % self.width != self.copy {
                     continue;
@@ -125,7 +122,8 @@ impl PlanFilter {
                     let mut buf = Vec::with_capacity(payload.len() + 1);
                     buf.push(TAG_DATA);
                     buf.extend_from_slice(&payload);
-                    io.write(Buffer::from_vec(buf)).map_err(CoreError::Runtime)?;
+                    io.write(Buffer::from_vec(buf))
+                        .map_err(CoreError::Runtime)?;
                 }
             }
         } else {
@@ -150,7 +148,8 @@ impl PlanFilter {
                             let mut fwd = Vec::with_capacity(payload.len() + 1);
                             fwd.push(TAG_DATA);
                             fwd.extend_from_slice(&payload);
-                            io.write(Buffer::from_vec(fwd)).map_err(CoreError::Runtime)?;
+                            io.write(Buffer::from_vec(fwd))
+                                .map_err(CoreError::Runtime)?;
                         }
                     }
                     TAG_REDUCTION => {
@@ -169,10 +168,11 @@ impl PlanFilter {
             let state = stepper.reduction_state(j);
             let mut buf = vec![TAG_REDUCTION];
             buf.extend_from_slice(&encode_state(&state));
-            io.write(Buffer::from_vec(buf)).map_err(CoreError::Runtime)?;
+            io.write(Buffer::from_vec(buf))
+                .map_err(CoreError::Runtime)?;
         } else {
             let lines = stepper.epilogue_at(j).map_err(CoreError::Compile)?;
-            self.output.lock().extend(lines);
+            self.output.lock().unwrap().extend(lines);
         }
         Ok(())
     }
@@ -180,8 +180,12 @@ impl PlanFilter {
 
 impl Filter for PlanFilter {
     fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
-        self.run_unit_of_work(io)
-            .map_err(|e| cgp_datacutter::FilterError::new(format!("f{}[{}]", self.j + 1, self.copy), e.to_string()))
+        self.run_unit_of_work(io).map_err(|e| {
+            cgp_datacutter::FilterError::new(
+                format!("f{}[{}]", self.j + 1, self.copy),
+                e.to_string(),
+            )
+        })
     }
 
     fn name(&self) -> &str {
@@ -225,7 +229,9 @@ mod tests {
 
     fn host() -> HostEnv {
         let data = Value::Array(std::rc::Rc::new(std::cell::RefCell::new(
-            (0..200).map(|i| Value::Double((i * 13 % 101) as f64)).collect(),
+            (0..200)
+                .map(|i| Value::Double((i * 13 % 101) as f64))
+                .collect(),
         )));
         HostEnv::new()
             .bind("n", Value::Int(200))
@@ -242,34 +248,29 @@ mod tests {
 
     #[test]
     fn threaded_run_matches_oracle() {
-        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20)
-            .with_symbol("n", 200);
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
         let c = compile(SRC, &opts).unwrap();
-        let out =
-            run_plan_threaded(Arc::new(c.plan), Arc::new(host), None).unwrap();
+        let out = run_plan_threaded(Arc::new(c.plan), Arc::new(host), None).unwrap();
         assert_eq!(out, oracle());
     }
 
     #[test]
     fn threaded_run_with_transparent_copies() {
-        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20)
-            .with_symbol("n", 200);
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
         let c = compile(SRC, &opts).unwrap();
         for widths in [[1usize, 2, 1], [2, 2, 1], [4, 4, 1]] {
-            let out = run_plan_threaded(
-                Arc::new(c.plan.clone()),
-                Arc::new(host),
-                Some(&widths),
-            )
-            .unwrap();
+            let out =
+                run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&widths)).unwrap();
             assert_eq!(out, oracle(), "widths={widths:?}");
         }
     }
 
     #[test]
     fn single_unit_plan_runs() {
-        let opts = CompileOptions::new(PipelineEnv::uniform(1, 1e7, 1e6, 1e-5), 20)
-            .with_symbol("n", 200);
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(1, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
         let c = compile(SRC, &opts).unwrap();
         let out = run_plan_threaded(Arc::new(c.plan), Arc::new(host), None).unwrap();
         assert_eq!(out, oracle());
@@ -277,8 +278,8 @@ mod tests {
 
     #[test]
     fn bad_widths_rejected() {
-        let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20)
-            .with_symbol("n", 200);
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
         let c = compile(SRC, &opts).unwrap();
         let err = run_plan_threaded(Arc::new(c.plan), Arc::new(host), Some(&[1, 2]));
         assert!(err.is_err());

@@ -49,12 +49,14 @@ pub mod sim;
 
 pub use cgp_compiler::cost::PipelineEnv;
 pub use cgp_compiler::{
-    compile, run_plan_sequential, Compiled, CompileOptions, Decomposition, FilterPlan,
-    Objective,
+    compile, run_plan_sequential, CompileOptions, Compiled, Decomposition, FilterPlan, Objective,
 };
 pub use error::CoreError;
 pub use exec::{run_plan_threaded, HostBuilder};
-pub use sim::{paper_grid, paper_grid_disk, simulate_variant, VariantRun, CALIBRATION, DISK_BANDWIDTH, LINK_BANDWIDTH, PENTIUM_SLOWDOWN};
+pub use sim::{
+    paper_grid, paper_grid_disk, simulate_variant, VariantRun, CALIBRATION, DISK_BANDWIDTH,
+    LINK_BANDWIDTH, PENTIUM_SLOWDOWN,
+};
 
 /// Re-exports of the underlying crates for applications that need them.
 pub mod lang {

@@ -62,7 +62,10 @@ pub fn paper_grid(w: usize) -> GridConfig {
     GridConfig::w_w_1(
         w,
         CALIBRATION / PENTIUM_SLOWDOWN,
-        cgp_grid::LinkSpec { bandwidth: LINK_BANDWIDTH, latency: 2.0e-5 },
+        cgp_grid::LinkSpec {
+            bandwidth: LINK_BANDWIDTH,
+            latency: 2.0e-5,
+        },
     )
 }
 
@@ -107,6 +110,11 @@ mod tests {
         assert_eq!(r1.result_digest, r2.result_digest);
         // More width never hurts the simulated makespan (same measured work
         // modulo timing noise; allow 25% slack).
-        assert!(r2.makespan <= r1.makespan * 1.25, "{} vs {}", r2.makespan, r1.makespan);
+        assert!(
+            r2.makespan <= r1.makespan * 1.25,
+            "{} vs {}",
+            r2.makespan,
+            r1.makespan
+        );
     }
 }

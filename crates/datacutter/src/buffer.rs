@@ -5,44 +5,84 @@
 //! once sealed ([`Buffer`]), built through a [`BufferBuilder`] with a
 //! capacity limit mirroring DataCutter's fixed buffer size.
 
-use bytes::Bytes;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default stream buffer capacity (64 KiB, DataCutter-style).
 pub const DEFAULT_BUFFER_CAPACITY: usize = 64 * 1024;
 
+/// Backing storage: either borrowed static data or a shared heap
+/// allocation. Replaces `bytes::Bytes` (offline build); clones share
+/// the allocation and sub-ranges adjust `start`/`end` only.
+#[derive(Clone)]
+enum Storage {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
 /// An immutable, cheaply-clonable chunk of stream data.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Buffer {
-    data: Bytes,
+    storage: Storage,
+    start: usize,
+    end: usize,
 }
 
 impl Buffer {
     pub fn from_vec(v: Vec<u8>) -> Self {
-        Buffer { data: Bytes::from(v) }
+        let end = v.len();
+        Buffer {
+            storage: Storage::Shared(v.into()),
+            start: 0,
+            end,
+        }
     }
 
     pub fn from_static(s: &'static [u8]) -> Self {
-        Buffer { data: Bytes::from_static(s) }
+        Buffer {
+            storage: Storage::Static(s),
+            start: 0,
+            end: s.len(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        let whole: &[u8] = match &self.storage {
+            Storage::Static(s) => s,
+            Storage::Shared(a) => a,
+        };
+        &whole[self.start..self.end]
     }
 
-    /// Zero-copy sub-range.
+    /// Zero-copy sub-range (shares the backing allocation).
     pub fn slice(&self, range: std::ops::Range<usize>) -> Buffer {
-        Buffer { data: self.data.slice(range) }
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Buffer {
+            storage: self.storage.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 }
+
+impl PartialEq for Buffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Buffer {}
 
 impl fmt::Debug for Buffer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -68,7 +108,11 @@ pub struct BufferBuilder {
 impl BufferBuilder {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
-        BufferBuilder { capacity, current: Vec::new(), sealed: Vec::new() }
+        BufferBuilder {
+            capacity,
+            current: Vec::new(),
+            sealed: Vec::new(),
+        }
     }
 
     /// Append payload, sealing full buffers as the capacity is reached.

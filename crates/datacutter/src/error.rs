@@ -12,7 +12,10 @@ pub struct FilterError {
 
 impl FilterError {
     pub fn new(filter: impl Into<String>, message: impl Into<String>) -> Self {
-        FilterError { filter: filter.into(), message: message.into() }
+        FilterError {
+            filter: filter.into(),
+            message: message.into(),
+        }
     }
 }
 

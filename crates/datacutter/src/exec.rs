@@ -8,8 +8,8 @@
 use crate::error::{FilterError, FilterResult};
 use crate::filter::{FilterFactory, FilterIo};
 use crate::stream::{logical_stream, Distribution};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use cgp_obs::trace::{self, PID_RUNTIME};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One pipeline stage: a logical filter with `width` transparent copies.
@@ -22,7 +22,11 @@ pub struct StageSpec {
 impl StageSpec {
     pub fn new(name: impl Into<String>, width: usize, factory: FilterFactory) -> Self {
         assert!(width >= 1);
-        StageSpec { name: name.into(), width, factory }
+        StageSpec {
+            name: name.into(),
+            width,
+            factory,
+        }
     }
 }
 
@@ -34,8 +38,22 @@ pub struct StageStats {
     pub bytes_in: u64,
     pub buffers_out: u64,
     pub bytes_out: u64,
-    /// Wall-clock busy time summed over copies.
+    /// Wall-clock busy time **summed over copies**: with `w` transparent
+    /// copies running concurrently this can legitimately exceed
+    /// [`RunStats::wall`] (up to `w × wall`). Use [`busy_per_copy`]
+    /// for per-thread intervals and `busy / width` for an average.
+    ///
+    /// [`busy_per_copy`]: StageStats::busy_per_copy
     pub busy: Duration,
+    /// Wall-clock busy time of each transparent copy, indexed by copy;
+    /// `busy` is exactly the sum of these entries.
+    pub busy_per_copy: Vec<Duration>,
+    /// Total time this stage's copies spent blocked in sends
+    /// (throttled by downstream backpressure), summed over copies.
+    pub blocked_send: Duration,
+    /// Total time this stage's copies spent blocked in receives
+    /// (starved for upstream data), summed over copies.
+    pub blocked_recv: Duration,
 }
 
 /// Result of a pipeline run.
@@ -110,11 +128,28 @@ impl Pipeline {
             }
         }
 
-        // Spawn every copy.
+        // Spawn every copy. Trace tids number filter copies globally
+        // (stage by stage), one timeline row per copy.
+        let tid_base: Vec<u32> = self
+            .stages
+            .iter()
+            .scan(0u32, |acc, s| {
+                let base = *acc;
+                *acc += s.width as u32;
+                Some(base)
+            })
+            .collect();
+        if trace::enabled() {
+            trace::name_process(PID_RUNTIME, "datacutter");
+        }
         let stats: Arc<Mutex<Vec<StageStats>>> = Arc::new(Mutex::new(
             self.stages
                 .iter()
-                .map(|s| StageStats { name: s.name.clone(), ..Default::default() })
+                .map(|s| StageStats {
+                    name: s.name.clone(),
+                    busy_per_copy: vec![Duration::ZERO; s.width],
+                    ..Default::default()
+                })
                 .collect(),
         ));
         let first_error: Arc<Mutex<Option<FilterError>>> = Arc::new(Mutex::new(None));
@@ -123,21 +158,41 @@ impl Pipeline {
             for (s, stage) in self.stages.iter().enumerate() {
                 for c in 0..stage.width {
                     let mut filter = (stage.factory)(c);
+                    let tid = tid_base[s] + c as u32;
                     let mut io = FilterIo {
                         input: readers_per_stage[s][c].take(),
                         output: writers_per_stage[s][c].take(),
                         copy_index: c,
                         width: stage.width,
                     };
+                    if let Some(r) = io.input.as_mut() {
+                        r.set_trace_tid(tid);
+                    }
+                    if let Some(w) = io.output.as_mut() {
+                        w.set_trace_tid(tid);
+                    }
                     let stats = Arc::clone(&stats);
                     let first_error = Arc::clone(&first_error);
                     let stage_name = stage.name.clone();
                     scope.spawn(move || {
+                        if trace::enabled() {
+                            trace::name_thread(PID_RUNTIME, tid, format!("{stage_name}[{c}]"));
+                        }
+                        let mut copy_span =
+                            trace::span(format!("{stage_name}[{c}]"), "filter", PID_RUNTIME, tid);
                         let t = Instant::now();
-                        let result = filter
-                            .init(&mut io)
-                            .and_then(|_| filter.process(&mut io))
-                            .and_then(|_| filter.finalize(&mut io));
+                        let result = (|| {
+                            {
+                                let _s = trace::span("init", "filter-phase", PID_RUNTIME, tid);
+                                filter.init(&mut io)?;
+                            }
+                            {
+                                let _s = trace::span("process", "filter-phase", PID_RUNTIME, tid);
+                                filter.process(&mut io)?;
+                            }
+                            let _s = trace::span("finalize", "filter-phase", PID_RUNTIME, tid);
+                            filter.finalize(&mut io)
+                        })();
                         // Close output so downstream sees end-of-work even
                         // on error.
                         if let Some(w) = io.output.as_mut() {
@@ -150,27 +205,39 @@ impl Pipeline {
                         }
                         let busy = t.elapsed();
                         {
-                            let mut st = stats.lock();
+                            let mut st = stats.lock().unwrap();
                             let entry = &mut st[s];
                             if let Some(r) = &io.input {
                                 let (b, by) = r.stats();
                                 entry.buffers_in += b;
                                 entry.bytes_in += by;
+                                entry.blocked_recv += r.blocked();
+                                if copy_span.is_recording() {
+                                    copy_span.arg("buffers_in", b);
+                                    copy_span
+                                        .arg("blocked_recv_us", r.blocked().as_micros() as u64);
+                                }
                             }
                             if let Some(w) = &io.output {
                                 let (b, by) = w.stats();
                                 entry.buffers_out += b;
                                 entry.bytes_out += by;
+                                entry.blocked_send += w.blocked();
+                                if copy_span.is_recording() {
+                                    copy_span.arg("buffers_out", b);
+                                    copy_span
+                                        .arg("blocked_send_us", w.blocked().as_micros() as u64);
+                                }
                             }
                             entry.busy += busy;
+                            entry.busy_per_copy[c] = busy;
                         }
+                        drop(copy_span);
                         if let Err(e) = result {
-                            let mut fe = first_error.lock();
+                            let mut fe = first_error.lock().unwrap();
                             if fe.is_none() {
-                                *fe = Some(FilterError::new(
-                                    format!("{stage_name}[{c}]"),
-                                    e.message,
-                                ));
+                                *fe =
+                                    Some(FilterError::new(format!("{stage_name}[{c}]"), e.message));
                             }
                         }
                     });
@@ -178,11 +245,14 @@ impl Pipeline {
             }
         });
 
-        if let Some(e) = first_error.lock().take() {
+        if let Some(e) = first_error.lock().unwrap().take() {
             return Err(e);
         }
-        let stages = stats.lock().clone();
-        Ok(RunStats { wall: t0.elapsed(), stages })
+        let stages = stats.lock().unwrap().clone();
+        Ok(RunStats {
+            wall: t0.elapsed(),
+            stages,
+        })
     }
 }
 
@@ -286,7 +356,11 @@ mod tests {
                 ))
                 .run()
                 .unwrap();
-            assert_eq!(total.load(Ordering::Relaxed), (0..200).sum::<u64>(), "width={width}");
+            assert_eq!(
+                total.load(Ordering::Relaxed),
+                (0..200).sum::<u64>(),
+                "width={width}"
+            );
         }
     }
 
@@ -315,7 +389,11 @@ mod tests {
         let total2 = Arc::clone(&total);
         Pipeline::new()
             .add_stage(StageSpec::new("source", 1, source(100)))
-            .add_stage(StageSpec::new("acc", 3, Box::new(|_| Box::new(Acc { sum: 0 }))))
+            .add_stage(StageSpec::new(
+                "acc",
+                3,
+                Box::new(|_| Box::new(Acc { sum: 0 })),
+            ))
             .add_stage(StageSpec::new(
                 "merge",
                 1,

@@ -88,7 +88,10 @@ where
     P: FnMut(&mut FilterIo) -> FilterResult<()> + Send,
 {
     pub fn new(name: impl Into<String>, process_fn: P) -> Self {
-        ClosureFilter { name: name.into(), process_fn }
+        ClosureFilter {
+            name: name.into(),
+            process_fn,
+        }
     }
 }
 
@@ -143,7 +146,12 @@ mod tests {
 
     #[test]
     fn terminal_filter_write_is_noop() {
-        let mut io = FilterIo { input: None, output: None, copy_index: 0, width: 1 };
+        let mut io = FilterIo {
+            input: None,
+            output: None,
+            copy_index: 0,
+            width: 1,
+        };
         assert!(io.write(Buffer::from_vec(vec![1])).is_ok());
         assert!(!io.has_input());
         assert!(!io.has_output());

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod buffer;
+pub mod channel;
 pub mod error;
 pub mod exec;
 pub mod filter;

@@ -8,8 +8,15 @@
 //! (demand-driven) queue.
 
 use crate::buffer::Buffer;
+use crate::channel::{bounded, Receiver, Sender};
 use crate::error::{FilterError, FilterResult};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use cgp_obs::trace::{self, PID_RUNTIME};
+use std::time::{Duration, Instant};
+
+/// Stalls shorter than this are not worth a trace event (they would
+/// dominate the trace without carrying signal); they still count
+/// toward the accumulated blocked duration.
+const STALL_EVENT_THRESHOLD: Duration = Duration::from_micros(100);
 
 /// How a producer distributes buffers among consumer copies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,16 +41,45 @@ pub struct StreamReader {
     producers_remaining: usize,
     buffers_read: u64,
     bytes_read: u64,
+    blocked: Duration,
+    /// Trace thread id of the owning filter copy (see
+    /// [`StreamReader::set_trace_tid`]).
+    tid: u32,
 }
 
 impl StreamReader {
     /// Blocking read; `None` once every producer copy has closed.
     pub fn read(&mut self) -> Option<Buffer> {
         while self.producers_remaining > 0 {
-            match self.rx.recv() {
+            let wait_start = Instant::now();
+            let msg = self.rx.recv();
+            let waited = wait_start.elapsed();
+            self.blocked += waited;
+            if trace::enabled() && waited >= STALL_EVENT_THRESHOLD {
+                let end_us = trace::now_us();
+                trace::complete(
+                    "blocked_on_recv",
+                    "stall",
+                    end_us - waited.as_secs_f64() * 1e6,
+                    waited.as_secs_f64() * 1e6,
+                    PID_RUNTIME,
+                    self.tid,
+                    vec![],
+                );
+            }
+            match msg {
                 Ok(Msg::Data(b)) => {
                     self.buffers_read += 1;
                     self.bytes_read += b.len() as u64;
+                    if trace::enabled() {
+                        trace::instant(
+                            "recv",
+                            "packet",
+                            PID_RUNTIME,
+                            self.tid,
+                            vec![("bytes", (b.len() as u64).into())],
+                        );
+                    }
                     return Some(b);
                 }
                 Ok(Msg::End) => {
@@ -58,6 +94,18 @@ impl StreamReader {
     pub fn stats(&self) -> (u64, u64) {
         (self.buffers_read, self.bytes_read)
     }
+
+    /// Total time this endpoint spent inside blocking receives — i.e.
+    /// the copy was starved waiting for upstream data.
+    pub fn blocked(&self) -> Duration {
+        self.blocked
+    }
+
+    /// Set the trace row for per-packet and stall events (the executor
+    /// assigns one tid per filter copy).
+    pub fn set_trace_tid(&mut self, tid: u32) {
+        self.tid = tid;
+    }
 }
 
 /// Writing end held by one producer copy.
@@ -68,6 +116,10 @@ pub struct StreamWriter {
     buffers_written: u64,
     bytes_written: u64,
     closed: bool,
+    blocked: Duration,
+    /// Trace thread id of the owning filter copy (see
+    /// [`StreamWriter::set_trace_tid`]).
+    tid: u32,
 }
 
 impl StreamWriter {
@@ -77,7 +129,8 @@ impl StreamWriter {
             return Err(FilterError::new("stream", "write after close"));
         }
         self.buffers_written += 1;
-        self.bytes_written += buf.len() as u64;
+        let bytes = buf.len() as u64;
+        self.bytes_written += bytes;
         let target = match self.distribution {
             Distribution::RoundRobin => {
                 let t = self.next % self.txs.len();
@@ -86,9 +139,41 @@ impl StreamWriter {
             }
             Distribution::Shared => 0,
         };
-        self.txs[target]
-            .send(Msg::Data(buf))
-            .map_err(|_| FilterError::new("stream", "consumer hung up"))
+        // Queue depth *before* the send: how much backlog the consumer
+        // already has. Only sampled when tracing (it takes the queue
+        // lock).
+        let tracing = trace::enabled();
+        let depth = if tracing {
+            self.txs[target].len() as u64
+        } else {
+            0
+        };
+        let wait_start = Instant::now();
+        let sent = self.txs[target].send(Msg::Data(buf));
+        let waited = wait_start.elapsed();
+        self.blocked += waited;
+        if tracing {
+            if waited >= STALL_EVENT_THRESHOLD {
+                let end_us = trace::now_us();
+                trace::complete(
+                    "blocked_on_send",
+                    "stall",
+                    end_us - waited.as_secs_f64() * 1e6,
+                    waited.as_secs_f64() * 1e6,
+                    PID_RUNTIME,
+                    self.tid,
+                    vec![("queue_depth", depth.into())],
+                );
+            }
+            trace::instant(
+                "send",
+                "packet",
+                PID_RUNTIME,
+                self.tid,
+                vec![("bytes", bytes.into()), ("queue_depth", depth.into())],
+            );
+        }
+        sent.map_err(|_| FilterError::new("stream", "consumer hung up"))
     }
 
     /// Signal end-of-work to every consumer copy. Idempotent.
@@ -104,6 +189,18 @@ impl StreamWriter {
 
     pub fn stats(&self) -> (u64, u64) {
         (self.buffers_written, self.bytes_written)
+    }
+
+    /// Total time this endpoint spent inside blocking sends — i.e. the
+    /// copy was throttled by downstream backpressure.
+    pub fn blocked(&self) -> Duration {
+        self.blocked
+    }
+
+    /// Set the trace row for per-packet and stall events (the executor
+    /// assigns one tid per filter copy).
+    pub fn set_trace_tid(&mut self, tid: u32) {
+        self.tid = tid;
     }
 }
 
@@ -143,6 +240,8 @@ pub fn logical_stream(
                     producers_remaining: producers,
                     buffers_read: 0,
                     bytes_read: 0,
+                    blocked: Duration::ZERO,
+                    tid: 0,
                 });
             }
             let writers = (0..producers)
@@ -155,6 +254,8 @@ pub fn logical_stream(
                     buffers_written: 0,
                     bytes_written: 0,
                     closed: false,
+                    blocked: Duration::ZERO,
+                    tid: 0,
                 })
                 .collect();
             (writers, readers)
@@ -172,6 +273,8 @@ pub fn logical_stream(
                     buffers_written: 0,
                     bytes_written: 0,
                     closed: false,
+                    blocked: Duration::ZERO,
+                    tid: 0,
                 })
                 .collect();
             let readers = (0..consumers)
@@ -180,6 +283,8 @@ pub fn logical_stream(
                     producers_remaining: producers,
                     buffers_read: 0,
                     bytes_read: 0,
+                    blocked: Duration::ZERO,
+                    tid: 0,
                 })
                 .collect();
             (writers, readers)
@@ -262,7 +367,10 @@ mod tests {
                 })
             })
             .collect();
-        let mut all: Vec<u8> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u8> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort();
         assert_eq!(all, (0..10).collect::<Vec<u8>>());
     }
@@ -290,8 +398,12 @@ mod tests {
         ws[1].write(buf(2)).unwrap();
         ws[1].write(buf(3)).unwrap();
         ws.iter_mut().for_each(StreamWriter::close);
-        let c0: Vec<u8> = std::iter::from_fn(|| rs[0].read()).map(|b| b.as_slice()[0]).collect();
-        let c1: Vec<u8> = std::iter::from_fn(|| rs[1].read()).map(|b| b.as_slice()[0]).collect();
+        let c0: Vec<u8> = std::iter::from_fn(|| rs[0].read())
+            .map(|b| b.as_slice()[0])
+            .collect();
+        let c1: Vec<u8> = std::iter::from_fn(|| rs[1].read())
+            .map(|b| b.as_slice()[0])
+            .collect();
         assert_eq!(c0.len(), 2);
         assert_eq!(c1.len(), 2);
     }

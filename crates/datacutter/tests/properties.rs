@@ -1,29 +1,34 @@
-//! Property-based tests for the filter-stream runtime: buffers are
+//! Property-style tests for the filter-stream runtime: buffers are
 //! conserved across arbitrary pipeline shapes, regardless of widths,
-//! capacities and distribution policy.
+//! capacities and distribution policy. Cases are drawn from a seeded
+//! PRNG (the build is offline, so no proptest) — failures reproduce
+//! deterministically from the printed case parameters.
 
 use cgp_datacutter::{
     Buffer, BufferBuilder, ClosureFilter, Distribution, FilterIo, Pipeline, StageSpec,
 };
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+#[test]
+fn every_buffer_arrives_exactly_once() {
+    let mut rng = SmallRng::seed_from_u64(0xDC01);
+    for _case in 0..40 {
+        let n = rng.gen_range(1, 300) as u64;
+        let w1 = rng.gen_range(1, 4);
+        let w2 = rng.gen_range(1, 4);
+        let cap = rng.gen_range(1, 32);
+        let shared = rng.gen_bool(0.5);
 
-    #[test]
-    fn every_buffer_arrives_exactly_once(
-        n in 1u64..300,
-        w1 in 1usize..4,
-        w2 in 1usize..4,
-        cap in 1usize..32,
-        shared in any::<bool>(),
-    ) {
         let sum = Arc::new(AtomicU64::new(0));
         let count = Arc::new(AtomicU64::new(0));
         let (s2, c2) = (Arc::clone(&sum), Arc::clone(&count));
-        let dist = if shared { Distribution::Shared } else { Distribution::RoundRobin };
+        let dist = if shared {
+            Distribution::Shared
+        } else {
+            Distribution::RoundRobin
+        };
         Pipeline::new()
             .with_capacity(cap)
             .with_distribution(dist)
@@ -71,18 +76,30 @@ proptest! {
             ))
             .run()
             .unwrap();
-        prop_assert_eq!(count.load(Ordering::Relaxed), n);
-        prop_assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        let ctx = format!("n={n} w1={w1} w2={w2} cap={cap} shared={shared}");
+        assert_eq!(count.load(Ordering::Relaxed), n, "{ctx}");
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2, "{ctx}");
     }
+}
 
-    #[test]
-    fn buffer_builder_reassembles(payload in proptest::collection::vec(any::<u8>(), 0..5000), cap in 1usize..512) {
+#[test]
+fn buffer_builder_reassembles() {
+    let mut rng = SmallRng::seed_from_u64(0xDC02);
+    for _case in 0..100 {
+        let len = rng.gen_range(0, 5000);
+        let cap = rng.gen_range(1, 512);
+        let payload: Vec<u8> = (0..len).map(|_| rng.gen_range_u64(256) as u8).collect();
+
         let mut b = BufferBuilder::new(cap);
         b.push(&payload);
         let bufs = b.finish();
         for buf in &bufs {
-            prop_assert!(buf.len() <= cap);
+            assert!(buf.len() <= cap, "len={len} cap={cap}");
         }
-        prop_assert_eq!(cgp_datacutter::reassemble(&bufs), payload);
+        assert_eq!(
+            cgp_datacutter::reassemble(&bufs),
+            payload,
+            "len={len} cap={cap}"
+        );
     }
 }

@@ -43,7 +43,11 @@ pub fn simulate_phased(
     let mut per_phase = Vec::with_capacity(phases.len());
     for (i, phase) in phases.iter().enumerate() {
         // Only the final phase carries the end-of-work reduction transfer.
-        let fin: &[f64] = if i + 1 == phases.len() { finalize_bytes } else { &[] };
+        let fin: &[f64] = if i + 1 == phases.len() {
+            finalize_bytes
+        } else {
+            &[]
+        };
         let r = simulate(&phase.grid, &phase.packets, fin);
         makespan += r.makespan;
         per_phase.push(r);
@@ -51,7 +55,10 @@ pub fn simulate_phased(
             makespan += switch_penalty;
         }
     }
-    PhasedResult { makespan, per_phase }
+    PhasedResult {
+        makespan,
+        per_phase,
+    }
 }
 
 #[cfg(test)]
@@ -71,17 +78,32 @@ mod tests {
 
     #[test]
     fn phases_add_up() {
-        let link = LinkSpec { bandwidth: 1e6, latency: 0.0 };
+        let link = LinkSpec {
+            bandwidth: 1e6,
+            latency: 0.0,
+        };
         let g = GridConfig::w_w_1(1, 1e3, link);
-        let a = Phase { grid: g.clone(), packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) };
-        let b = Phase { grid: g.clone(), packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) };
+        let a = Phase {
+            grid: g.clone(),
+            packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]),
+        };
+        let b = Phase {
+            grid: g.clone(),
+            packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]),
+        };
         let one = simulate(&g, &a.packets, &[]).makespan;
         let r = simulate_phased(&[a, b], &[false], 5.0, &[]);
         assert!((r.makespan - 2.0 * one).abs() < 1e-9);
         let r2 = simulate_phased(
             &[
-                Phase { grid: g.clone(), packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) },
-                Phase { grid: g, packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]) },
+                Phase {
+                    grid: g.clone(),
+                    packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]),
+                },
+                Phase {
+                    grid: g,
+                    packets: pkts(10, [1e3, 1e3, 0.0], [0.0, 0.0]),
+                },
             ],
             &[true],
             5.0,
@@ -97,8 +119,14 @@ mod tests {
         // the fast phase; decomposition B (compute-at-source, light link)
         // is best for the slow phase. Adapting at the switch beats either
         // static choice even after the redeployment penalty.
-        let fast = LinkSpec { bandwidth: 1e6, latency: 0.0 };
-        let slow = LinkSpec { bandwidth: 1e5, latency: 0.0 };
+        let fast = LinkSpec {
+            bandwidth: 1e6,
+            latency: 0.0,
+        };
+        let slow = LinkSpec {
+            bandwidth: 1e5,
+            latency: 0.0,
+        };
         let gf = GridConfig::w_w_1(1, 1e4, fast);
         let gs = GridConfig::w_w_1(1, 1e4, slow);
         // A: little compute, big transfer — wins while the link is fast.
@@ -109,8 +137,14 @@ mod tests {
 
         let static_a = simulate_phased(
             &[
-                Phase { grid: gf.clone(), packets: work_a(n) },
-                Phase { grid: gs.clone(), packets: work_a(n) },
+                Phase {
+                    grid: gf.clone(),
+                    packets: work_a(n),
+                },
+                Phase {
+                    grid: gs.clone(),
+                    packets: work_a(n),
+                },
             ],
             &[false],
             0.0,
@@ -119,8 +153,14 @@ mod tests {
         .makespan;
         let static_b = simulate_phased(
             &[
-                Phase { grid: gf.clone(), packets: work_b(n) },
-                Phase { grid: gs.clone(), packets: work_b(n) },
+                Phase {
+                    grid: gf.clone(),
+                    packets: work_b(n),
+                },
+                Phase {
+                    grid: gs.clone(),
+                    packets: work_b(n),
+                },
             ],
             &[false],
             0.0,
@@ -129,8 +169,14 @@ mod tests {
         .makespan;
         let adaptive = simulate_phased(
             &[
-                Phase { grid: gf, packets: work_a(n) },
-                Phase { grid: gs, packets: work_b(n) },
+                Phase {
+                    grid: gf,
+                    packets: work_a(n),
+                },
+                Phase {
+                    grid: gs,
+                    packets: work_b(n),
+                },
             ],
             &[true],
             0.05,
@@ -145,11 +191,20 @@ mod tests {
 
     #[test]
     fn finalize_only_at_the_last_phase() {
-        let link = LinkSpec { bandwidth: 1e3, latency: 0.0 };
+        let link = LinkSpec {
+            bandwidth: 1e3,
+            latency: 0.0,
+        };
         let g = GridConfig::w_w_1(1, 1e6, link);
         let phases = vec![
-            Phase { grid: g.clone(), packets: pkts(2, [1.0, 1.0, 0.0], [0.0, 0.0]) },
-            Phase { grid: g, packets: pkts(2, [1.0, 1.0, 0.0], [0.0, 0.0]) },
+            Phase {
+                grid: g.clone(),
+                packets: pkts(2, [1.0, 1.0, 0.0], [0.0, 0.0]),
+            },
+            Phase {
+                grid: g,
+                packets: pkts(2, [1.0, 1.0, 0.0], [0.0, 0.0]),
+            },
         ];
         let with_fin = simulate_phased(&phases, &[false], 0.0, &[1e3, 1e3]);
         // The tail (2 links × 1 s each) appears once, not per phase.

@@ -108,7 +108,14 @@ impl GridConfig {
     /// 700 MHz-class nodes (~7·10⁸ standard ops/s) on Myrinet-class links
     /// (~100 MB/s, 20 µs latency).
     pub fn paper_cluster(w: usize) -> GridConfig {
-        GridConfig::w_w_1(w, 7.0e8, LinkSpec { bandwidth: 1.0e8, latency: 2.0e-5 })
+        GridConfig::w_w_1(
+            w,
+            7.0e8,
+            LinkSpec {
+                bandwidth: 1.0e8,
+                latency: 2.0e-5,
+            },
+        )
     }
 }
 
@@ -128,7 +135,14 @@ mod tests {
 
     #[test]
     fn uniform_chain_shape() {
-        let g = GridConfig::uniform_chain(4, 1e9, LinkSpec { bandwidth: 1e8, latency: 0.0 });
+        let g = GridConfig::uniform_chain(
+            4,
+            1e9,
+            LinkSpec {
+                bandwidth: 1e8,
+                latency: 0.0,
+            },
+        );
         assert_eq!(g.widths(), vec![1, 1, 1, 1]);
         assert_eq!(g.links.len(), 3);
         assert_eq!(g.stages[2].hosts[0].name, "c2");

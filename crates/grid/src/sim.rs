@@ -21,6 +21,12 @@
 //! property the tests assert.
 
 use crate::config::GridConfig;
+use cgp_obs::trace::{self, ArgValue, PID_SIM};
+
+/// Virtual seconds → trace microseconds: the simulator's timeline uses the
+/// same Chrome `trace_event` format as the real runtime, with virtual time
+/// scaled by 1e6 so one virtual second reads as one second in the viewer.
+const VIRT_US: f64 = 1e6;
 
 /// Work one packet induces: standard ops per stage, bytes per link, and
 /// bytes read from the data stage's local storage.
@@ -103,6 +109,37 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
     let mut stage_busy: Vec<Vec<f64>> = widths.iter().map(|w| vec![0.0; *w]).collect();
     let mut link_busy: Vec<Vec<f64>> = lfree.iter().map(|v| vec![0.0; v.len()]).collect();
 
+    // Timeline export: each (stage, copy) and each egress link gets its own
+    // virtual thread; busy intervals become 'X' events on the virtual clock.
+    // One relaxed atomic load when tracing is off.
+    let tracing = trace::enabled();
+    let mut stage_tid: Vec<Vec<u32>> = Vec::new();
+    let mut link_tid: Vec<Vec<u32>> = Vec::new();
+    if tracing {
+        trace::name_process(PID_SIM, "grid-sim (virtual time)");
+        let mut next = 0u32;
+        for (s, w) in widths.iter().enumerate() {
+            let tids: Vec<u32> = (0..*w)
+                .map(|c| {
+                    trace::name_thread(PID_SIM, next, format!("C{s}[{c}]"));
+                    next += 1;
+                    next - 1
+                })
+                .collect();
+            stage_tid.push(tids);
+        }
+        for (s, v) in lfree.iter().enumerate() {
+            let tids: Vec<u32> = (0..v.len())
+                .map(|c| {
+                    trace::name_thread(PID_SIM, next, format!("L{s}[{c}]"));
+                    next += 1;
+                    next - 1
+                })
+                .collect();
+            link_tid.push(tids);
+        }
+    }
+
     let mut packets_done: f64 = 0.0;
     for (p, work) in packets.iter().enumerate() {
         let mut arrive = 0.0_f64;
@@ -120,6 +157,20 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
             let done = start + service;
             free[s][c] = done;
             stage_busy[s][c] += service;
+            if tracing {
+                trace::complete(
+                    format!("pkt{p}"),
+                    "sim-stage",
+                    start * VIRT_US,
+                    service * VIRT_US,
+                    PID_SIM,
+                    stage_tid[s][c],
+                    vec![
+                        ("ops", ArgValue::from(work.comp_ops[s])),
+                        ("wait_virt_s", ArgValue::from(start - arrive)),
+                    ],
+                );
+            }
             arrive = done;
             if s < m - 1 {
                 let link = grid.links[s];
@@ -128,6 +179,17 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
                 let ldone = lstart + xfer;
                 lfree[s][c] = ldone;
                 link_busy[s][c] += xfer;
+                if tracing {
+                    trace::complete(
+                        format!("pkt{p}"),
+                        "sim-link",
+                        lstart * VIRT_US,
+                        xfer * VIRT_US,
+                        PID_SIM,
+                        link_tid[s][c],
+                        vec![("bytes", ArgValue::from(work.bytes[s]))],
+                    );
+                }
                 arrive = ldone;
             }
         }
@@ -145,7 +207,19 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
                 for l in s..m - 1 {
                     let link = grid.links[l];
                     let fb = finalize_bytes.get(l).copied().unwrap_or(0.0);
-                    t += link.latency + fb / link.bandwidth;
+                    let xfer = link.latency + fb / link.bandwidth;
+                    if tracing {
+                        trace::complete(
+                            format!("finalize C{s}[{c}]"),
+                            "sim-finalize",
+                            t * VIRT_US,
+                            xfer * VIRT_US,
+                            PID_SIM,
+                            link_tid[l][c % link_tid[l].len()],
+                            vec![("bytes", ArgValue::from(fb))],
+                        );
+                    }
+                    t += xfer;
                 }
                 makespan = makespan.max(t);
             }
@@ -174,17 +248,13 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
 /// chain: `(N−1)·T(bottleneck) + Σ T(C_i) + Σ T(L_i)` (Section 4.3),
 /// generalized to width-w stages by dividing each stage/link per-packet
 /// time by its width (w copies drain w packets per cycle).
-pub fn analytic_total_time(
-    grid: &GridConfig,
-    per_packet: &PacketWork,
-    n_packets: u64,
-) -> f64 {
+pub fn analytic_total_time(grid: &GridConfig, per_packet: &PacketWork, n_packets: u64) -> f64 {
     let m = grid.m();
     let widths = grid.widths();
     let mut fill = 0.0;
     let mut bottleneck = 0.0_f64;
-    for s in 0..m {
-        let host = &grid.stages[s].hosts[0];
+    for (s, stage) in grid.stages.iter().enumerate() {
+        let host = &stage.hosts[0];
         let mut t = per_packet.comp_ops[s] / host.power;
         if s == 0 {
             if let Some(disk) = host.disk_bandwidth {
@@ -194,8 +264,8 @@ pub fn analytic_total_time(
         fill += t;
         bottleneck = bottleneck.max(t / widths[s] as f64);
     }
-    for l in 0..m - 1 {
-        let t = grid.links[l].latency + per_packet.bytes[l] / grid.links[l].bandwidth;
+    for (l, link) in grid.links.iter().enumerate().take(m - 1) {
+        let t = link.latency + per_packet.bytes[l] / link.bandwidth;
         fill += t;
         bottleneck = bottleneck.max(t / widths[l] as f64);
     }
@@ -209,13 +279,24 @@ mod tests {
 
     fn uniform_packets(n: usize, ops: &[f64], bytes: &[f64]) -> Vec<PacketWork> {
         (0..n)
-            .map(|_| PacketWork { comp_ops: ops.to_vec(), bytes: bytes.to_vec(), read_bytes: 0.0 })
+            .map(|_| PacketWork {
+                comp_ops: ops.to_vec(),
+                bytes: bytes.to_vec(),
+                read_bytes: 0.0,
+            })
             .collect()
     }
 
     #[test]
     fn single_stage_sums_service_times() {
-        let g = GridConfig::uniform_chain(1, 10.0, LinkSpec { bandwidth: 1.0, latency: 0.0 });
+        let g = GridConfig::uniform_chain(
+            1,
+            10.0,
+            LinkSpec {
+                bandwidth: 1.0,
+                latency: 0.0,
+            },
+        );
         let r = simulate(&g, &uniform_packets(5, &[20.0], &[]), &[]);
         assert!((r.makespan - 5.0 * 2.0).abs() < 1e-12);
     }
@@ -223,9 +304,16 @@ mod tests {
     #[test]
     fn chain_matches_paper_formula_exactly() {
         // Uniform packets, width-1 chain → DES must equal the closed form.
-        let link = LinkSpec { bandwidth: 100.0, latency: 0.01 };
+        let link = LinkSpec {
+            bandwidth: 100.0,
+            latency: 0.01,
+        };
         let g = GridConfig::uniform_chain(3, 10.0, link);
-        let work = PacketWork { comp_ops: vec![5.0, 30.0, 10.0], bytes: vec![200.0, 50.0], read_bytes: 0.0 };
+        let work = PacketWork {
+            comp_ops: vec![5.0, 30.0, 10.0],
+            bytes: vec![200.0, 50.0],
+            read_bytes: 0.0,
+        };
         for n in [1usize, 2, 10, 100] {
             let r = simulate(&g, &uniform_packets(n, &work.comp_ops, &work.bytes), &[]);
             let analytic = analytic_total_time(&g, &work, n as u64);
@@ -239,7 +327,10 @@ mod tests {
 
     #[test]
     fn bottleneck_detection() {
-        let link = LinkSpec { bandwidth: 10.0, latency: 0.0 };
+        let link = LinkSpec {
+            bandwidth: 10.0,
+            latency: 0.0,
+        };
         let g = GridConfig::uniform_chain(2, 100.0, link);
         // link carries 100 bytes → 10 s per packet, compute 1 s → link-bound
         let r = simulate(&g, &uniform_packets(10, &[100.0, 100.0], &[100.0]), &[]);
@@ -250,12 +341,12 @@ mod tests {
     #[test]
     fn widening_the_pipeline_gives_near_linear_speedup() {
         // Compute-bound: stage 2 dominates → width w divides its throughput.
-        let link = LinkSpec { bandwidth: 1e9, latency: 0.0 };
+        let link = LinkSpec {
+            bandwidth: 1e9,
+            latency: 0.0,
+        };
         let n = 64;
-        let work = (
-            vec![1.0, 1000.0, 1.0],
-            vec![8.0, 8.0],
-        );
+        let work = (vec![1.0, 1000.0, 1.0], vec![8.0, 8.0]);
         let t1 = simulate(
             &GridConfig::w_w_1(1, 1e3, link),
             &uniform_packets(n, &work.0, &work.1),
@@ -282,13 +373,28 @@ mod tests {
 
     #[test]
     fn heterogeneous_packets_queue_at_bottleneck() {
-        let link = LinkSpec { bandwidth: 1e6, latency: 0.0 };
+        let link = LinkSpec {
+            bandwidth: 1e6,
+            latency: 0.0,
+        };
         let g = GridConfig::uniform_chain(2, 1.0, link);
         // second packet is heavy at stage 0; third must wait behind it
         let packets = vec![
-            PacketWork { comp_ops: vec![1.0, 1.0], bytes: vec![0.0], read_bytes: 0.0 },
-            PacketWork { comp_ops: vec![10.0, 1.0], bytes: vec![0.0], read_bytes: 0.0 },
-            PacketWork { comp_ops: vec![1.0, 1.0], bytes: vec![0.0], read_bytes: 0.0 },
+            PacketWork {
+                comp_ops: vec![1.0, 1.0],
+                bytes: vec![0.0],
+                read_bytes: 0.0,
+            },
+            PacketWork {
+                comp_ops: vec![10.0, 1.0],
+                bytes: vec![0.0],
+                read_bytes: 0.0,
+            },
+            PacketWork {
+                comp_ops: vec![1.0, 1.0],
+                bytes: vec![0.0],
+                read_bytes: 0.0,
+            },
         ];
         let r = simulate(&g, &packets, &[]);
         // stage0: 1, then 11, then 12; stage1 finishes at 13
@@ -297,7 +403,10 @@ mod tests {
 
     #[test]
     fn finalize_tail_extends_makespan() {
-        let link = LinkSpec { bandwidth: 10.0, latency: 0.0 };
+        let link = LinkSpec {
+            bandwidth: 10.0,
+            latency: 0.0,
+        };
         let g = GridConfig::uniform_chain(3, 1.0, link);
         let pkts = uniform_packets(2, &[1.0, 1.0, 1.0], &[0.0, 0.0]);
         let base = simulate(&g, &pkts, &[]).makespan;
@@ -316,7 +425,14 @@ mod tests {
 
     #[test]
     fn zero_packets_is_zero_time() {
-        let g = GridConfig::uniform_chain(2, 1.0, LinkSpec { bandwidth: 1.0, latency: 0.0 });
+        let g = GridConfig::uniform_chain(
+            2,
+            1.0,
+            LinkSpec {
+                bandwidth: 1.0,
+                latency: 0.0,
+            },
+        );
         let r = simulate(&g, &[], &[]);
         assert_eq!(r.makespan, 0.0);
     }

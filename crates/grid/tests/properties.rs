@@ -1,85 +1,123 @@
-//! Property-based tests for the virtual-time simulator: conservation
+//! Property-style tests for the virtual-time simulator: conservation
 //! (busy time ≤ makespan), monotonicity in work, and exactness of the
-//! closed form on uniform width-1 chains.
+//! closed form on uniform width-1 chains. Cases come from a seeded PRNG
+//! (the build is offline, so no proptest).
 
 use cgp_grid::{analytic_total_time, simulate, GridConfig, LinkSpec, PacketWork};
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 
-fn arb_packets(m: usize) -> impl Strategy<Value = Vec<PacketWork>> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec(1.0f64..1e6, m),
-            proptest::collection::vec(0.0f64..1e5, m - 1),
-        )
-            .prop_map(|(comp_ops, bytes)| PacketWork { comp_ops, bytes, read_bytes: 0.0 }),
-        1..60,
-    )
+fn random_packets(rng: &mut SmallRng, m: usize) -> Vec<PacketWork> {
+    let n = rng.gen_range(1, 60);
+    (0..n)
+        .map(|_| PacketWork {
+            comp_ops: (0..m).map(|_| 1.0 + rng.gen_f64() * 1e6).collect(),
+            bytes: (0..m - 1).map(|_| rng.gen_f64() * 1e5).collect(),
+            read_bytes: 0.0,
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn busy_time_never_exceeds_makespan(
-        pkts in arb_packets(3),
-        w in 1usize..5,
-        power in 1.0f64..1e6,
-        bw in 1.0f64..1e6,
-    ) {
-        let grid = GridConfig::w_w_1(w, power, LinkSpec { bandwidth: bw, latency: 1e-6 });
+#[test]
+fn busy_time_never_exceeds_makespan() {
+    let mut rng = SmallRng::seed_from_u64(0x6D_0001);
+    for case in 0..60 {
+        let pkts = random_packets(&mut rng, 3);
+        let w = rng.gen_range(1, 5);
+        let power = 1.0 + rng.gen_f64() * 1e6;
+        let bw = 1.0 + rng.gen_f64() * 1e6;
+        let grid = GridConfig::w_w_1(
+            w,
+            power,
+            LinkSpec {
+                bandwidth: bw,
+                latency: 1e-6,
+            },
+        );
         let r = simulate(&grid, &pkts, &[]);
         for copies in r.stage_busy.iter().chain(r.link_busy.iter()) {
             for b in copies {
-                prop_assert!(*b <= r.makespan * (1.0 + 1e-9));
+                assert!(*b <= r.makespan * (1.0 + 1e-9), "case {case}");
             }
         }
-        prop_assert!(r.bottleneck_utilization <= 1.0 + 1e-9);
-        prop_assert!(r.packets_done <= r.makespan + 1e-12);
+        assert!(r.bottleneck_utilization <= 1.0 + 1e-9, "case {case}");
+        assert!(r.packets_done <= r.makespan + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn makespan_monotone_in_work(
-        pkts in arb_packets(3),
-        extra in 1.0f64..1e6,
-        stage in 0usize..3,
-    ) {
-        let grid = GridConfig::w_w_1(2, 1e3, LinkSpec { bandwidth: 1e4, latency: 1e-6 });
+#[test]
+fn makespan_monotone_in_work() {
+    let mut rng = SmallRng::seed_from_u64(0x6D_0002);
+    for case in 0..60 {
+        let pkts = random_packets(&mut rng, 3);
+        let extra = 1.0 + rng.gen_f64() * 1e6;
+        let stage = rng.gen_range(0, 3);
+        let grid = GridConfig::w_w_1(
+            2,
+            1e3,
+            LinkSpec {
+                bandwidth: 1e4,
+                latency: 1e-6,
+            },
+        );
         let base = simulate(&grid, &pkts, &[]).makespan;
         let mut heavier = pkts.clone();
         for p in &mut heavier {
             p.comp_ops[stage] += extra;
         }
         let more = simulate(&grid, &heavier, &[]).makespan;
-        prop_assert!(more >= base - 1e-12);
+        assert!(
+            more >= base - 1e-12,
+            "case {case}: stage {stage}, extra {extra}"
+        );
     }
+}
 
-    #[test]
-    fn makespan_bounded_below_by_total_work_over_capacity(
-        pkts in arb_packets(3),
-        w in 1usize..4,
-    ) {
+#[test]
+fn makespan_bounded_below_by_total_work_over_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0x6D_0003);
+    for case in 0..60 {
+        let pkts = random_packets(&mut rng, 3);
+        let w = rng.gen_range(1, 4);
         let power = 1e4;
-        let grid = GridConfig::w_w_1(w, power, LinkSpec { bandwidth: 1e9, latency: 0.0 });
+        let grid = GridConfig::w_w_1(
+            w,
+            power,
+            LinkSpec {
+                bandwidth: 1e9,
+                latency: 0.0,
+            },
+        );
         let r = simulate(&grid, &pkts, &[]);
         for s in 0..3 {
             let width = grid.widths()[s] as f64;
             let total: f64 = pkts.iter().map(|p| p.comp_ops[s] / power).sum();
-            prop_assert!(
+            assert!(
                 r.makespan + 1e-9 >= total / width,
-                "stage {s}: makespan {} < {}",
+                "case {case} stage {s}: makespan {} < {}",
                 r.makespan,
                 total / width
             );
         }
     }
+}
 
-    #[test]
-    fn closed_form_exact_on_uniform_chain(
-        m in 1usize..5,
-        n in 1usize..150,
-        ops in proptest::collection::vec(1.0f64..1e6, 4),
-        bytes in proptest::collection::vec(0.0f64..1e6, 3),
-        latency in 0.0f64..1e-3,
-    ) {
-        let grid = GridConfig::uniform_chain(m, 1e5, LinkSpec { bandwidth: 1e5, latency });
+#[test]
+fn closed_form_exact_on_uniform_chain() {
+    let mut rng = SmallRng::seed_from_u64(0x6D_0004);
+    for case in 0..60 {
+        let m = rng.gen_range(1, 5);
+        let n = rng.gen_range(1, 150);
+        let ops: Vec<f64> = (0..4).map(|_| 1.0 + rng.gen_f64() * 1e6).collect();
+        let bytes: Vec<f64> = (0..3).map(|_| rng.gen_f64() * 1e6).collect();
+        let latency = rng.gen_f64() * 1e-3;
+        let grid = GridConfig::uniform_chain(
+            m,
+            1e5,
+            LinkSpec {
+                bandwidth: 1e5,
+                latency,
+            },
+        );
         let one = PacketWork {
             comp_ops: ops[..m].to_vec(),
             bytes: bytes[..m - 1].to_vec(),
@@ -88,17 +126,29 @@ proptest! {
         let pkts: Vec<PacketWork> = (0..n).map(|_| one.clone()).collect();
         let sim = simulate(&grid, &pkts, &[]).makespan;
         let ana = analytic_total_time(&grid, &one, n as u64);
-        prop_assert!((sim - ana).abs() <= 1e-9 * ana.max(1.0), "{sim} vs {ana}");
+        assert!(
+            (sim - ana).abs() <= 1e-9 * ana.max(1.0),
+            "case {case}: {sim} vs {ana}"
+        );
     }
+}
 
-    #[test]
-    fn finalize_tail_is_additive_and_monotone(
-        pkts in arb_packets(3),
-        fin in 0.0f64..1e6,
-    ) {
-        let grid = GridConfig::w_w_1(2, 1e3, LinkSpec { bandwidth: 1e4, latency: 1e-6 });
+#[test]
+fn finalize_tail_is_additive_and_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x6D_0005);
+    for case in 0..60 {
+        let pkts = random_packets(&mut rng, 3);
+        let fin = rng.gen_f64() * 1e6;
+        let grid = GridConfig::w_w_1(
+            2,
+            1e3,
+            LinkSpec {
+                bandwidth: 1e4,
+                latency: 1e-6,
+            },
+        );
         let base = simulate(&grid, &pkts, &[0.0, 0.0]).makespan;
         let tail = simulate(&grid, &pkts, &[fin, fin]).makespan;
-        prop_assert!(tail >= base - 1e-12);
+        assert!(tail >= base - 1e-12, "case {case}: fin {fin}");
     }
 }

@@ -120,12 +120,9 @@ impl Program {
     /// The designated entry point: the unique method named `main` among all
     /// classes (the paper's examples hold the pipelined loop there).
     pub fn main(&self) -> Option<(&ClassDecl, &MethodDecl)> {
-        self.classes.iter().find_map(|c| {
-            c.methods
-                .iter()
-                .find(|m| m.name == "main")
-                .map(|m| (c, m))
-        })
+        self.classes
+            .iter()
+            .find_map(|c| c.methods.iter().find(|m| m.name == "main").map(|m| (c, m)))
     }
 
     /// Visit every statement in the program, depth-first.
@@ -240,7 +237,9 @@ impl Stmt {
     pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
         f(self);
         match &self.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 then_blk.visit(f);
                 if let Some(e) = else_blk {
                     e.visit(f);
@@ -249,7 +248,9 @@ impl Stmt {
             StmtKind::While { body, .. }
             | StmtKind::Foreach { body, .. }
             | StmtKind::Pipelined { body, .. } => body.visit(f),
-            StmtKind::For { init, step, body, .. } => {
+            StmtKind::For {
+                init, step, body, ..
+            } => {
                 if let Some(i) = init {
                     i.visit(f);
                 }
@@ -286,7 +287,10 @@ pub enum StmtKind {
         else_blk: Option<Block>,
     },
     /// `while (cond) { .. }` — must be wholly inside one filter.
-    While { cond: Expr, body: Block },
+    While {
+        cond: Expr,
+        body: Block,
+    },
     /// `for (init; cond; step) { .. }` — must be wholly inside one filter.
     For {
         init: Option<Box<Stmt>>,
@@ -353,12 +357,18 @@ pub enum BinOp {
 impl BinOp {
     /// Is this an arithmetic operator (yields the operand numeric type)?
     pub fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
     }
 
     /// Is this a comparison operator (yields bool from numerics)?
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// Is this a logical operator (bool × bool → bool)?
@@ -445,8 +455,7 @@ pub enum ExprKind {
 /// Names of builtin free functions understood by the type checker,
 /// interpreter and cost model.
 pub const BUILTINS: &[&str] = &[
-    "sqrt", "abs", "min", "max", "floor", "ceil", "pow", "exp", "log", "toInt", "toDouble",
-    "print",
+    "sqrt", "abs", "min", "max", "floor", "ceil", "pow", "exp", "log", "toInt", "toDouble", "print",
 ];
 
 /// True if `name` is a builtin free function.

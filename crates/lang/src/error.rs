@@ -34,7 +34,11 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { phase, span, message: message.into() }
+        Diagnostic {
+            phase,
+            span,
+            message: message.into(),
+        }
     }
 }
 

@@ -188,7 +188,10 @@ impl<'p> Interp<'p> {
         for f in &c.fields {
             fields.insert(f.name.clone(), Self::default_value(&f.ty));
         }
-        Ok(Rc::new(RefCell::new(ObjectVal { class: class.to_string(), fields })))
+        Ok(Rc::new(RefCell::new(ObjectVal {
+            class: class.to_string(),
+            fields,
+        })))
     }
 
     fn default_value(ty: &Type) -> Value {
@@ -214,7 +217,10 @@ impl<'p> Interp<'p> {
             .program
             .method(class, method)
             .ok_or_else(|| {
-                interp_err(Span::synthetic(), format!("unknown method `{class}::{method}`"))
+                interp_err(
+                    Span::synthetic(),
+                    format!("unknown method `{class}::{method}`"),
+                )
             })?
             .clone();
         if m.params.len() != args.len() {
@@ -272,7 +278,11 @@ impl<'p> Interp<'p> {
                 self.assign(frame, target, *op, rhs, stmt.span)?;
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.eval_bool(frame, cond)?;
                 if c {
                     self.exec_block(frame, then_blk)
@@ -293,7 +303,12 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.exec_stmt(frame, i)?;
                 }
@@ -331,7 +346,12 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::Pipelined { var, domain, num_packets, body } => {
+            StmtKind::Pipelined {
+                var,
+                domain,
+                num_packets,
+                body,
+            } => {
                 let d = self.eval(frame, domain)?;
                 let Value::Domain(lo, hi) = d else {
                     return Err(interp_err(stmt.span, "PipelinedLoop over non-domain value"));
@@ -435,7 +455,10 @@ impl<'p> Interp<'p> {
                     self.globals.insert(name.clone(), nv);
                     return Ok(());
                 }
-                Err(interp_err(span, format!("assignment to unknown variable `{name}`")))
+                Err(interp_err(
+                    span,
+                    format!("assignment to unknown variable `{name}`"),
+                ))
             }
             LValue::Field(base, field) => {
                 let b = self.eval(frame, base)?;
@@ -573,7 +596,9 @@ impl<'p> Interp<'p> {
                     self.eval(frame, b)
                 }
             }
-            ExprKind::Call { recv, method, args } => self.eval_call(frame, e.span, recv, method, args),
+            ExprKind::Call { recv, method, args } => {
+                self.eval_call(frame, e.span, recv, method, args)
+            }
             ExprKind::New(cname) => Ok(Value::Object(self.instantiate(cname)?)),
             ExprKind::NewArray(elem, len) => {
                 let n = self.eval_int(frame, len)?;
@@ -600,10 +625,14 @@ impl<'p> Interp<'p> {
     ) -> LangResult<Value> {
         // Short-circuit logic first.
         if op == BinOp::And {
-            return Ok(Value::Bool(self.eval_bool(frame, l)? && self.eval_bool(frame, r)?));
+            return Ok(Value::Bool(
+                self.eval_bool(frame, l)? && self.eval_bool(frame, r)?,
+            ));
         }
         if op == BinOp::Or {
-            return Ok(Value::Bool(self.eval_bool(frame, l)? || self.eval_bool(frame, r)?));
+            return Ok(Value::Bool(
+                self.eval_bool(frame, l)? || self.eval_bool(frame, r)?,
+            ));
         }
         let lv = self.eval(frame, l)?;
         let rv = self.eval(frame, r)?;
@@ -631,8 +660,12 @@ impl<'p> Interp<'p> {
                     Ok(Value::Int(v))
                 }
                 _ => {
-                    let a = lv.as_f64().ok_or_else(|| interp_err(span, "non-numeric operand"))?;
-                    let b = rv.as_f64().ok_or_else(|| interp_err(span, "non-numeric operand"))?;
+                    let a = lv
+                        .as_f64()
+                        .ok_or_else(|| interp_err(span, "non-numeric operand"))?;
+                    let b = rv
+                        .as_f64()
+                        .ok_or_else(|| interp_err(span, "non-numeric operand"))?;
                     let v = match op {
                         BinOp::Add => a + b,
                         BinOp::Sub => a - b,
@@ -665,8 +698,12 @@ impl<'p> Interp<'p> {
                     }
                 }
                 _ => {
-                    let a = lv.as_f64().ok_or_else(|| interp_err(span, "non-numeric operand"))?;
-                    let b = rv.as_f64().ok_or_else(|| interp_err(span, "non-numeric operand"))?;
+                    let a = lv
+                        .as_f64()
+                        .ok_or_else(|| interp_err(span, "non-numeric operand"))?;
+                    let b = rv
+                        .as_f64()
+                        .ok_or_else(|| interp_err(span, "non-numeric operand"))?;
                     match op {
                         BinOp::Lt => a < b,
                         BinOp::Le => a <= b,
@@ -710,11 +747,17 @@ impl<'p> Interp<'p> {
                         "lo" => Ok(Value::Int(lo)),
                         "hi" => Ok(Value::Int(hi)),
                         "size" => Ok(Value::Int((hi - lo + 1).max(0))),
-                        _ => Err(interp_err(span, format!("RectDomain has no method `{method}`"))),
+                        _ => Err(interp_err(
+                            span,
+                            format!("RectDomain has no method `{method}`"),
+                        )),
                     },
                     Value::Array(arr) => match method {
                         "length" => Ok(Value::Int(arr.borrow().len() as i64)),
-                        _ => Err(interp_err(span, format!("arrays have no method `{method}`"))),
+                        _ => Err(interp_err(
+                            span,
+                            format!("arrays have no method `{method}`"),
+                        )),
                     },
                     Value::Object(obj) => {
                         let class = obj.borrow().class.clone();
@@ -731,7 +774,8 @@ impl<'p> Interp<'p> {
 
     fn eval_builtin(&mut self, span: Span, name: &str, args: Vec<Value>) -> LangResult<Value> {
         let f = |v: &Value| -> LangResult<f64> {
-            v.as_f64().ok_or_else(|| interp_err(span, "numeric argument expected"))
+            v.as_f64()
+                .ok_or_else(|| interp_err(span, "numeric argument expected"))
         };
         match name {
             "sqrt" => Ok(Value::Double(f(&args[0])?.sqrt())),
@@ -965,7 +1009,8 @@ mod tests {
         // run only the second statement, with `a` seeded externally
         let mut vars = HashMap::new();
         vars.insert("a".to_string(), Value::Int(41));
-        it.exec_stmts_with_vars("A", &main.stmts[1..2], &mut vars).unwrap();
+        it.exec_stmts_with_vars("A", &main.stmts[1..2], &mut vars)
+            .unwrap();
         assert_eq!(vars["b"].as_i64(), Some(43));
     }
 

@@ -22,7 +22,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
@@ -45,7 +51,10 @@ impl<'a> Lexer<'a> {
             } else {
                 self.operator()?
             };
-            out.push(Token { kind, span: Span::new(start, self.pos, line, col) });
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.pos, line, col),
+            });
         }
     }
 
@@ -129,7 +138,10 @@ impl<'a> Lexer<'a> {
             let next = self.peek2();
             let exp_ok = match next {
                 Some(c) if c.is_ascii_digit() => true,
-                Some(b'+' | b'-') => self.bytes.get(self.pos + 2).is_some_and(|c| c.is_ascii_digit()),
+                Some(b'+' | b'-') => self
+                    .bytes
+                    .get(self.pos + 2)
+                    .is_some_and(|c| c.is_ascii_digit()),
                 _ => false,
             };
             if exp_ok {
@@ -255,7 +267,11 @@ mod tests {
     fn dot_after_int_without_digit_is_member_access() {
         assert_eq!(
             kinds("1.x")[..3],
-            [TokenKind::IntLit(1), TokenKind::Dot, TokenKind::Ident("x".into())]
+            [
+                TokenKind::IntLit(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into())
+            ]
         );
     }
 

@@ -49,7 +49,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, ids: NodeIdGen::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            ids: NodeIdGen::new(),
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -92,7 +96,11 @@ impl Parser {
         } else {
             Err(parse_err(
                 self.span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -143,11 +151,19 @@ impl Parser {
         self.bump(); // extern / runtime_define
         let ty = self.parse_type()?;
         if runtime_define && ty != Type::Int {
-            return Err(parse_err(start, "runtime_define variables must have type int"));
+            return Err(parse_err(
+                start,
+                "runtime_define variables must have type int",
+            ));
         }
         let (name, _) = self.expect_ident()?;
         self.expect(TokenKind::Semi)?;
-        Ok(ExternDecl { name, ty, runtime_define, span: start.merge(self.prev_span()) })
+        Ok(ExternDecl {
+            name,
+            ty,
+            runtime_define,
+            span: start.merge(self.prev_span()),
+        })
     }
 
     fn class_decl(&mut self) -> Result<ClassDecl, Diagnostic> {
@@ -181,7 +197,11 @@ impl Parser {
                 if ty == Type::Void {
                     return Err(parse_err(mstart, "fields cannot have type void"));
                 }
-                fields.push(FieldDecl { name: mname, ty, span: mstart.merge(self.prev_span()) });
+                fields.push(FieldDecl {
+                    name: mname,
+                    ty,
+                    span: mstart.merge(self.prev_span()),
+                });
             }
         }
         Ok(ClassDecl {
@@ -239,7 +259,10 @@ impl Parser {
                     other => {
                         return Err(parse_err(
                             self.span(),
-                            format!("expected RectDomain dimension 1..3, found {}", other.describe()),
+                            format!(
+                                "expected RectDomain dimension 1..3, found {}",
+                                other.describe()
+                            ),
                         ))
                     }
                 };
@@ -284,7 +307,10 @@ impl Parser {
     /// the boundary analysis always has a block to segment.
     fn body_block(&mut self) -> Result<Block, Diagnostic> {
         if self.peek() != &TokenKind::LBrace {
-            return Err(parse_err(self.span(), "loop and conditional bodies must be blocks `{ ... }`"));
+            return Err(parse_err(
+                self.span(),
+                "loop and conditional bodies must be blocks `{ ... }`",
+            ));
         }
         self.block()
     }
@@ -295,7 +321,11 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::LBrace => {
                 let b = self.block()?;
-                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Block(b)))
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::Block(b),
+                ))
             }
             TokenKind::KwIf => {
                 self.bump();
@@ -317,7 +347,11 @@ impl Parser {
                 Ok(Stmt::new(
                     id,
                     start.merge(self.prev_span()),
-                    StmtKind::If { cond, then_blk, else_blk },
+                    StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    },
                 ))
             }
             TokenKind::KwWhile => {
@@ -326,7 +360,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
                 let body = self.body_block()?;
-                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::While { cond, body }))
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::While { cond, body },
+                ))
             }
             TokenKind::KwFor => {
                 self.bump();
@@ -353,7 +391,12 @@ impl Parser {
                 Ok(Stmt::new(
                     id,
                     start.merge(self.prev_span()),
-                    StmtKind::For { init, cond, step, body },
+                    StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
                 ))
             }
             TokenKind::KwForeach => {
@@ -383,7 +426,12 @@ impl Parser {
                 Ok(Stmt::new(
                     id,
                     start.merge(self.prev_span()),
-                    StmtKind::Pipelined { var, domain, num_packets, body },
+                    StmtKind::Pipelined {
+                        var,
+                        domain,
+                        num_packets,
+                        body,
+                    },
                 ))
             }
             TokenKind::KwReturn => {
@@ -394,17 +442,29 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Return(value)))
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::Return(value),
+                ))
             }
             TokenKind::KwBreak => {
                 self.bump();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Break))
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::Break,
+                ))
             }
             TokenKind::KwContinue => {
                 self.bump();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Continue))
+                Ok(Stmt::new(
+                    id,
+                    start.merge(self.prev_span()),
+                    StmtKind::Continue,
+                ))
             }
             _ => {
                 let s = self.simple_or_decl()?;
@@ -468,7 +528,11 @@ impl Parser {
                 StmtKind::Assign { target, op, value },
             ))
         } else {
-            Ok(Stmt::new(id, start.merge(self.prev_span()), StmtKind::Expr(e)))
+            Ok(Stmt::new(
+                id,
+                start.merge(self.prev_span()),
+                StmtKind::Expr(e),
+            ))
         }
     }
 
@@ -553,7 +617,10 @@ impl Parser {
     fn additive(&mut self) -> Result<Expr, Diagnostic> {
         self.binary_chain(
             Self::multiplicative,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -593,7 +660,11 @@ impl Parser {
                     let span = e.span.merge(self.prev_span());
                     e = Expr::new(
                         span,
-                        ExprKind::Call { recv: Some(Box::new(e)), method: name, args },
+                        ExprKind::Call {
+                            recv: Some(Box::new(e)),
+                            method: name,
+                            args,
+                        },
                     );
                 } else {
                     let span = e.span.merge(nspan);
@@ -659,7 +730,11 @@ impl Parser {
                     let args = self.args()?;
                     Ok(Expr::new(
                         start.merge(self.prev_span()),
-                        ExprKind::Call { recv: None, method: name, args },
+                        ExprKind::Call {
+                            recv: None,
+                            method: name,
+                            args,
+                        },
                     ))
                 } else {
                     Ok(Expr::new(start, ExprKind::Var(name)))
@@ -711,7 +786,8 @@ impl Parser {
                 let len = self.expr()?;
                 self.expect(TokenKind::RBracket)?;
                 // `new double[n][]`-style nested arrays: extra `[]` pairs
-                while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+                while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket
+                {
                     self.bump();
                     self.bump();
                     elem_ty = Type::array_of(elem_ty);
@@ -872,7 +948,10 @@ mod tests {
 
     #[test]
     fn parses_new_forms() {
-        assert!(matches!(parse_expr("new Point()").unwrap().kind, ExprKind::New(_)));
+        assert!(matches!(
+            parse_expr("new Point()").unwrap().kind,
+            ExprKind::New(_)
+        ));
         if let ExprKind::NewArray(ty, _) = parse_expr("new double[10]").unwrap().kind {
             assert_eq!(ty, Type::Double);
         } else {
@@ -922,7 +1001,10 @@ mod tests {
     fn parses_for_loop() {
         let src = "class A { void f() { for (int i = 0; i < 10; i += 1) { g(i); } } }";
         let p = parse(src).unwrap();
-        assert!(matches!(p.classes[0].methods[0].body.stmts[0].kind, StmtKind::For { .. }));
+        assert!(matches!(
+            p.classes[0].methods[0].body.stmts[0].kind,
+            StmtKind::For { .. }
+        ));
     }
 
     #[test]

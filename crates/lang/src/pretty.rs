@@ -8,18 +8,29 @@ use std::fmt::Write as _;
 pub fn program_to_string(p: &Program) -> String {
     let mut out = String::new();
     for e in &p.externs {
-        let kw = if e.runtime_define { "runtime_define" } else { "extern" };
+        let kw = if e.runtime_define {
+            "runtime_define"
+        } else {
+            "extern"
+        };
         let _ = writeln!(out, "{kw} {} {};", e.ty, e.name);
     }
     for c in &p.classes {
-        let imp = if c.is_reduction { " implements Reducinterface" } else { "" };
+        let imp = if c.is_reduction {
+            " implements Reducinterface"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "class {}{imp} {{", c.name);
         for f in &c.fields {
             let _ = writeln!(out, "    {} {};", f.ty, f.name);
         }
         for m in &c.methods {
-            let params: Vec<String> =
-                m.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+            let params: Vec<String> = m
+                .params
+                .iter()
+                .map(|p| format!("{} {}", p.ty, p.name))
+                .collect();
             let _ = writeln!(out, "    {} {}({}) {{", m.ret, m.name, params.join(", "));
             for s in &m.body.stmts {
                 write_stmt(&mut out, s, 2);
@@ -52,7 +63,7 @@ fn write_block(out: &mut String, b: &Block, level: usize) {
         write_stmt(out, s, level + 1);
     }
     indent(out, level);
-    out.push_str("}");
+    out.push('}');
 }
 
 fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
@@ -78,7 +89,11 @@ fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
             };
             let _ = writeln!(out, "{t} {o} {};", expr_to_string(value));
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let _ = write!(out, "if ({}) ", expr_to_string(cond));
             write_block(out, then_blk, level);
             if let Some(e) = else_blk {
@@ -92,7 +107,12 @@ fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
             write_block(out, body, level);
             out.push('\n');
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             out.push_str("for (");
             if let Some(i) = init {
                 let mut tmp = String::new();
@@ -118,7 +138,12 @@ fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
             write_block(out, body, level);
             out.push('\n');
         }
-        StmtKind::Pipelined { var, domain, num_packets, body } => {
+        StmtKind::Pipelined {
+            var,
+            domain,
+            num_packets,
+            body,
+        } => {
             let _ = write!(
                 out,
                 "PipelinedLoop ({var} in {}; {}) ",

@@ -18,7 +18,12 @@ pub struct Span {
 impl Span {
     /// A span covering `start..end` beginning at `line:col`.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The zero span, used for synthesized nodes (e.g. after loop fission).

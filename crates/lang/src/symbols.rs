@@ -49,9 +49,9 @@ impl SymbolTable {
 
     /// Resolve the type of a bare name inside `Class::method`: local or
     /// parameter first, then a field of the class, then an extern.
-    pub fn resolve<'p>(
+    pub fn resolve(
         &self,
-        program: &'p Program,
+        program: &Program,
         class: &ClassDecl,
         method: &MethodDecl,
         name: &str,

@@ -49,14 +49,14 @@ pub enum TokenKind {
     Comma,
     Dot,
     Colon,
-    Assign,       // =
+    Assign, // =
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    PlusAssign,   // +=
-    MinusAssign,  // -=
+    PlusAssign,  // +=
+    MinusAssign, // -=
     Lt,
     Gt,
     Le,
@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn keyword_lookup_roundtrips() {
         assert_eq!(TokenKind::keyword("foreach"), Some(TokenKind::KwForeach));
-        assert_eq!(TokenKind::keyword("PipelinedLoop"), Some(TokenKind::KwPipelinedLoop));
+        assert_eq!(
+            TokenKind::keyword("PipelinedLoop"),
+            Some(TokenKind::KwPipelinedLoop)
+        );
         assert_eq!(TokenKind::keyword("notakeyword"), None);
     }
 
@@ -208,7 +211,10 @@ mod tests {
     #[test]
     fn describe_literals() {
         assert_eq!(TokenKind::IntLit(42).describe(), "integer literal `42`");
-        assert_eq!(TokenKind::Ident("abc".into()).describe(), "identifier `abc`");
+        assert_eq!(
+            TokenKind::Ident("abc".into()).describe(),
+            "identifier `abc`"
+        );
         assert_eq!(TokenKind::PlusAssign.describe(), "`+=`");
     }
 }

@@ -36,10 +36,7 @@ impl TypedProgram {
     /// callers must only pass expressions from the checked program.
     pub fn expr_type(&self, class: &str, method: &str, expr: &Expr) -> Type {
         let c = self.program.class(class).expect("unknown class");
-        let m = self
-            .program
-            .method(class, method)
-            .expect("unknown method");
+        let m = self.program.method(class, method).expect("unknown method");
         let mut ck = Checker::new(&self.program);
         ck.symbols = self.symbols.clone();
         ck.infer_in_context(c, m, expr)
@@ -79,7 +76,10 @@ struct Ctx<'a> {
 
 impl<'p> Checker<'p> {
     fn new(program: &'p Program) -> Self {
-        Checker { program, symbols: SymbolTable::default() }
+        Checker {
+            program,
+            symbols: SymbolTable::default(),
+        }
     }
 
     fn collect_globals(&mut self) -> Result<(), Diagnostic> {
@@ -162,7 +162,12 @@ impl<'p> Checker<'p> {
         };
         for p in &method.params {
             self.check_type_exists(&p.ty, method.span)?;
-            if ctx.scope.vars.insert(p.name.clone(), p.ty.clone()).is_some() {
+            if ctx
+                .scope
+                .vars
+                .insert(p.name.clone(), p.ty.clone())
+                .is_some()
+            {
                 return Err(type_err(
                     method.span,
                     format!("duplicate parameter `{}`", p.name),
@@ -250,7 +255,11 @@ impl<'p> Checker<'p> {
                 }
                 self.require_assignable(&tt, &vt, value.span)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.require(ctx, cond, &Type::Bool)?;
                 self.check_block(ctx, then_blk)?;
                 if let Some(e) = else_blk {
@@ -265,7 +274,12 @@ impl<'p> Checker<'p> {
                 ctx.loop_depth -= 1;
                 r
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.check_stmt(ctx, i)?;
                 }
@@ -308,7 +322,12 @@ impl<'p> Checker<'p> {
                 ctx.loop_depth -= 1;
                 r
             }
-            StmtKind::Pipelined { var, domain, num_packets, body } => {
+            StmtKind::Pipelined {
+                var,
+                domain,
+                num_packets,
+                body,
+            } => {
                 if ctx.foreach_depth > 0 || ctx.loop_depth > 0 {
                     return Err(type_err(
                         stmt.span,
@@ -371,7 +390,10 @@ impl<'p> Checker<'p> {
                 let bt = self.infer(ctx, base)?;
                 match bt {
                     Type::Array(elem) => Ok(*elem),
-                    other => Err(type_err(span, format!("cannot index non-array type `{other}`"))),
+                    other => Err(type_err(
+                        span,
+                        format!("cannot index non-array type `{other}`"),
+                    )),
                 }
             }
         }
@@ -384,9 +406,9 @@ impl<'p> Checker<'p> {
                     .program
                     .class(cname)
                     .ok_or_else(|| type_err(span, format!("unknown class `{cname}`")))?;
-                c.field(field)
-                    .map(|f| f.ty.clone())
-                    .ok_or_else(|| type_err(span, format!("class `{cname}` has no field `{field}`")))
+                c.field(field).map(|f| f.ty.clone()).ok_or_else(|| {
+                    type_err(span, format!("class `{cname}` has no field `{field}`"))
+                })
             }
             other => Err(type_err(
                 span,
@@ -406,7 +428,10 @@ impl<'p> Checker<'p> {
         if ok {
             Ok(())
         } else {
-            Err(type_err(span, format!("type mismatch: expected `{want}`, got `{got}`")))
+            Err(type_err(
+                span,
+                format!("type mismatch: expected `{want}`, got `{got}`"),
+            ))
         }
     }
 
@@ -544,12 +569,20 @@ impl<'p> Checker<'p> {
                     return self.builtin_type(method, &arg_types, e.span);
                 }
                 // method of the enclosing class
-                let m = ctx.class.methods.iter().find(|m| m.name == *method).ok_or_else(|| {
-                    type_err(
-                        e.span,
-                        format!("unknown function or method `{method}` in class `{}`", ctx.class.name),
-                    )
-                })?;
+                let m = ctx
+                    .class
+                    .methods
+                    .iter()
+                    .find(|m| m.name == *method)
+                    .ok_or_else(|| {
+                        type_err(
+                            e.span,
+                            format!(
+                                "unknown function or method `{method}` in class `{}`",
+                                ctx.class.name
+                            ),
+                        )
+                    })?;
                 self.check_call_args(m, &arg_types, e.span)?;
                 Ok(m.ret.clone())
             }
@@ -565,21 +598,33 @@ impl<'p> Checker<'p> {
                     Type::RectDomain(1) => {
                         if DOMAIN_METHODS.contains(&method) {
                             if !arg_types.is_empty() {
-                                return Err(type_err(e.span, format!("`{method}` takes no arguments")));
+                                return Err(type_err(
+                                    e.span,
+                                    format!("`{method}` takes no arguments"),
+                                ));
                             }
                             Ok(Type::Int)
                         } else {
-                            Err(type_err(e.span, format!("RectDomain has no method `{method}`")))
+                            Err(type_err(
+                                e.span,
+                                format!("RectDomain has no method `{method}`"),
+                            ))
                         }
                     }
                     Type::Array(_) => {
                         if ARRAY_METHODS.contains(&method) {
                             if !arg_types.is_empty() {
-                                return Err(type_err(e.span, format!("`{method}` takes no arguments")));
+                                return Err(type_err(
+                                    e.span,
+                                    format!("`{method}` takes no arguments"),
+                                ));
                             }
                             Ok(Type::Int)
                         } else {
-                            Err(type_err(e.span, format!("arrays have no method `{method}`")))
+                            Err(type_err(
+                                e.span,
+                                format!("arrays have no method `{method}`"),
+                            ))
                         }
                     }
                     Type::Class(cname) => {
@@ -628,7 +673,10 @@ impl<'p> Checker<'p> {
                 if args.len() == 1 && numeric(&args[0]) {
                     Ok(Type::Double)
                 } else {
-                    Err(type_err(span, format!("`{name}` expects one numeric argument")))
+                    Err(type_err(
+                        span,
+                        format!("`{name}` expects one numeric argument"),
+                    ))
                 }
             }
             "abs" => {
@@ -642,7 +690,10 @@ impl<'p> Checker<'p> {
                 if args.len() == 2 && numeric(&args[0]) && numeric(&args[1]) {
                     self.numeric_join(&args[0], &args[1], span)
                 } else {
-                    Err(type_err(span, format!("`{name}` expects two numeric arguments")))
+                    Err(type_err(
+                        span,
+                        format!("`{name}` expects two numeric arguments"),
+                    ))
                 }
             }
             "pow" => {
@@ -689,7 +740,13 @@ impl<'p> Checker<'p> {
             .scope(&class.name, &method.name)
             .cloned()
             .unwrap_or_default();
-        let ctx = Ctx { class, method, scope, foreach_depth: 0, loop_depth: 0 };
+        let ctx = Ctx {
+            class,
+            method,
+            scope,
+            foreach_depth: 0,
+            loop_depth: 0,
+        };
         self.infer(&ctx, expr)
     }
 }

@@ -34,7 +34,10 @@ impl Value {
     }
 
     pub fn new_object(class: impl Into<String>, fields: HashMap<String, Value>) -> Value {
-        Value::Object(Rc::new(RefCell::new(ObjectVal { class: class.into(), fields })))
+        Value::Object(Rc::new(RefCell::new(ObjectVal {
+            class: class.into(),
+            fields,
+        })))
     }
 
     /// Numeric value as f64 (int widens); None for non-numerics.

@@ -1,7 +1,8 @@
-//! Property-based tests for the frontend: the lexer never panics, the
+//! Property-style tests for the frontend: the lexer never panics, the
 //! pretty-printer/parser pair is a round trip, the interpreter's
 //! PipelinedLoop semantics are packet-count independent, and domain
-//! splitting is a partition.
+//! splitting is a partition. Cases come from a seeded PRNG (the build
+//! is offline, so no proptest); failures reproduce deterministically.
 
 use cgp_lang::ast::{BinOp, Expr, ExprKind, UnOp};
 use cgp_lang::interp::{split_domain, HostEnv, Interp};
@@ -10,67 +11,101 @@ use cgp_lang::pretty::expr_to_string;
 use cgp_lang::span::Span;
 use cgp_lang::types::check;
 use cgp_lang::Value;
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 
-proptest! {
-    #[test]
-    fn lexer_never_panics(s in "\\PC*") {
+#[test]
+fn lexer_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0001);
+    // Random unicode-ish noise, biased toward ASCII.
+    for _case in 0..200 {
+        let len = rng.gen_range(0, 200);
+        let s: String = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    (rng.gen_range(0x20, 0x7f) as u8) as char
+                } else {
+                    char::from_u32(rng.gen_range_u64(0x11_0000) as u32).unwrap_or('\u{fffd}')
+                }
+            })
+            .collect();
         let _ = cgp_lang::lexer::lex(&s);
     }
+}
 
-    #[test]
-    fn lexer_accepts_ascii_noise(s in "[a-zA-Z0-9_+\\-*/%<>=!&|(){}\\[\\];,.: \n\t]*") {
+#[test]
+fn lexer_accepts_ascii_noise() {
+    const ALPHABET: &[u8] = b"abcXYZ019_+-*/%<>=!&|(){}[];,.: \n\t";
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0002);
+    for _case in 0..200 {
+        let len = rng.gen_range(0, 300);
+        let s: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0, ALPHABET.len())] as char)
+            .collect();
         let _ = cgp_lang::lexer::lex(&s);
     }
+}
 
-    #[test]
-    fn split_domain_is_a_partition(lo in -1000i64..1000, len in 0i64..2000, n in 1usize..50) {
+#[test]
+fn split_domain_is_a_partition() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0003);
+    for _case in 0..200 {
+        let lo = rng.gen_range(0, 2000) as i64 - 1000;
+        let len = rng.gen_range(0, 2000) as i64;
+        let n = rng.gen_range(1, 50);
+        let ctx = format!("lo={lo} len={len} n={n}");
+
         let hi = lo + len - 1;
         let parts = split_domain(lo, hi, n);
         let total: i64 = parts.iter().map(|(a, b)| b - a + 1).sum();
-        prop_assert_eq!(total, len.max(0));
+        assert_eq!(total, len.max(0), "{ctx}");
         for w in parts.windows(2) {
-            prop_assert_eq!(w[0].1 + 1, w[1].0, "contiguous");
+            assert_eq!(w[0].1 + 1, w[1].0, "contiguous: {ctx}");
         }
         if let (Some(first), Some(last)) = (parts.first(), parts.last()) {
-            prop_assert_eq!(first.0, lo);
-            prop_assert_eq!(last.1, hi);
+            assert_eq!(first.0, lo, "{ctx}");
+            assert_eq!(last.1, hi, "{ctx}");
         }
-        if let Some((min, max)) = parts
-            .iter()
-            .map(|(a, b)| b - a + 1)
-            .fold(None, |acc: Option<(i64, i64)>, l| Some(match acc {
-                None => (l, l),
-                Some((mn, mx)) => (mn.min(l), mx.max(l)),
-            }))
+        if let Some((min, max)) =
+            parts
+                .iter()
+                .map(|(a, b)| b - a + 1)
+                .fold(None, |acc: Option<(i64, i64)>, l| {
+                    Some(match acc {
+                        None => (l, l),
+                        Some((mn, mx)) => (mn.min(l), mx.max(l)),
+                    })
+                })
         {
-            prop_assert!(max - min <= 1, "balanced");
+            assert!(max - min <= 1, "balanced: {ctx}");
         }
     }
 }
 
-/// Generator for well-formed expressions over variables `a`, `b`, `c`.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| Expr::new(Span::synthetic(), ExprKind::IntLit(v))),
-        prop_oneof![Just("a"), Just("b"), Just("c")]
-            .prop_map(|n| Expr::new(Span::synthetic(), ExprKind::Var(n.into()))),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                Just(BinOp::Div), Just(BinOp::Rem),
-            ])
-                .prop_map(|(l, r, op)| Expr::new(
-                    Span::synthetic(),
-                    ExprKind::Binary(op, Box::new(l), Box::new(r))
-                )),
-            inner
-                .clone()
-                .prop_map(|e| Expr::new(Span::synthetic(), ExprKind::Unary(UnOp::Neg, Box::new(e)))),
-        ]
-    })
+/// Random well-formed expression over variables `a`, `b`, `c`.
+fn random_expr(rng: &mut SmallRng, depth: usize) -> Expr {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        if rng.gen_bool(0.5) {
+            Expr::new(
+                Span::synthetic(),
+                ExprKind::IntLit(rng.gen_range_u64(1000) as i64),
+            )
+        } else {
+            let name = ["a", "b", "c"][rng.gen_range(0, 3)];
+            Expr::new(Span::synthetic(), ExprKind::Var(name.into()))
+        }
+    } else if rng.gen_bool(0.8) {
+        let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem][rng.gen_range(0, 5)];
+        let l = random_expr(rng, depth - 1);
+        let r = random_expr(rng, depth - 1);
+        Expr::new(
+            Span::synthetic(),
+            ExprKind::Binary(op, Box::new(l), Box::new(r)),
+        )
+    } else {
+        let e = random_expr(rng, depth - 1);
+        Expr::new(Span::synthetic(), ExprKind::Unary(UnOp::Neg, Box::new(e)))
+    }
 }
 
 /// Structural equality modulo spans.
@@ -78,20 +113,30 @@ fn expr_eq(a: &Expr, b: &Expr) -> bool {
     expr_to_string(a) == expr_to_string(b)
 }
 
-proptest! {
-    #[test]
-    fn pretty_print_parse_roundtrip(e in arb_expr()) {
+#[test]
+fn pretty_print_parse_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0004);
+    for _case in 0..200 {
+        let e = random_expr(&mut rng, 4);
         let printed = expr_to_string(&e);
         let back = parse_expr(&printed).unwrap();
-        prop_assert!(expr_eq(&e, &back), "{} vs {}", printed, expr_to_string(&back));
+        assert!(
+            expr_eq(&e, &back),
+            "{} vs {}",
+            printed,
+            expr_to_string(&back)
+        );
     }
+}
 
-    #[test]
-    fn pipelined_loop_is_packet_count_invariant(
-        n in 1i64..300,
-        packets in 1i64..64,
-        scale in 1i64..100,
-    ) {
+#[test]
+fn pipelined_loop_is_packet_count_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0005);
+    for _case in 0..30 {
+        let n = rng.gen_range(1, 300) as i64;
+        let packets = rng.gen_range(1, 64) as i64;
+        let scale = rng.gen_range(1, 100) as i64;
+
         let src = r#"
             extern int n;
             extern int scale;
@@ -120,20 +165,29 @@ proptest! {
             it.run_main().unwrap();
             it.output
         };
-        prop_assert_eq!(run(1), run(packets));
+        assert_eq!(
+            run(1),
+            run(packets),
+            "n={n} packets={packets} scale={scale}"
+        );
     }
+}
 
-    #[test]
-    fn interp_arithmetic_matches_rust(a in -10_000i64..10_000, b in 1i64..10_000) {
+#[test]
+fn interp_arithmetic_matches_rust() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0006);
+    for _case in 0..50 {
+        let a = rng.gen_range(0, 20_000) as i64 - 10_000;
+        let b = rng.gen_range(1, 10_000) as i64;
         let src = format!(
             "class A {{ void main() {{ print({a} + {b}); print({a} * {b}); print({a} / {b}); print({a} % {b}); }} }}"
         );
         let tp = check(parse(&src).unwrap()).unwrap();
         let mut it = Interp::new(&tp, HostEnv::new());
         it.run_main().unwrap();
-        prop_assert_eq!(&it.output[0], &(a + b).to_string());
-        prop_assert_eq!(&it.output[1], &(a * b).to_string());
-        prop_assert_eq!(&it.output[2], &(a / b).to_string());
-        prop_assert_eq!(&it.output[3], &(a % b).to_string());
+        assert_eq!(&it.output[0], &(a + b).to_string());
+        assert_eq!(&it.output[1], &(a * b).to_string());
+        assert_eq!(&it.output[2], &(a / b).to_string());
+        assert_eq!(&it.output[3], &(a % b).to_string());
     }
 }

@@ -1,0 +1,210 @@
+//! Micro-benchmark harness.
+//!
+//! The build environment is offline, so `criterion` is unavailable;
+//! this module provides the slice of its API the workspace's ablation
+//! benches use (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros), so
+//! a bench file only changes its import line.
+//!
+//! Methodology: warm up briefly, size the per-sample iteration count to
+//! a target sample duration, then take a fixed number of samples and
+//! report min / median / mean per iteration. `CGP_BENCH_TIME_MS` scales
+//! the time budget per benchmark (default 200 ms).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 12;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CGP_BENCH_TIME_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(10))
+}
+
+/// Top-level harness handle. One per process; created by
+/// [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            group: name,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), &mut f);
+    }
+}
+
+/// A named group of benchmarks; purely organisational here.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group, name.into());
+        run_one(&label, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Two-part benchmark id, rendered `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times and record the wall-clock total.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let budget = budget();
+    // Warm-up + calibration: grow the batch until it costs >= 1% of
+    // the budget, so per-sample batches are sized from a stable rate.
+    let mut iters: u64 = 1;
+    let mut warm = time_batch(f, iters);
+    while warm < budget / 100 && iters < u64::MAX / 2 {
+        iters *= 2;
+        warm = time_batch(f, iters);
+    }
+    let per_iter = warm.as_secs_f64() / iters as f64;
+    let sample_target = budget.as_secs_f64() / SAMPLES as f64;
+    let batch = ((sample_target / per_iter.max(1e-12)) as u64).clamp(1, 1 << 40);
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| time_batch(f, batch).as_secs_f64() / batch as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[SAMPLES / 2];
+    let mean = samples.iter().sum::<f64>() / SAMPLES as f64;
+    println!(
+        "{label:<48} min {:>12}  median {:>12}  mean {:>12}  ({batch} iters/sample)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a bench entry point: `criterion_group!(benches, f1, f2)`
+/// makes `fn benches(&mut Criterion)` running each `fi`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `fn main()` running each group. CLI arguments (`--bench`,
+/// filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iters() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 17);
+        assert!(b.elapsed > Duration::ZERO || count == 17);
+    }
+
+    #[test]
+    fn id_renders_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("dp", "n10_m3").label, "dp/n10_m3");
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 µs");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+}

@@ -1,0 +1,325 @@
+//! Counter / histogram metrics registry.
+//!
+//! Each worker (filter copy, compiler phase, bench iteration) can own a
+//! private [`MetricsRegistry`] and record without contention; at end of
+//! run the registries are [merged](MetricsRegistry::merge) into one
+//! snapshot. Counters are monotone sums; histograms keep log-spaced
+//! bucket counts plus exact sum/min/max, so merged quantile estimates
+//! never require storing samples.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Monotone counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    pub value: u64,
+}
+
+impl Counter {
+    pub fn add(&mut self, delta: u64) {
+        self.value += delta;
+    }
+}
+
+/// Number of log-spaced histogram buckets. Bucket `i` covers values in
+/// `[2^(i-1), 2^i)` (bucket 0 is `[0, 1)`), so 64 buckets span any u64.
+const BUCKETS: usize = 64;
+
+/// Log-2 bucketed histogram over non-negative integer samples
+/// (bytes, microseconds, queue depths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1).
+    /// Coarse (factor-of-two) but merge-stable.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Named counters and histograms. Keys are sorted (BTreeMap) so every
+/// rendering is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        self.counters
+            .entry(name.to_string())
+            .or_default()
+            .add(delta);
+    }
+
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    pub fn get_counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.value)
+    }
+
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.value))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` into `self`: counters add, histograms merge
+    /// bucket-wise. Associative and commutative, so per-thread
+    /// registries can be folded in any order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, c) in &other.counters {
+            self.counters.entry(name.clone()).or_default().add(c.value);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// JSON snapshot: `{"counters": {...}, "histograms": {name:
+    /// {count, sum, min, max, mean, p50, p99}}}`.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, c) in &self.counters {
+            counters.set(name.clone(), Json::Num(c.value as f64));
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in &self.histograms {
+            let mut o = Json::obj();
+            o.set("count", Json::Num(h.count as f64));
+            o.set("sum", Json::Num(h.sum as f64));
+            o.set(
+                "min",
+                Json::Num(if h.count == 0 { 0.0 } else { h.min as f64 }),
+            );
+            o.set("max", Json::Num(h.max as f64));
+            o.set("mean", Json::Num(h.mean()));
+            o.set("p50", Json::Num(h.quantile(0.5) as f64));
+            o.set("p99", Json::Num(h.quantile(0.99) as f64));
+            histograms.set(name.clone(), o);
+        }
+        let mut root = Json::obj();
+        root.set("counters", counters);
+        root.set("histograms", histograms);
+        root
+    }
+
+    /// Plain-text table for report printers.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {}", c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} n={} mean={:.1} min={} max={} p50<={} p99<={}",
+                    h.count,
+                    h.mean(),
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max,
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut r = MetricsRegistry::new();
+        r.counter("packets", 3);
+        r.counter("packets", 4);
+        assert_eq!(r.get_counter("packets"), 7);
+        assert_eq!(r.get_counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 106);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+        // p50 falls in the bucket holding 2 (values [2,4)).
+        assert_eq!(h.quantile(0.5), 4);
+        // p100 falls in the bucket holding 100 (values [64,128)).
+        assert_eq!(h.quantile(1.0), 128);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        // The top bucket absorbs everything from 2^62 up.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_single_stream() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let mut whole = MetricsRegistry::new();
+        for v in 0..100u64 {
+            let r = if v % 2 == 0 { &mut a } else { &mut b };
+            r.counter("n", 1);
+            r.observe("lat", v * 17);
+            whole.counter("n", 1);
+            whole.observe("lat", v * 17);
+        }
+        // Disjoint names survive a merge too.
+        a.counter("only_a", 5);
+        whole.counter("only_a", 5);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        for m in [&ab, &ba] {
+            assert_eq!(m.get_counter("n"), whole.get_counter("n"));
+            assert_eq!(m.get_counter("only_a"), 5);
+            let (h, w) = (
+                m.get_histogram("lat").unwrap(),
+                whole.get_histogram("lat").unwrap(),
+            );
+            assert_eq!(h, w);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut r = MetricsRegistry::new();
+        r.observe("x", 9);
+        let before = r.get_histogram("x").unwrap().clone();
+        r.merge(&MetricsRegistry::new());
+        assert_eq!(r.get_histogram("x").unwrap(), &before);
+    }
+
+    #[test]
+    fn json_snapshot_parses() {
+        let mut r = MetricsRegistry::new();
+        r.counter("c", 2);
+        r.observe("h", 10);
+        let text = r.to_json().to_string();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("counters").unwrap().get("c").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+}

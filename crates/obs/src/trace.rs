@@ -1,0 +1,424 @@
+//! Trace events and spans.
+//!
+//! The model follows Chrome's `trace_event` format: every event has a
+//! name, a category, a phase character, a microsecond timestamp, and a
+//! `(pid, tid)` pair that picks the row it renders on. Three "process"
+//! rows partition the system:
+//!
+//! - [`PID_RUNTIME`] — the DataCutter executor (one tid per filter copy),
+//! - [`PID_COMPILER`] — compiler phases (normalize → … → codegen),
+//! - [`PID_SIM`] — the grid simulator's *virtual-time* timeline.
+//!
+//! Wall-clock events take their timestamp from a process-wide epoch
+//! captured on first use; virtual-time producers call [`complete`] with
+//! explicit timestamps (simulated seconds × 1e6), so both kinds of
+//! timeline load into the same Perfetto view.
+//!
+//! **Hot-path discipline:** [`enabled`] is a single relaxed atomic load.
+//! Every emit helper checks it first and returns before allocating, so
+//! with no sink installed the instrumented code paths cost one branch.
+
+use crate::json::Json;
+use crate::sink::TraceSink;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Environment variable checked by binaries to auto-install a
+/// [`crate::sink::ChromeTraceSink`] writing to the named path.
+pub const TRACE_ENV: &str = "CGP_TRACE";
+
+/// Process row for the DataCutter executor (wall clock).
+pub const PID_RUNTIME: u32 = 1;
+/// Process row for compiler phases (wall clock).
+pub const PID_COMPILER: u32 = 2;
+/// Process row for the grid simulator (virtual time).
+pub const PID_SIM: u32 = 3;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<dyn TraceSink>>> = Mutex::new(None);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch.
+pub fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Is a sink installed? One relaxed load — safe to call per packet.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install a sink and enable tracing. Replaces any previous sink.
+pub fn install_sink(sink: Arc<dyn TraceSink>) {
+    // Force the epoch before enabling so timestamps are monotone from 0.
+    let _ = epoch();
+    *SINK.lock().unwrap() = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disable tracing, flush and drop the sink.
+pub fn clear_sink() {
+    ENABLED.store(false, Ordering::SeqCst);
+    let sink = SINK.lock().unwrap().take();
+    if let Some(sink) = sink {
+        sink.flush();
+    }
+}
+
+/// Flush the installed sink (if any) without removing it.
+pub fn flush() {
+    let sink = SINK.lock().unwrap().clone();
+    if let Some(sink) = sink {
+        sink.flush();
+    }
+}
+
+/// A typed event argument; renders under `args` in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl ArgValue {
+    pub fn to_json(&self) -> Json {
+        match self {
+            ArgValue::Int(v) => Json::Num(*v as f64),
+            ArgValue::Float(v) => Json::Num(*v),
+            ArgValue::Str(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One trace event, already stamped. Phase characters used here:
+/// `'X'` complete (has `dur_us`), `'i'` instant, `'C'` counter,
+/// `'M'` metadata (thread/process names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: &'static str,
+    pub ph: char,
+    pub ts_us: f64,
+    pub dur_us: f64,
+    pub pid: u32,
+    pub tid: u32,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Chrome `trace_event` object for this event.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("name", Json::Str(self.name.clone()));
+        o.set("cat", Json::Str(self.cat.to_string()));
+        o.set("ph", Json::Str(self.ph.to_string()));
+        o.set("ts", Json::Num(self.ts_us));
+        if self.ph == 'X' {
+            o.set("dur", Json::Num(self.dur_us));
+        }
+        o.set("pid", Json::Num(self.pid as f64));
+        o.set("tid", Json::Num(self.tid as f64));
+        if !self.args.is_empty() {
+            let mut args = Json::obj();
+            for (k, v) in &self.args {
+                args.set(*k, v.to_json());
+            }
+            o.set("args", args);
+        }
+        o
+    }
+}
+
+fn record(ev: TraceEvent) {
+    let sink = SINK.lock().unwrap().clone();
+    if let Some(sink) = sink {
+        sink.record(ev);
+    }
+}
+
+/// Emit a pre-stamped complete event (`ph: 'X'`). This is the entry
+/// point for *virtual-time* producers: the simulator converts simulated
+/// seconds to microseconds itself.
+pub fn complete(
+    name: impl Into<String>,
+    cat: &'static str,
+    ts_us: f64,
+    dur_us: f64,
+    pid: u32,
+    tid: u32,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name: name.into(),
+        cat,
+        ph: 'X',
+        ts_us,
+        dur_us,
+        pid,
+        tid,
+        args,
+    });
+}
+
+/// Emit an instant event stamped with the wall clock.
+pub fn instant(
+    name: impl Into<String>,
+    cat: &'static str,
+    pid: u32,
+    tid: u32,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name: name.into(),
+        cat,
+        ph: 'i',
+        ts_us: now_us(),
+        dur_us: 0.0,
+        pid,
+        tid,
+        args,
+    });
+}
+
+/// Emit a counter sample (`ph: 'C'`); Perfetto renders these as a
+/// stacked area chart per `(pid, name)`.
+pub fn counter(name: impl Into<String>, pid: u32, tid: u32, series: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name: name.into(),
+        cat: "counter",
+        ph: 'C',
+        ts_us: now_us(),
+        dur_us: 0.0,
+        pid,
+        tid,
+        args: vec![(series, ArgValue::Float(value))],
+    });
+}
+
+/// Name a `(pid, tid)` row in the viewer (`ph: 'M'`, `thread_name`).
+pub fn name_thread(pid: u32, tid: u32, name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name: "thread_name".into(),
+        cat: "__metadata",
+        ph: 'M',
+        ts_us: 0.0,
+        dur_us: 0.0,
+        pid,
+        tid,
+        args: vec![("name", ArgValue::Str(name.into()))],
+    });
+}
+
+/// Name a pid row in the viewer (`ph: 'M'`, `process_name`).
+pub fn name_process(pid: u32, name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name: "process_name".into(),
+        cat: "__metadata",
+        ph: 'M',
+        ts_us: 0.0,
+        dur_us: 0.0,
+        pid,
+        tid: 0,
+        args: vec![("name", ArgValue::Str(name.into()))],
+    });
+}
+
+/// RAII span: emits one `'X'` complete event covering its lifetime when
+/// dropped. Construct via [`span`]; a disabled trace yields an inert
+/// span (no timestamp read, no allocation).
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: String,
+    cat: &'static str,
+    pid: u32,
+    tid: u32,
+    start_us: f64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Open a span. The completing event is emitted on drop, stamped with
+/// the wall-clock interval the guard was alive.
+pub fn span(name: impl Into<String>, cat: &'static str, pid: u32, tid: u32) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    Span {
+        inner: Some(SpanInner {
+            name: name.into(),
+            cat,
+            pid,
+            tid,
+            start_us: now_us(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attach an argument; shows under `args` on the completed event.
+    /// No-op on an inert span.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, value.into()));
+        }
+    }
+
+    /// Is this span live (tracing was enabled at construction)?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end = now_us();
+            record(TraceEvent {
+                name: inner.name,
+                cat: inner.cat,
+                ph: 'X',
+                ts_us: inner.start_us,
+                dur_us: (end - inner.start_us).max(0.0),
+                pid: inner.pid,
+                tid: inner.tid,
+                args: inner.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    // Trace state is process-global, so exercise it from one test to
+    // avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn global_sink_lifecycle() {
+        assert!(!enabled());
+
+        // Inert span: no sink, nothing recorded.
+        {
+            let mut s = span("noop", "t", PID_RUNTIME, 0);
+            assert!(!s.is_recording());
+            s.arg("k", 1i64);
+        }
+
+        let ring = Arc::new(RingSink::new(16));
+        install_sink(ring.clone());
+        assert!(enabled());
+
+        {
+            let mut s = span("work", "t", PID_RUNTIME, 3);
+            s.arg("packets", 7i64);
+        }
+        instant("mark", "t", PID_RUNTIME, 3, vec![]);
+        counter("queue", PID_RUNTIME, 0, "depth", 2.0);
+        complete("virtual", "sim", 1000.0, 500.0, PID_SIM, 1, vec![]);
+        name_thread(PID_RUNTIME, 3, "filter:0");
+
+        clear_sink();
+        assert!(!enabled());
+        // Emissions after clear are dropped.
+        instant("late", "t", PID_RUNTIME, 0, vec![]);
+
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 5);
+        let work = &evs[0];
+        assert_eq!(work.name, "work");
+        assert_eq!(work.ph, 'X');
+        assert!(work.dur_us >= 0.0);
+        assert_eq!(work.args, vec![("packets", ArgValue::Int(7))]);
+        let virt = &evs[3];
+        assert_eq!((virt.ts_us, virt.dur_us), (1000.0, 500.0));
+        assert_eq!(virt.pid, PID_SIM);
+
+        // Ring overflow keeps the newest events.
+        let small = Arc::new(RingSink::new(2));
+        install_sink(small.clone());
+        for i in 0..5 {
+            instant(format!("e{i}"), "t", PID_RUNTIME, 0, vec![]);
+        }
+        clear_sink();
+        let names: Vec<_> = small.snapshot().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e3", "e4"]);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let ev = TraceEvent {
+            name: "p".into(),
+            cat: "phase",
+            ph: 'X',
+            ts_us: 10.0,
+            dur_us: 5.0,
+            pid: PID_COMPILER,
+            tid: 0,
+            args: vec![("bytes", ArgValue::Int(1024))],
+        };
+        let j = ev.to_json();
+        assert_eq!(j.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(j.get("dur").unwrap().as_f64(), Some(5.0));
+        assert_eq!(
+            j.get("args").unwrap().get("bytes").unwrap().as_f64(),
+            Some(1024.0)
+        );
+    }
+}

@@ -71,7 +71,13 @@ fn main() {
         .add_stage(StageSpec::new(
             "hash",
             3,
-            Box::new(|copy| Box::new(WordHasher { copy, hashed: 0, count: 0 })),
+            Box::new(|copy| {
+                Box::new(WordHasher {
+                    copy,
+                    hashed: 0,
+                    count: 0,
+                })
+            }),
         ))
         .add_stage(StageSpec::new(
             "aggregate",

@@ -24,7 +24,10 @@ fn main() {
             Renderer::ActivePixels => "active-pixels",
         };
         println!("== isosurface ({rname}), {grid_dims}^3 grid, {packets} packets ==");
-        println!("{:<10} {:>12} {:>12} {:>9}", "config", "Default(s)", "Decomp(s)", "gain");
+        println!(
+            "{:<10} {:>12} {:>12} {:>9}",
+            "config", "Default(s)", "Decomp(s)", "gain"
+        );
         let mut digests = Vec::new();
         for w in [1usize, 2, 4] {
             let grid_cfg = paper_grid(w);

@@ -12,20 +12,21 @@ use cgp_core::{paper_grid, simulate_variant};
 
 fn main() {
     let slide = Slide::synthetic(1024, 1024, 7);
-    for (qname, query, packets) in
-        [("small query", small_query(), 8), ("large query", large_query(), 64)]
-    {
-        println!("== vmscope, {qname}: {}x{} region, 1/{} subsampling ==",
-            query.width, query.height, query.subsample);
+    for (qname, query, packets) in [
+        ("small query", small_query(), 8),
+        ("large query", large_query(), 64),
+    ] {
+        println!(
+            "== vmscope, {qname}: {}x{} region, 1/{} subsampling ==",
+            query.width, query.height, query.subsample
+        );
         println!(
             "{:<10} {:>12} {:>14} {:>14}",
             "config", "Default(s)", "Decomp-Comp(s)", "Decomp-Man(s)"
         );
         for w in [1usize, 2, 4] {
             let grid = paper_grid(w);
-            let mk = |version| {
-                VmscopePipeline::new(slide.clone(), query, packets, version, qname)
-            };
+            let mk = |version| VmscopePipeline::new(slide.clone(), query, packets, version, qname);
             let d = simulate_variant(&mut mk(VmVersion::Default), &grid);
             let c = simulate_variant(&mut mk(VmVersion::DecompComp), &grid);
             let m = simulate_variant(&mut mk(VmVersion::DecompManual), &grid);

@@ -2,85 +2,132 @@
 //! reproduces the paper's closed-form total time on uniform workloads, the
 //! compiler's stage-time estimates line up with the simulator, and the
 //! environment knobs (width, bandwidth, disk) move results the right way.
+//! Randomized cases come from a seeded PRNG (the build is offline, so no
+//! proptest).
 
 use cgp_core::grid::{analytic_total_time, simulate, GridConfig, LinkSpec, PacketWork};
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 
 fn uniform(n: usize, ops: Vec<f64>, bytes: Vec<f64>) -> Vec<PacketWork> {
     (0..n)
-        .map(|_| PacketWork { comp_ops: ops.clone(), bytes: bytes.clone(), read_bytes: 0.0 })
+        .map(|_| PacketWork {
+            comp_ops: ops.clone(),
+            bytes: bytes.clone(),
+            read_bytes: 0.0,
+        })
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn simulator_matches_closed_form_on_uniform_chains() {
+    let mut rng = SmallRng::seed_from_u64(0xCE_0001);
+    for case in 0..128 {
+        let m = rng.gen_range(1, 5);
+        let n = rng.gen_range(1, 200);
+        let ops: Vec<f64> = (0..m).map(|_| 1.0 + rng.gen_f64() * 1e6).collect();
+        let bytes: Vec<f64> = (0..m - 1).map(|_| rng.gen_f64() * 1e6).collect();
+        let power = 1.0 + rng.gen_f64() * 1e9;
+        let bw = 1.0 + rng.gen_f64() * 1e9;
 
-    #[test]
-    fn simulator_matches_closed_form_on_uniform_chains(
-        m in 1usize..5,
-        n in 1usize..200,
-        ops in proptest::collection::vec(1.0f64..1e6, 5),
-        bytes in proptest::collection::vec(0.0f64..1e6, 4),
-        power in 1.0f64..1e9,
-        bw in 1.0f64..1e9,
-    ) {
-        let grid = GridConfig::uniform_chain(m, power, LinkSpec { bandwidth: bw, latency: 1e-5 });
-        let ops = ops[..m].to_vec();
-        let bytes = bytes[..m - 1].to_vec();
+        let grid = GridConfig::uniform_chain(
+            m,
+            power,
+            LinkSpec {
+                bandwidth: bw,
+                latency: 1e-5,
+            },
+        );
         let pkts = uniform(n, ops.clone(), bytes.clone());
         let sim = simulate(&grid, &pkts, &[]);
         let ana = analytic_total_time(
             &grid,
-            &PacketWork { comp_ops: ops, bytes, read_bytes: 0.0 },
+            &PacketWork {
+                comp_ops: ops,
+                bytes,
+                read_bytes: 0.0,
+            },
             n as u64,
         );
-        prop_assert!((sim.makespan - ana).abs() <= 1e-9 * ana.max(1.0),
-            "sim {} vs analytic {}", sim.makespan, ana);
+        assert!(
+            (sim.makespan - ana).abs() <= 1e-9 * ana.max(1.0),
+            "case {case}: sim {} vs analytic {}",
+            sim.makespan,
+            ana
+        );
     }
+}
 
-    #[test]
-    fn wider_stages_never_slow_the_pipeline(
-        n in 1usize..100,
-        ops in proptest::collection::vec(1.0f64..1e6, 3),
-        bytes in proptest::collection::vec(0.0f64..1e5, 2),
-    ) {
-        let link = LinkSpec { bandwidth: 1e6, latency: 1e-5 };
+#[test]
+fn wider_stages_never_slow_the_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(0xCE_0002);
+    for case in 0..128 {
+        let n = rng.gen_range(1, 100);
+        let ops: Vec<f64> = (0..3).map(|_| 1.0 + rng.gen_f64() * 1e6).collect();
+        let bytes: Vec<f64> = (0..2).map(|_| rng.gen_f64() * 1e5).collect();
+
+        let link = LinkSpec {
+            bandwidth: 1e6,
+            latency: 1e-5,
+        };
         let pkts = uniform(n, ops.clone(), bytes.clone());
         let t1 = simulate(&GridConfig::w_w_1(1, 1e6, link), &pkts, &[]).makespan;
         let t2 = simulate(&GridConfig::w_w_1(2, 1e6, link), &pkts, &[]).makespan;
         let t4 = simulate(&GridConfig::w_w_1(4, 1e6, link), &pkts, &[]).makespan;
-        prop_assert!(t2 <= t1 * (1.0 + 1e-9));
-        prop_assert!(t4 <= t2 * (1.0 + 1e-9));
+        assert!(t2 <= t1 * (1.0 + 1e-9), "case {case}");
+        assert!(t4 <= t2 * (1.0 + 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn more_bandwidth_never_hurts(
-        n in 1usize..100,
-        ops in proptest::collection::vec(1.0f64..1e6, 3),
-        bytes in proptest::collection::vec(1.0f64..1e6, 2),
-    ) {
+#[test]
+fn more_bandwidth_never_hurts() {
+    let mut rng = SmallRng::seed_from_u64(0xCE_0003);
+    for case in 0..128 {
+        let n = rng.gen_range(1, 100);
+        let ops: Vec<f64> = (0..3).map(|_| 1.0 + rng.gen_f64() * 1e6).collect();
+        let bytes: Vec<f64> = (0..2).map(|_| 1.0 + rng.gen_f64() * 1e6).collect();
+
         let pkts = uniform(n, ops, bytes);
         let slow = simulate(
-            &GridConfig::w_w_1(2, 1e6, LinkSpec { bandwidth: 1e5, latency: 1e-5 }),
+            &GridConfig::w_w_1(
+                2,
+                1e6,
+                LinkSpec {
+                    bandwidth: 1e5,
+                    latency: 1e-5,
+                },
+            ),
             &pkts,
             &[1e4, 1e4],
         )
         .makespan;
         let fast = simulate(
-            &GridConfig::w_w_1(2, 1e6, LinkSpec { bandwidth: 1e7, latency: 1e-5 }),
+            &GridConfig::w_w_1(
+                2,
+                1e6,
+                LinkSpec {
+                    bandwidth: 1e7,
+                    latency: 1e-5,
+                },
+            ),
             &pkts,
             &[1e4, 1e4],
         )
         .makespan;
-        prop_assert!(fast <= slow * (1.0 + 1e-9));
+        assert!(fast <= slow * (1.0 + 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn disk_reads_only_add_time_at_stage_zero(
-        n in 1usize..50,
-        read in 1.0f64..1e7,
-    ) {
-        let link = LinkSpec { bandwidth: 1e7, latency: 1e-5 };
+#[test]
+fn disk_reads_only_add_time_at_stage_zero() {
+    let mut rng = SmallRng::seed_from_u64(0xCE_0004);
+    for case in 0..128 {
+        let n = rng.gen_range(1, 50);
+        let read = 1.0 + rng.gen_f64() * 1e7;
+
+        let link = LinkSpec {
+            bandwidth: 1e7,
+            latency: 1e-5,
+        };
         let mut pkts = uniform(n, vec![1e3, 1e3, 1e3], vec![1e3, 1e3]);
         for p in &mut pkts {
             p.read_bytes = read;
@@ -92,10 +139,10 @@ proptest! {
             &[],
         )
         .makespan;
-        prop_assert!(with_disk > no_disk, "{with_disk} vs {no_disk}");
+        assert!(with_disk > no_disk, "case {case}: {with_disk} vs {no_disk}");
         // And the added time is at least the serialized read on one disk.
         let read_time = read * n as f64 / 3.5e7;
-        prop_assert!(with_disk + 1e-12 >= no_disk.max(read_time));
+        assert!(with_disk + 1e-12 >= no_disk.max(read_time), "case {case}");
     }
 }
 
@@ -125,20 +172,30 @@ fn compiler_stage_times_agree_with_grid_analytic() {
             print(acc.t);
         } }
     "#;
-    let opts = CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e7, 1e-4), 128)
-        .with_symbol("n", 1024);
+    let opts =
+        CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e7, 1e-4), 128).with_symbol("n", 1024);
     let c = compile(src, &opts).unwrap();
     let st = c.stage_times();
     let n_packets = 64u64;
     let total = st.total_time(n_packets);
 
     // Rebuild the same pipeline in grid terms.
-    let grid = GridConfig::uniform_chain(3, 1e8, LinkSpec { bandwidth: 1e7, latency: 1e-4 });
+    let grid = GridConfig::uniform_chain(
+        3,
+        1e8,
+        LinkSpec {
+            bandwidth: 1e7,
+            latency: 1e-4,
+        },
+    );
     let work = PacketWork {
         comp_ops: st.comp.iter().map(|t| t * 1e8).collect(),
         bytes: st.comm.iter().map(|t| (t - 1e-4) * 1e7).collect(),
         read_bytes: 0.0,
     };
     let ana = analytic_total_time(&grid, &work, n_packets);
-    assert!((total - ana).abs() < 1e-9 * total.max(1.0), "{total} vs {ana}");
+    assert!(
+        (total - ana).abs() < 1e-9 * total.max(1.0),
+        "{total} vs {ana}"
+    );
 }

@@ -1,87 +1,125 @@
-//! Property-based validation of the decomposition algorithms: the `O(nm)`
+//! Property-style validation of the decomposition algorithms: the `O(nm)`
 //! dynamic program must always match the brute-force optimum, and its
-//! assignments must be well-formed.
+//! assignments must be well-formed. Cases come from a seeded PRNG (the
+//! build is offline, so no proptest).
 
 use cgp_compiler::cost::{OpCount, PipelineEnv};
 use cgp_compiler::decompose::{
     decompose_brute_force, decompose_dp, decompose_dp_cost_only, evaluate, stage_times, Problem,
 };
-use proptest::prelude::*;
+use cgp_obs::SmallRng;
 
-fn arb_problem() -> impl Strategy<Value = Problem> {
+fn random_problem(rng: &mut SmallRng) -> Problem {
     // n atoms in 1..=8, with bounded positive work/volumes.
-    (1usize..=8).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(1.0f64..1e4, n),
-            proptest::collection::vec(0.0f64..1e6, n + 1),
-        )
-            .prop_map(move |(work, vols)| {
-                let mut tasks = vec![OpCount::zero()];
-                tasks.extend(work.iter().map(|w| OpCount { flops: *w, iops: 1.0, mem: 1.0 }));
-                let mut volumes = vols;
-                let last = volumes.len() - 1;
-                volumes[last] = 0.0;
-                Problem::synthetic(tasks, volumes)
-            })
-    })
+    let n = rng.gen_range(1, 9);
+    let mut tasks = vec![OpCount::zero()];
+    tasks.extend((0..n).map(|_| OpCount {
+        flops: 1.0 + rng.gen_f64() * 1e4,
+        iops: 1.0,
+        mem: 1.0,
+    }));
+    let mut volumes: Vec<f64> = (0..=n).map(|_| rng.gen_f64() * 1e6).collect();
+    let last = volumes.len() - 1;
+    volumes[last] = 0.0;
+    Problem::synthetic(tasks, volumes)
 }
 
-fn arb_env() -> impl Strategy<Value = PipelineEnv> {
-    (1usize..=5, 1.0f64..1e6, 1.0f64..1e6, 0.0f64..1e-2)
-        .prop_map(|(m, p, b, l)| PipelineEnv::uniform(m, p, b, l))
+fn random_env(rng: &mut SmallRng) -> PipelineEnv {
+    PipelineEnv::uniform(
+        rng.gen_range(1, 6),
+        1.0 + rng.gen_f64() * 1e6,
+        1.0 + rng.gen_f64() * 1e6,
+        rng.gen_f64() * 1e-2,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn dp_matches_brute_force(p in arb_problem(), env in arb_env()) {
+#[test]
+fn dp_matches_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(0xD0_0001);
+    for case in 0..200 {
+        let p = random_problem(&mut rng);
+        let env = random_env(&mut rng);
         let dp = decompose_dp(&p, &env);
         let bf = decompose_brute_force(&p, &env);
-        prop_assert!((dp.cost - bf.cost).abs() <= 1e-9 * (1.0 + bf.cost.abs()),
-            "dp {} vs bf {}", dp.cost, bf.cost);
+        assert!(
+            (dp.cost - bf.cost).abs() <= 1e-9 * (1.0 + bf.cost.abs()),
+            "case {case}: dp {} vs bf {}",
+            dp.cost,
+            bf.cost
+        );
     }
+}
 
-    #[test]
-    fn rolling_matches_full_table(p in arb_problem(), env in arb_env()) {
+#[test]
+fn rolling_matches_full_table() {
+    let mut rng = SmallRng::seed_from_u64(0xD0_0002);
+    for case in 0..200 {
+        let p = random_problem(&mut rng);
+        let env = random_env(&mut rng);
         let full = decompose_dp(&p, &env).cost;
         let roll = decompose_dp_cost_only(&p, &env);
-        prop_assert!((full - roll).abs() <= 1e-12 * (1.0 + full.abs()));
+        assert!(
+            (full - roll).abs() <= 1e-12 * (1.0 + full.abs()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn dp_assignment_is_wellformed_and_consistent(p in arb_problem(), env in arb_env()) {
+#[test]
+fn dp_assignment_is_wellformed_and_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xD0_0003);
+    for case in 0..200 {
+        let p = random_problem(&mut rng);
+        let env = random_env(&mut rng);
         let dp = decompose_dp(&p, &env);
-        prop_assert_eq!(dp.unit_of.len(), p.n_tasks());
-        prop_assert_eq!(dp.unit_of[0], 0, "virtual source pinned to the data host");
-        prop_assert!(dp.unit_of.windows(2).all(|w| w[0] <= w[1]), "monotone");
-        prop_assert!(dp.unit_of.iter().all(|u| *u < env.m()));
+        assert_eq!(dp.unit_of.len(), p.n_tasks(), "case {case}");
+        assert_eq!(
+            dp.unit_of[0], 0,
+            "case {case}: virtual source pinned to the data host"
+        );
+        assert!(
+            dp.unit_of.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: monotone"
+        );
+        assert!(dp.unit_of.iter().all(|u| *u < env.m()), "case {case}");
         // The reported cost equals re-evaluating the assignment.
         let ev = evaluate(&p, &env, &dp.unit_of);
-        prop_assert!((ev - dp.cost).abs() <= 1e-9 * (1.0 + ev.abs()));
+        assert!(
+            (ev - dp.cost).abs() <= 1e-9 * (1.0 + ev.abs()),
+            "case {case}"
+        );
         // And equals the sum of its stage times.
         let st = stage_times(&p, &env, &dp.unit_of);
         let total: f64 = st.comp.iter().sum::<f64>() + st.comm.iter().sum::<f64>();
-        prop_assert!((total - dp.cost).abs() <= 1e-9 * (1.0 + total.abs()));
+        assert!(
+            (total - dp.cost).abs() <= 1e-9 * (1.0 + total.abs()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn dp_never_beaten_by_random_assignment(
-        p in arb_problem(),
-        env in arb_env(),
-        seed in proptest::collection::vec(0usize..5, 10),
-    ) {
+#[test]
+fn dp_never_beaten_by_random_assignment() {
+    let mut rng = SmallRng::seed_from_u64(0xD0_0004);
+    for case in 0..200 {
+        let p = random_problem(&mut rng);
+        let env = random_env(&mut rng);
         let dp = decompose_dp(&p, &env);
-        // Build a random monotone assignment from the seed.
+        // Build a random monotone assignment.
         let n = p.n_tasks();
         let mut unit_of = vec![0usize; n];
         let mut cur = 0usize;
-        for i in 1..n {
-            cur = (cur + seed[i % seed.len()] % 2).min(env.m() - 1);
-            unit_of[i] = cur;
+        for slot in unit_of.iter_mut().skip(1) {
+            cur = (cur + rng.gen_range(0, 2)).min(env.m() - 1);
+            *slot = cur;
         }
         let cost = evaluate(&p, &env, &unit_of);
-        prop_assert!(dp.cost <= cost + 1e-9 * (1.0 + cost.abs()),
-            "dp {} beaten by {:?} = {}", dp.cost, unit_of, cost);
+        assert!(
+            dp.cost <= cost + 1e-9 * (1.0 + cost.abs()),
+            "case {case}: dp {} beaten by {:?} = {}",
+            dp.cost,
+            unit_of,
+            cost
+        );
     }
 }

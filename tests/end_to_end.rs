@@ -29,7 +29,10 @@ fn zbuf_end_to_end() {
     assert_eq!(c.plan.m, 3);
     assert!(c.plan.graph.n_boundaries() >= 2, "{}", c.plan.describe());
     let host = iso_host();
-    assert_eq!(run_plan_sequential(&c.plan, &host).unwrap(), oracle(ZBUF_SRC, &host));
+    assert_eq!(
+        run_plan_sequential(&c.plan, &host).unwrap(),
+        oracle(ZBUF_SRC, &host)
+    );
 }
 
 #[test]
@@ -39,7 +42,10 @@ fn apix_end_to_end() {
         .with_symbol("screen", 24);
     let c = compile(APIX_SRC, &opts).unwrap();
     let host = iso_host();
-    assert_eq!(run_plan_sequential(&c.plan, &host).unwrap(), oracle(APIX_SRC, &host));
+    assert_eq!(
+        run_plan_sequential(&c.plan, &host).unwrap(),
+        oracle(APIX_SRC, &host)
+    );
 }
 
 #[test]
@@ -50,7 +56,10 @@ fn knn_end_to_end() {
         .with_symbol("npoints", 400)
         .with_symbol("k", 7);
     let c = compile(KNN_SRC, &opts).unwrap();
-    assert_eq!(run_plan_sequential(&c.plan, &host).unwrap(), oracle(KNN_SRC, &host));
+    assert_eq!(
+        run_plan_sequential(&c.plan, &host).unwrap(),
+        oracle(KNN_SRC, &host)
+    );
 }
 
 #[test]
@@ -63,7 +72,10 @@ fn vmscope_end_to_end() {
         .with_symbol("subsample", 3)
         .with_selectivity(0, 0.34);
     let c = compile(VMSCOPE_SRC, &opts).unwrap();
-    assert_eq!(run_plan_sequential(&c.plan, &host).unwrap(), oracle(VMSCOPE_SRC, &host));
+    assert_eq!(
+        run_plan_sequential(&c.plan, &host).unwrap(),
+        oracle(VMSCOPE_SRC, &host)
+    );
 }
 
 #[test]

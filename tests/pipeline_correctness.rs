@@ -26,8 +26,8 @@ fn zbuf_threaded_all_widths() {
     let host = || iso_host_env(&ScalarGrid::synthetic(9, 9, 9, 13), 0.7, 16, 8);
     let expect = oracle(ZBUF_SRC, &host());
     for widths in [[1usize, 1, 1], [2, 2, 1], [4, 4, 1], [1, 4, 1]] {
-        let out = run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&widths))
-            .unwrap();
+        let out =
+            run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&widths)).unwrap();
         assert_eq!(out, expect, "widths {widths:?}");
     }
 }
@@ -42,8 +42,8 @@ fn knn_threaded_all_widths() {
     let host = move || knn_host_env(&generate_points(600, 21), [0.4, 0.1, 0.9], 9, 6);
     let expect = oracle(KNN_SRC, &knn_host_env(&pts, [0.4, 0.1, 0.9], 9, 6));
     for widths in [[1usize, 1, 1], [2, 2, 1], [4, 4, 1]] {
-        let out = run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host.clone()), Some(&widths))
-            .unwrap();
+        let out =
+            run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&widths)).unwrap();
         assert_eq!(out, expect, "widths {widths:?}");
     }
 }
@@ -58,8 +58,8 @@ fn vmscope_threaded_all_widths() {
     let host = || vmscope_host_env(&Slide::synthetic(40, 40, 5), 2, 4);
     let expect = oracle(VMSCOPE_SRC, &host());
     for widths in [[1usize, 1, 1], [2, 2, 1], [4, 4, 1]] {
-        let out = run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&widths))
-            .unwrap();
+        let out =
+            run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&widths)).unwrap();
         assert_eq!(out, expect, "widths {widths:?}");
     }
 }
@@ -76,9 +76,8 @@ fn threaded_runs_are_repeatable() {
     let plan = Arc::new(c.plan);
     let mut outputs = Vec::new();
     for _ in 0..5 {
-        outputs.push(
-            run_plan_threaded(Arc::clone(&plan), Arc::new(host), Some(&[2, 3, 1])).unwrap(),
-        );
+        outputs
+            .push(run_plan_threaded(Arc::clone(&plan), Arc::new(host), Some(&[2, 3, 1])).unwrap());
     }
     for o in &outputs[1..] {
         assert_eq!(o, &outputs[0]);
@@ -97,12 +96,8 @@ fn wider_interior_stage_only() {
     let host = move || knn_host_env(&generate_points(300, 8), [0.6, 0.6, 0.1], 4, 6);
     let expect = oracle(KNN_SRC, &knn_host_env(&pts, [0.6, 0.6, 0.1], 4, 6));
     for w2 in [1usize, 2, 4] {
-        let out = run_plan_threaded(
-            Arc::new(c.plan.clone()),
-            Arc::new(host.clone()),
-            Some(&[1, w2, 1]),
-        )
-        .unwrap();
+        let out =
+            run_plan_threaded(Arc::new(c.plan.clone()), Arc::new(host), Some(&[1, w2, 1])).unwrap();
         assert_eq!(out, expect, "interior width {w2}");
     }
 }
