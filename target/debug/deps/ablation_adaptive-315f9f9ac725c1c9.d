@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adaptive-315f9f9ac725c1c9.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/debug/deps/ablation_adaptive-315f9f9ac725c1c9: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adaptive-36df3e9380a5af7b.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/debug/deps/ablation_adaptive-36df3e9380a5af7b: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adaptive-5dd525ed9697028a.d: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adaptive-5dd525ed9697028a.rmeta: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adaptive-8df4bb17b174a97a.d: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adaptive-8df4bb17b174a97a.rmeta: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_disk-3b26d19ac7af9e54.d: crates/bench/src/bin/ablation_disk.rs
+
+/root/repo/target/debug/deps/ablation_disk-3b26d19ac7af9e54: crates/bench/src/bin/ablation_disk.rs
+
+crates/bench/src/bin/ablation_disk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_disk-8e4e129c8896620c.d: crates/bench/src/bin/ablation_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_disk-8e4e129c8896620c.rmeta: crates/bench/src/bin/ablation_disk.rs Cargo.toml
+
+crates/bench/src/bin/ablation_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_disk-c669e3f22d04257a.d: crates/bench/src/bin/ablation_disk.rs
+
+/root/repo/target/debug/deps/ablation_disk-c669e3f22d04257a: crates/bench/src/bin/ablation_disk.rs
+
+crates/bench/src/bin/ablation_disk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_disk-d27341cd7827217e.d: crates/bench/src/bin/ablation_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_disk-d27341cd7827217e.rmeta: crates/bench/src/bin/ablation_disk.rs Cargo.toml
+
+crates/bench/src/bin/ablation_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

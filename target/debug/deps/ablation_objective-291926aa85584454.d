@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_objective-291926aa85584454.d: crates/bench/src/bin/ablation_objective.rs
+
+/root/repo/target/debug/deps/ablation_objective-291926aa85584454: crates/bench/src/bin/ablation_objective.rs
+
+crates/bench/src/bin/ablation_objective.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_objective-7e01f3a8fcba11c2.d: crates/bench/src/bin/ablation_objective.rs
+
+/root/repo/target/debug/deps/ablation_objective-7e01f3a8fcba11c2: crates/bench/src/bin/ablation_objective.rs
+
+crates/bench/src/bin/ablation_objective.rs:

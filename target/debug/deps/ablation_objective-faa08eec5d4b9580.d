@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_objective-faa08eec5d4b9580.d: crates/bench/src/bin/ablation_objective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_objective-faa08eec5d4b9580.rmeta: crates/bench/src/bin/ablation_objective.rs Cargo.toml
+
+crates/bench/src/bin/ablation_objective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_packet_size-3363810a4a19ffd3.d: crates/bench/src/bin/ablation_packet_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_packet_size-3363810a4a19ffd3.rmeta: crates/bench/src/bin/ablation_packet_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_packet_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_packet_size-46ae8c43be5c13e9.d: crates/bench/src/bin/ablation_packet_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_packet_size-46ae8c43be5c13e9.rmeta: crates/bench/src/bin/ablation_packet_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_packet_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_packet_size-a155159319caf3c8.d: crates/bench/src/bin/ablation_packet_size.rs
+
+/root/repo/target/debug/deps/ablation_packet_size-a155159319caf3c8: crates/bench/src/bin/ablation_packet_size.rs
+
+crates/bench/src/bin/ablation_packet_size.rs:

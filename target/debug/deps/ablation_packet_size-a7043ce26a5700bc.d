@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_packet_size-a7043ce26a5700bc.d: crates/bench/src/bin/ablation_packet_size.rs
+
+/root/repo/target/debug/deps/ablation_packet_size-a7043ce26a5700bc: crates/bench/src/bin/ablation_packet_size.rs
+
+crates/bench/src/bin/ablation_packet_size.rs:

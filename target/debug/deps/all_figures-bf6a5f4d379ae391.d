@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_figures-bf6a5f4d379ae391.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_figures-bf6a5f4d379ae391.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-c3ac34116dd22e33.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-c3ac34116dd22e33: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

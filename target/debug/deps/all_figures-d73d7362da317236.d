@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_figures-d73d7362da317236.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_figures-d73d7362da317236.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-f804dc7e461aa100.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-f804dc7e461aa100: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-4c7aa916f1ae5cc0.d: crates/bench/benches/analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-4c7aa916f1ae5cc0.rmeta: crates/bench/benches/analysis.rs Cargo.toml
+
+crates/bench/benches/analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis-fcc589cd1fae3483.d: crates/bench/benches/analysis.rs
+
+/root/repo/target/debug/deps/analysis-fcc589cd1fae3483: crates/bench/benches/analysis.rs
+
+crates/bench/benches/analysis.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cgp_apps-7c2c3366a4dd60fa.d: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_apps-7c2c3366a4dd60fa.rmeta: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/dialect.rs:
+crates/apps/src/isosurface/mod.rs:
+crates/apps/src/isosurface/dataset.rs:
+crates/apps/src/isosurface/march.rs:
+crates/apps/src/isosurface/pipelines.rs:
+crates/apps/src/isosurface/render.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/vmscope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cgp_apps-99da36d42cb165e1.d: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+/root/repo/target/debug/deps/cgp_apps-99da36d42cb165e1: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dialect.rs:
+crates/apps/src/isosurface/mod.rs:
+crates/apps/src/isosurface/dataset.rs:
+crates/apps/src/isosurface/march.rs:
+crates/apps/src/isosurface/pipelines.rs:
+crates/apps/src/isosurface/render.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/vmscope.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cgp_apps-bb6dabb81c505c2e.d: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_apps-bb6dabb81c505c2e.rmeta: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/dialect.rs:
+crates/apps/src/isosurface/mod.rs:
+crates/apps/src/isosurface/dataset.rs:
+crates/apps/src/isosurface/march.rs:
+crates/apps/src/isosurface/pipelines.rs:
+crates/apps/src/isosurface/render.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/vmscope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cgp_apps-fdbc09c5db4b153d.d: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+/root/repo/target/debug/deps/libcgp_apps-fdbc09c5db4b153d.rlib: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+/root/repo/target/debug/deps/libcgp_apps-fdbc09c5db4b153d.rmeta: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dialect.rs:
+crates/apps/src/isosurface/mod.rs:
+crates/apps/src/isosurface/dataset.rs:
+crates/apps/src/isosurface/march.rs:
+crates/apps/src/isosurface/pipelines.rs:
+crates/apps/src/isosurface/render.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/vmscope.rs:

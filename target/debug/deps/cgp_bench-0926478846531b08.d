@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cgp_bench-0926478846531b08.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/cgp_bench-0926478846531b08: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

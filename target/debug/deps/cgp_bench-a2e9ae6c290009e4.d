@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cgp_bench-a2e9ae6c290009e4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcgp_bench-a2e9ae6c290009e4.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcgp_bench-a2e9ae6c290009e4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

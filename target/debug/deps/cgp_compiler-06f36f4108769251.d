@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cgp_compiler-06f36f4108769251.d: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+/root/repo/target/debug/deps/libcgp_compiler-06f36f4108769251.rlib: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+/root/repo/target/debug/deps/libcgp_compiler-06f36f4108769251.rmeta: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/codegen.rs:
+crates/compiler/src/cost.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/gencons.rs:
+crates/compiler/src/graph.rs:
+crates/compiler/src/normalize.rs:
+crates/compiler/src/packing.rs:
+crates/compiler/src/place.rs:
+crates/compiler/src/report.rs:
+crates/compiler/src/reqcomm.rs:

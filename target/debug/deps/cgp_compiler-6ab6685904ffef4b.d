@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cgp_compiler-6ab6685904ffef4b.d: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_compiler-6ab6685904ffef4b.rmeta: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/codegen.rs:
+crates/compiler/src/cost.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/gencons.rs:
+crates/compiler/src/graph.rs:
+crates/compiler/src/normalize.rs:
+crates/compiler/src/packing.rs:
+crates/compiler/src/place.rs:
+crates/compiler/src/report.rs:
+crates/compiler/src/reqcomm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

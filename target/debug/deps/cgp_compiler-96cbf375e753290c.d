@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cgp_compiler-96cbf375e753290c.d: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+/root/repo/target/debug/deps/cgp_compiler-96cbf375e753290c: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/codegen.rs:
+crates/compiler/src/cost.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/gencons.rs:
+crates/compiler/src/graph.rs:
+crates/compiler/src/normalize.rs:
+crates/compiler/src/packing.rs:
+crates/compiler/src/place.rs:
+crates/compiler/src/report.rs:
+crates/compiler/src/reqcomm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cgp_core-8c2f6b686ce296af.d: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_core-8c2f6b686ce296af.rmeta: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/codec.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cgp_core-b1fb602ae60f85a7.d: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/cgp_core-b1fb602ae60f85a7: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codec.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/sim.rs:

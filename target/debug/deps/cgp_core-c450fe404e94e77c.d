@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cgp_core-c450fe404e94e77c.d: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libcgp_core-c450fe404e94e77c.rlib: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libcgp_core-c450fe404e94e77c.rmeta: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codec.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/sim.rs:

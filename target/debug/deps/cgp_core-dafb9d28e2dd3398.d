@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cgp_core-dafb9d28e2dd3398.d: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_core-dafb9d28e2dd3398.rmeta: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/codec.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cgp_datacutter-1d3a02a111ad9e51.d: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+/root/repo/target/debug/deps/cgp_datacutter-1d3a02a111ad9e51: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+crates/datacutter/src/lib.rs:
+crates/datacutter/src/buffer.rs:
+crates/datacutter/src/channel.rs:
+crates/datacutter/src/error.rs:
+crates/datacutter/src/exec.rs:
+crates/datacutter/src/filter.rs:
+crates/datacutter/src/placement.rs:
+crates/datacutter/src/stream.rs:

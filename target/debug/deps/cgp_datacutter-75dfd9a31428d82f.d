@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cgp_datacutter-75dfd9a31428d82f.d: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_datacutter-75dfd9a31428d82f.rmeta: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs Cargo.toml
+
+crates/datacutter/src/lib.rs:
+crates/datacutter/src/buffer.rs:
+crates/datacutter/src/channel.rs:
+crates/datacutter/src/error.rs:
+crates/datacutter/src/exec.rs:
+crates/datacutter/src/filter.rs:
+crates/datacutter/src/placement.rs:
+crates/datacutter/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

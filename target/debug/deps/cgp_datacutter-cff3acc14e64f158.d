@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cgp_datacutter-cff3acc14e64f158.d: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+/root/repo/target/debug/deps/libcgp_datacutter-cff3acc14e64f158.rlib: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+/root/repo/target/debug/deps/libcgp_datacutter-cff3acc14e64f158.rmeta: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+crates/datacutter/src/lib.rs:
+crates/datacutter/src/buffer.rs:
+crates/datacutter/src/channel.rs:
+crates/datacutter/src/error.rs:
+crates/datacutter/src/exec.rs:
+crates/datacutter/src/filter.rs:
+crates/datacutter/src/placement.rs:
+crates/datacutter/src/stream.rs:

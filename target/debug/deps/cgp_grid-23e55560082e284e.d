@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cgp_grid-23e55560082e284e.d: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_grid-23e55560082e284e.rmeta: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+crates/grid/src/adaptive.rs:
+crates/grid/src/config.rs:
+crates/grid/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cgp_grid-39ddc22342025735.d: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+/root/repo/target/debug/deps/cgp_grid-39ddc22342025735: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/adaptive.rs:
+crates/grid/src/config.rs:
+crates/grid/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cgp_grid-42926221fcde25ab.d: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_grid-42926221fcde25ab.rmeta: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+crates/grid/src/adaptive.rs:
+crates/grid/src/config.rs:
+crates/grid/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

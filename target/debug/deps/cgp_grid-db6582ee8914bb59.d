@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cgp_grid-db6582ee8914bb59.d: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+/root/repo/target/debug/deps/libcgp_grid-db6582ee8914bb59.rlib: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+/root/repo/target/debug/deps/libcgp_grid-db6582ee8914bb59.rmeta: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/adaptive.rs:
+crates/grid/src/config.rs:
+crates/grid/src/sim.rs:

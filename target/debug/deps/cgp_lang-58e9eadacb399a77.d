@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cgp_lang-58e9eadacb399a77.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_lang-58e9eadacb399a77.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/interp.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/span.rs:
+crates/lang/src/symbols.rs:
+crates/lang/src/token.rs:
+crates/lang/src/types.rs:
+crates/lang/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

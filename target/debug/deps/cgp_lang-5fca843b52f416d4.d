@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cgp_lang-5fca843b52f416d4.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/libcgp_lang-5fca843b52f416d4.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/libcgp_lang-5fca843b52f416d4.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/interp.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/span.rs:
+crates/lang/src/symbols.rs:
+crates/lang/src/token.rs:
+crates/lang/src/types.rs:
+crates/lang/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cgp_lang-eb718ab9a2edcd51.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/cgp_lang-eb718ab9a2edcd51: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/interp.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/span.rs:
+crates/lang/src/symbols.rs:
+crates/lang/src/token.rs:
+crates/lang/src/types.rs:
+crates/lang/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cgp_obs-3d14609283c8f916.d: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libcgp_obs-3d14609283c8f916.rlib: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libcgp_obs-3d14609283c8f916.rmeta: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/bench.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/trace.rs:

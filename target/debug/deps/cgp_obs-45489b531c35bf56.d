@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cgp_obs-45489b531c35bf56.d: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcgp_obs-45489b531c35bf56.rmeta: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/bench.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

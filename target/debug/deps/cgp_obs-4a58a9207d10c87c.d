@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cgp_obs-4a58a9207d10c87c.d: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/cgp_obs-4a58a9207d10c87c: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/bench.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model_validation-950e3a7038b08930.d: crates/core/../../tests/cost_model_validation.rs
+
+/root/repo/target/debug/deps/cost_model_validation-950e3a7038b08930: crates/core/../../tests/cost_model_validation.rs
+
+crates/core/../../tests/cost_model_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_model_validation-da286794589f0613.d: crates/core/../../tests/cost_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_model_validation-da286794589f0613.rmeta: crates/core/../../tests/cost_model_validation.rs Cargo.toml
+
+crates/core/../../tests/cost_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/costmodel-7643507c11f79ee5.d: crates/bench/benches/costmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcostmodel-7643507c11f79ee5.rmeta: crates/bench/benches/costmodel.rs Cargo.toml
+
+crates/bench/benches/costmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/costmodel-a1b0472e057a19c7.d: crates/bench/benches/costmodel.rs
+
+/root/repo/target/debug/deps/costmodel-a1b0472e057a19c7: crates/bench/benches/costmodel.rs
+
+crates/bench/benches/costmodel.rs:

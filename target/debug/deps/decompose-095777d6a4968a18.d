@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decompose-095777d6a4968a18.d: crates/bench/benches/decompose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecompose-095777d6a4968a18.rmeta: crates/bench/benches/decompose.rs Cargo.toml
+
+crates/bench/benches/decompose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

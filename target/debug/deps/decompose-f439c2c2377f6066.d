@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decompose-f439c2c2377f6066.d: crates/bench/benches/decompose.rs
+
+/root/repo/target/debug/deps/decompose-f439c2c2377f6066: crates/bench/benches/decompose.rs
+
+crates/bench/benches/decompose.rs:

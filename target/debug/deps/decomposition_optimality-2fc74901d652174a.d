@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition_optimality-2fc74901d652174a.d: crates/core/../../tests/decomposition_optimality.rs
+
+/root/repo/target/debug/deps/decomposition_optimality-2fc74901d652174a: crates/core/../../tests/decomposition_optimality.rs
+
+crates/core/../../tests/decomposition_optimality.rs:

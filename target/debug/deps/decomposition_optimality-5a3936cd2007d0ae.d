@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decomposition_optimality-5a3936cd2007d0ae.d: crates/core/../../tests/decomposition_optimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecomposition_optimality-5a3936cd2007d0ae.rmeta: crates/core/../../tests/decomposition_optimality.rs Cargo.toml
+
+crates/core/../../tests/decomposition_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

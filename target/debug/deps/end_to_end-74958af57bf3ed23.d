@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-74958af57bf3ed23.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-74958af57bf3ed23: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-e81e691139b26ad1.d: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-e81e691139b26ad1.rmeta: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+crates/core/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

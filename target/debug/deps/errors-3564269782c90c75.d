@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/errors-3564269782c90c75.d: crates/compiler/tests/errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberrors-3564269782c90c75.rmeta: crates/compiler/tests/errors.rs Cargo.toml
+
+crates/compiler/tests/errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

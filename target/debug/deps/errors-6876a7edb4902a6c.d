@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/errors-6876a7edb4902a6c.d: crates/compiler/tests/errors.rs
+
+/root/repo/target/debug/deps/errors-6876a7edb4902a6c: crates/compiler/tests/errors.rs
+
+crates/compiler/tests/errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zbuf_small-817178704ee1e303.d: crates/bench/src/bin/fig05_zbuf_small.rs
+
+/root/repo/target/debug/deps/fig05_zbuf_small-817178704ee1e303: crates/bench/src/bin/fig05_zbuf_small.rs
+
+crates/bench/src/bin/fig05_zbuf_small.rs:

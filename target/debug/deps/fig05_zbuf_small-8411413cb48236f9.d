@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_zbuf_small-8411413cb48236f9.d: crates/bench/src/bin/fig05_zbuf_small.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_zbuf_small-8411413cb48236f9.rmeta: crates/bench/src/bin/fig05_zbuf_small.rs Cargo.toml
+
+crates/bench/src/bin/fig05_zbuf_small.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

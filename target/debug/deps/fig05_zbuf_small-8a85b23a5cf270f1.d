@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_zbuf_small-8a85b23a5cf270f1.d: crates/bench/src/bin/fig05_zbuf_small.rs
+
+/root/repo/target/debug/deps/fig05_zbuf_small-8a85b23a5cf270f1: crates/bench/src/bin/fig05_zbuf_small.rs
+
+crates/bench/src/bin/fig05_zbuf_small.rs:

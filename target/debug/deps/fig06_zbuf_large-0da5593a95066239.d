@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_zbuf_large-0da5593a95066239.d: crates/bench/src/bin/fig06_zbuf_large.rs
+
+/root/repo/target/debug/deps/fig06_zbuf_large-0da5593a95066239: crates/bench/src/bin/fig06_zbuf_large.rs
+
+crates/bench/src/bin/fig06_zbuf_large.rs:

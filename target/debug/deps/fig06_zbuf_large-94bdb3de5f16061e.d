@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_zbuf_large-94bdb3de5f16061e.d: crates/bench/src/bin/fig06_zbuf_large.rs
+
+/root/repo/target/debug/deps/fig06_zbuf_large-94bdb3de5f16061e: crates/bench/src/bin/fig06_zbuf_large.rs
+
+crates/bench/src/bin/fig06_zbuf_large.rs:

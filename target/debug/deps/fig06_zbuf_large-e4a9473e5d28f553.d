@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_zbuf_large-e4a9473e5d28f553.d: crates/bench/src/bin/fig06_zbuf_large.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_zbuf_large-e4a9473e5d28f553.rmeta: crates/bench/src/bin/fig06_zbuf_large.rs Cargo.toml
+
+crates/bench/src/bin/fig06_zbuf_large.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_apix_small-131fad711e187e2d.d: crates/bench/src/bin/fig07_apix_small.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_apix_small-131fad711e187e2d.rmeta: crates/bench/src/bin/fig07_apix_small.rs Cargo.toml
+
+crates/bench/src/bin/fig07_apix_small.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

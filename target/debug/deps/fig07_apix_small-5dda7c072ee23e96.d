@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_apix_small-5dda7c072ee23e96.d: crates/bench/src/bin/fig07_apix_small.rs
+
+/root/repo/target/debug/deps/fig07_apix_small-5dda7c072ee23e96: crates/bench/src/bin/fig07_apix_small.rs
+
+crates/bench/src/bin/fig07_apix_small.rs:

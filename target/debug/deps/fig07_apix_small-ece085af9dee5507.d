@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_apix_small-ece085af9dee5507.d: crates/bench/src/bin/fig07_apix_small.rs
+
+/root/repo/target/debug/deps/fig07_apix_small-ece085af9dee5507: crates/bench/src/bin/fig07_apix_small.rs
+
+crates/bench/src/bin/fig07_apix_small.rs:

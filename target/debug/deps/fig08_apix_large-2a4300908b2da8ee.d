@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_apix_large-2a4300908b2da8ee.d: crates/bench/src/bin/fig08_apix_large.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_apix_large-2a4300908b2da8ee.rmeta: crates/bench/src/bin/fig08_apix_large.rs Cargo.toml
+
+crates/bench/src/bin/fig08_apix_large.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

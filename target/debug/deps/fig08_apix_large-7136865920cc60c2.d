@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_apix_large-7136865920cc60c2.d: crates/bench/src/bin/fig08_apix_large.rs
+
+/root/repo/target/debug/deps/fig08_apix_large-7136865920cc60c2: crates/bench/src/bin/fig08_apix_large.rs
+
+crates/bench/src/bin/fig08_apix_large.rs:

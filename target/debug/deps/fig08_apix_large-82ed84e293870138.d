@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_apix_large-82ed84e293870138.d: crates/bench/src/bin/fig08_apix_large.rs
+
+/root/repo/target/debug/deps/fig08_apix_large-82ed84e293870138: crates/bench/src/bin/fig08_apix_large.rs
+
+crates/bench/src/bin/fig08_apix_large.rs:

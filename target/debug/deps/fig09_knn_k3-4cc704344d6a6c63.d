@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_knn_k3-4cc704344d6a6c63.d: crates/bench/src/bin/fig09_knn_k3.rs
+
+/root/repo/target/debug/deps/fig09_knn_k3-4cc704344d6a6c63: crates/bench/src/bin/fig09_knn_k3.rs
+
+crates/bench/src/bin/fig09_knn_k3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_knn_k3-8ef06b01d8f6ba15.d: crates/bench/src/bin/fig09_knn_k3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_knn_k3-8ef06b01d8f6ba15.rmeta: crates/bench/src/bin/fig09_knn_k3.rs Cargo.toml
+
+crates/bench/src/bin/fig09_knn_k3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_knn_k3-9d1d46e3ad610b5d.d: crates/bench/src/bin/fig09_knn_k3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_knn_k3-9d1d46e3ad610b5d.rmeta: crates/bench/src/bin/fig09_knn_k3.rs Cargo.toml
+
+crates/bench/src/bin/fig09_knn_k3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_knn_k3-c7579f1cc1092ee9.d: crates/bench/src/bin/fig09_knn_k3.rs
+
+/root/repo/target/debug/deps/fig09_knn_k3-c7579f1cc1092ee9: crates/bench/src/bin/fig09_knn_k3.rs
+
+crates/bench/src/bin/fig09_knn_k3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_knn_k200-377f731a354f380f.d: crates/bench/src/bin/fig10_knn_k200.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_knn_k200-377f731a354f380f.rmeta: crates/bench/src/bin/fig10_knn_k200.rs Cargo.toml
+
+crates/bench/src/bin/fig10_knn_k200.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

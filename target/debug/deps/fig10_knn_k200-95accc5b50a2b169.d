@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_knn_k200-95accc5b50a2b169.d: crates/bench/src/bin/fig10_knn_k200.rs
+
+/root/repo/target/debug/deps/fig10_knn_k200-95accc5b50a2b169: crates/bench/src/bin/fig10_knn_k200.rs
+
+crates/bench/src/bin/fig10_knn_k200.rs:

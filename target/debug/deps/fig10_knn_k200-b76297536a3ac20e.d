@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_knn_k200-b76297536a3ac20e.d: crates/bench/src/bin/fig10_knn_k200.rs
+
+/root/repo/target/debug/deps/fig10_knn_k200-b76297536a3ac20e: crates/bench/src/bin/fig10_knn_k200.rs
+
+crates/bench/src/bin/fig10_knn_k200.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_knn_k200-f2a4845fdbed84eb.d: crates/bench/src/bin/fig10_knn_k200.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_knn_k200-f2a4845fdbed84eb.rmeta: crates/bench/src/bin/fig10_knn_k200.rs Cargo.toml
+
+crates/bench/src/bin/fig10_knn_k200.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

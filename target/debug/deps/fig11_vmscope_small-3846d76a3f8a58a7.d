@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_vmscope_small-3846d76a3f8a58a7.d: crates/bench/src/bin/fig11_vmscope_small.rs
+
+/root/repo/target/debug/deps/fig11_vmscope_small-3846d76a3f8a58a7: crates/bench/src/bin/fig11_vmscope_small.rs
+
+crates/bench/src/bin/fig11_vmscope_small.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_vmscope_small-47d3e91bb229d833.d: crates/bench/src/bin/fig11_vmscope_small.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_vmscope_small-47d3e91bb229d833.rmeta: crates/bench/src/bin/fig11_vmscope_small.rs Cargo.toml
+
+crates/bench/src/bin/fig11_vmscope_small.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

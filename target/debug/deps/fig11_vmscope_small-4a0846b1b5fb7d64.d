@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_vmscope_small-4a0846b1b5fb7d64.d: crates/bench/src/bin/fig11_vmscope_small.rs
+
+/root/repo/target/debug/deps/fig11_vmscope_small-4a0846b1b5fb7d64: crates/bench/src/bin/fig11_vmscope_small.rs
+
+crates/bench/src/bin/fig11_vmscope_small.rs:

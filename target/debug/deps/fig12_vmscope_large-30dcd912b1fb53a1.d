@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_vmscope_large-30dcd912b1fb53a1.d: crates/bench/src/bin/fig12_vmscope_large.rs
+
+/root/repo/target/debug/deps/fig12_vmscope_large-30dcd912b1fb53a1: crates/bench/src/bin/fig12_vmscope_large.rs
+
+crates/bench/src/bin/fig12_vmscope_large.rs:

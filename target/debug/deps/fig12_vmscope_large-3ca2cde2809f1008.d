@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_vmscope_large-3ca2cde2809f1008.d: crates/bench/src/bin/fig12_vmscope_large.rs
+
+/root/repo/target/debug/deps/fig12_vmscope_large-3ca2cde2809f1008: crates/bench/src/bin/fig12_vmscope_large.rs
+
+crates/bench/src/bin/fig12_vmscope_large.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_vmscope_large-fc6f753d6451ebd9.d: crates/bench/src/bin/fig12_vmscope_large.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_vmscope_large-fc6f753d6451ebd9.rmeta: crates/bench/src/bin/fig12_vmscope_large.rs Cargo.toml
+
+crates/bench/src/bin/fig12_vmscope_large.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

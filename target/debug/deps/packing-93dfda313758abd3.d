@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packing-93dfda313758abd3.d: crates/bench/benches/packing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacking-93dfda313758abd3.rmeta: crates/bench/benches/packing.rs Cargo.toml
+
+crates/bench/benches/packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing-e1b2e44cff20eff0.d: crates/bench/benches/packing.rs
+
+/root/repo/target/debug/deps/packing-e1b2e44cff20eff0: crates/bench/benches/packing.rs
+
+crates/bench/benches/packing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_correctness-02e2b5345dd1a000.d: crates/core/../../tests/pipeline_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_correctness-02e2b5345dd1a000.rmeta: crates/core/../../tests/pipeline_correctness.rs Cargo.toml
+
+crates/core/../../tests/pipeline_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

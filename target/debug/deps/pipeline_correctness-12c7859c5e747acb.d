@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_correctness-12c7859c5e747acb.d: crates/core/../../tests/pipeline_correctness.rs
+
+/root/repo/target/debug/deps/pipeline_correctness-12c7859c5e747acb: crates/core/../../tests/pipeline_correctness.rs
+
+crates/core/../../tests/pipeline_correctness.rs:

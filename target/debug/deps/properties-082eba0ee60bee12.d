@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-082eba0ee60bee12.d: crates/apps/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-082eba0ee60bee12.rmeta: crates/apps/tests/properties.rs Cargo.toml
+
+crates/apps/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-367e57365fb5167c.d: crates/grid/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-367e57365fb5167c: crates/grid/tests/properties.rs
+
+crates/grid/tests/properties.rs:

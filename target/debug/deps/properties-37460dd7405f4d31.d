@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-37460dd7405f4d31.d: crates/compiler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-37460dd7405f4d31: crates/compiler/tests/properties.rs
+
+crates/compiler/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6a3b27f220987d07.d: crates/datacutter/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6a3b27f220987d07: crates/datacutter/tests/properties.rs
+
+crates/datacutter/tests/properties.rs:

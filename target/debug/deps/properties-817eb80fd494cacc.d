@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-817eb80fd494cacc.d: crates/grid/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-817eb80fd494cacc.rmeta: crates/grid/tests/properties.rs Cargo.toml
+
+crates/grid/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

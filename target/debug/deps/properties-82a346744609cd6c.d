@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-82a346744609cd6c.d: crates/lang/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-82a346744609cd6c: crates/lang/tests/properties.rs
+
+crates/lang/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9023487ed003151d.d: crates/datacutter/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9023487ed003151d.rmeta: crates/datacutter/tests/properties.rs Cargo.toml
+
+crates/datacutter/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-95d575c20971e33f.d: crates/apps/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-95d575c20971e33f: crates/apps/tests/properties.rs
+
+crates/apps/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-df9d6beb3a944961.d: crates/compiler/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-df9d6beb3a944961.rmeta: crates/compiler/tests/properties.rs Cargo.toml
+
+crates/compiler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

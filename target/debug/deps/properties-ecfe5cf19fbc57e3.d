@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ecfe5cf19fbc57e3.d: crates/lang/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ecfe5cf19fbc57e3.rmeta: crates/lang/tests/properties.rs Cargo.toml
+
+crates/lang/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

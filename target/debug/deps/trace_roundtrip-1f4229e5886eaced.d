@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-1f4229e5886eaced.d: crates/datacutter/tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-1f4229e5886eaced: crates/datacutter/tests/trace_roundtrip.rs
+
+crates/datacutter/tests/trace_roundtrip.rs:

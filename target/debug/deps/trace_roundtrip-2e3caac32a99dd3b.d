@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_roundtrip-2e3caac32a99dd3b.d: crates/datacutter/tests/trace_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_roundtrip-2e3caac32a99dd3b.rmeta: crates/datacutter/tests/trace_roundtrip.rs Cargo.toml
+
+crates/datacutter/tests/trace_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_pipeline-1b928ca797d3145b.d: crates/core/../../examples/custom_pipeline.rs
+
+/root/repo/target/debug/examples/custom_pipeline-1b928ca797d3145b: crates/core/../../examples/custom_pipeline.rs
+
+crates/core/../../examples/custom_pipeline.rs:

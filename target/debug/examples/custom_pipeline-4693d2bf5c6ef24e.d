@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_pipeline-4693d2bf5c6ef24e.d: crates/core/../../examples/custom_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_pipeline-4693d2bf5c6ef24e.rmeta: crates/core/../../examples/custom_pipeline.rs Cargo.toml
+
+crates/core/../../examples/custom_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

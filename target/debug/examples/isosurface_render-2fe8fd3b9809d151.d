@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isosurface_render-2fe8fd3b9809d151.d: crates/core/../../examples/isosurface_render.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisosurface_render-2fe8fd3b9809d151.rmeta: crates/core/../../examples/isosurface_render.rs Cargo.toml
+
+crates/core/../../examples/isosurface_render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

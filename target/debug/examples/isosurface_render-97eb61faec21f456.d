@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isosurface_render-97eb61faec21f456.d: crates/core/../../examples/isosurface_render.rs
+
+/root/repo/target/debug/examples/isosurface_render-97eb61faec21f456: crates/core/../../examples/isosurface_render.rs
+
+crates/core/../../examples/isosurface_render.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knn_search-c807f2cb09ff79c2.d: crates/core/../../examples/knn_search.rs
+
+/root/repo/target/debug/examples/knn_search-c807f2cb09ff79c2: crates/core/../../examples/knn_search.rs
+
+crates/core/../../examples/knn_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/knn_search-fe3c5490d75f7355.d: crates/core/../../examples/knn_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libknn_search-fe3c5490d75f7355.rmeta: crates/core/../../examples/knn_search.rs Cargo.toml
+
+crates/core/../../examples/knn_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-411f5415160a4d80.d: crates/bench/examples/observability.rs
+
+/root/repo/target/debug/examples/observability-411f5415160a4d80: crates/bench/examples/observability.rs
+
+crates/bench/examples/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/observability-c168b117fa38ef5a.d: crates/bench/examples/observability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libobservability-c168b117fa38ef5a.rmeta: crates/bench/examples/observability.rs Cargo.toml
+
+crates/bench/examples/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

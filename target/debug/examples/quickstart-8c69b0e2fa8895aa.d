@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8c69b0e2fa8895aa.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8c69b0e2fa8895aa: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vmscope_query-0ca48e943fd73f15.d: crates/core/../../examples/vmscope_query.rs
+
+/root/repo/target/debug/examples/vmscope_query-0ca48e943fd73f15: crates/core/../../examples/vmscope_query.rs
+
+crates/core/../../examples/vmscope_query.rs:

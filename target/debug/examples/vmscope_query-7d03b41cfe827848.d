@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vmscope_query-7d03b41cfe827848.d: crates/core/../../examples/vmscope_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvmscope_query-7d03b41cfe827848.rmeta: crates/core/../../examples/vmscope_query.rs Cargo.toml
+
+crates/core/../../examples/vmscope_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adaptive-3ac6d3a0eb622ca4.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/release/deps/ablation_adaptive-3ac6d3a0eb622ca4: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

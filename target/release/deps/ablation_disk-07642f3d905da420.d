@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_disk-07642f3d905da420.d: crates/bench/src/bin/ablation_disk.rs
+
+/root/repo/target/release/deps/ablation_disk-07642f3d905da420: crates/bench/src/bin/ablation_disk.rs
+
+crates/bench/src/bin/ablation_disk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_objective-e430d20009ea646f.d: crates/bench/src/bin/ablation_objective.rs
+
+/root/repo/target/release/deps/ablation_objective-e430d20009ea646f: crates/bench/src/bin/ablation_objective.rs
+
+crates/bench/src/bin/ablation_objective.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_packet_size-94c4a0b033991498.d: crates/bench/src/bin/ablation_packet_size.rs
+
+/root/repo/target/release/deps/ablation_packet_size-94c4a0b033991498: crates/bench/src/bin/ablation_packet_size.rs
+
+crates/bench/src/bin/ablation_packet_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-dceb00e881a86cb7.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-dceb00e881a86cb7: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cgp_apps-001b2d59fc58921e.d: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+/root/repo/target/release/deps/libcgp_apps-001b2d59fc58921e.rlib: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+/root/repo/target/release/deps/libcgp_apps-001b2d59fc58921e.rmeta: crates/apps/src/lib.rs crates/apps/src/dialect.rs crates/apps/src/isosurface/mod.rs crates/apps/src/isosurface/dataset.rs crates/apps/src/isosurface/march.rs crates/apps/src/isosurface/pipelines.rs crates/apps/src/isosurface/render.rs crates/apps/src/knn.rs crates/apps/src/profile.rs crates/apps/src/vmscope.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dialect.rs:
+crates/apps/src/isosurface/mod.rs:
+crates/apps/src/isosurface/dataset.rs:
+crates/apps/src/isosurface/march.rs:
+crates/apps/src/isosurface/pipelines.rs:
+crates/apps/src/isosurface/render.rs:
+crates/apps/src/knn.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/vmscope.rs:

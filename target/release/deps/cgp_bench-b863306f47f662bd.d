@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cgp_bench-b863306f47f662bd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcgp_bench-b863306f47f662bd.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcgp_bench-b863306f47f662bd.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/cgp_compiler-596281c57934b5ee.d: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+/root/repo/target/release/deps/libcgp_compiler-596281c57934b5ee.rlib: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+/root/repo/target/release/deps/libcgp_compiler-596281c57934b5ee.rmeta: crates/compiler/src/lib.rs crates/compiler/src/codegen.rs crates/compiler/src/cost.rs crates/compiler/src/decompose.rs crates/compiler/src/driver.rs crates/compiler/src/error.rs crates/compiler/src/gencons.rs crates/compiler/src/graph.rs crates/compiler/src/normalize.rs crates/compiler/src/packing.rs crates/compiler/src/place.rs crates/compiler/src/report.rs crates/compiler/src/reqcomm.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/codegen.rs:
+crates/compiler/src/cost.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/gencons.rs:
+crates/compiler/src/graph.rs:
+crates/compiler/src/normalize.rs:
+crates/compiler/src/packing.rs:
+crates/compiler/src/place.rs:
+crates/compiler/src/report.rs:
+crates/compiler/src/reqcomm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cgp_core-f486a14efdafb197.d: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libcgp_core-f486a14efdafb197.rlib: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libcgp_core-f486a14efdafb197.rmeta: crates/core/src/lib.rs crates/core/src/codec.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codec.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cgp_datacutter-3a47746233583f9a.d: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+/root/repo/target/release/deps/libcgp_datacutter-3a47746233583f9a.rlib: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+/root/repo/target/release/deps/libcgp_datacutter-3a47746233583f9a.rmeta: crates/datacutter/src/lib.rs crates/datacutter/src/buffer.rs crates/datacutter/src/channel.rs crates/datacutter/src/error.rs crates/datacutter/src/exec.rs crates/datacutter/src/filter.rs crates/datacutter/src/placement.rs crates/datacutter/src/stream.rs
+
+crates/datacutter/src/lib.rs:
+crates/datacutter/src/buffer.rs:
+crates/datacutter/src/channel.rs:
+crates/datacutter/src/error.rs:
+crates/datacutter/src/exec.rs:
+crates/datacutter/src/filter.rs:
+crates/datacutter/src/placement.rs:
+crates/datacutter/src/stream.rs:

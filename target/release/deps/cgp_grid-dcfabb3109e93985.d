@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cgp_grid-dcfabb3109e93985.d: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+/root/repo/target/release/deps/libcgp_grid-dcfabb3109e93985.rlib: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+/root/repo/target/release/deps/libcgp_grid-dcfabb3109e93985.rmeta: crates/grid/src/lib.rs crates/grid/src/adaptive.rs crates/grid/src/config.rs crates/grid/src/sim.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/adaptive.rs:
+crates/grid/src/config.rs:
+crates/grid/src/sim.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cgp_lang-8825d08076021349.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+/root/repo/target/release/deps/libcgp_lang-8825d08076021349.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+/root/repo/target/release/deps/libcgp_lang-8825d08076021349.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/interp.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/span.rs crates/lang/src/symbols.rs crates/lang/src/token.rs crates/lang/src/types.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/interp.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/span.rs:
+crates/lang/src/symbols.rs:
+crates/lang/src/token.rs:
+crates/lang/src/types.rs:
+crates/lang/src/value.rs:

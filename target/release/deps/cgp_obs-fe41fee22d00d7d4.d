@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cgp_obs-fe41fee22d00d7d4.d: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libcgp_obs-fe41fee22d00d7d4.rlib: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libcgp_obs-fe41fee22d00d7d4.rmeta: crates/obs/src/lib.rs crates/obs/src/bench.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sink.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/bench.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/trace.rs:

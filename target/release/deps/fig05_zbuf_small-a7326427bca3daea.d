@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_zbuf_small-a7326427bca3daea.d: crates/bench/src/bin/fig05_zbuf_small.rs
+
+/root/repo/target/release/deps/fig05_zbuf_small-a7326427bca3daea: crates/bench/src/bin/fig05_zbuf_small.rs
+
+crates/bench/src/bin/fig05_zbuf_small.rs:

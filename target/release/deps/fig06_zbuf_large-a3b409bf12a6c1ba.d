@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_zbuf_large-a3b409bf12a6c1ba.d: crates/bench/src/bin/fig06_zbuf_large.rs
+
+/root/repo/target/release/deps/fig06_zbuf_large-a3b409bf12a6c1ba: crates/bench/src/bin/fig06_zbuf_large.rs
+
+crates/bench/src/bin/fig06_zbuf_large.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_apix_small-3cbe4bf6208ae44c.d: crates/bench/src/bin/fig07_apix_small.rs
+
+/root/repo/target/release/deps/fig07_apix_small-3cbe4bf6208ae44c: crates/bench/src/bin/fig07_apix_small.rs
+
+crates/bench/src/bin/fig07_apix_small.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_apix_large-58728af1997c9e24.d: crates/bench/src/bin/fig08_apix_large.rs
+
+/root/repo/target/release/deps/fig08_apix_large-58728af1997c9e24: crates/bench/src/bin/fig08_apix_large.rs
+
+crates/bench/src/bin/fig08_apix_large.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_knn_k3-cf9f50d45e22a3b0.d: crates/bench/src/bin/fig09_knn_k3.rs
+
+/root/repo/target/release/deps/fig09_knn_k3-cf9f50d45e22a3b0: crates/bench/src/bin/fig09_knn_k3.rs
+
+crates/bench/src/bin/fig09_knn_k3.rs:

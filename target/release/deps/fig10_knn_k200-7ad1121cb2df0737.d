@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_knn_k200-7ad1121cb2df0737.d: crates/bench/src/bin/fig10_knn_k200.rs
+
+/root/repo/target/release/deps/fig10_knn_k200-7ad1121cb2df0737: crates/bench/src/bin/fig10_knn_k200.rs
+
+crates/bench/src/bin/fig10_knn_k200.rs:

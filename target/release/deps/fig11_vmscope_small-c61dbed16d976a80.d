@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_vmscope_small-c61dbed16d976a80.d: crates/bench/src/bin/fig11_vmscope_small.rs
+
+/root/repo/target/release/deps/fig11_vmscope_small-c61dbed16d976a80: crates/bench/src/bin/fig11_vmscope_small.rs
+
+crates/bench/src/bin/fig11_vmscope_small.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_vmscope_large-b4f79a6aecea46c6.d: crates/bench/src/bin/fig12_vmscope_large.rs
+
+/root/repo/target/release/deps/fig12_vmscope_large-b4f79a6aecea46c6: crates/bench/src/bin/fig12_vmscope_large.rs
+
+crates/bench/src/bin/fig12_vmscope_large.rs:

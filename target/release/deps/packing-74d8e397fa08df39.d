@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/packing-74d8e397fa08df39.d: crates/bench/benches/packing.rs
+
+/root/repo/target/release/deps/packing-74d8e397fa08df39: crates/bench/benches/packing.rs
+
+crates/bench/benches/packing.rs:
