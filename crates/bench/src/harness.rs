@@ -10,9 +10,14 @@
 //! - `--explain` — print the compiler's decision report for the matching
 //!   dialect program: candidate boundary graph, per-boundary
 //!   Gen/Cons/ReqComm byte volumes, every candidate decomposition's cost,
-//!   and why the winner won.
+//!   and why the winner won;
+//! - `CGP_FAULTS=<spec>` (env) or `--faults <spec>` (flag, wins) — inject
+//!   deterministic faults into the threaded demo run (see
+//!   [`cgp_core::datacutter::FaultPlan::parse`] for the spec grammar),
+//!   plus `CGP_DEADLINE_MS`/`--deadline-ms`, `CGP_STALL_MS` and
+//!   `CGP_RETRIES` for the matching watchdog/retry knobs.
 //!
-//! When neither is given the binaries run exactly as before — no sink is
+//! When none is given the binaries run exactly as before — no sink is
 //! installed and the tracing hooks reduce to one relaxed atomic load.
 
 use cgp_core::apps::dialect::{
@@ -20,10 +25,12 @@ use cgp_core::apps::dialect::{
 };
 use cgp_core::apps::isosurface::ScalarGrid;
 use cgp_core::apps::vmscope::Slide;
-use cgp_core::{compile, run_plan_threaded, CompileOptions, PipelineEnv};
+use cgp_core::datacutter::FaultPlan;
+use cgp_core::{compile, run_plan_threaded_opts, CompileOptions, ExecOptions, PipelineEnv};
 use cgp_obs::trace::{self, TraceEvent};
 use cgp_obs::{ChromeTraceSink, TraceSink};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Which dialect program matches the figure being run.
 #[derive(Debug, Clone, Copy)]
@@ -62,26 +69,49 @@ pub struct Obs {
     explain: bool,
     trace_path: Option<String>,
     sink: Option<Arc<SummarySink>>,
+    exec: ExecOptions,
+    chaos: bool,
 }
 
 impl Obs {
-    /// Parse `--trace-out`/`--explain` from the command line and `CGP_TRACE`
-    /// from the environment; install the trace sink if either asks for one.
+    /// Parse `--trace-out`/`--explain`/`--faults`/`--deadline-ms` from the
+    /// command line and `CGP_TRACE`/`CGP_FAULTS`/`CGP_DEADLINE_MS`/
+    /// `CGP_STALL_MS`/`CGP_RETRIES` from the environment; install the
+    /// trace sink if tracing is asked for.
     pub fn init() -> Obs {
         let mut explain = false;
         let mut trace_path: Option<String> = std::env::var(trace::TRACE_ENV).ok();
+        let mut exec = ExecOptions::from_env()
+            .unwrap_or_else(|e| panic!("bad fault-injection environment: {e}"));
+        let mut faults_spec: Option<String> = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--explain" => explain = true,
                 "--trace-out" => trace_path = args.next(),
+                "--faults" => faults_spec = args.next(),
+                "--deadline-ms" => {
+                    exec.deadline = args
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_millis);
+                }
                 _ => {
                     if let Some(p) = a.strip_prefix("--trace-out=") {
                         trace_path = Some(p.to_string());
+                    } else if let Some(s) = a.strip_prefix("--faults=") {
+                        faults_spec = Some(s.to_string());
+                    } else if let Some(d) = a.strip_prefix("--deadline-ms=") {
+                        exec.deadline = d.parse::<u64>().ok().map(Duration::from_millis);
                     }
                 }
             }
         }
+        if let Some(spec) = faults_spec {
+            exec.faults =
+                FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("bad --faults spec: {e}"));
+        }
+        let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
         let sink = trace_path.as_ref().map(|p| {
             let inner = ChromeTraceSink::create(p)
                 .unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"));
@@ -96,11 +126,13 @@ impl Obs {
             explain,
             trace_path,
             sink,
+            exec,
+            chaos,
         }
     }
 
     fn active(&self) -> bool {
-        self.explain || self.sink.is_some()
+        self.explain || self.sink.is_some() || self.chaos
     }
 
     /// Compile (and, when tracing, execute on real threads) the dialect
@@ -123,10 +155,23 @@ impl Obs {
             println!("--- {name}: compiler decision report ---");
             print!("{}", compiled.report.render_text());
         }
-        if self.sink.is_some() {
+        if self.sink.is_some() || self.chaos {
             let builder = demo_host_builder(app);
-            if let Err(e) = run_plan_threaded(Arc::new(compiled.plan), builder, None) {
-                eprintln!("[obs] threaded demo run failed for {name}: {e}");
+            match run_plan_threaded_opts(Arc::new(compiled.plan), builder, None, &self.exec) {
+                Ok(_) => {
+                    if self.chaos {
+                        println!("[obs] chaos run for {name} completed despite injection");
+                    }
+                }
+                Err(e) => {
+                    if self.chaos {
+                        // Under injection a structured failure is the
+                        // expected outcome — report it, don't die.
+                        println!("[obs] chaos run for {name} failed as injected: {e}");
+                    } else {
+                        eprintln!("[obs] threaded demo run failed for {name}: {e}");
+                    }
+                }
             }
         }
     }

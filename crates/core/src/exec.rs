@@ -23,9 +23,12 @@ use crate::codec::{decode_state, encode_state};
 use crate::error::CoreError;
 use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
-use cgp_datacutter::{Buffer, Filter, FilterIo, FilterResult, Pipeline, StageSpec};
+use cgp_datacutter::{
+    Buffer, FaultPlan, Filter, FilterIo, FilterResult, Pipeline, RetryPolicy, StageSpec,
+};
 use cgp_lang::interp::{split_domain, HostEnv};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 const TAG_DATA: u8 = 0;
 const TAG_REDUCTION: u8 = 1;
@@ -34,6 +37,52 @@ const TAG_REDUCTION: u8 = 1;
 /// on its own thread.
 pub type HostBuilder = Arc<dyn Fn() -> HostEnv + Send + Sync>;
 
+/// Fault-tolerance knobs for a threaded plan run, forwarded to the
+/// DataCutter [`Pipeline`]: deterministic fault injection, bounded retry
+/// of retryable failures, and deadline/stall watchdogs.
+#[derive(Clone, Default)]
+pub struct ExecOptions {
+    /// Deterministic fault-injection plan (empty = no injection).
+    pub faults: FaultPlan,
+    /// Retry policy for retryable filter errors.
+    pub retry: RetryPolicy,
+    /// Hard wall-clock limit for the run.
+    pub deadline: Option<Duration>,
+    /// Cancel if no packet moves for this long.
+    pub stall_timeout: Option<Duration>,
+}
+
+impl ExecOptions {
+    /// Read options from the environment:
+    ///
+    /// - `CGP_FAULTS` — fault spec (see [`FaultPlan::parse`]);
+    /// - `CGP_DEADLINE_MS` — run deadline in milliseconds;
+    /// - `CGP_STALL_MS` — stall timeout in milliseconds;
+    /// - `CGP_RETRIES` — max retries for retryable failures.
+    pub fn from_env() -> Result<ExecOptions, CoreError> {
+        let mut opts = ExecOptions::default();
+        if let Ok(spec) = std::env::var("CGP_FAULTS") {
+            opts.faults = FaultPlan::parse(&spec)
+                .map_err(|e| CoreError::Config(format!("CGP_FAULTS: {e}")))?;
+        }
+        let ms = |var: &str| -> Result<Option<u64>, CoreError> {
+            match std::env::var(var) {
+                Ok(v) => v
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| CoreError::Config(format!("{var}: not a number: {v}"))),
+                Err(_) => Ok(None),
+            }
+        };
+        opts.deadline = ms("CGP_DEADLINE_MS")?.map(Duration::from_millis);
+        opts.stall_timeout = ms("CGP_STALL_MS")?.map(Duration::from_millis);
+        if let Some(n) = ms("CGP_RETRIES")? {
+            opts.retry = RetryPolicy::retries(n as u32);
+        }
+        Ok(opts)
+    }
+}
+
 /// Run a compiled plan on real threads through the DataCutter runtime.
 /// `widths[j]` is the number of transparent copies of pipeline unit `j`
 /// (`None` = all width 1). Returns the epilogue's `print` output.
@@ -41,6 +90,16 @@ pub fn run_plan_threaded(
     plan: Arc<FilterPlan>,
     host_builder: HostBuilder,
     widths: Option<&[usize]>,
+) -> Result<Vec<String>, CoreError> {
+    run_plan_threaded_opts(plan, host_builder, widths, &ExecOptions::default())
+}
+
+/// [`run_plan_threaded`] with explicit fault-tolerance options.
+pub fn run_plan_threaded_opts(
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    widths: Option<&[usize]>,
+    opts: &ExecOptions,
 ) -> Result<Vec<String>, CoreError> {
     let m = plan.m;
     let widths: Vec<usize> = match widths {
@@ -65,7 +124,16 @@ pub fn run_plan_threaded(
     };
     let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let mut pipeline = Pipeline::new().with_capacity(32);
+    let mut pipeline = Pipeline::new()
+        .with_capacity(32)
+        .with_faults(opts.faults.clone())
+        .with_retry(opts.retry);
+    if let Some(d) = opts.deadline {
+        pipeline = pipeline.with_deadline(d);
+    }
+    if let Some(s) = opts.stall_timeout {
+        pipeline = pipeline.with_stall_timeout(s);
+    }
     for (j, &width) in widths.iter().enumerate() {
         let plan = Arc::clone(&plan);
         let hb = Arc::clone(&host_builder);
@@ -87,7 +155,7 @@ pub fn run_plan_threaded(
         ));
     }
     pipeline.run().map_err(CoreError::Runtime)?;
-    let mut out = output.lock().unwrap();
+    let mut out = output.lock().unwrap_or_else(|e| e.into_inner());
     Ok(std::mem::take(&mut *out))
 }
 
@@ -172,7 +240,10 @@ impl PlanFilter {
                 .map_err(CoreError::Runtime)?;
         } else {
             let lines = stepper.epilogue_at(j).map_err(CoreError::Compile)?;
-            self.output.lock().unwrap().extend(lines);
+            self.output
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(lines);
         }
         Ok(())
     }
@@ -180,11 +251,15 @@ impl PlanFilter {
 
 impl Filter for PlanFilter {
     fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
-        self.run_unit_of_work(io).map_err(|e| {
-            cgp_datacutter::FilterError::new(
+        self.run_unit_of_work(io).map_err(|e| match e {
+            // Stream/injected errors are already structured — pass them
+            // through so kind/retryable survive (the executor renames
+            // them to this stage's label).
+            CoreError::Runtime(fe) => fe,
+            other => cgp_datacutter::FilterError::new(
                 format!("f{}[{}]", self.j + 1, self.copy),
-                e.to_string(),
-            )
+                other.to_string(),
+            ),
         })
     }
 
@@ -274,6 +349,33 @@ mod tests {
         let c = compile(SRC, &opts).unwrap();
         let out = run_plan_threaded(Arc::new(c.plan), Arc::new(host), None).unwrap();
         assert_eq!(out, oracle());
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_named() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let exec = ExecOptions {
+            faults: FaultPlan::new().panic_at("f2", 0, 3),
+            deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let err = run_plan_threaded_opts(Arc::new(c.plan), Arc::new(host), None, &exec)
+            .expect_err("injected panic must fail the run");
+        let CoreError::Runtime(fe) = err else {
+            panic!("expected a runtime error, got {err}");
+        };
+        assert_eq!(fe.kind, cgp_datacutter::ErrorKind::Panicked);
+        assert!(fe.filter.contains("f2"), "error names the stage: {fe}");
+    }
+
+    #[test]
+    fn exec_options_from_env_rejects_bad_spec() {
+        // Exercise the parser directly (env vars are process-global, so
+        // don't set them in a test).
+        assert!(FaultPlan::parse("nonsense spec !!").is_err());
+        assert!(FaultPlan::parse("f2[0]@3:panic; seed=7").is_ok());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! once sealed ([`Buffer`]), built through a [`BufferBuilder`] with a
 //! capacity limit mirroring DataCutter's fixed buffer size.
 
+use crate::error::{FilterError, FilterResult};
 use std::fmt;
 use std::sync::Arc;
 
@@ -60,6 +61,40 @@ impl Buffer {
             Storage::Shared(a) => a,
         };
         &whole[self.start..self.end]
+    }
+
+    /// Decode this buffer as one little-endian `u64`.
+    ///
+    /// Returns a structured [`Malformed`](crate::error::ErrorKind::Malformed)
+    /// error on a short or oversized payload instead of panicking —
+    /// stream data crosses trust boundaries, so demo/test filters must
+    /// not `unwrap` a `try_into` on it. `who` names the decoding filter
+    /// for the error report.
+    pub fn u64_le(&self, who: &str) -> FilterResult<u64> {
+        let bytes: [u8; 8] = self.as_slice().try_into().map_err(|_| {
+            FilterError::malformed(
+                who,
+                format!("expected an 8-byte u64 packet, got {} bytes", self.len()),
+            )
+        })?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Decode a little-endian `u64` at byte offset `at` (packets often
+    /// carry several fields). Structured error on out-of-range reads.
+    pub fn u64_le_at(&self, at: usize, who: &str) -> FilterResult<u64> {
+        let end = at.checked_add(8).filter(|&e| e <= self.len());
+        let Some(end) = end else {
+            return Err(FilterError::malformed(
+                who,
+                format!(
+                    "u64 field at offset {at} overruns a {}-byte packet",
+                    self.len()
+                ),
+            ));
+        };
+        let bytes: [u8; 8] = self.as_slice()[at..end].try_into().expect("8 bytes");
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Zero-copy sub-range (shares the backing allocation).
@@ -185,6 +220,33 @@ mod tests {
         let s = b.slice(1..4);
         assert_eq!(s.as_slice(), &[1, 2, 3]);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn u64_decode_round_trips() {
+        let b = Buffer::from_vec(0xdead_beef_u64.to_le_bytes().to_vec());
+        assert_eq!(b.u64_le("t").unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn short_packet_is_a_structured_malformed_error() {
+        let b = Buffer::from_vec(vec![1, 2, 3]);
+        let e = b.u64_le("sum[0]").unwrap_err();
+        assert_eq!(e.kind, crate::error::ErrorKind::Malformed);
+        assert_eq!(e.filter, "sum[0]");
+        assert!(e.message.contains("3 bytes"), "{}", e.message);
+    }
+
+    #[test]
+    fn u64_at_offset_and_overrun() {
+        let mut v = 7u64.to_le_bytes().to_vec();
+        v.extend_from_slice(&9u64.to_le_bytes());
+        let b = Buffer::from_vec(v);
+        assert_eq!(b.u64_le_at(0, "t").unwrap(), 7);
+        assert_eq!(b.u64_le_at(8, "t").unwrap(), 9);
+        let e = b.u64_le_at(9, "t").unwrap_err();
+        assert_eq!(e.kind, crate::error::ErrorKind::Malformed);
+        assert!(b.u64_le_at(usize::MAX, "t").is_err(), "offset overflow");
     }
 
     #[test]

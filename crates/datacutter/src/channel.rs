@@ -6,19 +6,70 @@
 //! so this provides exactly that on `Mutex` + `Condvar`. The queue
 //! bound is what gives streams backpressure (a full queue blocks the
 //! producer, exactly DataCutter's fixed-buffer-pool behaviour).
+//!
+//! Channels can optionally be tied to a [`CancelToken`]
+//! ([`bounded_cancellable`]): cancelling the token wakes every blocked
+//! `send`/`recv` and makes them fail like a disconnect, which is how the
+//! executor's deadline/stall watchdog unwedges a blocked pipeline
+//! without killing threads. All internal locking is poison-tolerant: a
+//! filter copy that panics must not turn other copies' channel
+//! operations into secondary panics.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Error returned by [`Sender::send`] when every receiver is gone;
-/// carries the rejected message back like crossbeam's.
+/// Poison-tolerant lock: a panicked peer thread must not cascade.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone (or
+/// the channel's [`CancelToken`] fired); carries the rejected message
+/// back like crossbeam's.
 #[derive(Debug)]
 pub struct SendError<T>(pub T);
 
 /// Error returned by [`Receiver::recv`] when the queue is empty and
-/// every sender is gone.
+/// every sender is gone (or the channel's [`CancelToken`] fired).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
+
+/// Cooperative cancellation for a set of channels (one per pipeline
+/// run). [`CancelToken::cancel`] is sticky: every current and future
+/// blocking `send`/`recv` on a channel built with
+/// [`bounded_cancellable`] fails promptly.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    shared: Arc<CancelShared>,
+}
+
+#[derive(Default)]
+struct CancelShared {
+    flag: AtomicBool,
+    /// One waker per registered channel; each notifies both condvars so
+    /// blocked threads re-check the flag.
+    wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.flag.load(Ordering::Acquire)
+    }
+
+    /// Cancel: wake every blocked operation on registered channels.
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.shared.flag.store(true, Ordering::Release);
+        for wake in plock(&self.shared.wakers).iter() {
+            wake();
+        }
+    }
+}
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -31,10 +82,21 @@ struct Inner<T> {
     state: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    cancel: Option<Arc<CancelShared>>,
 }
 
-/// Create a bounded MPMC channel holding at most `capacity` messages.
-pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+impl<T> Inner<T> {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.flag.load(Ordering::Acquire))
+    }
+}
+
+fn make<T>(capacity: usize, cancel: Option<&CancelToken>) -> (Sender<T>, Receiver<T>)
+where
+    T: Send + 'static,
+{
     assert!(capacity > 0, "channel capacity must be positive");
     let inner = Arc::new(Inner {
         capacity,
@@ -45,7 +107,20 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
+        cancel: cancel.map(|t| Arc::clone(&t.shared)),
     });
+    if let Some(token) = cancel {
+        let weak = Arc::downgrade(&inner);
+        plock(&token.shared.wakers).push(Box::new(move || {
+            if let Some(inner) = weak.upgrade() {
+                // Touch the lock so wakes cannot race a thread that has
+                // checked the flag but not yet parked on the condvar.
+                drop(plock(&inner.state));
+                inner.not_empty.notify_all();
+                inner.not_full.notify_all();
+            }
+        }));
+    }
     (
         Sender {
             inner: inner.clone(),
@@ -54,17 +129,31 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Create a bounded MPMC channel holding at most `capacity` messages.
+pub fn bounded<T: Send + 'static>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    make(capacity, None)
+}
+
+/// Create a bounded MPMC channel whose blocking operations also abort
+/// (as if disconnected) once `token` is cancelled.
+pub fn bounded_cancellable<T: Send + 'static>(
+    capacity: usize,
+    token: &CancelToken,
+) -> (Sender<T>, Receiver<T>) {
+    make(capacity, Some(token))
+}
+
 pub struct Sender<T> {
     inner: Arc<Inner<T>>,
 }
 
 impl<T> Sender<T> {
     /// Blocking send; fails (returning the message) once every receiver
-    /// has been dropped.
+    /// has been dropped or the channel is cancelled.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = plock(&self.inner.state);
         loop {
-            if state.receivers == 0 {
+            if self.inner.cancelled() || state.receivers == 0 {
                 return Err(SendError(msg));
             }
             if state.queue.len() < self.inner.capacity {
@@ -73,13 +162,17 @@ impl<T> Sender<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.inner.not_full.wait(state).unwrap();
+            state = self
+                .inner
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Messages currently queued (racy; for observability only).
     pub fn len(&self) -> usize {
-        self.inner.state.lock().unwrap().queue.len()
+        plock(&self.inner.state).queue.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -89,7 +182,7 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.state.lock().unwrap().senders += 1;
+        plock(&self.inner.state).senders += 1;
         Sender {
             inner: self.inner.clone(),
         }
@@ -98,7 +191,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = plock(&self.inner.state);
         state.senders -= 1;
         if state.senders == 0 {
             drop(state);
@@ -115,10 +208,14 @@ pub struct Receiver<T> {
 
 impl<T> Receiver<T> {
     /// Blocking receive; fails once the queue is empty and every sender
-    /// has been dropped.
+    /// has been dropped, or the channel is cancelled. Cancellation takes
+    /// priority over draining: a cancelled pipeline stops moving data.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = plock(&self.inner.state);
         loop {
+            if self.inner.cancelled() {
+                return Err(RecvError);
+            }
             if let Some(msg) = state.queue.pop_front() {
                 drop(state);
                 self.inner.not_full.notify_one();
@@ -127,14 +224,18 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = self.inner.not_empty.wait(state).unwrap();
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.inner.state.lock().unwrap().receivers += 1;
+        plock(&self.inner.state).receivers += 1;
         Receiver {
             inner: self.inner.clone(),
         }
@@ -143,7 +244,7 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = plock(&self.inner.state);
         state.receivers -= 1;
         if state.receivers == 0 {
             drop(state);
@@ -212,6 +313,47 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert!(h.join().unwrap(), "send must fail once receivers are gone");
+    }
+
+    #[test]
+    fn cancel_wakes_blocked_sender() {
+        let token = CancelToken::new();
+        let (tx, _rx) = bounded_cancellable(1, &token);
+        tx.send(0).unwrap();
+        let h = thread::spawn(move || tx.send(1).is_err());
+        thread::sleep(Duration::from_millis(20));
+        token.cancel();
+        assert!(h.join().unwrap(), "send must fail once cancelled");
+    }
+
+    #[test]
+    fn cancel_wakes_blocked_receiver() {
+        let token = CancelToken::new();
+        let (_tx, rx) = bounded_cancellable::<u32>(1, &token);
+        let h = thread::spawn(move || rx.recv().is_err());
+        thread::sleep(Duration::from_millis(20));
+        token.cancel();
+        assert!(h.join().unwrap(), "recv must fail once cancelled");
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_beats_queued_data() {
+        let token = CancelToken::new();
+        let (tx, rx) = bounded_cancellable(4, &token);
+        tx.send(1).unwrap();
+        token.cancel();
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert!(tx.send(2).is_err());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn uncancelled_token_is_inert() {
+        let token = CancelToken::new();
+        let (tx, rx) = bounded_cancellable(2, &token);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(!token.is_cancelled());
     }
 
     #[test]

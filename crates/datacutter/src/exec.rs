@@ -4,13 +4,84 @@
 //! stage's transparent-copy width) and runs every filter copy on its own
 //! thread through the unit-of-work cycle `init → process → finalize →
 //! close-output`.
+//!
+//! ## Failure semantics
+//!
+//! The executor is panic-isolated and deadlock-averse:
+//!
+//! - **Panic isolation** — a panic inside any filter phase is caught per
+//!   copy and converted into a structured
+//!   [`ErrorKind::Panicked`](crate::error::ErrorKind) error naming the
+//!   `stage[copy]`; the copy's streams are closed and drained so
+//!   neighbouring copies terminate instead of blocking forever, and other
+//!   copies' stats updates never see a poisoned lock.
+//! - **Fault injection** — a [`FaultPlan`] injects deterministic
+//!   fail/panic/delay/drop faults at stage × copy × packet index
+//!   ([`Pipeline::with_faults`]).
+//! - **Retry** — errors marked [`retryable`](crate::FilterError::retryable)
+//!   re-run the unit of work with a fresh filter instance under a bounded
+//!   [`RetryPolicy`] with exponential backoff ([`Pipeline::with_retry`]).
+//! - **Deadline & stall detection** — [`Pipeline::with_deadline`] /
+//!   [`Pipeline::with_stall_timeout`] arm a watchdog that cancels the
+//!   run's channels, wakes every blocked copy, and reports *where* the
+//!   pipeline was blocked (using the `blocked_send`/`blocked_recv`
+//!   instrumentation) instead of hanging. Cancellation is cooperative:
+//!   filters blocked in stream operations unwedge automatically;
+//!   long compute loops should poll [`FilterIo::cancelled`].
+//!
+//! Failures surface as counters on [`StageStats`] (`failures`, `retries`,
+//! `panics`), as `fault`-category trace events through `cgp_obs`, and
+//! optionally into a shared [`MetricsRegistry`]
+//! ([`Pipeline::with_metrics`]).
 
-use crate::error::{FilterError, FilterResult};
+use crate::error::{ErrorKind, FilterError, FilterResult};
+use crate::fault::{FaultPlan, RetryPolicy, RunControl};
 use crate::filter::{FilterFactory, FilterIo};
-use crate::stream::{logical_stream, Distribution};
+use crate::stream::{logical_stream_controlled, Distribution};
+use cgp_obs::metrics::MetricsRegistry;
 use cgp_obs::trace::{self, PID_RUNTIME};
-use std::sync::{Arc, Mutex};
+use std::cell::Cell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::time::{Duration, Instant};
+
+/// Poison-tolerant lock: a panicked copy must not turn every other
+/// copy's bookkeeping into a second panic.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// Marks filter-copy worker threads so the process panic hook stays
+    /// quiet for panics the executor catches and converts.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK_INIT: Once = Once::new();
+
+/// Install (once per process) a panic-hook wrapper that suppresses the
+/// default "thread panicked" stderr noise for isolated filter copies.
+/// Panics on every other thread keep the previous hook's behaviour.
+fn install_quiet_panic_hook() {
+    HOOK_INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Render a caught panic payload (usually `&str` or `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// One pipeline stage: a logical filter with `width` transparent copies.
 pub struct StageSpec {
@@ -54,6 +125,13 @@ pub struct StageStats {
     /// Total time this stage's copies spent blocked in receives
     /// (starved for upstream data), summed over copies.
     pub blocked_recv: Duration,
+    /// Failed unit-of-work attempts across this stage's copies
+    /// (including attempts that later succeeded on retry).
+    pub failures: u64,
+    /// Retries performed across this stage's copies.
+    pub retries: u64,
+    /// Attempts that ended in a caught panic.
+    pub panics: u64,
 }
 
 /// Result of a pipeline run.
@@ -63,11 +141,34 @@ pub struct RunStats {
     pub stages: Vec<StageStats>,
 }
 
+impl RunStats {
+    /// Failed attempts summed over stages (a successful run can still
+    /// have non-zero failures if retries recovered them).
+    pub fn failures(&self) -> u64 {
+        self.stages.iter().map(|s| s.failures).sum()
+    }
+
+    /// Retries summed over stages.
+    pub fn retries(&self) -> u64 {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    /// Caught panics summed over stages.
+    pub fn panics(&self) -> u64 {
+        self.stages.iter().map(|s| s.panics).sum()
+    }
+}
+
 /// A linear pipeline of stages connected by logical streams.
 pub struct Pipeline {
     stages: Vec<StageSpec>,
     buffer_capacity: usize,
     distribution: Distribution,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
+    deadline: Option<Duration>,
+    stall_timeout: Option<Duration>,
+    metrics: Option<Arc<Mutex<MetricsRegistry>>>,
 }
 
 impl Pipeline {
@@ -76,6 +177,11 @@ impl Pipeline {
             stages: Vec::new(),
             buffer_capacity: 64,
             distribution: Distribution::RoundRobin,
+            faults: None,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            stall_timeout: None,
+            metrics: None,
         }
     }
 
@@ -91,6 +197,46 @@ impl Pipeline {
         self
     }
 
+    /// Attach a deterministic fault-injection plan (chaos testing).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            self.faults = Some(Arc::new(plan));
+        }
+        self
+    }
+
+    /// Bounded retry with exponential backoff for retryable filter
+    /// errors; each retry re-runs the unit of work with a fresh filter
+    /// instance from the stage factory.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Hard wall-clock limit for the run. On expiry the watchdog cancels
+    /// every stream, blocked copies unwedge, and `run` returns a
+    /// structured [`ErrorKind::Stalled`] error naming where copies were
+    /// blocked — instead of hanging.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cancel the run if no packet moves anywhere in the pipeline for
+    /// this long (should comfortably exceed the slowest per-packet
+    /// compute time).
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Emit per-stage failure counters (`stage.<name>.failures` /
+    /// `.retries` / `.panics`) into a shared registry at end of run.
+    pub fn with_metrics(mut self, registry: Arc<Mutex<MetricsRegistry>>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     pub fn add_stage(mut self, stage: StageSpec) -> Self {
         self.stages.push(stage);
         self
@@ -101,8 +247,10 @@ impl Pipeline {
         if self.stages.is_empty() {
             return Err(FilterError::new("pipeline", "no stages"));
         }
+        install_quiet_panic_hook();
         let t0 = Instant::now();
         let n = self.stages.len();
+        let control = RunControl::new();
 
         // Build streams between consecutive stages.
         let mut writers_per_stage: Vec<Vec<Option<crate::stream::StreamWriter>>> =
@@ -114,11 +262,12 @@ impl Pipeline {
             writers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
         }
         for s in 0..n.saturating_sub(1) {
-            let (ws, rs) = logical_stream(
+            let (ws, rs) = logical_stream_controlled(
                 self.stages[s].width,
                 self.stages[s + 1].width,
                 self.buffer_capacity,
                 self.distribution,
+                Some(Arc::clone(&control)),
             );
             for (i, w) in ws.into_iter().enumerate() {
                 writers_per_stage[s][i] = Some(w);
@@ -152,18 +301,40 @@ impl Pipeline {
                 })
                 .collect(),
         ));
-        let first_error: Arc<Mutex<Option<FilterError>>> = Arc::new(Mutex::new(None));
+        let errors: Arc<Mutex<Vec<FilterError>>> = Arc::new(Mutex::new(Vec::new()));
+        // Copies that were blocked inside a stream op when the run was
+        // cancelled — the stall report names these.
+        let stalled_at: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let total_copies: usize = self.stages.iter().map(|s| s.width).sum();
+        // (remaining copies, condvar) — workers count down, the watchdog
+        // waits with a timeout.
+        let done = Arc::new((Mutex::new(total_copies), Condvar::new()));
+        let retry = self.retry;
 
         std::thread::scope(|scope| {
+            if self.deadline.is_some() || self.stall_timeout.is_some() {
+                let control = Arc::clone(&control);
+                let done = Arc::clone(&done);
+                let deadline = self.deadline;
+                let stall_timeout = self.stall_timeout;
+                scope.spawn(move || {
+                    watchdog(&control, &done, deadline, stall_timeout);
+                });
+            }
             for (s, stage) in self.stages.iter().enumerate() {
                 for c in 0..stage.width {
-                    let mut filter = (stage.factory)(c);
                     let tid = tid_base[s] + c as u32;
+                    let injector = self
+                        .faults
+                        .as_ref()
+                        .and_then(|p| p.injector(&stage.name, c));
                     let mut io = FilterIo {
                         input: readers_per_stage[s][c].take(),
                         output: writers_per_stage[s][c].take(),
                         copy_index: c,
                         width: stage.width,
+                        injector,
+                        control: Some(Arc::clone(&control)),
                     };
                     if let Some(r) = io.input.as_mut() {
                         r.set_trace_tid(tid);
@@ -172,29 +343,105 @@ impl Pipeline {
                         w.set_trace_tid(tid);
                     }
                     let stats = Arc::clone(&stats);
-                    let first_error = Arc::clone(&first_error);
+                    let errors = Arc::clone(&errors);
+                    let stalled_at = Arc::clone(&stalled_at);
+                    let control = Arc::clone(&control);
+                    let done = Arc::clone(&done);
+                    let factory = &stage.factory;
                     let stage_name = stage.name.clone();
                     scope.spawn(move || {
+                        QUIET_PANICS.with(|q| q.set(true));
+                        let label = format!("{stage_name}[{c}]");
                         if trace::enabled() {
-                            trace::name_thread(PID_RUNTIME, tid, format!("{stage_name}[{c}]"));
+                            trace::name_thread(PID_RUNTIME, tid, label.clone());
                         }
-                        let mut copy_span =
-                            trace::span(format!("{stage_name}[{c}]"), "filter", PID_RUNTIME, tid);
+                        let mut copy_span = trace::span(label.clone(), "filter", PID_RUNTIME, tid);
                         let t = Instant::now();
-                        let result = (|| {
-                            {
-                                let _s = trace::span("init", "filter-phase", PID_RUNTIME, tid);
-                                filter.init(&mut io)?;
+                        let mut retries_here = 0u64;
+                        let mut failures_here = 0u64;
+                        let mut panics_here = 0u64;
+                        let result = loop {
+                            // Fresh filter instance per attempt: a failed
+                            // attempt may have corrupted per-copy state.
+                            let mut filter = (factory)(c);
+                            let unit =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    {
+                                        let _s =
+                                            trace::span("init", "filter-phase", PID_RUNTIME, tid);
+                                        filter.init(&mut io)?;
+                                    }
+                                    {
+                                        let _s = trace::span(
+                                            "process",
+                                            "filter-phase",
+                                            PID_RUNTIME,
+                                            tid,
+                                        );
+                                        filter.process(&mut io)?;
+                                    }
+                                    let _s =
+                                        trace::span("finalize", "filter-phase", PID_RUNTIME, tid);
+                                    filter.finalize(&mut io)
+                                }));
+                            let mut attempt_result: FilterResult<()> = match unit {
+                                Ok(r) => r,
+                                Err(payload) => {
+                                    panics_here += 1;
+                                    Err(FilterError::panicked(
+                                        label.clone(),
+                                        panic_message(payload),
+                                    ))
+                                }
+                            };
+                            // An input-side injected failure parks its
+                            // error and signals end-of-work.
+                            if attempt_result.is_ok() {
+                                if let Some(e) = io.take_injected_error() {
+                                    attempt_result = Err(e);
+                                }
                             }
-                            {
-                                let _s = trace::span("process", "filter-phase", PID_RUNTIME, tid);
-                                filter.process(&mut io)?;
+                            match attempt_result {
+                                Err(e) => {
+                                    failures_here += 1;
+                                    if trace::enabled() {
+                                        trace::instant(
+                                            "failure",
+                                            "fault",
+                                            PID_RUNTIME,
+                                            tid,
+                                            vec![("error", e.to_string().into())],
+                                        );
+                                    }
+                                    let attempts_left = retries_here < retry.max_retries as u64;
+                                    if e.retryable && attempts_left && !control.is_cancelled() {
+                                        retries_here += 1;
+                                        let _ = control.cancellable_sleep(
+                                            retry.delay(retries_here as u32),
+                                            &label,
+                                        );
+                                        continue;
+                                    }
+                                    break Err(e);
+                                }
+                                Ok(()) => break Ok(()),
                             }
-                            let _s = trace::span("finalize", "filter-phase", PID_RUNTIME, tid);
-                            filter.finalize(&mut io)
-                        })();
+                        };
                         // Close output so downstream sees end-of-work even
-                        // on error.
+                        // on error; drop the injector first so draining
+                        // cannot re-fire faults. Sample the was-blocked-
+                        // when-cancelled flags now — the drain below also
+                        // touches the (cancelled) channel and would set
+                        // them spuriously.
+                        io.injector = None;
+                        let recv_stalled = io
+                            .input
+                            .as_ref()
+                            .is_some_and(|r| r.cancelled_while_blocked());
+                        let send_stalled = io
+                            .output
+                            .as_ref()
+                            .is_some_and(|w| w.cancelled_while_blocked());
                         if let Some(w) = io.output.as_mut() {
                             w.close();
                         }
@@ -205,7 +452,7 @@ impl Pipeline {
                         }
                         let busy = t.elapsed();
                         {
-                            let mut st = stats.lock().unwrap();
+                            let mut st = plock(&stats);
                             let entry = &mut st[s];
                             if let Some(r) = &io.input {
                                 let (b, by) = r.stats();
@@ -216,6 +463,12 @@ impl Pipeline {
                                     copy_span.arg("buffers_in", b);
                                     copy_span
                                         .arg("blocked_recv_us", r.blocked().as_micros() as u64);
+                                }
+                                if recv_stalled {
+                                    plock(&stalled_at).push(format!(
+                                        "{label} blocked in recv ({}ms starved)",
+                                        r.blocked().as_millis()
+                                    ));
                                 }
                             }
                             if let Some(w) = &io.output {
@@ -228,31 +481,119 @@ impl Pipeline {
                                     copy_span
                                         .arg("blocked_send_us", w.blocked().as_micros() as u64);
                                 }
+                                if send_stalled {
+                                    plock(&stalled_at).push(format!(
+                                        "{label} blocked in send ({}ms backpressured)",
+                                        w.blocked().as_millis()
+                                    ));
+                                }
                             }
                             entry.busy += busy;
                             entry.busy_per_copy[c] = busy;
+                            entry.failures += failures_here;
+                            entry.retries += retries_here;
+                            entry.panics += panics_here;
                         }
                         drop(copy_span);
                         if let Err(e) = result {
-                            let mut fe = first_error.lock().unwrap();
-                            if fe.is_none() {
-                                *fe =
-                                    Some(FilterError::new(format!("{stage_name}[{c}]"), e.message));
-                            }
+                            plock(&errors).push(FilterError { filter: label, ..e });
+                        }
+                        let (remaining, cv) = &*done;
+                        let mut left = plock(remaining);
+                        *left -= 1;
+                        if *left == 0 {
+                            cv.notify_all();
                         }
                     });
                 }
             }
         });
 
-        if let Some(e) = first_error.lock().unwrap().take() {
-            return Err(e);
+        let stages = plock(&stats).clone();
+        if let Some(registry) = &self.metrics {
+            let mut reg = plock(registry);
+            for st in &stages {
+                if st.failures > 0 {
+                    reg.counter(&format!("stage.{}.failures", st.name), st.failures);
+                }
+                if st.retries > 0 {
+                    reg.counter(&format!("stage.{}.retries", st.name), st.retries);
+                }
+                if st.panics > 0 {
+                    reg.counter(&format!("stage.{}.panics", st.name), st.panics);
+                }
+            }
         }
-        let stages = stats.lock().unwrap().clone();
+
+        let errors = std::mem::take(&mut *plock(&errors));
+        // A real failure outranks the cancellation noise it causes.
+        if let Some(e) = errors.iter().find(|e| e.kind != ErrorKind::Cancelled) {
+            return Err(e.clone());
+        }
+        if let Some(reason) = control.reason() {
+            let blocked = plock(&stalled_at);
+            let detail = if blocked.is_empty() {
+                "no copy was blocked in a stream operation".to_string()
+            } else {
+                blocked.join("; ")
+            };
+            return Err(FilterError::stalled(
+                "pipeline",
+                format!("{reason}; {detail}"),
+            ));
+        }
+        if let Some(e) = errors.first() {
+            return Err(e.clone());
+        }
         Ok(RunStats {
             wall: t0.elapsed(),
             stages,
         })
+    }
+}
+
+/// Deadline/stall watchdog: waits for all copies to finish; on deadline
+/// expiry or lack of progress, cancels the run (waking every blocked
+/// stream operation) with a reason the final error reports.
+fn watchdog(
+    control: &RunControl,
+    done: &(Mutex<usize>, Condvar),
+    deadline: Option<Duration>,
+    stall_timeout: Option<Duration>,
+) {
+    let start = Instant::now();
+    let tick = Duration::from_millis(10);
+    let (remaining, cv) = done;
+    let mut last_progress = control.progress();
+    let mut last_change = Instant::now();
+    let mut left = plock(remaining);
+    loop {
+        if *left == 0 {
+            return;
+        }
+        let (g, _) = cv
+            .wait_timeout(left, tick)
+            .unwrap_or_else(|e| e.into_inner());
+        left = g;
+        if *left == 0 {
+            return;
+        }
+        if let Some(d) = deadline {
+            if start.elapsed() >= d {
+                control.cancel(format!("run deadline {d:?} exceeded"));
+                return;
+            }
+        }
+        if let Some(s) = stall_timeout {
+            let p = control.progress();
+            if p != last_progress {
+                last_progress = p;
+                last_change = Instant::now();
+            } else if last_change.elapsed() >= s {
+                control.cancel(format!("no packet progress for {s:?} (stall timeout)"));
+                return;
+            }
+        }
     }
 }
 
@@ -292,7 +633,7 @@ mod tests {
                 Box::new(|_| {
                     Box::new(ClosureFilter::new("square", |io: &mut FilterIo| {
                         while let Some(b) = io.read() {
-                            let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                            let v = b.u64_le("square")?;
                             io.write(Buffer::from_vec((v * v).to_le_bytes().to_vec()))?;
                         }
                         Ok(())
@@ -306,8 +647,7 @@ mod tests {
                     let total = Arc::clone(&total2);
                     Box::new(ClosureFilter::new("sum", move |io: &mut FilterIo| {
                         while let Some(b) = io.read() {
-                            let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
-                            total.fetch_add(v, Ordering::Relaxed);
+                            total.fetch_add(b.u64_le("sum")?, Ordering::Relaxed);
                         }
                         Ok(())
                     }))
@@ -319,6 +659,8 @@ mod tests {
         assert_eq!(total.load(Ordering::Relaxed), expect);
         assert_eq!(stats.stages[0].buffers_out, 100);
         assert_eq!(stats.stages[2].buffers_in, 100);
+        assert_eq!(stats.failures(), 0);
+        assert_eq!(stats.panics(), 0);
     }
 
     #[test]
@@ -347,8 +689,7 @@ mod tests {
                         let total = Arc::clone(&total2);
                         Box::new(ClosureFilter::new("sum", move |io: &mut FilterIo| {
                             while let Some(b) = io.read() {
-                                let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
-                                total.fetch_add(v, Ordering::Relaxed);
+                                total.fetch_add(b.u64_le("sum")?, Ordering::Relaxed);
                             }
                             Ok(())
                         }))
@@ -374,7 +715,7 @@ mod tests {
         impl Filter for Acc {
             fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
                 while let Some(b) = io.read() {
-                    self.sum += u64::from_le_bytes(b.as_slice().try_into().unwrap());
+                    self.sum += b.u64_le("acc")?;
                 }
                 Ok(())
             }
@@ -401,8 +742,7 @@ mod tests {
                     let total = Arc::clone(&total2);
                     Box::new(ClosureFilter::new("merge", move |io: &mut FilterIo| {
                         while let Some(b) = io.read() {
-                            let v = u64::from_le_bytes(b.as_slice().try_into().unwrap());
-                            total.fetch_add(v, Ordering::Relaxed);
+                            total.fetch_add(b.u64_le("merge")?, Ordering::Relaxed);
                         }
                         Ok(())
                     }))
@@ -431,6 +771,37 @@ mod tests {
             .unwrap_err();
         assert!(err.filter.contains("bad"));
         assert!(err.message.contains("intentional"));
+        assert_eq!(err.kind, ErrorKind::Failed);
+    }
+
+    #[test]
+    fn malformed_packet_is_a_structured_error_not_a_panic() {
+        let err = Pipeline::new()
+            .add_stage(StageSpec::new(
+                "source",
+                1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("src", |io: &mut FilterIo| {
+                        io.write(Buffer::from_vec(vec![1, 2, 3])) // short
+                    }))
+                }),
+            ))
+            .add_stage(StageSpec::new(
+                "sum",
+                1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("sum", |io: &mut FilterIo| {
+                        while let Some(b) = io.read() {
+                            b.u64_le("sum")?;
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+        assert_eq!(err.filter, "sum[0]");
     }
 
     #[test]
@@ -461,5 +832,26 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(total.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn deadline_on_healthy_pipeline_is_inert() {
+        let stats = Pipeline::new()
+            .with_deadline(Duration::from_secs(30))
+            .with_stall_timeout(Duration::from_secs(30))
+            .add_stage(StageSpec::new("source", 1, source(50)))
+            .add_stage(StageSpec::new(
+                "sink",
+                1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("sink", |io: &mut FilterIo| {
+                        while io.read().is_some() {}
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run()
+            .unwrap();
+        assert_eq!(stats.stages[1].buffers_in, 50);
     }
 }

@@ -1,0 +1,549 @@
+//! Fault tolerance: deterministic fault injection, retry policy, and the
+//! shared run-control state behind the executor's deadline/stall watchdog.
+//!
+//! A [`FaultPlan`] injects failures at precise points — *stage* × *copy* ×
+//! *packet index* — so failure-path behaviour is reproducible in tests and
+//! chaos runs. Plans are built programmatically or parsed from a compact
+//! spec (the `CGP_FAULTS` env var / `--faults` flag on the fig binaries):
+//!
+//! ```text
+//! spec    := entry (';' entry)*
+//! entry   := 'seed=' u64            -- seed for probabilistic triggers
+//!          | stage '[' copy ']' '@' packet ':' action
+//! stage   := name | '*'             -- stage name ('*' = every stage)
+//! copy    := usize | '*'            -- transparent-copy index
+//! packet  := u64 | '*' | '%' f64    -- exact index, every packet, or
+//!                                      per-packet probability (seeded,
+//!                                      deterministic)
+//! action  := 'fail' | 'fail-retryable' | 'panic' | 'drop' | 'delay:' ms
+//! ```
+//!
+//! Example: `square[0]@5:panic;sink[*]@%0.01:fail-retryable;src[1]@*:delay:2`.
+//!
+//! Probabilistic triggers are *seedable*: the decision for a given
+//! (seed, stage, copy, packet) tuple is a pure function, so a chaos run
+//! replays identically under the same seed.
+
+use crate::error::{FilterError, FilterResult};
+use cgp_obs::rng::SmallRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::channel::CancelToken;
+
+/// What to inject when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The filter copy reports a structured error for this unit of work.
+    Fail {
+        /// Whether the injected error is retryable under the pipeline's
+        /// [`RetryPolicy`].
+        retryable: bool,
+    },
+    /// The filter copy panics (exercises the executor's panic isolation).
+    Panic,
+    /// The packet is silently discarded.
+    DropPacket,
+    /// Packet handling is delayed (cancellable; exercises the stall
+    /// detector and backpressure paths).
+    Delay(Duration),
+}
+
+/// When a rule fires, relative to the packets one filter copy handles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Exactly the packet with this 0-based index.
+    Packet(u64),
+    /// Every packet.
+    Every,
+    /// Each packet independently with this probability, decided
+    /// deterministically from the plan seed.
+    Prob(f64),
+}
+
+/// One injection rule. `None` selectors are wildcards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Stage name; `None` matches every stage.
+    pub stage: Option<String>,
+    /// Transparent-copy index; `None` matches every copy.
+    pub copy: Option<usize>,
+    pub trigger: Trigger,
+    pub action: FaultAction,
+}
+
+/// A deterministic fault-injection plan for one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed for probabilistic triggers (ignored by exact-index rules).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Inject a non-retryable failure at `stage[copy]` packet `packet`.
+    pub fn fail_at(self, stage: &str, copy: usize, packet: u64) -> Self {
+        self.rule(FaultRule {
+            stage: Some(stage.into()),
+            copy: Some(copy),
+            trigger: Trigger::Packet(packet),
+            action: FaultAction::Fail { retryable: false },
+        })
+    }
+
+    /// Inject a panic at `stage[copy]` packet `packet`.
+    pub fn panic_at(self, stage: &str, copy: usize, packet: u64) -> Self {
+        self.rule(FaultRule {
+            stage: Some(stage.into()),
+            copy: Some(copy),
+            trigger: Trigger::Packet(packet),
+            action: FaultAction::Panic,
+        })
+    }
+
+    /// Drop the packet with index `packet` at `stage[copy]`.
+    pub fn drop_at(self, stage: &str, copy: usize, packet: u64) -> Self {
+        self.rule(FaultRule {
+            stage: Some(stage.into()),
+            copy: Some(copy),
+            trigger: Trigger::Packet(packet),
+            action: FaultAction::DropPacket,
+        })
+    }
+
+    /// Delay handling of packet `packet` at `stage[copy]`.
+    pub fn delay_at(self, stage: &str, copy: usize, packet: u64, delay: Duration) -> Self {
+        self.rule(FaultRule {
+            stage: Some(stage.into()),
+            copy: Some(copy),
+            trigger: Trigger::Packet(packet),
+            action: FaultAction::Delay(delay),
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parse the compact spec grammar (see module docs). Returns a
+    /// human-readable description of the first problem on failure.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some(seed) = entry.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed `{seed}`"))?;
+                continue;
+            }
+            plan.rules.push(parse_rule(entry)?);
+        }
+        Ok(plan)
+    }
+
+    /// Build the per-copy injector, or `None` when no rule can apply to
+    /// `stage[copy]` (the common case: zero overhead on the data path).
+    pub fn injector(&self, stage: &str, copy: usize) -> Option<FaultInjector> {
+        let rules: Vec<(Trigger, FaultAction)> = self
+            .rules
+            .iter()
+            .filter(|r| r.stage.as_deref().is_none_or(|s| s == stage))
+            .filter(|r| r.copy.is_none_or(|c| c == copy))
+            .map(|r| (r.trigger, r.action))
+            .collect();
+        if rules.is_empty() {
+            return None;
+        }
+        Some(FaultInjector {
+            rules,
+            seed: self.seed,
+            site: fnv(stage.as_bytes()) ^ (copy as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            label: format!("{stage}[{copy}]"),
+            packet: 0,
+            pending: None,
+        })
+    }
+}
+
+fn parse_rule(entry: &str) -> Result<FaultRule, String> {
+    let err = || format!("bad fault rule `{entry}` (want stage[copy]@packet:action)");
+    let (site, rest) = entry.split_once('@').ok_or_else(err)?;
+    let (packet, action) = rest.split_once(':').ok_or_else(err)?;
+    let (stage, copy) = site
+        .trim()
+        .strip_suffix(']')
+        .and_then(|s| s.split_once('['))
+        .ok_or_else(err)?;
+    let stage = match stage.trim() {
+        "*" => None,
+        name if !name.is_empty() => Some(name.to_string()),
+        _ => return Err(err()),
+    };
+    let copy = match copy.trim() {
+        "*" => None,
+        c => Some(c.parse::<usize>().map_err(|_| err())?),
+    };
+    let trigger = match packet.trim() {
+        "*" => Trigger::Every,
+        p if p.starts_with('%') => {
+            let prob = p[1..].parse::<f64>().map_err(|_| err())?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability out of range in `{entry}`"));
+            }
+            Trigger::Prob(prob)
+        }
+        p => Trigger::Packet(p.parse::<u64>().map_err(|_| err())?),
+    };
+    let action = match action.trim() {
+        "fail" => FaultAction::Fail { retryable: false },
+        "fail-retryable" => FaultAction::Fail { retryable: true },
+        "panic" => FaultAction::Panic,
+        "drop" => FaultAction::DropPacket,
+        a => {
+            let ms = a
+                .strip_prefix("delay:")
+                .and_then(|ms| ms.parse::<u64>().ok())
+                .ok_or_else(|| format!("unknown fault action `{a}` in `{entry}`"))?;
+            FaultAction::Delay(Duration::from_millis(ms))
+        }
+    };
+    Ok(FaultRule {
+        stage,
+        copy,
+        trigger,
+        action,
+    })
+}
+
+/// FNV-1a, used to give each (stage, copy) site a stable hash for
+/// seeding probabilistic triggers.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Per-filter-copy injection state, consulted once per packet by
+/// [`FilterIo`](crate::FilterIo).
+#[derive(Debug)]
+pub struct FaultInjector {
+    rules: Vec<(Trigger, FaultAction)>,
+    seed: u64,
+    site: u64,
+    label: String,
+    packet: u64,
+    pending: Option<FilterError>,
+}
+
+impl FaultInjector {
+    /// Called for each packet this copy handles; returns the action to
+    /// inject, if any. First matching rule wins.
+    pub fn on_packet(&mut self) -> Option<FaultAction> {
+        let idx = self.packet;
+        self.packet += 1;
+        for (trigger, action) in &self.rules {
+            let fires = match trigger {
+                Trigger::Packet(p) => *p == idx,
+                Trigger::Every => true,
+                Trigger::Prob(p) => {
+                    let mut rng = SmallRng::seed_from_u64(
+                        self.seed ^ self.site ^ idx.wrapping_mul(0x2545f4914f6cdd1d),
+                    );
+                    rng.gen_f64() < *p
+                }
+            };
+            if fires {
+                return Some(*action);
+            }
+        }
+        None
+    }
+
+    /// `stage[copy]` label of the owning filter copy.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Packets this copy has handled so far.
+    pub fn packets_seen(&self) -> u64 {
+        self.packet
+    }
+
+    /// Record an injected failure to be surfaced after the filter's
+    /// unit of work returns (the read path cannot return an error
+    /// directly — it signals end-of-work and parks the error here).
+    pub fn set_pending(&mut self, e: FilterError) {
+        if self.pending.is_none() {
+            self.pending = Some(e);
+        }
+    }
+
+    /// Take the parked injected failure, if any.
+    pub fn take_pending(&mut self) -> Option<FilterError> {
+        self.pending.take()
+    }
+
+    /// The structured error an injected `Fail` action produces.
+    pub fn injected_error(&self, packet: u64, retryable: bool) -> FilterError {
+        let e = FilterError::new(
+            self.label.clone(),
+            format!("injected failure at packet {packet}"),
+        );
+        if retryable {
+            e.retryable()
+        } else {
+            e
+        }
+    }
+}
+
+/// Bounded-retry policy for retryable filter errors: attempt `n` (1-based)
+/// waits `backoff × 2^(n−1)`, capped at `max_backoff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = no retry).
+    pub max_retries: u32,
+    /// Base backoff before the first retry.
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub fn retries(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_backoff(mut self, base: Duration) -> Self {
+        self.backoff = base;
+        self
+    }
+
+    /// Backoff before retry `attempt` (1-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(20);
+        (self.backoff * factor).min(self.max_backoff)
+    }
+}
+
+/// Shared state for one pipeline run: the cancellation token wired into
+/// every stream channel, a global progress counter the stall detector
+/// watches, and the reason the run was cancelled (for the final error).
+#[derive(Default)]
+pub struct RunControl {
+    token: CancelToken,
+    progress: AtomicU64,
+    cancelled: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+impl RunControl {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// The cancel token stream channels are built against.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Cancel the run, recording why (first reason wins); wakes every
+    /// blocked stream operation.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        let mut r = self.reason.lock().unwrap_or_else(|e| e.into_inner());
+        if r.is_none() {
+            *r = Some(reason.into());
+        }
+        drop(r);
+        self.cancelled.store(true, Ordering::Release);
+        self.token.cancel();
+    }
+
+    pub fn reason(&self) -> Option<String> {
+        self.reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Bump the global progress counter (one successful packet send or
+    /// receive); the stall detector watches this.
+    pub fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Sleep that wakes early (returning an error) if the run is
+    /// cancelled — injected delays must never outlive the deadline.
+    pub fn cancellable_sleep(&self, total: Duration, who: &str) -> FilterResult<()> {
+        let slice = Duration::from_millis(5);
+        let mut left = total;
+        while left > Duration::ZERO {
+            if self.is_cancelled() {
+                return Err(FilterError::cancelled(
+                    who,
+                    "delay interrupted by run cancellation",
+                ));
+            }
+            let step = left.min(slice);
+            std::thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan = FaultPlan::parse(
+            "seed=7; square[0]@5:panic; sink[*]@%0.01:fail-retryable; src[1]@*:delay:2",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(
+            plan.rules[0],
+            FaultRule {
+                stage: Some("square".into()),
+                copy: Some(0),
+                trigger: Trigger::Packet(5),
+                action: FaultAction::Panic,
+            }
+        );
+        assert_eq!(plan.rules[1].stage, Some("sink".into()));
+        assert_eq!(plan.rules[1].copy, None);
+        assert_eq!(plan.rules[1].trigger, Trigger::Prob(0.01));
+        assert_eq!(plan.rules[1].action, FaultAction::Fail { retryable: true });
+        assert_eq!(
+            plan.rules[2].action,
+            FaultAction::Delay(Duration::from_millis(2))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("a[0]@1:explode").is_err());
+        assert!(FaultPlan::parse("a[zero]@1:fail").is_err());
+        assert!(FaultPlan::parse("a[0]@%1.5:fail").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn injector_fires_at_exact_packet_only() {
+        let plan = FaultPlan::new().panic_at("square", 1, 3);
+        assert!(plan.injector("square", 0).is_none(), "copy filter");
+        assert!(plan.injector("other", 1).is_none(), "stage filter");
+        let mut inj = plan.injector("square", 1).unwrap();
+        for i in 0..10u64 {
+            let got = inj.on_packet();
+            if i == 3 {
+                assert_eq!(got, Some(FaultAction::Panic), "packet {i}");
+            } else {
+                assert_eq!(got, None, "packet {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_rules_apply_everywhere() {
+        let plan = FaultPlan::parse("*[*]@*:drop").unwrap();
+        let mut inj = plan.injector("anything", 7).unwrap();
+        assert_eq!(inj.on_packet(), Some(FaultAction::DropPacket));
+        assert_eq!(inj.on_packet(), Some(FaultAction::DropPacket));
+    }
+
+    #[test]
+    fn probabilistic_trigger_is_deterministic_for_a_seed() {
+        let plan = FaultPlan::parse("s[0]@%0.3:fail").unwrap().with_seed(42);
+        let decisions = |plan: &FaultPlan| -> Vec<bool> {
+            let mut inj = plan.injector("s", 0).unwrap();
+            (0..200).map(|_| inj.on_packet().is_some()).collect()
+        };
+        let a = decisions(&plan);
+        let b = decisions(&plan);
+        assert_eq!(a, b, "same seed, same decisions");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((20..=100).contains(&fired), "~30% of 200, got {fired}");
+        let other = decisions(&plan.clone().with_seed(43));
+        assert_ne!(a, other, "different seed, different decisions");
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = RetryPolicy::retries(5).with_backoff(Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(p.delay(20), Duration::from_secs(2), "capped");
+    }
+
+    #[test]
+    fn run_control_cancel_keeps_first_reason() {
+        let rc = RunControl::new();
+        assert!(!rc.is_cancelled());
+        rc.note_progress();
+        assert_eq!(rc.progress(), 1);
+        rc.cancel("deadline");
+        rc.cancel("later");
+        assert!(rc.is_cancelled());
+        assert_eq!(rc.reason().as_deref(), Some("deadline"));
+    }
+
+    #[test]
+    fn cancellable_sleep_aborts_on_cancel() {
+        let rc = RunControl::new();
+        rc.cancel("now");
+        let t = std::time::Instant::now();
+        assert!(rc.cancellable_sleep(Duration::from_secs(10), "x").is_err());
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -7,8 +7,11 @@
 //! stream until end-of-work, then `finalize` releases resources (and may
 //! flush final results — e.g. reduction state — downstream).
 
-use crate::error::FilterResult;
+use crate::error::{FilterError, FilterResult};
+use crate::fault::{FaultAction, FaultInjector, RunControl};
 use crate::stream::{StreamReader, StreamWriter};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// I/O endpoints handed to a filter copy for one unit of work.
 pub struct FilterIo {
@@ -21,16 +24,92 @@ pub struct FilterIo {
     pub copy_index: usize,
     /// Total transparent copies of this logical filter.
     pub width: usize,
+    /// Per-copy fault injection (chaos testing); interposed on the
+    /// packet path by [`read`](FilterIo::read)/[`write`](FilterIo::write).
+    pub(crate) injector: Option<FaultInjector>,
+    /// Run-wide cancellation/progress state, when the executor runs with
+    /// a deadline or stall watchdog.
+    pub(crate) control: Option<Arc<RunControl>>,
 }
 
 impl FilterIo {
+    /// Build the I/O endpoints for one filter copy (mostly useful in
+    /// tests; the executor builds these itself).
+    pub fn new(
+        input: Option<StreamReader>,
+        output: Option<StreamWriter>,
+        copy_index: usize,
+        width: usize,
+    ) -> Self {
+        FilterIo {
+            input,
+            output,
+            copy_index,
+            width,
+            injector: None,
+            control: None,
+        }
+    }
+
     /// Read the next input buffer; `None` at end-of-work.
+    ///
+    /// With a fault injector attached this is also where input-side
+    /// faults fire: dropped packets are skipped, delays sleep
+    /// (cancellably), injected failures park a structured error (the
+    /// executor surfaces it) and signal end-of-work, injected panics
+    /// panic — exercising the executor's panic isolation.
     pub fn read(&mut self) -> Option<crate::buffer::Buffer> {
-        self.input.as_mut().and_then(StreamReader::read)
+        loop {
+            let buf = self.input.as_mut().and_then(StreamReader::read)?;
+            let Some(inj) = self.injector.as_mut() else {
+                return Some(buf);
+            };
+            let packet = inj.packets_seen();
+            match inj.on_packet() {
+                None => return Some(buf),
+                Some(FaultAction::DropPacket) => continue,
+                Some(FaultAction::Delay(d)) => {
+                    if let Err(e) = Self::fault_sleep(&self.control, d, inj.label()) {
+                        inj.set_pending(e);
+                        return None;
+                    }
+                    return Some(buf);
+                }
+                Some(FaultAction::Fail { retryable }) => {
+                    let e = inj.injected_error(packet, retryable);
+                    inj.set_pending(e);
+                    return None;
+                }
+                Some(FaultAction::Panic) => {
+                    panic!("injected panic at {} packet {packet}", inj.label())
+                }
+            }
+        }
     }
 
     /// Write one buffer downstream.
+    ///
+    /// For source stages (no input) this is where faults fire, counted
+    /// per written packet.
     pub fn write(&mut self, buf: crate::buffer::Buffer) -> FilterResult<()> {
+        if self.input.is_none() {
+            if let Some(inj) = self.injector.as_mut() {
+                let packet = inj.packets_seen();
+                match inj.on_packet() {
+                    None => {}
+                    Some(FaultAction::DropPacket) => return Ok(()),
+                    Some(FaultAction::Delay(d)) => {
+                        Self::fault_sleep(&self.control, d, inj.label())?;
+                    }
+                    Some(FaultAction::Fail { retryable }) => {
+                        return Err(inj.injected_error(packet, retryable));
+                    }
+                    Some(FaultAction::Panic) => {
+                        panic!("injected panic at {} packet {packet}", inj.label())
+                    }
+                }
+            }
+        }
         match self.output.as_mut() {
             Some(w) => w.write(buf),
             None => Ok(()), // terminal filter: writes are results, kept by the filter itself
@@ -43,6 +122,29 @@ impl FilterIo {
 
     pub fn has_output(&self) -> bool {
         self.output.is_some()
+    }
+
+    /// Whether the run has been cancelled (deadline/stall watchdog).
+    /// Long-running compute loops should poll this and bail out so a
+    /// cancelled run can join all threads promptly.
+    pub fn cancelled(&self) -> bool {
+        self.control.as_ref().is_some_and(|c| c.is_cancelled())
+    }
+
+    /// Take the error an input-side injected failure parked (the read
+    /// path can only signal end-of-work).
+    pub(crate) fn take_injected_error(&mut self) -> Option<FilterError> {
+        self.injector.as_mut().and_then(FaultInjector::take_pending)
+    }
+
+    fn fault_sleep(control: &Option<Arc<RunControl>>, d: Duration, who: &str) -> FilterResult<()> {
+        match control {
+            Some(c) => c.cancellable_sleep(d, who),
+            None => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
     }
 }
 
@@ -73,8 +175,10 @@ pub trait Filter: Send {
     }
 }
 
-/// Factory producing one filter instance per transparent copy.
-pub type FilterFactory = Box<dyn Fn(usize) -> Box<dyn Filter> + Send>;
+/// Factory producing one filter instance per transparent copy. `Sync`
+/// because the executor re-invokes it from worker threads when retrying
+/// a failed unit of work with a fresh filter instance.
+pub type FilterFactory = Box<dyn Fn(usize) -> Box<dyn Filter> + Send + Sync>;
 
 /// Convenience: a filter from three closures (init/process/finalize are
 /// often tiny in tests and examples).
@@ -129,12 +233,7 @@ mod tests {
         let mut w = ws.into_iter().next().unwrap();
         w.write(Buffer::from_vec(vec![1, 2, 3])).unwrap();
         w.close();
-        let mut io = FilterIo {
-            input: Some(rs.remove(0)),
-            output: Some(ws2.remove(0)),
-            copy_index: 0,
-            width: 1,
-        };
+        let mut io = FilterIo::new(Some(rs.remove(0)), Some(ws2.remove(0)), 0, 1);
         f.init(&mut io).unwrap();
         f.process(&mut io).unwrap();
         f.finalize(&mut io).unwrap();
@@ -146,12 +245,7 @@ mod tests {
 
     #[test]
     fn terminal_filter_write_is_noop() {
-        let mut io = FilterIo {
-            input: None,
-            output: None,
-            copy_index: 0,
-            width: 1,
-        };
+        let mut io = FilterIo::new(None, None, 0, 1);
         assert!(io.write(Buffer::from_vec(vec![1])).is_ok());
         assert!(!io.has_input());
         assert!(!io.has_output());

@@ -25,9 +25,7 @@
 //!         let total = Arc::clone(&t2);
 //!         Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
 //!             while let Some(b) = io.read() {
-//!                 total.fetch_add(
-//!                     u64::from_le_bytes(b.as_slice().try_into().unwrap()),
-//!                     Ordering::Relaxed);
+//!                 total.fetch_add(b.u64_le("sink")?, Ordering::Relaxed);
 //!             }
 //!             Ok(())
 //!         }))
@@ -41,13 +39,16 @@ pub mod buffer;
 pub mod channel;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod filter;
 pub mod placement;
 pub mod stream;
 
 pub use buffer::{reassemble, Buffer, BufferBuilder, DEFAULT_BUFFER_CAPACITY};
-pub use error::{FilterError, FilterResult};
+pub use channel::CancelToken;
+pub use error::{ErrorKind, FilterError, FilterResult};
 pub use exec::{Pipeline, RunStats, StageSpec, StageStats};
+pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, RunControl, Trigger};
 pub use filter::{ClosureFilter, Filter, FilterFactory, FilterIo};
 pub use placement::{HostId, Placement, StagePlacement};
 pub use stream::{logical_stream, Distribution, StreamReader, StreamWriter};

@@ -8,9 +8,11 @@
 //! (demand-driven) queue.
 
 use crate::buffer::Buffer;
-use crate::channel::{bounded, Receiver, Sender};
+use crate::channel::{bounded, bounded_cancellable, Receiver, Sender};
 use crate::error::{FilterError, FilterResult};
+use crate::fault::RunControl;
 use cgp_obs::trace::{self, PID_RUNTIME};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Stalls shorter than this are not worth a trace event (they would
@@ -45,6 +47,12 @@ pub struct StreamReader {
     /// Trace thread id of the owning filter copy (see
     /// [`StreamReader::set_trace_tid`]).
     tid: u32,
+    /// Run-wide control (cancellation + progress), when the executor
+    /// runs with a deadline/stall watchdog.
+    control: Option<Arc<RunControl>>,
+    /// Set when a receive was aborted by run cancellation — the copy was
+    /// blocked here when the watchdog fired.
+    cancelled_while_blocked: bool,
 }
 
 impl StreamReader {
@@ -71,6 +79,9 @@ impl StreamReader {
                 Ok(Msg::Data(b)) => {
                     self.buffers_read += 1;
                     self.bytes_read += b.len() as u64;
+                    if let Some(c) = &self.control {
+                        c.note_progress();
+                    }
                     if trace::enabled() {
                         trace::instant(
                             "recv",
@@ -85,7 +96,14 @@ impl StreamReader {
                 Ok(Msg::End) => {
                     self.producers_remaining -= 1;
                 }
-                Err(_) => return None, // all senders dropped
+                Err(_) => {
+                    // All senders dropped, or the run was cancelled out
+                    // from under a blocked receive.
+                    if self.control.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        self.cancelled_while_blocked = true;
+                    }
+                    return None;
+                }
             }
         }
         None
@@ -93,6 +111,12 @@ impl StreamReader {
 
     pub fn stats(&self) -> (u64, u64) {
         (self.buffers_read, self.bytes_read)
+    }
+
+    /// Whether a blocking receive on this endpoint was aborted by run
+    /// cancellation (the stall report uses this to name wedged copies).
+    pub fn cancelled_while_blocked(&self) -> bool {
+        self.cancelled_while_blocked
     }
 
     /// Total time this endpoint spent inside blocking receives — i.e.
@@ -120,6 +144,12 @@ pub struct StreamWriter {
     /// Trace thread id of the owning filter copy (see
     /// [`StreamWriter::set_trace_tid`]).
     tid: u32,
+    /// Run-wide control (cancellation + progress), when the executor
+    /// runs with a deadline/stall watchdog.
+    control: Option<Arc<RunControl>>,
+    /// Set when a send was aborted by run cancellation — the copy was
+    /// blocked here (downstream backpressure) when the watchdog fired.
+    cancelled_while_blocked: bool,
 }
 
 impl StreamWriter {
@@ -173,7 +203,28 @@ impl StreamWriter {
                 vec![("bytes", bytes.into()), ("queue_depth", depth.into())],
             );
         }
-        sent.map_err(|_| FilterError::new("stream", "consumer hung up"))
+        match sent {
+            Ok(()) => {
+                if let Some(c) = &self.control {
+                    c.note_progress();
+                }
+                Ok(())
+            }
+            Err(_) if self.control.as_ref().is_some_and(|c| c.is_cancelled()) => {
+                self.cancelled_while_blocked = true;
+                Err(FilterError::cancelled(
+                    "stream",
+                    "run cancelled during send",
+                ))
+            }
+            Err(_) => Err(FilterError::new("stream", "consumer hung up")),
+        }
+    }
+
+    /// Whether a blocking send on this endpoint was aborted by run
+    /// cancellation (the stall report uses this to name wedged copies).
+    pub fn cancelled_while_blocked(&self) -> bool {
+        self.cancelled_while_blocked
     }
 
     /// Signal end-of-work to every consumer copy. Idempotent.
@@ -222,8 +273,47 @@ pub fn logical_stream(
     capacity: usize,
     distribution: Distribution,
 ) -> (Vec<StreamWriter>, Vec<StreamReader>) {
+    logical_stream_controlled(producers, consumers, capacity, distribution, None)
+}
+
+/// [`logical_stream`] with run-wide control attached: channels become
+/// cancellable through the control's token, and every successful
+/// send/receive bumps its progress counter (for the stall detector).
+pub fn logical_stream_controlled(
+    producers: usize,
+    consumers: usize,
+    capacity: usize,
+    distribution: Distribution,
+    control: Option<Arc<RunControl>>,
+) -> (Vec<StreamWriter>, Vec<StreamReader>) {
     assert!(producers > 0 && consumers > 0);
     assert!(capacity > 0);
+    let channel = |cap: usize| match &control {
+        Some(c) => bounded_cancellable(cap, c.token()),
+        None => bounded(cap),
+    };
+    let reader = |rx: Receiver<Msg>| StreamReader {
+        rx,
+        producers_remaining: producers,
+        buffers_read: 0,
+        bytes_read: 0,
+        blocked: Duration::ZERO,
+        tid: 0,
+        control: control.clone(),
+        cancelled_while_blocked: false,
+    };
+    let writer = |txs: Vec<Sender<Msg>>, next: usize| StreamWriter {
+        txs,
+        distribution,
+        next,
+        buffers_written: 0,
+        bytes_written: 0,
+        closed: false,
+        blocked: Duration::ZERO,
+        tid: 0,
+        control: control.clone(),
+        cancelled_while_blocked: false,
+    };
     match distribution {
         Distribution::RoundRobin => {
             // One queue per consumer copy; every producer can reach every
@@ -233,30 +323,14 @@ pub fn logical_stream(
             let mut txs_per_consumer = Vec::with_capacity(consumers);
             let mut readers = Vec::with_capacity(consumers);
             for _ in 0..consumers {
-                let (tx, rx) = bounded(capacity);
+                let (tx, rx) = channel(capacity);
                 txs_per_consumer.push(tx);
-                readers.push(StreamReader {
-                    rx,
-                    producers_remaining: producers,
-                    buffers_read: 0,
-                    bytes_read: 0,
-                    blocked: Duration::ZERO,
-                    tid: 0,
-                });
+                readers.push(reader(rx));
             }
             let writers = (0..producers)
-                .map(|p| StreamWriter {
-                    txs: txs_per_consumer.clone(),
-                    distribution,
-                    // Stagger start positions so multiple producers do not
-                    // all hit consumer 0 first.
-                    next: p,
-                    buffers_written: 0,
-                    bytes_written: 0,
-                    closed: false,
-                    blocked: Duration::ZERO,
-                    tid: 0,
-                })
+                // Stagger start positions so multiple producers do not
+                // all hit consumer 0 first.
+                .map(|p| writer(txs_per_consumer.clone(), p))
                 .collect();
             (writers, readers)
         }
@@ -264,29 +338,11 @@ pub fn logical_stream(
             // One shared MPMC queue; consumers race for buffers. Each
             // producer sends `consumers` Ends so that every consumer
             // eventually sees `producers` Ends.
-            let (tx, rx) = bounded(capacity);
+            let (tx, rx) = channel(capacity);
             let writers = (0..producers)
-                .map(|_| StreamWriter {
-                    txs: vec![tx.clone(); consumers],
-                    distribution,
-                    next: 0,
-                    buffers_written: 0,
-                    bytes_written: 0,
-                    closed: false,
-                    blocked: Duration::ZERO,
-                    tid: 0,
-                })
+                .map(|_| writer(vec![tx.clone(); consumers], 0))
                 .collect();
-            let readers = (0..consumers)
-                .map(|_| StreamReader {
-                    rx: rx.clone(),
-                    producers_remaining: producers,
-                    buffers_read: 0,
-                    bytes_read: 0,
-                    blocked: Duration::ZERO,
-                    tid: 0,
-                })
-                .collect();
+            let readers = (0..consumers).map(|_| reader(rx.clone())).collect();
             (writers, readers)
         }
     }

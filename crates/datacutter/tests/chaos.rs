@@ -1,0 +1,302 @@
+//! Chaos suite: the runtime must terminate promptly, with a structured
+//! error naming the failing stage and copy, under every injected failure
+//! mode — no hangs, no secondary panics, no leaked threads.
+
+use cgp_datacutter::{
+    Buffer, ClosureFilter, ErrorKind, FaultAction, FaultPlan, FaultRule, FilterError, FilterIo,
+    Pipeline, RetryPolicy, StageSpec, Trigger,
+};
+use cgp_obs::metrics::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const N: u64 = 500;
+
+fn source(n: u64) -> cgp_datacutter::FilterFactory {
+    Box::new(move |_| {
+        Box::new(ClosureFilter::new("source", move |io: &mut FilterIo| {
+            for i in 0..n {
+                io.write(Buffer::from_vec(i.to_le_bytes().to_vec()))?;
+            }
+            Ok(())
+        }))
+    })
+}
+
+fn forward() -> cgp_datacutter::FilterFactory {
+    Box::new(|_| {
+        Box::new(ClosureFilter::new("mid", |io: &mut FilterIo| {
+            while let Some(b) = io.read() {
+                io.write(b)?;
+            }
+            Ok(())
+        }))
+    })
+}
+
+fn counting_sink(count: Arc<AtomicU64>) -> cgp_datacutter::FilterFactory {
+    Box::new(move |_| {
+        let count = Arc::clone(&count);
+        Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+            while io.read().is_some() {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        }))
+    })
+}
+
+fn three_stage(mid_width: usize, count: Arc<AtomicU64>) -> Pipeline {
+    Pipeline::new()
+        .with_capacity(8)
+        .add_stage(StageSpec::new("source", 1, source(N)))
+        .add_stage(StageSpec::new("mid", mid_width, forward()))
+        .add_stage(StageSpec::new("sink", 1, counting_sink(count)))
+}
+
+/// Current thread count of this process (Linux; the suite's leak checks
+/// are gated on it).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn panic_mid_stream_terminates_with_named_error() {
+    let count = Arc::new(AtomicU64::new(0));
+    let t = Instant::now();
+    let err = three_stage(2, count)
+        .with_faults(FaultPlan::new().panic_at("mid", 1, 50))
+        .with_deadline(Duration::from_secs(30))
+        .run()
+        .expect_err("injected panic must fail the run");
+    assert_eq!(err.kind, ErrorKind::Panicked);
+    assert_eq!(err.filter, "mid[1]", "error names stage and copy: {err}");
+    assert!(err.message.contains("packet 50"), "{err}");
+    assert!(t.elapsed() < Duration::from_secs(10), "no hang on panic");
+}
+
+#[test]
+fn error_after_n_packets_terminates_and_counts() {
+    let count = Arc::new(AtomicU64::new(0));
+    let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+    let err = three_stage(1, count)
+        .with_faults(FaultPlan::new().fail_at("mid", 0, 100))
+        .with_deadline(Duration::from_secs(30))
+        .with_metrics(Arc::clone(&metrics))
+        .run()
+        .expect_err("injected failure must fail the run");
+    assert_eq!(err.kind, ErrorKind::Failed);
+    assert_eq!(err.filter, "mid[0]");
+    assert!(!err.retryable);
+    let reg = metrics.lock().unwrap();
+    assert_eq!(reg.get_counter("stage.mid.failures"), 1);
+    assert_eq!(reg.get_counter("stage.mid.panics"), 0);
+}
+
+#[test]
+fn retryable_failure_recovers_under_retry_policy() {
+    // The source fails retryably on its very first packet — before any
+    // output — so re-running the unit of work is safe and the pipeline
+    // completes with the full data set.
+    let count = Arc::new(AtomicU64::new(0));
+    let plan = FaultPlan::new().rule(FaultRule {
+        stage: Some("source".into()),
+        copy: Some(0),
+        trigger: Trigger::Packet(0),
+        action: FaultAction::Fail { retryable: true },
+    });
+    let stats = three_stage(1, Arc::clone(&count))
+        .with_faults(plan)
+        .with_retry(RetryPolicy::retries(3).with_backoff(Duration::from_millis(1)))
+        .with_deadline(Duration::from_secs(30))
+        .run()
+        .expect("retry must recover a retryable failure");
+    assert_eq!(count.load(Ordering::Relaxed), N);
+    assert_eq!(stats.retries(), 1);
+    assert_eq!(stats.failures(), 1, "the failed attempt is still counted");
+}
+
+#[test]
+fn retries_exhausted_surfaces_the_error() {
+    let count = Arc::new(AtomicU64::new(0));
+    let plan = FaultPlan::new().rule(FaultRule {
+        stage: Some("mid".into()),
+        copy: Some(0),
+        trigger: Trigger::Every,
+        action: FaultAction::Fail { retryable: true },
+    });
+    let err = three_stage(1, count)
+        .with_faults(plan)
+        .with_retry(RetryPolicy::retries(2).with_backoff(Duration::from_millis(1)))
+        .with_deadline(Duration::from_secs(30))
+        .run()
+        .expect_err("always-failing stage exhausts retries");
+    assert_eq!(err.kind, ErrorKind::Failed);
+    assert!(err.retryable, "the surfaced error keeps its retryable flag");
+    assert_eq!(err.filter, "mid[0]");
+}
+
+#[test]
+fn injected_stall_is_caught_by_deadline_and_names_the_blockage() {
+    // A sink that never reads wedges the whole pipeline: the source
+    // fills the queues and blocks in send. The watchdog must cancel,
+    // every thread must join, and the error must say who was stuck.
+    let t = Instant::now();
+    let err = Pipeline::new()
+        .with_capacity(2)
+        .with_deadline(Duration::from_millis(250))
+        .add_stage(StageSpec::new("source", 1, source(N)))
+        .add_stage(StageSpec::new(
+            "wedged",
+            1,
+            Box::new(|_| {
+                Box::new(ClosureFilter::new("wedged", |io: &mut FilterIo| {
+                    while !io.cancelled() {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(FilterError::cancelled("wedged", "cancelled"))
+                }))
+            }),
+        ))
+        .run()
+        .expect_err("stalled run must fail");
+    assert_eq!(err.kind, ErrorKind::Stalled);
+    assert!(err.message.contains("deadline"), "{err}");
+    assert!(
+        err.message.contains("source[0] blocked in send"),
+        "stall report names the blocked copy: {err}"
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(5),
+        "watchdog fired promptly"
+    );
+}
+
+#[test]
+fn stall_timeout_catches_no_progress() {
+    let t = Instant::now();
+    let err = Pipeline::new()
+        .with_capacity(2)
+        .with_stall_timeout(Duration::from_millis(200))
+        .add_stage(StageSpec::new("source", 1, source(N)))
+        .add_stage(StageSpec::new(
+            "wedged",
+            1,
+            Box::new(|_| {
+                Box::new(ClosureFilter::new("wedged", |io: &mut FilterIo| {
+                    while !io.cancelled() {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Ok(())
+                }))
+            }),
+        ))
+        .run()
+        .expect_err("stalled run must fail");
+    assert_eq!(err.kind, ErrorKind::Stalled);
+    assert!(err.message.contains("stall timeout"), "{err}");
+    assert!(t.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn dropped_packets_reduce_delivery_without_failing() {
+    let count = Arc::new(AtomicU64::new(0));
+    let stats = three_stage(1, Arc::clone(&count))
+        .with_faults(FaultPlan::new().drop_at("mid", 0, 10).drop_at("mid", 0, 20))
+        .run()
+        .expect("drops are silent");
+    assert_eq!(count.load(Ordering::Relaxed), N - 2);
+    assert_eq!(stats.failures(), 0);
+}
+
+#[test]
+fn probabilistic_faults_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let count = Arc::new(AtomicU64::new(0));
+        let plan = FaultPlan::new().with_seed(seed).rule(FaultRule {
+            stage: Some("mid".into()),
+            copy: None,
+            trigger: Trigger::Prob(0.2),
+            action: FaultAction::DropPacket,
+        });
+        three_stage(1, Arc::clone(&count))
+            .with_faults(plan)
+            .run()
+            .expect("drops are silent");
+        count.load(Ordering::Relaxed)
+    };
+    let a = run(7);
+    assert_eq!(a, run(7), "same seed, same drops");
+    assert!(a < N, "some packets dropped");
+    assert_ne!(a, run(8), "different seed, different drops");
+}
+
+#[test]
+fn panic_in_one_copy_does_not_poison_siblings_stats() {
+    // Width-4 middle stage, one copy panics; the other three finish and
+    // their stats still aggregate (poison-tolerant locking).
+    let count = Arc::new(AtomicU64::new(0));
+    let err = three_stage(4, Arc::clone(&count))
+        .with_faults(FaultPlan::new().panic_at("mid", 2, 0))
+        .with_deadline(Duration::from_secs(30))
+        .run()
+        .expect_err("one copy panicked");
+    assert_eq!(err.filter, "mid[2]");
+    // Siblings forwarded their share before/while the panic unwound.
+    assert!(count.load(Ordering::Relaxed) > 0, "siblings made progress");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn no_leaked_threads_after_failures() {
+    // Warm up then measure: every failure mode must join all its threads.
+    let count = Arc::new(AtomicU64::new(0));
+    let _ = three_stage(2, Arc::clone(&count)).run();
+    let before = thread_count();
+    for _ in 0..3 {
+        let _ = three_stage(2, Arc::clone(&count))
+            .with_faults(FaultPlan::new().panic_at("mid", 0, 10))
+            .with_deadline(Duration::from_secs(30))
+            .run();
+        let _ = Pipeline::new()
+            .with_capacity(2)
+            .with_deadline(Duration::from_millis(100))
+            .add_stage(StageSpec::new("source", 1, source(N)))
+            .add_stage(StageSpec::new(
+                "wedged",
+                1,
+                Box::new(|_| {
+                    Box::new(ClosureFilter::new("wedged", |io: &mut FilterIo| {
+                        while !io.cancelled() {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Ok(())
+                    }))
+                }),
+            ))
+            .run();
+    }
+    let after = thread_count();
+    assert_eq!(before, after, "thread count must return to baseline");
+}
+
+#[test]
+fn spec_parsed_plan_behaves_like_builder_plan() {
+    let count = Arc::new(AtomicU64::new(0));
+    let plan = FaultPlan::parse("mid[0]@25:panic").expect("valid spec");
+    let err = three_stage(1, count)
+        .with_faults(plan)
+        .with_deadline(Duration::from_secs(30))
+        .run()
+        .expect_err("parsed panic fires");
+    assert_eq!(err.kind, ErrorKind::Panicked);
+    assert_eq!(err.filter, "mid[0]");
+    assert!(err.message.contains("packet 25"), "{err}");
+}

@@ -64,10 +64,7 @@ fn every_buffer_arrives_exactly_once() {
                     let c = Arc::clone(&c2);
                     Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
                         while let Some(b) = io.read() {
-                            s.fetch_add(
-                                u64::from_le_bytes(b.as_slice().try_into().unwrap()),
-                                Ordering::Relaxed,
-                            );
+                            s.fetch_add(b.u64_le("sink")?, Ordering::Relaxed);
                             c.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(())

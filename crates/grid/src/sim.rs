@@ -41,6 +41,41 @@ pub struct PacketWork {
     pub read_bytes: f64,
 }
 
+/// A simulated failure of one stage copy's host at a virtual time.
+/// From `at` onward the copy accepts no new packets; a packet it could
+/// not finish before `at` is re-executed on a surviving copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostFailure {
+    pub stage: usize,
+    pub copy: usize,
+    /// Virtual time at which the host dies.
+    pub at: f64,
+}
+
+/// Failure scenario for [`simulate_with_failures`]: what-if analysis of
+/// the transparent-copy redundancy the runtime's panic isolation relies
+/// on (a dead copy's packets reroute to its siblings; a stage with no
+/// surviving copy drops packets).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureSpec {
+    pub hosts: Vec<HostFailure>,
+}
+
+impl FailureSpec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn host(mut self, stage: usize, copy: usize, at: f64) -> Self {
+        self.hosts.push(HostFailure { stage, copy, at });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+}
+
 /// Simulation output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -55,6 +90,16 @@ pub struct SimResult {
     pub link_busy: Vec<Vec<f64>>,
     /// Utilization (busy / makespan) of the most loaded resource.
     pub bottleneck_utilization: f64,
+    /// Packets that reached the last stage.
+    pub completed_packets: u64,
+    /// Packets re-executed on a sibling copy because their preferred copy
+    /// had failed (or died mid-service).
+    pub rerouted_packets: u64,
+    /// Packets lost because some stage had no surviving copy.
+    pub dropped_packets: u64,
+    /// End-of-work reduction states lost with failed copies (their
+    /// finalize chains never reach the view host).
+    pub lost_states: u64,
 }
 
 impl SimResult {
@@ -87,6 +132,23 @@ impl SimResult {
 /// assembled results); it chains stage-by-stage to the last host after that
 /// stage's final packet.
 pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64]) -> SimResult {
+    simulate_with_failures(grid, packets, finalize_bytes, &FailureSpec::default())
+}
+
+/// [`simulate`] under a failure scenario. A packet routes to its
+/// round-robin copy unless that copy cannot finish it before dying, in
+/// which case the next surviving sibling (in copy order) re-executes it;
+/// a stage with no copy able to take a packet drops it, and downstream
+/// stages never see it. A transfer in flight when its sender dies is
+/// assumed delivered (store-and-forward). A copy that dies during the
+/// run loses its accumulated reduction state ([`SimResult::lost_states`]);
+/// failures after the last packet are inert.
+pub fn simulate_with_failures(
+    grid: &GridConfig,
+    packets: &[PacketWork],
+    finalize_bytes: &[f64],
+    failures: &FailureSpec,
+) -> SimResult {
     let m = grid.m();
     assert!(m >= 1);
     assert!(finalize_bytes.len() >= m.saturating_sub(1) || finalize_bytes.is_empty());
@@ -108,6 +170,19 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
     }
     let mut stage_busy: Vec<Vec<f64>> = widths.iter().map(|w| vec![0.0; *w]).collect();
     let mut link_busy: Vec<Vec<f64>> = lfree.iter().map(|v| vec![0.0; v.len()]).collect();
+
+    // fail_at[s][c] = earliest declared death of that stage copy's host.
+    let mut fail_at: Vec<Vec<Option<f64>>> = widths.iter().map(|w| vec![None; *w]).collect();
+    for f in &failures.hosts {
+        assert!(
+            f.stage < m && f.copy < widths[f.stage],
+            "failure target C{}[{}] out of range",
+            f.stage,
+            f.copy
+        );
+        let slot = &mut fail_at[f.stage][f.copy];
+        *slot = Some(slot.map_or(f.at, |t: f64| t.min(f.at)));
+    }
 
     // Timeline export: each (stage, copy) and each egress link gets its own
     // virtual thread; busy intervals become 'X' events on the virtual clock.
@@ -140,20 +215,64 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
         }
     }
 
-    let mut packets_done: f64 = 0.0;
-    for (p, work) in packets.iter().enumerate() {
-        let mut arrive = 0.0_f64;
-        for s in 0..m {
-            let c = p % widths[s];
-            let host = &grid.stages[s].hosts[c];
-            let power = host.power;
-            let mut service = work.comp_ops[s] / power;
-            if s == 0 {
-                if let Some(disk) = host.disk_bandwidth {
-                    service += work.read_bytes / disk;
+    if tracing {
+        for (s, copies) in fail_at.iter().enumerate() {
+            for (c, at) in copies.iter().enumerate() {
+                if let Some(at) = at {
+                    trace::complete(
+                        format!("HOST FAILURE C{s}[{c}]"),
+                        "sim-failure",
+                        at * VIRT_US,
+                        0.0,
+                        PID_SIM,
+                        stage_tid[s][c],
+                        vec![],
+                    );
                 }
             }
-            let start = arrive.max(free[s][c]);
+        }
+    }
+
+    let mut packets_done: f64 = 0.0;
+    let mut completed_packets = 0u64;
+    let mut rerouted_packets = 0u64;
+    let mut dropped_packets = 0u64;
+    for (p, work) in packets.iter().enumerate() {
+        let mut arrive = 0.0_f64;
+        let mut completed = true;
+        let mut rerouted = false;
+        for s in 0..m {
+            // Preferred copy is the runtime's round-robin target; on
+            // failure, try siblings in copy order.
+            let preferred = p % widths[s];
+            let mut chosen: Option<(usize, f64, f64)> = None;
+            for k in 0..widths[s] {
+                let c = (preferred + k) % widths[s];
+                let host = &grid.stages[s].hosts[c];
+                let mut service = work.comp_ops[s] / host.power;
+                if s == 0 {
+                    if let Some(disk) = host.disk_bandwidth {
+                        service += work.read_bytes / disk;
+                    }
+                }
+                let start = arrive.max(free[s][c]);
+                if let Some(at) = fail_at[s][c] {
+                    if start + service > at {
+                        continue; // dead, or would die mid-service
+                    }
+                }
+                if k > 0 {
+                    rerouted = true;
+                }
+                chosen = Some((c, start, service));
+                break;
+            }
+            let Some((c, start, service)) = chosen else {
+                // No surviving copy can take this packet: it is lost.
+                completed = false;
+                dropped_packets += 1;
+                break;
+            };
             let done = start + service;
             free[s][c] = done;
             stage_busy[s][c] += service;
@@ -193,16 +312,39 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
                 arrive = ldone;
             }
         }
-        packets_done = packets_done.max(arrive);
+        if completed {
+            completed_packets += 1;
+            if rerouted {
+                rerouted_packets += 1;
+            }
+            packets_done = packets_done.max(arrive);
+        }
     }
 
     // Finalization: each stage copy's end-of-work state flows to the next
     // stage (copy 0) and onward; the view host can only finish after every
     // chain arrives.
     let mut makespan = packets_done;
+    let mut lost_states = 0u64;
+    // A copy that died during the run takes its accumulated reduction
+    // state with it — no finalize chain. Deaths after the last packet
+    // are inert (state already shipped); idle copies had no state.
+    let died_in_run = |s: usize, c: usize| {
+        fail_at[s][c].is_some_and(|at| at <= packets_done) && stage_busy[s][c] > 0.0
+    };
+    for (s, copies) in fail_at.iter().enumerate() {
+        for c in 0..copies.len() {
+            if died_in_run(s, c) {
+                lost_states += 1;
+            }
+        }
+    }
     if m >= 2 && !finalize_bytes.is_empty() {
         for s in 0..m - 1 {
             for c in 0..widths[s] {
+                if died_in_run(s, c) {
+                    continue;
+                }
                 let mut t = free[s][c];
                 for l in s..m - 1 {
                     let link = grid.links[l];
@@ -241,6 +383,10 @@ pub fn simulate(grid: &GridConfig, packets: &[PacketWork], finalize_bytes: &[f64
         stage_busy,
         link_busy,
         bottleneck_utilization: util,
+        completed_packets,
+        rerouted_packets,
+        dropped_packets,
+        lost_states,
     }
 }
 
@@ -421,6 +567,93 @@ mod tests {
         let r = simulate(&g, &pkts, &[1e3, 1e3]);
         assert!(r.bottleneck_utilization <= 1.0 + 1e-9);
         assert!(r.bottleneck_utilization > 0.0);
+    }
+
+    #[test]
+    fn no_failures_is_bitwise_identical_to_simulate() {
+        let g = GridConfig::paper_cluster(2);
+        let pkts = uniform_packets(32, &[1e6, 5e6, 1e5], &[1e4, 1e3]);
+        let base = simulate(&g, &pkts, &[1e3, 1e3]);
+        let with = simulate_with_failures(&g, &pkts, &[1e3, 1e3], &FailureSpec::new());
+        assert_eq!(base, with);
+        assert_eq!(base.completed_packets, 32);
+        assert_eq!(base.dropped_packets, 0);
+        assert_eq!(base.lost_states, 0);
+    }
+
+    #[test]
+    fn dead_copy_reroutes_to_surviving_sibling() {
+        let link = LinkSpec {
+            bandwidth: 1e9,
+            latency: 0.0,
+        };
+        let n = 64;
+        let g = GridConfig::w_w_1(2, 1e3, link);
+        let pkts = uniform_packets(n, &[1.0, 1000.0, 1.0], &[8.0, 8.0]);
+        // Copy 1 of the middle stage is dead from the start: every odd
+        // packet reroutes to copy 0 and the stage degrades to width 1.
+        let spec = FailureSpec::new().host(1, 1, 0.0);
+        let r = simulate_with_failures(&g, &pkts, &[], &spec);
+        assert_eq!(r.completed_packets, n as u64);
+        assert_eq!(r.dropped_packets, 0);
+        assert_eq!(r.rerouted_packets, n as u64 / 2);
+        assert_eq!(r.stage_busy[1][1], 0.0, "dead copy did no work");
+        let healthy = simulate(&g, &pkts, &[]);
+        assert!(
+            r.makespan > 1.8 * healthy.makespan,
+            "width-2 stage degraded to width 1: {} vs {}",
+            r.makespan,
+            healthy.makespan
+        );
+    }
+
+    #[test]
+    fn stage_with_no_survivor_drops_packets() {
+        let link = LinkSpec {
+            bandwidth: 1e9,
+            latency: 0.0,
+        };
+        let g = GridConfig::uniform_chain(2, 1.0, link);
+        let pkts = uniform_packets(10, &[1.0, 1.0], &[0.0]);
+        // Width-1 stage 0 dies at t=5: packets that cannot finish there
+        // by then are lost, and the run still terminates.
+        let spec = FailureSpec::new().host(0, 0, 5.0);
+        let r = simulate_with_failures(&g, &pkts, &[], &spec);
+        assert_eq!(r.completed_packets, 5);
+        assert_eq!(r.dropped_packets, 5);
+        assert_eq!(r.lost_states, 1, "the dead copy's state is gone");
+        assert!(r.makespan <= 6.0 + 1e-12);
+    }
+
+    #[test]
+    fn late_failure_is_inert() {
+        let g = GridConfig::paper_cluster(2);
+        let pkts = uniform_packets(16, &[1e6, 5e6, 1e5], &[1e4, 1e3]);
+        let base = simulate(&g, &pkts, &[1e3, 1e3]);
+        let spec = FailureSpec::new().host(1, 0, base.makespan * 100.0);
+        let with = simulate_with_failures(&g, &pkts, &[1e3, 1e3], &spec);
+        assert_eq!(base.makespan, with.makespan);
+        assert_eq!(with.lost_states, 0);
+        assert_eq!(with.rerouted_packets, 0);
+    }
+
+    #[test]
+    fn mid_service_death_reexecutes_on_sibling() {
+        let link = LinkSpec {
+            bandwidth: 1e9,
+            latency: 0.0,
+        };
+        // Stage 0 width 2, each packet takes 10s. Copy 0 dies at t=15:
+        // it finishes packet 0 (0..10) but cannot finish packet 2
+        // (10..20), which reroutes to copy 1.
+        let g = GridConfig::w_w_1(2, 1.0, link);
+        let pkts = uniform_packets(4, &[10.0, 0.0, 0.0], &[0.0, 0.0]);
+        let spec = FailureSpec::new().host(0, 0, 15.0);
+        let r = simulate_with_failures(&g, &pkts, &[], &spec);
+        assert_eq!(r.completed_packets, 4);
+        assert_eq!(r.rerouted_packets, 1);
+        assert!((r.stage_busy[0][0] - 10.0).abs() < 1e-12);
+        assert!((r.stage_busy[0][1] - 30.0).abs() < 1e-12);
     }
 
     #[test]
