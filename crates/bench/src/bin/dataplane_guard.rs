@@ -1,0 +1,116 @@
+//! Data-plane regression guard.
+//!
+//! Measures packet-echo throughput in the legacy (per-packet, no pool)
+//! and batched + pooled configurations and compares the batched rate
+//! against the committed `BENCH_dataplane.json` baseline:
+//!
+//! ```sh
+//! cargo run --release -p cgp-bench --bin dataplane_guard            # check
+//! cargo run --release -p cgp-bench --bin dataplane_guard -- --record
+//! ```
+//!
+//! The check fails (exit 1) if batched throughput drops more than 30%
+//! below the baseline, or if the batched/legacy speedup falls below the
+//! machine-independent floor of 1.5× (the baseline records ≥ 2×).
+//! `--record` rewrites the baseline from a fresh measurement.
+//!
+//! Env knobs for CI smoke mode: `CGP_GUARD_PACKETS` (default 4096),
+//! `CGP_GUARD_REPS` (default 5), `CGP_GUARD_BASELINE` (path).
+
+use cgp_bench::dataplane::{echo_packets_per_sec, EchoConfig};
+
+const PAYLOAD: usize = 1024;
+/// Cross-machine tolerance for the absolute-throughput check.
+const DROP_TOLERANCE: f64 = 0.30;
+/// Machine-independent floor on the batched/legacy speedup.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pull the number following `"key":` out of the baseline JSON. The file
+/// is flat and written by this binary, so a scan beats a parser dep.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let baseline_path =
+        std::env::var("CGP_GUARD_BASELINE").unwrap_or_else(|_| "BENCH_dataplane.json".to_string());
+    let packets = env_usize("CGP_GUARD_PACKETS", 4096);
+    let reps = env_usize("CGP_GUARD_REPS", 5);
+
+    let legacy_cfg = EchoConfig::legacy(packets, PAYLOAD);
+    let batched_cfg = EchoConfig::batched(packets, PAYLOAD);
+    // Warm both paths once so thread-spawn and allocator cold costs do
+    // not land on the first timed rep.
+    let _ = echo_packets_per_sec(&legacy_cfg, 1);
+    let legacy = echo_packets_per_sec(&legacy_cfg, reps);
+    let batched = echo_packets_per_sec(&batched_cfg, reps);
+    let speedup = batched / legacy;
+
+    println!("packet-echo ({packets} packets x {PAYLOAD} B, best of {reps}):");
+    println!("  legacy  (batch=1, no pool): {legacy:>12.0} packets/s");
+    println!(
+        "  batched (batch={}, pooled):  {batched:>12.0} packets/s",
+        batched_cfg.batch
+    );
+    println!("  speedup: {speedup:.2}x");
+
+    if record {
+        let json = format!(
+            "{{\n  \"bench\": \"dataplane_packet_echo\",\n  \"packets\": {packets},\n  \"payload_bytes\": {PAYLOAD},\n  \"batch\": {},\n  \"legacy_packets_per_sec\": {legacy:.0},\n  \"batched_packets_per_sec\": {batched:.0},\n  \"speedup\": {speedup:.2}\n}}\n",
+            batched_cfg.batch
+        );
+        std::fs::write(&baseline_path, json).expect("write baseline");
+        println!("baseline written to {baseline_path}");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {baseline_path}: {e}");
+            eprintln!("      (record one with `--record`)");
+            std::process::exit(1);
+        }
+    };
+    let base_batched = json_f64(&text, "batched_packets_per_sec")
+        .expect("baseline missing batched_packets_per_sec");
+    let floor = base_batched * (1.0 - DROP_TOLERANCE);
+
+    let mut failed = false;
+    if batched < floor {
+        eprintln!(
+            "FAIL: batched throughput {batched:.0} packets/s is more than {:.0}% below \
+             the baseline {base_batched:.0} packets/s (floor {floor:.0})",
+            DROP_TOLERANCE * 100.0
+        );
+        failed = true;
+    }
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: batched/legacy speedup {speedup:.2}x is below the {SPEEDUP_FLOOR:.1}x floor"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: within {:.0}% of baseline ({base_batched:.0} packets/s) and above the \
+         {SPEEDUP_FLOOR:.1}x speedup floor",
+        DROP_TOLERANCE * 100.0
+    );
+}

@@ -1,0 +1,158 @@
+//! Shared packet-echo microbench for the data plane.
+//!
+//! Used by `benches/dataplane.rs` (criterion suite) and the
+//! `dataplane_guard` regression binary so both measure exactly the same
+//! pipeline: a three-stage source → echo → sink that moves `packets`
+//! buffers of `payload` bytes. Two configurations matter:
+//!
+//! * **legacy** — `batch = 1`, no buffer pool: every packet is a fresh
+//!   allocation, every hop one lock acquisition and one condvar wakeup.
+//! * **batched** — `batch = 8` with a [`BufferPool`]: packet storage is
+//!   recycled and up to `batch` packets move per lock acquisition.
+//!
+//! The committed `BENCH_dataplane.json` baseline records both rates; the
+//! tentpole acceptance bar is batched ≥ 2× legacy.
+
+use cgp_core::datacutter::{Buffer, BufferPool, ClosureFilter, FilterIo, Pipeline, StageSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One packet-echo configuration; see the module docs for the two
+/// interesting points in this space.
+#[derive(Clone, Debug)]
+pub struct EchoConfig {
+    /// Packets pushed by the source.
+    pub packets: usize,
+    /// Bytes per packet.
+    pub payload: usize,
+    /// Stream batch size (1 = per-packet semantics).
+    pub batch: usize,
+    /// Whether stages allocate from a shared [`BufferPool`].
+    pub pooled: bool,
+}
+
+impl EchoConfig {
+    /// The pre-PR data plane: per-packet sends, fresh allocations.
+    pub fn legacy(packets: usize, payload: usize) -> Self {
+        EchoConfig {
+            packets,
+            payload,
+            batch: 1,
+            pooled: false,
+        }
+    }
+
+    /// The pooled + batched data plane at the default batch of 8.
+    pub fn batched(packets: usize, payload: usize) -> Self {
+        EchoConfig {
+            packets,
+            payload,
+            batch: 8,
+            pooled: true,
+        }
+    }
+}
+
+/// Run the echo pipeline once. Returns total bytes observed by the sink
+/// (always `packets * payload`; asserted by callers).
+pub fn run_packet_echo(cfg: &EchoConfig) -> u64 {
+    let EchoConfig {
+        packets,
+        payload,
+        batch,
+        pooled,
+    } = *cfg;
+    let bytes = Arc::new(AtomicU64::new(0));
+    let sink_bytes = Arc::clone(&bytes);
+
+    let mut pipeline = Pipeline::new().with_capacity(64).with_batch(batch);
+    if pooled {
+        pipeline = pipeline.with_pool(BufferPool::new());
+    }
+    pipeline
+        .add_stage(StageSpec::new(
+            "src",
+            1,
+            Box::new(move |_| {
+                Box::new(ClosureFilter::new("src", move |io: &mut FilterIo| {
+                    let mut pending: Vec<Buffer> = Vec::with_capacity(batch);
+                    for i in 0..packets {
+                        let mut v = io.alloc(payload);
+                        v.resize(payload, (i & 0xFF) as u8);
+                        pending.push(io.seal(v));
+                        if pending.len() >= batch {
+                            io.write_batch(std::mem::replace(
+                                &mut pending,
+                                Vec::with_capacity(batch),
+                            ))?;
+                        }
+                    }
+                    io.write_batch(pending)
+                }))
+            }),
+        ))
+        .add_stage(StageSpec::new(
+            "echo",
+            1,
+            Box::new(move |_| {
+                Box::new(ClosureFilter::new("echo", move |io: &mut FilterIo| {
+                    let mut pending: Vec<Buffer> = Vec::with_capacity(batch);
+                    while let Some(b) = io.read() {
+                        pending.push(b);
+                        if pending.len() >= batch {
+                            io.write_batch(std::mem::replace(
+                                &mut pending,
+                                Vec::with_capacity(batch),
+                            ))?;
+                        }
+                    }
+                    io.write_batch(pending)
+                }))
+            }),
+        ))
+        .add_stage(StageSpec::new(
+            "sink",
+            1,
+            Box::new(move |_| {
+                let bytes = Arc::clone(&sink_bytes);
+                Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+                    while let Some(b) = io.read() {
+                        bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }))
+            }),
+        ))
+        .run()
+        .expect("echo pipeline failed");
+    bytes.load(Ordering::Relaxed)
+}
+
+/// Best-of-`reps` throughput in packets per second. Each rep runs the
+/// full pipeline (thread spawn included, as in real deployments) and the
+/// byte conservation invariant is asserted every time.
+pub fn echo_packets_per_sec(cfg: &EchoConfig, reps: usize) -> f64 {
+    let expect = (cfg.packets * cfg.payload) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let got = run_packet_echo(cfg);
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(got, expect, "packet-echo lost bytes");
+        best = best.min(dt);
+    }
+    cfg.packets as f64 / best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_conserves_bytes_in_both_configurations() {
+        for cfg in [EchoConfig::legacy(100, 64), EchoConfig::batched(100, 64)] {
+            assert_eq!(run_packet_echo(&cfg), 100 * 64, "{cfg:?}");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! Per-figure environment constants (host slowdown, effective link
 //! bandwidth) and their justification are recorded in EXPERIMENTS.md.
 
+pub mod dataplane;
 pub mod harness;
 
 use cgp_core::apps::profile::AppVariant;

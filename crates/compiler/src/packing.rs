@@ -233,6 +233,113 @@ fn push_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Scratch size (in 8-byte words) for chunked LE conversion of value
+/// runs: converted on the stack, appended as whole byte slices.
+const RUN_CHUNK: usize = 64;
+
+/// Pack a sectioned entry's whole run of elements.
+///
+/// Fast path — a plain array root (no field path) with an 8-byte scalar
+/// kind: the array is borrowed **once** for the run and values are
+/// LE-converted through a stack scratch buffer, appended chunk-at-a-time
+/// (no per-element `Value` clone, hash lookup, or 8-byte push). Anything
+/// else falls back to the general per-element select.
+fn pack_run(
+    out: &mut Vec<u8>,
+    kind: ScalarKind,
+    vars: &HashMap<String, Value>,
+    p: &Place,
+    ix: &[i64],
+) -> CompileResult<()> {
+    if p.fields.is_empty() && matches!(kind, ScalarKind::F64 | ScalarKind::I64) {
+        if let Some(Value::Array(a)) = vars.get(&p.root) {
+            let a = a.borrow();
+            let mut scratch = [0u8; RUN_CHUNK * 8];
+            let mut filled = 0usize;
+            for &i in ix {
+                let v = a.get(i as usize).ok_or_else(|| {
+                    CompileError::new(format!("pack index {i} out of range for `{}`", p.root))
+                })?;
+                let word: u64 = match (kind, v) {
+                    (ScalarKind::I64, Value::Int(x)) => *x as u64,
+                    (ScalarKind::F64, Value::Double(x)) => x.to_bits(),
+                    (ScalarKind::F64, Value::Int(x)) => (*x as f64).to_bits(),
+                    (k, other) => {
+                        return Err(CompileError::new(format!(
+                            "cannot pack value `{other}` as {k:?}"
+                        )))
+                    }
+                };
+                scratch[filled * 8..filled * 8 + 8].copy_from_slice(&word.to_le_bytes());
+                filled += 1;
+                if filled == RUN_CHUNK {
+                    out.extend_from_slice(&scratch);
+                    filled = 0;
+                }
+            }
+            if filled > 0 {
+                out.extend_from_slice(&scratch[..filled * 8]);
+            }
+            return Ok(());
+        }
+    }
+    for &i in ix {
+        push_scalar(out, kind, &select(vars, p, Some(i))?)?;
+    }
+    Ok(())
+}
+
+/// Unpack a sectioned entry's whole run of elements (inverse of
+/// [`pack_run`]): for a plain array root with an 8-byte scalar kind the
+/// wire run is taken as one slice (one bounds check) and scattered under
+/// a single `borrow_mut`; otherwise falls back to per-element store.
+fn unpack_run(
+    vars: &mut HashMap<String, Value>,
+    p: &Place,
+    ix: &[i64],
+    alloc_len: usize,
+    kind: ScalarKind,
+    buf: &[u8],
+    pos: &mut usize,
+) -> CompileResult<()> {
+    if ix.is_empty() {
+        // Nothing crossed: leave the binding absent, like the
+        // per-element path.
+        return Ok(());
+    }
+    if p.fields.is_empty() && matches!(kind, ScalarKind::F64 | ScalarKind::I64) {
+        let end = *pos + ix.len() * 8;
+        let run = buf
+            .get(*pos..end)
+            .ok_or_else(|| CompileError::new("buffer underrun (run)"))?;
+        *pos = end;
+        let root = vars
+            .entry(p.root.clone())
+            .or_insert_with(|| Value::new_array(alloc_len, Value::Null));
+        let Value::Array(a) = root else {
+            return Err(CompileError::new(format!("`{}` is not an array", p.root)));
+        };
+        let mut a = a.borrow_mut();
+        for (j, c) in run.chunks_exact(8).enumerate() {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            let i = ix[j] as usize;
+            if i >= a.len() {
+                return Err(CompileError::new(format!("unpack index {i} out of range")));
+            }
+            a[i] = match kind {
+                ScalarKind::F64 => Value::Double(f64::from_bits(word)),
+                _ => Value::Int(word as i64),
+            };
+        }
+        return Ok(());
+    }
+    for &i in ix {
+        let v = read_scalar(buf, pos, kind)?;
+        store(vars, p, Some(i), alloc_len, v)?;
+    }
+    Ok(())
+}
+
 fn read_i64(buf: &[u8], pos: &mut usize) -> CompileResult<i64> {
     let end = *pos + 8;
     let b = buf
@@ -402,16 +509,10 @@ pub fn pack(
     pkt: (i64, i64),
     selection: Option<&[i64]>,
 ) -> CompileResult<Vec<u8>> {
-    let mut out = Vec::new();
-    push_i64(&mut out, pkt.0);
-    push_i64(&mut out, pkt.1);
-    if layout.filtered.is_some() {
-        let sel = selection
-            .ok_or_else(|| CompileError::new("filtered layout requires a selection list"))?;
-        push_i64(&mut out, sel.len() as i64);
-        for i in sel {
-            push_i64(&mut out, *i);
-        }
+    if layout.filtered.is_some() && selection.is_none() {
+        return Err(CompileError::new(
+            "filtered layout requires a selection list",
+        ));
     }
 
     // The element index list for a sectioned entry.
@@ -442,53 +543,103 @@ pub fn pack(
         Ok(Some(section_indices(slo, shi, stride)))
     };
 
-    // Instance-wise: interleave entries element-by-element. Entries may
-    // have different index spaces, so interleave per position.
+    // Resolve every entry's index list first, so the output buffer can be
+    // reserved at its exact final size — one allocation, zero growth.
     let mut inst_indices: Vec<Option<Vec<i64>>> = Vec::new();
     for e in &layout.instance_wise {
         inst_indices.push(indices_for(&e.place)?);
     }
+    let mut fw_indices: Vec<Option<Vec<i64>>> = Vec::new();
+    for e in &layout.field_wise {
+        fw_indices.push(indices_for(&e.place)?);
+    }
+    let entry_bytes = |e: &PackEntry, ix: &Option<Vec<i64>>| -> usize {
+        match ix {
+            None => e.elem.byte_len(),
+            Some(v) => v.len() * e.elem.byte_len(),
+        }
+    };
+    let total: usize = 16
+        + selection
+            .filter(|_| layout.filtered.is_some())
+            .map_or(0, |s| 8 + 8 * s.len())
+        + 8
+        + layout
+            .instance_wise
+            .iter()
+            .zip(&inst_indices)
+            .map(|(e, ix)| entry_bytes(e, ix))
+            .sum::<usize>()
+        + layout
+            .field_wise
+            .iter()
+            .zip(&fw_indices)
+            .map(|(e, ix)| 8 + entry_bytes(e, ix))
+            .sum::<usize>();
+
+    let mut out = Vec::with_capacity(total);
+    push_i64(&mut out, pkt.0);
+    push_i64(&mut out, pkt.1);
+    if layout.filtered.is_some() {
+        let sel = selection.expect("checked above");
+        push_i64(&mut out, sel.len() as i64);
+        for i in sel {
+            push_i64(&mut out, *i);
+        }
+    }
+
+    // Instance-wise: interleave entries element-by-element. A single
+    // sectioned entry degenerates to one contiguous run — take the bulk
+    // path; genuine interleaves (the A3 instance-wise trade-off) go
+    // per-position.
     let count = inst_indices
         .iter()
         .filter_map(|ix| ix.as_ref().map(|v| v.len()))
         .max()
         .unwrap_or(0);
     push_i64(&mut out, count as i64);
-    for pos in 0..count.max(1) {
-        for (e, ix) in layout.instance_wise.iter().zip(&inst_indices) {
-            match ix {
-                None => {
-                    if pos == 0 {
-                        push_scalar(&mut out, e.elem, &select(vars, &e.place, None)?)?;
+    if let [e] = &layout.instance_wise[..] {
+        match &inst_indices[0] {
+            None => push_scalar(&mut out, e.elem, &select(vars, &e.place, None)?)?,
+            Some(ix) => pack_run(&mut out, e.elem, vars, &e.place, ix)?,
+        }
+    } else {
+        for pos in 0..count.max(1) {
+            for (e, ix) in layout.instance_wise.iter().zip(&inst_indices) {
+                match ix {
+                    None => {
+                        if pos == 0 {
+                            push_scalar(&mut out, e.elem, &select(vars, &e.place, None)?)?;
+                        }
                     }
-                }
-                Some(ix) => {
-                    if let Some(i) = ix.get(pos) {
-                        push_scalar(&mut out, e.elem, &select(vars, &e.place, Some(*i))?)?;
+                    Some(ix) => {
+                        if let Some(i) = ix.get(pos) {
+                            push_scalar(&mut out, e.elem, &select(vars, &e.place, Some(*i))?)?;
+                        }
                     }
                 }
             }
-        }
-        if count == 0 {
-            break;
+            if count == 0 {
+                break;
+            }
         }
     }
 
-    // Field-wise: each entry contiguous, preceded by its own count.
-    for e in &layout.field_wise {
-        match indices_for(&e.place)? {
+    // Field-wise: each entry contiguous, preceded by its own count — the
+    // shape the bulk run path is built for.
+    for (e, ix) in layout.field_wise.iter().zip(&fw_indices) {
+        match ix {
             None => {
                 push_i64(&mut out, -1); // scalar marker
                 push_scalar(&mut out, e.elem, &select(vars, &e.place, None)?)?;
             }
             Some(ix) => {
                 push_i64(&mut out, ix.len() as i64);
-                for i in &ix {
-                    push_scalar(&mut out, e.elem, &select(vars, &e.place, Some(*i))?)?;
-                }
+                pack_run(&mut out, e.elem, vars, &e.place, ix)?;
             }
         }
     }
+    debug_assert_eq!(out.len(), total, "pack size precomputation must be exact");
     Ok(out)
 }
 
@@ -561,25 +712,45 @@ pub fn unpack(layout: &PackLayout, env: &RuntimeEnv, buf: &[u8]) -> CompileResul
         inst_indices.push(indices_for(&e.place)?);
     }
     let count = read_i64(buf, &mut pos)? as usize;
-    for p in 0..count.max(1) {
-        for (e, ix) in layout.instance_wise.iter().zip(&inst_indices) {
-            match ix {
-                None => {
-                    if p == 0 {
-                        let v = read_scalar(buf, &mut pos, e.elem)?;
-                        store(&mut vars, &e.place, None, 0, v)?;
+    // A single sectioned instance-wise entry is one contiguous run on the
+    // wire — scatter it in bulk; genuine interleaves go per-position.
+    let single_run = matches!(
+        (&layout.instance_wise[..], &inst_indices[..]),
+        ([_], [Some(list)]) if list.len() == count
+    );
+    if single_run {
+        let e = &layout.instance_wise[0];
+        let ix = inst_indices[0].as_ref().expect("matched Some");
+        unpack_run(
+            &mut vars,
+            &e.place,
+            ix,
+            alloc_len(&e.place, &inst_indices[0]),
+            e.elem,
+            buf,
+            &mut pos,
+        )?;
+    } else {
+        for p in 0..count.max(1) {
+            for (e, ix) in layout.instance_wise.iter().zip(&inst_indices) {
+                match ix {
+                    None => {
+                        if p == 0 {
+                            let v = read_scalar(buf, &mut pos, e.elem)?;
+                            store(&mut vars, &e.place, None, 0, v)?;
+                        }
                     }
-                }
-                Some(list) => {
-                    if let Some(i) = list.get(p) {
-                        let v = read_scalar(buf, &mut pos, e.elem)?;
-                        store(&mut vars, &e.place, Some(*i), alloc_len(&e.place, ix), v)?;
+                    Some(list) => {
+                        if let Some(i) = list.get(p) {
+                            let v = read_scalar(buf, &mut pos, e.elem)?;
+                            store(&mut vars, &e.place, Some(*i), alloc_len(&e.place, ix), v)?;
+                        }
                     }
                 }
             }
-        }
-        if count == 0 {
-            break;
+            if count == 0 {
+                break;
+            }
         }
     }
 
@@ -599,16 +770,8 @@ pub fn unpack(layout: &PackLayout, env: &RuntimeEnv, buf: &[u8]) -> CompileResul
                     ix.len()
                 )));
             }
-            for i in &ix {
-                let v = read_scalar(buf, &mut pos, e.elem)?;
-                store(
-                    &mut vars,
-                    &e.place,
-                    Some(*i),
-                    alloc_len(&e.place, &Some(ix.clone())),
-                    v,
-                )?;
-            }
+            let alen = alloc_len(&e.place, &Some(ix.clone()));
+            unpack_run(&mut vars, &e.place, &ix, alen, e.elem, buf, &mut pos)?;
         }
     }
 

@@ -30,9 +30,99 @@ const TAG_NULL: u8 = 5;
 const TAG_DOMAIN: u8 = 6;
 const TAG_ARRAY: u8 = 7;
 const TAG_OBJECT: u8 = 8;
+/// Homogeneous `f64` array: count + one contiguous run of LE bit patterns.
+const TAG_ARRAY_F64: u8 = 9;
+/// Homogeneous `i64` array: count + one contiguous run of LE values.
+const TAG_ARRAY_I64: u8 = 10;
 
-/// Append the encoding of `v` to `out`.
+/// Scratch size (in 8-byte words) for chunked LE conversion: large enough
+/// that the per-chunk `extend_from_slice` amortizes to nothing, small
+/// enough to stay in cache and on the stack.
+const RUN_CHUNK: usize = 64;
+
+/// Append a run of `u64` LE words in chunks: each chunk is converted on
+/// the stack, then copied into `out` as one byte slice — no per-element
+/// `Vec` growth or push (safe on any endianness).
+fn extend_u64_run(out: &mut Vec<u8>, words: impl Iterator<Item = u64>) {
+    let mut scratch = [0u8; RUN_CHUNK * 8];
+    let mut filled = 0usize;
+    for w in words {
+        scratch[filled * 8..filled * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        filled += 1;
+        if filled == RUN_CHUNK {
+            out.extend_from_slice(&scratch);
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        out.extend_from_slice(&scratch[..filled * 8]);
+    }
+}
+
+/// Element kind of a homogeneous array (qualifying it for a bulk tag).
+enum Homogeneous {
+    F64,
+    I64,
+    No,
+}
+
+fn homogeneity(a: &[Value]) -> Homogeneous {
+    let mut iter = a.iter();
+    match iter.next() {
+        Some(Value::Double(_)) => {
+            if iter.all(|v| matches!(v, Value::Double(_))) {
+                Homogeneous::F64
+            } else {
+                Homogeneous::No
+            }
+        }
+        Some(Value::Int(_)) => {
+            if iter.all(|v| matches!(v, Value::Int(_))) {
+                Homogeneous::I64
+            } else {
+                Homogeneous::No
+            }
+        }
+        _ => Homogeneous::No,
+    }
+}
+
+/// Exact size in bytes of `encode_value(v)` (so encoders reserve once).
+pub fn encoded_len(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Double(_) => 9,
+        Value::Bool(_) => 2,
+        Value::Void | Value::Null => 1,
+        Value::Domain(_, _) => 17,
+        Value::Array(a) => {
+            let a = a.borrow();
+            match homogeneity(&a) {
+                Homogeneous::F64 | Homogeneous::I64 => 9 + 8 * a.len(),
+                Homogeneous::No => 9 + a.iter().map(encoded_len).sum::<usize>(),
+            }
+        }
+        Value::Object(o) => {
+            let o = o.borrow();
+            let fields: usize = o
+                .fields
+                .iter()
+                .map(|(k, v)| 4 + k.len() + encoded_len(v))
+                .sum();
+            1 + 4 + o.class.len() + 8 + fields
+        }
+    }
+}
+
+/// Append the encoding of `v` to `out`, reserving the exact size first.
+/// Homogeneous `f64`/`i64` arrays travel as one contiguous LE run
+/// (`TAG_ARRAY_F64`/`TAG_ARRAY_I64`) instead of per-element tagged
+/// encodings — the common reduction-state shape is a large numeric array.
 pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(v));
+    encode_value_inner(v, out);
+}
+
+fn encode_value_inner(v: &Value, out: &mut Vec<u8>) {
     match v {
         Value::Int(x) => {
             out.push(TAG_INT);
@@ -54,11 +144,37 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.extend_from_slice(&hi.to_le_bytes());
         }
         Value::Array(a) => {
-            out.push(TAG_ARRAY);
             let a = a.borrow();
-            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
-            for e in a.iter() {
-                encode_value(e, out);
+            match homogeneity(&a) {
+                Homogeneous::F64 => {
+                    out.push(TAG_ARRAY_F64);
+                    out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+                    extend_u64_run(
+                        out,
+                        a.iter().map(|v| match v {
+                            Value::Double(x) => x.to_bits(),
+                            _ => unreachable!("homogeneity checked"),
+                        }),
+                    );
+                }
+                Homogeneous::I64 => {
+                    out.push(TAG_ARRAY_I64);
+                    out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+                    extend_u64_run(
+                        out,
+                        a.iter().map(|v| match v {
+                            Value::Int(x) => *x as u64,
+                            _ => unreachable!("homogeneity checked"),
+                        }),
+                    );
+                }
+                Homogeneous::No => {
+                    out.push(TAG_ARRAY);
+                    out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+                    for e in a.iter() {
+                        encode_value_inner(e, out);
+                    }
+                }
             }
         }
         Value::Object(o) => {
@@ -71,7 +187,7 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
             for k in keys {
                 encode_str(k, out);
-                encode_value(&o.fields[k], out);
+                encode_value_inner(&o.fields[k], out);
             }
         }
     }
@@ -82,16 +198,22 @@ fn encode_str(s: &str, out: &mut Vec<u8>) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Encode a named map of values (a filter's reduction state).
+/// Encode a named map of values (a filter's reduction state). The output
+/// vector is reserved exactly once at its final size.
 pub fn encode_state(state: &HashMap<String, Value>) -> Vec<u8> {
     let mut keys: Vec<&String> = state.keys().collect();
     keys.sort();
-    let mut out = Vec::new();
+    let total: usize = 8 + keys
+        .iter()
+        .map(|k| 4 + k.len() + encoded_len(&state[*k]))
+        .sum::<usize>();
+    let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
     for k in keys {
         encode_str(k, &mut out);
-        encode_value(&state[k], &mut out);
+        encode_value_inner(&state[k], &mut out);
     }
+    debug_assert_eq!(out.len(), total, "encoded_len must be exact");
     out
 }
 
@@ -153,6 +275,30 @@ impl<'a> Reader<'a> {
                 for _ in 0..n {
                     v.push(self.value()?);
                 }
+                Ok(Value::Array(Rc::new(RefCell::new(v))))
+            }
+            TAG_ARRAY_F64 => {
+                let n = self.u64()? as usize;
+                // One bounds check for the whole run, then chunked LE
+                // conversion straight off the slice.
+                let run = self.take(n * 8)?;
+                let v: Vec<Value> = run
+                    .chunks_exact(8)
+                    .map(|c| {
+                        Value::Double(f64::from_bits(u64::from_le_bytes(
+                            c.try_into().expect("8-byte chunk"),
+                        )))
+                    })
+                    .collect();
+                Ok(Value::Array(Rc::new(RefCell::new(v))))
+            }
+            TAG_ARRAY_I64 => {
+                let n = self.u64()? as usize;
+                let run = self.take(n * 8)?;
+                let v: Vec<Value> = run
+                    .chunks_exact(8)
+                    .map(|c| Value::Int(i64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+                    .collect();
                 Ok(Value::Array(Rc::new(RefCell::new(v))))
             }
             TAG_OBJECT => {
@@ -233,6 +379,73 @@ mod tests {
         let back = decode_state(&buf).unwrap();
         assert_eq!(back.len(), 2);
         assert!(back["count"].deep_eq(&Value::Int(10)));
+    }
+
+    #[test]
+    fn homogeneous_arrays_use_bulk_tags_and_roundtrip() {
+        // f64 run (larger than one conversion chunk, exercising the
+        // chunked copy).
+        let xs = Value::Array(Rc::new(RefCell::new(
+            (0..1000).map(|i| Value::Double(i as f64 * 0.5)).collect(),
+        )));
+        let mut buf = Vec::new();
+        encode_value(&xs, &mut buf);
+        assert_eq!(buf[0], TAG_ARRAY_F64);
+        assert_eq!(buf.len(), encoded_len(&xs));
+        assert_eq!(
+            buf.len(),
+            9 + 8 * 1000,
+            "count + raw run, no per-element tags"
+        );
+        assert!(decode_value(&buf).unwrap().deep_eq(&xs));
+
+        // i64 run.
+        let ys = Value::Array(Rc::new(RefCell::new((-500..500).map(Value::Int).collect())));
+        let mut buf = Vec::new();
+        encode_value(&ys, &mut buf);
+        assert_eq!(buf[0], TAG_ARRAY_I64);
+        assert!(decode_value(&buf).unwrap().deep_eq(&ys));
+
+        // Mixed arrays keep the generic element-wise encoding.
+        let mixed = Value::Array(Rc::new(RefCell::new(vec![
+            Value::Int(1),
+            Value::Double(2.0),
+        ])));
+        let mut buf = Vec::new();
+        encode_value(&mixed, &mut buf);
+        assert_eq!(buf[0], TAG_ARRAY);
+        assert_eq!(buf.len(), encoded_len(&mixed));
+        assert!(decode_value(&buf).unwrap().deep_eq(&mixed));
+    }
+
+    #[test]
+    fn bulk_run_preserves_exotic_doubles() {
+        let xs = Value::Array(Rc::new(RefCell::new(vec![
+            Value::Double(f64::NAN),
+            Value::Double(f64::INFINITY),
+            Value::Double(-0.0),
+            Value::Double(f64::MIN_POSITIVE),
+        ])));
+        let mut buf = Vec::new();
+        encode_value(&xs, &mut buf);
+        let Value::Array(back) = decode_value(&buf).unwrap() else {
+            panic!("not an array");
+        };
+        let back = back.borrow();
+        assert!(matches!(back[0], Value::Double(x) if x.is_nan()));
+        assert!(matches!(back[1], Value::Double(x) if x == f64::INFINITY));
+        assert!(matches!(back[2], Value::Double(x) if x == 0.0 && x.is_sign_negative()));
+    }
+
+    #[test]
+    fn truncated_bulk_run_errors() {
+        let xs = Value::Array(Rc::new(RefCell::new(
+            (0..10).map(|i| Value::Double(i as f64)).collect(),
+        )));
+        let mut buf = Vec::new();
+        encode_value(&xs, &mut buf);
+        buf.truncate(buf.len() - 3);
+        assert!(decode_value(&buf).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::error::CoreError;
 use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
-    Buffer, FaultPlan, Filter, FilterIo, FilterResult, Pipeline, RetryPolicy, StageSpec,
+    Buffer, BufferPool, FaultPlan, Filter, FilterIo, FilterResult, Pipeline, RetryPolicy, StageSpec,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
 use std::sync::{Arc, Mutex};
@@ -32,6 +32,12 @@ use std::time::Duration;
 
 const TAG_DATA: u8 = 0;
 const TAG_REDUCTION: u8 = 1;
+
+/// Default stream batch: packets moved per lock acquisition. Chosen well
+/// below typical queue capacity (32) so batching never starves a
+/// round-robin sibling, while amortizing most of the per-packet
+/// synchronization.
+const DEFAULT_BATCH: usize = 8;
 
 /// A deterministic host-environment builder, invoked once per filter copy
 /// on its own thread.
@@ -50,6 +56,9 @@ pub struct ExecOptions {
     pub deadline: Option<Duration>,
     /// Cancel if no packet moves for this long.
     pub stall_timeout: Option<Duration>,
+    /// Packets moved per stream lock acquisition (`None` = default
+    /// [`DEFAULT_BATCH`]; 1 = strict per-packet synchronization).
+    pub batch: Option<usize>,
 }
 
 impl ExecOptions {
@@ -58,7 +67,9 @@ impl ExecOptions {
     /// - `CGP_FAULTS` — fault spec (see [`FaultPlan::parse`]);
     /// - `CGP_DEADLINE_MS` — run deadline in milliseconds;
     /// - `CGP_STALL_MS` — stall timeout in milliseconds;
-    /// - `CGP_RETRIES` — max retries for retryable failures.
+    /// - `CGP_RETRIES` — max retries for retryable failures;
+    /// - `CGP_BATCH` — packets per stream lock acquisition (1 disables
+    ///   batching).
     pub fn from_env() -> Result<ExecOptions, CoreError> {
         let mut opts = ExecOptions::default();
         if let Ok(spec) = std::env::var("CGP_FAULTS") {
@@ -78,6 +89,12 @@ impl ExecOptions {
         opts.stall_timeout = ms("CGP_STALL_MS")?.map(Duration::from_millis);
         if let Some(n) = ms("CGP_RETRIES")? {
             opts.retry = RetryPolicy::retries(n as u32);
+        }
+        if let Some(n) = ms("CGP_BATCH")? {
+            if n == 0 {
+                return Err(CoreError::Config("CGP_BATCH: must be at least 1".into()));
+            }
+            opts.batch = Some(n as usize);
         }
         Ok(opts)
     }
@@ -123,9 +140,12 @@ pub fn run_plan_threaded_opts(
         None => vec![1; m],
     };
     let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let batch = opts.batch.unwrap_or(DEFAULT_BATCH).max(1);
 
     let mut pipeline = Pipeline::new()
         .with_capacity(32)
+        .with_batch(batch)
+        .with_pool(BufferPool::new())
         .with_faults(opts.faults.clone())
         .with_retry(opts.retry);
     if let Some(d) = opts.deadline {
@@ -149,6 +169,7 @@ pub fn run_plan_threaded_opts(
                     copy,
                     width,
                     m,
+                    batch,
                     output: Arc::clone(&out),
                 })
             }),
@@ -166,7 +187,18 @@ struct PlanFilter {
     copy: usize,
     width: usize,
     m: usize,
+    batch: usize,
     output: Arc<Mutex<Vec<String>>>,
+}
+
+impl PlanFilter {
+    /// Build a tagged packet in pooled storage (tag byte + payload).
+    fn tagged(io: &mut FilterIo, tag: u8, payload: &[u8]) -> Buffer {
+        let mut buf = io.alloc(payload.len() + 1);
+        buf.push(tag);
+        buf.extend_from_slice(payload);
+        io.seal(buf)
+    }
 }
 
 impl PlanFilter {
@@ -177,8 +209,11 @@ impl PlanFilter {
         let j = self.j;
 
         if j == 0 {
-            // Source: generate this copy's share of the packets.
+            // Source: generate this copy's share of the packets, shipping
+            // them in batches so downstream queue synchronization is
+            // amortized over `batch` packets.
             let ((lo, hi), n_packets) = stepper.loop_bounds().map_err(CoreError::Compile)?;
+            let mut pending: Vec<Buffer> = Vec::with_capacity(self.batch);
             for (i, (plo, phi)) in split_domain(lo, hi, n_packets as usize).iter().enumerate() {
                 if i % self.width != self.copy {
                     continue;
@@ -187,13 +222,14 @@ impl PlanFilter {
                     .step(0, (*plo, *phi), None)
                     .map_err(CoreError::Compile)?;
                 if let Some(payload) = out {
-                    let mut buf = Vec::with_capacity(payload.len() + 1);
-                    buf.push(TAG_DATA);
-                    buf.extend_from_slice(&payload);
-                    io.write(Buffer::from_vec(buf))
-                        .map_err(CoreError::Runtime)?;
+                    pending.push(Self::tagged(io, TAG_DATA, &payload));
+                    if pending.len() >= self.batch {
+                        let batch = std::mem::replace(&mut pending, Vec::with_capacity(self.batch));
+                        io.write_batch(batch).map_err(CoreError::Runtime)?;
+                    }
                 }
             }
+            io.write_batch(pending).map_err(CoreError::Runtime)?;
         } else {
             // Interior/terminal: consume tagged buffers until end-of-work.
             while let Some(buf) = io.read() {
@@ -213,11 +249,8 @@ impl PlanFilter {
                             .step(j, (lo, hi), Some(body))
                             .map_err(CoreError::Compile)?;
                         if let Some(payload) = out {
-                            let mut fwd = Vec::with_capacity(payload.len() + 1);
-                            fwd.push(TAG_DATA);
-                            fwd.extend_from_slice(&payload);
-                            io.write(Buffer::from_vec(fwd))
-                                .map_err(CoreError::Runtime)?;
+                            let fwd = Self::tagged(io, TAG_DATA, &payload);
+                            io.write(fwd).map_err(CoreError::Runtime)?;
                         }
                     }
                     TAG_REDUCTION => {
@@ -234,10 +267,8 @@ impl PlanFilter {
         // End of work: ship reduction state downstream, or finish here.
         if j < self.m - 1 {
             let state = stepper.reduction_state(j);
-            let mut buf = vec![TAG_REDUCTION];
-            buf.extend_from_slice(&encode_state(&state));
-            io.write(Buffer::from_vec(buf))
-                .map_err(CoreError::Runtime)?;
+            let buf = Self::tagged(io, TAG_REDUCTION, &encode_state(&state));
+            io.write(buf).map_err(CoreError::Runtime)?;
         } else {
             let lines = stepper.epilogue_at(j).map_err(CoreError::Compile)?;
             self.output

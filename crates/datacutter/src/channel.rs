@@ -44,12 +44,23 @@ pub struct CancelToken {
     shared: Arc<CancelShared>,
 }
 
+/// A registered waker: the channel's identity (for deduplication) plus
+/// the closure that pokes both its condvars.
+struct Waker {
+    /// Address of the channel's `Inner` allocation; stable for the
+    /// channel's lifetime and unique among live channels.
+    channel_id: usize,
+    /// `probe(true)` notifies the channel's condvars; `probe(false)` only
+    /// reports liveness. Returns false once the channel is gone.
+    probe: Box<dyn Fn(bool) -> bool + Send + Sync>,
+}
+
 #[derive(Default)]
 struct CancelShared {
     flag: AtomicBool,
     /// One waker per registered channel; each notifies both condvars so
     /// blocked threads re-check the flag.
-    wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    wakers: Mutex<Vec<Waker>>,
 }
 
 impl CancelToken {
@@ -63,11 +74,43 @@ impl CancelToken {
 
     /// Cancel: wake every blocked operation on registered channels.
     /// Idempotent.
+    ///
+    /// The waker list is drained *before* any waker runs, so no
+    /// notification happens while the registry lock is held (a waker
+    /// takes its channel's state lock; holding the registry lock across
+    /// that would serialize every channel's wakeup behind one mutex and
+    /// deadlock if a late registration raced the drain). Cancellation is
+    /// sticky, so drained wakers are never needed again: channels built
+    /// after cancel observe the flag directly.
     pub fn cancel(&self) {
         self.shared.flag.store(true, Ordering::Release);
-        for wake in plock(&self.shared.wakers).iter() {
-            wake();
+        let wakers = std::mem::take(&mut *plock(&self.shared.wakers));
+        for w in wakers {
+            (w.probe)(true);
         }
+    }
+
+    /// Register a channel's waker; prunes dead entries and dedupes
+    /// repeated registrations for the same channel so a long-lived token
+    /// shared across many short-lived channels cannot grow its registry
+    /// (or wake the same channel twice per cancel).
+    fn register(&self, channel_id: usize, probe: Box<dyn Fn(bool) -> bool + Send + Sync>) {
+        if self.is_cancelled() {
+            // Sticky-cancelled: the new channel's operations observe the
+            // flag themselves; registering would only leak the waker.
+            return;
+        }
+        let mut wakers = plock(&self.shared.wakers);
+        wakers.retain(|w| (w.probe)(false));
+        if wakers.iter().any(|w| w.channel_id == channel_id) {
+            return;
+        }
+        wakers.push(Waker { channel_id, probe });
+    }
+
+    /// Registered live wakers (racy; for tests).
+    pub fn registered(&self) -> usize {
+        plock(&self.shared.wakers).len()
     }
 }
 
@@ -110,16 +153,25 @@ where
         cancel: cancel.map(|t| Arc::clone(&t.shared)),
     });
     if let Some(token) = cancel {
+        let channel_id = Arc::as_ptr(&inner) as usize;
         let weak = Arc::downgrade(&inner);
-        plock(&token.shared.wakers).push(Box::new(move || {
-            if let Some(inner) = weak.upgrade() {
-                // Touch the lock so wakes cannot race a thread that has
-                // checked the flag but not yet parked on the condvar.
-                drop(plock(&inner.state));
-                inner.not_empty.notify_all();
-                inner.not_full.notify_all();
-            }
-        }));
+        token.register(
+            channel_id,
+            Box::new(move |notify| {
+                let Some(inner) = weak.upgrade() else {
+                    return false;
+                };
+                if notify {
+                    // Touch the lock so wakes cannot race a thread that
+                    // has checked the flag but not yet parked on the
+                    // condvar.
+                    drop(plock(&inner.state));
+                    inner.not_empty.notify_all();
+                    inner.not_full.notify_all();
+                }
+                true
+            }),
+        );
     }
     (
         Sender {
@@ -168,6 +220,47 @@ impl<T> Sender<T> {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Blocking batched send: moves every message in `batch` into the
+    /// queue, pushing as many as the capacity allows per lock
+    /// acquisition and issuing one condvar notification per acquisition
+    /// instead of one per message. Blocks for room between rounds. On
+    /// disconnect or cancellation returns the messages not yet sent
+    /// (prefix already delivered stays delivered — the queue bound is
+    /// never exceeded and order is preserved).
+    pub fn send_batch(&self, batch: &mut VecDeque<T>) -> Result<(), SendError<VecDeque<T>>> {
+        while !batch.is_empty() {
+            let pushed;
+            {
+                let mut state = plock(&self.inner.state);
+                loop {
+                    if self.inner.cancelled() || state.receivers == 0 {
+                        return Err(SendError(std::mem::take(batch)));
+                    }
+                    let room = self.inner.capacity - state.queue.len();
+                    if room > 0 {
+                        let n = room.min(batch.len());
+                        state.queue.extend(batch.drain(..n));
+                        pushed = n;
+                        break;
+                    }
+                    state = self
+                        .inner
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            // One wakeup amortized over the whole round: a single message
+            // needs a single consumer, a burst may feed several.
+            if pushed == 1 {
+                self.inner.not_empty.notify_one();
+            } else {
+                self.inner.not_empty.notify_all();
+            }
+        }
+        Ok(())
     }
 
     /// Messages currently queued (racy; for observability only).
@@ -230,6 +323,41 @@ impl<T> Receiver<T> {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Non-blocking batched receive: drains up to `max` queued messages
+    /// into `out` under one lock acquisition, waking blocked producers
+    /// with one notification for the whole drain. Returns the number of
+    /// messages taken — `Ok(0)` means "empty but connected" (the caller
+    /// should fall back to blocking [`recv`](Self::recv)). Fails like
+    /// `recv`: cancellation takes priority over queued data.
+    pub fn try_recv_batch<E: Extend<T>>(
+        &self,
+        max: usize,
+        out: &mut E,
+    ) -> Result<usize, RecvError> {
+        let taken;
+        {
+            let mut state = plock(&self.inner.state);
+            if self.inner.cancelled() {
+                return Err(RecvError);
+            }
+            taken = max.min(state.queue.len());
+            if taken == 0 {
+                return if state.senders == 0 {
+                    Err(RecvError)
+                } else {
+                    Ok(0)
+                };
+            }
+            out.extend(state.queue.drain(..taken));
+        }
+        if taken == 1 {
+            self.inner.not_full.notify_one();
+        } else {
+            self.inner.not_full.notify_all();
+        }
+        Ok(taken)
     }
 }
 
@@ -354,6 +482,116 @@ mod tests {
         tx.send(7).unwrap();
         assert_eq!(rx.recv(), Ok(7));
         assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn send_batch_preserves_order_and_bound() {
+        let (tx, rx) = bounded(4);
+        let mut batch: VecDeque<i32> = (0..20).collect();
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match rx.try_recv_batch(8, &mut got) {
+                    Ok(0) => match rx.recv() {
+                        Ok(v) => got.push(v),
+                        Err(RecvError) => break,
+                    },
+                    Ok(_) => {}
+                    Err(RecvError) => break,
+                }
+                // The queue bound must never be exceeded mid-batch.
+                assert!(rx.inner.state.lock().unwrap().queue.len() <= 4);
+            }
+            got
+        });
+        tx.send_batch(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        drop(tx);
+        assert_eq!(h.join().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_batch_drains_up_to_max() {
+        let (tx, rx) = bounded(8);
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_batch(4, &mut out), Ok(4));
+        assert_eq!(rx.try_recv_batch(4, &mut out), Ok(2));
+        assert_eq!(rx.try_recv_batch(4, &mut out), Ok(0), "empty but connected");
+        drop(tx);
+        assert_eq!(rx.try_recv_batch(4, &mut out), Err(RecvError));
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn send_batch_returns_remainder_on_disconnect() {
+        let (tx, rx) = bounded(2);
+        let mut batch: VecDeque<i32> = (0..10).collect();
+        let h = thread::spawn(move || {
+            // Take a couple then hang up mid-batch.
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            drop(rx);
+            (a, b)
+        });
+        let err = tx.send_batch(&mut batch).expect_err("receiver hung up");
+        assert_eq!(h.join().unwrap(), (0, 1));
+        // Delivered prefix + returned remainder cover the batch exactly.
+        let remainder = err.0;
+        assert!(remainder.len() >= 6, "at most 2 consumed + 2 in flight");
+        let first = *remainder.front().unwrap();
+        assert_eq!(
+            remainder.iter().copied().collect::<Vec<_>>(),
+            (first..10).collect::<Vec<_>>(),
+            "remainder is a contiguous suffix"
+        );
+    }
+
+    #[test]
+    fn cancel_mid_batch_returns_remainder() {
+        let token = CancelToken::new();
+        let (tx, _rx) = bounded_cancellable(2, &token);
+        let h = thread::spawn(move || {
+            let mut batch: VecDeque<i32> = (0..10).collect();
+            tx.send_batch(&mut batch).expect_err("cancelled")
+        });
+        thread::sleep(Duration::from_millis(20));
+        token.cancel();
+        let SendError(remainder) = h.join().unwrap();
+        assert!(!remainder.is_empty());
+        assert_eq!(*remainder.back().unwrap(), 9);
+    }
+
+    #[test]
+    fn cancel_beats_queued_data_in_batch_recv() {
+        let token = CancelToken::new();
+        let (tx, rx) = bounded_cancellable(4, &token);
+        tx.send(1).unwrap();
+        token.cancel();
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_batch(4, &mut out), Err(RecvError));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn waker_registry_dedupes_and_prunes() {
+        let token = CancelToken::new();
+        let pair = bounded_cancellable::<u32>(1, &token);
+        assert_eq!(token.registered(), 1);
+        let pair2 = bounded_cancellable::<u32>(1, &token);
+        assert_eq!(token.registered(), 2, "distinct channels both register");
+        drop(pair);
+        // Dead entries are pruned on the next registration.
+        let pair3 = bounded_cancellable::<u32>(1, &token);
+        assert_eq!(token.registered(), 2);
+        drop(pair2);
+        drop(pair3);
+        token.cancel();
+        assert_eq!(token.registered(), 0, "cancel drains the registry");
+        let _pair4 = bounded_cancellable::<u32>(1, &token);
+        assert_eq!(token.registered(), 0, "post-cancel channels skip registry");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! optionally into a shared [`MetricsRegistry`]
 //! ([`Pipeline::with_metrics`]).
 
+use crate::buffer::BufferPool;
 use crate::error::{ErrorKind, FilterError, FilterResult};
 use crate::fault::{FaultPlan, RetryPolicy, RunControl};
 use crate::filter::{FilterFactory, FilterIo};
@@ -132,6 +133,11 @@ pub struct StageStats {
     pub retries: u64,
     /// Attempts that ended in a caught panic.
     pub panics: u64,
+    /// Packet-storage allocations served from the run's [`BufferPool`]
+    /// (zero when the pipeline runs without a pool).
+    pub pool_hits: u64,
+    /// Packet-storage allocations that fell through to the heap.
+    pub pool_misses: u64,
 }
 
 /// Result of a pipeline run.
@@ -169,6 +175,8 @@ pub struct Pipeline {
     deadline: Option<Duration>,
     stall_timeout: Option<Duration>,
     metrics: Option<Arc<Mutex<MetricsRegistry>>>,
+    batch: usize,
+    pool: Option<BufferPool>,
 }
 
 impl Pipeline {
@@ -182,7 +190,27 @@ impl Pipeline {
             deadline: None,
             stall_timeout: None,
             metrics: None,
+            batch: 1,
+            pool: None,
         }
+    }
+
+    /// Max packets moved per lock acquisition on every stream (adaptive:
+    /// a busy consumer drains up to `batch` queued packets after each
+    /// blocking receive, an idle one keeps per-packet latency). 1 —
+    /// the default — restores strict per-packet synchronization.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Recycle packet storage through a shared [`BufferPool`]: filters
+    /// that build packets via [`FilterIo::alloc`]/[`FilterIo::seal`] get
+    /// recycled allocations, and per-stage hit/miss counts land in
+    /// [`StageStats`] (and the metrics registry, when attached).
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Queue depth (buffers in flight) per stream; provides backpressure.
@@ -335,9 +363,13 @@ impl Pipeline {
                         width: stage.width,
                         injector,
                         control: Some(Arc::clone(&control)),
+                        pool: self.pool.clone(),
+                        pool_hits: 0,
+                        pool_misses: 0,
                     };
                     if let Some(r) = io.input.as_mut() {
                         r.set_trace_tid(tid);
+                        r.set_batch(self.batch);
                     }
                     if let Some(w) = io.output.as_mut() {
                         w.set_trace_tid(tid);
@@ -493,6 +525,9 @@ impl Pipeline {
                             entry.failures += failures_here;
                             entry.retries += retries_here;
                             entry.panics += panics_here;
+                            let (ph, pm) = io.pool_counts();
+                            entry.pool_hits += ph;
+                            entry.pool_misses += pm;
                         }
                         drop(copy_span);
                         if let Err(e) = result {
@@ -521,6 +556,12 @@ impl Pipeline {
                 }
                 if st.panics > 0 {
                     reg.counter(&format!("stage.{}.panics", st.name), st.panics);
+                }
+                if st.pool_hits > 0 {
+                    reg.counter(&format!("stage.{}.pool.hits", st.name), st.pool_hits);
+                }
+                if st.pool_misses > 0 {
+                    reg.counter(&format!("stage.{}.pool.misses", st.name), st.pool_misses);
                 }
             }
         }

@@ -7,6 +7,7 @@
 //! stream until end-of-work, then `finalize` releases resources (and may
 //! flush final results — e.g. reduction state — downstream).
 
+use crate::buffer::{Buffer, BufferPool};
 use crate::error::{FilterError, FilterResult};
 use crate::fault::{FaultAction, FaultInjector, RunControl};
 use crate::stream::{StreamReader, StreamWriter};
@@ -30,6 +31,16 @@ pub struct FilterIo {
     /// Run-wide cancellation/progress state, when the executor runs with
     /// a deadline or stall watchdog.
     pub(crate) control: Option<Arc<RunControl>>,
+    /// Shared packet-storage pool ([`Pipeline::with_pool`]); when absent,
+    /// [`alloc`](FilterIo::alloc)/[`seal`](FilterIo::seal) fall through
+    /// to plain heap allocation.
+    ///
+    /// [`Pipeline::with_pool`]: crate::exec::Pipeline::with_pool
+    pub(crate) pool: Option<BufferPool>,
+    /// Pool hits/misses by this copy's [`alloc`](FilterIo::alloc) calls
+    /// (aggregated into `StageStats` by the executor).
+    pub(crate) pool_hits: u64,
+    pub(crate) pool_misses: u64,
 }
 
 impl FilterIo {
@@ -48,6 +59,37 @@ impl FilterIo {
             width,
             injector: None,
             control: None,
+            pool: None,
+            pool_hits: 0,
+            pool_misses: 0,
+        }
+    }
+
+    /// Get scratch storage for building an output packet: recycled from
+    /// the pipeline's [`BufferPool`] when one is attached, freshly
+    /// allocated otherwise. Pair with [`seal`](FilterIo::seal).
+    pub fn alloc(&mut self, capacity: usize) -> Vec<u8> {
+        match &self.pool {
+            Some(p) => {
+                let (v, hit) = p.alloc_counted(capacity);
+                if hit {
+                    self.pool_hits += 1;
+                } else {
+                    self.pool_misses += 1;
+                }
+                v
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Seal scratch storage (from [`alloc`](FilterIo::alloc)) into a
+    /// [`Buffer`] — zero-copy; a pooled allocation returns to the pool
+    /// when the last clone of the buffer drops.
+    pub fn seal(&self, v: Vec<u8>) -> Buffer {
+        match &self.pool {
+            Some(p) => p.seal(v),
+            None => Buffer::from_vec(v),
         }
     }
 
@@ -114,6 +156,33 @@ impl FilterIo {
             Some(w) => w.write(buf),
             None => Ok(()), // terminal filter: writes are results, kept by the filter itself
         }
+    }
+
+    /// Write a run of buffers downstream, amortizing synchronization over
+    /// the whole run (one lock acquisition + one wakeup per target queue
+    /// instead of per packet).
+    ///
+    /// With a fault injector attached this degrades to per-packet
+    /// [`write`](FilterIo::write): injected faults must keep firing at
+    /// exact packet indices, so a copy under test never skips the
+    /// per-packet interposition point.
+    pub fn write_batch(&mut self, bufs: Vec<Buffer>) -> FilterResult<()> {
+        if self.injector.is_some() {
+            for buf in bufs {
+                self.write(buf)?;
+            }
+            return Ok(());
+        }
+        match self.output.as_mut() {
+            Some(w) => w.write_batch(bufs),
+            None => Ok(()),
+        }
+    }
+
+    /// Pool hits/misses accumulated by this copy's
+    /// [`alloc`](FilterIo::alloc) calls.
+    pub fn pool_counts(&self) -> (u64, u64) {
+        (self.pool_hits, self.pool_misses)
     }
 
     pub fn has_input(&self) -> bool {

@@ -44,7 +44,9 @@ pub mod filter;
 pub mod placement;
 pub mod stream;
 
-pub use buffer::{reassemble, Buffer, BufferBuilder, DEFAULT_BUFFER_CAPACITY};
+pub use buffer::{
+    reassemble, Buffer, BufferBuilder, BufferPool, BufferWriter, PoolStats, DEFAULT_BUFFER_CAPACITY,
+};
 pub use channel::CancelToken;
 pub use error::{ErrorKind, FilterError, FilterResult};
 pub use exec::{Pipeline, RunStats, StageSpec, StageStats};

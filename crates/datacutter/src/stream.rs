@@ -12,6 +12,7 @@ use crate::channel::{bounded, bounded_cancellable, Receiver, Sender};
 use crate::error::{FilterError, FilterResult};
 use crate::fault::RunControl;
 use cgp_obs::trace::{self, PID_RUNTIME};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +42,14 @@ enum Msg {
 pub struct StreamReader {
     rx: Receiver<Msg>,
     producers_remaining: usize,
+    /// Locally drained messages not yet handed to the filter. Filled by
+    /// the adaptive drain: after a blocking receive delivers one message,
+    /// up to `batch - 1` more are taken under a single extra lock
+    /// acquisition, so a busy consumer amortizes synchronization while an
+    /// idle one keeps per-packet latency.
+    pending: VecDeque<Msg>,
+    /// Max messages moved per lock acquisition; 1 disables batching.
+    batch: usize,
     buffers_read: u64,
     bytes_read: u64,
     blocked: Duration,
@@ -56,9 +65,34 @@ pub struct StreamReader {
 }
 
 impl StreamReader {
+    /// Set the adaptive-drain batch size (messages moved per lock
+    /// acquisition); 1 restores strict per-packet operation.
+    pub fn set_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
     /// Blocking read; `None` once every producer copy has closed.
     pub fn read(&mut self) -> Option<Buffer> {
-        while self.producers_remaining > 0 {
+        loop {
+            // Cancellation takes priority over locally drained packets,
+            // matching the channel's cancel-beats-queued-data rule: a
+            // cancelled pipeline stops moving data even if this copy
+            // already holds some.
+            if !self.pending.is_empty() && self.control.as_ref().is_some_and(|c| c.is_cancelled()) {
+                self.pending.clear();
+                return None;
+            }
+            match self.pending.pop_front() {
+                Some(Msg::Data(b)) => return Some(self.account(b)),
+                Some(Msg::End) => {
+                    self.producers_remaining -= 1;
+                    continue;
+                }
+                None => {}
+            }
+            if self.producers_remaining == 0 {
+                return None;
+            }
             let wait_start = Instant::now();
             let msg = self.rx.recv();
             let waited = wait_start.elapsed();
@@ -76,25 +110,15 @@ impl StreamReader {
                 );
             }
             match msg {
-                Ok(Msg::Data(b)) => {
-                    self.buffers_read += 1;
-                    self.bytes_read += b.len() as u64;
-                    if let Some(c) = &self.control {
-                        c.note_progress();
+                Ok(m) => {
+                    self.pending.push_back(m);
+                    if self.batch > 1 {
+                        // Adaptive drain: whatever else is already queued
+                        // comes along under one extra lock acquisition.
+                        // Errors here (cancel/disconnect) are surfaced by
+                        // the checks at the top of the loop.
+                        let _ = self.rx.try_recv_batch(self.batch - 1, &mut self.pending);
                     }
-                    if trace::enabled() {
-                        trace::instant(
-                            "recv",
-                            "packet",
-                            PID_RUNTIME,
-                            self.tid,
-                            vec![("bytes", (b.len() as u64).into())],
-                        );
-                    }
-                    return Some(b);
-                }
-                Ok(Msg::End) => {
-                    self.producers_remaining -= 1;
                 }
                 Err(_) => {
                     // All senders dropped, or the run was cancelled out
@@ -106,7 +130,26 @@ impl StreamReader {
                 }
             }
         }
-        None
+    }
+
+    /// Per-packet accounting for a buffer about to be handed to the
+    /// filter: stats, progress for the stall detector, trace event.
+    fn account(&mut self, b: Buffer) -> Buffer {
+        self.buffers_read += 1;
+        self.bytes_read += b.len() as u64;
+        if let Some(c) = &self.control {
+            c.note_progress();
+        }
+        if trace::enabled() {
+            trace::instant(
+                "recv",
+                "packet",
+                PID_RUNTIME,
+                self.tid,
+                vec![("bytes", (b.len() as u64).into())],
+            );
+        }
+        b
     }
 
     pub fn stats(&self) -> (u64, u64) {
@@ -221,6 +264,93 @@ impl StreamWriter {
         }
     }
 
+    /// Send a run of buffers, amortizing lock acquisitions and condvar
+    /// wakeups over the whole run instead of paying one per packet.
+    /// Round-robin distribution is preserved exactly: each consumer copy
+    /// receives the same subsequence, in the same order, as `len` calls
+    /// to [`write`](Self::write) would have produced.
+    pub fn write_batch(&mut self, bufs: Vec<Buffer>) -> FilterResult<()> {
+        if self.closed {
+            return Err(FilterError::new("stream", "write after close"));
+        }
+        if bufs.is_empty() {
+            return Ok(());
+        }
+        let count = bufs.len() as u64;
+        let bytes: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+        self.buffers_written += count;
+        self.bytes_written += bytes;
+        // Group the run by target queue. Shared distribution and width-1
+        // round-robin collapse to a single group; multi-consumer
+        // round-robin rotates per packet, exactly like `write`.
+        let targets = self.txs.len();
+        let mut per_target: Vec<VecDeque<Msg>> = (0..targets).map(|_| VecDeque::new()).collect();
+        for buf in bufs {
+            let target = match self.distribution {
+                Distribution::RoundRobin => {
+                    let t = self.next % targets;
+                    self.next += 1;
+                    t
+                }
+                Distribution::Shared => 0,
+            };
+            per_target[target].push_back(Msg::Data(buf));
+        }
+        let tracing = trace::enabled();
+        for (target, mut batch) in per_target.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let n = batch.len() as u64;
+            let depth = if tracing {
+                self.txs[target].len() as u64
+            } else {
+                0
+            };
+            let wait_start = Instant::now();
+            let sent = self.txs[target].send_batch(&mut batch);
+            let waited = wait_start.elapsed();
+            self.blocked += waited;
+            if tracing {
+                if waited >= STALL_EVENT_THRESHOLD {
+                    let end_us = trace::now_us();
+                    trace::complete(
+                        "blocked_on_send",
+                        "stall",
+                        end_us - waited.as_secs_f64() * 1e6,
+                        waited.as_secs_f64() * 1e6,
+                        PID_RUNTIME,
+                        self.tid,
+                        vec![("queue_depth", depth.into())],
+                    );
+                }
+                trace::instant(
+                    "send_batch",
+                    "packet",
+                    PID_RUNTIME,
+                    self.tid,
+                    vec![("count", n.into()), ("queue_depth", depth.into())],
+                );
+            }
+            match sent {
+                Ok(()) => {
+                    if let Some(c) = &self.control {
+                        c.note_progress();
+                    }
+                }
+                Err(_) if self.control.as_ref().is_some_and(|c| c.is_cancelled()) => {
+                    self.cancelled_while_blocked = true;
+                    return Err(FilterError::cancelled(
+                        "stream",
+                        "run cancelled during send",
+                    ));
+                }
+                Err(_) => return Err(FilterError::new("stream", "consumer hung up")),
+            }
+        }
+        Ok(())
+    }
+
     /// Whether a blocking send on this endpoint was aborted by run
     /// cancellation (the stall report uses this to name wedged copies).
     pub fn cancelled_while_blocked(&self) -> bool {
@@ -295,6 +425,8 @@ pub fn logical_stream_controlled(
     let reader = |rx: Receiver<Msg>| StreamReader {
         rx,
         producers_remaining: producers,
+        pending: VecDeque::new(),
+        batch: 1,
         buffers_read: 0,
         bytes_read: 0,
         blocked: Duration::ZERO,

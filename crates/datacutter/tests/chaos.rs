@@ -283,8 +283,49 @@ fn no_leaked_threads_after_failures() {
             ))
             .run();
     }
-    let after = thread_count();
-    assert_eq!(before, after, "thread count must return to baseline");
+    // The count is process-wide and other tests in this binary spawn
+    // pipelines concurrently, so poll until it settles back rather than
+    // sampling once.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let after = thread_count();
+        if after <= before {
+            break;
+        }
+        if Instant::now() > deadline {
+            panic!("thread count must return to baseline: before={before} after={after}");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn faults_target_exact_packet_indices_through_batches() {
+    // Transport batching must not smear per-packet fault semantics:
+    // injection happens at the FilterIo boundary, so with an 8-packet
+    // batch a panic at packet 123 of mid[1] still fires there and the
+    // error still names that exact packet.
+    let count = Arc::new(AtomicU64::new(0));
+    let err = three_stage(2, count)
+        .with_batch(8)
+        .with_faults(FaultPlan::new().panic_at("mid", 1, 123))
+        .with_deadline(Duration::from_secs(30))
+        .run()
+        .expect_err("injected panic must fail the batched run");
+    assert_eq!(err.kind, ErrorKind::Panicked);
+    assert_eq!(err.filter, "mid[1]", "{err}");
+    assert!(err.message.contains("packet 123"), "{err}");
+
+    // Drops remove exactly the targeted packets, nothing adjacent in
+    // the same batch.
+    let count = Arc::new(AtomicU64::new(0));
+    let stats = three_stage(1, Arc::clone(&count))
+        .with_batch(8)
+        .with_faults(FaultPlan::new().drop_at("mid", 0, 10).drop_at("mid", 0, 20))
+        .run()
+        .expect("drops are silent");
+    assert_eq!(count.load(Ordering::Relaxed), N - 2);
+    assert_eq!(stats.failures(), 0);
 }
 
 #[test]
