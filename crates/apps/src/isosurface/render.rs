@@ -234,6 +234,108 @@ impl ActivePixels {
     }
 }
 
+// ---------------------------------------------------------------------------
+// checkpointing
+//
+// Both accumulation structures are the reduction state a rendering stage
+// carries across packets, so they implement the runtime's `Checkpoint`
+// trait: fixed little-endian byte codecs (f32 bits, not values, so the
+// round trip is exact for every payload including NaN and ±inf), restore
+// by merge — the same associative `reduce` the transparent copies use.
+
+impl cgp_datacutter::Checkpoint for ZBuffer {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.depth.len() * 8);
+        out.extend_from_slice(&(self.screen as u64).to_le_bytes());
+        for d in &self.depth {
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        for c in &self.color {
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> cgp_datacutter::FilterResult<()> {
+        let bad = |msg: &str| cgp_datacutter::FilterError::malformed("zbuffer", msg.to_string());
+        let screen = u64::from_le_bytes(
+            snapshot
+                .get(..8)
+                .ok_or_else(|| bad("snapshot shorter than its header"))?
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
+        let n = screen * screen;
+        let body = &snapshot[8..];
+        if body.len() != n * 8 {
+            return Err(bad(&format!(
+                "snapshot body is {} bytes, expected {} for a {screen}x{screen} screen",
+                body.len(),
+                n * 8
+            )));
+        }
+        let mut other = ZBuffer::new(screen);
+        for i in 0..n {
+            other.depth[i] = f32::from_bits(u32::from_le_bytes(
+                body[i * 4..i * 4 + 4].try_into().expect("4 bytes"),
+            ));
+            other.color[i] = f32::from_bits(u32::from_le_bytes(
+                body[n * 4 + i * 4..n * 4 + i * 4 + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            ));
+        }
+        if self.screen != screen {
+            return Err(bad(&format!(
+                "snapshot screen {screen} does not match live screen {}",
+                self.screen
+            )));
+        }
+        self.reduce(&other);
+        Ok(())
+    }
+}
+
+impl cgp_datacutter::Checkpoint for ActivePixels {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.pixels.len() * 12);
+        out.extend_from_slice(&(self.pixels.len() as u64).to_le_bytes());
+        for (i, d, c) in self.sorted() {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> cgp_datacutter::FilterResult<()> {
+        let bad =
+            |msg: &str| cgp_datacutter::FilterError::malformed("active-pixels", msg.to_string());
+        let n = u64::from_le_bytes(
+            snapshot
+                .get(..8)
+                .ok_or_else(|| bad("snapshot shorter than its header"))?
+                .try_into()
+                .expect("8 bytes"),
+        ) as usize;
+        let body = &snapshot[8..];
+        if body.len() != n * 12 {
+            return Err(bad(&format!(
+                "snapshot body is {} bytes, expected {} for {n} pixels",
+                body.len(),
+                n * 12
+            )));
+        }
+        for e in body.chunks_exact(12) {
+            let idx = u32::from_le_bytes(e[..4].try_into().expect("4 bytes"));
+            let d = f32::from_bits(u32::from_le_bytes(e[4..8].try_into().expect("4 bytes")));
+            let c = f32::from_bits(u32::from_le_bytes(e[8..12].try_into().expect("4 bytes")));
+            self.put(idx, d, c);
+        }
+        Ok(())
+    }
+}
+
 /// Rasterize screen triangles into a dense z-buffer.
 pub fn rasterize_zbuf(tris: &[ScreenTri], zbuf: &mut ZBuffer) {
     let screen = zbuf.screen;
@@ -368,5 +470,44 @@ mod tests {
         let mut z1 = ZBuffer::new(32);
         rasterize_zbuf(&[], &mut z1);
         assert_eq!(z0, z1);
+    }
+
+    #[test]
+    fn zbuffer_checkpoint_round_trips_exactly() {
+        use cgp_datacutter::Checkpoint;
+        let (st, screen) = scene();
+        let mut z = ZBuffer::new(screen);
+        rasterize_zbuf(&st, &mut z);
+        let snap = z.snapshot();
+        let mut fresh = ZBuffer::new(screen);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh, z, "restore into a zero buffer is exact");
+        // Restore is a merge: restoring on top of partial progress is the
+        // same associative reduce the transparent copies use.
+        let mut partial = ZBuffer::new(screen);
+        rasterize_zbuf(&st[..st.len() / 2], &mut partial);
+        partial.restore(&snap).unwrap();
+        assert_eq!(partial.digest(), z.digest());
+        // Corruption fails loudly.
+        assert!(fresh.restore(&snap[..snap.len() - 1]).is_err());
+        assert!(ZBuffer::new(screen / 2).restore(&snap).is_err());
+    }
+
+    #[test]
+    fn active_pixels_checkpoint_round_trips_exactly() {
+        use cgp_datacutter::Checkpoint;
+        let (st, screen) = scene();
+        let mut a = ActivePixels::new();
+        rasterize_apix(&st, screen, &mut a);
+        let snap = a.snapshot();
+        let mut fresh = ActivePixels::new();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.sorted(), a.sorted());
+        let mut partial = ActivePixels::new();
+        rasterize_apix(&st[..st.len() / 3], screen, &mut partial);
+        partial.restore(&snap).unwrap();
+        assert_eq!(partial.digest(), a.digest());
+        assert!(fresh.restore(&snap[..snap.len() - 1]).is_err());
+        assert!(fresh.restore(&[1, 2, 3]).is_err());
     }
 }

@@ -15,22 +15,76 @@
 //!   deterministic faults into the threaded demo run (see
 //!   [`cgp_core::datacutter::FaultPlan::parse`] for the spec grammar),
 //!   plus `CGP_DEADLINE_MS`/`--deadline-ms`, `CGP_STALL_MS` and
-//!   `CGP_RETRIES` for the matching watchdog/retry knobs.
+//!   `CGP_RETRIES` for the matching watchdog/retry knobs;
+//! - `CGP_RECOVER=1` (env) or `--recover` (flag) — mask the injected
+//!   faults with checkpointed restarts and ack/replay delivery, with
+//!   `CGP_CHECKPOINT_EVERY`/`--checkpoint-every` controlling commit
+//!   frequency; if a stage still exhausts its restart budget, the
+//!   harness replans the decomposition over the surviving units with the
+//!   cost model and re-runs (`[obs] failover: ...`).
 //!
 //! When none is given the binaries run exactly as before — no sink is
 //! installed and the tracing hooks reduce to one relaxed atomic load.
 
+use cgp_compiler::decompose::decompose_dp;
+use cgp_compiler::failover::replan;
 use cgp_core::apps::dialect::{
     iso_host_env, knn_host_env, vmscope_host_env, APIX_SRC, KNN_SRC, VMSCOPE_SRC, ZBUF_SRC,
 };
 use cgp_core::apps::isosurface::ScalarGrid;
 use cgp_core::apps::vmscope::Slide;
 use cgp_core::datacutter::FaultPlan;
-use cgp_core::{compile, run_plan_threaded_opts, CompileOptions, ExecOptions, PipelineEnv};
+use cgp_core::{
+    compile, run_plan_threaded_stats, CompileOptions, Compiled, CoreError, ExecOptions, PipelineEnv,
+};
 use cgp_obs::trace::{self, TraceEvent};
 use cgp_obs::{ChromeTraceSink, TraceSink};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Command-line options shared by every figure binary — one parser so the
+/// binaries cannot drift apart in flag spelling or precedence. Supports
+/// both `--flag value` and `--flag=value`; unrecognized arguments are
+/// ignored (figures keep their own flags).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommonOpts {
+    pub explain: bool,
+    pub trace_path: Option<String>,
+    pub faults_spec: Option<String>,
+    pub deadline_ms: Option<u64>,
+    /// `--recover`: mask injected faults with checkpoint/replay restarts.
+    pub recover: bool,
+    /// `--checkpoint-every <k>`: packets between checkpoint commits.
+    pub checkpoint_every: Option<u64>,
+}
+
+/// Parse the shared flags out of an argument stream.
+pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
+    let mut o = CommonOpts::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--explain" => o.explain = true,
+            "--recover" => o.recover = true,
+            "--trace-out" => o.trace_path = args.next(),
+            "--faults" => o.faults_spec = args.next(),
+            "--deadline-ms" => o.deadline_ms = args.next().and_then(|v| v.parse().ok()),
+            "--checkpoint-every" => o.checkpoint_every = args.next().and_then(|v| v.parse().ok()),
+            _ => {
+                if let Some(p) = a.strip_prefix("--trace-out=") {
+                    o.trace_path = Some(p.to_string());
+                } else if let Some(s) = a.strip_prefix("--faults=") {
+                    o.faults_spec = Some(s.to_string());
+                } else if let Some(d) = a.strip_prefix("--deadline-ms=") {
+                    o.deadline_ms = d.parse().ok();
+                } else if let Some(k) = a.strip_prefix("--checkpoint-every=") {
+                    o.checkpoint_every = k.parse().ok();
+                }
+            }
+        }
+    }
+    o
+}
 
 /// Which dialect program matches the figure being run.
 #[derive(Debug, Clone, Copy)]
@@ -79,37 +133,25 @@ impl Obs {
     /// `CGP_STALL_MS`/`CGP_RETRIES` from the environment; install the
     /// trace sink if tracing is asked for.
     pub fn init() -> Obs {
-        let mut explain = false;
-        let mut trace_path: Option<String> = std::env::var(trace::TRACE_ENV).ok();
+        let opts = parse_common_opts(std::env::args().skip(1));
+        let explain = opts.explain;
+        let trace_path = opts
+            .trace_path
+            .or_else(|| std::env::var(trace::TRACE_ENV).ok());
         let mut exec = ExecOptions::from_env()
             .unwrap_or_else(|e| panic!("bad fault-injection environment: {e}"));
-        let mut faults_spec: Option<String> = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--explain" => explain = true,
-                "--trace-out" => trace_path = args.next(),
-                "--faults" => faults_spec = args.next(),
-                "--deadline-ms" => {
-                    exec.deadline = args
-                        .next()
-                        .and_then(|v| v.parse::<u64>().ok())
-                        .map(Duration::from_millis);
-                }
-                _ => {
-                    if let Some(p) = a.strip_prefix("--trace-out=") {
-                        trace_path = Some(p.to_string());
-                    } else if let Some(s) = a.strip_prefix("--faults=") {
-                        faults_spec = Some(s.to_string());
-                    } else if let Some(d) = a.strip_prefix("--deadline-ms=") {
-                        exec.deadline = d.parse::<u64>().ok().map(Duration::from_millis);
-                    }
-                }
-            }
-        }
-        if let Some(spec) = faults_spec {
+        if let Some(spec) = &opts.faults_spec {
             exec.faults =
-                FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("bad --faults spec: {e}"));
+                FaultPlan::parse(spec).unwrap_or_else(|e| panic!("bad --faults spec: {e}"));
+        }
+        if let Some(ms) = opts.deadline_ms {
+            exec.deadline = Some(Duration::from_millis(ms));
+        }
+        if opts.recover {
+            exec.recover = true;
+        }
+        if opts.checkpoint_every.is_some() {
+            exec.checkpoint_every = opts.checkpoint_every;
         }
         let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
         let sink = trace_path.as_ref().map(|p| {
@@ -157,14 +199,31 @@ impl Obs {
         }
         if self.sink.is_some() || self.chaos {
             let builder = demo_host_builder(app);
-            match run_plan_threaded_opts(Arc::new(compiled.plan), builder, None, &self.exec) {
-                Ok(_) => {
+            let plan = Arc::new(compiled.plan.clone());
+            match run_plan_threaded_stats(plan, Arc::clone(&builder), None, &self.exec) {
+                Ok((_, stats)) => {
                     if self.chaos {
                         println!("[obs] chaos run for {name} completed despite injection");
+                        if self.exec.recover {
+                            println!(
+                                "[obs] recovery: {} restarts, {} replayed packets, \
+                                 {} checkpoints ({} bytes)",
+                                stats.recoveries(),
+                                stats.replayed_packets(),
+                                stats.checkpoints(),
+                                stats.checkpoint_bytes()
+                            );
+                        }
                     }
                 }
                 Err(e) => {
-                    if self.chaos {
+                    if self.chaos && self.exec.recover {
+                        // Restart budget exhausted on some unit: treat the
+                        // unit's host as dead, replan over the survivors
+                        // with the cost model, and re-run from checkpoints.
+                        println!("[obs] chaos run for {name} exhausted restarts: {e}");
+                        self.failover_rerun(name, src, &opts, &compiled, builder, &e);
+                    } else if self.chaos {
                         // Under injection a structured failure is the
                         // expected outcome — report it, don't die.
                         println!("[obs] chaos run for {name} failed as injected: {e}");
@@ -173,6 +232,57 @@ impl Obs {
                     }
                 }
             }
+        }
+    }
+
+    /// Cost-model-driven failover: map the failed stage label back to a
+    /// pipeline unit, drop that unit from the environment, re-run the
+    /// decomposition DP over the survivors, recompile, and re-run. The
+    /// fault plan stays armed — the recovery layer masks it on the new
+    /// placement, so a completed re-run really demonstrates end-to-end
+    /// self-healing.
+    fn failover_rerun(
+        &self,
+        name: &str,
+        src: &str,
+        copts: &CompileOptions,
+        compiled: &Compiled,
+        builder: cgp_core::HostBuilder,
+        err: &CoreError,
+    ) {
+        let Some(dead) = dead_unit_of(err) else {
+            println!("[obs] failover: cannot identify a dead unit in `{err}`; giving up");
+            return;
+        };
+        let current = decompose_dp(&compiled.problem, &compiled.pipeline);
+        let plan = match replan(&compiled.problem, &compiled.pipeline, &current, dead) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("[obs] failover: {e}");
+                return;
+            }
+        };
+        print!("[obs] {}", plan.render_text());
+        let reduced = CompileOptions {
+            pipeline: plan.env.clone(),
+            ..copts.clone()
+        };
+        let recompiled = match compile(src, &reduced) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("[obs] failover recompile failed for {name}: {e}");
+                return;
+            }
+        };
+        match run_plan_threaded_stats(Arc::new(recompiled.plan), builder, None, &self.exec) {
+            Ok((_, stats)) => println!(
+                "[obs] failover run for {name} completed on {} units \
+                 ({} restarts, {} replayed packets)",
+                plan.env.m(),
+                stats.recoveries(),
+                stats.replayed_packets()
+            ),
+            Err(e) => println!("[obs] failover run for {name} failed: {e}"),
         }
     }
 
@@ -233,6 +343,17 @@ fn demo_config(app: DialectApp) -> (&'static str, &'static str, CompileOptions) 
     }
 }
 
+/// Map a failed stage label (`f{j+1}[c]`, as the plan executor names its
+/// stages) back to the pipeline unit index `j`.
+fn dead_unit_of(err: &CoreError) -> Option<usize> {
+    let CoreError::Runtime(fe) = err else {
+        return None;
+    };
+    let rest = fe.filter.strip_prefix('f')?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<usize>().ok()?.checked_sub(1)
+}
+
 fn demo_host_builder(app: DialectApp) -> cgp_core::HostBuilder {
     match app {
         DialectApp::Zbuf | DialectApp::Apix => {
@@ -248,5 +369,60 @@ fn demo_host_builder(app: DialectApp) -> cgp_core::HostBuilder {
             let slide = Slide::synthetic(32, 32, 9);
             Arc::new(move || vmscope_host_env(&slide, 2, 4))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_common_opts_space_and_equals_forms_agree() {
+        let spaced = parse_common_opts(argv(&[
+            "--explain",
+            "--recover",
+            "--faults",
+            "panic@f2[0]#3",
+            "--deadline-ms",
+            "500",
+            "--trace-out",
+            "/tmp/t.json",
+            "--checkpoint-every",
+            "16",
+        ]));
+        let equals = parse_common_opts(argv(&[
+            "--explain",
+            "--recover",
+            "--faults=panic@f2[0]#3",
+            "--deadline-ms=500",
+            "--trace-out=/tmp/t.json",
+            "--checkpoint-every=16",
+        ]));
+        assert_eq!(spaced, equals);
+        assert!(spaced.explain && spaced.recover);
+        assert_eq!(spaced.faults_spec.as_deref(), Some("panic@f2[0]#3"));
+        assert_eq!(spaced.deadline_ms, Some(500));
+        assert_eq!(spaced.checkpoint_every, Some(16));
+    }
+
+    #[test]
+    fn parse_common_opts_ignores_unknown_figure_flags() {
+        let o = parse_common_opts(argv(&["--width", "4", "--recover", "positional"]));
+        assert!(o.recover);
+        assert_eq!(o.faults_spec, None);
+    }
+
+    #[test]
+    fn dead_unit_parses_executor_stage_labels() {
+        let fe = cgp_core::datacutter::FilterError::panicked("f2[0]", "boom");
+        assert_eq!(dead_unit_of(&CoreError::Runtime(fe)), Some(1));
+        let fe = cgp_core::datacutter::FilterError::panicked("f10[3]", "boom");
+        assert_eq!(dead_unit_of(&CoreError::Runtime(fe)), Some(9));
+        let fe = cgp_core::datacutter::FilterError::panicked("watchdog", "stall");
+        assert_eq!(dead_unit_of(&CoreError::Runtime(fe)), None);
     }
 }

@@ -680,6 +680,37 @@ impl PipelineEnv {
     pub fn cost_comm(&self, j: usize, bytes: f64) -> f64 {
         self.latency[j] + bytes / self.bandwidth[j]
     }
+
+    /// The environment with interior unit `j` removed — the failover
+    /// target when host `j` dies mid-run. Links `L_{j-1}` and `L_j` merge
+    /// into one route through the dead host's position: data still
+    /// traverses both physical hops, so the merged link takes the
+    /// narrower bandwidth and the summed latency.
+    ///
+    /// Endpoints are irremovable: unit 0 owns the input data and unit
+    /// `m-1` owns the output view, so losing either cannot be replanned
+    /// around. Returns `None` for those, for out-of-range `j`, and for
+    /// pipelines too short to shrink (`m < 3`).
+    pub fn without_unit(&self, j: usize) -> Option<PipelineEnv> {
+        if self.m() < 3 || j == 0 || j >= self.m() - 1 {
+            return None;
+        }
+        let mut power = self.power.clone();
+        power.remove(j);
+        let mut bandwidth = self.bandwidth.clone();
+        let mut latency = self.latency.clone();
+        let merged_bw = bandwidth[j - 1].min(bandwidth[j]);
+        let merged_lat = latency[j - 1] + latency[j];
+        bandwidth.remove(j);
+        latency.remove(j);
+        bandwidth[j - 1] = merged_bw;
+        latency[j - 1] = merged_lat;
+        Some(PipelineEnv {
+            power,
+            bandwidth,
+            latency,
+        })
+    }
 }
 
 /// Inputs to the decomposition: per-atom tasks and per-boundary volumes.

@@ -51,6 +51,7 @@ pub mod cost;
 pub mod decompose;
 pub mod driver;
 pub mod error;
+pub mod failover;
 pub mod gencons;
 pub mod graph;
 pub mod normalize;
@@ -65,6 +66,7 @@ pub use driver::{
     choose_packet_count, compile, CompileOptions, Compiled, Objective, PacketSizePoint,
 };
 pub use error::{CompileError, CompileResult};
+pub use failover::{replan, FailoverPlan};
 pub use normalize::{normalize, AtomicUnit, NormalizedPipeline, UnitKind};
 pub use place::{Place, PlaceSet, Section, Sectioning, SymExpr};
 pub use report::DecisionReport;

@@ -24,7 +24,8 @@ use crate::error::CoreError;
 use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
-    Buffer, BufferPool, FaultPlan, Filter, FilterIo, FilterResult, Pipeline, RetryPolicy, StageSpec,
+    Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, Pipeline,
+    RecoveryOptions, RetryPolicy, RunStats, StageSpec,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
 use std::sync::{Arc, Mutex};
@@ -59,6 +60,16 @@ pub struct ExecOptions {
     /// Packets moved per stream lock acquisition (`None` = default
     /// [`DEFAULT_BATCH`]; 1 = strict per-packet synchronization).
     pub batch: Option<usize>,
+    /// Enable the recovery layer: ack/replay delivery, checkpointed
+    /// reduction state, and supervised copy restarts — injected faults
+    /// are survived instead of surfaced (where the restart budget
+    /// allows).
+    pub recover: bool,
+    /// Checkpoint cadence in accepted packets for stateful stages
+    /// (`None` = the runtime default).
+    pub checkpoint_every: Option<u64>,
+    /// Mirror checkpoint commits to a JSONL audit log at this path.
+    pub checkpoint_log: Option<String>,
 }
 
 impl ExecOptions {
@@ -69,7 +80,10 @@ impl ExecOptions {
     /// - `CGP_STALL_MS` — stall timeout in milliseconds;
     /// - `CGP_RETRIES` — max retries for retryable failures;
     /// - `CGP_BATCH` — packets per stream lock acquisition (1 disables
-    ///   batching).
+    ///   batching);
+    /// - `CGP_RECOVER` — `1`/`true`/`on` enables the recovery layer;
+    /// - `CGP_CHECKPOINT_EVERY` — checkpoint cadence in packets;
+    /// - `CGP_CHECKPOINT_LOG` — JSONL audit log path for checkpoints.
     pub fn from_env() -> Result<ExecOptions, CoreError> {
         let mut opts = ExecOptions::default();
         if let Ok(spec) = std::env::var("CGP_FAULTS") {
@@ -96,6 +110,30 @@ impl ExecOptions {
             }
             opts.batch = Some(n as usize);
         }
+        if let Ok(v) = std::env::var("CGP_RECOVER") {
+            opts.recover = match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "yes" | "on" => true,
+                "0" | "false" | "no" | "off" | "" => false,
+                other => {
+                    return Err(CoreError::Config(format!(
+                        "CGP_RECOVER: expected a boolean, got `{other}`"
+                    )))
+                }
+            };
+        }
+        if let Some(n) = ms("CGP_CHECKPOINT_EVERY")? {
+            if n == 0 {
+                return Err(CoreError::Config(
+                    "CGP_CHECKPOINT_EVERY: must be at least 1".into(),
+                ));
+            }
+            opts.checkpoint_every = Some(n);
+        }
+        if let Ok(path) = std::env::var("CGP_CHECKPOINT_LOG") {
+            if !path.is_empty() {
+                opts.checkpoint_log = Some(path);
+            }
+        }
         Ok(opts)
     }
 }
@@ -118,6 +156,18 @@ pub fn run_plan_threaded_opts(
     widths: Option<&[usize]>,
     opts: &ExecOptions,
 ) -> Result<Vec<String>, CoreError> {
+    run_plan_threaded_stats(plan, host_builder, widths, opts).map(|(out, _)| out)
+}
+
+/// [`run_plan_threaded_opts`] that also returns the runtime's per-stage
+/// statistics, so callers can surface failure/retry/recovery counters
+/// (the bench harness prints these for chaos runs).
+pub fn run_plan_threaded_stats(
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    widths: Option<&[usize]>,
+    opts: &ExecOptions,
+) -> Result<(Vec<String>, RunStats), CoreError> {
     let m = plan.m;
     let widths: Vec<usize> = match widths {
         Some(w) => {
@@ -154,11 +204,23 @@ pub fn run_plan_threaded_opts(
     if let Some(s) = opts.stall_timeout {
         pipeline = pipeline.with_stall_timeout(s);
     }
+    if opts.recover {
+        let mut recovery = RecoveryOptions::on();
+        if let Some(k) = opts.checkpoint_every {
+            recovery = recovery.with_checkpoint_every(k);
+        }
+        pipeline = pipeline.with_recovery(recovery);
+        if let Some(path) = &opts.checkpoint_log {
+            let store = CheckpointStore::with_jsonl(path)
+                .map_err(|e| CoreError::Config(format!("checkpoint log `{path}`: {e}")))?;
+            pipeline = pipeline.with_checkpoint_store(store);
+        }
+    }
     for (j, &width) in widths.iter().enumerate() {
         let plan = Arc::clone(&plan);
         let hb = Arc::clone(&host_builder);
         let out = Arc::clone(&output);
-        pipeline = pipeline.add_stage(StageSpec::new(
+        let mut stage = StageSpec::new(
             format!("f{}", j + 1),
             width,
             Box::new(move |copy| {
@@ -171,13 +233,22 @@ pub fn run_plan_threaded_opts(
                     m,
                     batch,
                     output: Arc::clone(&out),
+                    pending_restore: None,
                 })
             }),
-        ));
+        );
+        // Every non-source unit carries reduction state across packets:
+        // under recovery those stages checkpoint (and ack only at
+        // commits); the source regenerates its packets deterministically
+        // and needs no snapshot.
+        if j > 0 {
+            stage = stage.stateful();
+        }
+        pipeline = pipeline.add_stage(stage);
     }
-    pipeline.run().map_err(CoreError::Runtime)?;
+    let stats = pipeline.run().map_err(CoreError::Runtime)?;
     let mut out = output.lock().unwrap_or_else(|e| e.into_inner());
-    Ok(std::mem::take(&mut *out))
+    Ok((std::mem::take(&mut *out), stats))
 }
 
 struct PlanFilter {
@@ -189,6 +260,11 @@ struct PlanFilter {
     m: usize,
     batch: usize,
     output: Arc<Mutex<Vec<String>>>,
+    /// Checkpoint bytes handed to `Filter::restore` before `process`
+    /// runs; decoded and merged into the fresh reduction state once the
+    /// stepper exists (`Value` state is not `Send`, so the raw encoding
+    /// is carried across the restart instead).
+    pending_restore: Option<Vec<u8>>,
 }
 
 impl PlanFilter {
@@ -232,6 +308,15 @@ impl PlanFilter {
             io.write_batch(pending).map_err(CoreError::Runtime)?;
         } else {
             // Interior/terminal: consume tagged buffers until end-of-work.
+            if let Some(bytes) = self.pending_restore.take() {
+                // Restoring a checkpoint is the same operation as merging
+                // a sibling copy's partial reduction: fold the snapshot
+                // into the fresh zero state.
+                let saved = decode_state(&bytes).map_err(CoreError::Codec)?;
+                stepper
+                    .merge_reduction(j, &saved)
+                    .map_err(CoreError::Compile)?;
+            }
             while let Some(buf) = io.read() {
                 let bytes = buf.as_slice();
                 let (tag, body) = bytes
@@ -260,6 +345,10 @@ impl PlanFilter {
                             .map_err(CoreError::Compile)?;
                     }
                     t => return Err(CoreError::Config(format!("unknown buffer tag {t}"))),
+                }
+                if io.checkpoint_due() {
+                    let snap = encode_state(&stepper.reduction_state(j));
+                    io.commit_checkpoint(&snap).map_err(CoreError::Runtime)?;
                 }
             }
         }
@@ -296,6 +385,19 @@ impl Filter for PlanFilter {
 
     fn name(&self) -> &str {
         "plan-filter"
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> FilterResult<()> {
+        // Validate eagerly so a corrupt snapshot fails the restart loudly
+        // instead of poisoning the reduction mid-run.
+        decode_state(snapshot).map_err(|e| {
+            cgp_datacutter::FilterError::new(
+                format!("f{}[{}]", self.j + 1, self.copy),
+                format!("corrupt checkpoint: {e}"),
+            )
+        })?;
+        self.pending_restore = Some(snapshot.to_vec());
+        Ok(())
     }
 }
 
@@ -399,6 +501,52 @@ mod tests {
         };
         assert_eq!(fe.kind, cgp_datacutter::ErrorKind::Panicked);
         assert!(fe.filter.contains("f2"), "error names the stage: {fe}");
+    }
+
+    #[test]
+    fn recovery_masks_an_injected_panic_and_matches_oracle() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let exec = ExecOptions {
+            faults: FaultPlan::new().panic_at("f2", 0, 3),
+            deadline: Some(Duration::from_secs(30)),
+            recover: true,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let (out, stats) =
+            run_plan_threaded_stats(Arc::new(c.plan), Arc::new(host), None, &exec).unwrap();
+        assert_eq!(out, oracle(), "recovered run must be byte-identical");
+        assert_eq!(stats.recoveries(), 1, "one restart for the one panic");
+        assert!(
+            stats.checkpoints() >= 1,
+            "10 packets with checkpoint_every=2 must commit checkpoints"
+        );
+    }
+
+    #[test]
+    fn recovery_with_copies_restores_checkpointed_state() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        // Panic late enough (packet 4 of ~5 seen by this copy) that the
+        // restart must restore a committed checkpoint rather than merely
+        // replaying from zero.
+        let exec = ExecOptions {
+            faults: FaultPlan::new().panic_at("f2", 1, 4),
+            deadline: Some(Duration::from_secs(30)),
+            recover: true,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let widths = [1usize, 2, 1];
+        let (out, stats) =
+            run_plan_threaded_stats(Arc::new(c.plan), Arc::new(host), Some(&widths), &exec)
+                .unwrap();
+        assert_eq!(out, oracle(), "recovered run must be byte-identical");
+        assert_eq!(stats.recoveries(), 1);
+        assert!(stats.checkpoint_bytes() > 0);
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub use cgp_compiler::{
     compile, run_plan_sequential, CompileOptions, Compiled, Decomposition, FilterPlan, Objective,
 };
 pub use error::CoreError;
-pub use exec::{run_plan_threaded, run_plan_threaded_opts, ExecOptions, HostBuilder};
+pub use exec::{
+    run_plan_threaded, run_plan_threaded_opts, run_plan_threaded_stats, ExecOptions, HostBuilder,
+};
 pub use sim::{
     paper_grid, paper_grid_disk, simulate_variant, VariantRun, CALIBRATION, DISK_BANDWIDTH,
     LINK_BANDWIDTH, PENTIUM_SLOWDOWN,

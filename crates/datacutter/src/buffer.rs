@@ -154,19 +154,24 @@ impl Buffer {
     }
 
     /// Decode a little-endian `u64` at byte offset `at` (packets often
-    /// carry several fields). Structured error on out-of-range reads.
+    /// carry several fields). Structured error on out-of-range reads —
+    /// including an offset already past the end of an empty or truncated
+    /// packet; this path must never index-panic, since it decodes data
+    /// that crosses trust boundaries.
     pub fn u64_le_at(&self, at: usize, who: &str) -> FilterResult<u64> {
-        let end = at.checked_add(8).filter(|&e| e <= self.len());
-        let Some(end) = end else {
-            return Err(FilterError::malformed(
-                who,
-                format!(
-                    "u64 field at offset {at} overruns a {}-byte packet",
-                    self.len()
-                ),
-            ));
-        };
-        let bytes: [u8; 8] = self.as_slice()[at..end].try_into().expect("8 bytes");
+        let bytes = at
+            .checked_add(8)
+            .and_then(|end| self.as_slice().get(at..end))
+            .ok_or_else(|| {
+                FilterError::malformed(
+                    who,
+                    format!(
+                        "u64 field at offset {at} overruns a {}-byte packet",
+                        self.len()
+                    ),
+                )
+            })?;
+        let bytes: [u8; 8] = bytes.try_into().expect("checked 8-byte range");
         Ok(u64::from_le_bytes(bytes))
     }
 
@@ -568,6 +573,22 @@ mod tests {
         let e = b.u64_le_at(9, "t").unwrap_err();
         assert_eq!(e.kind, crate::error::ErrorKind::Malformed);
         assert!(b.u64_le_at(usize::MAX, "t").is_err(), "offset overflow");
+    }
+
+    /// Regression: a zero-length packet (hostile or truncated input) must
+    /// yield `Malformed` from every offset — including offsets that are
+    /// themselves past the buffer end — never an index panic.
+    #[test]
+    fn u64_at_on_zero_length_packet_is_malformed_not_a_panic() {
+        let b = Buffer::from_vec(Vec::new());
+        assert_eq!(b.len(), 0);
+        for at in [0usize, 1, 8, 16, usize::MAX - 8, usize::MAX] {
+            let e = b.u64_le_at(at, "t").unwrap_err();
+            assert_eq!(e.kind, crate::error::ErrorKind::Malformed, "offset {at}");
+            assert!(e.message.contains("0-byte packet"), "offset {at}: {e}");
+        }
+        let e = b.u64_le("t").unwrap_err();
+        assert_eq!(e.kind, crate::error::ErrorKind::Malformed);
     }
 
     #[test]

@@ -186,9 +186,27 @@ impl FaultPlan {
 }
 
 fn parse_rule(entry: &str) -> Result<FaultRule, String> {
+    // Alias form `action@stage[copy]#packet` (e.g. `panic@reduce[0]#500`),
+    // reading as "inject <action> at <site>, packet <n>"; the `#` is
+    // unambiguous — the canonical form never contains one.
+    if let Some((action, site_packet)) = entry.split_once('@') {
+        if let Some((site, packet)) = site_packet.rsplit_once('#') {
+            return parse_rule_parts(site, packet, action, entry);
+        }
+    }
     let err = || format!("bad fault rule `{entry}` (want stage[copy]@packet:action)");
     let (site, rest) = entry.split_once('@').ok_or_else(err)?;
     let (packet, action) = rest.split_once(':').ok_or_else(err)?;
+    parse_rule_parts(site, packet, action, entry)
+}
+
+fn parse_rule_parts(
+    site: &str,
+    packet: &str,
+    action: &str,
+    entry: &str,
+) -> Result<FaultRule, String> {
+    let err = || format!("bad fault rule `{entry}` (want stage[copy]@packet:action)");
     let (stage, copy) = site
         .trim()
         .strip_suffix(']')
@@ -304,6 +322,12 @@ impl FaultInjector {
     /// Take the parked injected failure, if any.
     pub fn take_pending(&mut self) -> Option<FilterError> {
         self.pending.take()
+    }
+
+    /// Whether an injected failure is parked: the current attempt is
+    /// doomed and is running against a fabricated end-of-work.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
     }
 
     /// The structured error an injected `Fail` action produces.
@@ -475,6 +499,28 @@ mod tests {
         assert!(FaultPlan::parse("a[0]@%1.5:fail").is_err());
         assert!(FaultPlan::parse("seed=abc").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("explode@a[0]#1").is_err());
+        assert!(FaultPlan::parse("panic@a#1").is_err(), "missing [copy]");
+    }
+
+    /// The alias spelling `action@stage[copy]#packet` parses to the same
+    /// rule as the canonical `stage[copy]@packet:action`.
+    #[test]
+    fn parse_accepts_action_first_alias_form() {
+        let canonical = FaultPlan::parse("reduce[0]@500:panic").unwrap();
+        let alias = FaultPlan::parse("panic@reduce[0]#500").unwrap();
+        assert_eq!(alias.rules, canonical.rules);
+        let plan = FaultPlan::parse("delay:250@f2[*]#*; fail-retryable@*[1]#%0.5").unwrap();
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(
+            plan.rules[0].action,
+            FaultAction::Delay(Duration::from_millis(250))
+        );
+        assert_eq!(plan.rules[0].trigger, Trigger::Every);
+        assert_eq!(plan.rules[0].stage.as_deref(), Some("f2"));
+        assert_eq!(plan.rules[1].action, FaultAction::Fail { retryable: true });
+        assert_eq!(plan.rules[1].trigger, Trigger::Prob(0.5));
+        assert_eq!(plan.rules[1].copy, Some(1));
     }
 
     #[test]

@@ -10,9 +10,39 @@
 use crate::buffer::{Buffer, BufferPool};
 use crate::error::{FilterError, FilterResult};
 use crate::fault::{FaultAction, FaultInjector, RunControl};
+use crate::recover::{CheckpointStore, Snapshot};
 use crate::stream::{StreamReader, StreamWriter};
+use cgp_obs::trace::{self, PID_RUNTIME};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-copy recovery bookkeeping attached to a [`FilterIo`] when the
+/// pipeline runs with recovery enabled.
+pub(crate) struct RecoveryCtx {
+    pub(crate) store: CheckpointStore,
+    /// `stage` / `copy` key this copy checkpoints under.
+    pub(crate) stage: String,
+    pub(crate) copy: usize,
+    /// Checkpoint cadence (accepted packets) for stateful stages.
+    pub(crate) checkpoint_every: u64,
+    /// Stateless stages acknowledge inputs as they are consumed (a
+    /// packet is acked once the *next* read begins, i.e. after its
+    /// outputs were written); stateful stages acknowledge only at
+    /// checkpoint commits.
+    pub(crate) auto_ack: bool,
+    /// Inputs accepted since the last checkpoint commit.
+    pub(crate) accepted: u64,
+    /// Inputs accepted over the whole unit of work (snapshot metadata).
+    pub(crate) accepted_total: u64,
+    /// Output write index at the last ack boundary; restarts rewind the
+    /// writer here.
+    pub(crate) committed_out: u64,
+    /// Checkpoint commits / snapshot bytes by this copy.
+    pub(crate) checkpoints: u64,
+    pub(crate) checkpoint_bytes: u64,
+    /// Trace thread id of the owning filter copy.
+    pub(crate) tid: u32,
+}
 
 /// I/O endpoints handed to a filter copy for one unit of work.
 pub struct FilterIo {
@@ -41,6 +71,9 @@ pub struct FilterIo {
     /// (aggregated into `StageStats` by the executor).
     pub(crate) pool_hits: u64,
     pub(crate) pool_misses: u64,
+    /// Recovery bookkeeping (checkpoint cadence, ack policy), present
+    /// only when the pipeline runs with recovery enabled.
+    pub(crate) recovery: Option<RecoveryCtx>,
 }
 
 impl FilterIo {
@@ -62,6 +95,7 @@ impl FilterIo {
             pool: None,
             pool_hits: 0,
             pool_misses: 0,
+            recovery: None,
         }
     }
 
@@ -100,7 +134,31 @@ impl FilterIo {
     /// (cancellably), injected failures park a structured error (the
     /// executor surfaces it) and signal end-of-work, injected panics
     /// panic — exercising the executor's panic isolation.
+    ///
+    /// Under recovery, a *stateless* stage acknowledges here: when read
+    /// N+1 begins, packet N has been fully processed and its outputs
+    /// written, so the delivered prefix is durable and the output index
+    /// is a committed boundary.
     pub fn read(&mut self) -> Option<crate::buffer::Buffer> {
+        if let Some(rc) = &mut self.recovery {
+            if rc.auto_ack {
+                if let Some(w) = &self.output {
+                    rc.committed_out = w.write_index();
+                }
+                if let Some(r) = &mut self.input {
+                    r.commit_acks();
+                }
+            }
+        }
+        let buf = self.read_inner()?;
+        if let Some(rc) = &mut self.recovery {
+            rc.accepted += 1;
+            rc.accepted_total += 1;
+        }
+        Some(buf)
+    }
+
+    fn read_inner(&mut self) -> Option<crate::buffer::Buffer> {
         loop {
             let buf = self.input.as_mut().and_then(StreamReader::read)?;
             let Some(inj) = self.injector.as_mut() else {
@@ -134,6 +192,20 @@ impl FilterIo {
     /// For source stages (no input) this is where faults fire, counted
     /// per written packet.
     pub fn write(&mut self, buf: crate::buffer::Buffer) -> FilterResult<()> {
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(FaultInjector::has_pending)
+        {
+            // An input-side injected failure is parked: this attempt is
+            // doomed and running against a fabricated end-of-work, so any
+            // output it produces past the failure point (e.g. an
+            // end-of-stream reduction) is an artifact of the truncated
+            // input. Swallow it — sending would burn sequence numbers
+            // that the retried attempt regenerates with *different*
+            // content, desynchronizing replay suppression.
+            return Ok(());
+        }
         if self.input.is_none() {
             if let Some(inj) = self.injector.as_mut() {
                 let packet = inj.packets_seen();
@@ -200,6 +272,120 @@ impl FilterIo {
         self.control.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
+    /// Whether a stateful filter should checkpoint now: recovery is on,
+    /// this stage acks at checkpoints, and `checkpoint_every` packets
+    /// were accepted since the last commit. Always `false` for stateless
+    /// stages and non-recovery runs, so filters can call it
+    /// unconditionally from their process loop.
+    pub fn checkpoint_due(&self) -> bool {
+        self.recovery
+            .as_ref()
+            .is_some_and(|rc| !rc.auto_ack && rc.accepted >= rc.checkpoint_every)
+    }
+
+    /// Commit a state snapshot: persist it to the checkpoint store, then
+    /// acknowledge the delivered input prefix (in that order — the
+    /// snapshot is what makes those packets durable) and record the
+    /// current output index as the restart boundary. A no-op without
+    /// recovery, so filters can call it unconditionally.
+    pub fn commit_checkpoint(&mut self, snapshot: &[u8]) -> FilterResult<()> {
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(FaultInjector::has_pending)
+        {
+            // Doomed attempt (see `write`): must not acknowledge input —
+            // the faulted packet was consumed from the stream but never
+            // delivered, and only a replay can deliver it.
+            return Ok(());
+        }
+        let out_index = self
+            .output
+            .as_ref()
+            .map_or(0, crate::stream::StreamWriter::write_index);
+        let Some(rc) = &mut self.recovery else {
+            return Ok(());
+        };
+        rc.store.save(
+            &rc.stage,
+            rc.copy,
+            Snapshot {
+                state: snapshot.to_vec(),
+                out_index,
+                packets: rc.accepted_total,
+            },
+        )?;
+        if let Some(r) = &mut self.input {
+            r.commit_acks();
+        }
+        rc.committed_out = out_index;
+        rc.accepted = 0;
+        rc.checkpoints += 1;
+        rc.checkpoint_bytes += snapshot.len() as u64;
+        if trace::enabled() {
+            trace::instant(
+                "checkpoint",
+                "recovery",
+                PID_RUNTIME,
+                rc.tid,
+                vec![
+                    ("bytes", (snapshot.len() as u64).into()),
+                    ("packets", rc.accepted_total.into()),
+                    ("out_index", out_index.into()),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// The latest committed snapshot for this copy, if any (the executor
+    /// feeds it to [`Filter::restore`] before a restarted attempt).
+    pub(crate) fn latest_snapshot(&self) -> Option<Vec<u8>> {
+        let rc = self.recovery.as_ref()?;
+        rc.store.load(&rc.stage, rc.copy).map(|s| s.state)
+    }
+
+    /// Reset the endpoints for a restarted unit-of-work attempt: rewind
+    /// the writer to the committed output boundary and pre-load the
+    /// unacknowledged input tail for replay.
+    pub(crate) fn begin_attempt(&mut self) {
+        let Some(rc) = &mut self.recovery else {
+            return;
+        };
+        rc.accepted = 0;
+        let committed_out = rc.committed_out;
+        if let Some(w) = &mut self.output {
+            w.rewind_for_replay(committed_out);
+        }
+        if let Some(r) = &mut self.input {
+            r.begin_attempt();
+        }
+    }
+
+    /// Final ack on a successfully completed unit of work: everything
+    /// delivered has been fully processed, so release the replay buffers
+    /// feeding this copy.
+    pub(crate) fn commit_final(&mut self) {
+        if self.recovery.is_some() {
+            if let Some(w) = &self.output {
+                let idx = w.write_index();
+                if let Some(rc) = &mut self.recovery {
+                    rc.committed_out = idx;
+                }
+            }
+            if let Some(r) = &mut self.input {
+                r.commit_acks();
+            }
+        }
+    }
+
+    /// Checkpoint commits and snapshot bytes by this copy.
+    pub(crate) fn checkpoint_counts(&self) -> (u64, u64) {
+        self.recovery
+            .as_ref()
+            .map_or((0, 0), |rc| (rc.checkpoints, rc.checkpoint_bytes))
+    }
+
     /// Take the error an input-side injected failure parked (the read
     /// path can only signal end-of-work).
     pub(crate) fn take_injected_error(&mut self) -> Option<FilterError> {
@@ -226,6 +412,21 @@ pub trait Filter: Send {
     fn init(&mut self, io: &mut FilterIo) -> FilterResult<()> {
         let _ = io;
         Ok(())
+    }
+
+    /// Restore state from a checkpoint snapshot (recovery restarts only;
+    /// called between `init` and `process` on a fresh instance when a
+    /// committed snapshot exists for this copy). Stateful filters that
+    /// participate in checkpointing must override this; the default
+    /// refuses, which fails the restart rather than silently recomputing
+    /// from a wrong state.
+    fn restore(&mut self, snapshot: &[u8]) -> FilterResult<()> {
+        let _ = snapshot;
+        Err(FilterError::new(
+            self.name().to_string(),
+            "filter has a checkpoint but no restore support \
+             (mark the stage stateless or implement Filter::restore)",
+        ))
     }
 
     /// Consume input buffers / produce output buffers until end-of-work.

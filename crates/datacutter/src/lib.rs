@@ -42,6 +42,7 @@ pub mod exec;
 pub mod fault;
 pub mod filter;
 pub mod placement;
+pub mod recover;
 pub mod stream;
 
 pub use buffer::{
@@ -53,4 +54,5 @@ pub use exec::{Pipeline, RunStats, StageSpec, StageStats};
 pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, RunControl, Trigger};
 pub use filter::{ClosureFilter, Filter, FilterFactory, FilterIo};
 pub use placement::{HostId, Placement, StagePlacement};
+pub use recover::{Checkpoint, CheckpointStore, RecoveryOptions, Snapshot};
 pub use stream::{logical_stream, Distribution, StreamReader, StreamWriter};

@@ -1,0 +1,309 @@
+//! Recovery: checkpointed filter state and the knobs that turn fault
+//! *detection* (PR 2) into fault *survival*.
+//!
+//! Three cooperating mechanisms make a pipeline run complete under chaos
+//! instead of merely failing cleanly:
+//!
+//! 1. **Ack/replay delivery** (`stream.rs`) — every data message carries a
+//!    per-producer sequence number; producers keep sent-but-unacknowledged
+//!    packets in a bounded replay buffer shared with the consumer side.
+//!    Consumers acknowledge cumulatively — at every packet for stateless
+//!    stages, at checkpoint commits for stateful ones — and a restarted
+//!    copy pre-loads the unacknowledged tail back into its delivery queue.
+//!    Sequence-based dedup (a per-producer watermark) drops the in-queue
+//!    originals the replay duplicates, giving effectively-exactly-once
+//!    delivery per stage.
+//! 2. **Checkpointed state** (this module + [`FilterIo`]) — stateful
+//!    filters snapshot their reduction state every K accepted packets
+//!    through [`FilterIo::commit_checkpoint`] into a [`CheckpointStore`]
+//!    (in-memory, optionally mirrored to a JSONL audit log). A restarted
+//!    copy restores the last snapshot ([`Filter::restore`]) and replays
+//!    only the unacknowledged tail.
+//! 3. **Restart supervision** (`exec.rs`) — with recovery enabled the
+//!    executor treats panics and failures as restartable: the copy gets a
+//!    fresh filter instance, its checkpoint back, and its input replayed,
+//!    up to [`RecoveryOptions::max_restarts`] times. Placement-level
+//!    failover (re-running the decomposition DP over surviving hosts)
+//!    lives in `cgp-compiler`'s `failover` module.
+//!
+//! The replay buffer is bounded by construction: a consumer acknowledges
+//! at least every `checkpoint_every` accepted packets, so at most
+//! `checkpoint_every + queue capacity` packets per (producer, consumer)
+//! pair are ever retained.
+//!
+//! [`FilterIo`]: crate::filter::FilterIo
+//! [`FilterIo::commit_checkpoint`]: crate::filter::FilterIo::commit_checkpoint
+//! [`Filter::restore`]: crate::filter::Filter::restore
+
+use crate::error::{FilterError, FilterResult};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Recovery knobs for a pipeline run ([`Pipeline::with_recovery`]).
+///
+/// [`Pipeline::with_recovery`]: crate::exec::Pipeline::with_recovery
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Master switch. Off (the default) keeps PR 2 semantics: failures
+    /// are detected, isolated, and surfaced — not survived.
+    pub enabled: bool,
+    /// Stateful filters are asked to checkpoint every this many accepted
+    /// packets (the `K` of the design; also bounds the replay buffers).
+    pub checkpoint_every: u64,
+    /// Restarts allowed per filter copy before its error becomes final.
+    pub max_restarts: u32,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            enabled: false,
+            checkpoint_every: 64,
+            max_restarts: 5,
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// Recovery on, with default cadence and restart budget.
+    pub fn on() -> Self {
+        RecoveryOptions {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_checkpoint_every(mut self, k: u64) -> Self {
+        self.checkpoint_every = k.max(1);
+        self
+    }
+
+    pub fn with_max_restarts(mut self, n: u32) -> Self {
+        self.max_restarts = n;
+        self
+    }
+}
+
+/// Snapshot of one filter copy's state at an acknowledgement boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Opaque state bytes (the filter's own encoding — e.g. the plan
+    /// executor uses `cgp-core`'s reduction-state codec).
+    pub state: Vec<u8>,
+    /// The copy's output write index at commit time; on restart the
+    /// writer rewinds here so regenerated packets keep their original
+    /// sequence numbers (and already-sent ones are suppressed).
+    pub out_index: u64,
+    /// Input packets accepted up to and covered by this snapshot
+    /// (informational — the authoritative per-producer watermarks live
+    /// in the stream layer's ack state).
+    pub packets: u64,
+}
+
+/// Durable(-enough) storage for per-copy checkpoints: an in-memory map
+/// keyed by `(stage, copy)` keeping the latest snapshot, optionally
+/// mirrored to an append-only JSONL audit log (one line per commit).
+///
+/// Clones share the same storage, so the executor can hand one store to
+/// every copy and tests can inspect it after the run.
+#[derive(Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<HashMap<(String, usize), Snapshot>>>,
+    jsonl: Option<Arc<Mutex<std::fs::File>>>,
+    commits: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
+}
+
+impl CheckpointStore {
+    /// Pure in-memory store (the executor's default).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// In-memory store that also appends every commit to a JSONL file:
+    /// `{"stage":…,"copy":…,"packets":…,"out_index":…,"len":…,"state":"<hex>"}`.
+    pub fn with_jsonl(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(CheckpointStore {
+            jsonl: Some(Arc::new(Mutex::new(file))),
+            ..Default::default()
+        })
+    }
+
+    /// Persist the latest snapshot for `stage[copy]`, replacing any
+    /// previous one. Must complete before the matching input acks are
+    /// published (the commit is what makes those packets "durable").
+    pub fn save(&self, stage: &str, copy: usize, snap: Snapshot) -> FilterResult<()> {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(snap.state.len() as u64, Ordering::Relaxed);
+        if let Some(file) = &self.jsonl {
+            let mut hex = String::with_capacity(snap.state.len() * 2);
+            for b in &snap.state {
+                use std::fmt::Write as _;
+                let _ = write!(hex, "{b:02x}");
+            }
+            let line = format!(
+                "{{\"stage\":\"{}\",\"copy\":{},\"packets\":{},\"out_index\":{},\"len\":{},\"state\":\"{}\"}}\n",
+                stage.replace('\\', "\\\\").replace('"', "\\\""),
+                copy,
+                snap.packets,
+                snap.out_index,
+                snap.state.len(),
+                hex
+            );
+            let mut f = file.lock().unwrap_or_else(|e| e.into_inner());
+            f.write_all(line.as_bytes()).map_err(|e| {
+                FilterError::new(
+                    format!("{stage}[{copy}]"),
+                    format!("checkpoint JSONL write failed: {e}"),
+                )
+            })?;
+        }
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((stage.to_string(), copy), snap);
+        Ok(())
+    }
+
+    /// The latest snapshot for `stage[copy]`, if any commit happened.
+    pub fn load(&self, stage: &str, copy: usize) -> Option<Snapshot> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(stage.to_string(), copy))
+            .cloned()
+    }
+
+    /// Total commits across all copies.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Total snapshot bytes across all commits.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Snapshot/restore interface for state objects that live inside filters
+/// (reduction accumulators in the figure apps implement this). Filters
+/// forward [`Filter::restore`] to the state object and feed
+/// [`Checkpoint::snapshot`] to [`FilterIo::commit_checkpoint`].
+///
+/// The contract mirrors the runtime's reduction semantics: restoring a
+/// snapshot into a freshly initialized object must reproduce the state
+/// the snapshot was taken from (initialization is the reduction
+/// identity).
+///
+/// [`Filter::restore`]: crate::filter::Filter::restore
+/// [`FilterIo::commit_checkpoint`]: crate::filter::FilterIo::commit_checkpoint
+pub trait Checkpoint {
+    /// Serialize the current state.
+    fn snapshot(&self) -> Vec<u8>;
+    /// Replace the current state with a previously serialized snapshot.
+    fn restore(&mut self, snapshot: &[u8]) -> FilterResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_keeps_latest_snapshot_per_copy() {
+        let store = CheckpointStore::in_memory();
+        assert!(store.load("s", 0).is_none());
+        let snap = |v: u8, out: u64| Snapshot {
+            state: vec![v; 3],
+            out_index: out,
+            packets: out * 2,
+        };
+        store.save("s", 0, snap(1, 10)).unwrap();
+        store.save("s", 1, snap(2, 20)).unwrap();
+        store.save("s", 0, snap(3, 30)).unwrap();
+        assert_eq!(store.load("s", 0).unwrap().state, vec![3; 3]);
+        assert_eq!(store.load("s", 0).unwrap().out_index, 30);
+        assert_eq!(store.load("s", 1).unwrap().state, vec![2; 3]);
+        assert_eq!(store.commits(), 3);
+        assert_eq!(store.bytes(), 9);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let store = CheckpointStore::in_memory();
+        let other = store.clone();
+        store
+            .save(
+                "s",
+                0,
+                Snapshot {
+                    state: vec![7],
+                    out_index: 1,
+                    packets: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(other.load("s", 0).unwrap().state, vec![7]);
+        assert_eq!(other.commits(), 1);
+    }
+
+    #[test]
+    fn jsonl_mirror_appends_one_line_per_commit() {
+        let path = std::env::temp_dir().join(format!("cgp-ckpt-{}.jsonl", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        let store = CheckpointStore::with_jsonl(&path_s).unwrap();
+        store
+            .save(
+                "reduce",
+                1,
+                Snapshot {
+                    state: vec![0xab, 0xcd],
+                    out_index: 4,
+                    packets: 9,
+                },
+            )
+            .unwrap();
+        store
+            .save(
+                "reduce",
+                1,
+                Snapshot {
+                    state: vec![0xff],
+                    out_index: 5,
+                    packets: 12,
+                },
+            )
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"stage\":\"reduce\""));
+        assert!(lines[0].contains("\"state\":\"abcd\""));
+        assert!(lines[1].contains("\"packets\":12"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = RecoveryOptions::on()
+            .with_checkpoint_every(16)
+            .with_max_restarts(2);
+        assert!(o.enabled);
+        assert_eq!(o.checkpoint_every, 16);
+        assert_eq!(o.max_restarts, 2);
+        assert!(!RecoveryOptions::default().enabled);
+        assert_eq!(
+            RecoveryOptions::on()
+                .with_checkpoint_every(0)
+                .checkpoint_every,
+            1
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Recovery suite: under panic / retryable-failure / delay injection with
+//! recovery enabled, a pipeline must *complete* with effectively-exactly-
+//! once results — the sink sees every packet exactly once and every
+//! stateful stage's reduction equals the fault-free value — and must leak
+//! no threads doing it.
+//!
+//! Drop faults are deliberately excluded from the exactness properties:
+//! `DropPacket` models intentional loss at the injection point, which
+//! recovery does not (and must not) resurrect.
+
+use cgp_datacutter::{
+    Buffer, CheckpointStore, ClosureFilter, FaultAction, FaultPlan, FaultRule, Filter, FilterIo,
+    FilterResult, Pipeline, RecoveryOptions, RetryPolicy, StageSpec, Trigger,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const N: u64 = 300;
+/// Marker packets (a stage's end-of-work reduction shipped to the sink)
+/// are 24 bytes: magic, stage id, sum.
+const MARKER_MAGIC: u64 = u64::MAX;
+
+fn source(n: u64) -> cgp_datacutter::FilterFactory {
+    Box::new(move |_| {
+        Box::new(ClosureFilter::new("source", move |io: &mut FilterIo| {
+            for i in 0..n {
+                io.write(Buffer::from_vec(i.to_le_bytes().to_vec()))?;
+            }
+            Ok(())
+        }))
+    })
+}
+
+/// A stateful stage: forwards every data packet unchanged while keeping a
+/// running sum (its reduction state), checkpointing via the runtime's
+/// protocol and emitting the final sum as a marker packet at end-of-work.
+struct StatefulSum {
+    stage_id: u64,
+    sum: u64,
+}
+
+impl Filter for StatefulSum {
+    fn process(&mut self, io: &mut FilterIo) -> FilterResult<()> {
+        while let Some(b) = io.read() {
+            if b.len() == 24 {
+                // An upstream stage's marker: forward untouched.
+                io.write(b)?;
+                continue;
+            }
+            self.sum = self.sum.wrapping_add(b.u64_le("stateful-sum")?);
+            io.write(b)?;
+            if io.checkpoint_due() {
+                io.commit_checkpoint(&self.sum.to_le_bytes())?;
+            }
+        }
+        let mut m = Vec::with_capacity(24);
+        m.extend_from_slice(&MARKER_MAGIC.to_le_bytes());
+        m.extend_from_slice(&self.stage_id.to_le_bytes());
+        m.extend_from_slice(&self.sum.to_le_bytes());
+        io.write(Buffer::from_vec(m))?;
+        Ok(())
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> FilterResult<()> {
+        self.sum =
+            u64::from_le_bytes(snapshot.try_into().map_err(|_| {
+                cgp_datacutter::FilterError::malformed("stateful-sum", "bad snapshot")
+            })?);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "stateful-sum"
+    }
+}
+
+fn stateful(stage_id: u64) -> cgp_datacutter::FilterFactory {
+    Box::new(move |_| Box::new(StatefulSum { stage_id, sum: 0 }))
+}
+
+/// Sink tallies: packets seen, their sum, and each stage's marker sums.
+#[derive(Default)]
+struct Tally {
+    count: AtomicU64,
+    sum: AtomicU64,
+    markers: Mutex<Vec<(u64, u64)>>,
+}
+
+fn sink(tally: Arc<Tally>) -> cgp_datacutter::FilterFactory {
+    Box::new(move |_| {
+        let tally = Arc::clone(&tally);
+        Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+            while let Some(b) = io.read() {
+                if b.len() == 24 {
+                    let s = b.as_slice();
+                    let stage = u64::from_le_bytes(s[8..16].try_into().unwrap());
+                    let sum = u64::from_le_bytes(s[16..24].try_into().unwrap());
+                    tally.markers.lock().unwrap().push((stage, sum));
+                } else {
+                    tally.count.fetch_add(1, Ordering::Relaxed);
+                    tally.sum.fetch_add(b.u64_le("sink")?, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        }))
+    })
+}
+
+/// source → stateful mid1 (width 2) → stateful mid2 → counting sink.
+fn recovering_pipeline(tally: Arc<Tally>, checkpoint_every: u64) -> Pipeline {
+    Pipeline::new()
+        .with_capacity(8)
+        .with_deadline(Duration::from_secs(60))
+        .with_retry(RetryPolicy::retries(3).with_backoff(Duration::from_millis(1)))
+        .with_recovery(
+            RecoveryOptions::on()
+                .with_checkpoint_every(checkpoint_every)
+                .with_max_restarts(8),
+        )
+        .add_stage(StageSpec::new("source", 1, source(N)))
+        .add_stage(StageSpec::new("mid1", 2, stateful(1)).stateful())
+        .add_stage(StageSpec::new("mid2", 1, stateful(2)).stateful())
+        .add_stage(StageSpec::new("sink", 1, sink(tally)))
+}
+
+fn expected_sum() -> u64 {
+    (0..N).sum()
+}
+
+/// Assert the exactly-once properties: every packet reached the sink once,
+/// and every stateful stage's reduction matches the fault-free value.
+fn assert_exact(tally: &Tally, ctx: &str) {
+    assert_eq!(
+        tally.count.load(Ordering::Relaxed),
+        N,
+        "{ctx}: sink must see every packet exactly once"
+    );
+    assert_eq!(
+        tally.sum.load(Ordering::Relaxed),
+        expected_sum(),
+        "{ctx}: no duplicated or lost packet values"
+    );
+    let markers = tally.markers.lock().unwrap();
+    for stage in [1u64, 2] {
+        let total: u64 = markers
+            .iter()
+            .filter(|(s, _)| *s == stage)
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(
+            total,
+            expected_sum(),
+            "{ctx}: stage {stage} reduction must match the fault-free run"
+        );
+    }
+    let stage1 = markers.iter().filter(|(s, _)| *s == 1).count();
+    let stage2 = markers.iter().filter(|(s, _)| *s == 2).count();
+    assert_eq!((stage1, stage2), (2, 1), "{ctx}: one marker per copy");
+}
+
+/// Deterministic per-seed pseudo-random fault plans over the recoverable
+/// actions (panic, retryable fail, delay) at random stages/copies/packets.
+fn random_plan(seed: u64) -> FaultPlan {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    let mut plan = FaultPlan::new();
+    for _ in 0..(1 + next() % 3) {
+        let (stage, copies) = if next() % 2 == 0 {
+            ("mid1", 2)
+        } else {
+            ("mid2", 1)
+        };
+        let copy = (next() % copies) as usize;
+        let packet = next() % 120;
+        plan = plan.rule(FaultRule {
+            stage: Some(stage.into()),
+            copy: Some(copy),
+            trigger: Trigger::Packet(packet),
+            action: match next() % 3 {
+                0 => FaultAction::Panic,
+                1 => FaultAction::Fail { retryable: true },
+                _ => FaultAction::Delay(Duration::from_millis(2)),
+            },
+        });
+    }
+    plan
+}
+
+#[test]
+fn recovery_is_exactly_once_under_random_fault_plans() {
+    for seed in 0..10u64 {
+        let tally = Arc::new(Tally::default());
+        let plan = random_plan(seed);
+        let stats = recovering_pipeline(Arc::clone(&tally), 16)
+            .with_faults(plan.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery must complete ({plan:?}): {e}"));
+        assert_exact(&tally, &format!("seed {seed}"));
+        // Replays stay bounded by checkpoint spacing + channel capacity
+        // per restart.
+        assert!(
+            stats.replayed_packets()
+                <= stats.recoveries() * (16 + 8 + 2) + stats.retries() * (16 + 8 + 2),
+            "seed {seed}: replay bounded: {} replayed over {} restarts",
+            stats.replayed_packets(),
+            stats.recoveries()
+        );
+    }
+}
+
+#[test]
+fn fault_free_recovery_run_is_exact_with_zero_overhead_counters() {
+    let tally = Arc::new(Tally::default());
+    let stats = recovering_pipeline(Arc::clone(&tally), 16)
+        .run()
+        .expect("clean run");
+    assert_exact(&tally, "fault-free");
+    assert_eq!(stats.recoveries(), 0);
+    assert_eq!(stats.replayed_packets(), 0);
+    assert!(stats.checkpoints() > 0, "stateful stages still checkpoint");
+}
+
+#[test]
+fn recovered_run_matches_fault_free_run_byte_for_byte() {
+    let clean = Arc::new(Tally::default());
+    recovering_pipeline(Arc::clone(&clean), 16)
+        .run()
+        .expect("clean run");
+    let chaotic = Arc::new(Tally::default());
+    let stats = recovering_pipeline(Arc::clone(&chaotic), 16)
+        .with_faults(
+            FaultPlan::new()
+                .panic_at("mid1", 0, 40)
+                .panic_at("mid2", 0, 90),
+        )
+        .run()
+        .expect("recovery completes");
+    assert!(stats.recoveries() >= 2);
+    assert_eq!(
+        clean.count.load(Ordering::Relaxed),
+        chaotic.count.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        clean.sum.load(Ordering::Relaxed),
+        chaotic.sum.load(Ordering::Relaxed)
+    );
+    let mut a = clean.markers.lock().unwrap().clone();
+    let mut b = chaotic.markers.lock().unwrap().clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "per-stage reductions identical to the clean run");
+}
+
+#[test]
+fn jsonl_checkpoint_log_records_commits() {
+    let path = format!(
+        "{}/recovery_ckpt_{}.jsonl",
+        env!("CARGO_TARGET_TMPDIR"),
+        std::process::id()
+    );
+    let _ = std::fs::remove_file(&path);
+    let store = CheckpointStore::with_jsonl(&path).expect("create checkpoint log");
+    let tally = Arc::new(Tally::default());
+    recovering_pipeline(Arc::clone(&tally), 16)
+        .with_checkpoint_store(store.clone())
+        .with_faults(FaultPlan::new().panic_at("mid2", 0, 100))
+        .run()
+        .expect("recovery completes");
+    assert_exact(&tally, "jsonl");
+    let log = std::fs::read_to_string(&path).expect("read checkpoint log");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len() as u64, store.commits(), "one line per commit");
+    assert!(store.commits() > 0);
+    for l in &lines {
+        assert!(
+            l.starts_with('{') && l.ends_with('}') && l.contains("\"stage\""),
+            "JSONL line shape: {l}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Current thread count of this process (Linux; leak checks gated on it).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn recovery_chaos_leaks_no_threads() {
+    // Warm up, then hammer the restart path: every recovery attempt must
+    // join its replaced worker threads.
+    let tally = Arc::new(Tally::default());
+    let _ = recovering_pipeline(Arc::clone(&tally), 16).run();
+    let before = thread_count();
+    for seed in 0..3u64 {
+        let tally = Arc::new(Tally::default());
+        let _ = recovering_pipeline(Arc::clone(&tally), 8)
+            .with_faults(random_plan(seed))
+            .run();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let after = thread_count();
+        if after <= before {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            panic!("thread count must return to baseline: before={before} after={after}");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

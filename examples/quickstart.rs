@@ -90,6 +90,18 @@ fn main() {
     println!("plan (threads 1-2-1): {threaded:?}");
 
     assert_eq!(interp.output, sequential);
-    assert_eq!(interp.output, threaded);
+    // The width-2 compute stage splits the reduction across copies, so the
+    // double sum is accumulated in a different order than the sequential
+    // oracle — compare numerically, not textually.
+    assert_eq!(interp.output.len(), threaded.len());
+    for (a, b) in interp.output.iter().zip(&threaded) {
+        match (a.parse::<f64>(), b.parse::<f64>()) {
+            (Ok(x), Ok(y)) => assert!(
+                (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                "outputs diverge beyond rounding: {a} vs {b}"
+            ),
+            _ => assert_eq!(a, b),
+        }
+    }
     println!("\nall three executions agree ✓");
 }
