@@ -6,6 +6,9 @@ use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
     let obs = Obs::init();
+    if obs.net_mode(DialectApp::Zbuf) {
+        return;
+    }
     let figs = [
         figures::fig05(),
         figures::fig06(),

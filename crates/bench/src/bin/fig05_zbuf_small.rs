@@ -5,6 +5,9 @@ use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
     let obs = Obs::init();
+    if obs.net_mode(DialectApp::Zbuf) {
+        return;
+    }
     cgp_bench::figures::fig05().print();
     obs.compiler_demo(DialectApp::Zbuf);
     obs.finish();

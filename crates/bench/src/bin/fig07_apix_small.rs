@@ -5,6 +5,9 @@ use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
     let obs = Obs::init();
+    if obs.net_mode(DialectApp::Apix) {
+        return;
+    }
     cgp_bench::figures::fig07().print();
     obs.compiler_demo(DialectApp::Apix);
     obs.finish();

@@ -5,6 +5,9 @@ use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
     let obs = Obs::init();
+    if obs.net_mode(DialectApp::Knn { k: 3 }) {
+        return;
+    }
     cgp_bench::figures::fig09().print();
     obs.compiler_demo(DialectApp::Knn { k: 3 });
     obs.finish();

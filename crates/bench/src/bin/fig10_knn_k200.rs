@@ -5,6 +5,9 @@ use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
     let obs = Obs::init();
+    if obs.net_mode(DialectApp::Knn { k: 200 }) {
+        return;
+    }
     cgp_bench::figures::fig10().print();
     obs.compiler_demo(DialectApp::Knn { k: 200 });
     obs.finish();

@@ -5,6 +5,9 @@ use cgp_bench::harness::{DialectApp, Obs};
 
 fn main() {
     let obs = Obs::init();
+    if obs.net_mode(DialectApp::Vmscope) {
+        return;
+    }
     cgp_bench::figures::fig11().print();
     obs.compiler_demo(DialectApp::Vmscope);
     obs.finish();

@@ -35,10 +35,13 @@ use cgp_core::apps::isosurface::ScalarGrid;
 use cgp_core::apps::vmscope::Slide;
 use cgp_core::datacutter::FaultPlan;
 use cgp_core::{
-    compile, run_plan_threaded_stats, CompileOptions, Compiled, CoreError, ExecOptions, PipelineEnv,
+    compile, run_plan_threaded_stats, run_plan_worker, CompileOptions, Compiled, CoreError,
+    ExecOptions, NetRole, PipelineEnv,
 };
 use cgp_obs::trace::{self, TraceEvent};
 use cgp_obs::{ChromeTraceSink, TraceSink};
+use std::io::Write as _;
+use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -56,6 +59,14 @@ pub struct CommonOpts {
     pub recover: bool,
     /// `--checkpoint-every <k>`: packets between checkpoint commits.
     pub checkpoint_every: Option<u64>,
+    /// `--role <local|launcher|worker:<stage>>`: how this process
+    /// participates in a distributed run (see [`cgp_core::NetRole`]).
+    pub role: Option<String>,
+    /// `--listen <host:port>`: worker ingress bind address (port 0 picks
+    /// a free port, announced as `CGP_LISTENING <port>` on stdout).
+    pub listen: Option<String>,
+    /// `--connect <host:port>`: downstream worker's listener address.
+    pub connect: Option<String>,
 }
 
 /// Parse the shared flags out of an argument stream.
@@ -70,6 +81,9 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
             "--faults" => o.faults_spec = args.next(),
             "--deadline-ms" => o.deadline_ms = args.next().and_then(|v| v.parse().ok()),
             "--checkpoint-every" => o.checkpoint_every = args.next().and_then(|v| v.parse().ok()),
+            "--role" => o.role = args.next(),
+            "--listen" => o.listen = args.next(),
+            "--connect" => o.connect = args.next(),
             _ => {
                 if let Some(p) = a.strip_prefix("--trace-out=") {
                     o.trace_path = Some(p.to_string());
@@ -79,6 +93,12 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
                     o.deadline_ms = d.parse().ok();
                 } else if let Some(k) = a.strip_prefix("--checkpoint-every=") {
                     o.checkpoint_every = k.parse().ok();
+                } else if let Some(r) = a.strip_prefix("--role=") {
+                    o.role = Some(r.to_string());
+                } else if let Some(l) = a.strip_prefix("--listen=") {
+                    o.listen = Some(l.to_string());
+                } else if let Some(c) = a.strip_prefix("--connect=") {
+                    o.connect = Some(c.to_string());
                 }
             }
         }
@@ -153,6 +173,16 @@ impl Obs {
         if opts.checkpoint_every.is_some() {
             exec.checkpoint_every = opts.checkpoint_every;
         }
+        if let Some(role) = &opts.role {
+            exec.role =
+                ExecOptions::parse_role(role).unwrap_or_else(|e| panic!("bad --role spec: {e}"));
+        }
+        if opts.listen.is_some() {
+            exec.listen = opts.listen;
+        }
+        if opts.connect.is_some() {
+            exec.connect = opts.connect;
+        }
         let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
         let sink = trace_path.as_ref().map(|p| {
             let inner = ChromeTraceSink::create(p)
@@ -175,6 +205,133 @@ impl Obs {
 
     fn active(&self) -> bool {
         self.explain || self.sink.is_some() || self.chaos
+    }
+
+    /// Handle a distributed role (`--role`/`CGP_ROLE`), if one was
+    /// requested. Returns `true` when this process acted as a worker or
+    /// launcher for `app` — the figure binary should return immediately,
+    /// because a worker's stdout is part of the distributed protocol
+    /// (`CGP_LISTENING <port>` followed by the last stage's result
+    /// lines). Returns `false` for the default local role.
+    pub fn net_mode(&self, app: DialectApp) -> bool {
+        match self.exec.role {
+            NetRole::Local => false,
+            NetRole::Worker(stage) => {
+                self.run_as_worker(app, stage);
+                true
+            }
+            NetRole::Launcher => {
+                self.run_as_launcher(app);
+                true
+            }
+        }
+    }
+
+    /// Execute one stage of `app`'s demo plan as a distributed worker.
+    /// Everything informational goes to stderr; stdout carries only the
+    /// protocol marker and (for the last stage) the result lines.
+    fn run_as_worker(&self, app: DialectApp, stage: usize) {
+        let (name, src, opts) = demo_config(app);
+        let compiled = compile(src, &opts).unwrap_or_else(|e| {
+            eprintln!("[obs] worker {stage}: dialect compile failed for {name}: {e}");
+            std::process::exit(1);
+        });
+        let m = compiled.plan.m;
+        let listener = (stage > 0).then(|| {
+            let addr = self.exec.listen.as_deref().unwrap_or("127.0.0.1:0");
+            let l = TcpListener::bind(addr).unwrap_or_else(|e| {
+                eprintln!("[obs] worker {stage}: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            });
+            let port = l
+                .local_addr()
+                .expect("bound listener has an address")
+                .port();
+            println!("{} {port}", crate::launcher::LISTENING_MARKER);
+            let _ = std::io::stdout().flush();
+            l
+        });
+        match run_plan_worker(
+            Arc::new(compiled.plan),
+            demo_host_builder(app),
+            stage,
+            listener,
+            self.exec.connect.clone(),
+            None,
+            &self.exec,
+        ) {
+            Ok((out, stats)) => {
+                for line in &out {
+                    println!("{line}");
+                }
+                let net: Vec<String> = stats
+                    .net_links
+                    .iter()
+                    .map(|(l, st)| format!("link {l}: {} frames, {} bytes", st.frames, st.bytes))
+                    .collect();
+                if self.exec.recover && stats.recoveries() > 0 {
+                    eprintln!(
+                        "[obs] worker {stage}/{m} for {name} recovered: {} restarts, \
+                         {} replayed packets",
+                        stats.recoveries(),
+                        stats.replayed_packets()
+                    );
+                }
+                eprintln!(
+                    "[obs] worker {stage}/{m} for {name} finished ({})",
+                    net.join("; ")
+                );
+            }
+            Err(e) => {
+                eprintln!("[obs] worker {stage}/{m} for {name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Run `app`'s demo plan twice — in-process, then split one worker
+    /// process per pipeline unit over loopback TCP — and fail loudly
+    /// unless the outputs are byte-identical.
+    fn run_as_launcher(&self, app: DialectApp) {
+        let (name, src, opts) = demo_config(app);
+        let compiled = compile(src, &opts).unwrap_or_else(|e| {
+            eprintln!("[obs] launcher: dialect compile failed for {name}: {e}");
+            std::process::exit(1);
+        });
+        let m = compiled.plan.m;
+        let expected = match run_plan_threaded_stats(
+            Arc::new(compiled.plan.clone()),
+            demo_host_builder(app),
+            None,
+            &self.exec,
+        ) {
+            Ok((out, _)) => out,
+            Err(e) => {
+                eprintln!("[obs] launcher: in-process reference run for {name} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let passthrough =
+            crate::launcher::strip_net_flags(&std::env::args().skip(1).collect::<Vec<_>>());
+        let got = match crate::launcher::launch_distributed(m, &passthrough) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("[obs] launcher: distributed run for {name} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if got != expected {
+            eprintln!(
+                "[obs] launcher: distributed output diverges from the in-process run for \
+                 {name}: expected {expected:?}, got {got:?}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[obs] distributed run for {name} across {m} workers matches the in-process \
+             run ({} output lines)",
+            got.len()
+        );
     }
 
     /// Compile (and, when tracing, execute on real threads) the dialect

@@ -1,0 +1,164 @@
+//! Single-machine distributed launcher.
+//!
+//! Re-executes the current figure binary once per pipeline unit with
+//! `CGP_ROLE=worker:<stage>`, wiring the workers into a chain over
+//! loopback TCP. Workers are spawned **last stage first**: each one binds
+//! an ephemeral port (`CGP_LISTEN=127.0.0.1:0`), announces it on stdout
+//! as `CGP_LISTENING <port>`, and the launcher passes that address to the
+//! next worker upstream as `CGP_CONNECT`. The final stage's remaining
+//! stdout is the run's result, which the caller diffs against an
+//! in-process run of the same plan.
+//!
+//! Closures can't cross process boundaries, so there is no plan shipping:
+//! every worker recompiles the same program with the same options (both
+//! are deterministic), and the role env vars select which stage of the
+//! shared plan each process executes.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// Marker line a worker prints (and flushes) on stdout once its ingress
+/// listener is bound, before it starts the run.
+pub const LISTENING_MARKER: &str = "CGP_LISTENING";
+
+/// Drop the networking flags from a forwarded argument list, so spawned
+/// workers don't inherit the parent's `--role launcher` (their role
+/// arrives via `CGP_ROLE`, which explicit flags would override).
+pub fn strip_net_flags(args: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--role" | "--listen" | "--connect" => {
+                let _ = it.next();
+            }
+            _ if a.starts_with("--role=")
+                || a.starts_with("--listen=")
+                || a.starts_with("--connect=") => {}
+            _ => out.push(a.clone()),
+        }
+    }
+    out
+}
+
+/// Spawn one worker process per pipeline unit (`stages` of them) over
+/// loopback TCP and return the last stage's output lines. `passthrough`
+/// is forwarded to every worker verbatim (strip the net flags first —
+/// see [`strip_net_flags`]), so fault injection, recovery, and batch
+/// flags apply inside the workers exactly as they would in-process.
+///
+/// Fails if any worker exits unsuccessfully — a mid-pipeline failure is
+/// invisible in the last stage's output (its ingress just sees
+/// end-of-work), so exit statuses are the distributed run's error
+/// surface.
+pub fn launch_distributed(stages: usize, passthrough: &[String]) -> Result<Vec<String>, String> {
+    if stages == 0 {
+        return Err("launch_distributed: no stages".to_string());
+    }
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate current executable: {e}"))?;
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    let mut last_stdout = None;
+    let mut downstream_addr: Option<String> = None;
+    for stage in (0..stages).rev() {
+        let mut cmd = Command::new(&exe);
+        cmd.args(passthrough)
+            .env("CGP_ROLE", format!("worker:{stage}"))
+            .env_remove("CGP_LISTEN")
+            .env_remove("CGP_CONNECT")
+            .stdout(Stdio::piped());
+        if stage > 0 {
+            cmd.env("CGP_LISTEN", "127.0.0.1:0");
+        }
+        if let Some(addr) = &downstream_addr {
+            cmd.env("CGP_CONNECT", addr);
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn worker {stage}: {e}"))?;
+        let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+        children.push((stage, child));
+        if stage > 0 {
+            // Block until the worker announces its bound port; everything
+            // upstream needs it before it can be spawned.
+            let mut line = String::new();
+            downstream_addr = loop {
+                line.clear();
+                let n = reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("read worker {stage} stdout: {e}"))?;
+                if n == 0 {
+                    reap(children);
+                    return Err(format!(
+                        "worker {stage} exited before announcing its listener"
+                    ));
+                }
+                if let Some(port) = line.trim().strip_prefix(LISTENING_MARKER) {
+                    break Some(format!("127.0.0.1:{}", port.trim()));
+                }
+            };
+        } else {
+            downstream_addr = None;
+        }
+        if stage == stages - 1 {
+            last_stdout = Some(reader);
+        }
+    }
+    // The last stage's remaining stdout is the result; it closes when the
+    // whole chain has drained.
+    let mut result = Vec::new();
+    if let Some(reader) = last_stdout {
+        for line in reader.lines() {
+            result.push(line.map_err(|e| format!("read result line: {e}"))?);
+        }
+    }
+    let mut failures = Vec::new();
+    for (stage, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for worker {stage}: {e}"))?;
+        if !status.success() {
+            failures.push(format!("worker {stage} exited with {status}"));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(result)
+}
+
+/// Best-effort cleanup on a failed launch.
+fn reap(children: Vec<(usize, Child)>) {
+    for (_, mut child) in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn strip_net_flags_removes_both_forms_and_keeps_the_rest() {
+        let args = argv(&[
+            "--role",
+            "launcher",
+            "--faults",
+            "panic@f2[0]#3",
+            "--listen=127.0.0.1:0",
+            "--recover",
+            "--connect",
+            "127.0.0.1:9999",
+            "--role=worker:1",
+        ]);
+        assert_eq!(
+            strip_net_flags(&args),
+            argv(&["--faults", "panic@f2[0]#3", "--recover"])
+        );
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod dataplane;
 pub mod harness;
+pub mod launcher;
 
 use cgp_core::apps::profile::AppVariant;
 use cgp_core::grid::{GridConfig, LinkSpec};

@@ -671,14 +671,45 @@ impl PipelineEnv {
         self.power.len()
     }
 
-    /// `Cost_comp(P(C_j), task)`.
+    /// `Cost_comp(P(C_j), task)`. A unit with zero, negative, or
+    /// non-finite power cannot compute: its cost is `+∞`, never `NaN`
+    /// (`NaN` would silently poison every comparison in the DP).
     pub fn cost_comp(&self, j: usize, task: &OpCount, w: &CostWeights) -> f64 {
-        task.weighted(w) / self.power[j]
+        let p = self.power[j];
+        if !p.is_finite() || p <= 0.0 {
+            return f64::INFINITY;
+        }
+        let c = task.weighted(w) / p;
+        if c.is_nan() {
+            f64::INFINITY
+        } else {
+            c
+        }
     }
 
-    /// `Cost_comm(B(L_j), vol)`.
+    /// `Cost_comm(B(L_j), vol)`. Guarded against degenerate links: moving
+    /// nothing costs only the link latency (avoiding `0.0 / 0.0 → NaN`),
+    /// and a zero/negative/non-finite bandwidth makes any actual transfer
+    /// cost `+∞` — finite-or-infinite, never `NaN`.
     pub fn cost_comm(&self, j: usize, bytes: f64) -> f64 {
-        self.latency[j] + bytes / self.bandwidth[j]
+        let lat = if self.latency[j].is_finite() {
+            self.latency[j]
+        } else {
+            f64::INFINITY
+        };
+        if bytes <= 0.0 {
+            return lat;
+        }
+        let bw = self.bandwidth[j];
+        if !bw.is_finite() || bw <= 0.0 {
+            return f64::INFINITY;
+        }
+        let c = lat + bytes / bw;
+        if c.is_nan() {
+            f64::INFINITY
+        } else {
+            c
+        }
     }
 
     /// The environment with interior unit `j` removed — the failover
@@ -856,6 +887,30 @@ mod tests {
             "{:?}",
             costs.volumes
         );
+    }
+
+    #[test]
+    fn degenerate_links_and_units_never_produce_nan() {
+        let env = PipelineEnv {
+            power: vec![1e6, 0.0, -5.0, f64::NAN],
+            bandwidth: vec![0.0, -1.0, f64::NAN],
+            latency: vec![1e-5, 0.0, f64::NAN],
+        };
+        // Zero volume over a zero-bandwidth link: latency only, not 0/0.
+        assert_eq!(env.cost_comm(0, 0.0), 1e-5);
+        // Real volume over a dead/negative/NaN-bandwidth link: +∞.
+        assert_eq!(env.cost_comm(0, 100.0), f64::INFINITY);
+        assert_eq!(env.cost_comm(1, 100.0), f64::INFINITY);
+        assert_eq!(env.cost_comm(2, 100.0), f64::INFINITY);
+        // NaN latency resolves to +∞, never NaN.
+        assert!(!env.cost_comm(2, 0.0).is_nan());
+        // Degenerate compute power: +∞, never NaN, even for a zero task.
+        let zero = OpCount::zero();
+        let w = CostWeights::default();
+        assert!(env.cost_comp(0, &zero, &w).is_finite());
+        assert_eq!(env.cost_comp(1, &zero, &w), f64::INFINITY);
+        assert_eq!(env.cost_comp(2, &zero, &w), f64::INFINITY);
+        assert_eq!(env.cost_comp(3, &zero, &w), f64::INFINITY);
     }
 
     #[test]

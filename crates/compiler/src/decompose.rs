@@ -24,6 +24,19 @@
 
 use crate::cost::{ChainCosts, CostWeights, OpCount, PipelineEnv, StageTimes};
 
+/// Map `NaN` to `+∞` so DP/brute-force comparisons stay deterministic: a
+/// `NaN` candidate compares false against everything, which would make
+/// `computed <= forwarded` silently pick the wrong branch and corrupt the
+/// boundary selection. The cost model is itself guarded, but sums of
+/// guarded terms are re-checked here as defense in depth.
+fn finite_or_inf(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::INFINITY
+    } else {
+        x
+    }
+}
+
 /// A decomposition problem: tasks (virtual source first) and the volume
 /// crossing after each task.
 #[derive(Debug, Clone)]
@@ -177,16 +190,17 @@ pub fn decompose_dp(problem: &Problem, env: &PipelineEnv) -> Decomposition {
     //               false → forwarded over L_{j-1} (came from t[i][j-1]).
     let mut choice = vec![vec![false; m]; n];
 
-    t[0][0] = env.cost_comp(0, &problem.tasks[0], &problem.weights);
+    t[0][0] = finite_or_inf(env.cost_comp(0, &problem.tasks[0], &problem.weights));
     choice[0][0] = true;
     for j in 1..m {
-        t[0][j] = t[0][j - 1] + env.cost_comm(j - 1, problem.volumes[0]);
+        t[0][j] = finite_or_inf(t[0][j - 1] + env.cost_comm(j - 1, problem.volumes[0]));
     }
     for i in 1..n {
         for j in 0..m {
-            let computed = t[i - 1][j] + env.cost_comp(j, &problem.tasks[i], &problem.weights);
+            let computed =
+                finite_or_inf(t[i - 1][j] + env.cost_comp(j, &problem.tasks[i], &problem.weights));
             let forwarded = if j >= 1 {
-                t[i][j - 1] + env.cost_comm(j - 1, problem.volumes[i])
+                finite_or_inf(t[i][j - 1] + env.cost_comm(j - 1, problem.volumes[i]))
             } else {
                 INF
             };
@@ -227,17 +241,18 @@ pub fn decompose_dp_cost_only(problem: &Problem, env: &PipelineEnv) -> f64 {
     let m = env.m();
     const INF: f64 = f64::INFINITY;
     let mut row = vec![INF; m];
-    row[0] = env.cost_comp(0, &problem.tasks[0], &problem.weights);
+    row[0] = finite_or_inf(env.cost_comp(0, &problem.tasks[0], &problem.weights));
     for j in 1..m {
-        row[j] = row[j - 1] + env.cost_comm(j - 1, problem.volumes[0]);
+        row[j] = finite_or_inf(row[j - 1] + env.cost_comm(j - 1, problem.volumes[0]));
     }
     for i in 1..n {
         // row currently holds t[i-1][*]; update left-to-right so row[j-1]
         // is already t[i][j-1].
         for j in 0..m {
-            let computed = row[j] + env.cost_comp(j, &problem.tasks[i], &problem.weights);
+            let computed =
+                finite_or_inf(row[j] + env.cost_comp(j, &problem.tasks[i], &problem.weights));
             let forwarded = if j >= 1 {
-                row[j - 1] + env.cost_comm(j - 1, problem.volumes[i])
+                finite_or_inf(row[j - 1] + env.cost_comm(j - 1, problem.volumes[i]))
             } else {
                 INF
             };
@@ -264,7 +279,7 @@ pub fn decompose_brute_force(problem: &Problem, env: &PipelineEnv) -> Decomposit
     ) {
         let n = problem.n_tasks();
         if i == n {
-            let cost = evaluate(problem, env, unit_of);
+            let cost = finite_or_inf(evaluate(problem, env, unit_of));
             if best.as_ref().is_none_or(|b| cost < b.cost) {
                 *best = Some(Decomposition {
                     unit_of: unit_of.clone(),
@@ -307,7 +322,7 @@ pub fn decompose_bottleneck_optimal(
     ) {
         if i == problem.n_tasks() {
             let st = stage_times(problem, env, unit_of);
-            let cost = st.total_time(n_packets);
+            let cost = finite_or_inf(st.total_time(n_packets));
             if best.as_ref().is_none_or(|b| cost < b.cost) {
                 *best = Some(Decomposition {
                     unit_of: unit_of.clone(),
@@ -481,6 +496,75 @@ mod tests {
         let st = stage_times(&p, &env, &bot.unit_of);
         let max_comp = st.comp.iter().cloned().fold(0.0_f64, f64::max);
         assert!(max_comp <= 10.0 + 1e-9, "{:?}", st.comp);
+    }
+
+    #[test]
+    fn zero_bandwidth_link_never_yields_nan_and_plans_deterministically() {
+        // Regression: `cost_comm` used to compute `0.0 / 0.0 → NaN` for a
+        // zero-volume cut over a zero-bandwidth link, and the DP compared
+        // against the NaN (every comparison silently false), corrupting
+        // boundary selection. The plan cost must now be finite or +∞ —
+        // never NaN — and the chosen assignment deterministic.
+        let p = problem(&[100.0, 100.0, 50.0], &[1000.0, 0.0, 10.0]);
+        let env = PipelineEnv {
+            power: vec![1e6, 1e6, 1e6],
+            bandwidth: vec![0.0, 1e6],
+            latency: vec![1e-5, 1e-5],
+        };
+        let d = decompose_dp(&p, &env);
+        assert!(!d.cost.is_nan(), "plan cost must never be NaN: {}", d.cost);
+        assert!(
+            d.unit_of.windows(2).all(|w| w[0] <= w[1]),
+            "monotone: {:?}",
+            d.unit_of
+        );
+        // The dead link is only crossable carrying zero bytes; any plan
+        // moving real volume over it costs +∞, so the optimum avoids it.
+        let roll = decompose_dp_cost_only(&p, &env);
+        let bf = decompose_brute_force(&p, &env);
+        assert!(!roll.is_nan() && !bf.cost.is_nan());
+        assert!(
+            (d.cost - bf.cost).abs() < 1e-9 * (1.0 + bf.cost.abs()) || d.cost == bf.cost,
+            "dp={} bf={}",
+            d.cost,
+            bf.cost
+        );
+        assert!((d.cost - roll).abs() < 1e-12 || d.cost == roll);
+        // Determinism: two runs agree exactly.
+        assert_eq!(d, decompose_dp(&p, &env));
+
+        // All-dead-links environment: cost degenerates to +∞ rather than
+        // NaN, and the DP still returns a legal monotone assignment.
+        let env_dead = PipelineEnv {
+            power: vec![1e6, 1e6],
+            bandwidth: vec![0.0],
+            latency: vec![0.0],
+        };
+        let d2 = decompose_dp(&p, &env_dead);
+        assert!(!d2.cost.is_nan());
+        assert_eq!(d2.unit_of[0], 0);
+        assert!(d2.unit_of.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn nan_candidates_are_rejected_by_brute_force() {
+        // A NaN objective (e.g. from a hostile environment) must never be
+        // retained as "best": finite_or_inf maps it to +∞ so any finite
+        // candidate wins.
+        let p = problem(&[1.0], &[0.0]);
+        let env = PipelineEnv {
+            power: vec![1e6, f64::NAN],
+            bandwidth: vec![1e6],
+            latency: vec![0.0],
+        };
+        let bf = decompose_brute_force(&p, &env);
+        assert!(!bf.cost.is_nan());
+        // Unit 1 has NaN power → plans touching it cost +∞; the optimum keeps
+        // all work on unit 0 and stays finite. A NaN candidate that survived
+        // the comparison would poison `cost` itself, so finiteness proves the
+        // rejection worked.
+        assert!(bf.cost.is_finite(), "cost={}", bf.cost);
+        assert!(bf.unit_of.iter().all(|&u| u == 0), "plan={:?}", bf.unit_of);
     }
 
     #[test]

@@ -224,13 +224,38 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        let end = self.pos + n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| CodecError("malformed input: length overflows".into()))?;
         let s = self
             .buf
             .get(self.pos..end)
             .ok_or_else(|| CodecError("unexpected end of input".into()))?;
         self.pos = end;
         Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Validate a declared element/key count against the bytes actually left
+    /// in the buffer *before* any allocation sized from it. Each element of
+    /// the container needs at least `min_bytes_each` bytes of encoding, so a
+    /// count exceeding `remaining / min_bytes_each` cannot possibly decode —
+    /// reject it as malformed instead of letting `with_capacity` reserve
+    /// attacker-chosen amounts of memory.
+    fn check_count(&self, n: usize, min_bytes_each: usize) -> Result<(), CodecError> {
+        let need = n.checked_mul(min_bytes_each);
+        match need {
+            Some(need) if need <= self.remaining() => Ok(()),
+            _ => Err(CodecError(format!(
+                "malformed input: declared count {n} needs >= {} bytes but only {} remain",
+                n.saturating_mul(min_bytes_each),
+                self.remaining()
+            ))),
+        }
     }
 
     fn u8(&mut self) -> Result<u8, CodecError> {
@@ -271,7 +296,9 @@ impl<'a> Reader<'a> {
             TAG_DOMAIN => Ok(Value::Domain(self.i64()?, self.i64()?)),
             TAG_ARRAY => {
                 let n = self.u64()? as usize;
-                let mut v = Vec::with_capacity(n.min(1 << 20));
+                // Every element takes at least one tag byte.
+                self.check_count(n, 1)?;
+                let mut v = Vec::with_capacity(n);
                 for _ in 0..n {
                     v.push(self.value()?);
                 }
@@ -279,6 +306,7 @@ impl<'a> Reader<'a> {
             }
             TAG_ARRAY_F64 => {
                 let n = self.u64()? as usize;
+                self.check_count(n, 8)?;
                 // One bounds check for the whole run, then chunked LE
                 // conversion straight off the slice.
                 let run = self.take(n * 8)?;
@@ -294,6 +322,7 @@ impl<'a> Reader<'a> {
             }
             TAG_ARRAY_I64 => {
                 let n = self.u64()? as usize;
+                self.check_count(n, 8)?;
                 let run = self.take(n * 8)?;
                 let v: Vec<Value> = run
                     .chunks_exact(8)
@@ -304,7 +333,9 @@ impl<'a> Reader<'a> {
             TAG_OBJECT => {
                 let class = self.string()?;
                 let n = self.u64()? as usize;
-                let mut fields = HashMap::with_capacity(n.min(1 << 16));
+                // Each entry needs a 4-byte key length plus a 1-byte value tag.
+                self.check_count(n, 5)?;
+                let mut fields = HashMap::with_capacity(n);
                 for _ in 0..n {
                     let k = self.string()?;
                     fields.insert(k, self.value()?);
@@ -329,7 +360,9 @@ pub fn decode_value(buf: &[u8]) -> Result<Value, CodecError> {
 pub fn decode_state(buf: &[u8]) -> Result<HashMap<String, Value>, CodecError> {
     let mut r = Reader { buf, pos: 0 };
     let n = r.u64()? as usize;
-    let mut out = HashMap::with_capacity(n.min(1 << 16));
+    // Each entry needs a 4-byte key length plus a 1-byte value tag.
+    r.check_count(n, 5)?;
+    let mut out = HashMap::with_capacity(n);
     for _ in 0..n {
         let k = r.string()?;
         out.insert(k, r.value()?);
@@ -454,6 +487,86 @@ mod tests {
         encode_value(&Value::Int(5), &mut buf);
         buf.truncate(buf.len() - 1);
         assert!(decode_value(&buf).is_err());
+    }
+
+    /// Build a header-only frame: `tag` followed by a u64 count, no payload.
+    fn count_frame(tag: u8, n: u64) -> Vec<u8> {
+        let mut buf = vec![tag];
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn oversized_count_prefix_is_rejected_before_allocating() {
+        // A hostile frame declaring billions of elements with (almost) no
+        // payload must be rejected up front — decoding it must neither
+        // reserve gigabytes nor loop over the phantom elements.
+        for tag in [TAG_ARRAY, TAG_ARRAY_F64, TAG_ARRAY_I64] {
+            for n in [u64::MAX, u64::MAX / 8, 1 << 40, 1 << 21] {
+                let err = decode_value(&count_frame(tag, n)).unwrap_err();
+                assert!(err.0.contains("malformed"), "tag={tag} n={n}: {err}");
+            }
+        }
+        // Object field count, after an empty class name.
+        let mut buf = vec![TAG_OBJECT];
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_value(&buf).unwrap_err().0.contains("malformed"));
+        // State-map entry count.
+        let buf = u64::MAX.to_le_bytes().to_vec();
+        assert!(decode_state(&buf).unwrap_err().0.contains("malformed"));
+    }
+
+    #[test]
+    fn count_times_width_overflow_does_not_wrap() {
+        // n * 8 would wrap to a small number in release builds without the
+        // checked multiply; the declared count must still be rejected.
+        let n = (u64::MAX / 8) + 1; // n * 8 wraps to 8 on u64
+        let mut buf = count_frame(TAG_ARRAY_F64, n);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(decode_value(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_prefix_fuzz_every_length() {
+        // Every proper prefix of a valid nested encoding must fail cleanly
+        // (no panic, no bogus success).
+        let mut fields = HashMap::new();
+        fields.insert(
+            "xs".to_string(),
+            Value::Array(Rc::new(RefCell::new(
+                (0..16).map(|i| Value::Double(i as f64)).collect(),
+            ))),
+        );
+        fields.insert("n".to_string(), Value::Int(7));
+        let v = Value::Array(Rc::new(RefCell::new(vec![
+            Value::new_object("Acc", fields),
+            Value::Domain(1, 9),
+            Value::Bool(true),
+        ])));
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        assert!(decode_value(&buf).is_ok());
+        for cut in 0..buf.len() {
+            assert!(decode_value(&buf[..cut]).is_err(), "prefix len {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_count_bytes_never_panic() {
+        // Flip each byte of a valid encoding to 0xff one at a time; decoding
+        // may succeed or fail but must never panic or over-allocate.
+        let mut st = HashMap::new();
+        st.insert(
+            "a".to_string(),
+            Value::Array(Rc::new(RefCell::new((0..8).map(Value::Int).collect()))),
+        );
+        let buf = encode_state(&st);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] = 0xff;
+            let _ = decode_state(&bad);
+        }
     }
 
     #[test]

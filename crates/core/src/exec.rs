@@ -25,9 +25,10 @@ use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
     Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, Pipeline,
-    RecoveryOptions, RetryPolicy, RunStats, StageSpec,
+    RecoveryOptions, RetryPolicy, RunStats, StageSpec, WorkerEndpoints,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
+use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -43,6 +44,27 @@ const DEFAULT_BATCH: usize = 8;
 /// A deterministic host-environment builder, invoked once per filter copy
 /// on its own thread.
 pub type HostBuilder = Arc<dyn Fn() -> HostEnv + Send + Sync>;
+
+/// How this process participates in a run.
+///
+/// Distributed runs can't ship closures between processes; instead every
+/// participant recompiles the same program with the same options, which
+/// deterministically yields the same plan, stage names, and round-robin
+/// packet routing. The role then selects which slice of the shared plan
+/// this process executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetRole {
+    /// Run the whole pipeline in this process (the default).
+    #[default]
+    Local,
+    /// Run only pipeline unit `stage`, bridging its boundary streams
+    /// over TCP ([`run_plan_worker`]).
+    Worker(usize),
+    /// Spawn one worker process per pipeline unit on this machine and
+    /// collect the last stage's output (the bench harness implements
+    /// this on top of [`NetRole::Worker`]).
+    Launcher,
+}
 
 /// Fault-tolerance knobs for a threaded plan run, forwarded to the
 /// DataCutter [`Pipeline`]: deterministic fault injection, bounded retry
@@ -70,6 +92,14 @@ pub struct ExecOptions {
     pub checkpoint_every: Option<u64>,
     /// Mirror checkpoint commits to a JSONL audit log at this path.
     pub checkpoint_log: Option<String>,
+    /// How this process participates in the run (local / worker /
+    /// launcher).
+    pub role: NetRole,
+    /// Bind address for a worker's ingress listener (`host:port`; port 0
+    /// picks a free port).
+    pub listen: Option<String>,
+    /// Address of the downstream worker's listener.
+    pub connect: Option<String>,
 }
 
 impl ExecOptions {
@@ -83,7 +113,10 @@ impl ExecOptions {
     ///   batching);
     /// - `CGP_RECOVER` — `1`/`true`/`on` enables the recovery layer;
     /// - `CGP_CHECKPOINT_EVERY` — checkpoint cadence in packets;
-    /// - `CGP_CHECKPOINT_LOG` — JSONL audit log path for checkpoints.
+    /// - `CGP_CHECKPOINT_LOG` — JSONL audit log path for checkpoints;
+    /// - `CGP_ROLE` — `local` (default), `launcher`, or `worker:<stage>`;
+    /// - `CGP_LISTEN` — worker ingress bind address (`host:port`);
+    /// - `CGP_CONNECT` — downstream worker's listener address.
     pub fn from_env() -> Result<ExecOptions, CoreError> {
         let mut opts = ExecOptions::default();
         if let Ok(spec) = std::env::var("CGP_FAULTS") {
@@ -134,7 +167,37 @@ impl ExecOptions {
                 opts.checkpoint_log = Some(path);
             }
         }
+        if let Ok(v) = std::env::var("CGP_ROLE") {
+            opts.role = Self::parse_role(&v)?;
+        }
+        for (var, slot) in [
+            ("CGP_LISTEN", &mut opts.listen),
+            ("CGP_CONNECT", &mut opts.connect),
+        ] {
+            if let Ok(v) = std::env::var(var) {
+                if !v.is_empty() {
+                    *slot = Some(v);
+                }
+            }
+        }
         Ok(opts)
+    }
+
+    /// Parse a role spec: `local`, `launcher`, or `worker:<stage>`
+    /// (stage is zero-based).
+    pub fn parse_role(spec: &str) -> Result<NetRole, CoreError> {
+        match spec.trim() {
+            "" | "local" => Ok(NetRole::Local),
+            "launcher" => Ok(NetRole::Launcher),
+            s => {
+                let stage = s.strip_prefix("worker:").and_then(|r| r.parse().ok());
+                stage.map(NetRole::Worker).ok_or_else(|| {
+                    CoreError::Config(format!(
+                        "role: expected `local`, `launcher`, or `worker:<stage>`, got `{s}`"
+                    ))
+                })
+            }
+        }
     }
 }
 
@@ -168,6 +231,55 @@ pub fn run_plan_threaded_stats(
     widths: Option<&[usize]>,
     opts: &ExecOptions,
 ) -> Result<(Vec<String>, RunStats), CoreError> {
+    let (pipeline, output) = build_pipeline(plan, host_builder, widths, opts)?;
+    let stats = pipeline.run().map_err(CoreError::Runtime)?;
+    let mut out = output.lock().unwrap_or_else(|e| e.into_inner());
+    Ok((std::mem::take(&mut *out), stats))
+}
+
+/// Run only pipeline unit `stage` of the plan in this process, as one
+/// worker of a distributed run ([`Pipeline::run_worker`]).
+///
+/// The caller supplies a bound `listener` for the stage's ingress link
+/// (required iff `stage > 0` — binding before the run lets launchers
+/// learn ephemeral ports first) and the downstream worker's address
+/// (required iff `stage` is not the last). All workers must be given the
+/// same program, compile options, and `widths` so they derive the same
+/// plan and topology. The returned output lines are non-empty only for
+/// the last stage's worker.
+pub fn run_plan_worker(
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    stage: usize,
+    listener: Option<TcpListener>,
+    connect: Option<String>,
+    widths: Option<&[usize]>,
+    opts: &ExecOptions,
+) -> Result<(Vec<String>, RunStats), CoreError> {
+    let (pipeline, output) = build_pipeline(plan, host_builder, widths, opts)?;
+    let stats = pipeline
+        .run_worker(WorkerEndpoints {
+            stage,
+            listener,
+            connect,
+        })
+        .map_err(CoreError::Runtime)?;
+    let mut out = output.lock().unwrap_or_else(|e| e.into_inner());
+    Ok((std::mem::take(&mut *out), stats))
+}
+
+/// Shared plan→pipeline construction for local and worker runs: the
+/// stage list (names `f1..fm`, factories, statefulness) and every
+/// fault-tolerance knob are identical in both modes, which is what makes
+/// a distributed run byte-identical to the in-process one.
+type BuiltPipeline = (Pipeline, Arc<Mutex<Vec<String>>>);
+
+fn build_pipeline(
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    widths: Option<&[usize]>,
+    opts: &ExecOptions,
+) -> Result<BuiltPipeline, CoreError> {
     let m = plan.m;
     let widths: Vec<usize> = match widths {
         Some(w) => {
@@ -246,9 +358,7 @@ pub fn run_plan_threaded_stats(
         }
         pipeline = pipeline.add_stage(stage);
     }
-    let stats = pipeline.run().map_err(CoreError::Runtime)?;
-    let mut out = output.lock().unwrap_or_else(|e| e.into_inner());
-    Ok((std::mem::take(&mut *out), stats))
+    Ok((pipeline, output))
 }
 
 struct PlanFilter {
@@ -547,6 +657,106 @@ mod tests {
         assert_eq!(out, oracle(), "recovered run must be byte-identical");
         assert_eq!(stats.recoveries(), 1);
         assert!(stats.checkpoint_bytes() > 0);
+    }
+
+    /// Host one worker per pipeline unit (on threads — the process
+    /// boundary is exercised by the bench launcher; the sockets and
+    /// topology are identical) and compare to the interpreter oracle.
+    fn run_distributed(plan: &FilterPlan, widths: [usize; 3], exec: ExecOptions) -> Vec<String> {
+        let plan = Arc::new(plan.clone());
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l2 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a1 = l1.local_addr().unwrap().to_string();
+        let a2 = l2.local_addr().unwrap().to_string();
+        let mut listeners = [None, Some(l1), Some(l2)];
+        let connects = [Some(a1), Some(a2), None];
+        let handles: Vec<_> = (0..3)
+            .map(|s| {
+                let plan = Arc::clone(&plan);
+                let listener = listeners[s].take();
+                let connect = connects[s].clone();
+                let exec = exec.clone();
+                std::thread::spawn(move || {
+                    run_plan_worker(
+                        plan,
+                        Arc::new(host),
+                        s,
+                        listener,
+                        connect,
+                        Some(&widths),
+                        &exec,
+                    )
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        // Only the last stage's worker produces output; interior workers
+        // report network traffic on their links.
+        assert!(results[0].0.is_empty() && results[1].0.is_empty());
+        assert!(
+            results[1]
+                .1
+                .net_links
+                .iter()
+                .any(|(l, st)| *l == 1 && st.frames > 0),
+            "middle worker saw ingress traffic: {:?}",
+            results[1].1.net_links
+        );
+        assert!(
+            results[1]
+                .1
+                .net_links
+                .iter()
+                .any(|(l, st)| *l == 2 && st.frames > 0),
+            "middle worker saw egress traffic: {:?}",
+            results[1].1.net_links
+        );
+        results.into_iter().next_back().unwrap().0
+    }
+
+    #[test]
+    fn distributed_workers_match_in_process_run() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let out = run_distributed(&c.plan, [1, 2, 1], ExecOptions::default());
+        assert_eq!(out, oracle(), "distributed run must be byte-identical");
+    }
+
+    #[test]
+    fn distributed_recovery_masks_a_fault_and_matches_oracle() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let exec = ExecOptions {
+            faults: FaultPlan::new().panic_at("f2", 0, 3),
+            deadline: Some(Duration::from_secs(30)),
+            recover: true,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let out = run_distributed(&c.plan, [1, 2, 1], exec);
+        assert_eq!(out, oracle(), "recovered distributed run must match");
+    }
+
+    #[test]
+    fn parse_role_accepts_the_documented_forms() {
+        assert_eq!(ExecOptions::parse_role("local").unwrap(), NetRole::Local);
+        assert_eq!(ExecOptions::parse_role("").unwrap(), NetRole::Local);
+        assert_eq!(
+            ExecOptions::parse_role("launcher").unwrap(),
+            NetRole::Launcher
+        );
+        assert_eq!(
+            ExecOptions::parse_role("worker:2").unwrap(),
+            NetRole::Worker(2)
+        );
+        assert!(ExecOptions::parse_role("worker").is_err());
+        assert!(ExecOptions::parse_role("worker:x").is_err());
+        assert!(ExecOptions::parse_role("supervisor").is_err());
     }
 
     #[test]

@@ -38,11 +38,13 @@ use crate::buffer::BufferPool;
 use crate::error::{ErrorKind, FilterError, FilterResult};
 use crate::fault::{FaultPlan, RetryPolicy, RunControl};
 use crate::filter::{FilterFactory, FilterIo, RecoveryCtx};
+use crate::net::{egress_pump, serve_ingress, NetLinkStats};
 use crate::recover::{CheckpointStore, RecoveryOptions};
 use crate::stream::{logical_stream_recovering, Distribution};
 use cgp_obs::metrics::MetricsRegistry;
 use cgp_obs::trace::{self, PID_RUNTIME};
 use std::cell::Cell;
+use std::net::TcpListener;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::time::{Duration, Instant};
 
@@ -169,6 +171,10 @@ pub struct StageStats {
 pub struct RunStats {
     pub wall: Duration,
     pub stages: Vec<StageStats>,
+    /// Per-link network transfer counters from a distributed run
+    /// ([`Pipeline::run_worker`]), keyed by the downstream stage index of
+    /// the link. Empty for in-process runs.
+    pub net_links: Vec<(u32, NetLinkStats)>,
 }
 
 impl RunStats {
@@ -207,6 +213,20 @@ impl RunStats {
     pub fn checkpoint_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.checkpoint_bytes).sum()
     }
+}
+
+/// Where a worker process's stage attaches to the rest of a distributed
+/// pipeline ([`Pipeline::run_worker`]).
+#[derive(Debug)]
+pub struct WorkerEndpoints {
+    /// Index of the stage this process executes.
+    pub stage: usize,
+    /// Listener for the ingress link from the upstream stage's process
+    /// (required iff `stage > 0`).
+    pub listener: Option<TcpListener>,
+    /// Address of the downstream stage's listener (required iff `stage`
+    /// is not the last stage).
+    pub connect: Option<String>,
 }
 
 /// A linear pipeline of stages connected by logical streams.
@@ -336,8 +356,29 @@ impl Pipeline {
         self
     }
 
-    /// Run one unit of work through the whole pipeline.
+    /// Run one unit of work through the whole pipeline in this process.
     pub fn run(self) -> FilterResult<RunStats> {
+        self.run_inner(None)
+    }
+
+    /// Run only `endpoints.stage` of the pipeline in this process,
+    /// bridging its boundary streams over TCP (see [`crate::net`]).
+    ///
+    /// Every worker process is built with the *same* stage list (names,
+    /// widths, factories); `endpoints` selects which stage this process
+    /// executes. The stage's copies still talk to ordinary local streams
+    /// — an ingress serve loop replays the upstream producers onto a
+    /// local stream with the in-process round-robin routing, and one
+    /// egress pump per copy relays its output to the downstream worker —
+    /// so batching, backpressure, cancellation, fault injection, retry,
+    /// and recovery behave exactly as under [`Pipeline::run`], and the
+    /// distributed run's results are byte-identical to the in-process
+    /// run's.
+    pub fn run_worker(self, endpoints: WorkerEndpoints) -> FilterResult<RunStats> {
+        self.run_inner(Some(endpoints))
+    }
+
+    fn run_inner(self, worker: Option<WorkerEndpoints>) -> FilterResult<RunStats> {
         if self.stages.is_empty() {
             return Err(FilterError::new("pipeline", "no stages"));
         }
@@ -348,12 +389,58 @@ impl Pipeline {
                  no deterministic packet-to-consumer mapping to replay against)",
             ));
         }
+        let n = self.stages.len();
+        if let Some(w) = &worker {
+            if w.stage >= n {
+                return Err(FilterError::new(
+                    "pipeline",
+                    format!("worker stage {} out of range ({n} stages)", w.stage),
+                ));
+            }
+            if self.distribution != Distribution::RoundRobin {
+                return Err(FilterError::new(
+                    "pipeline",
+                    "distributed execution requires round-robin distribution (the \
+                     ingress bridge reproduces the in-process packet routing, which \
+                     a shared queue does not define)",
+                ));
+            }
+            if (w.stage > 0) != w.listener.is_some() {
+                return Err(FilterError::new(
+                    "pipeline",
+                    if w.stage > 0 {
+                        "a worker for a non-first stage needs a listener for its ingress link"
+                    } else {
+                        "the first stage has no ingress link but a listener was provided"
+                    },
+                ));
+            }
+            if (w.stage < n - 1) != w.connect.is_some() {
+                return Err(FilterError::new(
+                    "pipeline",
+                    if w.stage < n - 1 {
+                        "a worker for a non-last stage needs a connect address for its \
+                         egress link"
+                    } else {
+                        "the last stage has no egress link but a connect address was provided"
+                    },
+                ));
+            }
+        }
         install_quiet_panic_hook();
         let t0 = Instant::now();
-        let n = self.stages.len();
         let control = RunControl::new();
+        let (active_stage, listener, connect) = match worker {
+            Some(w) => (Some(w.stage), w.listener, w.connect),
+            None => (None, None, None),
+        };
 
-        // Build streams between consecutive stages.
+        // Build streams between consecutive stages. A worker process only
+        // materialises its own stage's boundary streams: the ingress link
+        // keeps the full upstream-width → local-width topology (writer
+        // `p` is driven by remote producer `p`, so round-robin routing is
+        // reproduced exactly), while each copy's egress is a private 1→1
+        // stream drained by a socket pump.
         let mut writers_per_stage: Vec<Vec<Option<crate::stream::StreamWriter>>> =
             (0..n).map(|_| Vec::new()).collect();
         let mut readers_per_stage: Vec<Vec<Option<crate::stream::StreamReader>>> =
@@ -362,20 +449,56 @@ impl Pipeline {
             readers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
             writers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
         }
-        for s in 0..n.saturating_sub(1) {
-            let (ws, rs) = logical_stream_recovering(
-                self.stages[s].width,
-                self.stages[s + 1].width,
-                self.buffer_capacity,
-                self.distribution,
-                Some(Arc::clone(&control)),
-                self.recovery.enabled,
-            );
-            for (i, w) in ws.into_iter().enumerate() {
-                writers_per_stage[s][i] = Some(w);
+        let mut ingress_writers: Vec<crate::stream::StreamWriter> = Vec::new();
+        let mut egress_readers: Vec<crate::stream::StreamReader> = Vec::new();
+        match active_stage {
+            None => {
+                for s in 0..n.saturating_sub(1) {
+                    let (ws, rs) = logical_stream_recovering(
+                        self.stages[s].width,
+                        self.stages[s + 1].width,
+                        self.buffer_capacity,
+                        self.distribution,
+                        Some(Arc::clone(&control)),
+                        self.recovery.enabled,
+                    );
+                    for (i, w) in ws.into_iter().enumerate() {
+                        writers_per_stage[s][i] = Some(w);
+                    }
+                    for (i, r) in rs.into_iter().enumerate() {
+                        readers_per_stage[s + 1][i] = Some(r);
+                    }
+                }
             }
-            for (i, r) in rs.into_iter().enumerate() {
-                readers_per_stage[s + 1][i] = Some(r);
+            Some(k) => {
+                if k > 0 {
+                    let (ws, rs) = logical_stream_recovering(
+                        self.stages[k - 1].width,
+                        self.stages[k].width,
+                        self.buffer_capacity,
+                        self.distribution,
+                        Some(Arc::clone(&control)),
+                        self.recovery.enabled,
+                    );
+                    ingress_writers = ws;
+                    for (i, r) in rs.into_iter().enumerate() {
+                        readers_per_stage[k][i] = Some(r);
+                    }
+                }
+                if k < n - 1 {
+                    for slot in writers_per_stage[k].iter_mut().take(self.stages[k].width) {
+                        let (mut ws, mut rs) = logical_stream_recovering(
+                            1,
+                            1,
+                            self.buffer_capacity,
+                            self.distribution,
+                            Some(Arc::clone(&control)),
+                            self.recovery.enabled,
+                        );
+                        *slot = ws.pop();
+                        egress_readers.push(rs.pop().expect("1→1 stream"));
+                    }
+                }
             }
         }
 
@@ -407,10 +530,17 @@ impl Pipeline {
         // Copies that were blocked inside a stream op when the run was
         // cancelled — the stall report names these.
         let stalled_at: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
-        let total_copies: usize = self.stages.iter().map(|s| s.width).sum();
-        // (remaining copies, condvar) — workers count down, the watchdog
+        let total_copies: usize = match active_stage {
+            None => self.stages.iter().map(|s| s.width).sum(),
+            Some(k) => self.stages[k].width,
+        };
+        // Network bridge threads participate in the same completion
+        // count, so the watchdog covers a wedged socket too.
+        let net_threads = usize::from(listener.is_some()) + egress_readers.len();
+        // (remaining threads, condvar) — workers count down, the watchdog
         // waits with a timeout.
-        let done = Arc::new((Mutex::new(total_copies), Condvar::new()));
+        let done = Arc::new((Mutex::new(total_copies + net_threads), Condvar::new()));
+        let net_stats: Arc<Mutex<Vec<(u32, NetLinkStats)>>> = Arc::new(Mutex::new(Vec::new()));
         let retry = self.retry;
         let recovery = self.recovery;
         let store = self
@@ -428,7 +558,59 @@ impl Pipeline {
                     watchdog(&control, &done, deadline, stall_timeout);
                 });
             }
+            // Ingress bridge: accept one connection per upstream producer
+            // copy and replay them onto the local ingress stream.
+            if let Some(listener) = listener {
+                let k = active_stage.expect("listener implies worker mode");
+                let writers = std::mem::take(&mut ingress_writers);
+                let control = Arc::clone(&control);
+                let errors = Arc::clone(&errors);
+                let done = Arc::clone(&done);
+                let net_stats = Arc::clone(&net_stats);
+                scope.spawn(move || {
+                    match serve_ingress(listener, k as u32, writers, Some(Arc::clone(&control))) {
+                        Ok(st) => plock(&net_stats).push((k as u32, st)),
+                        // serve_ingress has already cancelled the run and
+                        // closed its local writers.
+                        Err(e) => plock(&errors).push(e),
+                    }
+                    countdown(&done);
+                });
+            }
+            // Egress bridges: one pump per copy drains the copy's private
+            // 1→1 stream into the downstream worker's listener.
+            for (c, mut reader) in egress_readers.drain(..).enumerate() {
+                let k = active_stage.expect("egress readers imply worker mode");
+                let addr = connect.clone().expect("egress readers imply connect");
+                let control = Arc::clone(&control);
+                let errors = Arc::clone(&errors);
+                let done = Arc::clone(&done);
+                let net_stats = Arc::clone(&net_stats);
+                reader.set_batch(self.batch);
+                scope.spawn(move || {
+                    match egress_pump(
+                        reader,
+                        &addr,
+                        (k + 1) as u32,
+                        c as u32,
+                        Some(Arc::clone(&control)),
+                    ) {
+                        Ok(st) => plock(&net_stats).push(((k + 1) as u32, st)),
+                        Err(e) => {
+                            // Wake the (possibly blocked) local producer.
+                            if e.kind != ErrorKind::Cancelled {
+                                control.cancel(format!("egress link {} failed: {e}", k + 1));
+                            }
+                            plock(&errors).push(e);
+                        }
+                    }
+                    countdown(&done);
+                });
+            }
             for (s, stage) in self.stages.iter().enumerate() {
+                if active_stage.is_some_and(|k| k != s) {
+                    continue;
+                }
                 for c in 0..stage.width {
                     let tid = tid_base[s] + c as u32;
                     let injector = self
@@ -687,20 +869,35 @@ impl Pipeline {
                         if let Err(e) = result {
                             plock(&errors).push(FilterError { filter: label, ..e });
                         }
-                        let (remaining, cv) = &*done;
-                        let mut left = plock(remaining);
-                        *left -= 1;
-                        if *left == 0 {
-                            cv.notify_all();
-                        }
+                        countdown(&done);
                     });
                 }
             }
         });
 
         let stages = plock(&stats).clone();
+        // Merge per-thread samples (each egress pump reports separately)
+        // into one entry per link.
+        let mut net_links: Vec<(u32, NetLinkStats)> = Vec::new();
+        for (link, st) in std::mem::take(&mut *plock(&net_stats)) {
+            if let Some((_, agg)) = net_links.iter_mut().find(|(l, _)| *l == link) {
+                agg.frames += st.frames;
+                agg.bytes += st.bytes;
+                agg.deduped += st.deduped;
+            } else {
+                net_links.push((link, st));
+            }
+        }
+        net_links.sort_by_key(|(link, _)| *link);
         if let Some(registry) = &self.metrics {
             let mut reg = plock(registry);
+            for (link, st) in &net_links {
+                reg.counter(&format!("net.link{link}.frames"), st.frames);
+                reg.counter(&format!("net.link{link}.bytes"), st.bytes);
+                if st.deduped > 0 {
+                    reg.counter(&format!("net.link{link}.deduped"), st.deduped);
+                }
+            }
             for st in &stages {
                 if st.failures > 0 {
                     reg.counter(&format!("stage.{}.failures", st.name), st.failures);
@@ -756,7 +953,19 @@ impl Pipeline {
         Ok(RunStats {
             wall: t0.elapsed(),
             stages,
+            net_links,
         })
+    }
+}
+
+/// Decrement the shared completion count, waking the watchdog when the
+/// last thread finishes.
+fn countdown(done: &(Mutex<usize>, Condvar)) {
+    let (remaining, cv) = done;
+    let mut left = plock(remaining);
+    *left -= 1;
+    if *left == 0 {
+        cv.notify_all();
     }
 }
 

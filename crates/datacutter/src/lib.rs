@@ -41,6 +41,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod filter;
+pub mod net;
 pub mod placement;
 pub mod recover;
 pub mod stream;
@@ -50,9 +51,14 @@ pub use buffer::{
 };
 pub use channel::CancelToken;
 pub use error::{ErrorKind, FilterError, FilterResult};
-pub use exec::{Pipeline, RunStats, StageSpec, StageStats};
+pub use exec::{Pipeline, RunStats, StageSpec, StageStats, WorkerEndpoints};
 pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, RunControl, Trigger};
 pub use filter::{ClosureFilter, Filter, FilterFactory, FilterIo};
-pub use placement::{HostId, Placement, StagePlacement};
+pub use net::{
+    connect_with_retry, decode_frame, egress_pump, encode_frame, serve_ingress, Frame,
+    IngressFeeder, NetLinkStats, RemoteStreamReader, RemoteStreamWriter, MAX_FRAME_PAYLOAD,
+    NET_MAGIC, NET_VERSION,
+};
+pub use placement::{HostId, Placement, StageAssignment, StagePlacement};
 pub use recover::{Checkpoint, CheckpointStore, RecoveryOptions, Snapshot};
 pub use stream::{logical_stream, Distribution, StreamReader, StreamWriter};

@@ -1,0 +1,1052 @@
+//! TCP transport for logical streams (distributed DataCutter).
+//!
+//! The in-process runtime connects filter copies through bounded channels
+//! ([`crate::stream`]). This module extends one logical stream across a
+//! process boundary with length-prefixed frames over TCP, *without*
+//! re-implementing any stream semantics: both sides of the socket are
+//! bridged onto ordinary local streams, so batching, backpressure,
+//! cancellation, deadlines, fault injection, and ack/replay recovery all
+//! keep working unchanged.
+//!
+//! ## Topology
+//!
+//! One logical link `stage s → stage s+1` split across two processes:
+//!
+//! ```text
+//!  producer process                      consumer process
+//!  ┌──────────────┐  local 1→1 stream   ┌──────────────────────────────┐
+//!  │ filter copy c ├──▶ egress pump c ──TCP──▶ ingress handler p ──┐   │
+//!  └──────────────┘   (one socket per         (one per upstream    │   │
+//!                      producer copy)          producer copy)      ▼   │
+//!                                              local P→C stream, writer│
+//!                                              p staggered like the    │
+//!                                              in-process round robin  │
+//!                                         ┌──────────────┐◀────────────┘
+//!                                         │ filter copies │
+//!                                         └──────────────┘
+//! ```
+//!
+//! Each producer copy gets its own connection, so per-producer FIFO order
+//! is the socket's FIFO order. The consumer side feeds a local
+//! [`StreamWriter`] with the *same* producer index and stagger the
+//! in-process run would use; round-robin routing is a pure function of the
+//! sequence number, so packet→consumer-copy routing is reproduced exactly
+//! and results stay byte-identical to the in-process run.
+//!
+//! ## Wire format
+//!
+//! Every frame is `tag: u8` followed by a fixed header and (for data) a
+//! length-prefixed payload, all little-endian:
+//!
+//! | frame      | layout                                                  |
+//! |------------|---------------------------------------------------------|
+//! | `Hello`    | magic `CGPN`, `version: u16`, `link: u32`, `producer: u32` |
+//! | `HelloAck` | `resume_seq: u64` (consumer's cumulative-ack watermark)  |
+//! | `Data`     | `from: u32`, `seq: u64`, `len: u32`, payload             |
+//! | `End`      | `from: u32` (producer finished its unit of work)         |
+//! | `Close`    | — (orderly connection shutdown)                          |
+//!
+//! Decoding is hardened: declared payload lengths are validated against
+//! [`MAX_FRAME_PAYLOAD`] *before* any allocation, unknown tags / bad magic
+//! / version mismatches are [`ErrorKind::Malformed`] errors, and EOF in
+//! the middle of a frame is malformed rather than silently truncated.
+//!
+//! ## Recovery across the socket
+//!
+//! Within each process, filter-copy restarts use the local streams'
+//! ack/replay machinery exactly as in-process runs do. Across the socket,
+//! the consumer publishes its cumulative per-producer watermark in
+//! `HelloAck` whenever a producer (re)connects: a reconnecting producer
+//! resumes past the acknowledged prefix, and any duplicated in-flight
+//! frame is discarded by the same sequence watermark
+//! ([`IngressFeeder::feed`]) — the watermark never regresses across a
+//! reconnect because it lives in the serve loop's slot table, not in the
+//! per-connection handler.
+//!
+//! [`ErrorKind::Malformed`]: crate::error::ErrorKind
+
+use crate::buffer::Buffer;
+use crate::error::{FilterError, FilterResult};
+use crate::fault::RunControl;
+use crate::stream::{StreamReader, StreamWriter};
+use cgp_obs::trace::{self, PID_RUNTIME};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Connection magic: first bytes of every `Hello` frame.
+pub const NET_MAGIC: [u8; 4] = *b"CGPN";
+/// Wire-protocol version (checked during the handshake).
+pub const NET_VERSION: u16 = 1;
+/// Hard cap on a single data frame's payload. A `Data` frame declaring
+/// more than this is malformed and rejected before any allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Socket read/write timeout: the granularity at which blocked socket
+/// operations notice run cancellation.
+const POLL: Duration = Duration::from_millis(100);
+/// Accept-loop poll interval (nonblocking listener).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Default overall budget for [`connect_with_retry`].
+const CONNECT_BUDGET: Duration = Duration::from_secs(10);
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_END: u8 = 4;
+const TAG_CLOSE: u8 = 5;
+
+/// Poison-tolerant lock (slot state is plain data).
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One frame of the stream protocol (see the module docs for the wire
+/// layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection opener: which logical link and which producer copy this
+    /// connection carries.
+    Hello { link: u32, producer: u32 },
+    /// Handshake reply: the consumer's cumulative-ack watermark for this
+    /// producer; the producer suppresses frames with `seq < resume_seq`.
+    HelloAck { resume_seq: u64 },
+    /// One packet: the `seq`-th the producer copy `from` ever sent on
+    /// this link.
+    Data {
+        from: u32,
+        seq: u64,
+        payload: Vec<u8>,
+    },
+    /// Producer copy `from` finished its unit of work.
+    End { from: u32 },
+    /// Orderly connection shutdown (reconnection stays possible until
+    /// `End` was seen).
+    Close,
+}
+
+/// Encode one frame to bytes (the socket path writes data payloads
+/// without this intermediate copy; this form is for tests and small
+/// control frames).
+pub fn encode_frame(f: &Frame) -> Vec<u8> {
+    match f {
+        Frame::Hello { link, producer } => {
+            let mut out = Vec::with_capacity(15);
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&NET_MAGIC);
+            out.extend_from_slice(&NET_VERSION.to_le_bytes());
+            out.extend_from_slice(&link.to_le_bytes());
+            out.extend_from_slice(&producer.to_le_bytes());
+            out
+        }
+        Frame::HelloAck { resume_seq } => {
+            let mut out = Vec::with_capacity(9);
+            out.push(TAG_HELLO_ACK);
+            out.extend_from_slice(&resume_seq.to_le_bytes());
+            out
+        }
+        Frame::Data { from, seq, payload } => {
+            let mut out = Vec::with_capacity(17 + payload.len());
+            out.push(TAG_DATA);
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+            out
+        }
+        Frame::End { from } => {
+            let mut out = Vec::with_capacity(5);
+            out.push(TAG_END);
+            out.extend_from_slice(&from.to_le_bytes());
+            out
+        }
+        Frame::Close => vec![TAG_CLOSE],
+    }
+}
+
+fn get<const N: usize>(buf: &[u8], pos: usize, who: &str) -> FilterResult<[u8; N]> {
+    buf.get(pos..pos + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| FilterError::malformed(who, "truncated frame"))
+}
+
+/// Decode one frame from the front of `buf`, returning it and the bytes
+/// consumed. Hardened: payload lengths are validated against
+/// [`MAX_FRAME_PAYLOAD`] and the remaining buffer before allocation;
+/// unknown tags, bad magic, and version mismatches are `Malformed`.
+pub fn decode_frame(buf: &[u8]) -> FilterResult<(Frame, usize)> {
+    let who = "net";
+    let tag = *buf
+        .first()
+        .ok_or_else(|| FilterError::malformed(who, "empty frame"))?;
+    match tag {
+        TAG_HELLO => {
+            let magic: [u8; 4] = get(buf, 1, who)?;
+            if magic != NET_MAGIC {
+                return Err(FilterError::malformed(
+                    who,
+                    format!("bad magic {magic:02x?} (expected {NET_MAGIC:02x?})"),
+                ));
+            }
+            let version = u16::from_le_bytes(get(buf, 5, who)?);
+            if version != NET_VERSION {
+                return Err(FilterError::malformed(
+                    who,
+                    format!("protocol version {version} (expected {NET_VERSION})"),
+                ));
+            }
+            let link = u32::from_le_bytes(get(buf, 7, who)?);
+            let producer = u32::from_le_bytes(get(buf, 11, who)?);
+            Ok((Frame::Hello { link, producer }, 15))
+        }
+        TAG_HELLO_ACK => {
+            let resume_seq = u64::from_le_bytes(get(buf, 1, who)?);
+            Ok((Frame::HelloAck { resume_seq }, 9))
+        }
+        TAG_DATA => {
+            let from = u32::from_le_bytes(get(buf, 1, who)?);
+            let seq = u64::from_le_bytes(get(buf, 5, who)?);
+            let len = u32::from_le_bytes(get(buf, 13, who)?) as usize;
+            if len > MAX_FRAME_PAYLOAD {
+                return Err(FilterError::malformed(
+                    who,
+                    format!("data frame declares {len} bytes (cap {MAX_FRAME_PAYLOAD})"),
+                ));
+            }
+            let payload = buf
+                .get(17..17 + len)
+                .ok_or_else(|| FilterError::malformed(who, "truncated data payload"))?
+                .to_vec();
+            Ok((Frame::Data { from, seq, payload }, 17 + len))
+        }
+        TAG_END => {
+            let from = u32::from_le_bytes(get(buf, 1, who)?);
+            Ok((Frame::End { from }, 5))
+        }
+        TAG_CLOSE => Ok((Frame::Close, 1)),
+        t => Err(FilterError::malformed(
+            who,
+            format!("unknown frame tag {t}"),
+        )),
+    }
+}
+
+/// Per-link transfer counters, reported into `cgp_obs` metrics by the
+/// executor (`net.link<id>.frames` / `.bytes`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetLinkStats {
+    /// Data frames moved across the socket(s).
+    pub frames: u64,
+    /// Payload bytes moved across the socket(s).
+    pub bytes: u64,
+    /// Duplicated in-flight frames discarded by the sequence watermark
+    /// after a reconnect (ingress side only).
+    pub deduped: u64,
+}
+
+/// A framed, cancellation-aware connection: blocking reads and writes
+/// poll the socket at [`POLL`] granularity so a cancelled run unwedges
+/// promptly even while a peer is silent.
+struct FrameConn {
+    stream: TcpStream,
+    control: Option<Arc<RunControl>>,
+    who: String,
+}
+
+impl FrameConn {
+    fn new(stream: TcpStream, control: Option<Arc<RunControl>>, who: String) -> FilterResult<Self> {
+        let err = |e: std::io::Error| FilterError::new(who.clone(), format!("socket setup: {e}"));
+        stream.set_nodelay(true).map_err(err)?;
+        stream.set_read_timeout(Some(POLL)).map_err(err)?;
+        stream.set_write_timeout(Some(POLL)).map_err(err)?;
+        Ok(FrameConn {
+            stream,
+            control,
+            who,
+        })
+    }
+
+    fn cancelled(&self) -> Option<FilterError> {
+        self.control
+            .as_ref()
+            .filter(|c| c.is_cancelled())
+            .map(|_| FilterError::cancelled(self.who.clone(), "run cancelled during socket I/O"))
+    }
+
+    /// Fill `buf` completely. `Ok(false)` means a clean EOF *before any
+    /// byte* and `allow_eof` — the peer closed at a frame boundary. EOF
+    /// mid-frame is malformed.
+    fn fill(&mut self, buf: &mut [u8], allow_eof: bool) -> FilterResult<bool> {
+        let mut off = 0;
+        while off < buf.len() {
+            match self.stream.read(&mut buf[off..]) {
+                Ok(0) => {
+                    if off == 0 && allow_eof {
+                        return Ok(false);
+                    }
+                    return Err(FilterError::malformed(
+                        self.who.clone(),
+                        "connection closed mid-frame",
+                    ));
+                }
+                Ok(n) => off += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if let Some(c) = self.cancelled() {
+                        return Err(c);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(FilterError::new(
+                        self.who.clone(),
+                        format!("socket read: {e}"),
+                    ))
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
+    /// The frame headers are re-parsed through [`decode_frame`] so the
+    /// socket path and the testable slice path share one hardened parser.
+    fn read_frame(&mut self) -> FilterResult<Option<Frame>> {
+        let mut tag = [0u8; 1];
+        if !self.fill(&mut tag, true)? {
+            return Ok(None);
+        }
+        let header_len = match tag[0] {
+            TAG_HELLO => 14,
+            TAG_HELLO_ACK => 8,
+            TAG_DATA => 16,
+            TAG_END => 4,
+            TAG_CLOSE => 0,
+            t => {
+                return Err(FilterError::malformed(
+                    self.who.clone(),
+                    format!("unknown frame tag {t}"),
+                ))
+            }
+        };
+        let mut frame = vec![tag[0]; 1];
+        frame.resize(1 + header_len, 0);
+        self.fill(&mut frame[1..], false)?;
+        if tag[0] == TAG_DATA {
+            let len = u32::from_le_bytes(frame[13..17].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_PAYLOAD {
+                return Err(FilterError::malformed(
+                    self.who.clone(),
+                    format!("data frame declares {len} bytes (cap {MAX_FRAME_PAYLOAD})"),
+                ));
+            }
+            let at = frame.len();
+            frame.resize(at + len, 0);
+            self.fill(&mut frame[at..], false)?;
+        }
+        decode_frame(&frame)
+            .map(|(f, _)| Some(f))
+            .map_err(|e| FilterError {
+                filter: self.who.clone(),
+                ..e
+            })
+    }
+
+    fn write_all(&mut self, mut buf: &[u8]) -> FilterResult<()> {
+        while !buf.is_empty() {
+            match self.stream.write(buf) {
+                Ok(0) => {
+                    return Err(FilterError::new(
+                        self.who.clone(),
+                        "socket write returned 0 bytes",
+                    ))
+                }
+                Ok(n) => buf = &buf[n..],
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if let Some(c) = self.cancelled() {
+                        return Err(c);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(FilterError::new(
+                        self.who.clone(),
+                        format!("socket write: {e}"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_frame(&mut self, f: &Frame) -> FilterResult<()> {
+        self.write_all(&encode_frame(f))
+    }
+
+    /// Write a data frame without copying the payload into an
+    /// intermediate encoding.
+    fn write_data(&mut self, from: u32, seq: u64, payload: &[u8]) -> FilterResult<()> {
+        debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+        let mut header = [0u8; 17];
+        header[0] = TAG_DATA;
+        header[1..5].copy_from_slice(&from.to_le_bytes());
+        header[5..13].copy_from_slice(&seq.to_le_bytes());
+        header[13..17].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.write_all(&header)?;
+        self.write_all(payload)
+    }
+}
+
+/// Connect to `addr` with bounded retry and backoff (the peer worker may
+/// not have bound its listener yet). Cancellable; emits a `net.connect`
+/// trace span covering the whole attempt sequence.
+pub fn connect_with_retry(
+    addr: &str,
+    control: Option<&Arc<RunControl>>,
+    who: &str,
+) -> FilterResult<TcpStream> {
+    let _span = trace::span(format!("net.connect {addr}"), "net", PID_RUNTIME, 0);
+    let start = Instant::now();
+    let mut delay = Duration::from_millis(10);
+    let mut attempts = 0u32;
+    loop {
+        if control.is_some_and(|c| c.is_cancelled()) {
+            return Err(FilterError::cancelled(
+                who.to_string(),
+                "run cancelled while connecting",
+            ));
+        }
+        attempts += 1;
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                if trace::enabled() && attempts > 1 {
+                    trace::instant(
+                        "net.connect.retries",
+                        "net",
+                        PID_RUNTIME,
+                        0,
+                        vec![("attempts", u64::from(attempts).into())],
+                    );
+                }
+                return Ok(s);
+            }
+            Err(e) => {
+                if start.elapsed() >= CONNECT_BUDGET {
+                    return Err(FilterError::new(
+                        who.to_string(),
+                        format!("connect to {addr} failed after {attempts} attempts: {e}"),
+                    ));
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+/// Producer-side remote endpoint: one connection carrying one producer
+/// copy's packets for one logical link. Sequence numbers are assigned
+/// densely here; the `HelloAck` resume watermark suppresses frames the
+/// consumer already acknowledged (reconnection after a consumer restart).
+pub struct RemoteStreamWriter {
+    conn: FrameConn,
+    producer: u32,
+    next_seq: u64,
+    resume_seq: u64,
+    frames: u64,
+    bytes: u64,
+}
+
+impl RemoteStreamWriter {
+    /// Connect (with retry) and handshake as `producer` on `link`.
+    pub fn connect(
+        addr: &str,
+        link: u32,
+        producer: u32,
+        control: Option<Arc<RunControl>>,
+    ) -> FilterResult<Self> {
+        let who = format!("net.egress[{producer}]");
+        let stream = connect_with_retry(addr, control.as_ref(), &who)?;
+        let mut conn = FrameConn::new(stream, control, who.clone())?;
+        conn.write_frame(&Frame::Hello { link, producer })?;
+        let resume_seq = match conn.read_frame()? {
+            Some(Frame::HelloAck { resume_seq }) => resume_seq,
+            Some(f) => {
+                return Err(FilterError::malformed(
+                    who,
+                    format!("expected HelloAck, got {f:?}"),
+                ))
+            }
+            None => {
+                return Err(FilterError::malformed(
+                    who,
+                    "connection closed during handshake",
+                ))
+            }
+        };
+        Ok(RemoteStreamWriter {
+            conn,
+            producer,
+            next_seq: resume_seq,
+            resume_seq,
+            frames: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Send one packet. Frames below the consumer's resume watermark are
+    /// suppressed (already durable on the other side).
+    pub fn write(&mut self, buf: &Buffer) -> FilterResult<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if seq < self.resume_seq {
+            return Ok(());
+        }
+        if buf.len() > MAX_FRAME_PAYLOAD {
+            return Err(FilterError::new(
+                self.conn.who.clone(),
+                format!(
+                    "packet of {} bytes exceeds the frame cap {MAX_FRAME_PAYLOAD}",
+                    buf.len()
+                ),
+            ));
+        }
+        self.conn.write_data(self.producer, seq, buf.as_slice())?;
+        self.frames += 1;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Signal end-of-work and close the connection in order.
+    pub fn finish(mut self) -> FilterResult<NetLinkStats> {
+        self.conn.write_frame(&Frame::End {
+            from: self.producer,
+        })?;
+        self.conn.write_frame(&Frame::Close)?;
+        let _ = self.conn.stream.shutdown(std::net::Shutdown::Write);
+        Ok(NetLinkStats {
+            frames: self.frames,
+            bytes: self.bytes,
+            deduped: 0,
+        })
+    }
+
+    /// Data frames / payload bytes sent so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.frames, self.bytes)
+    }
+}
+
+/// Consumer-side remote endpoint: one accepted, handshaken connection
+/// delivering one upstream producer copy's frames.
+pub struct RemoteStreamReader {
+    conn: FrameConn,
+    producer: u32,
+}
+
+impl RemoteStreamReader {
+    /// Validate an accepted connection's `Hello` against this link and
+    /// reply with the producer's resume watermark.
+    pub fn accept(
+        stream: TcpStream,
+        link: u32,
+        producers: usize,
+        resume_seq_of: impl Fn(u32) -> u64,
+        control: Option<Arc<RunControl>>,
+    ) -> FilterResult<Self> {
+        let mut conn = FrameConn::new(stream, control, "net.ingress".to_string())?;
+        let producer = match conn.read_frame()? {
+            Some(Frame::Hello {
+                link: got_link,
+                producer,
+            }) => {
+                if got_link != link {
+                    return Err(FilterError::malformed(
+                        conn.who,
+                        format!("connection for link {got_link} arrived at link {link}"),
+                    ));
+                }
+                if producer as usize >= producers {
+                    return Err(FilterError::malformed(
+                        conn.who,
+                        format!("producer {producer} out of range (link has {producers})"),
+                    ));
+                }
+                producer
+            }
+            Some(f) => {
+                return Err(FilterError::malformed(
+                    conn.who,
+                    format!("expected Hello, got {f:?}"),
+                ))
+            }
+            None => {
+                return Err(FilterError::malformed(
+                    conn.who,
+                    "connection closed during handshake",
+                ))
+            }
+        };
+        conn.who = format!("net.ingress[{producer}]");
+        conn.write_frame(&Frame::HelloAck {
+            resume_seq: resume_seq_of(producer),
+        })?;
+        Ok(RemoteStreamReader { conn, producer })
+    }
+
+    /// Which producer copy this connection carries.
+    pub fn producer(&self) -> u32 {
+        self.producer
+    }
+
+    /// Read the next frame; `Ok(None)` on a clean disconnect at a frame
+    /// boundary (the producer may reconnect).
+    pub fn read(&mut self) -> FilterResult<Option<Frame>> {
+        self.conn.read_frame()
+    }
+}
+
+/// Seq-deduplicating bridge from one remote producer onto its local
+/// [`StreamWriter`]. The next-expected watermark lives in a shared atomic
+/// that survives the per-connection handler, so a reconnecting producer
+/// can never regress it: duplicated in-flight frames are dropped, gaps
+/// are malformed.
+pub struct IngressFeeder {
+    writer: StreamWriter,
+    next_seq: Arc<AtomicU64>,
+    deduped: u64,
+    ended: bool,
+}
+
+impl IngressFeeder {
+    pub fn new(writer: StreamWriter) -> Self {
+        IngressFeeder {
+            writer,
+            next_seq: Arc::new(AtomicU64::new(0)),
+            deduped: 0,
+            ended: false,
+        }
+    }
+
+    /// The cumulative watermark published to a (re)connecting producer as
+    /// `HelloAck { resume_seq }`.
+    pub fn resume_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Acquire)
+    }
+
+    /// Duplicated frames discarded so far.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Whether this producer already sent `End`.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Deliver frame `seq`: `Ok(true)` if forwarded to the local stream,
+    /// `Ok(false)` if it was a duplicate below the watermark. A sequence
+    /// *gap* means frames were lost on a path that guarantees FIFO —
+    /// that's corruption, not reordering, and is malformed.
+    pub fn feed(&mut self, seq: u64, buf: Buffer) -> FilterResult<bool> {
+        let expect = self.next_seq.load(Ordering::Acquire);
+        if seq < expect {
+            self.deduped += 1;
+            return Ok(false);
+        }
+        if seq > expect {
+            return Err(FilterError::malformed(
+                "net.ingress",
+                format!("sequence gap: got {seq}, expected {expect}"),
+            ));
+        }
+        self.writer.write(buf)?;
+        self.next_seq.store(expect + 1, Ordering::Release);
+        Ok(true)
+    }
+
+    /// The producer finished its unit of work: propagate end-of-work to
+    /// the local stream.
+    pub fn end(&mut self) {
+        self.ended = true;
+        self.writer.close();
+    }
+}
+
+/// Slot table entry for one upstream producer copy. The feeder (and its
+/// watermark) live here between connections.
+struct Slot {
+    feeder: Option<IngressFeeder>,
+}
+
+/// Serve one logical link's ingress side: accept one connection per
+/// upstream producer copy on `listener`, handshake, and bridge frames
+/// onto the local `writers` (writer `p` plays producer copy `p`, keeping
+/// the in-process round-robin routing). Returns when every producer has
+/// sent `End`, or with the first error (cancelling the run so blocked
+/// filter copies unwedge).
+///
+/// Producers may disconnect cleanly (`Close` or EOF at a frame boundary)
+/// and reconnect; the sequence watermark in the slot table dedups any
+/// re-sent in-flight frames. EOF mid-frame is malformed and fails the
+/// link.
+pub fn serve_ingress(
+    listener: TcpListener,
+    link: u32,
+    writers: Vec<StreamWriter>,
+    control: Option<Arc<RunControl>>,
+) -> FilterResult<NetLinkStats> {
+    let producers = writers.len();
+    let slots: Vec<Mutex<Slot>> = writers
+        .into_iter()
+        .map(|w| {
+            Mutex::new(Slot {
+                feeder: Some(IngressFeeder::new(w)),
+            })
+        })
+        .collect();
+    let slots = &slots;
+    let remaining = AtomicUsize::new(producers);
+    let remaining = &remaining;
+    let frames = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+    let errors: Mutex<Vec<FilterError>> = Mutex::new(Vec::new());
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| FilterError::new("net.ingress", format!("listener: {e}")))?;
+    let cancelled = || control.as_ref().is_some_and(|c| c.is_cancelled());
+    let fail = |e: FilterError, errs: &Mutex<Vec<FilterError>>| {
+        if let Some(c) = &control {
+            c.cancel(format!("ingress link {link} failed: {e}"));
+        }
+        plock(errs).push(e);
+    };
+
+    std::thread::scope(|scope| {
+        loop {
+            if remaining.load(Ordering::Acquire) == 0 || cancelled() {
+                break;
+            }
+            if !plock(&errors).is_empty() {
+                break;
+            }
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    fail(
+                        FilterError::new("net.ingress", format!("accept: {e}")),
+                        &errors,
+                    );
+                    break;
+                }
+            };
+            // Handshake inline (it is bounded by the socket timeouts),
+            // then hand the connection + feeder to a handler thread so
+            // every producer streams concurrently.
+            let remote = match RemoteStreamReader::accept(
+                stream,
+                link,
+                producers,
+                |p| {
+                    plock(&slots[p as usize])
+                        .feeder
+                        .as_ref()
+                        .map_or(0, IngressFeeder::resume_seq)
+                },
+                control.clone(),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    fail(e, &errors);
+                    break;
+                }
+            };
+            let p = remote.producer() as usize;
+            let Some(mut feeder) = plock(&slots[p]).feeder.take() else {
+                fail(
+                    FilterError::malformed(
+                        "net.ingress",
+                        format!("producer {p} connected twice concurrently"),
+                    ),
+                    &errors,
+                );
+                break;
+            };
+            if feeder.ended() {
+                plock(&slots[p]).feeder = Some(feeder);
+                fail(
+                    FilterError::malformed(
+                        "net.ingress",
+                        format!("producer {p} reconnected after End"),
+                    ),
+                    &errors,
+                );
+                break;
+            }
+            let (frames, bytes, errors) = (&frames, &bytes, &errors);
+            let fail = &fail;
+            scope.spawn(move || {
+                let mut remote = remote;
+                loop {
+                    match remote.read() {
+                        Ok(Some(Frame::Data { from, seq, payload })) => {
+                            if from as usize != p {
+                                fail(
+                                    FilterError::malformed(
+                                        "net.ingress",
+                                        format!(
+                                            "frame from producer {from} on producer {p}'s \
+                                             connection"
+                                        ),
+                                    ),
+                                    errors,
+                                );
+                                break;
+                            }
+                            let n = payload.len() as u64;
+                            match feeder.feed(seq, Buffer::from_vec(payload)) {
+                                Ok(true) => {
+                                    frames.fetch_add(1, Ordering::Relaxed);
+                                    bytes.fetch_add(n, Ordering::Relaxed);
+                                }
+                                Ok(false) => {}
+                                Err(e) => {
+                                    fail(e, errors);
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(Some(Frame::End { from })) => {
+                            if from as usize != p {
+                                fail(
+                                    FilterError::malformed(
+                                        "net.ingress",
+                                        format!(
+                                            "End from producer {from} on producer {p}'s \
+                                                 connection"
+                                        ),
+                                    ),
+                                    errors,
+                                );
+                                break;
+                            }
+                            feeder.end();
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                            break;
+                        }
+                        // Clean disconnect: the producer may reconnect
+                        // (its process restarted); the watermark in the
+                        // slot table survives.
+                        Ok(Some(Frame::Close)) | Ok(None) => break,
+                        Ok(Some(f)) => {
+                            fail(
+                                FilterError::malformed(
+                                    "net.ingress",
+                                    format!("unexpected frame mid-stream: {f:?}"),
+                                ),
+                                errors,
+                            );
+                            break;
+                        }
+                        Err(e) => {
+                            fail(e, errors);
+                            break;
+                        }
+                    }
+                }
+                // Return the feeder (and its watermark) to the slot for a
+                // possible reconnect.
+                plock(&slots[p]).feeder = Some(feeder);
+            });
+        }
+    });
+
+    // Close any local writer still open (error/cancel paths), so
+    // downstream readers see end-of-work instead of blocking forever.
+    let mut deduped = 0;
+    for slot in slots {
+        if let Some(f) = &mut plock(slot).feeder {
+            deduped += f.deduped();
+            f.writer.close();
+        }
+    }
+    if let Some(e) = plock(&errors).first() {
+        return Err(e.clone());
+    }
+    if cancelled() && remaining.load(Ordering::Acquire) > 0 {
+        return Err(FilterError::cancelled(
+            "net.ingress",
+            "run cancelled before all producers finished",
+        ));
+    }
+    Ok(NetLinkStats {
+        frames: frames.load(Ordering::Relaxed),
+        bytes: bytes.load(Ordering::Relaxed),
+        deduped,
+    })
+}
+
+/// Drain one local [`StreamReader`] (the 1→1 stream behind one producer
+/// copy) into a remote connection. Each successfully transmitted packet
+/// is acknowledged on the local stream — the socket plays a stateless
+/// consumer, so the producer side's replay buffers stay bounded and a
+/// restarted filter copy replays only untransmitted packets.
+pub fn egress_pump(
+    mut reader: StreamReader,
+    addr: &str,
+    link: u32,
+    producer: u32,
+    control: Option<Arc<RunControl>>,
+) -> FilterResult<NetLinkStats> {
+    let mut conn = RemoteStreamWriter::connect(addr, link, producer, control.clone())?;
+    while let Some(buf) = reader.read() {
+        conn.write(&buf)?;
+        reader.commit_acks();
+    }
+    if control.as_ref().is_some_and(|c| c.is_cancelled()) {
+        return Err(FilterError::cancelled(
+            format!("net.egress[{producer}]"),
+            "run cancelled during transmit",
+        ));
+    }
+    conn.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{logical_stream, Distribution};
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            Frame::Hello {
+                link: 3,
+                producer: 7,
+            },
+            Frame::HelloAck { resume_seq: 42 },
+            Frame::Data {
+                from: 1,
+                seq: 99,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            Frame::Data {
+                from: 0,
+                seq: 0,
+                payload: vec![],
+            },
+            Frame::End { from: 2 },
+            Frame::Close,
+        ];
+        for f in &frames {
+            let bytes = encode_frame(f);
+            let (back, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(&back, f);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_allocating() {
+        // Header declares ~4 GiB with a 0-byte body: must be rejected by
+        // the cap check, never by an allocation attempt.
+        let mut bytes = vec![TAG_DATA];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&bytes).unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Malformed);
+        assert!(err.message.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_are_malformed_at_every_cut() {
+        for f in [
+            Frame::Hello {
+                link: 1,
+                producer: 0,
+            },
+            Frame::Data {
+                from: 0,
+                seq: 5,
+                payload: vec![9; 32],
+            },
+            Frame::End { from: 0 },
+        ] {
+            let bytes = encode_frame(&f);
+            for cut in 0..bytes.len() {
+                let err = decode_frame(&bytes[..cut]).unwrap_err();
+                assert_eq!(
+                    err.kind,
+                    crate::error::ErrorKind::Malformed,
+                    "cut={cut} of {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_tag_are_malformed() {
+        let mut hello = encode_frame(&Frame::Hello {
+            link: 0,
+            producer: 0,
+        });
+        hello[1] = b'X';
+        assert!(decode_frame(&hello).unwrap_err().message.contains("magic"));
+
+        let mut hello = encode_frame(&Frame::Hello {
+            link: 0,
+            producer: 0,
+        });
+        hello[5] = 0xff;
+        assert!(decode_frame(&hello)
+            .unwrap_err()
+            .message
+            .contains("version"));
+
+        assert!(decode_frame(&[200u8])
+            .unwrap_err()
+            .message
+            .contains("unknown frame tag"));
+    }
+
+    #[test]
+    fn ingress_feeder_dedups_and_rejects_gaps() {
+        let (ws, mut rs) = logical_stream(1, 1, 16, Distribution::RoundRobin);
+        let mut feeder = IngressFeeder::new(ws.into_iter().next().unwrap());
+        for seq in 0..3 {
+            assert!(feeder.feed(seq, Buffer::from_vec(vec![seq as u8])).unwrap());
+        }
+        // Duplicated in-flight frames after a reconnect: dropped.
+        assert!(!feeder.feed(1, Buffer::from_vec(vec![1])).unwrap());
+        assert!(!feeder.feed(2, Buffer::from_vec(vec![2])).unwrap());
+        assert_eq!(feeder.deduped(), 2);
+        assert_eq!(feeder.resume_seq(), 3, "watermark never regresses");
+        // Next fresh frame is delivered.
+        assert!(feeder.feed(3, Buffer::from_vec(vec![3])).unwrap());
+        // A gap is corruption.
+        let err = feeder.feed(9, Buffer::from_vec(vec![9])).unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Malformed);
+        feeder.end();
+        let seen: Vec<u8> = std::iter::from_fn(|| rs[0].read())
+            .map(|b| b.as_slice()[0])
+            .collect();
+        assert_eq!(seen, vec![0, 1, 2, 3], "each frame delivered exactly once");
+    }
+}

@@ -59,6 +59,106 @@ impl Placement {
     }
 }
 
+/// A serialized stage assignment handed to one worker process of a
+/// distributed run: which stage of the shared plan it executes, the full
+/// width vector (so every worker derives the identical topology), and
+/// the network endpoints of its boundary links.
+///
+/// Rendered/parsed as a single line so launchers can pass it through an
+/// environment variable or argv without a structured codec:
+///
+/// ```text
+/// stage=1 widths=1,2,1 listen=127.0.0.1:7101 connect=127.0.0.1:7102
+/// ```
+///
+/// `listen`/`connect` are omitted for the first/last stage respectively.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageAssignment {
+    /// Index of the stage this worker executes.
+    pub stage: usize,
+    /// Transparent-copy width of every stage in the pipeline.
+    pub widths: Vec<usize>,
+    /// Address the worker's ingress listener binds (stage > 0).
+    pub listen: Option<String>,
+    /// Address of the downstream worker's listener (stage < last).
+    pub connect: Option<String>,
+}
+
+impl StageAssignment {
+    /// Render to the one-line `key=value` form shown in the type docs.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "stage={} widths={}",
+            self.stage,
+            self.widths
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if let Some(l) = &self.listen {
+            out.push_str(&format!(" listen={l}"));
+        }
+        if let Some(c) = &self.connect {
+            out.push_str(&format!(" connect={c}"));
+        }
+        out
+    }
+
+    /// Parse the `render` form. Unknown keys are rejected (an assignment
+    /// travels between processes of possibly different builds — silently
+    /// dropping a key would desynchronise topology).
+    pub fn parse(s: &str) -> Result<StageAssignment, String> {
+        let mut out = StageAssignment::default();
+        let mut saw_stage = false;
+        for tok in s.split_whitespace() {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("stage assignment: expected key=value, got {tok:?}"))?;
+            match key {
+                "stage" => {
+                    out.stage = value
+                        .parse()
+                        .map_err(|e| format!("stage assignment: bad stage {value:?}: {e}"))?;
+                    saw_stage = true;
+                }
+                "widths" => {
+                    out.widths = value
+                        .split(',')
+                        .map(|w| {
+                            w.parse::<usize>()
+                                .map_err(|e| format!("stage assignment: bad width {w:?}: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "listen" => out.listen = Some(value.to_string()),
+                "connect" => out.connect = Some(value.to_string()),
+                _ => return Err(format!("stage assignment: unknown key {key:?}")),
+            }
+        }
+        if !saw_stage || out.widths.is_empty() {
+            return Err("stage assignment: missing stage= or widths=".to_string());
+        }
+        if out.stage >= out.widths.len() {
+            return Err(format!(
+                "stage assignment: stage {} out of range ({} stages)",
+                out.stage,
+                out.widths.len()
+            ));
+        }
+        if out.widths.contains(&0) {
+            return Err("stage assignment: zero-width stage".to_string());
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for StageAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
 impl fmt::Display for Placement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, s) in self.stages.iter().enumerate() {
@@ -81,5 +181,47 @@ mod tests {
         assert_eq!(p.host_count(), 5);
         assert_eq!(p.stages[0].hosts[1], HostId("c0-1".into()));
         assert_eq!(p.to_string(), "read×2 -> compute×2 -> view×1");
+    }
+
+    #[test]
+    fn stage_assignment_roundtrips() {
+        for a in [
+            StageAssignment {
+                stage: 0,
+                widths: vec![1, 2, 1],
+                listen: None,
+                connect: Some("127.0.0.1:7101".into()),
+            },
+            StageAssignment {
+                stage: 1,
+                widths: vec![1, 2, 1],
+                listen: Some("127.0.0.1:7101".into()),
+                connect: Some("127.0.0.1:7102".into()),
+            },
+            StageAssignment {
+                stage: 2,
+                widths: vec![1, 2, 1],
+                listen: Some("127.0.0.1:7102".into()),
+                connect: None,
+            },
+        ] {
+            assert_eq!(StageAssignment::parse(&a.render()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn stage_assignment_rejects_malformed_input() {
+        for bad in [
+            "",
+            "stage=1",
+            "widths=1,2,1",
+            "stage=3 widths=1,2,1",
+            "stage=0 widths=1,0,1",
+            "stage=0 widths=1,2,1 bogus=x",
+            "stage=zero widths=1",
+            "stage widths=1",
+        ] {
+            assert!(StageAssignment::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

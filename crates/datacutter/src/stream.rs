@@ -1061,4 +1061,36 @@ mod tests {
         assert!(r.read().is_none());
         assert_eq!(r.recovery_stats().0, 0, "nothing left to replay");
     }
+
+    /// The published ack watermark is monotone: a consumer whose local
+    /// watermark somehow regresses (e.g. a reconnecting remote consumer
+    /// re-offering an older cumulative ack) must not pull the shared
+    /// acked prefix backwards — that would resurrect replay of packets
+    /// the producer already pruned.
+    #[test]
+    fn committed_ack_watermark_never_regresses() {
+        let (mut ws, mut rs) =
+            logical_stream_recovering(1, 1, 64, Distribution::RoundRobin, None, true);
+        for t in 0..5 {
+            ws[0].write(buf(t)).unwrap();
+        }
+        ws[0].close();
+        let r = &mut rs[0];
+        for _ in 0..5 {
+            r.read().unwrap();
+        }
+        r.commit_acks();
+        let rep = r.replay.as_ref().unwrap();
+        assert_eq!(rep.acked[0][0].load(Ordering::Acquire), 5);
+        // Force the local watermark below the published prefix and
+        // commit again: the shared cell must keep the high-water mark.
+        r.watermark[0] = 3;
+        r.commit_acks();
+        let rep = r.replay.as_ref().unwrap();
+        assert_eq!(
+            rep.acked[0][0].load(Ordering::Acquire),
+            5,
+            "ack watermark regressed"
+        );
+    }
 }
