@@ -13,10 +13,13 @@
 //! The committed `BENCH_dataplane.json` baseline records both rates; the
 //! tentpole acceptance bar is batched ≥ 2× legacy.
 
-use cgp_core::datacutter::{Buffer, BufferPool, ClosureFilter, FilterIo, Pipeline, StageSpec};
+use cgp_core::datacutter::{
+    Buffer, BufferPool, ClosureFilter, FilterIo, Pipeline, StageSpec, TelemetryConfig,
+};
+use cgp_obs::telemetry::TelemetrySampler;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One packet-echo configuration; see the module docs for the two
 /// interesting points in this space.
@@ -30,6 +33,10 @@ pub struct EchoConfig {
     pub batch: usize,
     /// Whether stages allocate from a shared [`BufferPool`].
     pub pooled: bool,
+    /// Whether the telemetry plane samples the run (50 ms cadence, no
+    /// log sink) — the guard asserts sampling stays within 5% of the
+    /// unsampled rate.
+    pub sampled: bool,
 }
 
 impl EchoConfig {
@@ -40,6 +47,7 @@ impl EchoConfig {
             payload,
             batch: 1,
             pooled: false,
+            sampled: false,
         }
     }
 
@@ -50,7 +58,14 @@ impl EchoConfig {
             payload,
             batch: 8,
             pooled: true,
+            sampled: false,
         }
+    }
+
+    /// Enable in-flight telemetry sampling on this configuration.
+    pub fn with_sampling(mut self) -> Self {
+        self.sampled = true;
+        self
     }
 }
 
@@ -62,6 +77,7 @@ pub fn run_packet_echo(cfg: &EchoConfig) -> u64 {
         payload,
         batch,
         pooled,
+        sampled,
     } = *cfg;
     let bytes = Arc::new(AtomicU64::new(0));
     let sink_bytes = Arc::clone(&bytes);
@@ -69,6 +85,10 @@ pub fn run_packet_echo(cfg: &EchoConfig) -> u64 {
     let mut pipeline = Pipeline::new().with_capacity(64).with_batch(batch);
     if pooled {
         pipeline = pipeline.with_pool(BufferPool::new());
+    }
+    if sampled {
+        let sampler = Arc::new(TelemetrySampler::new(Duration::from_millis(50)));
+        pipeline = pipeline.with_telemetry(TelemetryConfig::new(sampler, "echo"));
     }
     pipeline
         .add_stage(StageSpec::new(
@@ -145,13 +165,40 @@ pub fn echo_packets_per_sec(cfg: &EchoConfig, reps: usize) -> f64 {
     cfg.packets as f64 / best
 }
 
+/// Best-of-`reps` for two configurations with the reps interleaved
+/// (a b, b a, a b, …), so both sample the same noise window. Sequential
+/// best-of runs on a busy machine systematically penalize whichever
+/// configuration runs later; a paired comparison with the within-pair
+/// order alternated (used by the guard's sampling-overhead check) does
+/// not favor either slot.
+pub fn echo_paired_packets_per_sec(a: &EchoConfig, b: &EchoConfig, reps: usize) -> (f64, f64) {
+    let mut best = [f64::INFINITY; 2];
+    for rep in 0..reps.max(1) {
+        let order = if rep % 2 == 0 { [0, 1] } else { [1, 0] };
+        for slot in order {
+            let cfg = if slot == 0 { a } else { b };
+            let expect = (cfg.packets * cfg.payload) as u64;
+            let start = Instant::now();
+            let got = run_packet_echo(cfg);
+            let dt = start.elapsed().as_secs_f64();
+            assert_eq!(got, expect, "packet-echo lost bytes");
+            best[slot] = best[slot].min(dt);
+        }
+    }
+    (a.packets as f64 / best[0], b.packets as f64 / best[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn echo_conserves_bytes_in_both_configurations() {
-        for cfg in [EchoConfig::legacy(100, 64), EchoConfig::batched(100, 64)] {
+    fn echo_conserves_bytes_in_all_configurations() {
+        for cfg in [
+            EchoConfig::legacy(100, 64),
+            EchoConfig::batched(100, 64),
+            EchoConfig::batched(100, 64).with_sampling(),
+        ] {
             assert_eq!(run_packet_echo(&cfg), 100 * 64, "{cfg:?}");
         }
     }

@@ -26,6 +26,7 @@
 //! When none is given the binaries run exactly as before — no sink is
 //! installed and the tracing hooks reduce to one relaxed atomic load.
 
+use cgp_compiler::calibrate::CalibrationReport;
 use cgp_compiler::decompose::decompose_dp;
 use cgp_compiler::failover::replan;
 use cgp_core::apps::dialect::{
@@ -33,13 +34,16 @@ use cgp_core::apps::dialect::{
 };
 use cgp_core::apps::isosurface::ScalarGrid;
 use cgp_core::apps::vmscope::Slide;
-use cgp_core::datacutter::FaultPlan;
+use cgp_core::datacutter::{decode_telemetry_payload, serve_telemetry, FaultPlan, RunControl};
 use cgp_core::{
     compile, run_plan_threaded_stats, run_plan_worker, CompileOptions, Compiled, CoreError,
     ExecOptions, NetRole, PipelineEnv,
 };
+use cgp_obs::metrics::MetricsRegistry;
+use cgp_obs::telemetry::{TelemetrySample, TelemetrySampler};
 use cgp_obs::trace::{self, TraceEvent};
-use cgp_obs::{ChromeTraceSink, TraceSink};
+use cgp_obs::{ChromeTraceSink, Json, TraceSink};
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
@@ -67,6 +71,12 @@ pub struct CommonOpts {
     pub listen: Option<String>,
     /// `--connect <host:port>`: downstream worker's listener address.
     pub connect: Option<String>,
+    /// `--status-every <ms>`: sample in-flight telemetry at this cadence
+    /// (live status line on stderr, latency percentiles, calibration).
+    pub status_every_ms: Option<u64>,
+    /// `--telemetry-log <path>`: append telemetry samples (merged across
+    /// workers in launcher mode) as JSON lines.
+    pub telemetry_log: Option<String>,
 }
 
 /// Parse the shared flags out of an argument stream.
@@ -84,6 +94,8 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
             "--role" => o.role = args.next(),
             "--listen" => o.listen = args.next(),
             "--connect" => o.connect = args.next(),
+            "--status-every" => o.status_every_ms = args.next().and_then(|v| v.parse().ok()),
+            "--telemetry-log" => o.telemetry_log = args.next(),
             _ => {
                 if let Some(p) = a.strip_prefix("--trace-out=") {
                     o.trace_path = Some(p.to_string());
@@ -99,6 +111,10 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
                     o.listen = Some(l.to_string());
                 } else if let Some(c) = a.strip_prefix("--connect=") {
                     o.connect = Some(c.to_string());
+                } else if let Some(s) = a.strip_prefix("--status-every=") {
+                    o.status_every_ms = s.parse().ok();
+                } else if let Some(t) = a.strip_prefix("--telemetry-log=") {
+                    o.telemetry_log = Some(t.to_string());
                 }
             }
         }
@@ -145,6 +161,10 @@ pub struct Obs {
     sink: Option<Arc<SummarySink>>,
     exec: ExecOptions,
     chaos: bool,
+    /// Telemetry plane requested (`--status-every`/`--telemetry-log` or
+    /// their env forms): sample in-flight state, report latency
+    /// percentiles, and calibrate the cost model post-run.
+    telemetry: bool,
 }
 
 impl Obs {
@@ -183,7 +203,14 @@ impl Obs {
         if opts.connect.is_some() {
             exec.connect = opts.connect;
         }
+        if let Some(ms) = opts.status_every_ms {
+            exec.status_every = Some(Duration::from_millis(ms.max(1)));
+        }
+        if opts.telemetry_log.is_some() {
+            exec.telemetry_log = opts.telemetry_log;
+        }
         let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
+        let telemetry = exec.status_every.is_some() || exec.telemetry_log.is_some();
         let sink = trace_path.as_ref().map(|p| {
             let inner = ChromeTraceSink::create(p)
                 .unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"));
@@ -200,11 +227,12 @@ impl Obs {
             sink,
             exec,
             chaos,
+            telemetry,
         }
     }
 
     fn active(&self) -> bool {
-        self.explain || self.sink.is_some() || self.chaos
+        self.explain || self.sink.is_some() || self.chaos || self.telemetry
     }
 
     /// Handle a distributed role (`--role`/`CGP_ROLE`), if one was
@@ -299,11 +327,18 @@ impl Obs {
             std::process::exit(1);
         });
         let m = compiled.plan.m;
+        // The reference run stays untelemetered: its output is the
+        // byte-identity oracle, and the merged telemetry log belongs to
+        // the distributed run being observed.
+        let mut reference_exec = self.exec.clone();
+        reference_exec.status_every = None;
+        reference_exec.telemetry_log = None;
+        reference_exec.telemetry_addr = None;
         let expected = match run_plan_threaded_stats(
             Arc::new(compiled.plan.clone()),
             demo_host_builder(app),
             None,
-            &self.exec,
+            &reference_exec,
         ) {
             Ok((out, _)) => out,
             Err(e) => {
@@ -313,13 +348,21 @@ impl Obs {
         };
         let passthrough =
             crate::launcher::strip_net_flags(&std::env::args().skip(1).collect::<Vec<_>>());
-        let got = match crate::launcher::launch_distributed(m, &passthrough) {
-            Ok(lines) => lines,
-            Err(e) => {
-                eprintln!("[obs] launcher: distributed run for {name} failed: {e}");
-                std::process::exit(1);
-            }
-        };
+        let aggregator = self
+            .telemetry
+            .then(|| TelemetryAggregator::start(m, &self.exec));
+        let telemetry_addr = aggregator.as_ref().map(|a| a.addr.clone());
+        let got =
+            match crate::launcher::launch_distributed(m, &passthrough, telemetry_addr.as_deref()) {
+                Ok(lines) => lines,
+                Err(e) => {
+                    eprintln!("[obs] launcher: distributed run for {name} failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+        if let Some(agg) = aggregator {
+            agg.finish(name, &compiled);
+        }
         if got != expected {
             eprintln!(
                 "[obs] launcher: distributed output diverges from the in-process run for \
@@ -354,11 +397,27 @@ impl Obs {
             println!("--- {name}: compiler decision report ---");
             print!("{}", compiled.report.render_text());
         }
-        if self.sink.is_some() || self.chaos {
+        if self.sink.is_some() || self.chaos || self.telemetry {
             let builder = demo_host_builder(app);
             let plan = Arc::new(compiled.plan.clone());
-            match run_plan_threaded_stats(plan, Arc::clone(&builder), None, &self.exec) {
+            let mut exec = self.exec.clone();
+            let registry = self.telemetry.then(|| {
+                let reg = Arc::new(Mutex::new(MetricsRegistry::default()));
+                exec.metrics = Some(Arc::clone(&reg));
+                reg
+            });
+            match run_plan_threaded_stats(plan, Arc::clone(&builder), None, &exec) {
                 Ok((_, stats)) => {
+                    if let Some(reg) = &registry {
+                        let reg = reg.lock().unwrap_or_else(|e| e.into_inner());
+                        match CalibrationReport::from_run(&compiled.report, &reg) {
+                            Some(cal) => {
+                                println!("--- {name}: cost-model calibration ---");
+                                print!("{}", cal.render_text());
+                            }
+                            None => eprintln!("[obs] no telemetry recorded for {name}"),
+                        }
+                    }
                     if self.chaos {
                         println!("[obs] chaos run for {name} completed despite injection");
                         if self.exec.recover {
@@ -458,6 +517,119 @@ impl Obs {
         if let Some(p) = &self.trace_path {
             println!("trace written to {p} (open in Perfetto / chrome://tracing)");
         }
+    }
+}
+
+/// Launcher-side telemetry aggregator: a TCP listener workers ship
+/// `Telemetry` frames to, fanned into one JSONL log, one merged live
+/// status line, and one cross-process registry for calibration.
+struct TelemetryAggregator {
+    /// Address workers connect to (bound before any worker is spawned —
+    /// workers connect with a single attempt).
+    addr: String,
+    control: Arc<RunControl>,
+    sampler: Arc<TelemetrySampler>,
+    registries: Arc<Mutex<BTreeMap<String, MetricsRegistry>>>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl TelemetryAggregator {
+    fn start(workers: usize, exec: &ExecOptions) -> TelemetryAggregator {
+        let every = exec.status_every.unwrap_or(Duration::from_millis(500));
+        let mut sampler = TelemetrySampler::new(every);
+        if let Some(path) = &exec.telemetry_log {
+            sampler = sampler.with_log_path(path).unwrap_or_else(|e| {
+                eprintln!("[obs] cannot create telemetry log {path}: {e}");
+                std::process::exit(1);
+            });
+        }
+        let sampler = Arc::new(sampler);
+        let registries: Arc<Mutex<BTreeMap<String, MetricsRegistry>>> = Arc::default();
+        let latest: Arc<Mutex<BTreeMap<String, TelemetrySample>>> = Arc::default();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+            eprintln!("[obs] cannot bind telemetry aggregator: {e}");
+            std::process::exit(1);
+        });
+        let addr = listener.local_addr().expect("bound listener").to_string();
+        let control = RunControl::new();
+        let show_status = exec.status_every.is_some();
+        let handle = {
+            let control = Arc::clone(&control);
+            let sampler = Arc::clone(&sampler);
+            let registries = Arc::clone(&registries);
+            std::thread::spawn(move || {
+                let _ = serve_telemetry(listener, workers, Some(control), move |_, payload| {
+                    let Ok(update) = decode_telemetry_payload(&payload) else {
+                        return;
+                    };
+                    if let Some(sample) = update.sample {
+                        sampler.log_json(&sample.to_json());
+                        let mut latest = latest.lock().unwrap_or_else(|e| e.into_inner());
+                        latest.insert(update.source.clone(), sample);
+                        if show_status {
+                            // One merged line for the whole distributed
+                            // pipeline: latest sample per worker, in
+                            // stage order (sources sort as worker:<k>).
+                            let line: Vec<String> =
+                                latest.values().map(|s| s.render_status_line()).collect();
+                            eprintln!("{}", line.join("  "));
+                        }
+                    }
+                    if let Some(reg) = update.registry {
+                        // Registry snapshots are cumulative: keep the
+                        // latest per source, never sum successive ones.
+                        registries
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(update.source, reg);
+                    }
+                });
+            })
+        };
+        TelemetryAggregator {
+            addr,
+            control,
+            sampler,
+            registries,
+            handle,
+        }
+    }
+
+    /// Stop serving (the workers have exited), merge the per-worker
+    /// registry snapshots, append the merged registry + calibration to
+    /// the telemetry log, and print the calibration report.
+    fn finish(self, name: &str, compiled: &Compiled) {
+        self.control.cancel("distributed run complete");
+        let _ = self.handle.join();
+        let registries = self.registries.lock().unwrap_or_else(|e| e.into_inner());
+        if registries.is_empty() {
+            eprintln!("[obs] telemetry: no worker snapshots received for {name}");
+            return;
+        }
+        let mut merged = MetricsRegistry::default();
+        for reg in registries.values() {
+            merged.merge(reg);
+        }
+        let mut line = Json::obj();
+        line.set("source", Json::Str("launcher".to_string()));
+        line.set(
+            "workers",
+            Json::Arr(registries.keys().map(|k| Json::Str(k.clone())).collect()),
+        );
+        line.set("merged_registry", merged.to_wire_json());
+        match CalibrationReport::from_run(&compiled.report, &merged) {
+            Some(cal) => {
+                line.set("calibration", cal.to_json());
+                println!("--- {name}: cost-model calibration (distributed) ---");
+                print!("{}", cal.render_text());
+            }
+            None => eprintln!("[obs] telemetry: merged registry for {name} is not calibratable"),
+        }
+        self.sampler.log_json(&line);
+        println!(
+            "[obs] telemetry: merged {} worker snapshot(s) for {name}",
+            registries.len()
+        );
     }
 }
 

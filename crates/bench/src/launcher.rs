@@ -24,17 +24,20 @@ pub const LISTENING_MARKER: &str = "CGP_LISTENING";
 /// Drop the networking flags from a forwarded argument list, so spawned
 /// workers don't inherit the parent's `--role launcher` (their role
 /// arrives via `CGP_ROLE`, which explicit flags would override).
+/// `--telemetry-log` is also stripped: workers ship samples to the
+/// launcher's aggregator instead of each clobbering the same file.
 pub fn strip_net_flags(args: &[String]) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--role" | "--listen" | "--connect" => {
+            "--role" | "--listen" | "--connect" | "--telemetry-log" => {
                 let _ = it.next();
             }
             _ if a.starts_with("--role=")
                 || a.starts_with("--listen=")
-                || a.starts_with("--connect=") => {}
+                || a.starts_with("--connect=")
+                || a.starts_with("--telemetry-log=") => {}
             _ => out.push(a.clone()),
         }
     }
@@ -51,7 +54,16 @@ pub fn strip_net_flags(args: &[String]) -> Vec<String> {
 /// invisible in the last stage's output (its ingress just sees
 /// end-of-work), so exit statuses are the distributed run's error
 /// surface.
-pub fn launch_distributed(stages: usize, passthrough: &[String]) -> Result<Vec<String>, String> {
+///
+/// When `telemetry` names the launcher's aggregator address, every
+/// worker ships periodic samples and its final metrics snapshot there
+/// (`CGP_TELEMETRY`); the caller must have bound that listener *before*
+/// this call, since workers connect with a single attempt.
+pub fn launch_distributed(
+    stages: usize,
+    passthrough: &[String],
+    telemetry: Option<&str>,
+) -> Result<Vec<String>, String> {
     if stages == 0 {
         return Err("launch_distributed: no stages".to_string());
     }
@@ -66,7 +78,17 @@ pub fn launch_distributed(stages: usize, passthrough: &[String]) -> Result<Vec<S
             .env("CGP_ROLE", format!("worker:{stage}"))
             .env_remove("CGP_LISTEN")
             .env_remove("CGP_CONNECT")
+            // The merged telemetry log is the launcher's to write.
+            .env_remove("CGP_TELEMETRY_LOG")
             .stdout(Stdio::piped());
+        match telemetry {
+            Some(addr) => {
+                cmd.env("CGP_TELEMETRY", addr);
+            }
+            None => {
+                cmd.env_remove("CGP_TELEMETRY");
+            }
+        }
         if stage > 0 {
             cmd.env("CGP_LISTEN", "127.0.0.1:0");
         }
@@ -155,10 +177,21 @@ mod tests {
             "--connect",
             "127.0.0.1:9999",
             "--role=worker:1",
+            "--telemetry-log",
+            "/tmp/t.jsonl",
+            "--status-every",
+            "50",
+            "--telemetry-log=/tmp/t2.jsonl",
         ]);
         assert_eq!(
             strip_net_flags(&args),
-            argv(&["--faults", "panic@f2[0]#3", "--recover"])
+            argv(&[
+                "--faults",
+                "panic@f2[0]#3",
+                "--recover",
+                "--status-every",
+                "50"
+            ])
         );
     }
 }

@@ -46,6 +46,7 @@
 //! assert_eq!(compiled.plan.m, 3);
 //! ```
 
+pub mod calibrate;
 pub mod codegen;
 pub mod cost;
 pub mod decompose;
@@ -60,6 +61,7 @@ pub mod place;
 pub mod report;
 pub mod reqcomm;
 
+pub use calibrate::{CalibrationReport, MeasuredStage, StageCalibration};
 pub use codegen::{build_plan, run_plan_sequential, FilterPlan, FilterSpec, FilterStepper};
 pub use decompose::{decompose_brute_force, decompose_dp, Decomposition, Problem};
 pub use driver::{

@@ -25,9 +25,11 @@ use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
     Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, Pipeline,
-    RecoveryOptions, RetryPolicy, RunStats, StageSpec, WorkerEndpoints,
+    RecoveryOptions, RetryPolicy, RunStats, StageSpec, TelemetryConfig, WorkerEndpoints,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
+use cgp_obs::metrics::MetricsRegistry;
+use cgp_obs::telemetry::{TelemetrySampler, STATUS_EVERY_ENV, TELEMETRY_LOG_ENV};
 use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -100,6 +102,21 @@ pub struct ExecOptions {
     pub listen: Option<String>,
     /// Address of the downstream worker's listener.
     pub connect: Option<String>,
+    /// Sample in-flight telemetry (queue depths, busy fractions, latency
+    /// percentiles) at this cadence. Telemetry is enabled whenever this,
+    /// [`ExecOptions::telemetry_log`], or [`ExecOptions::telemetry_addr`]
+    /// is set; the cadence defaults to 500 ms if only the latter are.
+    pub status_every: Option<Duration>,
+    /// Append each telemetry sample as a JSON line to this path.
+    pub telemetry_log: Option<String>,
+    /// Launcher aggregator address: ship each sample (and the final
+    /// metrics snapshot) there as `Telemetry` frames. Best-effort — a
+    /// dead aggregator never fails the run.
+    pub telemetry_addr: Option<String>,
+    /// Attach this registry so the run publishes its counters and
+    /// latency histograms into it (callers read it post-run, e.g. for
+    /// cost-model calibration).
+    pub metrics: Option<Arc<Mutex<MetricsRegistry>>>,
 }
 
 impl ExecOptions {
@@ -116,7 +133,10 @@ impl ExecOptions {
     /// - `CGP_CHECKPOINT_LOG` — JSONL audit log path for checkpoints;
     /// - `CGP_ROLE` — `local` (default), `launcher`, or `worker:<stage>`;
     /// - `CGP_LISTEN` — worker ingress bind address (`host:port`);
-    /// - `CGP_CONNECT` — downstream worker's listener address.
+    /// - `CGP_CONNECT` — downstream worker's listener address;
+    /// - `CGP_STATUS_EVERY` — telemetry sampling cadence in milliseconds;
+    /// - `CGP_TELEMETRY_LOG` — JSONL path for telemetry samples;
+    /// - `CGP_TELEMETRY` — launcher telemetry aggregator address.
     pub fn from_env() -> Result<ExecOptions, CoreError> {
         let mut opts = ExecOptions::default();
         if let Ok(spec) = std::env::var("CGP_FAULTS") {
@@ -173,12 +193,22 @@ impl ExecOptions {
         for (var, slot) in [
             ("CGP_LISTEN", &mut opts.listen),
             ("CGP_CONNECT", &mut opts.connect),
+            (TELEMETRY_LOG_ENV, &mut opts.telemetry_log),
+            ("CGP_TELEMETRY", &mut opts.telemetry_addr),
         ] {
             if let Ok(v) = std::env::var(var) {
                 if !v.is_empty() {
                     *slot = Some(v);
                 }
             }
+        }
+        if let Some(n) = ms(STATUS_EVERY_ENV)? {
+            if n == 0 {
+                return Err(CoreError::Config(format!(
+                    "{STATUS_EVERY_ENV}: must be at least 1"
+                )));
+            }
+            opts.status_every = Some(Duration::from_millis(n));
         }
         Ok(opts)
     }
@@ -326,6 +356,37 @@ fn build_pipeline(
             let store = CheckpointStore::with_jsonl(path)
                 .map_err(|e| CoreError::Config(format!("checkpoint log `{path}`: {e}")))?;
             pipeline = pipeline.with_checkpoint_store(store);
+        }
+    }
+    if let Some(reg) = &opts.metrics {
+        pipeline = pipeline.with_metrics(Arc::clone(reg));
+    }
+    if opts.status_every.is_some() || opts.telemetry_log.is_some() || opts.telemetry_addr.is_some()
+    {
+        let every = opts.status_every.unwrap_or(Duration::from_millis(500));
+        // Status lines go to stderr (worker stdout is protocol-reserved);
+        // suppress them when a launcher aggregates the merged line.
+        let mut sampler = TelemetrySampler::new(every)
+            .with_status_line(opts.status_every.is_some() && opts.telemetry_addr.is_none());
+        if let Some(path) = &opts.telemetry_log {
+            sampler = sampler
+                .with_log_path(path)
+                .map_err(|e| CoreError::Config(format!("telemetry log `{path}`: {e}")))?;
+        }
+        let source = match opts.role {
+            NetRole::Worker(k) => format!("worker:{k}"),
+            _ => "local".to_string(),
+        };
+        let mut cfg = TelemetryConfig::new(Arc::new(sampler), source);
+        if let Some(addr) = &opts.telemetry_addr {
+            cfg = cfg.ship_to(addr.clone());
+        }
+        pipeline = pipeline.with_telemetry(cfg);
+        if opts.metrics.is_none() {
+            // The final telemetry frame ships a registry snapshot (the
+            // launcher merges them for calibration), so a telemetered
+            // run needs one even when the caller won't read it.
+            pipeline = pipeline.with_metrics(Arc::new(Mutex::new(MetricsRegistry::default())));
         }
     }
     for (j, &width) in widths.iter().enumerate() {
@@ -740,6 +801,33 @@ mod tests {
         };
         let out = run_distributed(&c.plan, [1, 2, 1], exec);
         assert_eq!(out, oracle(), "recovered distributed run must match");
+    }
+
+    #[test]
+    fn telemetered_run_matches_oracle_and_feeds_calibration() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let reg = Arc::new(Mutex::new(MetricsRegistry::default()));
+        let exec = ExecOptions {
+            status_every: Some(Duration::from_millis(5)),
+            metrics: Some(Arc::clone(&reg)),
+            ..Default::default()
+        };
+        let (out, stats) =
+            run_plan_threaded_stats(Arc::new(c.plan), Arc::new(host), None, &exec).unwrap();
+        assert_eq!(out, oracle(), "telemetry must not perturb output");
+        assert!(stats.e2e_us.count > 0, "end-to-end latencies recorded");
+        assert!(stats.stages[1].residence_us.count > 0);
+        let reg = reg.lock().unwrap();
+        assert!(reg.get_counter("stage.f2.buffers_in") > 0);
+        assert!(reg.get_counter("stage.f3.busy_us") > 0);
+        assert!(reg.get_histogram("pipeline.e2e_us").is_some());
+        let cal = cgp_compiler::CalibrationReport::from_run(&c.report, &reg)
+            .expect("telemetered registry is calibratable");
+        assert_eq!(cal.stages.len(), 3);
+        let text = cal.render_text();
+        assert!(text.contains("measured bottleneck"), "{text}");
     }
 
     #[test]

@@ -325,6 +325,15 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Messages currently queued (racy; for observability only).
+    pub fn len(&self) -> usize {
+        plock(&self.inner.state).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Non-blocking batched receive: drains up to `max` queued messages
     /// into `out` under one lock acquisition, waking blocked producers
     /// with one notification for the whole drain. Returns the number of

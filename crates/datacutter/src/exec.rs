@@ -38,10 +38,13 @@ use crate::buffer::BufferPool;
 use crate::error::{ErrorKind, FilterError, FilterResult};
 use crate::fault::{FaultPlan, RetryPolicy, RunControl};
 use crate::filter::{FilterFactory, FilterIo, RecoveryCtx};
-use crate::net::{egress_pump, serve_ingress, NetLinkStats};
+use crate::net::{egress_pump_probed, serve_ingress_probed, NetLinkStats, TelemetryClient};
 use crate::recover::{CheckpointStore, RecoveryOptions};
 use crate::stream::{logical_stream_recovering, Distribution};
-use cgp_obs::metrics::MetricsRegistry;
+use crate::telemetry::{
+    build_sample, encode_telemetry_payload, now_us, LinkProbe, StageProbe, TelemetryConfig,
+};
+use cgp_obs::metrics::{Histogram, MetricsRegistry};
 use cgp_obs::trace::{self, PID_RUNTIME};
 use std::cell::Cell;
 use std::net::TcpListener;
@@ -164,6 +167,10 @@ pub struct StageStats {
     pub checkpoints: u64,
     /// Snapshot bytes written across this stage's checkpoint commits.
     pub checkpoint_bytes: u64,
+    /// Per-packet residence latency at this stage (upstream send →
+    /// delivery here), µs. Populated only when telemetry is attached
+    /// ([`Pipeline::with_telemetry`]); empty otherwise.
+    pub residence_us: Histogram,
 }
 
 /// Result of a pipeline run.
@@ -175,6 +182,10 @@ pub struct RunStats {
     /// ([`Pipeline::run_worker`]), keyed by the downstream stage index of
     /// the link. Empty for in-process runs.
     pub net_links: Vec<(u32, NetLinkStats)>,
+    /// Pipeline-wide end-to-end latency (ingest origin → delivery at the
+    /// final stage), µs. Populated only when telemetry is attached and
+    /// the final stage ran in this process; empty otherwise.
+    pub e2e_us: Histogram,
 }
 
 impl RunStats {
@@ -243,6 +254,7 @@ pub struct Pipeline {
     pool: Option<BufferPool>,
     recovery: RecoveryOptions,
     checkpoint_store: Option<CheckpointStore>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Pipeline {
@@ -260,6 +272,7 @@ impl Pipeline {
             pool: None,
             recovery: RecoveryOptions::default(),
             checkpoint_store: None,
+            telemetry: None,
         }
     }
 
@@ -348,6 +361,20 @@ impl Pipeline {
     /// a fresh in-memory store per run.
     pub fn with_checkpoint_store(mut self, store: CheckpointStore) -> Self {
         self.checkpoint_store = Some(store);
+        self
+    }
+
+    /// Attach the live telemetry plane. Per-stage probes feed a sampler
+    /// thread that snapshots queue depth, per-copy busy/active time,
+    /// latency percentiles, replay-buffer occupancy, and net-link
+    /// counters on the sampler's cadence — without stopping the
+    /// pipeline. Packets are stamped at ingest so
+    /// [`StageStats::residence_us`] and [`RunStats::e2e_us`] report real
+    /// p50/p95/p99 latencies. When `config.ship_to` is set, every sample
+    /// (and the final registry snapshot) is also shipped to the launcher
+    /// as a `Telemetry` frame (see [`crate::net::serve_telemetry`]).
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
         self
     }
 
@@ -502,6 +529,49 @@ impl Pipeline {
             }
         }
 
+        // Live telemetry: one probe per locally-run stage, attached to
+        // every stream endpoint the stage's copies touch. All `None`
+        // when telemetry is off — the stream hot path then pays nothing
+        // beyond an `Option` check.
+        let probes: Vec<Option<Arc<StageProbe>>> = (0..n)
+            .map(|s| {
+                (self.telemetry.is_some() && active_stage.is_none_or(|k| k == s)).then(|| {
+                    StageProbe::new(
+                        self.stages[s].name.clone(),
+                        self.stages[s].width,
+                        s == n - 1,
+                        self.distribution == Distribution::Shared,
+                    )
+                })
+            })
+            .collect();
+        let mut link_probes: Vec<(u32, Arc<LinkProbe>)> = Vec::new();
+        if self.telemetry.is_some() {
+            // Packets arriving over TCP get a fresh residence stamp here:
+            // origin ticks don't cross process boundaries (the clocks are
+            // not comparable), so the ingress bridge re-stamps send time
+            // only.
+            for w in &mut ingress_writers {
+                w.enable_stamping();
+            }
+            if let Some(k) = active_stage {
+                if k > 0 {
+                    link_probes.push((k as u32, Arc::new(LinkProbe::default())));
+                }
+                if k < n - 1 {
+                    link_probes.push(((k + 1) as u32, Arc::new(LinkProbe::default())));
+                }
+            }
+        }
+        let link_probe = |link: u32| {
+            link_probes
+                .iter()
+                .find(|(l, _)| *l == link)
+                .map(|(_, p)| Arc::clone(p))
+        };
+        let ingress_probe = active_stage.and_then(|k| link_probe(k as u32));
+        let egress_probe = active_stage.and_then(|k| link_probe((k + 1) as u32));
+
         // Spawn every copy. Trace tids number filter copies globally
         // (stage by stage), one timeline row per copy.
         let tid_base: Vec<u32> = self
@@ -547,6 +617,10 @@ impl Pipeline {
             .recovery
             .enabled
             .then(|| self.checkpoint_store.clone().unwrap_or_default());
+        // Telemetry shipping connection, shared between the sampler loop
+        // and the final flush after the scope ends.
+        let telemetry_client: Mutex<Option<TelemetryClient>> = Mutex::new(None);
+        let worker_id: u32 = active_stage.map_or(0, |k| k as u32);
 
         std::thread::scope(|scope| {
             if self.deadline.is_some() || self.stall_timeout.is_some() {
@@ -558,6 +632,66 @@ impl Pipeline {
                     watchdog(&control, &done, deadline, stall_timeout);
                 });
             }
+            // Sampler: periodic in-flight snapshots from the probes. Not
+            // counted in `done` — it waits on the same condvar with its
+            // cadence as the timeout and exits once the count hits zero.
+            if let Some(tcfg) = &self.telemetry {
+                let sampler = Arc::clone(&tcfg.sampler);
+                let source = tcfg.source.clone();
+                let ship = tcfg.ship_to.clone();
+                let every = sampler.every();
+                let done = Arc::clone(&done);
+                let control = Arc::clone(&control);
+                let pool = self.pool.clone();
+                let probes = &probes;
+                let link_probes = &link_probes;
+                let client_slot = &telemetry_client;
+                scope.spawn(move || {
+                    if let Some(addr) = &ship {
+                        // Telemetry is best-effort: a missing aggregator
+                        // never fails (or delays) the run beyond the
+                        // connect attempt.
+                        if let Ok(c) =
+                            TelemetryClient::connect(addr, worker_id, Some(Arc::clone(&control)))
+                        {
+                            *plock(client_slot) = Some(c);
+                        }
+                    }
+                    let (remaining, cv) = &*done;
+                    loop {
+                        {
+                            let left = plock(remaining);
+                            if *left == 0 {
+                                break;
+                            }
+                            let (g, _) = cv
+                                .wait_timeout(left, every)
+                                .unwrap_or_else(|e| e.into_inner());
+                            if *g == 0 {
+                                break;
+                            }
+                        }
+                        let sample = build_sample(
+                            &source,
+                            t0.elapsed().as_micros() as u64,
+                            now_us(),
+                            false,
+                            probes,
+                            pool.as_ref(),
+                            link_probes,
+                        );
+                        let stamped = sampler.record(sample);
+                        let mut slot = plock(client_slot);
+                        if let Some(client) = slot.as_mut() {
+                            let payload =
+                                encode_telemetry_payload(&source, false, Some(&stamped), None);
+                            if client.send(&payload).is_err() {
+                                *slot = None;
+                            }
+                        }
+                    }
+                });
+            }
             // Ingress bridge: accept one connection per upstream producer
             // copy and replay them onto the local ingress stream.
             if let Some(listener) = listener {
@@ -567,8 +701,15 @@ impl Pipeline {
                 let errors = Arc::clone(&errors);
                 let done = Arc::clone(&done);
                 let net_stats = Arc::clone(&net_stats);
+                let probe = ingress_probe.clone();
                 scope.spawn(move || {
-                    match serve_ingress(listener, k as u32, writers, Some(Arc::clone(&control))) {
+                    match serve_ingress_probed(
+                        listener,
+                        k as u32,
+                        writers,
+                        Some(Arc::clone(&control)),
+                        probe,
+                    ) {
                         Ok(st) => plock(&net_stats).push((k as u32, st)),
                         // serve_ingress has already cancelled the run and
                         // closed its local writers.
@@ -587,13 +728,15 @@ impl Pipeline {
                 let done = Arc::clone(&done);
                 let net_stats = Arc::clone(&net_stats);
                 reader.set_batch(self.batch);
+                let probe = egress_probe.clone();
                 scope.spawn(move || {
-                    match egress_pump(
+                    match egress_pump_probed(
                         reader,
                         &addr,
                         (k + 1) as u32,
                         c as u32,
                         Some(Arc::clone(&control)),
+                        probe,
                     ) {
                         Ok(st) => plock(&net_stats).push(((k + 1) as u32, st)),
                         Err(e) => {
@@ -648,6 +791,20 @@ impl Pipeline {
                     if let Some(w) = io.output.as_mut() {
                         w.set_trace_tid(tid);
                     }
+                    let probe = probes[s].clone();
+                    if let Some(p) = &probe {
+                        if let Some(r) = io.input.as_mut() {
+                            r.attach_probe(Arc::clone(p), c);
+                        }
+                        if let Some(w) = io.output.as_mut() {
+                            w.attach_probe(Arc::clone(p), c);
+                            if s == 0 {
+                                // The true source stamps fresh ingest
+                                // origins for end-to-end latency.
+                                w.mark_source();
+                            }
+                        }
+                    }
                     let stats = Arc::clone(&stats);
                     let errors = Arc::clone(&errors);
                     let stalled_at = Arc::clone(&stalled_at);
@@ -663,6 +820,11 @@ impl Pipeline {
                         }
                         let mut copy_span = trace::span(label.clone(), "filter", PID_RUNTIME, tid);
                         let t = Instant::now();
+                        // Publish the start tick so mid-run snapshots (and
+                        // crashed copies) report real busy time.
+                        if let Some(p) = &probe {
+                            p.copy(c).mark_started(now_us());
+                        }
                         let mut retries_here = 0u64;
                         let mut failures_here = 0u64;
                         let mut panics_here = 0u64;
@@ -812,6 +974,9 @@ impl Pipeline {
                             while io.read().is_some() {}
                         }
                         let busy = t.elapsed();
+                        if let Some(p) = &probe {
+                            p.copy(c).mark_finished(busy.as_micros() as u64);
+                        }
                         {
                             let mut st = plock(&stats);
                             let entry = &mut st[s];
@@ -850,6 +1015,10 @@ impl Pipeline {
                                 }
                             }
                             entry.busy += busy;
+                            // Final value at copy exit; mid-run snapshots
+                            // read the live per-copy probe instead, so a
+                            // sample taken before this line (or a crashed
+                            // copy's) still shows real busy time.
                             entry.busy_per_copy[c] = busy;
                             entry.failures += failures_here;
                             entry.retries += retries_here;
@@ -875,7 +1044,16 @@ impl Pipeline {
             }
         });
 
-        let stages = plock(&stats).clone();
+        let mut stages = plock(&stats).clone();
+        let mut e2e_us = Histogram::default();
+        for (s, probe) in probes.iter().enumerate() {
+            if let Some(p) = probe {
+                stages[s].residence_us = p.residence();
+                if let Some(h) = p.e2e() {
+                    e2e_us = h;
+                }
+            }
+        }
         // Merge per-thread samples (each egress pump reports separately)
         // into one entry per link.
         let mut net_links: Vec<(u32, NetLinkStats)> = Vec::new();
@@ -898,7 +1076,7 @@ impl Pipeline {
                     reg.counter(&format!("net.link{link}.deduped"), st.deduped);
                 }
             }
-            for st in &stages {
+            for (s, st) in stages.iter().enumerate() {
                 if st.failures > 0 {
                     reg.counter(&format!("stage.{}.failures", st.name), st.failures);
                 }
@@ -927,6 +1105,66 @@ impl Pipeline {
                         st.checkpoint_bytes,
                     );
                 }
+                // Measured per-stage rates for post-run cost-model
+                // calibration — pushed for every locally-run stage when
+                // telemetry is on, so the launcher's merged registry has
+                // a complete picture.
+                if self.telemetry.is_some() && active_stage.is_none_or(|k| k == s) {
+                    reg.counter(
+                        &format!("stage.{}.busy_us", st.name),
+                        st.busy.as_micros() as u64,
+                    );
+                    reg.counter(
+                        &format!("stage.{}.blocked_send_us", st.name),
+                        st.blocked_send.as_micros() as u64,
+                    );
+                    reg.counter(
+                        &format!("stage.{}.blocked_recv_us", st.name),
+                        st.blocked_recv.as_micros() as u64,
+                    );
+                    reg.counter(&format!("stage.{}.buffers_in", st.name), st.buffers_in);
+                    reg.counter(&format!("stage.{}.buffers_out", st.name), st.buffers_out);
+                    if st.residence_us.count > 0 {
+                        reg.merge_histogram(
+                            &format!("stage.{}.residence_us", st.name),
+                            &st.residence_us,
+                        );
+                    }
+                }
+            }
+            if e2e_us.count > 0 {
+                reg.merge_histogram("pipeline.e2e_us", &e2e_us);
+            }
+        }
+
+        // Final telemetry flush: a fin-stamped sample plus the full
+        // registry snapshot, recorded locally and shipped to the launcher
+        // when configured — even when the run itself failed.
+        if let Some(tcfg) = &self.telemetry {
+            let sample = build_sample(
+                &tcfg.source,
+                t0.elapsed().as_micros() as u64,
+                now_us(),
+                true,
+                &probes,
+                self.pool.as_ref(),
+                &link_probes,
+            );
+            let stamped = tcfg.sampler.record(sample);
+            let mut client = plock(&telemetry_client).take();
+            if client.is_none() {
+                if let Some(addr) = &tcfg.ship_to {
+                    client =
+                        TelemetryClient::connect(addr, worker_id, Some(Arc::clone(&control))).ok();
+                }
+            }
+            if let Some(mut client) = client {
+                let payload = {
+                    let reg = self.metrics.as_ref().map(|m| plock(m));
+                    encode_telemetry_payload(&tcfg.source, true, Some(&stamped), reg.as_deref())
+                };
+                let _ = client.send(&payload);
+                client.close();
             }
         }
 
@@ -954,6 +1192,7 @@ impl Pipeline {
             wall: t0.elapsed(),
             stages,
             net_links,
+            e2e_us,
         })
     }
 }

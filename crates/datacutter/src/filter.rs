@@ -155,6 +155,19 @@ impl FilterIo {
             rc.accepted += 1;
             rc.accepted_total += 1;
         }
+        // Telemetry: propagate the packet's ingest-origin tick onto the
+        // output side, so end-to-end latency survives the stage hop.
+        // Origins are only non-zero when telemetry is on, so untelemetered
+        // runs pay one branch here.
+        let origin = self
+            .input
+            .as_ref()
+            .map_or(0, crate::stream::StreamReader::last_origin_us);
+        if origin != 0 {
+            if let Some(w) = &mut self.output {
+                w.set_origin(origin);
+            }
+        }
         Some(buf)
     }
 

@@ -45,6 +45,7 @@ pub mod net;
 pub mod placement;
 pub mod recover;
 pub mod stream;
+pub mod telemetry;
 
 pub use buffer::{
     reassemble, Buffer, BufferBuilder, BufferPool, BufferWriter, PoolStats, DEFAULT_BUFFER_CAPACITY,
@@ -55,10 +56,14 @@ pub use exec::{Pipeline, RunStats, StageSpec, StageStats, WorkerEndpoints};
 pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, RunControl, Trigger};
 pub use filter::{ClosureFilter, Filter, FilterFactory, FilterIo};
 pub use net::{
-    connect_with_retry, decode_frame, egress_pump, encode_frame, serve_ingress, Frame,
-    IngressFeeder, NetLinkStats, RemoteStreamReader, RemoteStreamWriter, MAX_FRAME_PAYLOAD,
-    NET_MAGIC, NET_VERSION,
+    connect_with_retry, decode_frame, egress_pump, egress_pump_probed, encode_frame, serve_ingress,
+    serve_ingress_probed, serve_telemetry, Frame, IngressFeeder, NetLinkStats, RemoteStreamReader,
+    RemoteStreamWriter, TelemetryClient, MAX_FRAME_PAYLOAD, NET_MAGIC, NET_VERSION, TELEMETRY_LINK,
 };
 pub use placement::{HostId, Placement, StageAssignment, StagePlacement};
 pub use recover::{Checkpoint, CheckpointStore, RecoveryOptions, Snapshot};
 pub use stream::{logical_stream, Distribution, StreamReader, StreamWriter};
+pub use telemetry::{
+    decode_telemetry_payload, encode_telemetry_payload, CopyProbe, LinkProbe, StageProbe,
+    TelemetryConfig, TelemetryUpdate,
+};

@@ -45,6 +45,12 @@
 //! | `Data`     | `from: u32`, `seq: u64`, `len: u32`, payload             |
 //! | `End`      | `from: u32` (producer finished its unit of work)         |
 //! | `Close`    | — (orderly connection shutdown)                          |
+//! | `Telemetry`| `len: u32`, payload (JSON telemetry update)              |
+//!
+//! `Telemetry` frames travel on their own connections — worker →
+//! launcher, handshaken with the sentinel link id [`TELEMETRY_LINK`] —
+//! never interleaved with data links, so the data plane's framing and
+//! ordering are untouched when telemetry is on.
 //!
 //! Decoding is hardened: declared payload lengths are validated against
 //! [`MAX_FRAME_PAYLOAD`] *before* any allocation, unknown tags / bad magic
@@ -69,6 +75,7 @@ use crate::buffer::Buffer;
 use crate::error::{FilterError, FilterResult};
 use crate::fault::RunControl;
 use crate::stream::{StreamReader, StreamWriter};
+use crate::telemetry::LinkProbe;
 use cgp_obs::trace::{self, PID_RUNTIME};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -97,6 +104,12 @@ const TAG_HELLO_ACK: u8 = 2;
 const TAG_DATA: u8 = 3;
 const TAG_END: u8 = 4;
 const TAG_CLOSE: u8 = 5;
+const TAG_TELEMETRY: u8 = 6;
+
+/// Sentinel link id carried in the `Hello` of telemetry connections, so
+/// they share the data plane's versioned handshake while remaining
+/// unmistakable for a data link.
+pub const TELEMETRY_LINK: u32 = u32::MAX;
 
 /// Poison-tolerant lock (slot state is plain data).
 fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -125,6 +138,10 @@ pub enum Frame {
     /// Orderly connection shutdown (reconnection stays possible until
     /// `End` was seen).
     Close,
+    /// One telemetry update (JSON payload; see
+    /// [`crate::telemetry::decode_telemetry_payload`]). Only valid on
+    /// connections handshaken with [`TELEMETRY_LINK`].
+    Telemetry { payload: Vec<u8> },
 }
 
 /// Encode one frame to bytes (the socket path writes data payloads
@@ -163,6 +180,13 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
             out
         }
         Frame::Close => vec![TAG_CLOSE],
+        Frame::Telemetry { payload } => {
+            let mut out = Vec::with_capacity(5 + payload.len());
+            out.push(TAG_TELEMETRY);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+            out
+        }
     }
 }
 
@@ -226,6 +250,20 @@ pub fn decode_frame(buf: &[u8]) -> FilterResult<(Frame, usize)> {
             Ok((Frame::End { from }, 5))
         }
         TAG_CLOSE => Ok((Frame::Close, 1)),
+        TAG_TELEMETRY => {
+            let len = u32::from_le_bytes(get(buf, 1, who)?) as usize;
+            if len > MAX_FRAME_PAYLOAD {
+                return Err(FilterError::malformed(
+                    who,
+                    format!("telemetry frame declares {len} bytes (cap {MAX_FRAME_PAYLOAD})"),
+                ));
+            }
+            let payload = buf
+                .get(5..5 + len)
+                .ok_or_else(|| FilterError::malformed(who, "truncated telemetry payload"))?
+                .to_vec();
+            Ok((Frame::Telemetry { payload }, 5 + len))
+        }
         t => Err(FilterError::malformed(
             who,
             format!("unknown frame tag {t}"),
@@ -328,6 +366,7 @@ impl FrameConn {
             TAG_DATA => 16,
             TAG_END => 4,
             TAG_CLOSE => 0,
+            TAG_TELEMETRY => 4,
             t => {
                 return Err(FilterError::malformed(
                     self.who.clone(),
@@ -338,12 +377,19 @@ impl FrameConn {
         let mut frame = vec![tag[0]; 1];
         frame.resize(1 + header_len, 0);
         self.fill(&mut frame[1..], false)?;
-        if tag[0] == TAG_DATA {
-            let len = u32::from_le_bytes(frame[13..17].try_into().expect("4 bytes")) as usize;
+        // Frames with a variable payload: the length field's offset
+        // within the fixed header.
+        let len_at = match tag[0] {
+            TAG_DATA => Some(13),
+            TAG_TELEMETRY => Some(1),
+            _ => None,
+        };
+        if let Some(at) = len_at {
+            let len = u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes")) as usize;
             if len > MAX_FRAME_PAYLOAD {
                 return Err(FilterError::malformed(
                     self.who.clone(),
-                    format!("data frame declares {len} bytes (cap {MAX_FRAME_PAYLOAD})"),
+                    format!("frame declares {len} bytes (cap {MAX_FRAME_PAYLOAD})"),
                 ));
             }
             let at = frame.len();
@@ -707,6 +753,19 @@ pub fn serve_ingress(
     writers: Vec<StreamWriter>,
     control: Option<Arc<RunControl>>,
 ) -> FilterResult<NetLinkStats> {
+    serve_ingress_probed(listener, link, writers, control, None)
+}
+
+/// [`serve_ingress`] with an optional live [`LinkProbe`]: frame/byte/
+/// dedup counters tick as traffic flows, so the telemetry sampler can
+/// report per-link rates mid-run instead of only at link teardown.
+pub fn serve_ingress_probed(
+    listener: TcpListener,
+    link: u32,
+    writers: Vec<StreamWriter>,
+    control: Option<Arc<RunControl>>,
+    probe: Option<Arc<LinkProbe>>,
+) -> FilterResult<NetLinkStats> {
     let producers = writers.len();
     let slots: Vec<Mutex<Slot>> = writers
         .into_iter()
@@ -801,6 +860,7 @@ pub fn serve_ingress(
             }
             let (frames, bytes, errors) = (&frames, &bytes, &errors);
             let fail = &fail;
+            let probe = probe.clone();
             scope.spawn(move || {
                 let mut remote = remote;
                 loop {
@@ -824,8 +884,15 @@ pub fn serve_ingress(
                                 Ok(true) => {
                                     frames.fetch_add(1, Ordering::Relaxed);
                                     bytes.fetch_add(n, Ordering::Relaxed);
+                                    if let Some(p) = &probe {
+                                        p.count_frame(n);
+                                    }
                                 }
-                                Ok(false) => {}
+                                Ok(false) => {
+                                    if let Some(p) = &probe {
+                                        p.deduped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
                                 Err(e) => {
                                     fail(e, errors);
                                     break;
@@ -908,16 +975,39 @@ pub fn serve_ingress(
 /// consumer, so the producer side's replay buffers stay bounded and a
 /// restarted filter copy replays only untransmitted packets.
 pub fn egress_pump(
-    mut reader: StreamReader,
+    reader: StreamReader,
     addr: &str,
     link: u32,
     producer: u32,
     control: Option<Arc<RunControl>>,
 ) -> FilterResult<NetLinkStats> {
+    egress_pump_probed(reader, addr, link, producer, control, None)
+}
+
+/// [`egress_pump`] with an optional live [`LinkProbe`] (shared by every
+/// producer copy's pump on the link): transmitted frame/byte counters
+/// tick per packet for the telemetry sampler.
+pub fn egress_pump_probed(
+    mut reader: StreamReader,
+    addr: &str,
+    link: u32,
+    producer: u32,
+    control: Option<Arc<RunControl>>,
+    probe: Option<Arc<LinkProbe>>,
+) -> FilterResult<NetLinkStats> {
     let mut conn = RemoteStreamWriter::connect(addr, link, producer, control.clone())?;
+    let (mut pf, mut pb) = (0u64, 0u64);
     while let Some(buf) = reader.read() {
         conn.write(&buf)?;
         reader.commit_acks();
+        if let Some(p) = &probe {
+            // Delta against the connection's own counters, so suppressed
+            // resends never inflate the probe.
+            let (f, b) = conn.stats();
+            p.frames.fetch_add(f - pf, Ordering::Relaxed);
+            p.bytes.fetch_add(b - pb, Ordering::Relaxed);
+            (pf, pb) = (f, b);
+        }
     }
     if control.as_ref().is_some_and(|c| c.is_cancelled()) {
         return Err(FilterError::cancelled(
@@ -926,6 +1016,154 @@ pub fn egress_pump(
         ));
     }
     conn.finish()
+}
+
+/// Worker-side telemetry connection to the launcher's aggregator.
+///
+/// Handshakes with [`TELEMETRY_LINK`] (so version mismatches are caught
+/// exactly like on data links), then ships opaque telemetry payloads.
+/// All sends are best-effort from the caller's perspective: losing
+/// telemetry must never fail a run, so callers typically drop the client
+/// on the first error.
+pub struct TelemetryClient {
+    conn: FrameConn,
+}
+
+impl TelemetryClient {
+    /// Connect (single attempt — the launcher binds its aggregator
+    /// before spawning workers, and a retry budget here would stall a
+    /// worker whose launcher died; telemetry is best-effort) and
+    /// handshake as `worker`.
+    pub fn connect(
+        addr: &str,
+        worker: u32,
+        control: Option<Arc<RunControl>>,
+    ) -> FilterResult<Self> {
+        let who = format!("net.telemetry[{worker}]");
+        if control.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Err(FilterError::cancelled(
+                who,
+                "run cancelled while connecting",
+            ));
+        }
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| FilterError::new(who.clone(), format!("connect to {addr} failed: {e}")))?;
+        let mut conn = FrameConn::new(stream, control, who.clone())?;
+        conn.write_frame(&Frame::Hello {
+            link: TELEMETRY_LINK,
+            producer: worker,
+        })?;
+        match conn.read_frame()? {
+            Some(Frame::HelloAck { .. }) => {}
+            Some(f) => {
+                return Err(FilterError::malformed(
+                    who,
+                    format!("expected HelloAck, got {f:?}"),
+                ))
+            }
+            None => {
+                return Err(FilterError::malformed(
+                    who,
+                    "connection closed during handshake",
+                ))
+            }
+        }
+        Ok(TelemetryClient { conn })
+    }
+
+    /// Ship one telemetry payload.
+    pub fn send(&mut self, payload: &[u8]) -> FilterResult<()> {
+        if payload.len() > MAX_FRAME_PAYLOAD {
+            return Err(FilterError::new(
+                self.conn.who.clone(),
+                format!(
+                    "telemetry payload of {} bytes exceeds the frame cap {MAX_FRAME_PAYLOAD}",
+                    payload.len()
+                ),
+            ));
+        }
+        let mut header = [0u8; 5];
+        header[0] = TAG_TELEMETRY;
+        header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.conn.write_all(&header)?;
+        self.conn.write_all(payload)
+    }
+
+    /// Orderly shutdown; errors are ignored (the aggregator treats EOF
+    /// and `Close` the same).
+    pub fn close(mut self) {
+        let _ = self.conn.write_frame(&Frame::Close);
+        let _ = self.conn.stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// Serve the launcher side of the telemetry plane: accept worker
+/// connections on `listener` and hand every decoded payload to
+/// `on_update(worker, payload)`. Returns once `expected` connections
+/// have terminated (cleanly or not), or when `control` is cancelled —
+/// the launcher cancels after its worker processes exit, which also
+/// covers workers that crash before ever connecting.
+///
+/// Telemetry is best-effort: per-connection decode errors end that
+/// connection but are not propagated (a run must never fail because its
+/// telemetry did). Only listener setup errors are returned.
+pub fn serve_telemetry<F>(
+    listener: TcpListener,
+    expected: usize,
+    control: Option<Arc<RunControl>>,
+    on_update: F,
+) -> FilterResult<()>
+where
+    F: Fn(u32, Vec<u8>) + Send + Sync,
+{
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| FilterError::new("net.telemetry", format!("listener: {e}")))?;
+    let finished = AtomicUsize::new(0);
+    let finished = &finished;
+    let cancelled = || control.as_ref().is_some_and(|c| c.is_cancelled());
+    let on_update = &on_update;
+    std::thread::scope(|scope| {
+        while finished.load(Ordering::Acquire) < expected && !cancelled() {
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            let control = control.clone();
+            scope.spawn(move || {
+                let worker = (|| -> FilterResult<(FrameConn, u32)> {
+                    let mut conn = FrameConn::new(stream, control, "net.telemetry".to_string())?;
+                    match conn.read_frame()? {
+                        Some(Frame::Hello { link, producer }) if link == TELEMETRY_LINK => {
+                            conn.who = format!("net.telemetry[{producer}]");
+                            conn.write_frame(&Frame::HelloAck { resume_seq: 0 })?;
+                            Ok((conn, producer))
+                        }
+                        _ => Err(FilterError::malformed(
+                            "net.telemetry",
+                            "expected telemetry Hello",
+                        )),
+                    }
+                })();
+                let Ok((mut conn, worker)) = worker else {
+                    finished.fetch_add(1, Ordering::AcqRel);
+                    return;
+                };
+                // Close, EOF, an unexpected frame, or a decode error
+                // all just end the connection.
+                while let Ok(Some(Frame::Telemetry { payload })) = conn.read_frame() {
+                    on_update(worker, payload);
+                }
+                finished.fetch_add(1, Ordering::AcqRel);
+            });
+        }
+    });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -953,6 +1191,10 @@ mod tests {
             },
             Frame::End { from: 2 },
             Frame::Close,
+            Frame::Telemetry {
+                payload: b"{\"source\":\"w0\"}".to_vec(),
+            },
+            Frame::Telemetry { payload: vec![] },
         ];
         for f in &frames {
             let bytes = encode_frame(f);
@@ -1024,6 +1266,58 @@ mod tests {
             .unwrap_err()
             .message
             .contains("unknown frame tag"));
+    }
+
+    #[test]
+    fn oversized_telemetry_payload_is_rejected_before_allocating() {
+        let mut bytes = vec![TAG_TELEMETRY];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&bytes).unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Malformed);
+        assert!(err.message.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn truncated_telemetry_payload_is_malformed() {
+        let bytes = encode_frame(&Frame::Telemetry {
+            payload: vec![7; 16],
+        });
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind, crate::error::ErrorKind::Malformed, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn telemetry_client_ships_payloads_to_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let got: Mutex<Vec<(u32, Vec<u8>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                serve_telemetry(listener, 2, None, |w, p| plock(&got).push((w, p))).unwrap();
+            });
+            for w in 0..2u32 {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = TelemetryClient::connect(&addr, w, None).unwrap();
+                    client.send(format!("update-{w}-a").as_bytes()).unwrap();
+                    client.send(format!("update-{w}-b").as_bytes()).unwrap();
+                    client.close();
+                });
+            }
+        });
+        let mut got = plock(&got).clone();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (0, b"update-0-a".to_vec()),
+                (0, b"update-0-b".to_vec()),
+                (1, b"update-1-a".to_vec()),
+                (1, b"update-1-b".to_vec()),
+            ]
+        );
     }
 
     #[test]

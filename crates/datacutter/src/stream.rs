@@ -43,6 +43,8 @@ use crate::buffer::Buffer;
 use crate::channel::{bounded, bounded_cancellable, Receiver, Sender};
 use crate::error::{FilterError, FilterResult};
 use crate::fault::RunControl;
+use crate::telemetry::{instant_us, StageProbe};
+use cgp_obs::metrics::Histogram;
 use cgp_obs::trace::{self, PID_RUNTIME};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,7 +82,18 @@ enum Msg {
     /// producer ever wrote on this logical stream. `from`/`seq` are only
     /// meaningful under recovery; without it they are always 0 and
     /// ignored.
-    Data { from: u32, seq: u64, buf: Buffer },
+    Data {
+        from: u32,
+        seq: u64,
+        /// Tick when the packet was sent, µs (0 = unstamped: telemetry
+        /// off, or a packet re-delivered from a replay buffer).
+        sent_us: u64,
+        /// Ingest-origin tick propagated from the pipeline's source
+        /// stage, µs (0 = unknown, e.g. across a process boundary where
+        /// clocks are not comparable).
+        origin_us: u64,
+        buf: Buffer,
+    },
     /// A producer copy finished its unit of work.
     End,
 }
@@ -124,6 +137,16 @@ impl ReplayShared {
             order: (0..consumers).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
+
+    /// Total sent-but-unacknowledged packets across every
+    /// producer→consumer pair (replay-buffer occupancy, for telemetry).
+    pub(crate) fn unacked_total(&self) -> u64 {
+        self.unacked
+            .iter()
+            .flatten()
+            .map(|q| plock(q).len() as u64)
+            .sum()
+    }
 }
 
 /// Reading end held by one consumer copy.
@@ -166,7 +189,49 @@ pub struct StreamReader {
     /// consumption-order log again — i.e. the length of the replayed
     /// prefix, which is already logged from the failed attempt.
     log_skip: usize,
+    /// Stage probe + this reader's copy index, when live telemetry is
+    /// attached ([`Pipeline::with_telemetry`]). `None` costs one branch
+    /// per delivery.
+    ///
+    /// [`Pipeline::with_telemetry`]: crate::exec::Pipeline::with_telemetry
+    probe: Option<(Arc<StageProbe>, usize)>,
+    /// Ingest-origin tick of the most recently delivered packet (0 =
+    /// unknown); the filter shim propagates it onto the stage's output
+    /// writer so end-to-end latency survives the stage hop.
+    last_origin_us: u64,
+    /// Clock tick taken once per channel drain: per-packet latency math
+    /// reuses it instead of reading the clock per delivery (clock reads
+    /// dominate probe cost otherwise). Each packet is measured with its
+    /// own drain's tick, so residence is quantized to drain boundaries
+    /// but never negative.
+    now_us_cache: u64,
+    /// Reader-local latency accumulators, merged into the shared probe
+    /// histograms once per drain (and at end of stream) — per-packet
+    /// recording stays lock-free.
+    local_residence: Histogram,
+    local_e2e: Histogram,
+    /// Deliveries not yet published to the probe's `buffers_in` counter
+    /// (flushed with the histograms, so the per-packet path has no
+    /// atomics at all).
+    local_buffers_in: u64,
+    /// Channel drains so far; the queue-depth gauge refreshes on every
+    /// 16th (taking the channel lock for an honest depth), which at
+    /// batched drain rates is still orders of magnitude finer than any
+    /// sampling cadence.
+    drains: u64,
+    /// Tick of the last local→shared flush. Mid-run flushes are
+    /// throttled to [`FLUSH_INTERVAL_US`]; even the branch deciding
+    /// whether to flush is measurable at packet-echo rates, so the
+    /// publish cadence trades staleness (bounded, and well under any
+    /// sampling interval) for hot-path cost.
+    last_flush_us: u64,
 }
+
+/// Minimum µs between mid-run local→shared telemetry flushes. The
+/// sampler's finest practical cadence (`--status-every`) is tens of
+/// milliseconds, so a 10 ms publish lag is invisible to it; final stats
+/// are exact regardless via the end-of-stream flush.
+const FLUSH_INTERVAL_US: u64 = 10_000;
 
 impl StreamReader {
     /// Set the adaptive-drain batch size (messages moved per lock
@@ -184,10 +249,17 @@ impl StreamReader {
             // already holds some.
             if !self.pending.is_empty() && self.control.as_ref().is_some_and(|c| c.is_cancelled()) {
                 self.pending.clear();
+                self.flush_probe_locals();
                 return None;
             }
             match self.pending.pop_front() {
-                Some(Msg::Data { from, seq, buf }) => {
+                Some(Msg::Data {
+                    from,
+                    seq,
+                    sent_us,
+                    origin_us,
+                    buf,
+                }) => {
                     if let Some(rep) = &self.replay {
                         let wm = &mut self.watermark[from as usize];
                         if seq < *wm {
@@ -204,6 +276,32 @@ impl StreamReader {
                             plock(&rep.order[self.consumer]).push((from, seq));
                         }
                     }
+                    if let Some((probe, _)) = &self.probe {
+                        // Latency math reuses the tick taken when this
+                        // packet's drain pulled it off the channel and
+                        // records into reader-local histograms: the
+                        // clock read and the shared-histogram locks are
+                        // paid once per drain, not per packet, keeping
+                        // sampling within the guard's 5% budget.
+                        let now = self.now_us_cache;
+                        if sent_us > 0 {
+                            self.local_residence.record(now.saturating_sub(sent_us));
+                        }
+                        if origin_us > 0 && probe.e2e_us.is_some() {
+                            self.local_e2e.record(now.saturating_sub(origin_us));
+                        }
+                        self.local_buffers_in += 1;
+                    }
+                    self.last_origin_us = origin_us;
+                    if self.pending.is_empty()
+                        && self.now_us_cache.saturating_sub(self.last_flush_us) >= FLUSH_INTERVAL_US
+                    {
+                        // Local batch exhausted and the publish lag is
+                        // due: push the locally recorded latencies to
+                        // the shared probe. Checked only at batch
+                        // boundaries, fired at most every 10 ms.
+                        self.flush_probe_locals();
+                    }
                     return Some(self.account(buf));
                 }
                 Some(Msg::End) => {
@@ -213,12 +311,19 @@ impl StreamReader {
                 None => {}
             }
             if self.producers_remaining == 0 {
+                self.flush_probe_locals();
                 return None;
             }
             let wait_start = Instant::now();
             let msg = self.rx.recv();
             let waited = wait_start.elapsed();
             self.blocked += waited;
+            if let Some((probe, copy)) = &self.probe {
+                probe
+                    .copy(*copy)
+                    .blocked_recv_us
+                    .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+            }
             if trace::enabled() && waited >= STALL_EVENT_THRESHOLD {
                 let end_us = trace::now_us();
                 trace::complete(
@@ -241,6 +346,25 @@ impl StreamReader {
                         // the checks at the top of the loop.
                         let _ = self.rx.try_recv_batch(self.batch - 1, &mut self.pending);
                     }
+                    if let Some((probe, copy)) = &self.probe {
+                        // The drain tick is derived from the recv-side
+                        // `Instant` the blocked accounting already paid
+                        // for — epoch subtraction, no second clock read.
+                        self.now_us_cache = instant_us(wait_start + waited);
+                        // Refresh the depth gauge every 16th drain (the
+                        // first included, so short runs report at all):
+                        // `rx.len()` takes the channel lock the batched
+                        // path exists to amortize, and a gauge that is
+                        // at most 15 drains stale is still far fresher
+                        // than any sampling cadence reading it.
+                        if self.drains & 0xF == 0 {
+                            probe.copy(*copy).queue_depth.store(
+                                (self.rx.len() + self.pending.len()) as u64,
+                                Ordering::Relaxed,
+                            );
+                        }
+                        self.drains = self.drains.wrapping_add(1);
+                    }
                 }
                 Err(_) => {
                     // All senders dropped, or the run was cancelled out
@@ -248,9 +372,38 @@ impl StreamReader {
                     if self.control.as_ref().is_some_and(|c| c.is_cancelled()) {
                         self.cancelled_while_blocked = true;
                     }
+                    self.flush_probe_locals();
                     return None;
                 }
             }
+        }
+    }
+
+    /// Merge the reader-local latency histograms into the shared probe
+    /// histograms. Runs once per channel drain and on every
+    /// end-of-stream path; a no-op while the locals are empty, so the
+    /// tail flush is idempotent.
+    fn flush_probe_locals(&mut self) {
+        self.last_flush_us = self.now_us_cache;
+        let Some((probe, copy)) = &self.probe else {
+            return;
+        };
+        if self.local_buffers_in > 0 {
+            probe
+                .copy(*copy)
+                .buffers_in
+                .fetch_add(self.local_buffers_in, Ordering::Relaxed);
+            self.local_buffers_in = 0;
+        }
+        if self.local_residence.count > 0 {
+            plock(&probe.residence_us).merge(&self.local_residence);
+            self.local_residence = Histogram::default();
+        }
+        if self.local_e2e.count > 0 {
+            if let Some(h) = &probe.e2e_us {
+                plock(h).merge(&self.local_e2e);
+            }
+            self.local_e2e = Histogram::default();
         }
     }
 
@@ -335,9 +488,14 @@ impl StreamReader {
             }
             let un = plock(&rep.unacked[p][self.consumer]);
             if let Some((_, buf)) = un.iter().find(|(s, _)| *s == seq) {
+                // Replayed packets carry no stamps: their original send
+                // time is long gone, and counting the failure stall as
+                // latency would poison the percentiles.
                 preload.push(Msg::Data {
                     from,
                     seq,
+                    sent_us: 0,
+                    origin_us: 0,
                     buf: buf.clone(),
                 });
                 replay_high[p] = Some(replay_high[p].map_or(seq, |h| h.max(seq)));
@@ -365,6 +523,8 @@ impl StreamReader {
                     preload.push(Msg::Data {
                         from: p as u32,
                         seq: *seq,
+                        sent_us: 0,
+                        origin_us: 0,
                         buf: buf.clone(),
                     });
                 }
@@ -404,6 +564,22 @@ impl StreamReader {
     pub fn set_trace_tid(&mut self, tid: u32) {
         self.tid = tid;
     }
+
+    /// Attach a live-telemetry probe for this consumer copy; also hands
+    /// the stream's replay state to the probe so the sampler can report
+    /// replay-buffer occupancy.
+    pub(crate) fn attach_probe(&mut self, probe: Arc<StageProbe>, copy: usize) {
+        if let Some(rep) = &self.replay {
+            *plock(&probe.replay) = Some(rep.clone());
+        }
+        self.probe = Some((probe, copy));
+    }
+
+    /// Ingest-origin tick of the most recently delivered packet
+    /// (0 = unknown).
+    pub(crate) fn last_origin_us(&self) -> u64 {
+        self.last_origin_us
+    }
 }
 
 /// Writing end held by one producer copy.
@@ -438,9 +614,41 @@ pub struct StreamWriter {
     sent_high: u64,
     /// Ack/replay state, present only under recovery.
     replay: Option<Arc<ReplayShared>>,
+    /// Stage probe + this writer's copy index, when live telemetry is
+    /// attached.
+    probe: Option<(Arc<StageProbe>, usize)>,
+    /// Stamp `sent_us`/`origin_us` on outgoing packets (telemetry on).
+    stamp: bool,
+    /// Origin tick to propagate on subsequent writes (set by the filter
+    /// shim from the input side; 0 = unknown).
+    origin_us: u64,
+    /// Source-stage mode: every packet gets a fresh ingest-origin tick
+    /// instead of a propagated one.
+    fresh_origin: bool,
 }
 
 impl StreamWriter {
+    /// Packet stamps for the next write: `(sent_us, origin_us)`, both 0
+    /// when telemetry is off.
+    fn stamps(&self) -> (u64, u64) {
+        if !self.stamp {
+            return (0, 0);
+        }
+        self.stamps_at(instant_us(Instant::now()))
+    }
+
+    /// [`stamps`](Self::stamps) from a tick already in hand (the batched
+    /// write path reuses its blocked-accounting `Instant`, so stamping a
+    /// whole batch costs no clock read at all).
+    fn stamps_at(&self, now: u64) -> (u64, u64) {
+        let origin = if self.fresh_origin {
+            now
+        } else {
+            self.origin_us
+        };
+        (now, origin)
+    }
+
     /// Send one buffer to (one copy of) the logical consumer.
     pub fn write(&mut self, buf: Buffer) -> FilterResult<()> {
         if self.closed {
@@ -485,14 +693,23 @@ impl StreamWriter {
         } else {
             0
         };
+        let (sent_us, origin_us) = self.stamps();
         let wait_start = Instant::now();
         let sent = self.txs[target].send(Msg::Data {
             from: self.from as u32,
             seq,
+            sent_us,
+            origin_us,
             buf,
         });
         let waited = wait_start.elapsed();
         self.blocked += waited;
+        if let Some((probe, copy)) = &self.probe {
+            let cp = probe.copy(*copy);
+            cp.blocked_send_us
+                .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+            cp.buffers_out.fetch_add(1, Ordering::Relaxed);
+        }
         if tracing {
             if waited >= STALL_EVENT_THRESHOLD {
                 let end_us = trace::now_us();
@@ -562,6 +779,19 @@ impl StreamWriter {
         // round-robin collapse to a single group; multi-consumer
         // round-robin rotates per packet, exactly like `write`.
         let targets = self.txs.len();
+        // One tick for the whole run: it is the first send's
+        // blocked-accounting start (message assembly lands in "blocked"
+        // time — nanoseconds against the µs-scale waits it accounts) and,
+        // with telemetry on, the shared send stamp. The packets leave
+        // together, so a shared stamp loses nothing, and deriving it from
+        // the `Instant` already needed for accounting makes stamping a
+        // batch cost no extra clock read.
+        let batch_start = Instant::now();
+        let (sent_us, origin_us) = if self.stamp {
+            self.stamps_at(instant_us(batch_start))
+        } else {
+            (0, 0)
+        };
         let mut per_target: Vec<VecDeque<Msg>> = (0..targets).map(|_| VecDeque::new()).collect();
         for buf in bufs {
             let seq = self.write_index;
@@ -577,10 +807,13 @@ impl StreamWriter {
             per_target[target].push_back(Msg::Data {
                 from: self.from as u32,
                 seq,
+                sent_us,
+                origin_us,
                 buf,
             });
         }
         let tracing = trace::enabled();
+        let mut first_send = Some(batch_start);
         for (target, mut batch) in per_target.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
@@ -591,10 +824,16 @@ impl StreamWriter {
             } else {
                 0
             };
-            let wait_start = Instant::now();
+            let wait_start = first_send.take().unwrap_or_else(Instant::now);
             let sent = self.txs[target].send_batch(&mut batch);
             let waited = wait_start.elapsed();
             self.blocked += waited;
+            if let Some((probe, copy)) = &self.probe {
+                let cp = probe.copy(*copy);
+                cp.blocked_send_us
+                    .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+                cp.buffers_out.fetch_add(n, Ordering::Relaxed);
+            }
             if tracing {
                 if waited >= STALL_EVENT_THRESHOLD {
                     let end_us = trace::now_us();
@@ -683,6 +922,34 @@ impl StreamWriter {
     pub fn set_trace_tid(&mut self, tid: u32) {
         self.tid = tid;
     }
+
+    /// Attach a live-telemetry probe for this producer copy (also turns
+    /// on packet stamping).
+    pub(crate) fn attach_probe(&mut self, probe: Arc<StageProbe>, copy: usize) {
+        self.probe = Some((probe, copy));
+        self.stamp = true;
+    }
+
+    /// Stamp `sent_us` without a probe. Used by network ingress bridges:
+    /// residence latency at the receiving stage still works, while
+    /// origins (which don't survive the process boundary — clocks are
+    /// not comparable) stay unset.
+    pub(crate) fn enable_stamping(&mut self) {
+        self.stamp = true;
+    }
+
+    /// Source-stage mode: stamp a fresh ingest-origin tick on every
+    /// packet (the pipeline's first stage, where end-to-end latency
+    /// starts counting).
+    pub(crate) fn mark_source(&mut self) {
+        self.fresh_origin = true;
+    }
+
+    /// Propagate the given ingest-origin tick (from the input side of
+    /// this copy) on subsequent writes; 0 = unknown.
+    pub(crate) fn set_origin(&mut self, us: u64) {
+        self.origin_us = us;
+    }
 }
 
 impl Drop for StreamWriter {
@@ -757,6 +1024,14 @@ pub fn logical_stream_recovering(
         replayed: 0,
         deduped: 0,
         log_skip: 0,
+        probe: None,
+        last_origin_us: 0,
+        now_us_cache: 0,
+        local_residence: Histogram::default(),
+        local_e2e: Histogram::default(),
+        local_buffers_in: 0,
+        drains: 0,
+        last_flush_us: 0,
     };
     let writer = |txs: Vec<Sender<Msg>>, from: usize, stagger: usize| StreamWriter {
         txs,
@@ -774,6 +1049,10 @@ pub fn logical_stream_recovering(
         write_index: 0,
         sent_high: 0,
         replay: replay.clone(),
+        probe: None,
+        stamp: false,
+        origin_us: 0,
+        fresh_origin: false,
     };
     match distribution {
         Distribution::RoundRobin => {
@@ -812,6 +1091,7 @@ pub fn logical_stream_recovering(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::now_us;
 
     fn buf(tag: u8) -> Buffer {
         Buffer::from_vec(vec![tag])
@@ -1060,6 +1340,63 @@ mod tests {
         r.begin_attempt();
         assert!(r.read().is_none());
         assert_eq!(r.recovery_stats().0, 0, "nothing left to replay");
+    }
+
+    /// With a probe attached, delivery records residence + end-to-end
+    /// latency and the in-flight gauges move; replayed packets are
+    /// excluded from the latency percentiles.
+    #[test]
+    fn probes_record_latency_and_gauges() {
+        let (mut ws, mut rs) =
+            logical_stream_recovering(1, 1, 64, Distribution::RoundRobin, None, true);
+        let probe = StageProbe::new("sink".into(), 1, true, false);
+        ws[0].attach_probe(probe.clone(), 0);
+        ws[0].mark_source();
+        rs[0].attach_probe(probe.clone(), 0);
+        for t in 0..4 {
+            ws[0].write(buf(t)).unwrap();
+        }
+        for _ in 0..4 {
+            rs[0].read().unwrap();
+        }
+        // Mid-run publishing is throttled; force the local→shared flush
+        // that end-of-stream (or the 10 ms cadence) would perform.
+        rs[0].flush_probe_locals();
+        assert_eq!(probe.residence().count, 4);
+        assert_eq!(probe.e2e().unwrap().count, 4);
+        assert!(rs[0].last_origin_us() > 0, "source origin propagated");
+        let s = probe.sample(now_us());
+        assert_eq!(s.buffers_in, 4);
+        assert_eq!(s.buffers_out, 4);
+        assert_eq!(s.busy_us_per_copy, vec![0], "copy never marked started");
+        assert_eq!(s.replay_occupancy, 4, "nothing acked yet");
+        // Restart: the 4 unacked packets replay with zero stamps — the
+        // latency histograms must not move.
+        rs[0].begin_attempt();
+        for _ in 0..4 {
+            rs[0].read().unwrap();
+        }
+        rs[0].flush_probe_locals();
+        assert_eq!(probe.residence().count, 4, "replays excluded");
+        assert_eq!(probe.e2e().unwrap().count, 4, "replays excluded");
+        assert_eq!(probe.sample(now_us()).buffers_in, 8);
+    }
+
+    /// Stamping without a probe (ingress bridges) sets `sent_us` but no
+    /// origin, so downstream residence works while e2e stays silent.
+    #[test]
+    fn ingress_stamping_feeds_residence_only() {
+        let (mut ws, mut rs) = logical_stream(1, 1, 16, Distribution::RoundRobin);
+        ws[0].enable_stamping();
+        let probe = StageProbe::new("f2".into(), 1, true, false);
+        rs[0].attach_probe(probe.clone(), 0);
+        ws[0].write(buf(0)).unwrap();
+        ws[0].close();
+        rs[0].read().unwrap();
+        rs[0].flush_probe_locals();
+        assert_eq!(probe.residence().count, 1);
+        assert_eq!(probe.e2e().unwrap().count, 0, "no origin crossed");
+        assert_eq!(rs[0].last_origin_us(), 0);
     }
 
     /// The published ack watermark is monotone: a consumer whose local

@@ -13,7 +13,11 @@
 //!   writer, and a Chrome `trace_event` exporter whose output loads
 //!   directly in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
 //! - [`metrics`] — a counter/histogram registry with cross-registry merge
-//!   (per-thread registries merged at end of run).
+//!   (per-thread registries merged at end of run) and a lossless wire
+//!   codec so registries shipped between processes merge faithfully.
+//! - [`telemetry`] — the live telemetry plane: periodic in-flight
+//!   pipeline samples ([`TelemetrySample`]) fanned out to a JSONL log /
+//!   status line / latest-sample slot by a [`TelemetrySampler`].
 //! - [`json`] — a minimal JSON writer/parser (the build environment is
 //!   offline, so no serde); used by the sinks and by round-trip tests.
 //!
@@ -52,10 +56,14 @@ pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod sink;
+pub mod telemetry;
 pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use rng::SmallRng;
 pub use sink::{ChromeTraceSink, JsonLinesSink, RingSink, TraceSink};
+pub use telemetry::{
+    StageSample, TelemetrySample, TelemetrySampler, STATUS_EVERY_ENV, TELEMETRY_LOG_ENV,
+};
 pub use trace::{enabled, install_sink, span, ArgValue, Span, TraceEvent, TRACE_ENV};

@@ -88,6 +88,46 @@ impl Histogram {
         self.max
     }
 
+    /// Interpolated quantile estimate: locates the bucket containing rank
+    /// `q·count`, then interpolates linearly within the bucket's value
+    /// range `[2^(i-1), 2^i)` by the rank's position among the bucket's
+    /// samples. Clamped to the observed `[min, max]`, so a single-sample
+    /// histogram returns the exact sample. Finer than
+    /// [`quantile`](Self::quantile) (which reports only the bucket's
+    /// upper bound) and equally merge-stable.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i >= BUCKETS - 1 {
+                    // The top bucket is unbounded; the max clamp below is
+                    // the only meaningful upper estimate.
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                let est = if est >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    est.round() as u64
+                };
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
@@ -99,6 +139,65 @@ impl Histogram {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
+    }
+
+    /// Lossless JSON encoding (bucket counts included, sparse), so a
+    /// histogram shipped across processes can be [`merge`](Self::merge)d
+    /// faithfully on the receiving side.
+    pub fn to_wire_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", Json::Num(self.count as f64));
+        o.set("sum", Json::Num(self.sum as f64));
+        o.set(
+            "min",
+            Json::Num(if self.count == 0 {
+                0.0
+            } else {
+                self.min as f64
+            }),
+        );
+        o.set("max", Json::Num(self.max as f64));
+        let mut buckets = Vec::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                buckets.push(Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]));
+            }
+        }
+        o.set("buckets", Json::Arr(buckets));
+        o
+    }
+
+    /// Decode [`to_wire_json`](Self::to_wire_json) output. `None` on any
+    /// structural mismatch (hardened against malformed remote input).
+    pub fn from_wire_json(j: &Json) -> Option<Histogram> {
+        let mut h = Histogram {
+            count: j.get("count")?.as_f64()? as u64,
+            sum: j.get("sum")?.as_f64()? as u64,
+            min: j.get("min")?.as_f64()? as u64,
+            max: j.get("max")?.as_f64()? as u64,
+            buckets: [0; BUCKETS],
+        };
+        if h.count == 0 {
+            return Some(Histogram::default());
+        }
+        let Json::Arr(buckets) = j.get("buckets")? else {
+            return None;
+        };
+        for pair in buckets {
+            let Json::Arr(kv) = pair else { return None };
+            if kv.len() != 2 {
+                return None;
+            }
+            let i = kv[0].as_f64()? as usize;
+            if i >= BUCKETS {
+                return None;
+            }
+            h.buckets[i] = kv[1].as_f64()? as u64;
+        }
+        if h.buckets.iter().sum::<u64>() != h.count {
+            return None;
+        }
+        Some(h)
     }
 }
 
@@ -161,8 +260,18 @@ impl MetricsRegistry {
         }
     }
 
+    /// Fold a pre-aggregated histogram into the named histogram (e.g. a
+    /// per-stage latency histogram collected outside the registry).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// JSON snapshot: `{"counters": {...}, "histograms": {name:
-    /// {count, sum, min, max, mean, p50, p99}}}`.
+    /// {count, sum, min, max, mean, p50, p95, p99}}}`. Percentiles are
+    /// interpolated ([`Histogram::percentile`]).
     pub fn to_json(&self) -> Json {
         let mut counters = Json::obj();
         for (name, c) in &self.counters {
@@ -179,14 +288,53 @@ impl MetricsRegistry {
             );
             o.set("max", Json::Num(h.max as f64));
             o.set("mean", Json::Num(h.mean()));
-            o.set("p50", Json::Num(h.quantile(0.5) as f64));
-            o.set("p99", Json::Num(h.quantile(0.99) as f64));
+            o.set("p50", Json::Num(h.percentile(0.5) as f64));
+            o.set("p95", Json::Num(h.percentile(0.95) as f64));
+            o.set("p99", Json::Num(h.percentile(0.99) as f64));
             histograms.set(name.clone(), o);
         }
         let mut root = Json::obj();
         root.set("counters", counters);
         root.set("histograms", histograms);
         root
+    }
+
+    /// Lossless JSON encoding of the whole registry (bucket-level
+    /// histograms via [`Histogram::to_wire_json`]), for shipping a
+    /// snapshot across processes and merging it on the far side.
+    pub fn to_wire_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, c) in &self.counters {
+            counters.set(name.clone(), Json::Num(c.value as f64));
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in &self.histograms {
+            histograms.set(name.clone(), h.to_wire_json());
+        }
+        let mut root = Json::obj();
+        root.set("counters", counters);
+        root.set("histograms", histograms);
+        root
+    }
+
+    /// Decode [`to_wire_json`](Self::to_wire_json) output. `None` on any
+    /// structural mismatch (hardened against malformed remote input).
+    pub fn from_wire_json(j: &Json) -> Option<MetricsRegistry> {
+        let mut reg = MetricsRegistry::new();
+        let Json::Obj(counters) = j.get("counters")? else {
+            return None;
+        };
+        for (name, v) in counters {
+            reg.counter(name, v.as_f64()? as u64);
+        }
+        let Json::Obj(histograms) = j.get("histograms")? else {
+            return None;
+        };
+        for (name, v) in histograms {
+            reg.histograms
+                .insert(name.clone(), Histogram::from_wire_json(v)?);
+        }
+        Some(reg)
     }
 
     /// Plain-text table for report printers.
@@ -203,13 +351,13 @@ impl MetricsRegistry {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<40} n={} mean={:.1} min={} max={} p50<={} p99<={}",
+                    "  {name:<40} n={} mean={:.1} min={} max={} p50={} p99={}",
                     h.count,
                     h.mean(),
                     if h.count == 0 { 0 } else { h.min },
                     h.max,
-                    h.quantile(0.5),
-                    h.quantile(0.99),
+                    h.percentile(0.5),
+                    h.percentile(0.99),
                 );
             }
         }
@@ -245,6 +393,122 @@ mod tests {
         assert_eq!(h.quantile(0.5), 4);
         // p100 falls in the bucket holding 100 (values [64,128)).
         assert_eq!(h.quantile(1.0), 128);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact() {
+        let mut h = Histogram::default();
+        h.record(37);
+        // Every percentile of a one-sample distribution is that sample —
+        // the min/max clamp recovers it despite the coarse bucket.
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q), 37, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_within_and_across_buckets() {
+        let mut h = Histogram::default();
+        for v in [2u64, 2, 3, 100] {
+            h.record(v);
+        }
+        // Rank 2 of 4 lands in the bucket covering [2,4) which holds 3
+        // samples; interpolation keeps the estimate inside the bucket,
+        // strictly finer than quantile()'s upper bound of 4.
+        let p50 = h.percentile(0.5);
+        assert!((2..4).contains(&p50), "p50={p50}");
+        // Rank 4 crosses into the [64,128) bucket; the estimate is
+        // clamped to the observed max.
+        let p99 = h.percentile(0.99);
+        assert!((64..=100).contains(&p99), "p99={p99}");
+        // Degenerate q values stay in range.
+        assert_eq!(h.percentile(0.0), h.percentile(1.0 / 4.0));
+        assert!(h.percentile(1.0) <= h.max);
+    }
+
+    #[test]
+    fn percentile_is_merge_stable() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in 0..200u64 {
+            let h = if v % 2 == 0 { &mut a } else { &mut b };
+            h.record(v * 3);
+            whole.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.percentile(0.5), whole.percentile(0.5));
+        assert_eq!(a.percentile(0.99), whole.percentile(0.99));
+    }
+
+    #[test]
+    fn histogram_wire_roundtrip() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 5, 1000, 1 << 62] {
+            h.record(v);
+        }
+        let j = h.to_wire_json();
+        let parsed = crate::json::Json::parse(&j.to_string()).unwrap();
+        let back = Histogram::from_wire_json(&parsed).unwrap();
+        assert_eq!(back.count, h.count);
+        assert_eq!(back.min, h.min);
+        assert_eq!(back.buckets, h.buckets);
+        // Empty histogram round-trips too.
+        let e = Histogram::default();
+        let back = Histogram::from_wire_json(&e.to_wire_json()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn histogram_wire_rejects_malformed() {
+        // Bucket counts not matching `count`.
+        let mut h = Histogram::default();
+        h.record(7);
+        let text = h
+            .to_wire_json()
+            .to_string()
+            .replace("\"count\":1", "\"count\":2");
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert!(Histogram::from_wire_json(&parsed).is_none());
+        // Bucket index out of range.
+        let bad = Json::parse("{\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":[[99,1]]}")
+            .unwrap();
+        assert!(Histogram::from_wire_json(&bad).is_none());
+    }
+
+    #[test]
+    fn registry_wire_roundtrip_preserves_merge() {
+        let mut a = MetricsRegistry::new();
+        a.counter("net.link1.frames", 12);
+        a.counter("net.link1.bytes", 4096);
+        a.observe("stage.f1.residence_us", 10);
+        a.observe("stage.f1.residence_us", 1000);
+        let text = a.to_wire_json().to_string();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        let back = MetricsRegistry::from_wire_json(&parsed).unwrap();
+        assert_eq!(back.get_counter("net.link1.frames"), 12);
+        assert_eq!(
+            back.get_histogram("stage.f1.residence_us"),
+            a.get_histogram("stage.f1.residence_us")
+        );
+        // Merging the decoded copy equals merging the original.
+        let mut m1 = MetricsRegistry::new();
+        m1.counter("net.link1.frames", 1);
+        let mut m2 = m1.clone();
+        m1.merge(&a);
+        m2.merge(&back);
+        assert_eq!(m1.get_counter("net.link1.frames"), 13);
+        assert_eq!(
+            m1.get_histogram("stage.f1.residence_us"),
+            m2.get_histogram("stage.f1.residence_us")
+        );
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub fn now_us() -> f64 {
     epoch().elapsed().as_secs_f64() * 1e6
 }
 
+/// Microseconds since the process trace epoch for an already-captured
+/// [`Instant`] — pure arithmetic, no clock read. Hot paths that hold an
+/// `Instant` anyway (blocked-time accounting) convert it instead of
+/// paying a second clock read. Saturates to 0 for instants captured
+/// before the (lazily initialized) epoch.
+pub fn instant_us(at: Instant) -> f64 {
+    at.saturating_duration_since(epoch()).as_secs_f64() * 1e6
+}
+
 /// Is a sink installed? One relaxed load — safe to call per packet.
 #[inline(always)]
 pub fn enabled() -> bool {
