@@ -119,6 +119,7 @@ fn run_distributed(n: u64, faults: Option<FaultPlan>) -> u64 {
                     .run_worker(WorkerEndpoints {
                         stage: spec.stage,
                         listener,
+                        shm_ingress: None,
                         connect: spec.connect,
                     })
                     .expect("worker run");

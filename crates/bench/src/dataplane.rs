@@ -3,18 +3,29 @@
 //! Used by `benches/dataplane.rs` (criterion suite) and the
 //! `dataplane_guard` regression binary so both measure exactly the same
 //! pipeline: a three-stage source → echo → sink that moves `packets`
-//! buffers of `payload` bytes. Two configurations matter:
+//! buffers of `payload` bytes. Three in-process configurations matter:
 //!
-//! * **legacy** — `batch = 1`, no buffer pool: every packet is a fresh
-//!   allocation, every hop one lock acquisition and one condvar wakeup.
-//! * **batched** — `batch = 8` with a [`BufferPool`]: packet storage is
-//!   recycled and up to `batch` packets move per lock acquisition.
+//! * **legacy** — `batch = 1`, no buffer pool, mutex links: every packet
+//!   is a fresh allocation, every hop one lock acquisition and one
+//!   condvar wakeup.
+//! * **batched** — `batch = 8` with a [`BufferPool`], mutex links:
+//!   packet storage is recycled and up to `batch` packets move per lock
+//!   acquisition.
+//! * **spsc** — batched + pooled with the lock-free SPSC ring on the
+//!   pipeline's 1→1 links (the default data plane since the same-host
+//!   specialization landed).
 //!
-//! The committed `BENCH_dataplane.json` baseline records both rates; the
-//! tentpole acceptance bar is batched ≥ 2× legacy.
+//! [`run_distributed_echo`] runs the same pipeline split across three
+//! worker threads joined by a real transport — loopback TCP or the
+//! shared-memory ring — so the guard can compare same-host transports.
+//!
+//! The committed `BENCH_dataplane.json` baseline records the rates; the
+//! acceptance bars are batched ≥ 1.5× legacy (historically ≥ 2×) and
+//! spsc ≥ 1.5× batched.
 
 use cgp_core::datacutter::{
-    Buffer, BufferPool, ClosureFilter, FilterIo, Pipeline, StageSpec, TelemetryConfig,
+    shm_dir, Buffer, BufferPool, ClosureFilter, FilterIo, Pipeline, ShmIngress, StageSpec,
+    TelemetryConfig, WorkerEndpoints, DEFAULT_SHM_CAPACITY, SHM_PREFIX,
 };
 use cgp_obs::telemetry::TelemetrySampler;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +44,9 @@ pub struct EchoConfig {
     pub batch: usize,
     /// Whether stages allocate from a shared [`BufferPool`].
     pub pooled: bool,
+    /// Whether 1→1 links use the lock-free SPSC ring (`false` pins the
+    /// mutex `Stream`, the pre-ring data plane).
+    pub rings: bool,
     /// Whether the telemetry plane samples the run (50 ms cadence, no
     /// log sink) — the guard asserts sampling stays within 5% of the
     /// unsampled rate.
@@ -40,25 +54,37 @@ pub struct EchoConfig {
 }
 
 impl EchoConfig {
-    /// The pre-PR data plane: per-packet sends, fresh allocations.
+    /// The original data plane: per-packet sends, fresh allocations,
+    /// mutex links.
     pub fn legacy(packets: usize, payload: usize) -> Self {
         EchoConfig {
             packets,
             payload,
             batch: 1,
             pooled: false,
+            rings: false,
             sampled: false,
         }
     }
 
-    /// The pooled + batched data plane at the default batch of 8.
+    /// The pooled + batched mutex data plane at the default batch of 8.
     pub fn batched(packets: usize, payload: usize) -> Self {
         EchoConfig {
             packets,
             payload,
             batch: 8,
             pooled: true,
+            rings: false,
             sampled: false,
+        }
+    }
+
+    /// The batched + pooled configuration on lock-free SPSC ring links —
+    /// the default same-host data plane.
+    pub fn spsc(packets: usize, payload: usize) -> Self {
+        EchoConfig {
+            rings: true,
+            ..EchoConfig::batched(packets, payload)
         }
     }
 
@@ -77,12 +103,16 @@ pub fn run_packet_echo(cfg: &EchoConfig) -> u64 {
         payload,
         batch,
         pooled,
+        rings,
         sampled,
     } = *cfg;
     let bytes = Arc::new(AtomicU64::new(0));
     let sink_bytes = Arc::clone(&bytes);
 
-    let mut pipeline = Pipeline::new().with_capacity(64).with_batch(batch);
+    let mut pipeline = Pipeline::new()
+        .with_capacity(64)
+        .with_batch(batch)
+        .with_same_host_rings(rings);
     if pooled {
         pipeline = pipeline.with_pool(BufferPool::new());
     }
@@ -188,6 +218,229 @@ pub fn echo_paired_packets_per_sec(a: &EchoConfig, b: &EchoConfig, reps: usize) 
     (a.packets as f64 / best[0], b.packets as f64 / best[1])
 }
 
+/// Throughput of one bare 1→1 stream link in packets per second at
+/// per-packet granularity: a producer thread pushes `packets` pooled
+/// `payload`-byte buffers one write at a time through a
+/// [`logical_stream_with`] link and a consumer drains them. With
+/// `rings = true` the link is the lock-free SPSC ring; with `false` it
+/// is pinned to the mutex `Stream`. This isolates the link itself — the
+/// full echo pipeline's per-packet buffer machinery (alloc, memset,
+/// seal) otherwise hides the sync cost — at the granularity where the
+/// link implementation is actually the variable: with 8-packet transfer
+/// batches one lock acquisition amortizes over the batch and the two
+/// links measure at parity, while per-packet the mutex+condvar pays its
+/// full price on every message.
+///
+/// [`logical_stream_with`]: cgp_core::datacutter::stream::logical_stream_with
+pub fn link_packets_per_sec(rings: bool, packets: usize, payload: usize, reps: usize) -> f64 {
+    link_packets_per_sec_b(rings, packets, payload, 1, reps)
+}
+
+/// [`link_packets_per_sec`] with an explicit transfer batch size.
+pub fn link_packets_per_sec_b(
+    rings: bool,
+    packets: usize,
+    payload: usize,
+    batch: usize,
+    reps: usize,
+) -> f64 {
+    use cgp_core::datacutter::stream::logical_stream_with;
+    use cgp_core::datacutter::Distribution;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (mut writers, mut readers) =
+            logical_stream_with(1, 1, 64, Distribution::RoundRobin, None, false, rings);
+        let mut writer = writers.pop().expect("one writer");
+        let mut reader = readers.pop().expect("one reader");
+        reader.set_batch(batch);
+        let pool = BufferPool::new();
+        let start = Instant::now();
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0usize;
+            while sent < packets {
+                let n = batch.min(packets - sent);
+                let bufs: Vec<Buffer> = (0..n)
+                    .map(|_| {
+                        let mut v = pool.alloc(payload);
+                        v.resize(payload, 0xA5);
+                        pool.seal(v)
+                    })
+                    .collect();
+                writer.write_batch(bufs).expect("link write");
+                sent += n;
+            }
+            writer.close();
+        });
+        let mut got = 0usize;
+        while reader.read().is_some() {
+            got += 1;
+        }
+        producer.join().expect("producer join");
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(got, packets, "link lost packets");
+        best = best.min(dt);
+    }
+    packets as f64 / best
+}
+
+/// Paired best-of-`reps` for the bare link, mutex vs ring, interleaved
+/// like [`echo_paired_packets_per_sec`]. Returns `(mutex, ring)` in
+/// packets per second.
+pub fn link_paired_packets_per_sec(packets: usize, payload: usize, reps: usize) -> (f64, f64) {
+    let mut rates = [0f64; 2];
+    for rep in 0..reps.max(1) {
+        let order = if rep % 2 == 0 { [0, 1] } else { [1, 0] };
+        for slot in order {
+            let rate = link_packets_per_sec(slot == 1, packets, payload, 1);
+            rates[slot] = rates[slot].max(rate);
+        }
+    }
+    (rates[0], rates[1])
+}
+
+/// Build the echo pipeline for one distributed worker (each worker
+/// rebuilds the full plan; the endpoints select which stage runs).
+fn echo_worker_pipeline(packets: usize, payload: usize, bytes: Arc<AtomicU64>) -> Pipeline {
+    let batch = 8usize;
+    Pipeline::new()
+        .with_capacity(64)
+        .with_batch(batch)
+        .with_pool(BufferPool::new())
+        .add_stage(StageSpec::new(
+            "src",
+            1,
+            Box::new(move |_| {
+                Box::new(ClosureFilter::new("src", move |io: &mut FilterIo| {
+                    let mut pending: Vec<Buffer> = Vec::with_capacity(batch);
+                    for i in 0..packets {
+                        let mut v = io.alloc(payload);
+                        v.resize(payload, (i & 0xFF) as u8);
+                        pending.push(io.seal(v));
+                        if pending.len() >= batch {
+                            io.write_batch(std::mem::replace(
+                                &mut pending,
+                                Vec::with_capacity(batch),
+                            ))?;
+                        }
+                    }
+                    io.write_batch(pending)
+                }))
+            }),
+        ))
+        .add_stage(StageSpec::new(
+            "echo",
+            1,
+            Box::new(move |_| {
+                Box::new(ClosureFilter::new("echo", move |io: &mut FilterIo| {
+                    let mut pending: Vec<Buffer> = Vec::with_capacity(batch);
+                    while let Some(b) = io.read() {
+                        pending.push(b);
+                        if pending.len() >= batch {
+                            io.write_batch(std::mem::replace(
+                                &mut pending,
+                                Vec::with_capacity(batch),
+                            ))?;
+                        }
+                    }
+                    io.write_batch(pending)
+                }))
+            }),
+        ))
+        .add_stage(StageSpec::new(
+            "sink",
+            1,
+            Box::new(move |_| {
+                let bytes = Arc::clone(&bytes);
+                Box::new(ClosureFilter::new("sink", move |io: &mut FilterIo| {
+                    while let Some(b) = io.read() {
+                        bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }))
+            }),
+        ))
+}
+
+/// Run the echo pipeline split across three worker threads joined by a
+/// real same-host transport: loopback TCP (`shm = false`) or the
+/// shared-memory ring (`shm = true`). Returns total bytes observed by
+/// the sink.
+pub fn run_distributed_echo(shm: bool, packets: usize, payload: usize) -> u64 {
+    // Downstream endpoints are created before any producer connects,
+    // mirroring the launcher's create-then-announce ordering.
+    let mut endpoints: [Option<WorkerEndpoints>; 3] = if shm {
+        let unique = format!("{}-{:?}", std::process::id(), std::thread::current().id())
+            .replace(['(', ')'], "");
+        let base = |link: u32| {
+            shm_dir()
+                .join(format!("cgp-bench-echo-{unique}.l{link}"))
+                .display()
+                .to_string()
+        };
+        let (b1, b2) = (base(1), base(2));
+        let s1 = ShmIngress::create(&b1, 1, DEFAULT_SHM_CAPACITY, None).expect("shm ingress");
+        let s2 = ShmIngress::create(&b2, 1, DEFAULT_SHM_CAPACITY, None).expect("shm ingress");
+        let ep = |stage, shm_ingress, connect: Option<String>| WorkerEndpoints {
+            stage,
+            listener: None,
+            shm_ingress,
+            connect,
+        };
+        [
+            Some(ep(0, None, Some(format!("{SHM_PREFIX}{b1}")))),
+            Some(ep(1, Some(s1), Some(format!("{SHM_PREFIX}{b2}")))),
+            Some(ep(2, Some(s2), None)),
+        ]
+    } else {
+        let l1 = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let l2 = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a1 = l1.local_addr().expect("addr").to_string();
+        let a2 = l2.local_addr().expect("addr").to_string();
+        let ep = |stage, listener, connect: Option<String>| WorkerEndpoints {
+            stage,
+            listener,
+            shm_ingress: None,
+            connect,
+        };
+        [
+            Some(ep(0, None, Some(a1))),
+            Some(ep(1, Some(l1), Some(a2))),
+            Some(ep(2, Some(l2), None)),
+        ]
+    };
+    let bytes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for endpoints in endpoints.iter_mut().map(|e| e.take().unwrap()) {
+            let bytes = Arc::clone(&bytes);
+            scope.spawn(move || {
+                echo_worker_pipeline(packets, payload, bytes)
+                    .run_worker(endpoints)
+                    .expect("distributed echo worker");
+            });
+        }
+    });
+    bytes.load(Ordering::Relaxed)
+}
+
+/// Paired best-of-`reps` throughput for the two same-host transports,
+/// interleaved like [`echo_paired_packets_per_sec`]. Returns
+/// `(tcp, shm)` in packets per second.
+pub fn transport_paired_packets_per_sec(packets: usize, payload: usize, reps: usize) -> (f64, f64) {
+    let expect = (packets * payload) as u64;
+    let mut best = [f64::INFINITY; 2];
+    for rep in 0..reps.max(1) {
+        let order = if rep % 2 == 0 { [0, 1] } else { [1, 0] };
+        for slot in order {
+            let start = Instant::now();
+            let got = run_distributed_echo(slot == 1, packets, payload);
+            let dt = start.elapsed().as_secs_f64();
+            assert_eq!(got, expect, "distributed echo lost bytes");
+            best[slot] = best[slot].min(dt);
+        }
+    }
+    (packets as f64 / best[0], packets as f64 / best[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,9 +450,18 @@ mod tests {
         for cfg in [
             EchoConfig::legacy(100, 64),
             EchoConfig::batched(100, 64),
+            EchoConfig::spsc(100, 64),
             EchoConfig::batched(100, 64).with_sampling(),
         ] {
             assert_eq!(run_packet_echo(&cfg), 100 * 64, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn distributed_echo_conserves_bytes_on_both_transports() {
+        assert_eq!(run_distributed_echo(false, 64, 128), 64 * 128);
+        if cgp_core::datacutter::shm_supported() {
+            assert_eq!(run_distributed_echo(true, 64, 128), 64 * 128);
         }
     }
 }

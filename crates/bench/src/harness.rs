@@ -34,10 +34,13 @@ use cgp_core::apps::dialect::{
 };
 use cgp_core::apps::isosurface::ScalarGrid;
 use cgp_core::apps::vmscope::Slide;
-use cgp_core::datacutter::{decode_telemetry_payload, serve_telemetry, FaultPlan, RunControl};
+use cgp_core::datacutter::{
+    decode_telemetry_payload, shm_dir, FaultPlan, RunControl, ShmIngress, DEFAULT_SHM_CAPACITY,
+    SHM_PREFIX,
+};
 use cgp_core::{
-    compile, run_plan_threaded_stats, run_plan_worker, CompileOptions, Compiled, CoreError,
-    ExecOptions, NetRole, PipelineEnv,
+    compile, run_plan_threaded_stats, run_plan_worker_io, CompileOptions, Compiled, CoreError,
+    ExecOptions, NetRole, PipelineEnv, WorkerIngress,
 };
 use cgp_obs::metrics::MetricsRegistry;
 use cgp_obs::telemetry::{TelemetrySample, TelemetrySampler};
@@ -71,8 +74,12 @@ pub struct CommonOpts {
     pub listen: Option<String>,
     /// `--connect <host:port>`: downstream worker's listener address.
     pub connect: Option<String>,
+    /// `--transport <shm|tcp>`: data plane between co-located workers in
+    /// launcher mode (default: shared memory when supported, else TCP).
+    pub transport: Option<String>,
     /// `--status-every <ms>`: sample in-flight telemetry at this cadence
     /// (live status line on stderr, latency percentiles, calibration).
+    /// `0` disables in-flight sampling.
     pub status_every_ms: Option<u64>,
     /// `--telemetry-log <path>`: append telemetry samples (merged across
     /// workers in launcher mode) as JSON lines.
@@ -94,6 +101,7 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
             "--role" => o.role = args.next(),
             "--listen" => o.listen = args.next(),
             "--connect" => o.connect = args.next(),
+            "--transport" => o.transport = args.next(),
             "--status-every" => o.status_every_ms = args.next().and_then(|v| v.parse().ok()),
             "--telemetry-log" => o.telemetry_log = args.next(),
             _ => {
@@ -111,6 +119,8 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
                     o.listen = Some(l.to_string());
                 } else if let Some(c) = a.strip_prefix("--connect=") {
                     o.connect = Some(c.to_string());
+                } else if let Some(t) = a.strip_prefix("--transport=") {
+                    o.transport = Some(t.to_string());
                 } else if let Some(s) = a.strip_prefix("--status-every=") {
                     o.status_every_ms = s.parse().ok();
                 } else if let Some(t) = a.strip_prefix("--telemetry-log=") {
@@ -203,14 +213,26 @@ impl Obs {
         if opts.connect.is_some() {
             exec.connect = opts.connect;
         }
+        if let Some(t) = &opts.transport {
+            if t != "shm" && t != "tcp" {
+                panic!("bad --transport value `{t}`: expected `shm` or `tcp`");
+            }
+            exec.transport = opts.transport.clone();
+        }
         if let Some(ms) = opts.status_every_ms {
-            exec.status_every = Some(Duration::from_millis(ms.max(1)));
+            // `0` is an explicit off switch for in-flight sampling, not
+            // a "fastest possible" cadence.
+            exec.status_every = Some(Duration::from_millis(ms));
         }
         if opts.telemetry_log.is_some() {
             exec.telemetry_log = opts.telemetry_log;
         }
         let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
-        let telemetry = exec.status_every.is_some() || exec.telemetry_log.is_some();
+        // `--status-every 0` means sampling is explicitly disabled; only
+        // a positive cadence (or a log sink) brings up the telemetry
+        // plane.
+        let sampling = exec.sampling_enabled();
+        let telemetry = sampling || exec.telemetry_log.is_some();
         let sink = trace_path.as_ref().map(|p| {
             let inner = ChromeTraceSink::create(p)
                 .unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"));
@@ -265,25 +287,52 @@ impl Obs {
             std::process::exit(1);
         });
         let m = compiled.plan.m;
-        let listener = (stage > 0).then(|| {
+        let ingress = (stage > 0).then(|| {
             let addr = self.exec.listen.as_deref().unwrap_or("127.0.0.1:0");
-            let l = TcpListener::bind(addr).unwrap_or_else(|e| {
-                eprintln!("[obs] worker {stage}: cannot bind {addr}: {e}");
-                std::process::exit(1);
-            });
-            let port = l
-                .local_addr()
-                .expect("bound listener has an address")
-                .port();
-            println!("{} {port}", crate::launcher::LISTENING_MARKER);
-            let _ = std::io::stdout().flush();
-            l
+            if let Some(base) = addr.strip_prefix(SHM_PREFIX) {
+                // Shared-memory ingress: create the ring(s) before
+                // announcing, so a producer that attaches right after
+                // the marker finds them. Worker-mode plans run one copy
+                // per stage, so the upstream link has one producer.
+                let base = if base.is_empty() || base == "auto" {
+                    shm_dir()
+                        .join(format!("cgp-{name}-{}-l{stage}", std::process::id()))
+                        .display()
+                        .to_string()
+                } else {
+                    base.to_string()
+                };
+                let shm =
+                    ShmIngress::create(&base, 1, DEFAULT_SHM_CAPACITY, None).unwrap_or_else(|e| {
+                        eprintln!("[obs] worker {stage}: cannot create shm rings at {base}: {e}");
+                        std::process::exit(1);
+                    });
+                println!(
+                    "{} {SHM_PREFIX}{}",
+                    crate::launcher::LISTENING_MARKER,
+                    shm.base()
+                );
+                let _ = std::io::stdout().flush();
+                WorkerIngress::Shm(shm)
+            } else {
+                let l = TcpListener::bind(addr).unwrap_or_else(|e| {
+                    eprintln!("[obs] worker {stage}: cannot bind {addr}: {e}");
+                    std::process::exit(1);
+                });
+                let port = l
+                    .local_addr()
+                    .expect("bound listener has an address")
+                    .port();
+                println!("{} {port}", crate::launcher::LISTENING_MARKER);
+                let _ = std::io::stdout().flush();
+                WorkerIngress::Tcp(l)
+            }
         });
-        match run_plan_worker(
+        match run_plan_worker_io(
             Arc::new(compiled.plan),
             demo_host_builder(app),
             stage,
-            listener,
+            ingress,
             self.exec.connect.clone(),
             None,
             &self.exec,
@@ -352,14 +401,20 @@ impl Obs {
             .telemetry
             .then(|| TelemetryAggregator::start(m, &self.exec));
         let telemetry_addr = aggregator.as_ref().map(|a| a.addr.clone());
-        let got =
-            match crate::launcher::launch_distributed(m, &passthrough, telemetry_addr.as_deref()) {
-                Ok(lines) => lines,
-                Err(e) => {
-                    eprintln!("[obs] launcher: distributed run for {name} failed: {e}");
-                    std::process::exit(1);
-                }
-            };
+        let transport = crate::launcher::Transport::select(self.exec.transport.as_deref());
+        eprintln!("[obs] launcher: data plane is {transport:?}");
+        let got = match crate::launcher::launch_distributed(
+            m,
+            &passthrough,
+            telemetry_addr.as_deref(),
+            transport,
+        ) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("[obs] launcher: distributed run for {name} failed: {e}");
+                std::process::exit(1);
+            }
+        };
         if let Some(agg) = aggregator {
             agg.finish(name, &compiled);
         }
@@ -530,12 +585,18 @@ struct TelemetryAggregator {
     control: Arc<RunControl>,
     sampler: Arc<TelemetrySampler>,
     registries: Arc<Mutex<BTreeMap<String, MetricsRegistry>>>,
+    /// Latest in-flight sample per live worker (entries retired on `fin`
+    /// or disconnect, so a dead worker never lingers in the status line).
+    latest: Arc<Mutex<BTreeMap<String, TelemetrySample>>>,
     handle: std::thread::JoinHandle<()>,
 }
 
 impl TelemetryAggregator {
     fn start(workers: usize, exec: &ExecOptions) -> TelemetryAggregator {
-        let every = exec.status_every.unwrap_or(Duration::from_millis(500));
+        let every = exec
+            .status_every
+            .filter(|d| *d > Duration::ZERO)
+            .unwrap_or(Duration::from_millis(500));
         let mut sampler = TelemetrySampler::new(every);
         if let Some(path) = &exec.telemetry_log {
             sampler = sampler.with_log_path(path).unwrap_or_else(|e| {
@@ -546,44 +607,119 @@ impl TelemetryAggregator {
         let sampler = Arc::new(sampler);
         let registries: Arc<Mutex<BTreeMap<String, MetricsRegistry>>> = Arc::default();
         let latest: Arc<Mutex<BTreeMap<String, TelemetrySample>>> = Arc::default();
+        // Worker connection id → source name, and the sources whose final
+        // (`fin`) update arrived. A disconnect without a fin is a dead
+        // worker: its stale sample must leave the status line, and its
+        // partial registry snapshot must not pollute the merged
+        // calibration (a restarted replacement re-reports from scratch).
+        let sources: Arc<Mutex<BTreeMap<u32, String>>> = Arc::default();
+        let finished: Arc<Mutex<std::collections::BTreeSet<String>>> = Arc::default();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
             eprintln!("[obs] cannot bind telemetry aggregator: {e}");
             std::process::exit(1);
         });
         let addr = listener.local_addr().expect("bound listener").to_string();
         let control = RunControl::new();
-        let show_status = exec.status_every.is_some();
+        let show_status = exec.sampling_enabled();
         let handle = {
             let control = Arc::clone(&control);
             let sampler = Arc::clone(&sampler);
             let registries = Arc::clone(&registries);
+            let latest = Arc::clone(&latest);
+            let sources = Arc::clone(&sources);
+            let finished = Arc::clone(&finished);
             std::thread::spawn(move || {
-                let _ = serve_telemetry(listener, workers, Some(control), move |_, payload| {
-                    let Ok(update) = decode_telemetry_payload(&payload) else {
-                        return;
-                    };
-                    if let Some(sample) = update.sample {
-                        sampler.log_json(&sample.to_json());
-                        let mut latest = latest.lock().unwrap_or_else(|e| e.into_inner());
-                        latest.insert(update.source.clone(), sample);
-                        if show_status {
-                            // One merged line for the whole distributed
-                            // pipeline: latest sample per worker, in
-                            // stage order (sources sort as worker:<k>).
-                            let line: Vec<String> =
-                                latest.values().map(|s| s.render_status_line()).collect();
-                            eprintln!("{}", line.join("  "));
-                        }
-                    }
-                    if let Some(reg) = update.registry {
-                        // Registry snapshots are cumulative: keep the
-                        // latest per source, never sum successive ones.
-                        registries
+                let on_update = {
+                    let latest = Arc::clone(&latest);
+                    let registries = Arc::clone(&registries);
+                    let sources = Arc::clone(&sources);
+                    let finished = Arc::clone(&finished);
+                    move |worker: u32, payload: Vec<u8>| {
+                        let Ok(update) = decode_telemetry_payload(&payload) else {
+                            return;
+                        };
+                        sources
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
-                            .insert(update.source, reg);
+                            .insert(worker, update.source.clone());
+                        if update.fin {
+                            finished
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(update.source.clone());
+                            // The run is over — no in-flight state left
+                            // to show for this worker.
+                            latest
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remove(&update.source);
+                        }
+                        if let Some(sample) = update.sample {
+                            sampler.log_json(&sample.to_json());
+                            if !update.fin {
+                                let mut latest = latest.lock().unwrap_or_else(|e| e.into_inner());
+                                latest.insert(update.source.clone(), sample);
+                                if show_status {
+                                    // One merged line for the whole
+                                    // distributed pipeline: latest sample
+                                    // per live worker, in stage order
+                                    // (sources sort as worker:<k>).
+                                    let line: Vec<String> =
+                                        latest.values().map(|s| s.render_status_line()).collect();
+                                    eprintln!("{}", line.join("  "));
+                                }
+                            }
+                        }
+                        if let Some(reg) = update.registry {
+                            // Registry snapshots are cumulative: keep the
+                            // latest per source, never sum successive ones.
+                            registries
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(update.source, reg);
+                        }
                     }
-                });
+                };
+                let on_disconnect = move |worker: u32| {
+                    let Some(source) = sources
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get(&worker)
+                        .cloned()
+                    else {
+                        return;
+                    };
+                    latest
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&source);
+                    if !finished
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .contains(&source)
+                    {
+                        let dropped = registries
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&source)
+                            .is_some();
+                        eprintln!(
+                            "[obs] telemetry: {source} disconnected before finishing{}",
+                            if dropped {
+                                "; dropped its partial snapshot"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                };
+                let _ = cgp_core::datacutter::serve_telemetry_events(
+                    listener,
+                    workers,
+                    Some(control),
+                    on_update,
+                    on_disconnect,
+                );
             })
         };
         TelemetryAggregator {
@@ -591,6 +727,7 @@ impl TelemetryAggregator {
             control,
             sampler,
             registries,
+            latest,
             handle,
         }
     }
@@ -601,6 +738,15 @@ impl TelemetryAggregator {
     fn finish(self, name: &str, compiled: &Compiled) {
         self.control.cancel("distributed run complete");
         let _ = self.handle.join();
+        let stale = self.latest.lock().unwrap_or_else(|e| e.into_inner());
+        if !stale.is_empty() {
+            let names: Vec<&str> = stale.keys().map(String::as_str).collect();
+            eprintln!(
+                "[obs] telemetry: worker(s) still marked live at shutdown: {}",
+                names.join(", ")
+            );
+        }
+        drop(stale);
         let registries = self.registries.lock().unwrap_or_else(|e| e.into_inner());
         if registries.is_empty() {
             eprintln!("[obs] telemetry: no worker snapshots received for {name}");
@@ -743,6 +889,70 @@ mod tests {
         let o = parse_common_opts(argv(&["--width", "4", "--recover", "positional"]));
         assert!(o.recover);
         assert_eq!(o.faults_spec, None);
+    }
+
+    #[test]
+    fn aggregator_retires_dead_and_finished_workers() {
+        use cgp_core::datacutter::{encode_telemetry_payload, TelemetryClient};
+
+        let exec = ExecOptions::default();
+        let agg = TelemetryAggregator::start(2, &exec);
+
+        let sample = |source: &str| TelemetrySample {
+            source: source.to_string(),
+            ..Default::default()
+        };
+        let mut reg = MetricsRegistry::default();
+        reg.counter("packets", 7);
+
+        // Worker 0 finishes cleanly: in-flight sample, then a fin update
+        // carrying its final registry snapshot.
+        let mut w0 = TelemetryClient::connect(&agg.addr, 0, None).unwrap();
+        w0.send(&encode_telemetry_payload(
+            "worker:0",
+            false,
+            Some(&sample("worker:0")),
+            None,
+        ))
+        .unwrap();
+        w0.send(&encode_telemetry_payload(
+            "worker:0",
+            true,
+            Some(&sample("worker:0")),
+            Some(&reg),
+        ))
+        .unwrap();
+        w0.close();
+
+        // Worker 1 dies mid-run: a sample and a partial snapshot, then
+        // the connection drops with no fin.
+        let mut w1 = TelemetryClient::connect(&agg.addr, 1, None).unwrap();
+        w1.send(&encode_telemetry_payload(
+            "worker:1",
+            false,
+            Some(&sample("worker:1")),
+            Some(&reg),
+        ))
+        .unwrap();
+        drop(w1);
+
+        // Both connections ended, so the serve loop exits on its own.
+        let _ = agg.handle.join();
+        let latest = agg.latest.lock().unwrap();
+        assert!(
+            latest.is_empty(),
+            "no dead or finished worker may linger in the status line: {:?}",
+            latest.keys().collect::<Vec<_>>()
+        );
+        let registries = agg.registries.lock().unwrap();
+        assert!(
+            registries.contains_key("worker:0"),
+            "the finished worker's final snapshot is kept"
+        );
+        assert!(
+            !registries.contains_key("worker:1"),
+            "the dead worker's partial snapshot must not pollute the merge"
+        );
     }
 
     #[test]

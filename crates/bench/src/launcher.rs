@@ -14,12 +14,38 @@
 //! are deterministic), and the role env vars select which stage of the
 //! shared plan each process executes.
 
+use cgp_core::datacutter::{shm_supported, SHM_PREFIX};
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
 /// Marker line a worker prints (and flushes) on stdout once its ingress
-/// listener is bound, before it starts the run.
+/// endpoint is ready, before it starts the run. For TCP the payload is
+/// the bound port; for shared memory it is the full `shm:<base>` address.
 pub const LISTENING_MARKER: &str = "CGP_LISTENING";
+
+/// Data-plane transport between worker processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Shared-memory rings (`shm:<base>` addresses) — same-host only.
+    Shm,
+    /// Loopback / cross-host TCP.
+    Tcp,
+}
+
+impl Transport {
+    /// Resolve the launcher's transport: an explicit `--transport` /
+    /// `CGP_TRANSPORT` choice wins; otherwise shared memory is picked
+    /// automatically when the build supports it (the single-machine
+    /// launcher always co-locates workers), falling back to TCP.
+    pub fn select(requested: Option<&str>) -> Transport {
+        match requested {
+            Some("tcp") => Transport::Tcp,
+            Some("shm") => Transport::Shm,
+            _ if shm_supported() => Transport::Shm,
+            _ => Transport::Tcp,
+        }
+    }
+}
 
 /// Drop the networking flags from a forwarded argument list, so spawned
 /// workers don't inherit the parent's `--role launcher` (their role
@@ -31,13 +57,14 @@ pub fn strip_net_flags(args: &[String]) -> Vec<String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--role" | "--listen" | "--connect" | "--telemetry-log" => {
+            "--role" | "--listen" | "--connect" | "--telemetry-log" | "--transport" => {
                 let _ = it.next();
             }
             _ if a.starts_with("--role=")
                 || a.starts_with("--listen=")
                 || a.starts_with("--connect=")
-                || a.starts_with("--telemetry-log=") => {}
+                || a.starts_with("--telemetry-log=")
+                || a.starts_with("--transport=") => {}
             _ => out.push(a.clone()),
         }
     }
@@ -63,6 +90,7 @@ pub fn launch_distributed(
     stages: usize,
     passthrough: &[String],
     telemetry: Option<&str>,
+    transport: Transport,
 ) -> Result<Vec<String>, String> {
     if stages == 0 {
         return Err("launch_distributed: no stages".to_string());
@@ -90,7 +118,16 @@ pub fn launch_distributed(
             }
         }
         if stage > 0 {
-            cmd.env("CGP_LISTEN", "127.0.0.1:0");
+            // `shm:auto` tells the worker to create rings at a path of
+            // its own choosing and announce the full `shm:<base>`
+            // address; TCP workers bind an ephemeral port.
+            cmd.env(
+                "CGP_LISTEN",
+                match transport {
+                    Transport::Shm => format!("{SHM_PREFIX}auto"),
+                    Transport::Tcp => "127.0.0.1:0".to_string(),
+                },
+            );
         }
         if let Some(addr) = &downstream_addr {
             cmd.env("CGP_CONNECT", addr);
@@ -115,8 +152,15 @@ pub fn launch_distributed(
                         "worker {stage} exited before announcing its listener"
                     ));
                 }
-                if let Some(port) = line.trim().strip_prefix(LISTENING_MARKER) {
-                    break Some(format!("127.0.0.1:{}", port.trim()));
+                if let Some(announce) = line.trim().strip_prefix(LISTENING_MARKER) {
+                    let announce = announce.trim();
+                    // `shm:<base>` addresses are passed to the upstream
+                    // worker verbatim; a bare number is a TCP port.
+                    break Some(if announce.starts_with(SHM_PREFIX) {
+                        announce.to_string()
+                    } else {
+                        format!("127.0.0.1:{announce}")
+                    });
                 }
             };
         } else {
@@ -182,6 +226,9 @@ mod tests {
             "--status-every",
             "50",
             "--telemetry-log=/tmp/t2.jsonl",
+            "--transport",
+            "shm",
+            "--transport=tcp",
         ]);
         assert_eq!(
             strip_net_flags(&args),
@@ -193,5 +240,17 @@ mod tests {
                 "50"
             ])
         );
+    }
+
+    #[test]
+    fn transport_selection_prefers_shm_on_supported_builds() {
+        assert_eq!(Transport::select(Some("tcp")), Transport::Tcp);
+        assert_eq!(Transport::select(Some("shm")), Transport::Shm);
+        let auto = Transport::select(None);
+        if shm_supported() {
+            assert_eq!(auto, Transport::Shm);
+        } else {
+            assert_eq!(auto, Transport::Tcp);
+        }
     }
 }

@@ -115,6 +115,66 @@ impl MeasuredStage {
     }
 }
 
+/// Per-link traffic measured by the net/shm transport probes
+/// (`net.link<k>.frames` / `.bytes` / `.deduped` counters), joined with
+/// the model's per-packet volume prediction where one exists. Bytes per
+/// frame is the measured `Vol(f)` the volume model predicts — the
+/// per-link analogue of a stage residual — and is what the same-host
+/// [`LinkClass`](crate::cost::LinkClass) constants were calibrated
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredLink {
+    /// Link index `k` from the registry key (link `L_k` joins `C_k` and
+    /// `C_{k+1}`).
+    pub link: usize,
+    /// Data frames moved across the link.
+    pub frames: u64,
+    /// Payload bytes moved across the link.
+    pub bytes: u64,
+    /// Frames discarded by the replay watermark after a reconnect.
+    pub deduped: u64,
+    /// The model's `T(L_k)`, seconds per packet (`None` when the link
+    /// index is outside the predicted pipeline — e.g. telemetry from a
+    /// wider run than the plan).
+    pub predicted_s_per_packet: Option<f64>,
+}
+
+impl MeasuredLink {
+    /// Measured payload bytes per frame (0 for an idle link).
+    pub fn bytes_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.frames as f64
+        }
+    }
+
+    /// Collect every `net.link<k>.*` family present in `reg`, sorted by
+    /// link index. Empty when the run was in-process or untelemetered.
+    pub fn from_registry(reg: &MetricsRegistry, times: &StageTimes) -> Vec<MeasuredLink> {
+        let mut links: Vec<usize> = reg
+            .counters()
+            .filter_map(|(name, _)| {
+                let rest = name.strip_prefix("net.link")?;
+                let (idx, _) = rest.split_once('.')?;
+                idx.parse::<usize>().ok()
+            })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+            .into_iter()
+            .map(|k| MeasuredLink {
+                link: k,
+                frames: reg.get_counter(&format!("net.link{k}.frames")),
+                bytes: reg.get_counter(&format!("net.link{k}.bytes")),
+                deduped: reg.get_counter(&format!("net.link{k}.deduped")),
+                predicted_s_per_packet: times.comm.get(k).copied(),
+            })
+            .collect()
+    }
+}
+
 /// One stage's predicted-vs-measured comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageCalibration {
@@ -132,6 +192,9 @@ pub struct StageCalibration {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationReport {
     pub stages: Vec<StageCalibration>,
+    /// Per-link measured traffic (empty for in-process runs, which move
+    /// buffers over rings/channels rather than framed transports).
+    pub links: Vec<MeasuredLink>,
     /// The model's predicted bottleneck, e.g. `("C", 1)` or `("L", 0)`.
     pub predicted_bottleneck: (&'static str, usize),
     /// Unit index of the stage with the largest measured active
@@ -197,6 +260,7 @@ impl CalibrationReport {
             });
         Some(CalibrationReport {
             stages,
+            links: MeasuredLink::from_registry(reg, times),
             predicted_bottleneck: times.bottleneck(),
             measured_bottleneck,
             e2e_us,
@@ -251,6 +315,23 @@ impl CalibrationReport {
                     m.residence_p50_us, m.residence_p99_us
                 );
             }
+        }
+        for l in &self.links {
+            let _ = write!(
+                s,
+                "  L{}: {} frames, {} bytes ({:.0} B/frame measured Vol)",
+                l.link,
+                l.frames,
+                l.bytes,
+                l.bytes_per_frame()
+            );
+            if let Some(p) = l.predicted_s_per_packet {
+                let _ = write!(s, ", predicted {p:.6e} s/pkt");
+            }
+            if l.deduped > 0 {
+                let _ = write!(s, ", {} deduped after reconnect", l.deduped);
+            }
+            let _ = writeln!(s);
         }
         let b = &self.stages[self.measured_bottleneck];
         let _ = writeln!(
@@ -310,6 +391,30 @@ impl CalibrationReport {
                         o.set("attribution", Json::Str(m.attribution().to_string()));
                         o.set("residence_p50_us", Json::Num(m.residence_p50_us as f64));
                         o.set("residence_p99_us", Json::Num(m.residence_p99_us as f64));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root.set(
+            "links",
+            Json::Arr(
+                self.links
+                    .iter()
+                    .map(|l| {
+                        let mut o = Json::obj();
+                        o.set("link", Json::Num(l.link as f64));
+                        o.set("frames", Json::Num(l.frames as f64));
+                        o.set("bytes", Json::Num(l.bytes as f64));
+                        o.set("deduped", Json::Num(l.deduped as f64));
+                        o.set("bytes_per_frame", Json::Num(l.bytes_per_frame()));
+                        o.set(
+                            "predicted_s_per_packet",
+                            match l.predicted_s_per_packet {
+                                Some(p) => Json::Num(p),
+                                None => Json::Null,
+                            },
+                        );
                         o
                     })
                     .collect(),
@@ -453,6 +558,38 @@ mod tests {
         assert_eq!(report.measured_bottleneck, 1);
         assert_eq!(report.stages[1].measured.attribution(), "send-blocked");
         assert!(report.agrees());
+    }
+
+    #[test]
+    fn link_traffic_is_surfaced_with_predictions_joined() {
+        let mut reg = synthetic_registry(3, 1, 2);
+        reg.counter("net.link0.frames", 100);
+        reg.counter("net.link0.bytes", 100 * 1024);
+        reg.counter("net.link1.frames", 100);
+        reg.counter("net.link1.bytes", 100 * 256);
+        reg.counter("net.link1.deduped", 3);
+        // An out-of-plan link index (e.g. telemetry merged from a wider
+        // run) still surfaces, just without a prediction.
+        reg.counter("net.link7.frames", 5);
+        reg.counter("net.link7.bytes", 5);
+        let report = CalibrationReport::from_parts(&times(3), &reg).unwrap();
+        assert_eq!(report.links.len(), 3);
+        let l0 = &report.links[0];
+        assert_eq!((l0.link, l0.frames, l0.bytes), (0, 100, 100 * 1024));
+        assert!((l0.bytes_per_frame() - 1024.0).abs() < 1e-9);
+        assert_eq!(l0.predicted_s_per_packet, Some(1e-6));
+        assert_eq!(report.links[1].deduped, 3);
+        assert_eq!(report.links[2].predicted_s_per_packet, None);
+        let text = report.render_text();
+        assert!(text.contains("L0: 100 frames"), "{text}");
+        assert!(text.contains("1024 B/frame"), "{text}");
+        assert!(text.contains("3 deduped after reconnect"), "{text}");
+        let j = Json::parse(&report.to_json().to_string()).unwrap();
+        let links = j.get("links").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(links.len(), 3);
+        // In-process runs (no net.link counters) surface an empty list.
+        let bare = CalibrationReport::from_parts(&times(3), &synthetic_registry(3, 1, 2)).unwrap();
+        assert!(bare.links.is_empty());
     }
 
     #[test]

@@ -644,6 +644,51 @@ impl StageTimes {
     }
 }
 
+/// Transport class of a pipeline link, with default `B(L)` / latency
+/// constants for each. Same-host links are dramatically cheaper than a
+/// network hop, and the runtime exploits that automatically (SPSC rings
+/// in-process, the shared-memory transport between co-located worker
+/// processes, TCP across hosts) — the cost model must see the same
+/// asymmetry or it will shy away from cuts that are nearly free in
+/// practice.
+///
+/// The constants are calibrated against the committed
+/// `BENCH_dataplane.json` measurements (distributed 1 KiB packet echo:
+/// the shm transport carries ~3× loopback TCP's packet rate, with
+/// attach/wake costs in the low microseconds; loopback TCP pays the
+/// kernel socket path per frame; cross-host assumes commodity gigabit
+/// Ethernet as in the paper's cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Shared-memory ring between processes on one host (or an
+    /// in-process SPSC ring link).
+    SameHostShm,
+    /// Loopback TCP between processes on one host.
+    SameHostTcp,
+    /// TCP between hosts on a LAN.
+    CrossHost,
+}
+
+impl LinkClass {
+    /// Default link bandwidth `B(L)`, bytes per second.
+    pub const fn bandwidth(self) -> f64 {
+        match self {
+            LinkClass::SameHostShm => 1.2e9,
+            LinkClass::SameHostTcp => 4.0e8,
+            LinkClass::CrossHost => 1.2e8,
+        }
+    }
+
+    /// Default per-message link latency, seconds.
+    pub const fn latency(self) -> f64 {
+        match self {
+            LinkClass::SameHostShm => 3e-6,
+            LinkClass::SameHostTcp => 3e-5,
+            LinkClass::CrossHost => 1e-4,
+        }
+    }
+}
+
 /// A pipeline of computing units and links (the execution environment the
 /// decomposition targets).
 #[derive(Debug, Clone)]
@@ -665,6 +710,18 @@ impl PipelineEnv {
             bandwidth: vec![bandwidth; m.saturating_sub(1)],
             latency: vec![latency; m.saturating_sub(1)],
         }
+    }
+
+    /// Uniform pipeline whose links all have `class` characteristics.
+    pub fn uniform_class(m: usize, power: f64, class: LinkClass) -> Self {
+        Self::uniform(m, power, class.bandwidth(), class.latency())
+    }
+
+    /// Uniform same-host pipeline: every link is a shared-memory hop
+    /// ([`LinkClass::SameHostShm`]), the shape the launcher produces
+    /// when all workers land on one machine.
+    pub fn same_host(m: usize, power: f64) -> Self {
+        Self::uniform_class(m, power, LinkClass::SameHostShm)
     }
 
     pub fn m(&self) -> usize {
@@ -948,6 +1005,31 @@ mod tests {
         assert!((t - 1e-3).abs() < 1e-12);
         let c = env.cost_comm(0, 1e6);
         assert!((c - (1e-4 + 1e-2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_host_links_are_strictly_cheaper_per_class() {
+        // The class ordering the runtime actually delivers: shm < loopback
+        // TCP < cross-host, in both bandwidth cost and latency.
+        let vol = 64.0 * 1024.0;
+        let shm = PipelineEnv::same_host(3, 1e9);
+        let tcp = PipelineEnv::uniform_class(3, 1e9, LinkClass::SameHostTcp);
+        let lan = PipelineEnv::uniform_class(3, 1e9, LinkClass::CrossHost);
+        assert!(shm.cost_comm(0, vol) < tcp.cost_comm(0, vol));
+        assert!(tcp.cost_comm(0, vol) < lan.cost_comm(0, vol));
+        assert!(LinkClass::SameHostShm.latency() < LinkClass::CrossHost.latency());
+        // A cheaper link can flip the decomposition's bottleneck from a
+        // link to a computing unit: the same volume that saturates a
+        // cross-host link is absorbed by a same-host one.
+        let task = OpCount {
+            flops: 1e5,
+            iops: 0.0,
+            mem: 0.0,
+        };
+        let w = CostWeights::default();
+        let comp = shm.cost_comp(0, &task, &w);
+        assert!(shm.cost_comm(0, vol) < comp);
+        assert!(lan.cost_comm(0, vol) > comp);
     }
 
     #[test]

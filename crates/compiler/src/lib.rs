@@ -61,7 +61,7 @@ pub mod place;
 pub mod report;
 pub mod reqcomm;
 
-pub use calibrate::{CalibrationReport, MeasuredStage, StageCalibration};
+pub use calibrate::{CalibrationReport, MeasuredLink, MeasuredStage, StageCalibration};
 pub use codegen::{build_plan, run_plan_sequential, FilterPlan, FilterSpec, FilterStepper};
 pub use decompose::{decompose_brute_force, decompose_dp, Decomposition, Problem};
 pub use driver::{

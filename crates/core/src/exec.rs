@@ -25,7 +25,8 @@ use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
     Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, Pipeline,
-    RecoveryOptions, RetryPolicy, RunStats, StageSpec, TelemetryConfig, WorkerEndpoints,
+    RecoveryOptions, RetryPolicy, RunStats, ShmIngress, StageSpec, TelemetryConfig,
+    WorkerEndpoints,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
 use cgp_obs::metrics::MetricsRegistry;
@@ -117,6 +118,14 @@ pub struct ExecOptions {
     /// latency histograms into it (callers read it post-run, e.g. for
     /// cost-model calibration).
     pub metrics: Option<Arc<Mutex<MetricsRegistry>>>,
+    /// Force every same-process 1→1 link onto the mutex channel instead
+    /// of the lock-free SPSC ring (`CGP_NO_RINGS=1`). Benchmarking and
+    /// escape hatch; rings are on by default.
+    pub no_rings: bool,
+    /// Distributed transport between same-host workers: `None`/`"shm"`
+    /// uses shared-memory rings, `"tcp"` forces loopback TCP
+    /// (`CGP_TRANSPORT`). Cross-host links always use TCP.
+    pub transport: Option<String>,
 }
 
 impl ExecOptions {
@@ -134,9 +143,14 @@ impl ExecOptions {
     /// - `CGP_ROLE` — `local` (default), `launcher`, or `worker:<stage>`;
     /// - `CGP_LISTEN` — worker ingress bind address (`host:port`);
     /// - `CGP_CONNECT` — downstream worker's listener address;
-    /// - `CGP_STATUS_EVERY` — telemetry sampling cadence in milliseconds;
+    /// - `CGP_STATUS_EVERY` — telemetry sampling cadence in milliseconds
+    ///   (`0` disables in-flight sampling);
     /// - `CGP_TELEMETRY_LOG` — JSONL path for telemetry samples;
-    /// - `CGP_TELEMETRY` — launcher telemetry aggregator address.
+    /// - `CGP_TELEMETRY` — launcher telemetry aggregator address;
+    /// - `CGP_NO_RINGS` — `1`/`true`/`on` forces mutex channels on
+    ///   every 1→1 link (disables the lock-free SPSC ring);
+    /// - `CGP_TRANSPORT` — `shm` (default) or `tcp` for same-host
+    ///   worker links.
     pub fn from_env() -> Result<ExecOptions, CoreError> {
         let mut opts = ExecOptions::default();
         if let Ok(spec) = std::env::var("CGP_FAULTS") {
@@ -163,16 +177,34 @@ impl ExecOptions {
             }
             opts.batch = Some(n as usize);
         }
-        if let Ok(v) = std::env::var("CGP_RECOVER") {
-            opts.recover = match v.trim().to_ascii_lowercase().as_str() {
-                "1" | "true" | "yes" | "on" => true,
-                "0" | "false" | "no" | "off" | "" => false,
+        let flag = |var: &str| -> Result<Option<bool>, CoreError> {
+            match std::env::var(var) {
+                Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                    "1" | "true" | "yes" | "on" => Ok(Some(true)),
+                    "0" | "false" | "no" | "off" | "" => Ok(Some(false)),
+                    other => Err(CoreError::Config(format!(
+                        "{var}: expected a boolean, got `{other}`"
+                    ))),
+                },
+                Err(_) => Ok(None),
+            }
+        };
+        if let Some(b) = flag("CGP_RECOVER")? {
+            opts.recover = b;
+        }
+        if let Some(b) = flag("CGP_NO_RINGS")? {
+            opts.no_rings = b;
+        }
+        if let Ok(v) = std::env::var("CGP_TRANSPORT") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "" => {}
+                t @ ("shm" | "tcp") => opts.transport = Some(t.to_string()),
                 other => {
                     return Err(CoreError::Config(format!(
-                        "CGP_RECOVER: expected a boolean, got `{other}`"
+                        "CGP_TRANSPORT: expected `shm` or `tcp`, got `{other}`"
                     )))
                 }
-            };
+            }
         }
         if let Some(n) = ms("CGP_CHECKPOINT_EVERY")? {
             if n == 0 {
@@ -203,14 +235,18 @@ impl ExecOptions {
             }
         }
         if let Some(n) = ms(STATUS_EVERY_ENV)? {
-            if n == 0 {
-                return Err(CoreError::Config(format!(
-                    "{STATUS_EVERY_ENV}: must be at least 1"
-                )));
-            }
+            // 0 explicitly disables in-flight sampling (it is not an
+            // error, and must never become a zero-interval spin loop).
             opts.status_every = Some(Duration::from_millis(n));
         }
         Ok(opts)
+    }
+
+    /// Whether in-flight telemetry sampling is on: a cadence was set and
+    /// it is non-zero (`--status-every 0` / `CGP_STATUS_EVERY=0` is the
+    /// explicit off switch — it must never become a zero-interval spin).
+    pub fn sampling_enabled(&self) -> bool {
+        self.status_every.is_some_and(|d| d > Duration::ZERO)
     }
 
     /// Parse a role spec: `local`, `launcher`, or `worker:<stage>`
@@ -286,11 +322,50 @@ pub fn run_plan_worker(
     widths: Option<&[usize]>,
     opts: &ExecOptions,
 ) -> Result<(Vec<String>, RunStats), CoreError> {
+    run_plan_worker_io(
+        plan,
+        host_builder,
+        stage,
+        listener.map(WorkerIngress::Tcp),
+        connect,
+        widths,
+        opts,
+    )
+}
+
+/// Ingress endpoint for a worker's upstream link: a bound TCP listener
+/// (cross-host, or same-host fallback) or pre-created shared-memory
+/// rings (same-host fast path — see [`cgp_datacutter::ShmIngress`]).
+#[derive(Debug)]
+pub enum WorkerIngress {
+    Tcp(TcpListener),
+    Shm(ShmIngress),
+}
+
+/// [`run_plan_worker`] with a transport-generic ingress endpoint. The
+/// egress transport is chosen by the `connect` address: `shm:<base>`
+/// attaches to the downstream worker's shared-memory rings, anything
+/// else is dialled over TCP.
+pub fn run_plan_worker_io(
+    plan: Arc<FilterPlan>,
+    host_builder: HostBuilder,
+    stage: usize,
+    ingress: Option<WorkerIngress>,
+    connect: Option<String>,
+    widths: Option<&[usize]>,
+    opts: &ExecOptions,
+) -> Result<(Vec<String>, RunStats), CoreError> {
     let (pipeline, output) = build_pipeline(plan, host_builder, widths, opts)?;
+    let (listener, shm_ingress) = match ingress {
+        Some(WorkerIngress::Tcp(l)) => (Some(l), None),
+        Some(WorkerIngress::Shm(s)) => (None, Some(s)),
+        None => (None, None),
+    };
     let stats = pipeline
         .run_worker(WorkerEndpoints {
             stage,
             listener,
+            shm_ingress,
             connect,
         })
         .map_err(CoreError::Runtime)?;
@@ -339,7 +414,8 @@ fn build_pipeline(
         .with_batch(batch)
         .with_pool(BufferPool::new())
         .with_faults(opts.faults.clone())
-        .with_retry(opts.retry);
+        .with_retry(opts.retry)
+        .with_same_host_rings(!opts.no_rings);
     if let Some(d) = opts.deadline {
         pipeline = pipeline.with_deadline(d);
     }
@@ -361,13 +437,16 @@ fn build_pipeline(
     if let Some(reg) = &opts.metrics {
         pipeline = pipeline.with_metrics(Arc::clone(reg));
     }
-    if opts.status_every.is_some() || opts.telemetry_log.is_some() || opts.telemetry_addr.is_some()
-    {
+    // An explicit zero cadence means "no in-flight sampling": alone it
+    // leaves telemetry off entirely; combined with a log/aggregator it
+    // keeps the final snapshot but skips the sampler loop.
+    let sampling = opts.sampling_enabled();
+    if sampling || opts.telemetry_log.is_some() || opts.telemetry_addr.is_some() {
         let every = opts.status_every.unwrap_or(Duration::from_millis(500));
         // Status lines go to stderr (worker stdout is protocol-reserved);
         // suppress them when a launcher aggregates the merged line.
         let mut sampler = TelemetrySampler::new(every)
-            .with_status_line(opts.status_every.is_some() && opts.telemetry_addr.is_none());
+            .with_status_line(sampling && opts.telemetry_addr.is_none());
         if let Some(path) = &opts.telemetry_log {
             sampler = sampler
                 .with_log_path(path)
@@ -724,25 +803,80 @@ mod tests {
     /// boundary is exercised by the bench launcher; the sockets and
     /// topology are identical) and compare to the interpreter oracle.
     fn run_distributed(plan: &FilterPlan, widths: [usize; 3], exec: ExecOptions) -> Vec<String> {
+        run_distributed_io(plan, widths, exec, false)
+    }
+
+    /// Same topology over shared-memory rings instead of loopback TCP.
+    fn run_distributed_shm(
+        plan: &FilterPlan,
+        widths: [usize; 3],
+        exec: ExecOptions,
+    ) -> Vec<String> {
+        run_distributed_io(plan, widths, exec, true)
+    }
+
+    fn run_distributed_io(
+        plan: &FilterPlan,
+        widths: [usize; 3],
+        exec: ExecOptions,
+        shm: bool,
+    ) -> Vec<String> {
+        use cgp_datacutter::{DEFAULT_SHM_CAPACITY, SHM_PREFIX};
         let plan = Arc::new(plan.clone());
-        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
-        let l2 = TcpListener::bind("127.0.0.1:0").unwrap();
-        let a1 = l1.local_addr().unwrap().to_string();
-        let a2 = l2.local_addr().unwrap().to_string();
-        let mut listeners = [None, Some(l1), Some(l2)];
-        let connects = [Some(a1), Some(a2), None];
+        let (mut ingresses, connects): ([Option<WorkerIngress>; 3], [Option<String>; 3]) = if shm {
+            // The downstream worker creates its rings before any
+            // producer attaches, mirroring the launcher's create-then-
+            // announce ordering.
+            let unique = format!("{}-{:?}", std::process::id(), std::thread::current().id())
+                .replace(['(', ')'], "");
+            let base1 = cgp_datacutter::shm_dir()
+                .join(format!("cgp-core-test-{unique}.l1"))
+                .display()
+                .to_string();
+            let base2 = cgp_datacutter::shm_dir()
+                .join(format!("cgp-core-test-{unique}.l2"))
+                .display()
+                .to_string();
+            let s1 = ShmIngress::create(&base1, widths[0], DEFAULT_SHM_CAPACITY, None).unwrap();
+            let s2 = ShmIngress::create(&base2, widths[1], DEFAULT_SHM_CAPACITY, None).unwrap();
+            (
+                [
+                    None,
+                    Some(WorkerIngress::Shm(s1)),
+                    Some(WorkerIngress::Shm(s2)),
+                ],
+                [
+                    Some(format!("{SHM_PREFIX}{base1}")),
+                    Some(format!("{SHM_PREFIX}{base2}")),
+                    None,
+                ],
+            )
+        } else {
+            let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+            let l2 = TcpListener::bind("127.0.0.1:0").unwrap();
+            let a1 = l1.local_addr().unwrap().to_string();
+            let a2 = l2.local_addr().unwrap().to_string();
+            (
+                [
+                    None,
+                    Some(WorkerIngress::Tcp(l1)),
+                    Some(WorkerIngress::Tcp(l2)),
+                ],
+                [Some(a1), Some(a2), None],
+            )
+        };
         let handles: Vec<_> = (0..3)
             .map(|s| {
                 let plan = Arc::clone(&plan);
-                let listener = listeners[s].take();
+                let ingress = ingresses[s].take();
                 let connect = connects[s].clone();
                 let exec = exec.clone();
                 std::thread::spawn(move || {
-                    run_plan_worker(
+                    run_plan_worker_io(
                         plan,
                         Arc::new(host),
                         s,
-                        listener,
+                        ingress,
                         connect,
                         Some(&widths),
                         &exec,
@@ -804,6 +938,40 @@ mod tests {
     }
 
     #[test]
+    fn distributed_shm_workers_match_in_process_run() {
+        if !cgp_datacutter::shm_supported() {
+            return;
+        }
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let out = run_distributed_shm(&c.plan, [1, 2, 1], ExecOptions::default());
+        assert_eq!(out, oracle(), "shm-transport run must be byte-identical");
+    }
+
+    #[test]
+    fn distributed_shm_recovery_masks_a_fault_and_matches_oracle() {
+        if !cgp_datacutter::shm_supported() {
+            return;
+        }
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        // The fault is injected inside the middle worker and masked by
+        // its local checkpointed restart; the shm links on either side
+        // must deliver byte-identical output regardless.
+        let exec = ExecOptions {
+            faults: FaultPlan::new().panic_at("f2", 0, 3),
+            deadline: Some(Duration::from_secs(30)),
+            recover: true,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let out = run_distributed_shm(&c.plan, [1, 2, 1], exec);
+        assert_eq!(out, oracle(), "recovered shm run must match");
+    }
+
+    #[test]
     fn telemetered_run_matches_oracle_and_feeds_calibration() {
         let opts =
             CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
@@ -845,6 +1013,44 @@ mod tests {
         assert!(ExecOptions::parse_role("worker").is_err());
         assert!(ExecOptions::parse_role("worker:x").is_err());
         assert!(ExecOptions::parse_role("supervisor").is_err());
+    }
+
+    #[test]
+    fn status_every_zero_disables_sampling() {
+        // Table: cadence → whether the in-flight sampler may run.
+        let cases: &[(Option<Duration>, bool)] = &[
+            (None, false),
+            (Some(Duration::ZERO), false),
+            (Some(Duration::from_millis(1)), true),
+            (Some(Duration::from_millis(500)), true),
+        ];
+        for &(status_every, want) in cases {
+            let opts = ExecOptions {
+                status_every,
+                ..Default::default()
+            };
+            assert_eq!(
+                opts.sampling_enabled(),
+                want,
+                "status_every={status_every:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn status_every_zero_runs_to_completion() {
+        // A zero cadence must not spin, divide by zero, or change the
+        // output — it simply runs without the sampler thread.
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let exec = ExecOptions {
+            status_every: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let (out, _) =
+            run_plan_threaded_stats(Arc::new(c.plan), Arc::new(host), None, &exec).unwrap();
+        assert_eq!(out, oracle());
     }
 
     #[test]

@@ -47,14 +47,14 @@ pub mod error;
 pub mod exec;
 pub mod sim;
 
-pub use cgp_compiler::cost::PipelineEnv;
+pub use cgp_compiler::cost::{LinkClass, PipelineEnv};
 pub use cgp_compiler::{
     compile, run_plan_sequential, CompileOptions, Compiled, Decomposition, FilterPlan, Objective,
 };
 pub use error::CoreError;
 pub use exec::{
     run_plan_threaded, run_plan_threaded_opts, run_plan_threaded_stats, run_plan_worker,
-    ExecOptions, HostBuilder, NetRole,
+    run_plan_worker_io, ExecOptions, HostBuilder, NetRole, WorkerIngress,
 };
 pub use sim::{
     paper_grid, paper_grid_disk, simulate_variant, VariantRun, CALIBRATION, DISK_BANDWIDTH,

@@ -108,6 +108,18 @@ impl CancelToken {
         wakers.push(Waker { channel_id, probe });
     }
 
+    /// [`register`](Self::register) for sibling queue implementations
+    /// (the SPSC ring): same dedup/prune/sticky-cancel behaviour, same
+    /// waker contract (`probe(true)` notifies, `probe(false)` reports
+    /// liveness).
+    pub(crate) fn register_waker(
+        &self,
+        channel_id: usize,
+        probe: Box<dyn Fn(bool) -> bool + Send + Sync>,
+    ) {
+        self.register(channel_id, probe);
+    }
+
     /// Registered live wakers (racy; for tests).
     pub fn registered(&self) -> usize {
         plock(&self.shared.wakers).len()

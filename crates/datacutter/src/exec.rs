@@ -40,7 +40,8 @@ use crate::fault::{FaultPlan, RetryPolicy, RunControl};
 use crate::filter::{FilterFactory, FilterIo, RecoveryCtx};
 use crate::net::{egress_pump_probed, serve_ingress_probed, NetLinkStats, TelemetryClient};
 use crate::recover::{CheckpointStore, RecoveryOptions};
-use crate::stream::{logical_stream_recovering, Distribution};
+use crate::shm::{shm_egress_pump_probed, ShmIngress, SHM_PREFIX};
+use crate::stream::{logical_stream_with, Distribution};
 use crate::telemetry::{
     build_sample, encode_telemetry_payload, now_us, LinkProbe, StageProbe, TelemetryConfig,
 };
@@ -233,10 +234,15 @@ pub struct WorkerEndpoints {
     /// Index of the stage this process executes.
     pub stage: usize,
     /// Listener for the ingress link from the upstream stage's process
-    /// (required iff `stage > 0`).
+    /// (for `stage > 0` workers using the TCP transport).
     pub listener: Option<TcpListener>,
+    /// Pre-created shared-memory ingress rings (for `stage > 0` workers
+    /// on the same host as their upstream — exactly one of `listener` /
+    /// `shm_ingress` must be set for a non-first stage).
+    pub shm_ingress: Option<ShmIngress>,
     /// Address of the downstream stage's listener (required iff `stage`
-    /// is not the last stage).
+    /// is not the last stage). A `shm:<base>` address selects the
+    /// shared-memory transport; anything else is dialled over TCP.
     pub connect: Option<String>,
 }
 
@@ -255,6 +261,7 @@ pub struct Pipeline {
     recovery: RecoveryOptions,
     checkpoint_store: Option<CheckpointStore>,
     telemetry: Option<TelemetryConfig>,
+    same_host_rings: bool,
 }
 
 impl Pipeline {
@@ -273,7 +280,17 @@ impl Pipeline {
             recovery: RecoveryOptions::default(),
             checkpoint_store: None,
             telemetry: None,
+            same_host_rings: true,
         }
+    }
+
+    /// Whether 1→1 non-recovering links use the lock-free SPSC ring
+    /// instead of the mutex channel (on by default). Turning this off
+    /// forces every link onto the mutex path — useful for apples-to-
+    /// apples benchmarking and as an escape hatch.
+    pub fn with_same_host_rings(mut self, on: bool) -> Self {
+        self.same_host_rings = on;
+        self
     }
 
     /// Max packets moved per lock acquisition on every stream (adaptive:
@@ -432,13 +449,16 @@ impl Pipeline {
                      a shared queue does not define)",
                 ));
             }
-            if (w.stage > 0) != w.listener.is_some() {
+            let ingresses =
+                usize::from(w.listener.is_some()) + usize::from(w.shm_ingress.is_some());
+            if (w.stage > 0 && ingresses != 1) || (w.stage == 0 && ingresses != 0) {
                 return Err(FilterError::new(
                     "pipeline",
                     if w.stage > 0 {
-                        "a worker for a non-first stage needs a listener for its ingress link"
+                        "a worker for a non-first stage needs exactly one ingress endpoint \
+                         (a TCP listener or a shm ingress)"
                     } else {
-                        "the first stage has no ingress link but a listener was provided"
+                        "the first stage has no ingress link but an ingress endpoint was provided"
                     },
                 ));
             }
@@ -457,9 +477,9 @@ impl Pipeline {
         install_quiet_panic_hook();
         let t0 = Instant::now();
         let control = RunControl::new();
-        let (active_stage, listener, connect) = match worker {
-            Some(w) => (Some(w.stage), w.listener, w.connect),
-            None => (None, None, None),
+        let (active_stage, listener, shm_ingress, connect) = match worker {
+            Some(w) => (Some(w.stage), w.listener, w.shm_ingress, w.connect),
+            None => (None, None, None, None),
         };
 
         // Build streams between consecutive stages. A worker process only
@@ -481,13 +501,14 @@ impl Pipeline {
         match active_stage {
             None => {
                 for s in 0..n.saturating_sub(1) {
-                    let (ws, rs) = logical_stream_recovering(
+                    let (ws, rs) = logical_stream_with(
                         self.stages[s].width,
                         self.stages[s + 1].width,
                         self.buffer_capacity,
                         self.distribution,
                         Some(Arc::clone(&control)),
                         self.recovery.enabled,
+                        self.same_host_rings,
                     );
                     for (i, w) in ws.into_iter().enumerate() {
                         writers_per_stage[s][i] = Some(w);
@@ -499,13 +520,14 @@ impl Pipeline {
             }
             Some(k) => {
                 if k > 0 {
-                    let (ws, rs) = logical_stream_recovering(
+                    let (ws, rs) = logical_stream_with(
                         self.stages[k - 1].width,
                         self.stages[k].width,
                         self.buffer_capacity,
                         self.distribution,
                         Some(Arc::clone(&control)),
                         self.recovery.enabled,
+                        self.same_host_rings,
                     );
                     ingress_writers = ws;
                     for (i, r) in rs.into_iter().enumerate() {
@@ -514,13 +536,14 @@ impl Pipeline {
                 }
                 if k < n - 1 {
                     for slot in writers_per_stage[k].iter_mut().take(self.stages[k].width) {
-                        let (mut ws, mut rs) = logical_stream_recovering(
+                        let (mut ws, mut rs) = logical_stream_with(
                             1,
                             1,
                             self.buffer_capacity,
                             self.distribution,
                             Some(Arc::clone(&control)),
                             self.recovery.enabled,
+                            self.same_host_rings,
                         );
                         *slot = ws.pop();
                         egress_readers.push(rs.pop().expect("1→1 stream"));
@@ -606,7 +629,9 @@ impl Pipeline {
         };
         // Network bridge threads participate in the same completion
         // count, so the watchdog covers a wedged socket too.
-        let net_threads = usize::from(listener.is_some()) + egress_readers.len();
+        let net_threads = usize::from(listener.is_some())
+            + usize::from(shm_ingress.is_some())
+            + egress_readers.len();
         // (remaining threads, condvar) — workers count down, the watchdog
         // waits with a timeout.
         let done = Arc::new((Mutex::new(total_copies + net_threads), Condvar::new()));
@@ -635,7 +660,14 @@ impl Pipeline {
             // Sampler: periodic in-flight snapshots from the probes. Not
             // counted in `done` — it waits on the same condvar with its
             // cadence as the timeout and exits once the count hits zero.
-            if let Some(tcfg) = &self.telemetry {
+            // A zero cadence disables in-flight sampling entirely (the
+            // final fin-stamped flush below still runs): spawning the
+            // loop with a zero timeout would busy-spin it.
+            if let Some(tcfg) = self
+                .telemetry
+                .as_ref()
+                .filter(|t| t.sampler.every() > Duration::ZERO)
+            {
                 let sampler = Arc::clone(&tcfg.sampler);
                 let source = tcfg.source.clone();
                 let ship = tcfg.ship_to.clone();
@@ -718,8 +750,29 @@ impl Pipeline {
                     countdown(&done);
                 });
             }
+            // Same-host ingress: bridge the pre-created shm rings onto
+            // the local ingress stream (one reader thread per ring).
+            if let Some(shm) = shm_ingress {
+                let k = active_stage.expect("shm ingress implies worker mode");
+                let writers = std::mem::take(&mut ingress_writers);
+                let control = Arc::clone(&control);
+                let errors = Arc::clone(&errors);
+                let done = Arc::clone(&done);
+                let net_stats = Arc::clone(&net_stats);
+                let probe = ingress_probe.clone();
+                scope.spawn(move || {
+                    match shm.serve_probed(k as u32, writers, Some(Arc::clone(&control)), probe) {
+                        Ok(st) => plock(&net_stats).push((k as u32, st)),
+                        // serve_probed has already cancelled the run and
+                        // closed its local writers.
+                        Err(e) => plock(&errors).push(e),
+                    }
+                    countdown(&done);
+                });
+            }
             // Egress bridges: one pump per copy drains the copy's private
-            // 1→1 stream into the downstream worker's listener.
+            // 1→1 stream into the downstream worker's listener (TCP) or
+            // shm ring (`shm:<base>` addresses).
             for (c, mut reader) in egress_readers.drain(..).enumerate() {
                 let k = active_stage.expect("egress readers imply worker mode");
                 let addr = connect.clone().expect("egress readers imply connect");
@@ -730,14 +783,26 @@ impl Pipeline {
                 reader.set_batch(self.batch);
                 let probe = egress_probe.clone();
                 scope.spawn(move || {
-                    match egress_pump_probed(
-                        reader,
-                        &addr,
-                        (k + 1) as u32,
-                        c as u32,
-                        Some(Arc::clone(&control)),
-                        probe,
-                    ) {
+                    let pumped = if let Some(base) = addr.strip_prefix(SHM_PREFIX) {
+                        shm_egress_pump_probed(
+                            reader,
+                            base,
+                            (k + 1) as u32,
+                            c as u32,
+                            Some(Arc::clone(&control)),
+                            probe,
+                        )
+                    } else {
+                        egress_pump_probed(
+                            reader,
+                            &addr,
+                            (k + 1) as u32,
+                            c as u32,
+                            Some(Arc::clone(&control)),
+                            probe,
+                        )
+                    };
+                    match pumped {
                         Ok(st) => plock(&net_stats).push(((k + 1) as u32, st)),
                         Err(e) => {
                             // Wake the (possibly blocked) local producer.

@@ -206,44 +206,65 @@ fn parse_rule_parts(
     action: &str,
     entry: &str,
 ) -> Result<FaultRule, String> {
-    let err = || format!("bad fault rule `{entry}` (want stage[copy]@packet:action)");
+    // Every error names the component that failed — with two accepted
+    // spellings (`stage[copy]@packet:action` and the action-first alias
+    // `action@stage[copy]#packet`), "bad rule" alone leaves the user
+    // guessing which piece the parser choked on.
     let (stage, copy) = site
         .trim()
         .strip_suffix(']')
         .and_then(|s| s.split_once('['))
-        .ok_or_else(err)?;
+        .ok_or_else(|| format!("bad site `{}` in `{entry}`: want stage[copy]", site.trim()))?;
     let stage = match stage.trim() {
         "*" => None,
         name if !name.is_empty() => Some(name.to_string()),
-        _ => return Err(err()),
+        _ => {
+            return Err(format!(
+                "empty stage name in `{entry}` (use `*` for any stage)"
+            ))
+        }
     };
     let copy = match copy.trim() {
         "*" => None,
-        c => Some(c.parse::<usize>().map_err(|_| err())?),
+        c => Some(
+            c.parse::<usize>()
+                .map_err(|_| format!("bad copy index `{c}` in `{entry}`: want a number or `*`"))?,
+        ),
     };
     let trigger = match packet.trim() {
         "*" => Trigger::Every,
         p if p.starts_with('%') => {
-            let prob = p[1..].parse::<f64>().map_err(|_| err())?;
+            let prob = p[1..]
+                .parse::<f64>()
+                .map_err(|_| format!("bad probability `{p}` in `{entry}`: want %<fraction>"))?;
             if !(0.0..=1.0).contains(&prob) {
-                return Err(format!("probability out of range in `{entry}`"));
+                return Err(format!(
+                    "probability {prob} out of range [0,1] in `{entry}`"
+                ));
             }
             Trigger::Prob(prob)
         }
-        p => Trigger::Packet(p.parse::<u64>().map_err(|_| err())?),
+        p => Trigger::Packet(p.parse::<u64>().map_err(|_| {
+            format!("bad packet selector `{p}` in `{entry}`: want an index, `*`, or %<fraction>")
+        })?),
     };
     let action = match action.trim() {
         "fail" => FaultAction::Fail { retryable: false },
         "fail-retryable" => FaultAction::Fail { retryable: true },
         "panic" => FaultAction::Panic,
         "drop" => FaultAction::DropPacket,
-        a => {
-            let ms = a
-                .strip_prefix("delay:")
-                .and_then(|ms| ms.parse::<u64>().ok())
-                .ok_or_else(|| format!("unknown fault action `{a}` in `{entry}`"))?;
-            FaultAction::Delay(Duration::from_millis(ms))
-        }
+        a => match a.strip_prefix("delay:") {
+            Some(ms) => FaultAction::Delay(Duration::from_millis(
+                ms.parse::<u64>()
+                    .map_err(|_| format!("bad delay milliseconds `{ms}` in `{entry}`"))?,
+            )),
+            None => {
+                return Err(format!(
+                    "unknown fault action `{a}` in `{entry}`: want \
+                     fail|fail-retryable|panic|drop|delay:<ms>"
+                ))
+            }
+        },
     };
     Ok(FaultRule {
         stage,
@@ -501,6 +522,47 @@ mod tests {
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("explode@a[0]#1").is_err());
         assert!(FaultPlan::parse("panic@a#1").is_err(), "missing [copy]");
+    }
+
+    /// Malformed specs — in both the canonical and the action-first
+    /// alias spelling — produce an error naming the component that
+    /// failed, never a panic or a generic "bad rule".
+    #[test]
+    fn parse_errors_name_the_failing_component() {
+        let cases: &[(&str, &str)] = &[
+            // (spec, substring the error must contain)
+            ("panic@a#1", "bad site `a`"),
+            ("panic@[0]#1", "empty stage name"),
+            ("drop@f2[two]#3", "bad copy index `two`"),
+            ("panic@f2[0]#abc", "bad packet selector `abc`"),
+            ("fail@f2[0]#%zz", "bad probability `%zz`"),
+            ("fail@f2[0]#%1.5", "out of range"),
+            ("explode@f2[0]#1", "unknown fault action `explode`"),
+            ("delay:soon@f2[0]#1", "bad delay milliseconds `soon`"),
+            // Canonical spelling hits the same named errors.
+            ("f2[two]@3:drop", "bad copy index `two`"),
+            ("f2[0]@abc:panic", "bad packet selector `abc`"),
+            ("f2[0]@1:explode", "unknown fault action `explode`"),
+            ("f2[0]@1:delay:soon", "bad delay milliseconds `soon`"),
+            ("[0]@1:panic", "empty stage name"),
+        ];
+        for (spec, want) in cases {
+            let err = FaultPlan::parse(spec).expect_err(spec);
+            assert!(
+                err.contains(want),
+                "`{spec}`: error `{err}` does not name the component (`{want}`)"
+            );
+        }
+        // Well-formed variants of each component still parse.
+        for spec in [
+            "panic@f2[0]#3",
+            "drop@*[*]#*",
+            "fail@f2[1]#%0.25",
+            "delay:15@f2[0]#9",
+            "f2[0]@3:panic",
+        ] {
+            assert!(FaultPlan::parse(spec).is_ok(), "`{spec}` should parse");
+        }
     }
 
     /// The alias spelling `action@stage[copy]#packet` parses to the same

@@ -44,6 +44,8 @@ pub mod filter;
 pub mod net;
 pub mod placement;
 pub mod recover;
+pub mod ring;
+pub mod shm;
 pub mod stream;
 pub mod telemetry;
 
@@ -57,11 +59,17 @@ pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, RunControl, Trig
 pub use filter::{ClosureFilter, Filter, FilterFactory, FilterIo};
 pub use net::{
     connect_with_retry, decode_frame, egress_pump, egress_pump_probed, encode_frame, serve_ingress,
-    serve_ingress_probed, serve_telemetry, Frame, IngressFeeder, NetLinkStats, RemoteStreamReader,
-    RemoteStreamWriter, TelemetryClient, MAX_FRAME_PAYLOAD, NET_MAGIC, NET_VERSION, TELEMETRY_LINK,
+    serve_ingress_probed, serve_telemetry, serve_telemetry_events, Frame, IngressFeeder,
+    NetLinkStats, RemoteStreamReader, RemoteStreamWriter, TelemetryClient, MAX_FRAME_PAYLOAD,
+    NET_MAGIC, NET_VERSION, TELEMETRY_LINK,
 };
 pub use placement::{HostId, Placement, StageAssignment, StagePlacement};
 pub use recover::{Checkpoint, CheckpointStore, RecoveryOptions, Snapshot};
+pub use ring::{spsc, RingReceiver, RingSender};
+pub use shm::{
+    shm_dir, shm_egress_pump_probed, shm_supported, ShmIngress, ShmReceiver, ShmSender,
+    DEFAULT_SHM_CAPACITY, SHM_PREFIX,
+};
 pub use stream::{logical_stream, Distribution, StreamReader, StreamWriter};
 pub use telemetry::{
     decode_telemetry_payload, encode_telemetry_payload, CopyProbe, LinkProbe, StageProbe,

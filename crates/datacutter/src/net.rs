@@ -106,6 +106,41 @@ const TAG_END: u8 = 4;
 const TAG_CLOSE: u8 = 5;
 const TAG_TELEMETRY: u8 = 6;
 
+/// Fixed header length (bytes after the tag) for each frame tag, or
+/// `None` for an unknown tag. Shared by the socket reader and the
+/// shared-memory transport so both parse the identical wire format.
+pub(crate) fn frame_header_len(tag: u8) -> Option<usize> {
+    match tag {
+        TAG_HELLO => Some(14),
+        TAG_HELLO_ACK => Some(8),
+        TAG_DATA => Some(16),
+        TAG_END => Some(4),
+        TAG_CLOSE => Some(0),
+        TAG_TELEMETRY => Some(4),
+        _ => None,
+    }
+}
+
+/// Offset of the `len: u32` field within the fixed header (tag included)
+/// for frames that carry a variable payload.
+pub(crate) fn frame_len_field_at(tag: u8) -> Option<usize> {
+    match tag {
+        TAG_DATA => Some(13),
+        TAG_TELEMETRY => Some(1),
+        _ => None,
+    }
+}
+
+/// Encode a `Data` frame's fixed header (the payload follows verbatim).
+pub(crate) fn encode_data_header(from: u32, seq: u64, len: usize) -> [u8; 17] {
+    let mut header = [0u8; 17];
+    header[0] = TAG_DATA;
+    header[1..5].copy_from_slice(&from.to_le_bytes());
+    header[5..13].copy_from_slice(&seq.to_le_bytes());
+    header[13..17].copy_from_slice(&(len as u32).to_le_bytes());
+    header
+}
+
 /// Sentinel link id carried in the `Hello` of telemetry connections, so
 /// they share the data plane's versioned handshake while remaining
 /// unmistakable for a data link.
@@ -360,31 +395,18 @@ impl FrameConn {
         if !self.fill(&mut tag, true)? {
             return Ok(None);
         }
-        let header_len = match tag[0] {
-            TAG_HELLO => 14,
-            TAG_HELLO_ACK => 8,
-            TAG_DATA => 16,
-            TAG_END => 4,
-            TAG_CLOSE => 0,
-            TAG_TELEMETRY => 4,
-            t => {
-                return Err(FilterError::malformed(
-                    self.who.clone(),
-                    format!("unknown frame tag {t}"),
-                ))
-            }
+        let Some(header_len) = frame_header_len(tag[0]) else {
+            return Err(FilterError::malformed(
+                self.who.clone(),
+                format!("unknown frame tag {}", tag[0]),
+            ));
         };
         let mut frame = vec![tag[0]; 1];
         frame.resize(1 + header_len, 0);
         self.fill(&mut frame[1..], false)?;
         // Frames with a variable payload: the length field's offset
         // within the fixed header.
-        let len_at = match tag[0] {
-            TAG_DATA => Some(13),
-            TAG_TELEMETRY => Some(1),
-            _ => None,
-        };
-        if let Some(at) = len_at {
+        if let Some(at) = frame_len_field_at(tag[0]) {
             let len = u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes")) as usize;
             if len > MAX_FRAME_PAYLOAD {
                 return Err(FilterError::malformed(
@@ -444,12 +466,7 @@ impl FrameConn {
     /// intermediate encoding.
     fn write_data(&mut self, from: u32, seq: u64, payload: &[u8]) -> FilterResult<()> {
         debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
-        let mut header = [0u8; 17];
-        header[0] = TAG_DATA;
-        header[1..5].copy_from_slice(&from.to_le_bytes());
-        header[5..13].copy_from_slice(&seq.to_le_bytes());
-        header[13..17].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.write_all(&header)?;
+        self.write_all(&encode_data_header(from, seq, payload.len()))?;
         self.write_all(payload)
     }
 }
@@ -457,6 +474,36 @@ impl FrameConn {
 /// Connect to `addr` with bounded retry and backoff (the peer worker may
 /// not have bound its listener yet). Cancellable; emits a `net.connect`
 /// trace span covering the whole attempt sequence.
+/// Whether a failed `connect` is worth retrying: the listener may not be
+/// accepting yet (the launcher spawns workers concurrently), the peer may
+/// have dropped a backlogged attempt, or the kernel was momentarily out
+/// of ephemeral ports. Anything else — an unparseable or unroutable
+/// address, permission denied — fails identically on every attempt, so
+/// retrying only burns the whole budget before reporting it.
+fn connect_error_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        e.kind(),
+        ConnectionRefused
+            | ConnectionReset
+            | ConnectionAborted
+            | NotConnected
+            | TimedOut
+            | WouldBlock
+            | Interrupted
+            | AddrNotAvailable
+    )
+}
+
+/// Ceiling for the exponential backoff between connect attempts.
+const MAX_CONNECT_DELAY: Duration = Duration::from_millis(500);
+
+/// Double the backoff without overflowing, capped at
+/// [`MAX_CONNECT_DELAY`].
+fn next_connect_delay(delay: Duration) -> Duration {
+    delay.saturating_mul(2).min(MAX_CONNECT_DELAY)
+}
+
 pub fn connect_with_retry(
     addr: &str,
     control: Option<&Arc<RunControl>>,
@@ -488,6 +535,12 @@ pub fn connect_with_retry(
                 return Ok(s);
             }
             Err(e) => {
+                if !connect_error_is_transient(&e) {
+                    return Err(FilterError::new(
+                        who.to_string(),
+                        format!("connect to {addr} failed (not retryable): {e}"),
+                    ));
+                }
                 if start.elapsed() >= CONNECT_BUDGET {
                     return Err(FilterError::new(
                         who.to_string(),
@@ -495,7 +548,7 @@ pub fn connect_with_retry(
                     ));
                 }
                 std::thread::sleep(delay);
-                delay = (delay * 2).min(Duration::from_millis(500));
+                delay = next_connect_delay(delay);
             }
         }
     }
@@ -1116,6 +1169,25 @@ pub fn serve_telemetry<F>(
 where
     F: Fn(u32, Vec<u8>) + Send + Sync,
 {
+    serve_telemetry_events(listener, expected, control, on_update, |_| {})
+}
+
+/// [`serve_telemetry`] plus a disconnect hook: `on_disconnect(worker)`
+/// fires when a worker's connection ends (cleanly or not), after its
+/// last update was delivered. Aggregators use it to retire the worker's
+/// live state — without it, a crashed worker's final sample haunts every
+/// merged status line.
+pub fn serve_telemetry_events<F, D>(
+    listener: TcpListener,
+    expected: usize,
+    control: Option<Arc<RunControl>>,
+    on_update: F,
+    on_disconnect: D,
+) -> FilterResult<()>
+where
+    F: Fn(u32, Vec<u8>) + Send + Sync,
+    D: Fn(u32) + Send + Sync,
+{
     listener
         .set_nonblocking(true)
         .map_err(|e| FilterError::new("net.telemetry", format!("listener: {e}")))?;
@@ -1123,6 +1195,7 @@ where
     let finished = &finished;
     let cancelled = || control.as_ref().is_some_and(|c| c.is_cancelled());
     let on_update = &on_update;
+    let on_disconnect = &on_disconnect;
     std::thread::scope(|scope| {
         while finished.load(Ordering::Acquire) < expected && !cancelled() {
             let stream = match listener.accept() {
@@ -1159,6 +1232,7 @@ where
                 while let Ok(Some(Frame::Telemetry { payload })) = conn.read_frame() {
                     on_update(worker, payload);
                 }
+                on_disconnect(worker);
                 finished.fetch_add(1, Ordering::AcqRel);
             });
         }
@@ -1342,5 +1416,64 @@ mod tests {
             .map(|b| b.as_slice()[0])
             .collect();
         assert_eq!(seen, vec![0, 1, 2, 3], "each frame delivered exactly once");
+    }
+
+    #[test]
+    fn connect_error_classification() {
+        use std::io::{Error, ErrorKind};
+        // Listener-not-up-yet races are retryable.
+        for kind in [
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionReset,
+            ErrorKind::TimedOut,
+            ErrorKind::AddrNotAvailable,
+        ] {
+            assert!(
+                connect_error_is_transient(&Error::from(kind)),
+                "{kind:?} should be retryable"
+            );
+        }
+        // Config mistakes fail the same way on every attempt.
+        for kind in [
+            ErrorKind::InvalidInput,
+            ErrorKind::PermissionDenied,
+            ErrorKind::NotFound,
+            ErrorKind::Unsupported,
+        ] {
+            assert!(
+                !connect_error_is_transient(&Error::from(kind)),
+                "{kind:?} should fail fast"
+            );
+        }
+    }
+
+    #[test]
+    fn connect_backoff_saturates_instead_of_overflowing() {
+        assert_eq!(
+            next_connect_delay(Duration::from_millis(10)),
+            Duration::from_millis(20)
+        );
+        assert_eq!(next_connect_delay(MAX_CONNECT_DELAY), MAX_CONNECT_DELAY);
+        // A pathological starting delay must not panic in the doubling.
+        assert_eq!(next_connect_delay(Duration::MAX), MAX_CONNECT_DELAY);
+    }
+
+    #[test]
+    fn connect_fails_fast_on_an_unparseable_address() {
+        let start = std::time::Instant::now();
+        let err = match connect_with_retry("definitely not an address", None, "test") {
+            Err(e) => e,
+            Ok(_) => panic!("nonsense address must not connect"),
+        };
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "non-transient errors must not consume the 10s retry budget \
+             (took {:?})",
+            start.elapsed()
+        );
+        assert!(
+            err.message.contains("not retryable"),
+            "error says why it gave up immediately: {err}"
+        );
     }
 }

@@ -1,0 +1,1042 @@
+//! Shared-memory transport for same-host logical streams.
+//!
+//! When both endpoints of a distributed link live on the same host,
+//! pushing every packet through the loopback TCP stack costs two
+//! syscalls plus a kernel copy per frame. This module replaces the
+//! socket with a **file-backed mmap ring**: the consumer creates a
+//! file under the shm directory (`/dev/shm` when present), maps it
+//! `MAP_SHARED`, and publishes byte cursors through atomics in the
+//! mapped header page. The producer maps the same file and the two
+//! processes stream bytes through user-space memory — no syscalls on
+//! the data path at all.
+//!
+//! ## What flows through the ring
+//!
+//! Exactly the TCP wire format ([`crate::net`]): the same length-
+//! prefixed `Hello` / `Data` / `End` / `Close` frames, encoded by the
+//! same helpers and re-parsed by the same hardened [`decode_frame`].
+//! The ring is a plain byte pipe underneath — a frame larger than the
+//! ring streams through incrementally, reader consuming while the
+//! writer is still copying, so [`MAX_FRAME_PAYLOAD`] stays the only
+//! payload cap.
+//!
+//! ## Layout and memory ordering
+//!
+//! ```text
+//! offset 0    magic "CGPS", version u16, capacity u64   (written once,
+//!                                       published by an atomic rename)
+//! offset 64   head: AtomicU64   — bytes consumed  (reader-owned)
+//! offset 128  tail: AtomicU64   — bytes produced  (writer-owned)
+//! offset 192  producer_closed: AtomicU32
+//! offset 256  consumer_closed: AtomicU32
+//! offset 4096 data[capacity]    — ring, indexed by cursor & (cap-1)
+//! ```
+//!
+//! Cursors grow monotonically; `tail - head` is the fill level. The
+//! writer copies payload bytes first and then stores `tail` with
+//! `Release`; the reader `Acquire`-loads `tail` before touching the
+//! bytes (and symmetrically for `head` when freeing space). The
+//! `producer_closed` flag is stored `Release` *after* the final `tail`
+//! store, so a reader that observes the flag re-loads `tail` once more
+//! and can never miss trailing bytes.
+//!
+//! ## Handshake and failure model
+//!
+//! The handshake is **one-way**: the producer writes `Hello` first and
+//! there is no `HelloAck` — the consumer side always resumes from
+//! sequence 0. Cross-process *reconnection* is therefore not supported
+//! on this transport; links that need it (recovery across a worker
+//! restart) stay on TCP, which the link selector enforces. Blocking
+//! waits are spin-then-bounded-sleep polls (no cross-process condvars),
+//! checking run cancellation and the peer's closed flag every lap, so a
+//! dead peer or a cancelled run unwedges promptly. The consumer unlinks
+//! the ring file on drop.
+
+use crate::buffer::Buffer;
+use crate::error::{FilterError, FilterResult};
+use crate::fault::RunControl;
+use crate::net::{
+    decode_frame, encode_data_header, encode_frame, frame_header_len, frame_len_field_at, Frame,
+    IngressFeeder, NetLinkStats, MAX_FRAME_PAYLOAD,
+};
+use crate::stream::{StreamReader, StreamWriter};
+use crate::telemetry::LinkProbe;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Ring-file magic: first bytes of the mapped header.
+pub const SHM_MAGIC: [u8; 4] = *b"CGPS";
+/// Ring-layout version (checked when the producer attaches).
+pub const SHM_VERSION: u16 = 1;
+/// Default data-area size per link ring.
+pub const DEFAULT_SHM_CAPACITY: usize = 4 * 1024 * 1024;
+/// Listener-marker prefix for shared-memory endpoints: a worker that
+/// serves its ingress over shm announces `shm:<base>` instead of a TCP
+/// port, and producers dispatch on the same prefix.
+pub const SHM_PREFIX: &str = "shm:";
+
+/// Smallest accepted data area (one header page's worth).
+const MIN_CAPACITY: usize = 4096;
+/// Header page reserved ahead of the data area.
+const HEADER_LEN: usize = 4096;
+const OFF_HEAD: usize = 64;
+const OFF_TAIL: usize = 128;
+const OFF_PRODUCER_CLOSED: usize = 192;
+const OFF_CONSUMER_CLOSED: usize = 256;
+
+/// Busy-spin laps before yielding (matches the in-process ring).
+const SPINS: u32 = 128;
+/// `yield_now` laps before sleeping.
+const YIELDS: u32 = 16;
+/// Bounded sleep once spinning gave up: the cross-process analogue of
+/// parking, and the granularity at which a blocked side notices
+/// cancellation or a dead peer.
+const SLEEP: Duration = Duration::from_micros(100);
+/// How long the producer waits for the consumer to publish the ring
+/// file before giving up (the consumer creates it before announcing,
+/// so this only covers slow filesystems and test races).
+const ATTACH_BUDGET: Duration = Duration::from_secs(10);
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether this build supports the shm transport (mmap is required).
+pub fn shm_supported() -> bool {
+    cfg!(unix)
+}
+
+/// Directory for ring files: `/dev/shm` when it exists (memory-backed
+/// tmpfs on Linux), the system temp directory otherwise.
+pub fn shm_dir() -> PathBuf {
+    let dev_shm = PathBuf::from("/dev/shm");
+    if dev_shm.is_dir() {
+        dev_shm
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const PROT_WRITE: c_int = 2;
+    const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map_shared(file: &File, len: usize) -> std::io::Result<*mut u8> {
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(ptr.cast())
+    }
+
+    pub fn unmap(ptr: *mut u8, len: usize) {
+        unsafe {
+            munmap(ptr.cast(), len);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::fs::File;
+
+    pub fn map_shared(_file: &File, _len: usize) -> std::io::Result<*mut u8> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "shm transport requires mmap (unix)",
+        ))
+    }
+
+    pub fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+/// One mapped ring file. Owns the mapping; the file itself is unlinked
+/// by the consumer side.
+struct Map {
+    ptr: *mut u8,
+    len: usize,
+    cap: u64,
+    // Keeps the fd alive for the mapping's lifetime (not strictly
+    // required by mmap semantics, but makes debugging via /proc easier).
+    _file: File,
+}
+
+// The raw pointer targets a MAP_SHARED region whose cross-thread (and
+// cross-process) accesses all go through the atomics below plus
+// acquire/release-ordered byte copies.
+unsafe impl Send for Map {}
+
+impl Map {
+    fn atomic_u64(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off + 8 <= HEADER_LEN && off % 8 == 0);
+        unsafe { &*self.ptr.add(off).cast::<AtomicU64>() }
+    }
+
+    fn atomic_u32(&self, off: usize) -> &AtomicU32 {
+        debug_assert!(off + 4 <= HEADER_LEN && off % 4 == 0);
+        unsafe { &*self.ptr.add(off).cast::<AtomicU32>() }
+    }
+
+    fn head(&self) -> &AtomicU64 {
+        self.atomic_u64(OFF_HEAD)
+    }
+
+    fn tail(&self) -> &AtomicU64 {
+        self.atomic_u64(OFF_TAIL)
+    }
+
+    fn producer_closed(&self) -> bool {
+        self.atomic_u32(OFF_PRODUCER_CLOSED).load(Ordering::Acquire) != 0
+    }
+
+    fn consumer_closed(&self) -> bool {
+        self.atomic_u32(OFF_CONSUMER_CLOSED).load(Ordering::Acquire) != 0
+    }
+
+    fn close(&self, off: usize) {
+        self.atomic_u32(off).store(1, Ordering::Release);
+    }
+
+    fn data(&self) -> *mut u8 {
+        unsafe { self.ptr.add(HEADER_LEN) }
+    }
+
+    /// Copy `src` into the ring starting at logical cursor `at`,
+    /// wrapping across the capacity boundary.
+    fn copy_in(&self, at: u64, src: &[u8]) {
+        let mask = self.cap - 1;
+        let at = (at & mask) as usize;
+        let first = src.len().min(self.cap as usize - at);
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.data().add(at), first);
+            std::ptr::copy_nonoverlapping(src.as_ptr().add(first), self.data(), src.len() - first);
+        }
+    }
+
+    /// Copy out of the ring starting at logical cursor `at` into `dst`.
+    fn copy_out(&self, at: u64, dst: &mut [u8]) {
+        let mask = self.cap - 1;
+        let at = (at & mask) as usize;
+        let first = dst.len().min(self.cap as usize - at);
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.data().add(at), dst.as_mut_ptr(), first);
+            std::ptr::copy_nonoverlapping(
+                self.data(),
+                dst.as_mut_ptr().add(first),
+                dst.len() - first,
+            );
+        }
+    }
+}
+
+impl Drop for Map {
+    fn drop(&mut self) {
+        sys::unmap(self.ptr, self.len);
+    }
+}
+
+/// Spin → yield → bounded-sleep backoff for cross-process waits.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn pause(&mut self) {
+        if self.step < SPINS {
+            std::hint::spin_loop();
+        } else if self.step < SPINS + YIELDS {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(SLEEP);
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+fn read_header_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().expect("2 bytes"))
+}
+
+fn read_header_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Create one ring file at `path` (via a temp file and an atomic
+/// rename, so an attaching producer never observes a half-written
+/// header) and map it. Consumer side.
+fn create_ring(path: &Path, capacity: usize, who: &str) -> FilterResult<Map> {
+    let err = |m: String| FilterError::new(who.to_string(), m);
+    if !capacity.is_power_of_two() || capacity < MIN_CAPACITY {
+        return Err(err(format!(
+            "shm capacity {capacity} must be a power of two >= {MIN_CAPACITY}"
+        )));
+    }
+    let tmp = path.with_extension("tmp");
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&tmp)
+        .map_err(|e| err(format!("create {}: {e}", tmp.display())))?;
+    file.set_len((HEADER_LEN + capacity) as u64)
+        .map_err(|e| err(format!("size {}: {e}", tmp.display())))?;
+    let mut header = [0u8; 16];
+    header[0..4].copy_from_slice(&SHM_MAGIC);
+    header[4..6].copy_from_slice(&SHM_VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&(capacity as u64).to_le_bytes());
+    {
+        use std::io::Write;
+        (&file)
+            .write_all(&header)
+            .map_err(|e| err(format!("init {}: {e}", tmp.display())))?;
+    }
+    let ptr = sys::map_shared(&file, HEADER_LEN + capacity)
+        .map_err(|e| err(format!("mmap {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        sys::unmap(ptr, HEADER_LEN + capacity);
+        err(format!("publish {}: {e}", path.display()))
+    })?;
+    Ok(Map {
+        ptr,
+        len: HEADER_LEN + capacity,
+        cap: capacity as u64,
+        _file: file,
+    })
+}
+
+/// Open and validate an existing ring file. Producer side; retries
+/// until the consumer's atomic rename lands (bounded by
+/// [`ATTACH_BUDGET`]).
+fn attach_ring(path: &Path, control: Option<&Arc<RunControl>>, who: &str) -> FilterResult<Map> {
+    let err = |m: String| FilterError::new(who.to_string(), m);
+    let start = Instant::now();
+    let file = loop {
+        if control.is_some_and(|c| c.is_cancelled()) {
+            return Err(FilterError::cancelled(
+                who.to_string(),
+                "run cancelled while attaching to shm ring",
+            ));
+        }
+        match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => break f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if start.elapsed() >= ATTACH_BUDGET {
+                    return Err(err(format!(
+                        "shm ring {} did not appear within {ATTACH_BUDGET:?}",
+                        path.display()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(err(format!("open {}: {e}", path.display()))),
+        }
+    };
+    let file_len = file
+        .metadata()
+        .map_err(|e| err(format!("stat {}: {e}", path.display())))?
+        .len() as usize;
+    if file_len < HEADER_LEN + MIN_CAPACITY {
+        return Err(FilterError::malformed(
+            who.to_string(),
+            format!(
+                "shm ring {} is truncated ({file_len} bytes)",
+                path.display()
+            ),
+        ));
+    }
+    let ptr = sys::map_shared(&file, file_len)
+        .map_err(|e| err(format!("mmap {}: {e}", path.display())))?;
+    let header = unsafe { std::slice::from_raw_parts(ptr, 16) };
+    let check = (|| -> FilterResult<u64> {
+        if header[0..4] != SHM_MAGIC {
+            return Err(FilterError::malformed(
+                who.to_string(),
+                format!(
+                    "bad shm magic {:02x?} (expected {SHM_MAGIC:02x?})",
+                    &header[0..4]
+                ),
+            ));
+        }
+        let version = read_header_u16(header, 4);
+        if version != SHM_VERSION {
+            return Err(FilterError::malformed(
+                who.to_string(),
+                format!("shm layout version {version} (expected {SHM_VERSION})"),
+            ));
+        }
+        let cap = read_header_u64(header, 8);
+        if !cap.is_power_of_two() || cap as usize + HEADER_LEN != file_len {
+            return Err(FilterError::malformed(
+                who.to_string(),
+                format!("shm capacity {cap} inconsistent with file size {file_len}"),
+            ));
+        }
+        Ok(cap)
+    })();
+    let cap = match check {
+        Ok(c) => c,
+        Err(e) => {
+            sys::unmap(ptr, file_len);
+            return Err(e);
+        }
+    };
+    Ok(Map {
+        ptr,
+        len: file_len,
+        cap,
+        _file: file,
+    })
+}
+
+/// Producer half of one ring: frame writer over the byte pipe.
+pub struct ShmSender {
+    map: Map,
+    control: Option<Arc<RunControl>>,
+    who: String,
+}
+
+impl ShmSender {
+    /// Attach to the ring file at `path` (created by the consumer).
+    pub fn attach(
+        path: &Path,
+        control: Option<Arc<RunControl>>,
+        who: String,
+    ) -> FilterResult<Self> {
+        let map = attach_ring(path, control.as_ref(), &who)?;
+        Ok(ShmSender { map, control, who })
+    }
+
+    fn cancelled(&self) -> Option<FilterError> {
+        self.control
+            .as_ref()
+            .filter(|c| c.is_cancelled())
+            .map(|_| FilterError::cancelled(self.who.clone(), "run cancelled during shm write"))
+    }
+
+    /// Stream `buf` into the ring, publishing incrementally so records
+    /// larger than the ring flow through without deadlock.
+    pub fn write_all(&mut self, mut buf: &[u8]) -> FilterResult<()> {
+        let mut backoff = Backoff::new();
+        while !buf.is_empty() {
+            if let Some(e) = self.cancelled() {
+                return Err(e);
+            }
+            if self.map.consumer_closed() {
+                return Err(FilterError::new(
+                    self.who.clone(),
+                    "shm ring closed by consumer",
+                ));
+            }
+            let head = self.map.head().load(Ordering::Acquire);
+            let tail = self.map.tail().load(Ordering::Relaxed);
+            let free = self.map.cap - tail.wrapping_sub(head);
+            if free == 0 {
+                backoff.pause();
+                continue;
+            }
+            let n = (free as usize).min(buf.len());
+            self.map.copy_in(tail, &buf[..n]);
+            self.map
+                .tail()
+                .store(tail.wrapping_add(n as u64), Ordering::Release);
+            buf = &buf[n..];
+            backoff.reset();
+        }
+        Ok(())
+    }
+
+    /// Write one control frame.
+    pub fn write_frame(&mut self, f: &Frame) -> FilterResult<()> {
+        self.write_all(&encode_frame(f))
+    }
+
+    /// Write a data frame without an intermediate encode of the payload.
+    pub fn write_data(&mut self, from: u32, seq: u64, payload: &[u8]) -> FilterResult<()> {
+        if payload.len() > MAX_FRAME_PAYLOAD {
+            return Err(FilterError::new(
+                self.who.clone(),
+                format!(
+                    "packet of {} bytes exceeds the frame cap {MAX_FRAME_PAYLOAD}",
+                    payload.len()
+                ),
+            ));
+        }
+        self.write_all(&encode_data_header(from, seq, payload.len()))?;
+        self.write_all(payload)
+    }
+}
+
+impl Drop for ShmSender {
+    fn drop(&mut self) {
+        // Published after any final tail store, so the reader observing
+        // the flag re-loads tail and drains everything first.
+        self.map.close(OFF_PRODUCER_CLOSED);
+    }
+}
+
+/// Consumer half of one ring: frame reader over the byte pipe. Unlinks
+/// the ring file on drop.
+pub struct ShmReceiver {
+    map: Map,
+    control: Option<Arc<RunControl>>,
+    who: String,
+    path: PathBuf,
+}
+
+impl ShmReceiver {
+    /// Create the ring file at `path` and take the consumer side.
+    pub fn create(
+        path: &Path,
+        capacity: usize,
+        control: Option<Arc<RunControl>>,
+        who: String,
+    ) -> FilterResult<Self> {
+        let map = create_ring(path, capacity, &who)?;
+        Ok(ShmReceiver {
+            map,
+            control,
+            who,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn cancelled(&self) -> Option<FilterError> {
+        self.control
+            .as_ref()
+            .filter(|c| c.is_cancelled())
+            .map(|_| FilterError::cancelled(self.who.clone(), "run cancelled during shm read"))
+    }
+
+    /// Fill `buf` completely. `Ok(false)` means the producer closed at
+    /// a record boundary (`allow_eof` and no byte read yet); a close
+    /// mid-frame is malformed — exactly the socket reader's contract.
+    fn fill(&mut self, buf: &mut [u8], allow_eof: bool) -> FilterResult<bool> {
+        let mut off = 0;
+        let mut backoff = Backoff::new();
+        while off < buf.len() {
+            if let Some(e) = self.cancelled() {
+                return Err(e);
+            }
+            let head = self.map.head().load(Ordering::Relaxed);
+            let tail = self.map.tail().load(Ordering::Acquire);
+            let used = tail.wrapping_sub(head);
+            if used == 0 {
+                if self.map.producer_closed() {
+                    // The close flag trails the final tail store:
+                    // re-check before declaring EOF.
+                    if self.map.tail().load(Ordering::Acquire) != tail {
+                        continue;
+                    }
+                    if off == 0 && allow_eof {
+                        return Ok(false);
+                    }
+                    return Err(FilterError::malformed(
+                        self.who.clone(),
+                        "shm ring closed mid-frame",
+                    ));
+                }
+                backoff.pause();
+                continue;
+            }
+            let n = (used as usize).min(buf.len() - off);
+            self.map.copy_out(head, &mut buf[off..off + n]);
+            self.map
+                .head()
+                .store(head.wrapping_add(n as u64), Ordering::Release);
+            off += n;
+            backoff.reset();
+        }
+        Ok(true)
+    }
+
+    /// Read one frame; `Ok(None)` when the producer closed at a frame
+    /// boundary. Shares the header-layout tables and [`decode_frame`]
+    /// with the socket path, so both transports parse one format.
+    pub fn read_frame(&mut self) -> FilterResult<Option<Frame>> {
+        let mut tag = [0u8; 1];
+        if !self.fill(&mut tag, true)? {
+            return Ok(None);
+        }
+        let Some(header_len) = frame_header_len(tag[0]) else {
+            return Err(FilterError::malformed(
+                self.who.clone(),
+                format!("unknown frame tag {}", tag[0]),
+            ));
+        };
+        let mut frame = vec![tag[0]; 1];
+        frame.resize(1 + header_len, 0);
+        self.fill(&mut frame[1..], false)?;
+        if let Some(at) = frame_len_field_at(tag[0]) {
+            let len = u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_PAYLOAD {
+                return Err(FilterError::malformed(
+                    self.who.clone(),
+                    format!("frame declares {len} bytes (cap {MAX_FRAME_PAYLOAD})"),
+                ));
+            }
+            let at = frame.len();
+            frame.resize(at + len, 0);
+            self.fill(&mut frame[at..], false)?;
+        }
+        decode_frame(&frame)
+            .map(|(f, _)| Some(f))
+            .map_err(|e| FilterError {
+                filter: self.who.clone(),
+                ..e
+            })
+    }
+}
+
+impl Drop for ShmReceiver {
+    fn drop(&mut self) {
+        self.map.close(OFF_CONSUMER_CLOSED);
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Ring file path for producer copy `p` of the link at `base`.
+pub fn ring_path(base: &str, producer: u32) -> PathBuf {
+    PathBuf::from(format!("{base}.{producer}"))
+}
+
+/// Consumer side of one logical link over shared memory: one ring file
+/// per upstream producer copy, created **eagerly** so the worker can
+/// announce the base path before any producer attaches.
+pub struct ShmIngress {
+    base: String,
+    receivers: Vec<ShmReceiver>,
+}
+
+impl std::fmt::Debug for ShmIngress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmIngress")
+            .field("base", &self.base)
+            .field("producers", &self.receivers.len())
+            .finish()
+    }
+}
+
+impl ShmIngress {
+    /// Create `producers` ring files at `<base>.<p>`.
+    pub fn create(
+        base: &str,
+        producers: usize,
+        capacity: usize,
+        control: Option<Arc<RunControl>>,
+    ) -> FilterResult<Self> {
+        let mut receivers = Vec::with_capacity(producers);
+        for p in 0..producers {
+            receivers.push(ShmReceiver::create(
+                &ring_path(base, p as u32),
+                capacity,
+                control.clone(),
+                format!("shm.ingress[{p}]"),
+            )?);
+        }
+        Ok(ShmIngress {
+            base: base.to_string(),
+            receivers,
+        })
+    }
+
+    /// The base path producers derive their ring paths from.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// Bridge every producer's frames onto the local `writers` (writer
+    /// `p` plays producer copy `p`, preserving in-process round-robin
+    /// routing). Returns when every producer sent `End`, or with the
+    /// first error after cancelling the run. Unlike TCP ingress there
+    /// is no reconnection: a producer closing its ring before `End` is
+    /// an error, and recovery-across-restart links stay on TCP.
+    pub fn serve_probed(
+        self,
+        link: u32,
+        writers: Vec<StreamWriter>,
+        control: Option<Arc<RunControl>>,
+        probe: Option<Arc<LinkProbe>>,
+    ) -> FilterResult<NetLinkStats> {
+        assert_eq!(
+            writers.len(),
+            self.receivers.len(),
+            "one local writer per producer ring"
+        );
+        let frames = AtomicU64::new(0);
+        let bytes = AtomicU64::new(0);
+        let errors: Mutex<Vec<FilterError>> = Mutex::new(Vec::new());
+        let (frames, bytes, errors) = (&frames, &bytes, &errors);
+        let control = &control;
+        let fail = |e: FilterError| {
+            if let Some(c) = control {
+                c.cancel(format!("shm ingress link {link} failed: {e}"));
+            }
+            plock(errors).push(e);
+        };
+        let fail = &fail;
+        let mut deduped = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (p, (mut rx, writer)) in self.receivers.into_iter().zip(writers).enumerate() {
+                let probe = probe.clone();
+                handles.push(scope.spawn(move || {
+                    let mut feeder = IngressFeeder::new(writer);
+                    let res = (|| -> FilterResult<()> {
+                        match rx.read_frame()? {
+                            Some(Frame::Hello {
+                                link: got_link,
+                                producer,
+                            }) => {
+                                if got_link != link || producer as usize != p {
+                                    return Err(FilterError::malformed(
+                                        format!("shm.ingress[{p}]"),
+                                        format!(
+                                            "hello for link {got_link} producer {producer} \
+                                             arrived at link {link} producer {p}"
+                                        ),
+                                    ));
+                                }
+                            }
+                            f => {
+                                return Err(FilterError::malformed(
+                                    format!("shm.ingress[{p}]"),
+                                    format!("expected Hello, got {f:?}"),
+                                ))
+                            }
+                        }
+                        loop {
+                            match rx.read_frame()? {
+                                Some(Frame::Data { from, seq, payload }) => {
+                                    if from as usize != p {
+                                        return Err(FilterError::malformed(
+                                            format!("shm.ingress[{p}]"),
+                                            format!("frame from producer {from} on ring {p}"),
+                                        ));
+                                    }
+                                    let n = payload.len() as u64;
+                                    if feeder.feed(seq, Buffer::from_vec(payload))? {
+                                        frames.fetch_add(1, Ordering::Relaxed);
+                                        bytes.fetch_add(n, Ordering::Relaxed);
+                                        if let Some(pr) = &probe {
+                                            pr.count_frame(n);
+                                        }
+                                    } else if let Some(pr) = &probe {
+                                        pr.deduped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Some(Frame::End { from }) => {
+                                    if from as usize != p {
+                                        return Err(FilterError::malformed(
+                                            format!("shm.ingress[{p}]"),
+                                            format!("End from producer {from} on ring {p}"),
+                                        ));
+                                    }
+                                    feeder.end();
+                                    return Ok(());
+                                }
+                                // No reconnection on shm: a ring closing
+                                // before End means the producer died.
+                                Some(Frame::Close) | None => {
+                                    return Err(FilterError::malformed(
+                                        format!("shm.ingress[{p}]"),
+                                        "producer closed its ring before End",
+                                    ));
+                                }
+                                Some(f) => {
+                                    return Err(FilterError::malformed(
+                                        format!("shm.ingress[{p}]"),
+                                        format!("unexpected frame mid-stream: {f:?}"),
+                                    ));
+                                }
+                            }
+                        }
+                    })();
+                    if let Err(e) = res {
+                        fail(e);
+                    }
+                    if !feeder.ended() {
+                        // Error/cancel path: unblock downstream readers.
+                        feeder.end();
+                    }
+                    feeder.deduped()
+                }));
+            }
+            for h in handles {
+                deduped += h.join().unwrap_or(0);
+            }
+        });
+        if let Some(e) = plock(errors).first() {
+            return Err(e.clone());
+        }
+        Ok(NetLinkStats {
+            frames: frames.load(Ordering::Relaxed),
+            bytes: bytes.load(Ordering::Relaxed),
+            deduped,
+        })
+    }
+}
+
+/// Drain one local 1→1 stream behind producer copy `producer` into the
+/// ring at `<base>.<producer>` — the shm analogue of
+/// [`crate::net::egress_pump_probed`], with the same per-packet ack
+/// commit so producer-side replay buffers stay bounded.
+pub fn shm_egress_pump_probed(
+    mut reader: StreamReader,
+    base: &str,
+    link: u32,
+    producer: u32,
+    control: Option<Arc<RunControl>>,
+    probe: Option<Arc<LinkProbe>>,
+) -> FilterResult<NetLinkStats> {
+    let who = format!("shm.egress[{producer}]");
+    let mut tx = ShmSender::attach(&ring_path(base, producer), control.clone(), who.clone())?;
+    tx.write_frame(&Frame::Hello { link, producer })?;
+    let mut seq = 0u64;
+    let (mut frames, mut bytes) = (0u64, 0u64);
+    while let Some(buf) = reader.read() {
+        tx.write_data(producer, seq, buf.as_slice())?;
+        seq += 1;
+        reader.commit_acks();
+        frames += 1;
+        bytes += buf.len() as u64;
+        if let Some(p) = &probe {
+            p.frames.fetch_add(1, Ordering::Relaxed);
+            p.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
+    }
+    if control.as_ref().is_some_and(|c| c.is_cancelled()) {
+        return Err(FilterError::cancelled(who, "run cancelled during transmit"));
+    }
+    tx.write_frame(&Frame::End { from: producer })?;
+    tx.write_frame(&Frame::Close)?;
+    Ok(NetLinkStats {
+        frames,
+        bytes,
+        deduped: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{logical_stream, Distribution};
+    use std::sync::atomic::AtomicU32 as TestCounter;
+
+    static NEXT: TestCounter = TestCounter::new(0);
+
+    fn test_base(tag: &str) -> String {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        shm_dir()
+            .join(format!("cgp-shm-test-{}-{tag}-{n}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_ring() {
+        let path = PathBuf::from(format!("{}.0", test_base("roundtrip")));
+        let mut rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()).unwrap();
+        let mut tx = ShmSender::attach(&path, None, "tx".into()).unwrap();
+        let sent = vec![
+            Frame::Hello {
+                link: 3,
+                producer: 0,
+            },
+            Frame::Data {
+                from: 0,
+                seq: 0,
+                payload: vec![7; 100],
+            },
+            Frame::End { from: 0 },
+            Frame::Close,
+        ];
+        let expect = sent.clone();
+        let writer = std::thread::spawn(move || {
+            for f in &sent {
+                tx.write_frame(f).unwrap();
+            }
+        });
+        for f in &expect {
+            assert_eq!(rx.read_frame().unwrap().as_ref(), Some(f));
+        }
+        writer.join().unwrap();
+        drop(rx);
+        assert!(!path.exists(), "receiver unlinks the ring file on drop");
+    }
+
+    #[test]
+    fn frame_larger_than_the_ring_streams_through() {
+        let path = PathBuf::from(format!("{}.0", test_base("large")));
+        let mut rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()).unwrap();
+        let mut tx = ShmSender::attach(&path, None, "tx".into()).unwrap();
+        // 4× the ring: the writer must publish incrementally while the
+        // reader concurrently drains.
+        let payload: Vec<u8> = (0..4 * MIN_CAPACITY).map(|i| (i % 251) as u8).collect();
+        let want = payload.clone();
+        let writer = std::thread::spawn(move || {
+            tx.write_data(0, 0, &payload).unwrap();
+        });
+        match rx.read_frame().unwrap() {
+            Some(Frame::Data { from, seq, payload }) => {
+                assert_eq!((from, seq), (0, 0));
+                assert_eq!(payload, want);
+            }
+            f => panic!("expected Data, got {f:?}"),
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn producer_drop_is_clean_eof_at_boundary_and_malformed_mid_frame() {
+        let path = PathBuf::from(format!("{}.0", test_base("eof")));
+        let mut rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()).unwrap();
+        let mut tx = ShmSender::attach(&path, None, "tx".into()).unwrap();
+        tx.write_frame(&Frame::End { from: 0 }).unwrap();
+        drop(tx);
+        assert_eq!(rx.read_frame().unwrap(), Some(Frame::End { from: 0 }));
+        assert_eq!(rx.read_frame().unwrap(), None, "close at boundary is EOF");
+
+        let path = PathBuf::from(format!("{}.0", test_base("midframe")));
+        let mut rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()).unwrap();
+        let mut tx = ShmSender::attach(&path, None, "tx".into()).unwrap();
+        // A data header promising bytes that never arrive.
+        tx.write_all(&encode_data_header(0, 0, 64)).unwrap();
+        drop(tx);
+        let err = rx.read_frame().unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Malformed);
+        assert!(err.message.contains("mid-frame"), "{err}");
+    }
+
+    #[test]
+    fn attach_validates_magic_and_version() {
+        let base = test_base("validate");
+        let path = PathBuf::from(format!("{base}.0"));
+        let _rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()).unwrap();
+        // Corrupt a copy of the file rather than the live mapping.
+        let bogus = PathBuf::from(format!("{base}.bogus"));
+        std::fs::copy(&path, &bogus).unwrap();
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(&bogus).unwrap();
+            f.seek(SeekFrom::Start(0)).unwrap();
+            f.write_all(b"XXXX").unwrap();
+        }
+        let err = match ShmSender::attach(&bogus, None, "tx".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("attach accepted a corrupt ring"),
+        };
+        assert_eq!(err.kind, crate::error::ErrorKind::Malformed);
+        assert!(err.message.contains("magic"), "{err}");
+        std::fs::remove_file(&bogus).unwrap();
+    }
+
+    #[test]
+    fn cancel_unblocks_a_writer_stuck_on_a_full_ring() {
+        let path = PathBuf::from(format!("{}.0", test_base("cancel")));
+        let control = Arc::new(RunControl::new());
+        let _rx = ShmReceiver::create(&path, MIN_CAPACITY, Some(Arc::clone(&control)), "rx".into())
+            .unwrap();
+        let mut tx = ShmSender::attach(&path, Some(Arc::clone(&control)), "tx".into()).unwrap();
+        let writer = std::thread::spawn(move || {
+            // Nobody drains: this blocks once the ring fills, and must
+            // return a Cancelled error when the run is cancelled.
+            tx.write_data(0, 0, &vec![0u8; 4 * MIN_CAPACITY])
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        control.cancel("test");
+        let err = writer.join().unwrap().unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Cancelled);
+    }
+
+    #[test]
+    fn ingress_and_egress_bridge_local_streams_byte_identically() {
+        let base = test_base("bridge");
+        let producers = 2usize;
+        let ingress = ShmIngress::create(&base, producers, MIN_CAPACITY, None).unwrap();
+
+        // Producer side: two local 1→1 streams, one egress pump each.
+        let packets_per_producer = 200usize;
+        let mut pumps = Vec::new();
+        for p in 0..producers {
+            let (mut ws, mut rs) = logical_stream(1, 1, 16, Distribution::RoundRobin);
+            let (w, r) = (ws.remove(0), rs.remove(0));
+            let base = base.clone();
+            pumps.push(std::thread::spawn(move || {
+                let feeder = std::thread::spawn(move || {
+                    let mut w = w;
+                    for i in 0..packets_per_producer {
+                        w.write(Buffer::from_vec(vec![p as u8, (i % 256) as u8]))
+                            .unwrap();
+                    }
+                    w.close();
+                });
+                let stats = shm_egress_pump_probed(r, &base, 7, p as u32, None, None).unwrap();
+                feeder.join().unwrap();
+                stats
+            }));
+        }
+
+        // Consumer side: a 2→1 local stream fed by the ingress.
+        let (ws, mut rs) = logical_stream(producers, 1, 16, Distribution::RoundRobin);
+        let reader = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            let mut r = rs.remove(0);
+            while let Some(b) = r.read() {
+                seen.push(b.as_slice().to_vec());
+            }
+            seen
+        });
+        let stats = ingress.serve_probed(7, ws, None, None).unwrap();
+        assert_eq!(stats.frames, (producers * packets_per_producer) as u64);
+        let mut per_producer = vec![Vec::new(); producers];
+        for b in reader.join().unwrap() {
+            per_producer[b[0] as usize].push(b[1]);
+        }
+        for (p, seen) in per_producer.iter().enumerate() {
+            let want: Vec<u8> = (0..packets_per_producer).map(|i| (i % 256) as u8).collect();
+            assert_eq!(seen, &want, "producer {p} FIFO preserved");
+        }
+        for pump in pumps {
+            let stats = pump.join().unwrap();
+            assert_eq!(stats.frames, packets_per_producer as u64);
+        }
+    }
+}

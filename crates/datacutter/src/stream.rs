@@ -40,9 +40,10 @@
 //! [`Pipeline::with_recovery`]: crate::exec::Pipeline::with_recovery
 
 use crate::buffer::Buffer;
-use crate::channel::{bounded, bounded_cancellable, Receiver, Sender};
+use crate::channel::{bounded, bounded_cancellable, Receiver, RecvError, SendError, Sender};
 use crate::error::{FilterError, FilterResult};
 use crate::fault::RunControl;
+use crate::ring::{self, RingReceiver, RingSender};
 use crate::telemetry::{instant_us, StageProbe};
 use cgp_obs::metrics::Histogram;
 use cgp_obs::trace::{self, PID_RUNTIME};
@@ -98,6 +99,68 @@ enum Msg {
     End,
 }
 
+/// Sending half of one queue backing a logical stream: the mutex
+/// channel (general: MPMC, N→1 fan-in, replay-friendly) or the
+/// lock-free SPSC ring (selected automatically for 1→1 non-recovering
+/// links). Both expose identical blocking/batched/cancel semantics, so
+/// the stream layer is agnostic beyond this dispatch.
+enum MsgTx {
+    Chan(Sender<Msg>),
+    Ring(RingSender<Msg>),
+}
+
+impl MsgTx {
+    fn send(&self, msg: Msg) -> Result<(), SendError<Msg>> {
+        match self {
+            MsgTx::Chan(tx) => tx.send(msg),
+            MsgTx::Ring(tx) => tx.send(msg),
+        }
+    }
+
+    fn send_batch(&self, batch: &mut VecDeque<Msg>) -> Result<(), SendError<VecDeque<Msg>>> {
+        match self {
+            MsgTx::Chan(tx) => tx.send_batch(batch),
+            MsgTx::Ring(tx) => tx.send_batch(batch),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MsgTx::Chan(tx) => tx.len(),
+            MsgTx::Ring(tx) => tx.len(),
+        }
+    }
+}
+
+/// Receiving half, mirroring [`MsgTx`].
+enum MsgRx {
+    Chan(Receiver<Msg>),
+    Ring(RingReceiver<Msg>),
+}
+
+impl MsgRx {
+    fn recv(&self) -> Result<Msg, RecvError> {
+        match self {
+            MsgRx::Chan(rx) => rx.recv(),
+            MsgRx::Ring(rx) => rx.recv(),
+        }
+    }
+
+    fn try_recv_batch(&self, max: usize, out: &mut VecDeque<Msg>) -> Result<usize, RecvError> {
+        match self {
+            MsgRx::Chan(rx) => rx.try_recv_batch(max, out),
+            MsgRx::Ring(rx) => rx.try_recv_batch(max, out),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MsgRx::Chan(rx) => rx.len(),
+            MsgRx::Ring(rx) => rx.len(),
+        }
+    }
+}
+
 /// Ack/replay state shared by every endpoint of one logical stream
 /// (recovery runs only). Indexing is `[producer][consumer]`.
 pub(crate) struct ReplayShared {
@@ -151,7 +214,7 @@ impl ReplayShared {
 
 /// Reading end held by one consumer copy.
 pub struct StreamReader {
-    rx: Receiver<Msg>,
+    rx: MsgRx,
     producers_remaining: usize,
     /// Locally drained messages not yet handed to the filter. Filled by
     /// the adaptive drain: after a blocking receive delivers one message,
@@ -584,7 +647,7 @@ impl StreamReader {
 
 /// Writing end held by one producer copy.
 pub struct StreamWriter {
-    txs: Vec<Sender<Msg>>,
+    txs: Vec<MsgTx>,
     distribution: Distribution,
     next: usize,
     buffers_written: u64,
@@ -999,6 +1062,32 @@ pub fn logical_stream_recovering(
     control: Option<Arc<RunControl>>,
     recovering: bool,
 ) -> (Vec<StreamWriter>, Vec<StreamReader>) {
+    logical_stream_with(
+        producers,
+        consumers,
+        capacity,
+        distribution,
+        control,
+        recovering,
+        true,
+    )
+}
+
+/// [`logical_stream_recovering`] with explicit backend selection:
+/// `same_host_rings` permits the lock-free SPSC ring for 1→1
+/// non-recovering links (the default everywhere); `false` forces the
+/// mutex channel on every link, which benchmarks use to measure the
+/// ring against the channel on an otherwise identical pipeline.
+#[allow(clippy::fn_params_excessive_bools)]
+pub fn logical_stream_with(
+    producers: usize,
+    consumers: usize,
+    capacity: usize,
+    distribution: Distribution,
+    control: Option<Arc<RunControl>>,
+    recovering: bool,
+    same_host_rings: bool,
+) -> (Vec<StreamWriter>, Vec<StreamReader>) {
     assert!(producers > 0 && consumers > 0);
     assert!(capacity > 0);
     let replay = (recovering && distribution == Distribution::RoundRobin)
@@ -1007,7 +1096,7 @@ pub fn logical_stream_recovering(
         Some(c) => bounded_cancellable(cap, c.token()),
         None => bounded(cap),
     };
-    let reader = |rx: Receiver<Msg>, consumer: usize| StreamReader {
+    let reader = |rx: MsgRx, consumer: usize| StreamReader {
         rx,
         producers_remaining: producers,
         pending: VecDeque::new(),
@@ -1033,7 +1122,7 @@ pub fn logical_stream_recovering(
         drains: 0,
         last_flush_us: 0,
     };
-    let writer = |txs: Vec<Sender<Msg>>, from: usize, stagger: usize| StreamWriter {
+    let writer = |txs: Vec<MsgTx>, from: usize, stagger: usize| StreamWriter {
         txs,
         distribution,
         next: stagger,
@@ -1054,6 +1143,19 @@ pub fn logical_stream_recovering(
         origin_us: 0,
         fresh_origin: false,
     };
+    // 1→1 non-recovering links ride the lock-free SPSC ring: exactly one
+    // producer endpoint and one consumer endpoint, and no replay state
+    // (replay wants the channel's MPMC bookkeeping shape). Both
+    // distributions collapse to the same point-to-point semantics at
+    // width 1. Everything else — fan-in, fan-out, shared queues,
+    // recovering links — keeps the mutex channel.
+    if same_host_rings && producers == 1 && consumers == 1 && replay.is_none() {
+        let (tx, rx) = ring::spsc(capacity, control.as_ref().map(|c| c.token()));
+        return (
+            vec![writer(vec![MsgTx::Ring(tx)], 0, 0)],
+            vec![reader(MsgRx::Ring(rx), 0)],
+        );
+    }
     match distribution {
         Distribution::RoundRobin => {
             // One queue per consumer copy; every producer can reach every
@@ -1065,12 +1167,21 @@ pub fn logical_stream_recovering(
             for c in 0..consumers {
                 let (tx, rx) = channel(capacity);
                 txs_per_consumer.push(tx);
-                readers.push(reader(rx, c));
+                readers.push(reader(MsgRx::Chan(rx), c));
             }
             let writers = (0..producers)
                 // Stagger start positions so multiple producers do not
                 // all hit consumer 0 first.
-                .map(|p| writer(txs_per_consumer.clone(), p, p))
+                .map(|p| {
+                    writer(
+                        txs_per_consumer
+                            .iter()
+                            .map(|tx| MsgTx::Chan(tx.clone()))
+                            .collect(),
+                        p,
+                        p,
+                    )
+                })
                 .collect();
             (writers, readers)
         }
@@ -1080,9 +1191,17 @@ pub fn logical_stream_recovering(
             // eventually sees `producers` Ends.
             let (tx, rx) = channel(capacity);
             let writers = (0..producers)
-                .map(|p| writer(vec![tx.clone(); consumers], p, 0))
+                .map(|p| {
+                    writer(
+                        (0..consumers).map(|_| MsgTx::Chan(tx.clone())).collect(),
+                        p,
+                        0,
+                    )
+                })
                 .collect();
-            let readers = (0..consumers).map(|c| reader(rx.clone(), c)).collect();
+            let readers = (0..consumers)
+                .map(|c| reader(MsgRx::Chan(rx.clone()), c))
+                .collect();
             (writers, readers)
         }
     }

@@ -105,6 +105,7 @@ fn run_three_workers(n: u64, width: usize, faults: Option<FaultPlan>) -> u64 {
                 p.run_worker(WorkerEndpoints {
                     stage,
                     listener,
+                    shm_ingress: None,
                     connect,
                 })
                 .unwrap_or_else(|e| panic!("worker {stage}: {e}"));

@@ -230,6 +230,7 @@ fn three_workers_ship_telemetry_to_the_launcher() {
                     .run_worker(WorkerEndpoints {
                         stage,
                         listener,
+                        shm_ingress: None,
                         connect,
                     })
                     .unwrap_or_else(|e| panic!("worker {stage}: {e}"));

@@ -99,29 +99,35 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = q.clamp(0.0, 1.0);
+        // The extreme quantiles are known exactly — don't interpolate.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
                 continue;
             }
             if seen + n >= rank {
-                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                // Bucket edges tightened to the observed range: the top
+                // bucket is unbounded above, so its only honest upper
+                // edge is `max` (interpolating toward u64::MAX would put
+                // every mid-quantile estimate at the clamp).
+                let lo = (if i == 0 { 0u64 } else { 1u64 << (i - 1) }).max(self.min);
                 let hi = if i >= BUCKETS - 1 {
-                    // The top bucket is unbounded; the max clamp below is
-                    // the only meaningful upper estimate.
-                    u64::MAX
+                    self.max
                 } else {
-                    1u64 << i
+                    (1u64 << i).min(self.max)
                 };
+                let hi = hi.max(lo);
                 let frac = (rank - seen) as f64 / n as f64;
                 let est = lo as f64 + frac * (hi - lo) as f64;
-                let est = if est >= u64::MAX as f64 {
-                    u64::MAX
-                } else {
-                    est.round() as u64
-                };
-                return est.clamp(self.min, self.max);
+                return (est.round() as u64).clamp(self.min, self.max);
             }
             seen += n;
         }
@@ -428,9 +434,52 @@ mod tests {
         // clamped to the observed max.
         let p99 = h.percentile(0.99);
         assert!((64..=100).contains(&p99), "p99={p99}");
-        // Degenerate q values stay in range.
-        assert_eq!(h.percentile(0.0), h.percentile(1.0 / 4.0));
-        assert!(h.percentile(1.0) <= h.max);
+        // Degenerate q values hit the exact extremes.
+        assert_eq!(h.percentile(0.0), h.min);
+        assert_eq!(h.percentile(1.0), h.max);
+    }
+
+    #[test]
+    fn percentile_q0_is_min_and_q1_is_max() {
+        let mut h = Histogram::default();
+        for v in [5u64, 9, 1200, 77777] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 5);
+        assert_eq!(h.percentile(1.0), 77777);
+        // Out-of-range q is clamped, not propagated.
+        assert_eq!(h.percentile(-3.0), 5);
+        assert_eq!(h.percentile(7.0), 77777);
+    }
+
+    #[test]
+    fn percentile_top_unbounded_bucket_interpolates_to_observed_max() {
+        let mut h = Histogram::default();
+        // Both samples land in the unbounded last bucket [2^62, ∞); the
+        // interpolation edge must be the observed max, not u64::MAX.
+        h.record(1 << 62);
+        h.record(1 << 63);
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            let p = h.percentile(q);
+            assert!(
+                ((1u64 << 62)..=(1u64 << 63)).contains(&p),
+                "q={q} escaped the observed range: {p}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), 1 << 63);
+    }
+
+    #[test]
+    fn percentile_never_leaves_observed_range() {
+        let mut h = Histogram::default();
+        for v in [3u64, 3, 3, 900] {
+            h.record(v);
+        }
+        for i in 0..=100u32 {
+            let q = f64::from(i) / 100.0;
+            let p = h.percentile(q);
+            assert!((3..=900).contains(&p), "q={q} p={p}");
+        }
     }
 
     #[test]
