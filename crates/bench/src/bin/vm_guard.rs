@@ -1,0 +1,289 @@
+//! Bytecode-VM regression guard.
+//!
+//! Measures filter-body throughput (domain elements per second through a
+//! single-unit [`cgp_compiler::FilterStepper`]) on the knn and vmscope
+//! dialect programs, register VM vs tree-walking interpreter, and
+//! compares against the committed `BENCH_vm.json` baseline:
+//!
+//! ```sh
+//! cargo run --release -p cgp-bench --bin vm_guard            # check
+//! cargo run --release -p cgp-bench --bin vm_guard -- --record
+//! ```
+//!
+//! The check fails (exit 1) if:
+//!
+//! * the VM rate on either program drops more than 30% below its
+//!   baseline, or
+//! * the VM/interpreter speedup on either program falls below the
+//!   machine-independent 2× floor (the tentpole acceptance bar —
+//!   baselines record well above it).
+//!
+//! Both engines run the identical plan on identical packets each rep and
+//! their epilogue output is asserted byte-identical before anything is
+//! timed, so the guard can never "win" by diverging.
+//!
+//! Env knobs for CI smoke mode: `CGP_GUARD_VM_POINTS` (default 20000
+//! knn points), `CGP_GUARD_VM_ROWS` (default 192 vmscope rows),
+//! `CGP_GUARD_REPS` (default 7), `CGP_GUARD_BASELINE` (path).
+
+use cgp_compiler::FilterStepper;
+use cgp_core::apps::dialect::{knn_host_env, vmscope_host_env, KNN_SRC, VMSCOPE_SRC};
+use cgp_core::apps::knn::generate_points;
+use cgp_core::apps::vmscope::Slide;
+use cgp_core::{compile, CompileOptions, PipelineEnv};
+use cgp_lang::interp::{split_domain, HostEnv};
+use std::time::Instant;
+
+/// Cross-machine tolerance for the absolute-throughput checks.
+const DROP_TOLERANCE: f64 = 0.30;
+/// Machine-independent floor on the VM/interpreter speedup.
+const VM_SPEEDUP_FLOOR: f64 = 2.0;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pull the number following `"key":` out of the baseline JSON. The file
+/// is flat and written by this binary, so a scan beats a parser dep.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One compiled single-unit filter-body microbench.
+struct Case {
+    name: &'static str,
+    plan: cgp_compiler::FilterPlan,
+    host: HostEnv,
+    /// Total domain elements per sweep (the rate denominator).
+    elems: u64,
+    /// The cost model's weighted standard-op count per domain element
+    /// for this body (from the same decision report the decomposition
+    /// uses). `model_ops_per_elem × measured elems/s` is the engine's
+    /// implied compute power — the number the calibrated
+    /// [`cgp_compiler::cost::FilterEngine`] constants are pinned to.
+    model_ops_per_elem: f64,
+}
+
+impl Case {
+    /// Run one full packet sweep on the chosen engine; returns elapsed
+    /// seconds. A fresh stepper per sweep mirrors one unit of work.
+    fn sweep(&self, use_vm: bool) -> f64 {
+        let mut stepper = FilterStepper::new(&self.plan, &self.host)
+            .expect("stepper")
+            .with_vm(use_vm);
+        let ((lo, hi), n_packets) = stepper.loop_bounds().expect("loop bounds");
+        let t0 = Instant::now();
+        for (plo, phi) in split_domain(lo, hi, n_packets as usize) {
+            let out = stepper.step(0, (plo, phi), None).expect("step");
+            assert!(out.is_none(), "single-unit plan must not emit buffers");
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// Epilogue output of a full run on the chosen engine.
+    fn output(&self, use_vm: bool) -> Vec<String> {
+        let mut stepper = FilterStepper::new(&self.plan, &self.host)
+            .expect("stepper")
+            .with_vm(use_vm);
+        let ((lo, hi), n_packets) = stepper.loop_bounds().expect("loop bounds");
+        for (plo, phi) in split_domain(lo, hi, n_packets as usize) {
+            stepper.step(0, (plo, phi), None).expect("step");
+        }
+        stepper.finalize(&self.host).expect("finalize")
+    }
+
+    /// Paired best-of rates (elements/sec): engines interleave within
+    /// each rep so both sample the same scheduler-noise window.
+    fn paired_rates(&self, reps: usize) -> (f64, f64) {
+        // Warm both paths so allocator and lowering cold costs never
+        // land on a timed rep.
+        self.sweep(true);
+        self.sweep(false);
+        let (mut best_vm, mut best_it) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            best_vm = best_vm.min(self.sweep(true));
+            best_it = best_it.min(self.sweep(false));
+        }
+        (self.elems as f64 / best_vm, self.elems as f64 / best_it)
+    }
+}
+
+/// Planning power used when compiling the single-unit microbench plans.
+/// Only the ratio `stage_time × power` matters here — it recovers the
+/// model's raw standard-op count per packet, independent of this value.
+const PLAN_POWER: f64 = 1e8;
+
+/// The model's weighted standard ops per domain element, recovered from
+/// the single-unit plan's predicted stage time (`ops/pkt = T(C0) × power`,
+/// one model packet is `packet_size` elements).
+fn model_ops_per_elem(c: &cgp_core::Compiled, packet_size: i64) -> f64 {
+    c.report.stage_times.comp[0] * PLAN_POWER / packet_size as f64
+}
+
+fn knn_case(npoints: usize) -> Case {
+    let k = 8i64;
+    let num_packets = 16i64;
+    let pts = generate_points(npoints, 5);
+    let host = knn_host_env(&pts, [0.3, 0.6, 0.2], k, num_packets);
+    // Single pipeline unit: the whole filter body runs in one stepper
+    // step, so the engines — not cuts or packing — are the variable.
+    let opts = CompileOptions::new(PipelineEnv::uniform(1, PLAN_POWER, 1e6, 1e-5), num_packets)
+        .with_symbol("npoints", npoints as i64)
+        .with_symbol("k", k);
+    let c = compile(KNN_SRC, &opts).expect("compile knn");
+    Case {
+        name: "knn",
+        model_ops_per_elem: model_ops_per_elem(&c, num_packets),
+        plan: c.plan,
+        host,
+        elems: npoints as u64,
+    }
+}
+
+fn vmscope_case(rows: usize) -> Case {
+    let subsample = 2i64;
+    let num_packets = 16i64;
+    let slide = Slide::synthetic(rows, rows, 9);
+    let host = vmscope_host_env(&slide, subsample, num_packets);
+    let opts = CompileOptions::new(PipelineEnv::uniform(1, PLAN_POWER, 1e6, 1e-5), num_packets)
+        .with_symbol("height", rows as i64)
+        .with_symbol("width", rows as i64)
+        .with_symbol("subsample", subsample);
+    let c = compile(VMSCOPE_SRC, &opts).expect("compile vmscope");
+    Case {
+        name: "vmscope",
+        model_ops_per_elem: model_ops_per_elem(&c, num_packets),
+        plan: c.plan,
+        host,
+        elems: rows as u64,
+    }
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let baseline_path =
+        std::env::var("CGP_GUARD_BASELINE").unwrap_or_else(|_| "BENCH_vm.json".to_string());
+    let points = env_usize("CGP_GUARD_VM_POINTS", 20000);
+    let rows = env_usize("CGP_GUARD_VM_ROWS", 192);
+    let reps = env_usize("CGP_GUARD_REPS", 7);
+
+    let cases = [knn_case(points), vmscope_case(rows)];
+    let mut rates = Vec::new();
+    for case in &cases {
+        // Correctness before speed: identical epilogue output or bust.
+        let vm_out = case.output(true);
+        let it_out = case.output(false);
+        assert_eq!(
+            vm_out, it_out,
+            "{}: VM and interpreter output diverged",
+            case.name
+        );
+        let (vm, interp) = case.paired_rates(reps);
+        rates.push((case.name, vm, interp));
+    }
+
+    println!("filter-body throughput (elements/s, best of {reps}, single-unit plan):");
+    for ((name, vm, interp), case) in rates.iter().zip(&cases) {
+        println!(
+            "  {name:<8} interp: {interp:>12.0}   vm: {vm:>12.0}   speedup: {:.2}x   \
+             implied power (std ops/s): interp {:.2e}, vm {:.2e}",
+            vm / interp,
+            interp * case.model_ops_per_elem,
+            vm * case.model_ops_per_elem,
+        );
+    }
+
+    let (knn_vm, knn_it) = (rates[0].1, rates[0].2);
+    let (vms_vm, vms_it) = (rates[1].1, rates[1].2);
+    let (knn_ops, vms_ops) = (cases[0].model_ops_per_elem, cases[1].model_ops_per_elem);
+    let knn_speedup = knn_vm / knn_it;
+    let vms_speedup = vms_vm / vms_it;
+
+    if record {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"vm_filter_body\",\n",
+                "  \"knn_points\": {points},\n",
+                "  \"vmscope_rows\": {rows},\n",
+                "  \"knn_interp_elems_per_sec\": {knn_it:.0},\n",
+                "  \"knn_vm_elems_per_sec\": {knn_vm:.0},\n",
+                "  \"knn_speedup\": {knn_speedup:.2},\n",
+                "  \"knn_model_ops_per_elem\": {knn_ops:.1},\n",
+                "  \"vmscope_interp_elems_per_sec\": {vms_it:.0},\n",
+                "  \"vmscope_vm_elems_per_sec\": {vms_vm:.0},\n",
+                "  \"vmscope_speedup\": {vms_speedup:.2},\n",
+                "  \"vmscope_model_ops_per_elem\": {vms_ops:.1}\n",
+                "}}\n"
+            ),
+            points = points,
+            rows = rows,
+            knn_it = knn_it,
+            knn_vm = knn_vm,
+            knn_speedup = knn_speedup,
+            knn_ops = knn_ops,
+            vms_it = vms_it,
+            vms_vm = vms_vm,
+            vms_speedup = vms_speedup,
+            vms_ops = vms_ops,
+        );
+        std::fs::write(&baseline_path, json).expect("write baseline");
+        println!("baseline written to {baseline_path}");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {baseline_path}: {e}");
+            eprintln!("      (record one with `--record`)");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failed = false;
+    let mut check_drop = |name: &str, measured: f64, key: &str| {
+        let Some(base) = json_f64(&text, key) else {
+            eprintln!("FAIL: baseline missing {key}");
+            failed = true;
+            return;
+        };
+        let floor = base * (1.0 - DROP_TOLERANCE);
+        if measured < floor {
+            eprintln!(
+                "FAIL: {name} VM throughput {measured:.0} elems/s is more than {:.0}% below \
+                 the baseline {base:.0} elems/s (floor {floor:.0})",
+                DROP_TOLERANCE * 100.0
+            );
+            failed = true;
+        }
+    };
+    check_drop("knn", knn_vm, "knn_vm_elems_per_sec");
+    check_drop("vmscope", vms_vm, "vmscope_vm_elems_per_sec");
+    for (name, speedup) in [("knn", knn_speedup), ("vmscope", vms_speedup)] {
+        if speedup < VM_SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: {name} VM/interpreter speedup {speedup:.2}x is below the \
+                 {VM_SPEEDUP_FLOOR:.1}x floor"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: VM within {:.0}% of baseline and above the {VM_SPEEDUP_FLOOR:.1}x speedup floor \
+         on both programs (knn {knn_speedup:.2}x, vmscope {vms_speedup:.2}x)",
+        DROP_TOLERANCE * 100.0
+    );
+}

@@ -782,6 +782,14 @@ impl TelemetryAggregator {
 /// Demo-sized compile configuration per app (small workloads — these runs
 /// exist to populate traces and reports, not to measure).
 fn demo_config(app: DialectApp) -> (&'static str, &'static str, CompileOptions) {
+    // knn and vmscope plan at the calibrated VM compute power (the engine
+    // that actually runs their filter bodies; see
+    // `cgp_compiler::cost::FilterEngine`). The iso programs stay on the
+    // legacy conservative 1e8: their bodies are dominated by boxed
+    // `cubes[c].vN` field reads, which both engines execute well below
+    // the calibrated standard-op rate — raising their planning power
+    // would widen, not shrink, their calibration residuals.
+    let vm_power = cgp_compiler::cost::FilterEngine::Vm.power();
     match app {
         DialectApp::Zbuf => (
             "zbuf",
@@ -802,14 +810,14 @@ fn demo_config(app: DialectApp) -> (&'static str, &'static str, CompileOptions) 
         DialectApp::Knn { k } => (
             "knn",
             KNN_SRC,
-            CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e6, 1e-5), 64)
+            CompileOptions::new(PipelineEnv::uniform(3, vm_power, 1e6, 1e-5), 64)
                 .with_symbol("npoints", 300)
                 .with_symbol("k", k.min(50)),
         ),
         DialectApp::Vmscope => (
             "vmscope",
             VMSCOPE_SRC,
-            CompileOptions::new(PipelineEnv::uniform(3, 1e8, 1e6, 1e-5), 8)
+            CompileOptions::new(PipelineEnv::uniform(3, vm_power, 1e6, 1e-5), 8)
                 .with_symbol("height", 32)
                 .with_symbol("width", 32)
                 .with_symbol("subsample", 2)

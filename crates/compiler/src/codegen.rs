@@ -37,10 +37,12 @@ use crate::packing::{compute_layout, pack, unpack, PackLayout, RuntimeEnv};
 use crate::place::PlaceSet;
 use crate::reqcomm::ChainAnalysis;
 use cgp_lang::ast::*;
+use cgp_lang::bytecode::{vm::Vm, CodeBlock, ProgramCode};
 use cgp_lang::interp::{split_domain, HostEnv, Interp};
 use cgp_lang::span::Span;
 use cgp_lang::value::Value;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One filter of the generated pipeline.
 #[derive(Debug, Clone)]
@@ -67,6 +69,111 @@ pub struct FilterPlan {
     pub filters: Vec<FilterSpec>,
     /// Buffer layout for each link (`m − 1` entries).
     pub layouts: Vec<PackLayout>,
+    /// Register bytecode for every filter's atom sequence, lowered once
+    /// at plan-build time and shared (read-only) by all filter copies.
+    pub lowered: Arc<LoweredPlan>,
+}
+
+/// Plan-time lowered bytecode: the whole program's methods plus one step
+/// sequence per filter mirroring [`FilterSpec::atoms`] (a
+/// `CondSelect`/`CondBody` pair sharing a filter collapses into one
+/// reconstituted slice, exactly as the interpreter path does).
+#[derive(Debug)]
+pub struct LoweredPlan {
+    pub prog: ProgramCode,
+    pub steps: Vec<Vec<LoweredStep>>,
+    /// Per-filter replicated packet-local allocations.
+    pub replicated: Vec<Option<CodeBlock>>,
+}
+
+/// One VM-executable unit of a filter's packet step.
+#[derive(Debug)]
+pub enum LoweredStep {
+    /// Straight-line statements, a foreach atom, or a reconstituted
+    /// conditional foreach.
+    Slice(CodeBlock),
+    /// Filtering-cut condition probe (fills the `__pass` mask).
+    Select(CodeBlock),
+    /// Guarded body run per passing point, bound to `var`.
+    Body { var: String, code: CodeBlock },
+}
+
+/// Lower every filter's atoms for the VM path. Pairing logic must match
+/// [`FilterStepper::step`]'s interpreter loop so both engines execute the
+/// same statements in the same order.
+fn lower_filters(
+    np: &NormalizedPipeline,
+    graph: &BoundaryGraph,
+    filters: &[FilterSpec],
+) -> LoweredPlan {
+    let tp = &np.typed;
+    let prog = ProgramCode::lower(tp);
+    let class = &np.class;
+    let mut steps = Vec::with_capacity(filters.len());
+    let mut replicated = Vec::with_capacity(filters.len());
+    for f in filters {
+        replicated.push(if f.replicated_decls.is_empty() {
+            None
+        } else {
+            Some(prog.lower_slice(tp, class, &f.replicated_decls))
+        });
+        let mut list = Vec::new();
+        let atoms = &f.atoms;
+        let mut k = 0usize;
+        while k < atoms.len() {
+            let a = atoms[k];
+            match &graph.atoms[a].code {
+                AtomCode::Straight(ss) => {
+                    list.push(LoweredStep::Slice(prog.lower_slice(tp, class, ss)));
+                }
+                AtomCode::Foreach(s) => {
+                    list.push(LoweredStep::Slice(prog.lower_slice(
+                        tp,
+                        class,
+                        std::slice::from_ref(s),
+                    )));
+                }
+                AtomCode::CondSelect {
+                    var,
+                    domain,
+                    cond,
+                    cond_id,
+                } => {
+                    let body_here = k + 1 < atoms.len()
+                        && matches!(&graph.atoms[atoms[k+1]].code, AtomCode::CondBody { cond_id: c2, .. } if c2 == cond_id);
+                    if body_here {
+                        let AtomCode::CondBody { body, .. } = &graph.atoms[atoms[k + 1]].code
+                        else {
+                            unreachable!("checked above");
+                        };
+                        let merged = reconstitute(var, domain, cond, body);
+                        list.push(LoweredStep::Slice(prog.lower_slice(
+                            tp,
+                            class,
+                            std::slice::from_ref(&merged),
+                        )));
+                        k += 2;
+                        continue;
+                    }
+                    let probe = select_probe(var, domain, cond);
+                    list.push(LoweredStep::Select(prog.lower_slice(tp, class, &probe)));
+                }
+                AtomCode::CondBody { var, body, .. } => {
+                    list.push(LoweredStep::Body {
+                        var: var.clone(),
+                        code: prog.lower_slice(tp, class, &body.stmts),
+                    });
+                }
+            }
+            k += 1;
+        }
+        steps.push(list);
+    }
+    LoweredPlan {
+        prog,
+        steps,
+        replicated,
+    }
 }
 
 impl FilterPlan {
@@ -219,6 +326,7 @@ pub fn build_plan(
         }
     }
 
+    let lowered = Arc::new(lower_filters(np, graph, &filters));
     Ok(FilterPlan {
         np: np.clone(),
         graph: graph.clone(),
@@ -227,6 +335,7 @@ pub fn build_plan(
         m,
         filters,
         layouts,
+        lowered,
     })
 }
 
@@ -363,6 +472,11 @@ pub struct FilterStepper<'p> {
     /// Full host bindings (arrays included) — only the source filter sees
     /// these, which keeps the oracle honest about data placement.
     source_env: HashMap<String, Value>,
+    /// Execute packet steps on the register VM instead of the tree
+    /// walker. Off by default so [`run_plan_sequential`] stays an
+    /// independent interpreter-backed oracle; the threaded executor in
+    /// `cgp-core` turns it on unless `CGP_NO_VM` says otherwise.
+    use_vm: bool,
 }
 
 impl<'p> FilterStepper<'p> {
@@ -399,7 +513,17 @@ impl<'p> FilterStepper<'p> {
             state,
             config,
             source_env: host.values.clone(),
+            use_vm: false,
         })
+    }
+
+    /// Select the packet-step engine: the register VM (`true`) or the
+    /// tree-walking interpreter (`false`, the default). Prologue, loop
+    /// bounds, reduction merge, and epilogue always use the interpreter —
+    /// they run once per unit of work, not per packet.
+    pub fn with_vm(mut self, on: bool) -> Self {
+        self.use_vm = on;
+        self
     }
 
     /// Evaluate the pipelined loop's domain and packet count using filter
@@ -470,6 +594,9 @@ impl<'p> FilterStepper<'p> {
         pkt: (i64, i64),
         input: Option<&[u8]>,
     ) -> CompileResult<Option<Vec<u8>>> {
+        if self.use_vm {
+            return self.step_vm(j, pkt, input);
+        }
         let plan = self.plan;
         let tp = &plan.np.typed;
         let (lo, hi) = pkt;
@@ -602,6 +729,96 @@ impl<'p> FilterStepper<'p> {
 
         // Persist reduction-root mutations (Rc-shared, so already visible in
         // state) — nothing to copy back explicitly. Pack for downstream.
+        if j < plan.m - 1 {
+            let layout = &plan.layouts[j];
+            let buf = pack(layout, &vars, &renv, (lo, hi), selection.as_deref())?;
+            Ok(Some(buf))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// [`FilterStepper::step`] on the register VM: same globals, same
+    /// packet-local bindings, same atom order (via the plan's lowered
+    /// step list), same pack/unpack — only the statement executor
+    /// changes. Divergence from the interpreter path is a bug; the
+    /// differential suites in `cgp-lang` and `cgp-core` enforce that.
+    fn step_vm(
+        &mut self,
+        j: usize,
+        pkt: (i64, i64),
+        input: Option<&[u8]>,
+    ) -> CompileResult<Option<Vec<u8>>> {
+        let plan = self.plan;
+        let tp = &plan.np.typed;
+        let (lo, hi) = pkt;
+        let renv = self.runtime_env(lo, hi);
+        let lowered = &plan.lowered;
+
+        let globals = if j == 0 {
+            self.source_env.clone()
+        } else {
+            self.config.clone()
+        };
+        let mut vm = Vm::new(&lowered.prog, HostEnv { values: globals });
+
+        let mut vars: HashMap<String, Value> = self.state[j].clone();
+        let mut selection: Option<Vec<i64>> = None;
+        if j > 0 {
+            let input = input
+                .ok_or_else(|| CompileError::new(format!("filter {j} expected an input buffer")))?;
+            let un = unpack(&plan.layouts[j - 1], &renv, input)?;
+            selection = un.selection;
+            for (k, v) in un.vars {
+                vars.insert(k, v);
+            }
+        }
+        vars.insert(plan.np.pkt_var.clone(), Value::Domain(lo, hi));
+        if j == 0 {
+            for (name, ty) in &tp.symbols.externs {
+                if matches!(ty, Type::Array(_)) {
+                    if let Some(v) = self.source_env.get(name) {
+                        vars.insert(name.clone(), v.clone());
+                    }
+                }
+            }
+        }
+
+        if let Some(code) = &lowered.replicated[j] {
+            vm.exec_slice(code, &mut vars).map_err(CompileError::from)?;
+        }
+
+        for step in &lowered.steps[j] {
+            match step {
+                LoweredStep::Slice(code) => {
+                    vm.exec_slice(code, &mut vars).map_err(CompileError::from)?;
+                }
+                LoweredStep::Select(code) => {
+                    let mut pv = vars.clone();
+                    vm.exec_slice(code, &mut pv).map_err(CompileError::from)?;
+                    let mut passing = Vec::new();
+                    if let Some(Value::Array(mask)) = pv.get("__pass") {
+                        for (off, v) in mask.borrow().iter().enumerate() {
+                            if matches!(v, Value::Bool(true)) {
+                                passing.push(lo + off as i64);
+                            }
+                        }
+                    }
+                    selection = Some(passing);
+                }
+                LoweredStep::Body { var, code } => {
+                    let sel = selection
+                        .clone()
+                        .ok_or_else(|| CompileError::new("CondBody without a selection list"))?;
+                    for i in sel {
+                        vars.insert(var.clone(), Value::Int(i));
+                        vm.exec_slice(code, &mut vars).map_err(CompileError::from)?;
+                    }
+                    vars.remove(var);
+                }
+            }
+        }
+
         if j < plan.m - 1 {
             let layout = &plan.layouts[j];
             let buf = pack(layout, &vars, &renv, (lo, hi), selection.as_deref())?;
@@ -993,6 +1210,64 @@ mod tests {
         assert_eq!(
             run_plan_sequential(&plan_b, &host).unwrap(),
             oracle(src, &host)
+        );
+    }
+
+    /// [`run_plan_sequential`] with the stepper flipped onto the VM.
+    fn run_plan_sequential_vm(plan: &FilterPlan, host: &HostEnv) -> CompileResult<Vec<String>> {
+        let mut stepper = FilterStepper::new(plan, host)?.with_vm(true);
+        let ((dlo, dhi), n_packets) = stepper.loop_bounds()?;
+        for (lo, hi) in split_domain(dlo, dhi, n_packets as usize) {
+            let mut buf: Option<Vec<u8>> = None;
+            for j in 0..plan.m {
+                buf = stepper.step(j, (lo, hi), buf.as_deref())?;
+            }
+        }
+        stepper.finalize(host)
+    }
+
+    #[test]
+    fn vm_stepper_matches_interpreter_stepper() {
+        // Same plan, same packets, both engines — including filtering
+        // cuts (Select/Body steps) and reconstituted conditionals.
+        for m in 1..=4 {
+            for np_ in [1, 3, 7] {
+                let host = base_host(64, np_);
+                let plan = make_plan(BASE, m, DecompStyle::Spread);
+                let vm_out = run_plan_sequential_vm(&plan, &host).unwrap();
+                let it_out = run_plan_sequential(&plan, &host).unwrap();
+                assert_eq!(vm_out, it_out, "m={m} packets={np_}");
+                assert_eq!(vm_out, oracle(BASE, &host), "m={m} packets={np_}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_stepper_handles_filtering_cut_plans() {
+        let host = base_host(100, 5);
+        let np = normalize(&frontend(BASE).unwrap()).unwrap();
+        let g = build_graph(&np).unwrap();
+        let ca = analyze_chain(&np, &g).unwrap();
+        let n_tasks = g.atoms.len() + 1;
+        let (_, cond_b) = g.cond_boundaries[0];
+        // Cut exactly at the filtering boundary so the VM executes the
+        // Select probe upstream and the guarded Body downstream.
+        let mut unit_of = vec![0usize; n_tasks];
+        for (t, u) in unit_of.iter_mut().enumerate().skip(1) {
+            *u = if t - 1 <= cond_b { 0 } else { 1 };
+        }
+        let plan = build_plan(&np, &g, &ca, &Decomposition { unit_of, cost: 0.0 }, 2).unwrap();
+        assert!(
+            plan.lowered
+                .steps
+                .iter()
+                .flatten()
+                .any(|s| matches!(s, LoweredStep::Select(_))),
+            "this plan must exercise a filtering cut"
+        );
+        assert_eq!(
+            run_plan_sequential_vm(&plan, &host).unwrap(),
+            oracle(BASE, &host)
         );
     }
 

@@ -62,7 +62,10 @@ pub mod report;
 pub mod reqcomm;
 
 pub use calibrate::{CalibrationReport, MeasuredLink, MeasuredStage, StageCalibration};
-pub use codegen::{build_plan, run_plan_sequential, FilterPlan, FilterSpec, FilterStepper};
+pub use codegen::{
+    build_plan, run_plan_sequential, FilterPlan, FilterSpec, FilterStepper, LoweredPlan,
+    LoweredStep,
+};
 pub use decompose::{decompose_brute_force, decompose_dp, Decomposition, Problem};
 pub use driver::{
     choose_packet_count, compile, CompileOptions, Compiled, Objective, PacketSizePoint,

@@ -122,6 +122,10 @@ pub struct ExecOptions {
     /// of the lock-free SPSC ring (`CGP_NO_RINGS=1`). Benchmarking and
     /// escape hatch; rings are on by default.
     pub no_rings: bool,
+    /// Execute packet steps on the tree-walking interpreter instead of
+    /// the register bytecode VM (`CGP_NO_VM=1`). Benchmarking and escape
+    /// hatch; the VM is on by default and byte-identical by contract.
+    pub no_vm: bool,
     /// Distributed transport between same-host workers: `None`/`"shm"`
     /// uses shared-memory rings, `"tcp"` forces loopback TCP
     /// (`CGP_TRANSPORT`). Cross-host links always use TCP.
@@ -149,6 +153,8 @@ impl ExecOptions {
     /// - `CGP_TELEMETRY` — launcher telemetry aggregator address;
     /// - `CGP_NO_RINGS` — `1`/`true`/`on` forces mutex channels on
     ///   every 1→1 link (disables the lock-free SPSC ring);
+    /// - `CGP_NO_VM` — `1`/`true`/`on` runs packet steps on the
+    ///   tree-walking interpreter instead of the bytecode VM;
     /// - `CGP_TRANSPORT` — `shm` (default) or `tcp` for same-host
     ///   worker links.
     pub fn from_env() -> Result<ExecOptions, CoreError> {
@@ -194,6 +200,9 @@ impl ExecOptions {
         }
         if let Some(b) = flag("CGP_NO_RINGS")? {
             opts.no_rings = b;
+        }
+        if let Some(b) = flag("CGP_NO_VM")? {
+            opts.no_vm = b;
         }
         if let Ok(v) = std::env::var("CGP_TRANSPORT") {
             match v.trim().to_ascii_lowercase().as_str() {
@@ -247,6 +256,13 @@ impl ExecOptions {
     /// explicit off switch — it must never become a zero-interval spin).
     pub fn sampling_enabled(&self) -> bool {
         self.status_every.is_some_and(|d| d > Duration::ZERO)
+    }
+
+    /// Select the packet-step engine (`true` = bytecode VM, the
+    /// default; `false` = tree-walking interpreter).
+    pub fn use_vm(mut self, on: bool) -> Self {
+        self.no_vm = !on;
+        self
     }
 
     /// Parse a role spec: `local`, `launcher`, or `worker:<stage>`
@@ -408,6 +424,7 @@ fn build_pipeline(
     };
     let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let batch = opts.batch.unwrap_or(DEFAULT_BATCH).max(1);
+    let use_vm = !opts.no_vm;
 
     let mut pipeline = Pipeline::new()
         .with_capacity(32)
@@ -484,6 +501,7 @@ fn build_pipeline(
                     width,
                     m,
                     batch,
+                    use_vm,
                     output: Arc::clone(&out),
                     pending_restore: None,
                 })
@@ -509,6 +527,7 @@ struct PlanFilter {
     width: usize,
     m: usize,
     batch: usize,
+    use_vm: bool,
     output: Arc<Mutex<Vec<String>>>,
     /// Checkpoint bytes handed to `Filter::restore` before `process`
     /// runs; decoded and merged into the fresh reduction state once the
@@ -531,7 +550,9 @@ impl PlanFilter {
     fn run_unit_of_work(&mut self, io: &mut FilterIo) -> Result<(), CoreError> {
         let host = (self.host_builder)();
         let plan = Arc::clone(&self.plan);
-        let mut stepper = FilterStepper::new(&plan, &host).map_err(CoreError::Compile)?;
+        let mut stepper = FilterStepper::new(&plan, &host)
+            .map_err(CoreError::Compile)?
+            .with_vm(self.use_vm);
         let j = self.j;
 
         if j == 0 {
@@ -996,6 +1017,55 @@ mod tests {
         assert_eq!(cal.stages.len(), 3);
         let text = cal.render_text();
         assert!(text.contains("measured bottleneck"), "{text}");
+    }
+
+    #[test]
+    fn vm_and_interpreter_runs_are_byte_identical() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let plan = Arc::new(c.plan);
+        let vm_out = run_plan_threaded_opts(
+            Arc::clone(&plan),
+            Arc::new(host),
+            None,
+            &ExecOptions::default().use_vm(true),
+        )
+        .unwrap();
+        let it_out = run_plan_threaded_opts(
+            Arc::clone(&plan),
+            Arc::new(host),
+            None,
+            &ExecOptions::default().use_vm(false),
+        )
+        .unwrap();
+        assert_eq!(vm_out, it_out, "engines diverged");
+        assert_eq!(vm_out, oracle());
+    }
+
+    #[test]
+    fn vm_run_under_injected_fault_and_recovery_matches_oracle() {
+        // The chaos case: a panic injected mid-stream, masked by the
+        // recovery layer, must be byte-identical whichever engine runs
+        // the packet steps.
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let plan = Arc::new(c.plan);
+        for on in [true, false] {
+            let exec = ExecOptions {
+                faults: FaultPlan::new().panic_at("f2", 0, 3),
+                deadline: Some(Duration::from_secs(30)),
+                recover: true,
+                checkpoint_every: Some(2),
+                ..Default::default()
+            }
+            .use_vm(on);
+            let (out, stats) =
+                run_plan_threaded_stats(Arc::clone(&plan), Arc::new(host), None, &exec).unwrap();
+            assert_eq!(out, oracle(), "use_vm={on}");
+            assert_eq!(stats.recoveries(), 1, "use_vm={on}");
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod error;
 pub mod exec;
 pub mod sim;
 
-pub use cgp_compiler::cost::{LinkClass, PipelineEnv};
+pub use cgp_compiler::cost::{FilterEngine, LinkClass, PipelineEnv};
 pub use cgp_compiler::{
     compile, run_plan_sequential, CompileOptions, Compiled, Decomposition, FilterPlan, Objective,
 };

@@ -841,6 +841,37 @@ mod tests {
     }
 
     #[test]
+    fn split_domain_more_packets_than_elements() {
+        // n > domain size: exactly one single-element packet per element,
+        // never an empty packet.
+        let parts = split_domain(0, 3, 100);
+        assert_eq!(parts, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert!(parts.iter().all(|(a, b)| a <= b), "empty packet emitted");
+    }
+
+    #[test]
+    fn split_domain_single_element_domain() {
+        for n in 1..8usize {
+            assert_eq!(split_domain(7, 7, n), vec![(7, 7)], "n={n}");
+        }
+        // Single element at a negative coordinate.
+        assert_eq!(split_domain(-3, -3, 5), vec![(-3, -3)]);
+    }
+
+    #[test]
+    fn split_domain_negative_lo() {
+        // Bounds straddling zero keep coverage, order, and balance.
+        let parts = split_domain(-7, 4, 3);
+        assert_eq!(parts, vec![(-7, -4), (-3, 0), (1, 4)]);
+        // Entirely negative domain, uneven split: the remainder packets
+        // come first, exactly like the non-negative case.
+        let parts = split_domain(-10, -4, 3);
+        assert_eq!(parts, vec![(-10, -8), (-7, -6), (-5, -4)]);
+        // Empty domain expressed with negative bounds stays empty.
+        assert!(split_domain(-2, -3, 4).is_empty());
+    }
+
+    #[test]
     fn split_domain_balanced() {
         for total in 1..50i64 {
             for n in 1..10usize {

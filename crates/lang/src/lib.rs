@@ -36,6 +36,7 @@
 //! ```
 
 pub mod ast;
+pub mod bytecode;
 pub mod error;
 pub mod interp;
 pub mod lexer;

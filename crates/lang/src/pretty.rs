@@ -174,12 +174,37 @@ fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
 /// Render an expression (fully parenthesized for unambiguity).
 pub fn expr_to_string(e: &Expr) -> String {
     match &e.kind {
-        ExprKind::IntLit(v) => v.to_string(),
+        // Negative literals only arise synthetically (constant folding —
+        // the parser builds `Unary(Neg, lit)`). Print them in a form the
+        // lexer can read back: parenthesized, and `i64::MIN` — whose
+        // absolute value overflows the literal parser — as arithmetic.
+        ExprKind::IntLit(v) => match *v {
+            i64::MIN => "(-9223372036854775807 - 1)".to_string(),
+            v if v < 0 => format!("({v})"),
+            v => v.to_string(),
+        },
         ExprKind::DoubleLit(v) => {
-            if v.fract() == 0.0 && v.is_finite() {
-                format!("{v:.1}")
+            // Non-finite values have no literal syntax; emit arithmetic
+            // that evaluates back to the same value.
+            if v.is_nan() {
+                "(0.0 / 0.0)".to_string()
+            } else if v.is_infinite() {
+                if *v > 0.0 {
+                    "(1.0 / 0.0)".to_string()
+                } else {
+                    "(-1.0 / 0.0)".to_string()
+                }
             } else {
-                v.to_string()
+                let lit = if v.fract() == 0.0 {
+                    format!("{v:.1}")
+                } else {
+                    v.to_string()
+                };
+                if v.is_sign_negative() {
+                    format!("({lit})")
+                } else {
+                    lit
+                }
             }
         }
         ExprKind::BoolLit(v) => v.to_string(),
@@ -261,5 +286,34 @@ mod tests {
     fn double_literals_keep_a_dot() {
         let e = parse_expr("2.0").unwrap();
         assert_eq!(expr_to_string(&e), "2.0");
+    }
+
+    #[test]
+    fn synthetic_literals_print_reparseable_text() {
+        // Constant folding can produce literals the parser never builds:
+        // negative ints/doubles (the parser emits `Neg(lit)`), `i64::MIN`
+        // (its absolute value overflows the literal lexer), and
+        // non-finite doubles (no literal syntax at all). Each used to
+        // print as unlexable text; all must now reparse.
+        use crate::ast::ExprKind;
+        use crate::span::Span;
+        let cases = [
+            ExprKind::IntLit(-7),
+            ExprKind::IntLit(i64::MIN),
+            ExprKind::DoubleLit(-0.5),
+            ExprKind::DoubleLit(-3.0),
+            ExprKind::DoubleLit(f64::INFINITY),
+            ExprKind::DoubleLit(f64::NEG_INFINITY),
+            ExprKind::DoubleLit(f64::NAN),
+        ];
+        for kind in cases {
+            let e = Expr::new(Span::synthetic(), kind);
+            let printed = expr_to_string(&e);
+            parse_expr(&printed).unwrap_or_else(|d| panic!("`{printed}` does not reparse: {d:?}"));
+        }
+        assert_eq!(
+            expr_to_string(&Expr::new(Span::synthetic(), ExprKind::IntLit(-7))),
+            "(-7)"
+        );
     }
 }

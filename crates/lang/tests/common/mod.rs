@@ -1,0 +1,373 @@
+//! Shared test utilities: a seeded random *typed-program* generator.
+//!
+//! The generator emits source text from a type-directed grammar, so every
+//! program passes the checker by construction while still exercising the
+//! runtime's interesting territory: integer division/remainder by zero,
+//! empty `foreach` domains, unbound externs, `break`/`continue`, method
+//! calls and reduction objects, and int→double widening. Failures
+//! reproduce deterministically from the seed.
+
+use cgp_obs::SmallRng;
+use std::fmt::Write as _;
+
+#[derive(Clone, Copy, PartialEq)]
+pub enum Ty {
+    Int,
+    Double,
+    Bool,
+}
+
+pub struct ProgramGen {
+    pub rng: SmallRng,
+    /// Locals in scope: name, type.
+    scope: Vec<(String, Ty)>,
+    /// Fresh-name counter.
+    next: usize,
+    /// Nesting depth of generated loops (gates `break`/`continue`).
+    loop_depth: usize,
+    /// Whether an `acc` reduction object is in scope (pipelined bodies).
+    pub with_acc: bool,
+}
+
+impl ProgramGen {
+    pub fn new(seed: u64) -> Self {
+        ProgramGen {
+            rng: SmallRng::seed_from_u64(seed),
+            scope: Vec::new(),
+            next: 0,
+            loop_depth: 0,
+            with_acc: false,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next += 1;
+        format!("{prefix}{}", self.next)
+    }
+
+    fn var_of(&mut self, ty: Ty) -> Option<String> {
+        let names: Vec<&String> = self
+            .scope
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(n, _)| n)
+            .collect();
+        if names.is_empty() {
+            None
+        } else {
+            Some(names[self.rng.gen_range(0, names.len())].clone())
+        }
+    }
+
+    /// Assignment targets: declared locals only (`v*`). Loop counters and
+    /// `while` guards are read-only so every generated loop terminates.
+    fn assignable_of(&mut self, ty: Ty) -> Option<String> {
+        let names: Vec<&String> = self
+            .scope
+            .iter()
+            .filter(|(n, t)| *t == ty && n.starts_with('v'))
+            .map(|(n, _)| n)
+            .collect();
+        if names.is_empty() {
+            None
+        } else {
+            Some(names[self.rng.gen_range(0, names.len())].clone())
+        }
+    }
+
+    /// A well-typed int expression. Division and remainder are generated
+    /// on purpose: a zero denominator is a *runtime* diagnostic both
+    /// engines must raise identically.
+    pub fn int_expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return match self.rng.gen_range(0, 3) {
+                0 => format!("{}", self.rng.gen_range(0, 30)),
+                1 => self
+                    .var_of(Ty::Int)
+                    .unwrap_or_else(|| format!("{}", self.rng.gen_range(0, 30))),
+                _ => "n".to_string(),
+            };
+        }
+        match self.rng.gen_range(0, 8) {
+            0 => format!(
+                "({} + {})",
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1)
+            ),
+            1 => format!(
+                "({} - {})",
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1)
+            ),
+            2 => format!(
+                "({} * {})",
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1)
+            ),
+            3 => format!(
+                "({} / {})",
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1)
+            ),
+            4 => format!(
+                "({} % {})",
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1)
+            ),
+            5 => format!("toInt({})", self.double_expr(depth - 1)),
+            6 => format!(
+                "min({}, {})",
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1)
+            ),
+            _ => format!("abs({})", self.int_expr(depth - 1)),
+        }
+    }
+
+    pub fn double_expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return match self.rng.gen_range(0, 3) {
+                0 => format!("{}.{}", self.rng.gen_range(0, 9), self.rng.gen_range(0, 10)),
+                1 => self.var_of(Ty::Double).unwrap_or_else(|| "0.5".to_string()),
+                _ => format!("toDouble({})", self.int_expr(0)),
+            };
+        }
+        match self.rng.gen_range(0, 6) {
+            0 => format!(
+                "({} + {})",
+                self.double_expr(depth - 1),
+                self.double_expr(depth - 1)
+            ),
+            1 => format!(
+                "({} - {})",
+                self.double_expr(depth - 1),
+                self.double_expr(depth - 1)
+            ),
+            2 => format!(
+                "({} * {})",
+                self.double_expr(depth - 1),
+                self.double_expr(depth - 1)
+            ),
+            // Mixed int/double arithmetic exercises widening.
+            3 => format!(
+                "({} + {})",
+                self.int_expr(depth - 1),
+                self.double_expr(depth - 1)
+            ),
+            4 => format!("sqrt(abs({}))", self.double_expr(depth - 1)),
+            _ => format!(
+                "max({}, {})",
+                self.double_expr(depth - 1),
+                self.double_expr(depth - 1)
+            ),
+        }
+    }
+
+    pub fn bool_expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_bool(0.3) {
+            return match self.rng.gen_range(0, 3) {
+                0 => "true".to_string(),
+                1 => "false".to_string(),
+                _ => self.var_of(Ty::Bool).unwrap_or_else(|| "true".to_string()),
+            };
+        }
+        match self.rng.gen_range(0, 5) {
+            0 => {
+                let op = ["<", "<=", ">", ">=", "==", "!="][self.rng.gen_range(0, 6)];
+                format!(
+                    "({} {op} {})",
+                    self.int_expr(depth - 1),
+                    self.int_expr(depth - 1)
+                )
+            }
+            1 => {
+                let op = ["<", ">", "=="][self.rng.gen_range(0, 3)];
+                format!(
+                    "({} {op} {})",
+                    self.double_expr(depth - 1),
+                    self.double_expr(depth - 1)
+                )
+            }
+            2 => format!(
+                "({} && {})",
+                self.bool_expr(depth - 1),
+                self.bool_expr(depth - 1)
+            ),
+            3 => format!(
+                "({} || {})",
+                self.bool_expr(depth - 1),
+                self.bool_expr(depth - 1)
+            ),
+            _ => format!("!{}", self.bool_expr(depth - 1)),
+        }
+    }
+
+    fn expr_of(&mut self, ty: Ty, depth: usize) -> String {
+        match ty {
+            Ty::Int => self.int_expr(depth),
+            Ty::Double => self.double_expr(depth),
+            Ty::Bool => self.bool_expr(depth),
+        }
+    }
+
+    /// Emit `budget` random statements into `out`. Loops are bounded by
+    /// construction so every generated program terminates.
+    pub fn stmts(&mut self, out: &mut String, budget: usize) {
+        let base = self.scope.len();
+        for _ in 0..budget {
+            self.stmt(out, budget / 2);
+        }
+        self.scope.truncate(base);
+    }
+
+    fn stmt(&mut self, out: &mut String, inner_budget: usize) {
+        match self.rng.gen_range(0, 10) {
+            0 | 1 => {
+                let ty = [Ty::Int, Ty::Double, Ty::Bool][self.rng.gen_range(0, 3)];
+                let name = self.fresh("v");
+                let kw = match ty {
+                    Ty::Int => "int",
+                    Ty::Double => "double",
+                    Ty::Bool => "boolean",
+                };
+                let init = self.expr_of(ty, 2);
+                let _ = writeln!(out, "{kw} {name} = {init};");
+                self.scope.push((name, ty));
+            }
+            2 | 3 => {
+                let ty = [Ty::Int, Ty::Double][self.rng.gen_range(0, 2)];
+                if let Some(name) = self.assignable_of(ty) {
+                    let op = ["=", "+=", "-="][self.rng.gen_range(0, 3)];
+                    let rhs = self.expr_of(ty, 2);
+                    let _ = writeln!(out, "{name} {op} {rhs};");
+                } else {
+                    let v = self.int_expr(2);
+                    let _ = writeln!(out, "print({v});");
+                }
+            }
+            4 => {
+                let c = self.bool_expr(2);
+                let _ = writeln!(out, "if ({c}) {{");
+                self.stmts(out, 1 + inner_budget / 2);
+                if self.rng.gen_bool(0.5) {
+                    let _ = writeln!(out, "}} else {{");
+                    self.stmts(out, 1 + inner_budget / 2);
+                }
+                let _ = writeln!(out, "}}");
+            }
+            5 => {
+                let i = self.fresh("i");
+                let hi = self.rng.gen_range(0, 6);
+                let _ = writeln!(out, "for (int {i} = 0; {i} < {hi}; {i} += 1) {{");
+                self.scope.push((i, Ty::Int));
+                self.loop_depth += 1;
+                self.stmts(out, 1 + inner_budget / 2);
+                // `break` only: `continue` semantics around the step
+                // clause are covered by the bounded-while form below.
+                self.maybe_jump(out, false);
+                self.loop_depth -= 1;
+                self.scope.pop();
+                let _ = writeln!(out, "}}");
+            }
+            6 => {
+                // Possibly-empty domains are the point: an empty foreach
+                // must leave its loop variable unbound in both engines.
+                let d = self.fresh("d");
+                let i = self.fresh("i");
+                let lo = self.rng.gen_range(0, 6) as i64 - 2;
+                let hi = self.rng.gen_range(0, 6) as i64 - 2;
+                let _ = writeln!(out, "RectDomain<1> {d} = [{lo} : {hi}];");
+                let _ = writeln!(out, "foreach ({i} in {d}) {{");
+                self.scope.push((i, Ty::Int));
+                self.loop_depth += 1;
+                self.stmts(out, 1 + inner_budget / 2);
+                self.loop_depth -= 1;
+                self.scope.pop();
+                let _ = writeln!(out, "}}");
+            }
+            7 => {
+                // Decrement-first while: terminates even with `continue`.
+                let w = self.fresh("w");
+                let n0 = self.rng.gen_range(0, 5);
+                let _ = writeln!(out, "int {w} = {n0};");
+                self.scope.push((w.clone(), Ty::Int));
+                let _ = writeln!(out, "while ({w} > 0) {{");
+                let _ = writeln!(out, "{w} -= 1;");
+                self.loop_depth += 1;
+                self.stmts(out, 1 + inner_budget / 2);
+                self.maybe_jump(out, true);
+                self.loop_depth -= 1;
+                let _ = writeln!(out, "}}");
+            }
+            8 if self.with_acc => {
+                let x = self.double_expr(2);
+                let _ = writeln!(out, "acc.add({x});");
+            }
+            _ => {
+                let ty = [Ty::Int, Ty::Double, Ty::Bool][self.rng.gen_range(0, 3)];
+                let e = self.expr_of(ty, 2);
+                let _ = writeln!(out, "print({e});");
+            }
+        }
+    }
+
+    fn maybe_jump(&mut self, out: &mut String, allow_continue: bool) {
+        if self.loop_depth > 0 && self.rng.gen_bool(0.15) {
+            let kw = if allow_continue && self.rng.gen_bool(0.5) {
+                "continue"
+            } else {
+                "break"
+            };
+            let c = self.bool_expr(1);
+            let _ = writeln!(out, "if ({c}) {{ {kw}; }}");
+        }
+    }
+
+    /// A full straight-line program: random main body over extern `n`
+    /// (host-bound) and extern `u` (sometimes read while unbound — the
+    /// runtime unknown-variable diagnostic).
+    pub fn program(&mut self, budget: usize) -> String {
+        let mut body = String::new();
+        self.stmts(&mut body, budget);
+        if self.rng.gen_bool(0.08) {
+            body.push_str("print(u);\n");
+        }
+        format!("extern int n;\nextern int u;\nclass A {{ void main() {{\n{body}}} }}\n")
+    }
+
+    /// A pipelined reduction program with a random per-element body; the
+    /// packet variable, element variable and an `acc` object are in scope.
+    pub fn pipelined_program(&mut self, budget: usize) -> String {
+        let mut body = String::new();
+        self.scope.push(("i".to_string(), Ty::Int));
+        self.with_acc = true;
+        self.loop_depth += 1;
+        self.stmts(&mut body, budget);
+        self.loop_depth -= 1;
+        self.with_acc = false;
+        self.scope.pop();
+        format!(
+            concat!(
+                "extern int n;\n",
+                "runtime_define int num_packets;\n",
+                "class Acc implements Reducinterface {{\n",
+                "    double total;\n",
+                "    void reduce(Acc o) {{ total = total + o.total; }}\n",
+                "    void add(double x) {{ total = total + x; }}\n",
+                "}}\n",
+                "class A {{ void main() {{\n",
+                "    RectDomain<1> all = [0 : n - 1];\n",
+                "    Acc acc = new Acc();\n",
+                "    PipelinedLoop (pkt in all; num_packets) {{\n",
+                "        foreach (i in pkt) {{\n",
+                "            acc.add(toDouble(i));\n",
+                "{body}",
+                "        }}\n",
+                "    }}\n",
+                "    print(acc.total);\n",
+                "}} }}\n"
+            ),
+            body = body
+        )
+    }
+}
