@@ -35,8 +35,8 @@ use cgp_core::apps::dialect::{
 use cgp_core::apps::isosurface::ScalarGrid;
 use cgp_core::apps::vmscope::Slide;
 use cgp_core::datacutter::{
-    decode_telemetry_payload, shm_dir, FaultPlan, RunControl, ShmIngress, DEFAULT_SHM_CAPACITY,
-    SHM_PREFIX,
+    decode_telemetry_payload, shm_dir, shm_supported, FaultPlan, RunControl, ShmIngress,
+    DEFAULT_SHM_CAPACITY, SHM_PREFIX,
 };
 use cgp_core::{
     compile, run_plan_threaded_stats, run_plan_worker_io, CompileOptions, Compiled, CoreError,
@@ -84,6 +84,17 @@ pub struct CommonOpts {
     /// `--telemetry-log <path>`: append telemetry samples (merged across
     /// workers in launcher mode) as JSON lines.
     pub telemetry_log: Option<String>,
+    /// `--checkpoint-dir <path>`: persist checkpoint commits as durable,
+    /// crash-consistent snapshot files a freshly exec'd replacement
+    /// process can restore.
+    pub checkpoint_dir: Option<String>,
+    /// `--heartbeat-ms <ms>`: heartbeat cadence on idle distributed
+    /// links, so a silently hung peer trips a liveness deadline instead
+    /// of stalling the run. `0` disables.
+    pub heartbeat_ms: Option<u64>,
+    /// `--max-worker-restarts <n>`: per-stage crash budget for the
+    /// supervised launcher; exhaustion triggers cost-model failover.
+    pub max_worker_restarts: Option<u32>,
 }
 
 /// Parse the shared flags out of an argument stream.
@@ -104,6 +115,11 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
             "--transport" => o.transport = args.next(),
             "--status-every" => o.status_every_ms = args.next().and_then(|v| v.parse().ok()),
             "--telemetry-log" => o.telemetry_log = args.next(),
+            "--checkpoint-dir" => o.checkpoint_dir = args.next(),
+            "--heartbeat-ms" => o.heartbeat_ms = args.next().and_then(|v| v.parse().ok()),
+            "--max-worker-restarts" => {
+                o.max_worker_restarts = args.next().and_then(|v| v.parse().ok())
+            }
             _ => {
                 if let Some(p) = a.strip_prefix("--trace-out=") {
                     o.trace_path = Some(p.to_string());
@@ -125,6 +141,12 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
                     o.status_every_ms = s.parse().ok();
                 } else if let Some(t) = a.strip_prefix("--telemetry-log=") {
                     o.telemetry_log = Some(t.to_string());
+                } else if let Some(d) = a.strip_prefix("--checkpoint-dir=") {
+                    o.checkpoint_dir = Some(d.to_string());
+                } else if let Some(h) = a.strip_prefix("--heartbeat-ms=") {
+                    o.heartbeat_ms = h.parse().ok();
+                } else if let Some(r) = a.strip_prefix("--max-worker-restarts=") {
+                    o.max_worker_restarts = r.parse().ok();
                 }
             }
         }
@@ -227,6 +249,16 @@ impl Obs {
         if opts.telemetry_log.is_some() {
             exec.telemetry_log = opts.telemetry_log;
         }
+        if opts.checkpoint_dir.is_some() {
+            exec.checkpoint_dir = opts.checkpoint_dir;
+        }
+        if let Some(ms) = opts.heartbeat_ms {
+            // `0` is an explicit off switch, mirroring `CGP_HEARTBEAT_MS`.
+            exec.heartbeat = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if opts.max_worker_restarts.is_some() {
+            exec.max_worker_restarts = opts.max_worker_restarts;
+        }
         let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
         // `--status-every 0` means sampling is explicitly disabled; only
         // a positive cadence (or a log sink) brings up the telemetry
@@ -290,6 +322,13 @@ impl Obs {
         let ingress = (stage > 0).then(|| {
             let addr = self.exec.listen.as_deref().unwrap_or("127.0.0.1:0");
             if let Some(base) = addr.strip_prefix(SHM_PREFIX) {
+                if !shm_supported() {
+                    eprintln!(
+                        "[obs] worker {stage}: transport `shm` requested but this build \
+                         has no shared-memory support (shm_supported() is false)"
+                    );
+                    std::process::exit(1);
+                }
                 // Shared-memory ingress: create the ring(s) before
                 // announcing, so a producer that attaches right after
                 // the marker finds them. Worker-mode plans run one copy
@@ -403,13 +442,71 @@ impl Obs {
         let telemetry_addr = aggregator.as_ref().map(|a| a.addr.clone());
         let transport = crate::launcher::Transport::select(self.exec.transport.as_deref());
         eprintln!("[obs] launcher: data plane is {transport:?}");
-        let got = match crate::launcher::launch_distributed(
-            m,
-            &passthrough,
-            telemetry_addr.as_deref(),
-            transport,
-        ) {
-            Ok(lines) => lines,
+        // Supervision rides on the recovery switch: with `--recover` the
+        // launcher masks worker crashes with prefix restarts; without it
+        // a dead worker fails the run, exactly as before.
+        let mut lopts = crate::launcher::LaunchOptions::new(transport);
+        lopts.telemetry = telemetry_addr.clone();
+        lopts.supervise = self.exec.recover;
+        if let Some(n) = self.exec.max_worker_restarts {
+            lopts.max_worker_restarts = n;
+        }
+        lopts.heartbeat_ms = self.exec.heartbeat.map(|d| (d.as_millis() as u64).max(1));
+        lopts.checkpoint_dir = self.exec.checkpoint_dir.clone();
+        let got = match crate::launcher::launch_supervised(m, &passthrough, &lopts) {
+            Ok(report) => {
+                if report.restart_events > 0 {
+                    eprintln!(
+                        "[obs] launcher: masked {} worker crash(es) with prefix restarts \
+                         ({} total restarts)",
+                        report.restart_events,
+                        report.total_restarts()
+                    );
+                }
+                report.lines
+            }
+            Err(crate::launcher::LaunchError::BudgetExhausted {
+                stage,
+                restarts,
+                last,
+            }) => {
+                // Worker-mode plans run one pipeline unit per stage, so
+                // the dead stage index *is* the dead unit: treat its host
+                // as lost, replan the decomposition over the survivors
+                // with the cost model, and re-run in-process.
+                if let Some(agg) = aggregator {
+                    agg.finish(name, &compiled);
+                }
+                println!(
+                    "[obs] chaos run for {name} exhausted restarts: worker stage {stage} \
+                     kept dying after {restarts} masked restart(s) (last exit: {last})"
+                );
+                match self.failover_replan_run(
+                    name,
+                    src,
+                    &opts,
+                    &compiled,
+                    demo_host_builder(app),
+                    stage,
+                ) {
+                    Some(out) if out == expected => {
+                        println!(
+                            "[obs] distributed run for {name} failed over to a replanned \
+                             in-process run; output matches ({} lines)",
+                            out.len()
+                        );
+                        return;
+                    }
+                    Some(out) => {
+                        eprintln!(
+                            "[obs] launcher: failover output diverges for {name}: expected \
+                             {expected:?}, got {out:?}"
+                        );
+                        std::process::exit(1);
+                    }
+                    None => std::process::exit(1),
+                }
+            }
             Err(e) => {
                 eprintln!("[obs] launcher: distributed run for {name} failed: {e}");
                 std::process::exit(1);
@@ -525,12 +622,28 @@ impl Obs {
             println!("[obs] failover: cannot identify a dead unit in `{err}`; giving up");
             return;
         };
+        let _ = self.failover_replan_run(name, src, copts, compiled, builder, dead);
+    }
+
+    /// Drop pipeline unit `dead` from the environment, re-run the
+    /// decomposition DP over the survivors, recompile, and re-run
+    /// in-process. Returns the re-run's output lines on success so the
+    /// caller can diff them against a reference.
+    fn failover_replan_run(
+        &self,
+        name: &str,
+        src: &str,
+        copts: &CompileOptions,
+        compiled: &Compiled,
+        builder: cgp_core::HostBuilder,
+        dead: usize,
+    ) -> Option<Vec<String>> {
         let current = decompose_dp(&compiled.problem, &compiled.pipeline);
         let plan = match replan(&compiled.problem, &compiled.pipeline, &current, dead) {
             Ok(p) => p,
             Err(e) => {
                 println!("[obs] failover: {e}");
-                return;
+                return None;
             }
         };
         print!("[obs] {}", plan.render_text());
@@ -542,18 +655,29 @@ impl Obs {
             Ok(c) => c,
             Err(e) => {
                 println!("[obs] failover recompile failed for {name}: {e}");
-                return;
+                return None;
             }
         };
+        // The fault plan stays armed — the recovery layer masks it on
+        // the new placement, so a completed re-run really demonstrates
+        // end-to-end self-healing. (Process-level `CGP_KILL` specs only
+        // arm in worker roles, so this in-process run can't shoot
+        // itself.)
         match run_plan_threaded_stats(Arc::new(recompiled.plan), builder, None, &self.exec) {
-            Ok((_, stats)) => println!(
-                "[obs] failover run for {name} completed on {} units \
-                 ({} restarts, {} replayed packets)",
-                plan.env.m(),
-                stats.recoveries(),
-                stats.replayed_packets()
-            ),
-            Err(e) => println!("[obs] failover run for {name} failed: {e}"),
+            Ok((out, stats)) => {
+                println!(
+                    "[obs] failover run for {name} completed on {} units \
+                     ({} restarts, {} replayed packets)",
+                    plan.env.m(),
+                    stats.recoveries(),
+                    stats.replayed_packets()
+                );
+                Some(out)
+            }
+            Err(e) => {
+                println!("[obs] failover run for {name} failed: {e}");
+                None
+            }
         }
     }
 

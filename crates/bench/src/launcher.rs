@@ -1,22 +1,40 @@
-//! Single-machine distributed launcher.
+//! Single-machine distributed launcher with worker supervision.
 //!
 //! Re-executes the current figure binary once per pipeline unit with
 //! `CGP_ROLE=worker:<stage>`, wiring the workers into a chain over
-//! loopback TCP. Workers are spawned **last stage first**: each one binds
-//! an ephemeral port (`CGP_LISTEN=127.0.0.1:0`), announces it on stdout
-//! as `CGP_LISTENING <port>`, and the launcher passes that address to the
-//! next worker upstream as `CGP_CONNECT`. The final stage's remaining
-//! stdout is the run's result, which the caller diffs against an
-//! in-process run of the same plan.
+//! loopback TCP or shared-memory rings. Workers are spawned **last stage
+//! first**: each one binds an ephemeral endpoint (`CGP_LISTEN=127.0.0.1:0`
+//! or `shm:auto`), announces it on stdout as `CGP_LISTENING <addr>`, and
+//! the launcher passes that address to the next worker upstream as
+//! `CGP_CONNECT`. The final stage's remaining stdout is the run's result,
+//! which the caller diffs against an in-process run of the same plan.
 //!
 //! Closures can't cross process boundaries, so there is no plan shipping:
 //! every worker recompiles the same program with the same options (both
 //! are deterministic), and the role env vars select which stage of the
 //! shared plan each process executes.
+//!
+//! # Supervision (`LaunchOptions::supervise`)
+//!
+//! With supervision on, the launcher monitors worker exits and masks
+//! crashes by **prefix restart**: the data plane carries no wire-level
+//! acks, so a dead stage `k`'s upstream progress is unrecoverable — the
+//! supervisor kills stages `0..k-1`, respawns `k..0` (last first, fresh
+//! endpoints re-announced up the chain), and relies on the surviving
+//! stage `k+1` to park its ingress, hand the respawned producer its
+//! resume watermark, and drop the already-delivered prefix (sequence
+//! dedup). The result stays byte-identical because every stage recomputes
+//! deterministically from packet 0. Each crash charges one unit to the
+//! dead stage's restart budget; exhaustion surfaces as
+//! [`LaunchError::BudgetExhausted`] so the caller can replan the
+//! decomposition over the surviving units instead.
 
-use cgp_core::datacutter::{shm_supported, SHM_PREFIX};
-use std::io::{BufRead, BufReader};
-use std::process::{Child, Command, Stdio};
+use cgp_core::datacutter::{remove_ring_files, shm_supported, SHM_PREFIX};
+use cgp_obs::trace;
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, ChildStdout, Command, ExitStatus, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Marker line a worker prints (and flushes) on stdout once its ingress
 /// endpoint is ready, before it starts the run. For TCP the payload is
@@ -47,40 +65,147 @@ impl Transport {
     }
 }
 
+/// How a distributed launch runs: transport, telemetry, and the
+/// supervision policy (crash masking via prefix restarts).
+#[derive(Debug, Clone)]
+pub struct LaunchOptions {
+    /// Launcher-side telemetry aggregator address (`CGP_TELEMETRY`).
+    pub telemetry: Option<String>,
+    /// Data plane between co-located workers.
+    pub transport: Transport,
+    /// Monitor worker exits and mask crashes with prefix restarts.
+    pub supervise: bool,
+    /// Restart budget **per stage**: a stage that dies more than this
+    /// many times exhausts its budget and fails the launch with
+    /// [`LaunchError::BudgetExhausted`].
+    pub max_worker_restarts: u32,
+    /// Heartbeat cadence forwarded to workers (`CGP_HEARTBEAT_MS`), so
+    /// silent peers are detected, not just dead connections.
+    pub heartbeat_ms: Option<u64>,
+    /// Durable checkpoint directory forwarded to workers
+    /// (`CGP_CHECKPOINT_DIR`).
+    pub checkpoint_dir: Option<String>,
+    /// Teardown grace: SIGTERM first, escalate to SIGKILL only after
+    /// this long.
+    pub grace: Duration,
+}
+
+impl LaunchOptions {
+    pub fn new(transport: Transport) -> LaunchOptions {
+        LaunchOptions {
+            telemetry: None,
+            transport,
+            supervise: false,
+            max_worker_restarts: 2,
+            heartbeat_ms: None,
+            checkpoint_dir: None,
+            grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What a supervised launch produced.
+#[derive(Debug, Default)]
+pub struct LaunchReport {
+    /// The last stage's output lines (the run's result).
+    pub lines: Vec<String>,
+    /// Restarts charged per stage (indexed by stage).
+    pub restarts: Vec<u32>,
+    /// Total crash events masked by a prefix restart.
+    pub restart_events: u32,
+}
+
+impl LaunchReport {
+    pub fn total_restarts(&self) -> u32 {
+        self.restarts.iter().sum()
+    }
+}
+
+/// Why a launch failed.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// A stage died more times than its restart budget allows. The
+    /// caller can treat the stage's host as dead and replan the
+    /// decomposition over the survivors.
+    BudgetExhausted {
+        stage: usize,
+        restarts: u32,
+        last: String,
+    },
+    /// Anything else: spawn failures, protocol errors, divergent
+    /// replayed output, unsupervised worker deaths.
+    Failed(String),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::BudgetExhausted {
+                stage,
+                restarts,
+                last,
+            } => write!(
+                f,
+                "worker stage {stage} exhausted its restart budget after {restarts} \
+                 restart(s); last exit: {last}"
+            ),
+            LaunchError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<String> for LaunchError {
+    fn from(msg: String) -> LaunchError {
+        LaunchError::Failed(msg)
+    }
+}
+
 /// Drop the networking flags from a forwarded argument list, so spawned
 /// workers don't inherit the parent's `--role launcher` (their role
 /// arrives via `CGP_ROLE`, which explicit flags would override).
 /// `--telemetry-log` is also stripped: workers ship samples to the
-/// launcher's aggregator instead of each clobbering the same file.
+/// launcher's aggregator instead of each clobbering the same file. The
+/// supervision flags (`--checkpoint-dir`, `--heartbeat-ms`,
+/// `--max-worker-restarts`) are launcher policy, forwarded as env vars
+/// instead.
 pub fn strip_net_flags(args: &[String]) -> Vec<String> {
+    const STRIP: &[&str] = &[
+        "--role",
+        "--listen",
+        "--connect",
+        "--telemetry-log",
+        "--transport",
+        "--checkpoint-dir",
+        "--heartbeat-ms",
+        "--max-worker-restarts",
+    ];
     let mut out = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        match a.as_str() {
-            "--role" | "--listen" | "--connect" | "--telemetry-log" | "--transport" => {
-                let _ = it.next();
-            }
-            _ if a.starts_with("--role=")
-                || a.starts_with("--listen=")
-                || a.starts_with("--connect=")
-                || a.starts_with("--telemetry-log=")
-                || a.starts_with("--transport=") => {}
-            _ => out.push(a.clone()),
+        if STRIP.contains(&a.as_str()) {
+            let _ = it.next();
+        } else if STRIP
+            .iter()
+            .any(|f| a.starts_with(f) && a.as_bytes().get(f.len()) == Some(&b'='))
+        {
+            // `--flag=value` form: drop in one token.
+        } else {
+            out.push(a.clone());
         }
     }
     out
 }
 
-/// Spawn one worker process per pipeline unit (`stages` of them) over
-/// loopback TCP and return the last stage's output lines. `passthrough`
-/// is forwarded to every worker verbatim (strip the net flags first —
-/// see [`strip_net_flags`]), so fault injection, recovery, and batch
-/// flags apply inside the workers exactly as they would in-process.
+/// Spawn one worker process per pipeline unit (`stages` of them) and
+/// return the last stage's output lines. `passthrough` is forwarded to
+/// every worker verbatim (strip the net flags first — see
+/// [`strip_net_flags`]), so fault injection, recovery, and batch flags
+/// apply inside the workers exactly as they would in-process.
 ///
 /// Fails if any worker exits unsuccessfully — a mid-pipeline failure is
 /// invisible in the last stage's output (its ingress just sees
 /// end-of-work), so exit statuses are the distributed run's error
-/// surface.
+/// surface. For crash masking, use [`launch_supervised`].
 ///
 /// When `telemetry` names the launcher's aggregator address, every
 /// worker ships periodic samples and its final metrics snapshot there
@@ -92,114 +217,506 @@ pub fn launch_distributed(
     telemetry: Option<&str>,
     transport: Transport,
 ) -> Result<Vec<String>, String> {
+    let mut opts = LaunchOptions::new(transport);
+    opts.telemetry = telemetry.map(str::to_string);
+    launch_supervised(stages, passthrough, &opts)
+        .map(|report| report.lines)
+        .map_err(|e| e.to_string())
+}
+
+/// One spawned worker: the process, its announced ingress address
+/// (`None` for the source stage), and its exit status once reaped.
+struct Slot {
+    child: Child,
+    addr: Option<String>,
+    exited: Option<ExitStatus>,
+}
+
+/// [`launch_distributed`] with supervision: monitors worker exits and,
+/// when [`LaunchOptions::supervise`] is set, masks crashes with prefix
+/// restarts until the dead stage's restart budget runs out.
+pub fn launch_supervised(
+    stages: usize,
+    passthrough: &[String],
+    opts: &LaunchOptions,
+) -> Result<LaunchReport, LaunchError> {
     if stages == 0 {
-        return Err("launch_distributed: no stages".to_string());
+        return Err(LaunchError::Failed("launch: no stages".to_string()));
+    }
+    if opts.transport == Transport::Shm && !shm_supported() {
+        // Named refusal, not a downstream hang: every worker would fail
+        // to create its rings anyway.
+        return Err(LaunchError::Failed(
+            "transport `shm` requested but this build has no shared-memory support \
+             (shm_supported() is false); use --transport tcp"
+                .to_string(),
+        ));
     }
     let exe =
         std::env::current_exe().map_err(|e| format!("cannot locate current executable: {e}"))?;
-    let mut children: Vec<(usize, Child)> = Vec::new();
-    let mut last_stdout = None;
-    let mut downstream_addr: Option<String> = None;
-    for stage in (0..stages).rev() {
-        let mut cmd = Command::new(&exe);
-        cmd.args(passthrough)
-            .env("CGP_ROLE", format!("worker:{stage}"))
-            .env_remove("CGP_LISTEN")
-            .env_remove("CGP_CONNECT")
-            // The merged telemetry log is the launcher's to write.
-            .env_remove("CGP_TELEMETRY_LOG")
-            .stdout(Stdio::piped());
-        match telemetry {
-            Some(addr) => {
-                cmd.env("CGP_TELEMETRY", addr);
+    let collector = OutputCollector::new();
+    let mut slots: Vec<Option<Slot>> = std::iter::repeat_with(|| None).take(stages).collect();
+    let mut restarts = vec![0u32; stages];
+    let mut events = 0u32;
+
+    if let Err(e) = spawn_range(
+        &exe,
+        passthrough,
+        stages,
+        opts,
+        stages - 1,
+        None,
+        &collector,
+        &mut slots,
+        false,
+    ) {
+        shutdown(&mut slots, opts.grace);
+        return Err(e.into());
+    }
+
+    loop {
+        if let Some(msg) = collector.diverged() {
+            shutdown(&mut slots, opts.grace);
+            return Err(LaunchError::Failed(msg));
+        }
+        // Reap exits. A crash usually cascades (the dead stage's producer
+        // dies on a broken pipe moments later), so the *highest* dead
+        // stage this poll is the true restart frontier.
+        let mut dead: Option<usize> = None;
+        for (stage, slot) in slots.iter_mut().enumerate() {
+            let slot = slot.as_mut().expect("all slots spawned");
+            if slot.exited.is_some() {
+                continue;
             }
-            None => {
-                cmd.env_remove("CGP_TELEMETRY");
+            match slot.child.try_wait() {
+                Ok(Some(status)) => {
+                    slot.exited = Some(status);
+                    if !status.success() {
+                        dead = Some(stage);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    shutdown(&mut slots, opts.grace);
+                    return Err(LaunchError::Failed(format!("wait for worker {stage}: {e}")));
+                }
             }
         }
-        if stage > 0 {
-            // `shm:auto` tells the worker to create rings at a path of
-            // its own choosing and announce the full `shm:<base>`
-            // address; TCP workers bind an ephemeral port.
-            cmd.env(
-                "CGP_LISTEN",
-                match transport {
-                    Transport::Shm => format!("{SHM_PREFIX}auto"),
-                    Transport::Tcp => "127.0.0.1:0".to_string(),
-                },
+        if let Some(k) = dead {
+            let status = slots[k]
+                .as_ref()
+                .and_then(|s| s.exited)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            if !opts.supervise {
+                shutdown(&mut slots, opts.grace);
+                return Err(LaunchError::Failed(format!(
+                    "worker {k} exited with {status}"
+                )));
+            }
+            events += 1;
+            restarts[k] += 1;
+            if restarts[k] > opts.max_worker_restarts {
+                eprintln!(
+                    "[obs] supervisor: worker stage {k} died again ({status}); restart \
+                     budget ({}) exhausted",
+                    opts.max_worker_restarts
+                );
+                shutdown(&mut slots, opts.grace);
+                return Err(LaunchError::BudgetExhausted {
+                    stage: k,
+                    restarts: restarts[k] - 1,
+                    last: status,
+                });
+            }
+            eprintln!(
+                "[obs] supervisor: worker stage {k} died ({status}); restarting stages \
+                 0..={k} (restart {}/{})",
+                restarts[k], opts.max_worker_restarts
             );
+            trace::instant(
+                format!("respawn stages 0..={k}"),
+                "supervision",
+                trace::PID_RUNTIME,
+                0,
+                vec![],
+            );
+            restart_prefix(&exe, passthrough, stages, opts, k, &collector, &mut slots).map_err(
+                |e| {
+                    shutdown(&mut slots, opts.grace);
+                    LaunchError::Failed(e)
+                },
+            )?;
+            continue;
         }
-        if let Some(addr) = &downstream_addr {
-            cmd.env("CGP_CONNECT", addr);
+        if slots
+            .iter()
+            .all(|s| s.as_ref().expect("spawned").exited.is_some())
+        {
+            break;
         }
-        let mut child = cmd
-            .spawn()
-            .map_err(|e| format!("spawn worker {stage}: {e}"))?;
-        let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
-        children.push((stage, child));
-        if stage > 0 {
-            // Block until the worker announces its bound port; everything
-            // upstream needs it before it can be spawned.
-            let mut line = String::new();
-            downstream_addr = loop {
-                line.clear();
-                let n = reader
-                    .read_line(&mut line)
-                    .map_err(|e| format!("read worker {stage} stdout: {e}"))?;
-                if n == 0 {
-                    reap(children);
-                    return Err(format!(
-                        "worker {stage} exited before announcing its listener"
-                    ));
-                }
-                if let Some(announce) = line.trim().strip_prefix(LISTENING_MARKER) {
-                    let announce = announce.trim();
-                    // `shm:<base>` addresses are passed to the upstream
-                    // worker verbatim; a bare number is a TCP port.
-                    break Some(if announce.starts_with(SHM_PREFIX) {
-                        announce.to_string()
-                    } else {
-                        format!("127.0.0.1:{announce}")
-                    });
-                }
-            };
-        } else {
-            downstream_addr = None;
-        }
-        if stage == stages - 1 {
-            last_stdout = Some(reader);
-        }
+        std::thread::sleep(Duration::from_millis(10));
     }
-    // The last stage's remaining stdout is the result; it closes when the
-    // whole chain has drained.
-    let mut result = Vec::new();
-    if let Some(reader) = last_stdout {
-        for line in reader.lines() {
-            result.push(line.map_err(|e| format!("read result line: {e}"))?);
-        }
-    }
-    let mut failures = Vec::new();
-    for (stage, mut child) in children {
-        let status = child
-            .wait()
-            .map_err(|e| format!("wait for worker {stage}: {e}"))?;
-        if !status.success() {
-            failures.push(format!("worker {stage} exited with {status}"));
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
-    Ok(result)
+    // Every worker exited cleanly; the reader thread drains the last
+    // stage's remaining buffered output and then sees EOF.
+    let lines = collector
+        .finish(Duration::from_secs(10))
+        .map_err(LaunchError::Failed)?;
+    Ok(LaunchReport {
+        lines,
+        restarts,
+        restart_events: events,
+    })
 }
 
-/// Best-effort cleanup on a failed launch.
-fn reap(children: Vec<(usize, Child)>) {
-    for (_, mut child) in children {
-        let _ = child.kill();
-        let _ = child.wait();
+/// Kill the stale prefix `0..k-1`, reclaim the dead stages' shm ring
+/// files, and respawn stages `k..=0` (last first) against the surviving
+/// stage `k+1`'s original address.
+fn restart_prefix(
+    exe: &std::path::Path,
+    passthrough: &[String],
+    stages: usize,
+    opts: &LaunchOptions,
+    k: usize,
+    collector: &OutputCollector,
+    slots: &mut [Option<Slot>],
+) -> Result<(), String> {
+    // The prefix recomputes from packet 0, so even stages that already
+    // finished successfully must go.
+    for slot in slots[..k].iter_mut() {
+        let slot = slot.as_mut().expect("spawned");
+        if slot.exited.is_none() {
+            let _ = slot.child.kill();
+            if let Ok(status) = slot.child.wait() {
+                slot.exited = Some(status);
+            }
+        }
+    }
+    // Dead consumers leave their ingress rings behind (SIGKILL runs no
+    // Drop); reclaim them so /dev/shm doesn't accumulate a file pair
+    // per crash. Worker-mode links have one producer, but probe a few
+    // extra paths — `remove_ring_files` only deletes dead-owner files.
+    for slot in slots[1..=k].iter() {
+        let addr = slot.as_ref().and_then(|s| s.addr.as_deref());
+        if let Some(base) = addr.and_then(|a| a.strip_prefix(SHM_PREFIX)) {
+            let n = remove_ring_files(base, 4);
+            if n > 0 {
+                eprintln!("[obs] supervisor: reclaimed {n} stale ring file(s) at {base}");
+            }
+        }
+    }
+    let seed = slots
+        .get(k + 1)
+        .and_then(|s| s.as_ref())
+        .and_then(|s| s.addr.clone());
+    spawn_range(
+        exe,
+        passthrough,
+        stages,
+        opts,
+        k,
+        seed,
+        collector,
+        slots,
+        true,
+    )
+}
+
+/// Spawn stages `top..=0`, last first, chaining each announced address
+/// into the next worker upstream. `connect_seed` is the downstream
+/// address stage `top` connects to (`None` when `top` is the last
+/// stage).
+#[allow(clippy::too_many_arguments)]
+fn spawn_range(
+    exe: &std::path::Path,
+    passthrough: &[String],
+    stages: usize,
+    opts: &LaunchOptions,
+    top: usize,
+    connect_seed: Option<String>,
+    collector: &OutputCollector,
+    slots: &mut [Option<Slot>],
+    respawn: bool,
+) -> Result<(), String> {
+    let mut connect = connect_seed;
+    for stage in (0..=top).rev() {
+        let (child, addr, reader) =
+            spawn_worker(exe, passthrough, stage, opts, connect.as_deref(), respawn)?;
+        if stage == stages - 1 {
+            collector.attach(reader);
+        }
+        connect = addr.clone();
+        slots[stage] = Some(Slot {
+            child,
+            addr,
+            exited: None,
+        });
+    }
+    Ok(())
+}
+
+/// Spawn one worker and, for non-source stages, block until it announces
+/// its ingress endpoint. Returns the buffered stdout reader so the last
+/// stage's result lines (already partially buffered behind the announce)
+/// aren't lost.
+fn spawn_worker(
+    exe: &std::path::Path,
+    passthrough: &[String],
+    stage: usize,
+    opts: &LaunchOptions,
+    connect: Option<&str>,
+    respawn: bool,
+) -> Result<(Child, Option<String>, BufReader<ChildStdout>), String> {
+    let mut cmd = Command::new(exe);
+    cmd.args(passthrough)
+        .env("CGP_ROLE", format!("worker:{stage}"))
+        .env_remove("CGP_LISTEN")
+        .env_remove("CGP_CONNECT")
+        // The merged telemetry log is the launcher's to write.
+        .env_remove("CGP_TELEMETRY_LOG")
+        .stdout(Stdio::piped());
+    match &opts.telemetry {
+        Some(addr) => {
+            cmd.env("CGP_TELEMETRY", addr);
+        }
+        None => {
+            cmd.env_remove("CGP_TELEMETRY");
+        }
+    }
+    if opts.supervise {
+        cmd.env("CGP_SUPERVISED", "1");
+    }
+    if let Some(ms) = opts.heartbeat_ms {
+        cmd.env("CGP_HEARTBEAT_MS", ms.to_string());
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        cmd.env("CGP_CHECKPOINT_DIR", dir);
+    }
+    if respawn {
+        // An injected kill fires once: the replacement must survive, or
+        // the restart budget drains on the same deterministic crash.
+        cmd.env_remove("CGP_KILL");
+    }
+    if stage > 0 {
+        // `shm:auto` tells the worker to create rings at a path of its
+        // own choosing and announce the full `shm:<base>` address; TCP
+        // workers bind an ephemeral port. Respawns pick *fresh*
+        // endpoints the same way — nothing downstream ever reuses a
+        // dead worker's address.
+        cmd.env(
+            "CGP_LISTEN",
+            match opts.transport {
+                Transport::Shm => format!("{SHM_PREFIX}auto"),
+                Transport::Tcp => "127.0.0.1:0".to_string(),
+            },
+        );
+    }
+    if let Some(addr) = connect {
+        cmd.env("CGP_CONNECT", addr);
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn worker {stage}: {e}"))?;
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let addr = if stage > 0 {
+        // Block until the worker announces its bound endpoint;
+        // everything upstream needs it before it can be spawned.
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read worker {stage} stdout: {e}"))?;
+            if n == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!(
+                    "worker {stage} exited before announcing its listener"
+                ));
+            }
+            if let Some(announce) = line.trim().strip_prefix(LISTENING_MARKER) {
+                let announce = announce.trim();
+                // `shm:<base>` addresses are passed to the upstream
+                // worker verbatim; a bare number is a TCP port.
+                break Some(if announce.starts_with(SHM_PREFIX) {
+                    announce.to_string()
+                } else {
+                    format!("127.0.0.1:{announce}")
+                });
+            }
+        }
+    } else {
+        None
+    };
+    Ok((child, addr, reader))
+}
+
+/// Last-stage stdout across restarts.
+///
+/// Output lines are **committed** only once fully received (terminated
+/// by a newline — a SIGKILLed writer can leave a torn final line in the
+/// pipe, which must never count as result data). When the last stage is
+/// respawned, its replacement re-produces the whole deterministic output
+/// stream; the committed prefix is *verified*, not re-appended, and any
+/// mismatch fails the run rather than silently corrupting the result.
+struct OutputCollector {
+    state: Arc<Mutex<OutputState>>,
+}
+
+struct OutputState {
+    committed: Vec<String>,
+    /// Next line index the current generation will produce.
+    cursor: usize,
+    /// Bumped on every attach; readers from older generations go quiet.
+    generation: u64,
+    /// Current generation saw a clean EOF (pipe closed, no torn line).
+    eof: bool,
+    diverged: Option<String>,
+}
+
+impl OutputCollector {
+    fn new() -> OutputCollector {
+        OutputCollector {
+            state: Arc::new(Mutex::new(OutputState {
+                committed: Vec::new(),
+                cursor: 0,
+                generation: 0,
+                eof: false,
+                diverged: None,
+            })),
+        }
+    }
+
+    /// Start a reader thread for a (re)spawned last stage. Older
+    /// generations' threads notice the bump and stop committing.
+    fn attach<R: Read + Send + 'static>(&self, reader: BufReader<R>) {
+        let state = Arc::clone(&self.state);
+        let generation = {
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            st.generation += 1;
+            st.cursor = 0;
+            st.eof = false;
+            st.generation
+        };
+        std::thread::spawn(move || {
+            let mut reader = reader;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = match reader.read_line(&mut line) {
+                    Ok(n) => n,
+                    Err(_) => break,
+                };
+                if n == 0 {
+                    break;
+                }
+                if !line.ends_with('\n') {
+                    // Torn final line from a killed writer: uncommitted.
+                    break;
+                }
+                let text = line.trim_end_matches(['\n', '\r']).to_string();
+                let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                if st.generation != generation {
+                    return;
+                }
+                if st.cursor < st.committed.len() {
+                    if st.committed[st.cursor] != text {
+                        st.diverged = Some(format!(
+                            "restarted last stage diverged from committed output at \
+                             line {}: expected {:?}, got {:?}",
+                            st.cursor, st.committed[st.cursor], text
+                        ));
+                        return;
+                    }
+                } else {
+                    st.committed.push(text);
+                }
+                st.cursor += 1;
+            }
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.generation == generation {
+                st.eof = true;
+            }
+        });
+    }
+
+    fn diverged(&self) -> Option<String> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .diverged
+            .clone()
+    }
+
+    /// Wait for the current generation's clean EOF and take the
+    /// committed lines.
+    fn finish(&self, timeout: Duration) -> Result<Vec<String>, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(d) = &st.diverged {
+                    return Err(d.clone());
+                }
+                if st.eof {
+                    return Ok(st.committed.clone());
+                }
+            }
+            if Instant::now() > deadline {
+                return Err("timed out draining the last stage's output".to_string());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 }
+
+/// Graceful teardown: SIGTERM every live worker, give the set a bounded
+/// window to exit on its own, then SIGKILL the stragglers. Every child
+/// is reaped either way.
+fn shutdown(slots: &mut [Option<Slot>], grace: Duration) {
+    let mut live: Vec<&mut Slot> = slots
+        .iter_mut()
+        .filter_map(|s| s.as_mut())
+        .filter(|s| s.exited.is_none())
+        .collect();
+    for slot in live.iter() {
+        terminate(slot.child.id());
+    }
+    let deadline = Instant::now() + grace;
+    loop {
+        live.retain_mut(|slot| !matches!(slot.child.try_wait(), Ok(Some(_))));
+        if live.is_empty() {
+            return;
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for slot in live {
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+    }
+}
+
+/// Politely ask a worker to exit (SIGTERM); [`shutdown`] escalates to
+/// SIGKILL after the grace window.
+#[cfg(unix)]
+fn terminate(pid: u32) {
+    use std::os::raw::c_int;
+    extern "C" {
+        fn kill(pid: c_int, sig: c_int) -> c_int;
+    }
+    const SIGTERM: c_int = 15;
+    if pid <= i32::MAX as u32 {
+        unsafe {
+            kill(pid as c_int, SIGTERM);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn terminate(_pid: u32) {}
 
 #[cfg(test)]
 mod tests {
@@ -229,6 +746,11 @@ mod tests {
             "--transport",
             "shm",
             "--transport=tcp",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--heartbeat-ms=50",
+            "--max-worker-restarts",
+            "3",
         ]);
         assert_eq!(
             strip_net_flags(&args),
@@ -251,6 +773,78 @@ mod tests {
             assert_eq!(auto, Transport::Shm);
         } else {
             assert_eq!(auto, Transport::Tcp);
+        }
+    }
+
+    fn reader(s: &str) -> BufReader<std::io::Cursor<Vec<u8>>> {
+        BufReader::new(std::io::Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn collector_never_commits_a_torn_line() {
+        let c = OutputCollector::new();
+        c.attach(reader("alpha\nbeta\ntorn-by-sigki"));
+        // A torn tail still counts as this generation's EOF (the committed
+        // prefix is what the replacement must reproduce).
+        let lines = c.finish(Duration::from_secs(5)).unwrap();
+        assert_eq!(lines, vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn collector_verifies_and_extends_across_generations() {
+        let c = OutputCollector::new();
+        c.attach(reader("alpha\nbeta\n"));
+        let first = c.finish(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.len(), 2);
+        // The respawned writer re-produces the committed prefix, then
+        // extends it.
+        c.attach(reader("alpha\nbeta\ngamma\n"));
+        let lines = c.finish(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            lines,
+            vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()]
+        );
+    }
+
+    #[test]
+    fn collector_flags_divergent_replay() {
+        let c = OutputCollector::new();
+        c.attach(reader("alpha\nbeta\n"));
+        c.finish(Duration::from_secs(5)).unwrap();
+        c.attach(reader("alpha\nBETA\n"));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while c.diverged().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let msg = c.diverged().expect("divergence detected");
+        assert!(msg.contains("diverged"), "{msg}");
+    }
+
+    #[test]
+    fn stale_generations_stop_committing() {
+        let c = OutputCollector::new();
+        // Generation 1 never finishes (empty reader blocks on nothing —
+        // use a completed one, then attach over it before reading back).
+        c.attach(reader("old\n"));
+        c.attach(reader("new\n"));
+        // Whichever generation-1 lines landed before the bump, generation
+        // 2 must either catch the mismatch ("old" != "new" → divergence)
+        // or own the log outright — it may never silently interleave.
+        match c.finish(Duration::from_secs(5)) {
+            Ok(lines) => assert_eq!(lines, vec!["new".to_string()]),
+            Err(msg) => assert!(msg.contains("diverged"), "{msg}"),
+        }
+    }
+
+    #[test]
+    fn shm_transport_without_support_is_a_named_error() {
+        if shm_supported() {
+            return;
+        }
+        let opts = LaunchOptions::new(Transport::Shm);
+        match launch_supervised(2, &[], &opts) {
+            Err(LaunchError::Failed(msg)) => assert!(msg.contains("shared-memory")),
+            other => panic!("expected a named shm error, got {other:?}"),
         }
     }
 }

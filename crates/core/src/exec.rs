@@ -24,8 +24,8 @@ use crate::error::CoreError;
 use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
-    Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, Pipeline,
-    RecoveryOptions, RetryPolicy, RunStats, ShmIngress, StageSpec, TelemetryConfig,
+    Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, NetTuning,
+    Pipeline, RecoveryOptions, RetryPolicy, RunStats, ShmIngress, StageSpec, TelemetryConfig,
     WorkerEndpoints,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
@@ -95,6 +95,20 @@ pub struct ExecOptions {
     pub checkpoint_every: Option<u64>,
     /// Mirror checkpoint commits to a JSONL audit log at this path.
     pub checkpoint_log: Option<String>,
+    /// Persist checkpoint commits crash-consistently to this directory
+    /// (one file per stage copy, tmp-file + atomic-rename commit), so a
+    /// freshly exec'd process can read the last committed snapshots.
+    pub checkpoint_dir: Option<String>,
+    /// Heartbeat cadence for distributed TCP links: idle links exchange
+    /// `Heartbeat` frames this often and presume a peer dead after ~4
+    /// missed beats. `None` disables the liveness protocol.
+    pub heartbeat: Option<Duration>,
+    /// Supervised distributed run: a worker whose upstream producer dies
+    /// parks the link and waits (bounded) for the supervisor to respawn
+    /// it, instead of failing the run.
+    pub supervised: bool,
+    /// Per-stage process-restart budget for a supervising launcher.
+    pub max_worker_restarts: Option<u32>,
     /// How this process participates in the run (local / worker /
     /// launcher).
     pub role: NetRole,
@@ -144,6 +158,16 @@ impl ExecOptions {
     /// - `CGP_RECOVER` — `1`/`true`/`on` enables the recovery layer;
     /// - `CGP_CHECKPOINT_EVERY` — checkpoint cadence in packets;
     /// - `CGP_CHECKPOINT_LOG` — JSONL audit log path for checkpoints;
+    /// - `CGP_CHECKPOINT_DIR` — directory for durable (crash-consistent,
+    ///   atomically renamed) per-copy checkpoint files;
+    /// - `CGP_HEARTBEAT_MS` — heartbeat cadence on distributed TCP links
+    ///   (`0`/unset disables the liveness protocol);
+    /// - `CGP_SUPERVISED` — `1`/`true`/`on` makes a worker's ingress
+    ///   lenient: a dead producer parks the link awaiting a respawn;
+    /// - `CGP_MAX_WORKER_RESTARTS` — per-stage process-restart budget
+    ///   for a supervising launcher;
+    /// - `CGP_KILL` — deterministic self-SIGKILL spec (`stage[copy]#pkt`),
+    ///   honored only in worker roles;
     /// - `CGP_ROLE` — `local` (default), `launcher`, or `worker:<stage>`;
     /// - `CGP_LISTEN` — worker ingress bind address (`host:port`);
     /// - `CGP_CONNECT` — downstream worker's listener address;
@@ -228,8 +252,33 @@ impl ExecOptions {
                 opts.checkpoint_log = Some(path);
             }
         }
+        if let Ok(path) = std::env::var("CGP_CHECKPOINT_DIR") {
+            if !path.is_empty() {
+                opts.checkpoint_dir = Some(path);
+            }
+        }
+        opts.heartbeat = ms("CGP_HEARTBEAT_MS")?
+            .filter(|&n| n > 0)
+            .map(Duration::from_millis);
+        if let Some(b) = flag("CGP_SUPERVISED")? {
+            opts.supervised = b;
+        }
+        if let Some(n) = ms("CGP_MAX_WORKER_RESTARTS")? {
+            opts.max_worker_restarts = Some(n as u32);
+        }
         if let Ok(v) = std::env::var("CGP_ROLE") {
             opts.role = Self::parse_role(&v)?;
+        }
+        // A deterministic self-SIGKILL (`CGP_KILL=f2[0]#5`) is honored
+        // only by worker processes: the launcher that spawned them (and
+        // its in-process reference run) shares the environment, and a
+        // kill rule firing there would take the whole supervisor down.
+        if let Ok(spec) = std::env::var("CGP_KILL") {
+            if !spec.is_empty() && matches!(opts.role, NetRole::Worker(_)) {
+                let kills = FaultPlan::parse(&format!("kill@{spec}"))
+                    .map_err(|e| CoreError::Config(format!("CGP_KILL: {e}")))?;
+                opts.faults = std::mem::take(&mut opts.faults).merge(kills);
+            }
         }
         for (var, slot) in [
             ("CGP_LISTEN", &mut opts.listen),
@@ -445,11 +494,26 @@ fn build_pipeline(
             recovery = recovery.with_checkpoint_every(k);
         }
         pipeline = pipeline.with_recovery(recovery);
-        if let Some(path) = &opts.checkpoint_log {
-            let store = CheckpointStore::with_jsonl(path)
-                .map_err(|e| CoreError::Config(format!("checkpoint log `{path}`: {e}")))?;
+        if opts.checkpoint_log.is_some() || opts.checkpoint_dir.is_some() {
+            let mut store = match &opts.checkpoint_log {
+                Some(path) => CheckpointStore::with_jsonl(path)
+                    .map_err(|e| CoreError::Config(format!("checkpoint log `{path}`: {e}")))?,
+                None => CheckpointStore::in_memory(),
+            };
+            if let Some(dir) = &opts.checkpoint_dir {
+                store = store
+                    .with_durable(dir)
+                    .map_err(|e| CoreError::Config(format!("checkpoint dir `{dir}`: {e}")))?;
+            }
             pipeline = pipeline.with_checkpoint_store(store);
         }
+    }
+    if opts.heartbeat.is_some() || opts.supervised {
+        pipeline = pipeline.with_net_tuning(NetTuning {
+            heartbeat: opts.heartbeat,
+            supervised: opts.supervised,
+            ..Default::default()
+        });
     }
     if let Some(reg) = &opts.metrics {
         pipeline = pipeline.with_metrics(Arc::clone(reg));

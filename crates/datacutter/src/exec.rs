@@ -38,7 +38,9 @@ use crate::buffer::BufferPool;
 use crate::error::{ErrorKind, FilterError, FilterResult};
 use crate::fault::{FaultPlan, RetryPolicy, RunControl};
 use crate::filter::{FilterFactory, FilterIo, RecoveryCtx};
-use crate::net::{egress_pump_probed, serve_ingress_probed, NetLinkStats, TelemetryClient};
+use crate::net::{
+    egress_pump_tuned, serve_ingress_tuned, NetLinkStats, NetTuning, TelemetryClient,
+};
 use crate::recover::{CheckpointStore, RecoveryOptions};
 use crate::shm::{shm_egress_pump_probed, ShmIngress, SHM_PREFIX};
 use crate::stream::{logical_stream_with, Distribution};
@@ -262,6 +264,7 @@ pub struct Pipeline {
     checkpoint_store: Option<CheckpointStore>,
     telemetry: Option<TelemetryConfig>,
     same_host_rings: bool,
+    net_tuning: NetTuning,
 }
 
 impl Pipeline {
@@ -281,6 +284,7 @@ impl Pipeline {
             checkpoint_store: None,
             telemetry: None,
             same_host_rings: true,
+            net_tuning: NetTuning::default(),
         }
     }
 
@@ -378,6 +382,16 @@ impl Pipeline {
     /// a fresh in-memory store per run.
     pub fn with_checkpoint_store(mut self, store: CheckpointStore) -> Self {
         self.checkpoint_store = Some(store);
+        self
+    }
+
+    /// Tune the distributed planes' liveness behavior: heartbeat cadence
+    /// and silence deadline on TCP links, and supervised (lenient)
+    /// ingress semantics where a dead producer parks its slot awaiting a
+    /// respawned process instead of failing the run. No-op for purely
+    /// in-process runs.
+    pub fn with_net_tuning(mut self, tuning: NetTuning) -> Self {
+        self.net_tuning = tuning;
         self
     }
 
@@ -734,13 +748,15 @@ impl Pipeline {
                 let done = Arc::clone(&done);
                 let net_stats = Arc::clone(&net_stats);
                 let probe = ingress_probe.clone();
+                let tuning = self.net_tuning;
                 scope.spawn(move || {
-                    match serve_ingress_probed(
+                    match serve_ingress_tuned(
                         listener,
                         k as u32,
                         writers,
                         Some(Arc::clone(&control)),
                         probe,
+                        tuning,
                     ) {
                         Ok(st) => plock(&net_stats).push((k as u32, st)),
                         // serve_ingress has already cancelled the run and
@@ -760,8 +776,15 @@ impl Pipeline {
                 let done = Arc::clone(&done);
                 let net_stats = Arc::clone(&net_stats);
                 let probe = ingress_probe.clone();
+                let tuning = self.net_tuning;
                 scope.spawn(move || {
-                    match shm.serve_probed(k as u32, writers, Some(Arc::clone(&control)), probe) {
+                    match shm.serve_tuned(
+                        k as u32,
+                        writers,
+                        Some(Arc::clone(&control)),
+                        probe,
+                        tuning,
+                    ) {
                         Ok(st) => plock(&net_stats).push((k as u32, st)),
                         // serve_probed has already cancelled the run and
                         // closed its local writers.
@@ -782,6 +805,7 @@ impl Pipeline {
                 let net_stats = Arc::clone(&net_stats);
                 reader.set_batch(self.batch);
                 let probe = egress_probe.clone();
+                let tuning = self.net_tuning;
                 scope.spawn(move || {
                     let pumped = if let Some(base) = addr.strip_prefix(SHM_PREFIX) {
                         shm_egress_pump_probed(
@@ -793,13 +817,14 @@ impl Pipeline {
                             probe,
                         )
                     } else {
-                        egress_pump_probed(
+                        egress_pump_tuned(
                             reader,
                             &addr,
                             (k + 1) as u32,
                             c as u32,
                             Some(Arc::clone(&control)),
                             probe,
+                            tuning,
                         )
                     };
                     match pumped {
@@ -1127,6 +1152,8 @@ impl Pipeline {
                 agg.frames += st.frames;
                 agg.bytes += st.bytes;
                 agg.deduped += st.deduped;
+                agg.timeouts += st.timeouts;
+                agg.reconnects += st.reconnects;
             } else {
                 net_links.push((link, st));
             }
@@ -1139,6 +1166,12 @@ impl Pipeline {
                 reg.counter(&format!("net.link{link}.bytes"), st.bytes);
                 if st.deduped > 0 {
                     reg.counter(&format!("net.link{link}.deduped"), st.deduped);
+                }
+                if st.timeouts > 0 {
+                    reg.counter(&format!("net.link{link}.timeouts"), st.timeouts);
+                }
+                if st.reconnects > 0 {
+                    reg.counter(&format!("net.link{link}.reconnects"), st.reconnects);
                 }
             }
             for (s, st) in stages.iter().enumerate() {

@@ -48,6 +48,12 @@ pub enum FaultAction {
     /// Packet handling is delayed (cancellable; exercises the stall
     /// detector and backpressure paths).
     Delay(Duration),
+    /// The whole process dies instantly (`SIGKILL` to itself): no panic
+    /// unwinding, no `Drop`, no flushing — the failure unit is the OS
+    /// process, exercising the launcher's supervision layer. Driven by
+    /// the `CGP_KILL` env var in chaos runs (the supervisor strips that
+    /// var on respawn so the kill fires exactly once).
+    Kill,
 }
 
 /// When a rule fires, relative to the packets one filter copy handles.
@@ -134,6 +140,23 @@ impl FaultPlan {
             trigger: Trigger::Packet(packet),
             action: FaultAction::Delay(delay),
         })
+    }
+
+    /// SIGKILL the whole process at `stage[copy]` packet `packet`.
+    pub fn kill_at(self, stage: &str, copy: usize, packet: u64) -> Self {
+        self.rule(FaultRule {
+            stage: Some(stage.into()),
+            copy: Some(copy),
+            trigger: Trigger::Packet(packet),
+            action: FaultAction::Kill,
+        })
+    }
+
+    /// Append every rule of `other` (its seed is ignored; the receiver's
+    /// seed governs probabilistic triggers).
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.rules.extend(other.rules);
+        self
     }
 
     pub fn is_empty(&self) -> bool {
@@ -253,6 +276,7 @@ fn parse_rule_parts(
         "fail-retryable" => FaultAction::Fail { retryable: true },
         "panic" => FaultAction::Panic,
         "drop" => FaultAction::DropPacket,
+        "kill" => FaultAction::Kill,
         a => match a.strip_prefix("delay:") {
             Some(ms) => FaultAction::Delay(Duration::from_millis(
                 ms.parse::<u64>()
@@ -261,7 +285,7 @@ fn parse_rule_parts(
             None => {
                 return Err(format!(
                     "unknown fault action `{a}` in `{entry}`: want \
-                     fail|fail-retryable|panic|drop|delay:<ms>"
+                     fail|fail-retryable|panic|drop|kill|delay:<ms>"
                 ))
             }
         },
@@ -272,6 +296,28 @@ fn parse_rule_parts(
         trigger,
         action,
     })
+}
+
+/// Die as an external SIGKILL would: immediately and without unwinding,
+/// `Drop`, or atexit handlers. Used by [`FaultAction::Kill`] so process
+/// chaos tests exercise the exact failure mode a crashed or OOM-killed
+/// worker presents to its peers (sockets reset mid-frame, shm rings left
+/// with the producer-closed flag unset, checkpoint tmp files orphaned).
+pub(crate) fn die_hard() -> ! {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+            fn getpid() -> i32;
+        }
+        // SAFETY: plain syscalls; SIGKILL (9) cannot be caught or blocked,
+        // so this call does not return.
+        unsafe {
+            kill(getpid(), 9);
+        }
+    }
+    // Non-unix (or the impossible post-SIGKILL instant): hard abort.
+    std::process::abort();
 }
 
 /// FNV-1a, used to give each (stage, copy) site a stable hash for

@@ -196,6 +196,7 @@ impl FilterIo {
                 Some(FaultAction::Panic) => {
                     panic!("injected panic at {} packet {packet}", inj.label())
                 }
+                Some(FaultAction::Kill) => crate::fault::die_hard(),
             }
         }
     }
@@ -234,6 +235,7 @@ impl FilterIo {
                     Some(FaultAction::Panic) => {
                         panic!("injected panic at {} packet {packet}", inj.label())
                     }
+                    Some(FaultAction::Kill) => crate::fault::die_hard(),
                 }
             }
         }

@@ -105,6 +105,7 @@ const TAG_DATA: u8 = 3;
 const TAG_END: u8 = 4;
 const TAG_CLOSE: u8 = 5;
 const TAG_TELEMETRY: u8 = 6;
+const TAG_HEARTBEAT: u8 = 7;
 
 /// Fixed header length (bytes after the tag) for each frame tag, or
 /// `None` for an unknown tag. Shared by the socket reader and the
@@ -117,6 +118,7 @@ pub(crate) fn frame_header_len(tag: u8) -> Option<usize> {
         TAG_END => Some(4),
         TAG_CLOSE => Some(0),
         TAG_TELEMETRY => Some(4),
+        TAG_HEARTBEAT => Some(0),
         _ => None,
     }
 }
@@ -177,6 +179,11 @@ pub enum Frame {
     /// [`crate::telemetry::decode_telemetry_payload`]). Only valid on
     /// connections handshaken with [`TELEMETRY_LINK`].
     Telemetry { payload: Vec<u8> },
+    /// Liveness beacon on an otherwise idle link: carries no data and is
+    /// consumed transparently by the frame reader (it only refreshes the
+    /// per-peer silence deadline). Emitted by egress pumps when
+    /// [`NetTuning::heartbeat`] is configured.
+    Heartbeat,
 }
 
 /// Encode one frame to bytes (the socket path writes data payloads
@@ -215,6 +222,7 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
             out
         }
         Frame::Close => vec![TAG_CLOSE],
+        Frame::Heartbeat => vec![TAG_HEARTBEAT],
         Frame::Telemetry { payload } => {
             let mut out = Vec::with_capacity(5 + payload.len());
             out.push(TAG_TELEMETRY);
@@ -285,6 +293,7 @@ pub fn decode_frame(buf: &[u8]) -> FilterResult<(Frame, usize)> {
             Ok((Frame::End { from }, 5))
         }
         TAG_CLOSE => Ok((Frame::Close, 1)),
+        TAG_HEARTBEAT => Ok((Frame::Heartbeat, 1)),
         TAG_TELEMETRY => {
             let len = u32::from_le_bytes(get(buf, 1, who)?) as usize;
             if len > MAX_FRAME_PAYLOAD {
@@ -317,6 +326,58 @@ pub struct NetLinkStats {
     /// Duplicated in-flight frames discarded by the sequence watermark
     /// after a reconnect (ingress side only).
     pub deduped: u64,
+    /// Heartbeat-deadline verdicts: a peer went silent past the liveness
+    /// deadline (ingress side only; under supervision this is a dirty
+    /// disconnect awaiting a respawned peer, otherwise it fails the link).
+    pub timeouts: u64,
+    /// Times a producer reconnected to this link after a disconnect
+    /// (ingress side only): a respawned worker process rejoining.
+    pub reconnects: u64,
+}
+
+/// Liveness knobs for one link's endpoints.
+///
+/// `heartbeat` turns the protocol on: egress pumps emit
+/// [`Frame::Heartbeat`] whenever the link has been idle that long, and
+/// readers fail (or, supervised, declare a dirty disconnect) when a peer
+/// is silent past [`NetTuning::deadline`]. `supervised` makes the ingress
+/// side *lenient*: a dead connection parks the producer's slot instead of
+/// failing the link, waiting up to `reconnect` for a respawned process to
+/// rejoin (the launcher's supervision layer guarantees one is coming, or
+/// kills the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetTuning {
+    /// Emit a heartbeat after this much idle time, and derive the silence
+    /// deadline from it. `None` disables the liveness protocol entirely
+    /// (the pre-supervision behavior: a dead peer blocks reads until the
+    /// run watchdog fires).
+    pub heartbeat: Option<Duration>,
+    /// Lenient ingress: treat dead connections as dirty disconnects and
+    /// wait (bounded) for the producer to be respawned and reconnect.
+    pub supervised: bool,
+    /// How long a supervised ingress waits for a disconnected producer to
+    /// reconnect before declaring the link dead.
+    pub reconnect: Duration,
+}
+
+impl Default for NetTuning {
+    fn default() -> Self {
+        NetTuning {
+            heartbeat: None,
+            supervised: false,
+            reconnect: Duration::from_secs(10),
+        }
+    }
+}
+
+impl NetTuning {
+    /// Silence deadline: a peer that has sent nothing (not even a
+    /// heartbeat) for this long is presumed dead or hung. Several missed
+    /// beats, floored so scheduling jitter never fires it spuriously.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.heartbeat
+            .map(|every| (every * 4).max(Duration::from_secs(1)))
+    }
 }
 
 /// A framed, cancellation-aware connection: blocking reads and writes
@@ -326,6 +387,22 @@ struct FrameConn {
     stream: TcpStream,
     control: Option<Arc<RunControl>>,
     who: String,
+    /// Fail a read when the peer has been silent this long (heartbeats
+    /// count as traffic). `None` = wait forever (the run watchdog is the
+    /// only backstop).
+    deadline: Option<Duration>,
+    /// Last time any byte arrived from the peer.
+    last_rx: Instant,
+}
+
+/// Marker prefix for silence-deadline errors, so callers can count them
+/// as heartbeat timeouts without a dedicated error kind.
+const HEARTBEAT_TIMEOUT_MSG: &str = "heartbeat deadline exceeded";
+
+/// Whether an error is a liveness verdict from [`FrameConn`]'s silence
+/// deadline (vs. an ordinary socket/framing failure).
+pub fn is_heartbeat_timeout(e: &FilterError) -> bool {
+    e.message.starts_with(HEARTBEAT_TIMEOUT_MSG)
 }
 
 impl FrameConn {
@@ -338,7 +415,14 @@ impl FrameConn {
             stream,
             control,
             who,
+            deadline: None,
+            last_rx: Instant::now(),
         })
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+        self.last_rx = Instant::now();
     }
 
     fn cancelled(&self) -> Option<FilterError> {
@@ -364,7 +448,10 @@ impl FrameConn {
                         "connection closed mid-frame",
                     ));
                 }
-                Ok(n) => off += n,
+                Ok(n) => {
+                    off += n;
+                    self.last_rx = Instant::now();
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -373,6 +460,18 @@ impl FrameConn {
                 {
                     if let Some(c) = self.cancelled() {
                         return Err(c);
+                    }
+                    if let Some(d) = self.deadline {
+                        let silent = self.last_rx.elapsed();
+                        if silent > d {
+                            return Err(FilterError::stalled(
+                                self.who.clone(),
+                                format!(
+                                    "{HEARTBEAT_TIMEOUT_MSG}: peer silent for \
+                                     {silent:?} (deadline {d:?})"
+                                ),
+                            ));
+                        }
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -388,9 +487,20 @@ impl FrameConn {
     }
 
     /// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
+    /// Heartbeats are consumed here (their only effect — refreshing the
+    /// silence deadline — happens in `fill`), so callers never see them.
     /// The frame headers are re-parsed through [`decode_frame`] so the
     /// socket path and the testable slice path share one hardened parser.
     fn read_frame(&mut self) -> FilterResult<Option<Frame>> {
+        loop {
+            match self.read_frame_raw()? {
+                Some(Frame::Heartbeat) => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    fn read_frame_raw(&mut self) -> FilterResult<Option<Frame>> {
         let mut tag = [0u8; 1];
         if !self.fill(&mut tag, true)? {
             return Ok(None);
@@ -558,13 +668,85 @@ pub fn connect_with_retry(
 /// copy's packets for one logical link. Sequence numbers are assigned
 /// densely here; the `HelloAck` resume watermark suppresses frames the
 /// consumer already acknowledged (reconnection after a consumer restart).
+///
+/// With [`NetTuning::heartbeat`] configured, a sidecar thread shares the
+/// connection (frame-granular mutex, so a heartbeat can never interleave
+/// inside a data frame) and emits [`Frame::Heartbeat`] whenever the link
+/// has been idle for one heartbeat interval — a blocked or slow producer
+/// stage no longer looks dead to the consumer's silence deadline.
 pub struct RemoteStreamWriter {
-    conn: FrameConn,
+    conn: Arc<Mutex<FrameConn>>,
     producer: u32,
     next_seq: u64,
     resume_seq: u64,
     frames: u64,
     bytes: u64,
+    beat: Option<HeartbeatHandle>,
+}
+
+/// The egress heartbeat sidecar: stop flag + thread + beats-sent counter.
+struct HeartbeatHandle {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    sent: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    last_tx: Arc<Mutex<Instant>>,
+}
+
+impl HeartbeatHandle {
+    fn spawn(conn: Arc<Mutex<FrameConn>>, every: Duration) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sent = Arc::new(AtomicU64::new(0));
+        let last_tx = Arc::new(Mutex::new(Instant::now()));
+        let (stop2, sent2, last2) = (Arc::clone(&stop), Arc::clone(&sent), Arc::clone(&last_tx));
+        let thread = std::thread::spawn(move || {
+            let slice = every.min(Duration::from_millis(50));
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::sleep(slice);
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let idle = plock(&last2).elapsed();
+                if idle < every {
+                    continue;
+                }
+                let mut conn = plock(&conn);
+                // Re-check idleness under the lock (a data write may have
+                // just refreshed it) and stop on write errors — the data
+                // path will surface the same failure with full context.
+                if plock(&last2).elapsed() < every {
+                    continue;
+                }
+                if conn.write_frame(&Frame::Heartbeat).is_err() {
+                    break;
+                }
+                *plock(&last2) = Instant::now();
+                sent2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        HeartbeatHandle {
+            stop,
+            sent,
+            thread: Some(thread),
+            last_tx,
+        }
+    }
+
+    fn mark_tx(&self) {
+        *plock(&self.last_tx) = Instant::now();
+    }
+
+    fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
 }
 
 impl RemoteStreamWriter {
@@ -575,9 +757,25 @@ impl RemoteStreamWriter {
         producer: u32,
         control: Option<Arc<RunControl>>,
     ) -> FilterResult<Self> {
+        Self::connect_tuned(addr, link, producer, control, NetTuning::default())
+    }
+
+    /// [`RemoteStreamWriter::connect`] with liveness tuning: the
+    /// handshake wait is bounded by the silence deadline and, when
+    /// heartbeats are on, the idle-link beacon thread is started.
+    pub fn connect_tuned(
+        addr: &str,
+        link: u32,
+        producer: u32,
+        control: Option<Arc<RunControl>>,
+        tuning: NetTuning,
+    ) -> FilterResult<Self> {
         let who = format!("net.egress[{producer}]");
         let stream = connect_with_retry(addr, control.as_ref(), &who)?;
         let mut conn = FrameConn::new(stream, control, who.clone())?;
+        // A consumer that accepted but never replies must not hang the
+        // producer forever: bound the handshake by the silence deadline.
+        conn.set_deadline(tuning.deadline());
         conn.write_frame(&Frame::Hello { link, producer })?;
         let resume_seq = match conn.read_frame()? {
             Some(Frame::HelloAck { resume_seq }) => resume_seq,
@@ -594,6 +792,10 @@ impl RemoteStreamWriter {
                 ))
             }
         };
+        let conn = Arc::new(Mutex::new(conn));
+        let beat = tuning
+            .heartbeat
+            .map(|every| HeartbeatHandle::spawn(Arc::clone(&conn), every));
         Ok(RemoteStreamWriter {
             conn,
             producer,
@@ -601,6 +803,7 @@ impl RemoteStreamWriter {
             resume_seq,
             frames: 0,
             bytes: 0,
+            beat,
         })
     }
 
@@ -612,16 +815,21 @@ impl RemoteStreamWriter {
         if seq < self.resume_seq {
             return Ok(());
         }
+        let mut conn = plock(&self.conn);
         if buf.len() > MAX_FRAME_PAYLOAD {
             return Err(FilterError::new(
-                self.conn.who.clone(),
+                conn.who.clone(),
                 format!(
                     "packet of {} bytes exceeds the frame cap {MAX_FRAME_PAYLOAD}",
                     buf.len()
                 ),
             ));
         }
-        self.conn.write_data(self.producer, seq, buf.as_slice())?;
+        conn.write_data(self.producer, seq, buf.as_slice())?;
+        drop(conn);
+        if let Some(b) = &self.beat {
+            b.mark_tx();
+        }
         self.frames += 1;
         self.bytes += buf.len() as u64;
         Ok(())
@@ -629,21 +837,32 @@ impl RemoteStreamWriter {
 
     /// Signal end-of-work and close the connection in order.
     pub fn finish(mut self) -> FilterResult<NetLinkStats> {
-        self.conn.write_frame(&Frame::End {
+        if let Some(mut b) = self.beat.take() {
+            b.stop();
+        }
+        let mut conn = plock(&self.conn);
+        conn.write_frame(&Frame::End {
             from: self.producer,
         })?;
-        self.conn.write_frame(&Frame::Close)?;
-        let _ = self.conn.stream.shutdown(std::net::Shutdown::Write);
+        conn.write_frame(&Frame::Close)?;
+        let _ = conn.stream.shutdown(std::net::Shutdown::Write);
         Ok(NetLinkStats {
             frames: self.frames,
             bytes: self.bytes,
-            deduped: 0,
+            ..Default::default()
         })
     }
 
     /// Data frames / payload bytes sent so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.frames, self.bytes)
+    }
+
+    /// Heartbeats emitted on this connection so far.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.beat
+            .as_ref()
+            .map_or(0, |b| b.sent.load(Ordering::Relaxed))
     }
 }
 
@@ -664,7 +883,21 @@ impl RemoteStreamReader {
         resume_seq_of: impl Fn(u32) -> u64,
         control: Option<Arc<RunControl>>,
     ) -> FilterResult<Self> {
+        Self::accept_tuned(stream, link, producers, resume_seq_of, control, None)
+    }
+
+    /// [`RemoteStreamReader::accept`] with an optional silence deadline
+    /// applied to the connection (handshake included).
+    pub fn accept_tuned(
+        stream: TcpStream,
+        link: u32,
+        producers: usize,
+        resume_seq_of: impl Fn(u32) -> u64,
+        control: Option<Arc<RunControl>>,
+        deadline: Option<Duration>,
+    ) -> FilterResult<Self> {
         let mut conn = FrameConn::new(stream, control, "net.ingress".to_string())?;
+        conn.set_deadline(deadline);
         let producer = match conn.read_frame()? {
             Some(Frame::Hello {
                 link: got_link,
@@ -744,6 +977,13 @@ impl IngressFeeder {
         self.next_seq.load(Ordering::Acquire)
     }
 
+    /// Shared handle on the watermark, readable while the feeder itself
+    /// is checked out to a connection handler (a respawned producer may
+    /// handshake before the dead connection's handler has returned it).
+    pub fn watermark(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.next_seq)
+    }
+
     /// Duplicated frames discarded so far.
     pub fn deduped(&self) -> u64 {
         self.deduped
@@ -787,6 +1027,15 @@ impl IngressFeeder {
 /// watermark) live here between connections.
 struct Slot {
     feeder: Option<IngressFeeder>,
+    /// Shared view of the feeder's watermark, readable even while the
+    /// feeder is checked out to a handler.
+    watermark: Arc<AtomicU64>,
+    /// When the producer's connection died without `End` (supervised
+    /// mode): the reconnect deadline runs from here.
+    parked_at: Option<Instant>,
+    /// Whether this producer ever completed a handshake (distinguishes a
+    /// first connect from a respawned process rejoining).
+    connected_once: bool,
 }
 
 /// Serve one logical link's ingress side: accept one connection per
@@ -819,12 +1068,44 @@ pub fn serve_ingress_probed(
     control: Option<Arc<RunControl>>,
     probe: Option<Arc<LinkProbe>>,
 ) -> FilterResult<NetLinkStats> {
+    serve_ingress_tuned(
+        listener,
+        link,
+        writers,
+        control,
+        probe,
+        NetTuning::default(),
+    )
+}
+
+/// [`serve_ingress_probed`] with liveness tuning. With default tuning the
+/// behavior is byte-for-byte the pre-supervision protocol. With
+/// `tuning.supervised` the link becomes crash-tolerant: a connection that
+/// dies without `End` — reset, EOF mid-frame, or silence past the
+/// heartbeat deadline — parks the producer's slot instead of failing the
+/// link, and a respawned process may reconnect (within
+/// `tuning.reconnect`) and resume from the `HelloAck` watermark; a
+/// reconnect after `End` is drained and discarded (the respawned prefix
+/// deterministically regenerates everything, so its tail duplicates are
+/// expected, not corruption).
+pub fn serve_ingress_tuned(
+    listener: TcpListener,
+    link: u32,
+    writers: Vec<StreamWriter>,
+    control: Option<Arc<RunControl>>,
+    probe: Option<Arc<LinkProbe>>,
+    tuning: NetTuning,
+) -> FilterResult<NetLinkStats> {
     let producers = writers.len();
     let slots: Vec<Mutex<Slot>> = writers
         .into_iter()
         .map(|w| {
+            let feeder = IngressFeeder::new(w);
             Mutex::new(Slot {
-                feeder: Some(IngressFeeder::new(w)),
+                watermark: feeder.watermark(),
+                feeder: Some(feeder),
+                parked_at: None,
+                connected_once: false,
             })
         })
         .collect();
@@ -833,6 +1114,9 @@ pub fn serve_ingress_probed(
     let remaining = &remaining;
     let frames = AtomicU64::new(0);
     let bytes = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let timeouts = &timeouts;
+    let reconnects = AtomicU64::new(0);
     let errors: Mutex<Vec<FilterError>> = Mutex::new(Vec::new());
     listener
         .set_nonblocking(true)
@@ -856,6 +1140,31 @@ pub fn serve_ingress_probed(
             let stream = match listener.accept() {
                 Ok((s, _)) => s,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Supervised: a parked producer whose replacement
+                    // never arrives must fail in bounded time, not block
+                    // the link until the run watchdog.
+                    if tuning.supervised {
+                        let expired = slots.iter().position(|s| {
+                            plock(s)
+                                .parked_at
+                                .is_some_and(|t| t.elapsed() > tuning.reconnect)
+                        });
+                        if let Some(p) = expired {
+                            fail(
+                                FilterError::stalled(
+                                    "net.ingress",
+                                    format!(
+                                        "producer {p} disconnected and no replacement \
+                                         reconnected within {:?} (worker presumed dead; \
+                                         restart budget exhausted?)",
+                                        tuning.reconnect
+                                    ),
+                                ),
+                                &errors,
+                            );
+                            break;
+                        }
+                    }
                     std::thread::sleep(ACCEPT_POLL);
                     continue;
                 }
@@ -870,18 +1179,16 @@ pub fn serve_ingress_probed(
             };
             // Handshake inline (it is bounded by the socket timeouts),
             // then hand the connection + feeder to a handler thread so
-            // every producer streams concurrently.
-            let remote = match RemoteStreamReader::accept(
+            // every producer streams concurrently. The watermark is read
+            // through the slot's shared handle: it stays correct even
+            // while the feeder is checked out to a dying connection.
+            let remote = match RemoteStreamReader::accept_tuned(
                 stream,
                 link,
                 producers,
-                |p| {
-                    plock(&slots[p as usize])
-                        .feeder
-                        .as_ref()
-                        .map_or(0, IngressFeeder::resume_seq)
-                },
+                |p| plock(&slots[p as usize]).watermark.load(Ordering::Acquire),
                 control.clone(),
+                tuning.deadline(),
             ) {
                 Ok(r) => r,
                 Err(e) => {
@@ -890,7 +1197,20 @@ pub fn serve_ingress_probed(
                 }
             };
             let p = remote.producer() as usize;
-            let Some(mut feeder) = plock(&slots[p]).feeder.take() else {
+            // A respawned producer can handshake while the dead
+            // connection's handler is still timing out its read; wait
+            // (bounded) for the handler to park the feeder.
+            let wait_budget = Instant::now();
+            let mut feeder = loop {
+                if let Some(f) = plock(&slots[p]).feeder.take() {
+                    break Some(f);
+                }
+                if !tuning.supervised || wait_budget.elapsed() > tuning.reconnect || cancelled() {
+                    break None;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            };
+            let Some(feeder) = feeder.take() else {
                 fail(
                     FilterError::malformed(
                         "net.ingress",
@@ -902,6 +1222,24 @@ pub fn serve_ingress_probed(
             };
             if feeder.ended() {
                 plock(&slots[p]).feeder = Some(feeder);
+                if tuning.supervised {
+                    // A respawned prefix regenerates its full output; the
+                    // tail past this link's End is duplicate by
+                    // construction. Drain and discard it.
+                    scope.spawn(move || {
+                        let mut remote = remote;
+                        loop {
+                            match remote.read() {
+                                Ok(Some(Frame::End { .. })) | Ok(Some(Frame::Close)) | Ok(None) => {
+                                    break
+                                }
+                                Ok(Some(_)) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    });
+                    continue;
+                }
                 fail(
                     FilterError::malformed(
                         "net.ingress",
@@ -911,11 +1249,23 @@ pub fn serve_ingress_probed(
                 );
                 break;
             }
+            {
+                let mut slot = plock(&slots[p]);
+                slot.parked_at = None;
+                if slot.connected_once {
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                slot.connected_once = true;
+            }
             let (frames, bytes, errors) = (&frames, &bytes, &errors);
             let fail = &fail;
             let probe = probe.clone();
             scope.spawn(move || {
                 let mut remote = remote;
+                let mut feeder = feeder;
+                // Whether this connection died without `End` (supervised:
+                // park the slot and await a respawned producer).
+                let mut parked = false;
                 loop {
                     match remote.read() {
                         Ok(Some(Frame::Data { from, seq, payload })) => {
@@ -973,7 +1323,10 @@ pub fn serve_ingress_probed(
                         // Clean disconnect: the producer may reconnect
                         // (its process restarted); the watermark in the
                         // slot table survives.
-                        Ok(Some(Frame::Close)) | Ok(None) => break,
+                        Ok(Some(Frame::Close)) | Ok(None) => {
+                            parked = tuning.supervised;
+                            break;
+                        }
                         Ok(Some(f)) => {
                             fail(
                                 FilterError::malformed(
@@ -985,14 +1338,32 @@ pub fn serve_ingress_probed(
                             break;
                         }
                         Err(e) => {
+                            // Supervised: a dead connection — reset, EOF
+                            // mid-frame, heartbeat timeout — is a dirty
+                            // disconnect, not link failure. The partial
+                            // frame (if any) was never fed, so the
+                            // watermark is consistent and a respawned
+                            // producer resumes exactly past it.
+                            if tuning.supervised && e.kind != crate::error::ErrorKind::Cancelled {
+                                if is_heartbeat_timeout(&e) {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                parked = true;
+                                break;
+                            }
                             fail(e, errors);
                             break;
                         }
                     }
                 }
                 // Return the feeder (and its watermark) to the slot for a
-                // possible reconnect.
-                plock(&slots[p]).feeder = Some(feeder);
+                // possible reconnect; start the reconnect clock if the
+                // connection died without End.
+                let mut slot = plock(&slots[p]);
+                if parked {
+                    slot.parked_at = Some(Instant::now());
+                }
+                slot.feeder = Some(feeder);
             });
         }
     });
@@ -1019,6 +1390,8 @@ pub fn serve_ingress_probed(
         frames: frames.load(Ordering::Relaxed),
         bytes: bytes.load(Ordering::Relaxed),
         deduped,
+        timeouts: timeouts.load(Ordering::Relaxed),
+        reconnects: reconnects.load(Ordering::Relaxed),
     })
 }
 
@@ -1041,14 +1414,39 @@ pub fn egress_pump(
 /// producer copy's pump on the link): transmitted frame/byte counters
 /// tick per packet for the telemetry sampler.
 pub fn egress_pump_probed(
-    mut reader: StreamReader,
+    reader: StreamReader,
     addr: &str,
     link: u32,
     producer: u32,
     control: Option<Arc<RunControl>>,
     probe: Option<Arc<LinkProbe>>,
 ) -> FilterResult<NetLinkStats> {
-    let mut conn = RemoteStreamWriter::connect(addr, link, producer, control.clone())?;
+    egress_pump_tuned(
+        reader,
+        addr,
+        link,
+        producer,
+        control,
+        probe,
+        NetTuning::default(),
+    )
+}
+
+/// [`egress_pump_probed`] with liveness tuning: the handshake wait is
+/// bounded by the silence deadline, and with heartbeats configured the
+/// connection emits [`Frame::Heartbeat`] whenever the producer stage is
+/// idle — so the consumer's deadline distinguishes "slow" from "dead".
+pub fn egress_pump_tuned(
+    mut reader: StreamReader,
+    addr: &str,
+    link: u32,
+    producer: u32,
+    control: Option<Arc<RunControl>>,
+    probe: Option<Arc<LinkProbe>>,
+    tuning: NetTuning,
+) -> FilterResult<NetLinkStats> {
+    let mut conn =
+        RemoteStreamWriter::connect_tuned(addr, link, producer, control.clone(), tuning)?;
     let (mut pf, mut pb) = (0u64, 0u64);
     while let Some(buf) = reader.read() {
         conn.write(&buf)?;

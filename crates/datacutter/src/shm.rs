@@ -23,12 +23,17 @@
 //! ## Layout and memory ordering
 //!
 //! ```text
-//! offset 0    magic "CGPS", version u16, capacity u64   (written once,
+//! offset 0    magic "CGPS", version u16, capacity u64,
+//!             owner (consumer) pid u64              (written once,
 //!                                       published by an atomic rename)
 //! offset 64   head: AtomicU64   — bytes consumed  (reader-owned)
 //! offset 128  tail: AtomicU64   — bytes produced  (writer-owned)
 //! offset 192  producer_closed: AtomicU32
 //! offset 256  consumer_closed: AtomicU32
+//! offset 320  reset_req: AtomicU64  — bumped by a rejoining producer
+//! offset 384  reset_ack: AtomicU64  — consumer acks the drain
+//! offset 448  resume: AtomicU64     — consumer's next expected seq
+//! offset 512  producer_pid: AtomicU64 — current producer, 0 = none yet
 //! offset 4096 data[capacity]    — ring, indexed by cursor & (cap-1)
 //! ```
 //!
@@ -43,21 +48,45 @@
 //! ## Handshake and failure model
 //!
 //! The handshake is **one-way**: the producer writes `Hello` first and
-//! there is no `HelloAck` — the consumer side always resumes from
-//! sequence 0. Cross-process *reconnection* is therefore not supported
-//! on this transport; links that need it (recovery across a worker
-//! restart) stay on TCP, which the link selector enforces. Blocking
-//! waits are spin-then-bounded-sleep polls (no cross-process condvars),
-//! checking run cancellation and the peer's closed flag every lap, so a
-//! dead peer or a cancelled run unwedges promptly. The consumer unlinks
-//! the ring file on drop.
+//! there is no `HelloAck` — on a first attach the consumer resumes from
+//! sequence 0. Blocking waits are spin-then-bounded-sleep polls (no
+//! cross-process condvars), checking run cancellation and the peer's
+//! closed flag every lap, so a dead peer or a cancelled run unwedges
+//! promptly. The consumer unlinks the ring file on drop.
+//!
+//! ## Crash recovery: the ring-reset protocol
+//!
+//! Liveness on this transport is **pid-based**, not heartbeat-based: the
+//! header records the consumer's pid (written before the publishing
+//! rename) and the producer's pid (stored at attach), and either side
+//! can probe the other with `kill(pid, 0)`. Two consequences:
+//!
+//! - **Stale reclaim.** A process that is SIGKILLed never unlinks its
+//!   ring files. [`ShmReceiver::create`] therefore reclaims a leftover
+//!   ring (or half-written `.tmp`) whose recorded owner pid is dead, and
+//!   fails with a named error when the owner is still alive.
+//! - **Producer rejoin.** When a supervised worker is respawned, its
+//!   egress re-attaches to the surviving consumer's ring. A non-zero
+//!   `producer_pid` slot marks the attach as a rejoin: the new producer
+//!   bumps `reset_req` and waits; the consumer (parked on the dead
+//!   producer) drains any truncated frame bytes (`head = tail`), clears
+//!   `producer_closed`, and stores `reset_ack = reset_req` — only then
+//!   does the producer write. The consumer publishes its dedup watermark
+//!   to `resume` after every accepted frame, so the rejoining producer
+//!   reads it post-ack and suppresses already-delivered packets exactly
+//!   like the TCP `HelloAck { resume_seq }` path. The downstream
+//!   [`IngressFeeder`] watermark still dedups independently, so a stale
+//!   `resume` is a bandwidth loss, never a correctness loss.
+//!
+//! Unsupervised runs keep the strict pre-supervision semantics: a ring
+//! closing before `End` is an error, and a reset request is malformed.
 
 use crate::buffer::Buffer;
 use crate::error::{FilterError, FilterResult};
 use crate::fault::RunControl;
 use crate::net::{
     decode_frame, encode_data_header, encode_frame, frame_header_len, frame_len_field_at, Frame,
-    IngressFeeder, NetLinkStats, MAX_FRAME_PAYLOAD,
+    IngressFeeder, NetLinkStats, NetTuning, MAX_FRAME_PAYLOAD,
 };
 use crate::stream::{StreamReader, StreamWriter};
 use crate::telemetry::LinkProbe;
@@ -69,8 +98,9 @@ use std::time::{Duration, Instant};
 
 /// Ring-file magic: first bytes of the mapped header.
 pub const SHM_MAGIC: [u8; 4] = *b"CGPS";
-/// Ring-layout version (checked when the producer attaches).
-pub const SHM_VERSION: u16 = 1;
+/// Ring-layout version (checked when the producer attaches). v2 added
+/// the owner-pid field and the reset/resume slots.
+pub const SHM_VERSION: u16 = 2;
 /// Default data-area size per link ring.
 pub const DEFAULT_SHM_CAPACITY: usize = 4 * 1024 * 1024;
 /// Listener-marker prefix for shared-memory endpoints: a worker that
@@ -86,6 +116,12 @@ const OFF_HEAD: usize = 64;
 const OFF_TAIL: usize = 128;
 const OFF_PRODUCER_CLOSED: usize = 192;
 const OFF_CONSUMER_CLOSED: usize = 256;
+const OFF_RESET_REQ: usize = 320;
+const OFF_RESET_ACK: usize = 384;
+const OFF_RESUME: usize = 448;
+const OFF_PRODUCER_PID: usize = 512;
+/// Byte offset of the owner (consumer) pid in the static header.
+const OWNER_PID_AT: usize = 16;
 
 /// Busy-spin laps before yielding (matches the in-process ring).
 const SPINS: u32 = 128;
@@ -164,6 +200,29 @@ mod sys {
             munmap(ptr.cast(), len);
         }
     }
+
+    pub fn own_pid() -> u64 {
+        std::process::id() as u64
+    }
+
+    /// Whether the process with `pid` still exists. `kill(pid, 0)`
+    /// delivers no signal; `ESRCH` is the only errno meaning "gone"
+    /// (`EPERM` means alive but not ours). Pid reuse can only produce a
+    /// false *alive*, which is the safe direction for both reclaim and
+    /// liveness verdicts.
+    pub fn process_alive(pid: u64) -> bool {
+        const ESRCH: i32 = 3;
+        extern "C" {
+            fn kill(pid: i32, sig: c_int) -> c_int;
+        }
+        if pid == 0 || pid > i32::MAX as u64 {
+            return false;
+        }
+        if unsafe { kill(pid as i32, 0) } == 0 {
+            return true;
+        }
+        std::io::Error::last_os_error().raw_os_error() != Some(ESRCH)
+    }
 }
 
 #[cfg(not(unix))]
@@ -178,6 +237,17 @@ mod sys {
     }
 
     pub fn unmap(_ptr: *mut u8, _len: usize) {}
+
+    pub fn own_pid() -> u64 {
+        std::process::id() as u64
+    }
+
+    /// Without `kill(pid, 0)` we can never prove a process dead, so
+    /// report everything alive — reclaim then refuses, which is the
+    /// conservative failure mode.
+    pub fn process_alive(_pid: u64) -> bool {
+        true
+    }
 }
 
 /// One mapped ring file. Owns the mapping; the file itself is unlinked
@@ -225,6 +295,22 @@ impl Map {
 
     fn close(&self, off: usize) {
         self.atomic_u32(off).store(1, Ordering::Release);
+    }
+
+    fn reset_req(&self) -> &AtomicU64 {
+        self.atomic_u64(OFF_RESET_REQ)
+    }
+
+    fn reset_ack(&self) -> &AtomicU64 {
+        self.atomic_u64(OFF_RESET_ACK)
+    }
+
+    fn resume(&self) -> &AtomicU64 {
+        self.atomic_u64(OFF_RESUME)
+    }
+
+    fn producer_pid(&self) -> &AtomicU64 {
+        self.atomic_u64(OFF_PRODUCER_PID)
     }
 
     fn data(&self) -> *mut u8 {
@@ -299,9 +385,82 @@ fn read_header_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
 }
 
+/// Read the owner pid out of a ring (or ring-tmp) file's static header
+/// without mapping it. `Ok(None)` means the file does not carry a valid
+/// cgp ring header (foreign file, or a tmp whose header write never
+/// completed).
+fn ring_owner_pid(path: &Path) -> std::io::Result<Option<u64>> {
+    use std::io::Read;
+    let mut f = File::open(path)?;
+    let mut header = [0u8; 24];
+    let mut got = 0;
+    while got < header.len() {
+        match f.read(&mut header[got..])? {
+            0 => return Ok(None),
+            n => got += n,
+        }
+    }
+    if header[0..4] != SHM_MAGIC || read_header_u16(&header, 4) != SHM_VERSION {
+        return Ok(None);
+    }
+    Ok(Some(read_header_u64(&header, OWNER_PID_AT)))
+}
+
+/// Deal with a leftover file where we want to create a ring: reclaim it
+/// when its recorded owner is provably dead (SIGKILLed consumers never
+/// unlink), refuse with a named error when the owner still lives, and
+/// refuse to touch files that are not cgp rings at all. `tmp` files are
+/// reclaimed even with an unreadable header — a half-written header in
+/// a `.tmp` of our own naming scheme is exactly the crash artifact this
+/// exists for.
+fn reclaim_stale(path: &Path, is_tmp: bool, who: &str) -> FilterResult<()> {
+    let err = |m: String| FilterError::new(who.to_string(), m);
+    match ring_owner_pid(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(err(format!("inspect {}: {e}", path.display()))),
+        Ok(Some(pid)) if sys::process_alive(pid) => Err(err(format!(
+            "shm ring {} already exists and its owner (pid {pid}) is still alive",
+            path.display()
+        ))),
+        Ok(None) if !is_tmp => Err(err(format!(
+            "{} already exists and is not a cgp shm ring; refusing to reclaim it",
+            path.display()
+        ))),
+        Ok(_) => std::fs::remove_file(path)
+            .or_else(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            })
+            .map_err(|e| err(format!("reclaim stale {}: {e}", path.display()))),
+    }
+}
+
+/// Remove the ring files (and stray tmps) of a dead worker's ingress at
+/// `base`, so the supervisor can respawn it on a fresh base without
+/// leaking `/dev/shm` entries. Returns how many files were removed.
+/// Files whose recorded owner is still alive are left alone.
+pub fn remove_ring_files(base: &str, producers: usize) -> usize {
+    let mut removed = 0;
+    for p in 0..producers {
+        let path = ring_path(base, p as u32);
+        for candidate in [path.with_extension("tmp"), path] {
+            if matches!(ring_owner_pid(&candidate), Ok(Some(pid)) if !sys::process_alive(pid))
+                && std::fs::remove_file(&candidate).is_ok()
+            {
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
 /// Create one ring file at `path` (via a temp file and an atomic
 /// rename, so an attaching producer never observes a half-written
-/// header) and map it. Consumer side.
+/// header) and map it. Consumer side. Stale leftovers from a crashed
+/// prior owner are reclaimed first.
 fn create_ring(path: &Path, capacity: usize, who: &str) -> FilterResult<Map> {
     let err = |m: String| FilterError::new(who.to_string(), m);
     if !capacity.is_power_of_two() || capacity < MIN_CAPACITY {
@@ -310,6 +469,8 @@ fn create_ring(path: &Path, capacity: usize, who: &str) -> FilterResult<Map> {
         )));
     }
     let tmp = path.with_extension("tmp");
+    reclaim_stale(&tmp, true, who)?;
+    reclaim_stale(path, false, who)?;
     let file = OpenOptions::new()
         .read(true)
         .write(true)
@@ -318,10 +479,11 @@ fn create_ring(path: &Path, capacity: usize, who: &str) -> FilterResult<Map> {
         .map_err(|e| err(format!("create {}: {e}", tmp.display())))?;
     file.set_len((HEADER_LEN + capacity) as u64)
         .map_err(|e| err(format!("size {}: {e}", tmp.display())))?;
-    let mut header = [0u8; 16];
+    let mut header = [0u8; 24];
     header[0..4].copy_from_slice(&SHM_MAGIC);
     header[4..6].copy_from_slice(&SHM_VERSION.to_le_bytes());
     header[8..16].copy_from_slice(&(capacity as u64).to_le_bytes());
+    header[OWNER_PID_AT..OWNER_PID_AT + 8].copy_from_slice(&sys::own_pid().to_le_bytes());
     {
         use std::io::Write;
         (&file)
@@ -431,17 +593,68 @@ pub struct ShmSender {
     map: Map,
     control: Option<Arc<RunControl>>,
     who: String,
+    resume: u64,
 }
 
 impl ShmSender {
     /// Attach to the ring file at `path` (created by the consumer).
+    ///
+    /// When the ring has seen a producer before (its `producer_pid` slot
+    /// is non-zero — this attach is a respawned worker rejoining a
+    /// surviving consumer), the attach runs the ring-reset protocol:
+    /// request a drain, wait for the consumer's ack, and pick up the
+    /// consumer's resume watermark so already-delivered packets can be
+    /// suppressed at the source ([`Self::resume_seq`]).
     pub fn attach(
         path: &Path,
         control: Option<Arc<RunControl>>,
         who: String,
     ) -> FilterResult<Self> {
         let map = attach_ring(path, control.as_ref(), &who)?;
-        Ok(ShmSender { map, control, who })
+        let prior = map.producer_pid().swap(sys::own_pid(), Ordering::AcqRel);
+        let mut resume = 0;
+        if prior != 0 {
+            let req = map.reset_req().fetch_add(1, Ordering::AcqRel) + 1;
+            let start = Instant::now();
+            let mut backoff = Backoff::new();
+            while map.reset_ack().load(Ordering::Acquire) < req {
+                if control.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err(FilterError::cancelled(
+                        who.clone(),
+                        "run cancelled while waiting for ring reset",
+                    ));
+                }
+                if map.consumer_closed() {
+                    return Err(FilterError::new(
+                        who.clone(),
+                        "consumer closed the ring during the reset handshake",
+                    ));
+                }
+                if start.elapsed() >= ATTACH_BUDGET {
+                    return Err(FilterError::stalled(
+                        who.clone(),
+                        format!(
+                            "consumer did not ack the ring reset within {ATTACH_BUDGET:?} \
+                             (unsupervised consumer, or its serve loop already returned?)"
+                        ),
+                    ));
+                }
+                backoff.pause();
+            }
+            resume = map.resume().load(Ordering::Acquire);
+        }
+        Ok(ShmSender {
+            map,
+            control,
+            who,
+            resume,
+        })
+    }
+
+    /// First sequence number the consumer still needs: non-zero exactly
+    /// when this attach was a rejoin that found delivered prefix state.
+    pub fn resume_seq(&self) -> u64 {
+        self.resume
     }
 
     fn cancelled(&self) -> Option<FilterError> {
@@ -512,6 +725,31 @@ impl Drop for ShmSender {
     }
 }
 
+/// What one `fill` call produced.
+enum Filled {
+    /// Buffer completely filled.
+    Full,
+    /// Producer closed at a record boundary before any byte (only when
+    /// the caller allowed EOF).
+    Eof,
+    /// A rejoining producer requested a ring reset; any partial fill
+    /// was abandoned and the ring drained. The caller must restart its
+    /// frame parse from a clean boundary.
+    Reset,
+}
+
+/// One result of [`ShmReceiver::read_frame_sup`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ShmRead {
+    /// A complete frame.
+    Frame(Frame),
+    /// Producer closed at a frame boundary.
+    Eof,
+    /// A respawned producer re-attached and the ring was drained; expect
+    /// a fresh `Hello` next.
+    Reset,
+}
+
 /// Consumer half of one ring: frame reader over the byte pipe. Unlinks
 /// the ring file on drop.
 pub struct ShmReceiver {
@@ -519,7 +757,16 @@ pub struct ShmReceiver {
     control: Option<Arc<RunControl>>,
     who: String,
     path: PathBuf,
+    /// `Some(deadline)` turns on supervised semantics: a dead producer
+    /// parks the reader (awaiting a ring reset from its respawn) for at
+    /// most this long instead of erroring immediately.
+    supervised: Option<Duration>,
+    parked_at: Option<Instant>,
+    last_liveness: Option<Instant>,
 }
+
+/// How often a blocked supervised reader re-probes the producer pid.
+const LIVENESS_EVERY: Duration = Duration::from_millis(50);
 
 impl ShmReceiver {
     /// Create the ring file at `path` and take the consumer side.
@@ -535,7 +782,25 @@ impl ShmReceiver {
             control,
             who,
             path: path.to_path_buf(),
+            supervised: None,
+            parked_at: None,
+            last_liveness: None,
         })
+    }
+
+    /// Enable supervised semantics: a gone producer (closed flag, or a
+    /// recorded pid that no longer exists) parks the reader for up to
+    /// `reconnect`, waiting for the supervisor to respawn it and the
+    /// respawn to run the reset handshake.
+    pub fn set_supervised(&mut self, reconnect: Duration) {
+        self.supervised = Some(reconnect);
+    }
+
+    /// Publish the next sequence number this consumer expects, for a
+    /// future rejoining producer to resume from. Called by the serve
+    /// loop after every accepted frame.
+    pub fn publish_resume(&self, next_seq: u64) {
+        self.map.resume().store(next_seq, Ordering::Release);
     }
 
     fn cancelled(&self) -> Option<FilterError> {
@@ -545,10 +810,50 @@ impl ShmReceiver {
             .map(|_| FilterError::cancelled(self.who.clone(), "run cancelled during shm read"))
     }
 
-    /// Fill `buf` completely. `Ok(false)` means the producer closed at
-    /// a record boundary (`allow_eof` and no byte read yet); a close
-    /// mid-frame is malformed — exactly the socket reader's contract.
-    fn fill(&mut self, buf: &mut [u8], allow_eof: bool) -> FilterResult<bool> {
+    /// The producer is gone when it set its closed flag, or when it
+    /// recorded a pid that no longer exists (SIGKILL runs no drop code,
+    /// so the flag alone cannot be trusted). The pid probe is a syscall,
+    /// so it is rate-limited to [`LIVENESS_EVERY`].
+    fn producer_gone(&mut self) -> bool {
+        if self.map.producer_closed() {
+            return true;
+        }
+        if self
+            .last_liveness
+            .is_some_and(|at| at.elapsed() < LIVENESS_EVERY)
+        {
+            return false;
+        }
+        self.last_liveness = Some(Instant::now());
+        let pid = self.map.producer_pid().load(Ordering::Acquire);
+        pid != 0 && !sys::process_alive(pid)
+    }
+
+    /// Handle a pending reset request if one arrived: drain whatever the
+    /// dead producer left behind (possibly a truncated frame), clear its
+    /// closed flag, and ack — only after the ack does the rejoining
+    /// producer start writing.
+    fn take_reset(&mut self) -> bool {
+        let req = self.map.reset_req().load(Ordering::Acquire);
+        if req == self.map.reset_ack().load(Ordering::Relaxed) {
+            return false;
+        }
+        let tail = self.map.tail().load(Ordering::Acquire);
+        self.map.head().store(tail, Ordering::Release);
+        self.map
+            .atomic_u32(OFF_PRODUCER_CLOSED)
+            .store(0, Ordering::Release);
+        self.parked_at = None;
+        self.map.reset_ack().store(req, Ordering::Release);
+        true
+    }
+
+    /// Fill `buf` completely. [`Filled::Eof`] means the producer closed
+    /// at a record boundary (`allow_eof` and no byte read yet); a close
+    /// mid-frame is malformed — exactly the socket reader's contract —
+    /// unless supervised, where a gone producer parks the reader until
+    /// its respawn resets the ring or the reconnect deadline passes.
+    fn fill(&mut self, buf: &mut [u8], allow_eof: bool) -> FilterResult<Filled> {
         let mut off = 0;
         let mut backoff = Backoff::new();
         while off < buf.len() {
@@ -559,14 +864,32 @@ impl ShmReceiver {
             let tail = self.map.tail().load(Ordering::Acquire);
             let used = tail.wrapping_sub(head);
             if used == 0 {
-                if self.map.producer_closed() {
+                if self.take_reset() {
+                    return Ok(Filled::Reset);
+                }
+                if self.producer_gone() {
                     // The close flag trails the final tail store:
                     // re-check before declaring EOF.
                     if self.map.tail().load(Ordering::Acquire) != tail {
                         continue;
                     }
+                    if let Some(deadline) = self.supervised {
+                        let parked = *self.parked_at.get_or_insert_with(Instant::now);
+                        if parked.elapsed() > deadline {
+                            return Err(FilterError::stalled(
+                                self.who.clone(),
+                                format!(
+                                    "producer gone and no respawn reset the ring within \
+                                     {deadline:?} (worker presumed dead; restart budget \
+                                     exhausted?)"
+                                ),
+                            ));
+                        }
+                        std::thread::sleep(SLEEP);
+                        continue;
+                    }
                     if off == 0 && allow_eof {
-                        return Ok(false);
+                        return Ok(Filled::Eof);
                     }
                     return Err(FilterError::malformed(
                         self.who.clone(),
@@ -576,6 +899,7 @@ impl ShmReceiver {
                 backoff.pause();
                 continue;
             }
+            self.parked_at = None;
             let n = (used as usize).min(buf.len() - off);
             self.map.copy_out(head, &mut buf[off..off + n]);
             self.map
@@ -584,16 +908,18 @@ impl ShmReceiver {
             off += n;
             backoff.reset();
         }
-        Ok(true)
+        Ok(Filled::Full)
     }
 
-    /// Read one frame; `Ok(None)` when the producer closed at a frame
-    /// boundary. Shares the header-layout tables and [`decode_frame`]
-    /// with the socket path, so both transports parse one format.
-    pub fn read_frame(&mut self) -> FilterResult<Option<Frame>> {
+    /// Read one frame, surfacing supervised ring resets to the caller.
+    /// Shares the header-layout tables and [`decode_frame`] with the
+    /// socket path, so both transports parse one format.
+    pub fn read_frame_sup(&mut self) -> FilterResult<ShmRead> {
         let mut tag = [0u8; 1];
-        if !self.fill(&mut tag, true)? {
-            return Ok(None);
+        match self.fill(&mut tag, true)? {
+            Filled::Eof => return Ok(ShmRead::Eof),
+            Filled::Reset => return Ok(ShmRead::Reset),
+            Filled::Full => {}
         }
         let Some(header_len) = frame_header_len(tag[0]) else {
             return Err(FilterError::malformed(
@@ -603,7 +929,9 @@ impl ShmReceiver {
         };
         let mut frame = vec![tag[0]; 1];
         frame.resize(1 + header_len, 0);
-        self.fill(&mut frame[1..], false)?;
+        if matches!(self.fill(&mut frame[1..], false)?, Filled::Reset) {
+            return Ok(ShmRead::Reset);
+        }
         if let Some(at) = frame_len_field_at(tag[0]) {
             let len = u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes")) as usize;
             if len > MAX_FRAME_PAYLOAD {
@@ -614,14 +942,30 @@ impl ShmReceiver {
             }
             let at = frame.len();
             frame.resize(at + len, 0);
-            self.fill(&mut frame[at..], false)?;
+            if matches!(self.fill(&mut frame[at..], false)?, Filled::Reset) {
+                return Ok(ShmRead::Reset);
+            }
         }
         decode_frame(&frame)
-            .map(|(f, _)| Some(f))
+            .map(|(f, _)| ShmRead::Frame(f))
             .map_err(|e| FilterError {
                 filter: self.who.clone(),
                 ..e
             })
+    }
+
+    /// Read one frame; `Ok(None)` when the producer closed at a frame
+    /// boundary. A ring reset is an error on this path — only supervised
+    /// serve loops expect rejoins.
+    pub fn read_frame(&mut self) -> FilterResult<Option<Frame>> {
+        match self.read_frame_sup()? {
+            ShmRead::Frame(f) => Ok(Some(f)),
+            ShmRead::Eof => Ok(None),
+            ShmRead::Reset => Err(FilterError::malformed(
+                self.who.clone(),
+                "unexpected ring reset (second producer attached to an unsupervised ring)",
+            )),
+        }
     }
 }
 
@@ -685,15 +1029,33 @@ impl ShmIngress {
     /// Bridge every producer's frames onto the local `writers` (writer
     /// `p` plays producer copy `p`, preserving in-process round-robin
     /// routing). Returns when every producer sent `End`, or with the
-    /// first error after cancelling the run. Unlike TCP ingress there
-    /// is no reconnection: a producer closing its ring before `End` is
-    /// an error, and recovery-across-restart links stay on TCP.
+    /// first error after cancelling the run. Unsupervised: a producer
+    /// closing its ring before `End` is an error.
     pub fn serve_probed(
         self,
         link: u32,
         writers: Vec<StreamWriter>,
         control: Option<Arc<RunControl>>,
         probe: Option<Arc<LinkProbe>>,
+    ) -> FilterResult<NetLinkStats> {
+        self.serve_tuned(link, writers, control, probe, NetTuning::default())
+    }
+
+    /// [`Self::serve_probed`] with explicit [`NetTuning`]. Supervised
+    /// mode arms the ring-reset protocol: a producer that dies mid-
+    /// stream parks its ring reader until the supervisor's respawn
+    /// re-attaches, drains the truncated tail, re-Hellos, and resumes
+    /// from the published watermark (duplicates deduped by the feeder
+    /// either way). Ring files stay alive until every producer ended,
+    /// so a rejoin can target any ring of the link. Heartbeats do not
+    /// apply here — liveness is pid-based.
+    pub fn serve_tuned(
+        self,
+        link: u32,
+        writers: Vec<StreamWriter>,
+        control: Option<Arc<RunControl>>,
+        probe: Option<Arc<LinkProbe>>,
+        tuning: NetTuning,
     ) -> FilterResult<NetLinkStats> {
         assert_eq!(
             writers.len(),
@@ -702,8 +1064,9 @@ impl ShmIngress {
         );
         let frames = AtomicU64::new(0);
         let bytes = AtomicU64::new(0);
+        let reconnects = AtomicU64::new(0);
         let errors: Mutex<Vec<FilterError>> = Mutex::new(Vec::new());
-        let (frames, bytes, errors) = (&frames, &bytes, &errors);
+        let (frames, bytes, reconnects, errors) = (&frames, &bytes, &reconnects, &errors);
         let control = &control;
         let fail = |e: FilterError| {
             if let Some(c) = control {
@@ -718,33 +1081,45 @@ impl ShmIngress {
             for (p, (mut rx, writer)) in self.receivers.into_iter().zip(writers).enumerate() {
                 let probe = probe.clone();
                 handles.push(scope.spawn(move || {
+                    if tuning.supervised {
+                        rx.set_supervised(tuning.reconnect);
+                    }
                     let mut feeder = IngressFeeder::new(writer);
+                    let watermark = feeder.watermark();
                     let res = (|| -> FilterResult<()> {
-                        match rx.read_frame()? {
-                            Some(Frame::Hello {
-                                link: got_link,
-                                producer,
-                            }) => {
-                                if got_link != link || producer as usize != p {
+                        let mut expect_hello = true;
+                        let mut connected = false;
+                        loop {
+                            match rx.read_frame_sup()? {
+                                ShmRead::Reset => {
+                                    if connected {
+                                        reconnects.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    expect_hello = true;
+                                }
+                                ShmRead::Frame(Frame::Hello {
+                                    link: got_link,
+                                    producer,
+                                }) if expect_hello => {
+                                    if got_link != link || producer as usize != p {
+                                        return Err(FilterError::malformed(
+                                            format!("shm.ingress[{p}]"),
+                                            format!(
+                                                "hello for link {got_link} producer {producer} \
+                                                 arrived at link {link} producer {p}"
+                                            ),
+                                        ));
+                                    }
+                                    expect_hello = false;
+                                    connected = true;
+                                }
+                                _ if expect_hello => {
                                     return Err(FilterError::malformed(
                                         format!("shm.ingress[{p}]"),
-                                        format!(
-                                            "hello for link {got_link} producer {producer} \
-                                             arrived at link {link} producer {p}"
-                                        ),
+                                        "expected Hello first on this ring",
                                     ));
                                 }
-                            }
-                            f => {
-                                return Err(FilterError::malformed(
-                                    format!("shm.ingress[{p}]"),
-                                    format!("expected Hello, got {f:?}"),
-                                ))
-                            }
-                        }
-                        loop {
-                            match rx.read_frame()? {
-                                Some(Frame::Data { from, seq, payload }) => {
+                                ShmRead::Frame(Frame::Data { from, seq, payload }) => {
                                     if from as usize != p {
                                         return Err(FilterError::malformed(
                                             format!("shm.ingress[{p}]"),
@@ -761,8 +1136,9 @@ impl ShmIngress {
                                     } else if let Some(pr) = &probe {
                                         pr.deduped.fetch_add(1, Ordering::Relaxed);
                                     }
+                                    rx.publish_resume(watermark.load(Ordering::Acquire));
                                 }
-                                Some(Frame::End { from }) => {
+                                ShmRead::Frame(Frame::End { from }) => {
                                     if from as usize != p {
                                         return Err(FilterError::malformed(
                                             format!("shm.ingress[{p}]"),
@@ -772,15 +1148,16 @@ impl ShmIngress {
                                     feeder.end();
                                     return Ok(());
                                 }
-                                // No reconnection on shm: a ring closing
-                                // before End means the producer died.
-                                Some(Frame::Close) | None => {
+                                // A ring closing before End means the
+                                // producer died (supervised readers park
+                                // inside read_frame_sup instead).
+                                ShmRead::Frame(Frame::Close) | ShmRead::Eof => {
                                     return Err(FilterError::malformed(
                                         format!("shm.ingress[{p}]"),
                                         "producer closed its ring before End",
                                     ));
                                 }
-                                Some(f) => {
+                                ShmRead::Frame(f) => {
                                     return Err(FilterError::malformed(
                                         format!("shm.ingress[{p}]"),
                                         format!("unexpected frame mid-stream: {f:?}"),
@@ -796,11 +1173,18 @@ impl ShmIngress {
                         // Error/cancel path: unblock downstream readers.
                         feeder.end();
                     }
-                    feeder.deduped()
+                    // Hand the receiver back so ring files survive until
+                    // the whole link completed: a late rejoin must find
+                    // its ring on disk.
+                    (feeder.deduped(), rx)
                 }));
             }
+            let mut receivers = Vec::new();
             for h in handles {
-                deduped += h.join().unwrap_or(0);
+                if let Ok((d, rx)) = h.join() {
+                    deduped += d;
+                    receivers.push(rx);
+                }
             }
         });
         if let Some(e) = plock(errors).first() {
@@ -810,6 +1194,8 @@ impl ShmIngress {
             frames: frames.load(Ordering::Relaxed),
             bytes: bytes.load(Ordering::Relaxed),
             deduped,
+            reconnects: reconnects.load(Ordering::Relaxed),
+            ..Default::default()
         })
     }
 }
@@ -817,7 +1203,10 @@ impl ShmIngress {
 /// Drain one local 1→1 stream behind producer copy `producer` into the
 /// ring at `<base>.<producer>` — the shm analogue of
 /// [`crate::net::egress_pump_probed`], with the same per-packet ack
-/// commit so producer-side replay buffers stay bounded.
+/// commit so producer-side replay buffers stay bounded. When the attach
+/// was a rejoin (respawned worker reconnecting to a surviving
+/// consumer), packets below the consumer's resume watermark are
+/// suppressed at the source, mirroring the TCP `HelloAck` path.
 pub fn shm_egress_pump_probed(
     mut reader: StreamReader,
     base: &str,
@@ -829,18 +1218,26 @@ pub fn shm_egress_pump_probed(
     let who = format!("shm.egress[{producer}]");
     let mut tx = ShmSender::attach(&ring_path(base, producer), control.clone(), who.clone())?;
     tx.write_frame(&Frame::Hello { link, producer })?;
+    let resume = tx.resume_seq();
     let mut seq = 0u64;
-    let (mut frames, mut bytes) = (0u64, 0u64);
+    let (mut frames, mut bytes, mut deduped) = (0u64, 0u64, 0u64);
     while let Some(buf) = reader.read() {
-        tx.write_data(producer, seq, buf.as_slice())?;
+        if seq >= resume {
+            tx.write_data(producer, seq, buf.as_slice())?;
+            frames += 1;
+            bytes += buf.len() as u64;
+            if let Some(p) = &probe {
+                p.frames.fetch_add(1, Ordering::Relaxed);
+                p.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            }
+        } else {
+            deduped += 1;
+            if let Some(p) = &probe {
+                p.deduped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         seq += 1;
         reader.commit_acks();
-        frames += 1;
-        bytes += buf.len() as u64;
-        if let Some(p) = &probe {
-            p.frames.fetch_add(1, Ordering::Relaxed);
-            p.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
-        }
     }
     if control.as_ref().is_some_and(|c| c.is_cancelled()) {
         return Err(FilterError::cancelled(who, "run cancelled during transmit"));
@@ -850,7 +1247,8 @@ pub fn shm_egress_pump_probed(
     Ok(NetLinkStats {
         frames,
         bytes,
-        deduped: 0,
+        deduped,
+        ..Default::default()
     })
 }
 
@@ -984,6 +1382,147 @@ mod tests {
         control.cancel("test");
         let err = writer.join().unwrap().unwrap_err();
         assert_eq!(err.kind, crate::error::ErrorKind::Cancelled);
+    }
+
+    fn write_fake_ring(path: &Path, owner: u64) {
+        let mut file = vec![0u8; HEADER_LEN + MIN_CAPACITY];
+        file[0..4].copy_from_slice(&SHM_MAGIC);
+        file[4..6].copy_from_slice(&SHM_VERSION.to_le_bytes());
+        file[8..16].copy_from_slice(&(MIN_CAPACITY as u64).to_le_bytes());
+        file[OWNER_PID_AT..OWNER_PID_AT + 8].copy_from_slice(&owner.to_le_bytes());
+        std::fs::write(path, &file).unwrap();
+    }
+
+    /// A pid that provably no longer exists: a reaped child's.
+    fn dead_pid() -> u64 {
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn true");
+        let pid = child.id() as u64;
+        child.wait().unwrap();
+        pid
+    }
+
+    #[test]
+    fn stale_ring_with_dead_owner_is_reclaimed() {
+        let base = test_base("reclaim");
+        let path = PathBuf::from(format!("{base}.0"));
+        write_fake_ring(&path, dead_pid());
+        // A half-written tmp from the same crash is reclaimed too.
+        std::fs::write(path.with_extension("tmp"), b"CGPS\x02").unwrap();
+        let rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into())
+            .expect("dead-owner leftovers must be reclaimed");
+        drop(rx);
+
+        // remove_ring_files gives the supervisor the same reclaim.
+        write_fake_ring(&path, dead_pid());
+        assert_eq!(remove_ring_files(&base, 1), 1);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn ring_owned_by_a_live_process_is_refused_with_a_named_error() {
+        let base = test_base("live-owner");
+        let path = PathBuf::from(format!("{base}.0"));
+        write_fake_ring(&path, std::process::id() as u64);
+        let err = match ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("created over a live owner's ring"),
+        };
+        assert!(err.message.contains("still alive"), "{err}");
+        assert_eq!(remove_ring_files(&base, 1), 0, "live rings are kept");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_in_the_ring_slot_is_not_reclaimed() {
+        let base = test_base("foreign");
+        let path = PathBuf::from(format!("{base}.0"));
+        std::fs::write(&path, b"someone else's data").unwrap();
+        let err = match ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("clobbered a foreign file"),
+        };
+        assert!(err.message.contains("not a cgp shm ring"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn supervised_ring_reset_resumes_from_the_published_watermark() {
+        let base = test_base("reset");
+        let ingress = ShmIngress::create(&base, 1, MIN_CAPACITY, None).unwrap();
+        let (mut ws, mut rs) = logical_stream(1, 1, 16, Distribution::RoundRobin);
+        let mut r = rs.remove(0);
+        let reader = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(b) = r.read() {
+                seen.push(b.as_slice().to_vec());
+            }
+            seen
+        });
+        let tuning = NetTuning {
+            supervised: true,
+            reconnect: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let writers = vec![ws.remove(0)];
+        let serve = std::thread::spawn(move || ingress.serve_tuned(7, writers, None, None, tuning));
+
+        // First incarnation: Hello + 5 packets, then dies without End
+        // (the drop sets producer_closed, standing in for a SIGKILL that
+        // the pid-liveness probe would catch).
+        let ring = ring_path(&base, 0);
+        let mut tx = ShmSender::attach(&ring, None, "tx1".into()).unwrap();
+        tx.write_frame(&Frame::Hello {
+            link: 7,
+            producer: 0,
+        })
+        .unwrap();
+        for seq in 0..5u64 {
+            tx.write_data(0, seq, &[seq as u8]).unwrap();
+        }
+        drop(tx);
+        std::thread::sleep(Duration::from_millis(20));
+
+        // Respawn: the attach runs the reset handshake and learns the
+        // consumer's watermark, so delivery resumes exactly at seq 5.
+        let mut tx = ShmSender::attach(&ring, None, "tx2".into()).unwrap();
+        assert_eq!(tx.resume_seq(), 5, "consumer published its watermark");
+        tx.write_frame(&Frame::Hello {
+            link: 7,
+            producer: 0,
+        })
+        .unwrap();
+        for seq in 5..10u64 {
+            tx.write_data(0, seq, &[seq as u8]).unwrap();
+        }
+        tx.write_frame(&Frame::End { from: 0 }).unwrap();
+        tx.write_frame(&Frame::Close).unwrap();
+        drop(tx);
+
+        let stats = serve.join().unwrap().unwrap();
+        assert_eq!(stats.frames, 10);
+        assert_eq!(stats.reconnects, 1, "the rejoin is visible in stats");
+        let seen = reader.join().unwrap();
+        let want: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        assert_eq!(seen, want, "no loss, no duplication across the reset");
+    }
+
+    #[test]
+    fn reset_on_an_unsupervised_ring_is_a_named_error() {
+        let path = PathBuf::from(format!("{}.0", test_base("unsup-reset")));
+        let mut rx = ShmReceiver::create(&path, MIN_CAPACITY, None, "rx".into()).unwrap();
+        let tx1 = ShmSender::attach(&path, None, "tx1".into()).unwrap();
+        // Second attach on a ring that saw a producer: requests a reset.
+        let p = path.clone();
+        let attach2 = std::thread::spawn(move || ShmSender::attach(&p, None, "tx2".into()));
+        let err = rx.read_frame().unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Malformed);
+        assert!(err.message.contains("ring reset"), "{err}");
+        drop(tx1);
+        // The reader acked the drain before erroring, so the second
+        // attach completes rather than hanging on its budget.
+        attach2.join().unwrap().unwrap();
     }
 
     #[test]
