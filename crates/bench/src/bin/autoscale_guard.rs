@@ -1,0 +1,170 @@
+//! Elastic-width autoscale regression guard.
+//!
+//! Runs the step-load benchmark (see `cgp_bench::autoscale`) with the
+//! `work` stage fixed at one copy and again with the telemetry-driven
+//! autoscaler armed, and compares against the committed
+//! `BENCH_autoscale.json` baseline:
+//!
+//! ```sh
+//! cargo run --release -p cgp-bench --bin autoscale_guard            # check
+//! cargo run --release -p cgp-bench --bin autoscale_guard -- --record
+//! ```
+//!
+//! The check fails (exit 1) if:
+//!
+//! * the fixed and elastic sums differ (autoscaling must be invisible
+//!   in the output — this one fails even in `--record` mode),
+//! * the elastic run never widened (the controller went deaf),
+//! * throughput recovery (elastic/fixed packets/s) falls below 1.5×
+//!   (machine-independent floor — the workload is latency-bound, so
+//!   the ratio holds on a single-core runner),
+//! * elastic throughput drops more than 30% below its baseline.
+//!
+//! Env knobs for CI smoke mode: `CGP_GUARD_AS_PACKETS` (default 600),
+//! `CGP_GUARD_AS_WORK_US` (default 400), `CGP_GUARD_AS_REPS`
+//! (default 3), `CGP_GUARD_BASELINE` (path).
+
+use cgp_bench::autoscale::{paired_step_load, StepLoadConfig};
+
+/// Machine-independent floor on elastic/fixed throughput recovery. The
+/// autoscaler caps at 4 copies and pays grow latency plus the light
+/// pre-step phase, so the ideal 4× degrades — but anything under 1.5×
+/// means the controller is not actually relieving the bottleneck.
+const RECOVERY_FLOOR: f64 = 1.5;
+/// Cross-machine tolerance for the absolute-throughput check.
+const DROP_TOLERANCE: f64 = 0.30;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pull the number following `"key":` out of the baseline JSON. The file
+/// is flat and written by this binary, so a scan beats a parser dep.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let baseline_path =
+        std::env::var("CGP_GUARD_BASELINE").unwrap_or_else(|_| "BENCH_autoscale.json".to_string());
+    let cfg = StepLoadConfig {
+        packets: env_u64("CGP_GUARD_AS_PACKETS", 600) as usize,
+        work_us: env_u64("CGP_GUARD_AS_WORK_US", 400),
+        ..Default::default()
+    };
+    let reps = env_u64("CGP_GUARD_AS_REPS", 3) as usize;
+
+    let (fixed, elastic) = paired_step_load(&cfg, reps);
+    let recovery = elastic.packets_per_sec / fixed.packets_per_sec.max(1.0);
+
+    println!(
+        "step-load autoscale ({} packets, {}us post-step service, best of {reps}):",
+        cfg.packets, cfg.work_us
+    );
+    println!(
+        "  fixed   (work width 1):     {:>12.0} packets/s",
+        fixed.packets_per_sec
+    );
+    println!(
+        "  elastic ({}):   {:>12.0} packets/s  ({} grow(s), peak width {})",
+        cfg.spec, elastic.packets_per_sec, elastic.grows, elastic.peak_width
+    );
+    println!("  throughput recovery: {recovery:.2}x");
+
+    // Byte-identity is non-negotiable in every mode: a baseline recorded
+    // from a wrong-answer run would be worse than no baseline.
+    if fixed.sum != elastic.sum {
+        eprintln!(
+            "FAIL: elastic output diverges from fixed-width output \
+             (sum {} vs {})",
+            elastic.sum, fixed.sum
+        );
+        std::process::exit(1);
+    }
+
+    if record {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"autoscale_step_load\",\n",
+                "  \"packets\": {packets},\n",
+                "  \"work_us\": {work_us},\n",
+                "  \"autoscale_spec\": \"{spec}\",\n",
+                "  \"fixed_packets_per_sec\": {fixed:.0},\n",
+                "  \"elastic_packets_per_sec\": {elastic:.0},\n",
+                "  \"recovery\": {recovery:.2},\n",
+                "  \"grows\": {grows},\n",
+                "  \"peak_width\": {peak}\n",
+                "}}\n"
+            ),
+            packets = cfg.packets,
+            work_us = cfg.work_us,
+            spec = cfg.spec,
+            fixed = fixed.packets_per_sec,
+            elastic = elastic.packets_per_sec,
+            recovery = recovery,
+            grows = elastic.grows,
+            peak = elastic.peak_width,
+        );
+        std::fs::write(&baseline_path, json).expect("write baseline");
+        println!("baseline written to {baseline_path}");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {baseline_path}: {e}");
+            eprintln!("      (record one with `--record`)");
+            std::process::exit(1);
+        }
+    };
+    let base_elastic = json_f64(&text, "elastic_packets_per_sec")
+        .expect("baseline missing elastic_packets_per_sec");
+
+    let mut failed = false;
+    if elastic.grows == 0 || elastic.peak_width <= 1 {
+        eprintln!(
+            "FAIL: the elastic run never widened ({} grow(s), peak width {}) — \
+             the controller is not reacting to the step load",
+            elastic.grows, elastic.peak_width
+        );
+        failed = true;
+    }
+    if recovery < RECOVERY_FLOOR {
+        eprintln!(
+            "FAIL: throughput recovery {recovery:.2}x ({:.0} vs {:.0} packets/s) is \
+             below the {RECOVERY_FLOOR:.1}x floor",
+            elastic.packets_per_sec, fixed.packets_per_sec
+        );
+        failed = true;
+    }
+    let floor = base_elastic * (1.0 - DROP_TOLERANCE);
+    if elastic.packets_per_sec < floor {
+        eprintln!(
+            "FAIL: elastic throughput {:.0} packets/s is more than {:.0}% below the \
+             baseline {base_elastic:.0} packets/s (floor {floor:.0})",
+            elastic.packets_per_sec,
+            DROP_TOLERANCE * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: byte-identical output, {recovery:.2}x recovery (floor {RECOVERY_FLOOR:.1}x), \
+         elastic within {:.0}% of baseline ({base_elastic:.0} packets/s)",
+        DROP_TOLERANCE * 100.0
+    );
+}

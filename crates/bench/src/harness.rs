@@ -95,6 +95,13 @@ pub struct CommonOpts {
     /// `--max-worker-restarts <n>`: per-stage crash budget for the
     /// supervised launcher; exhaustion triggers cost-model failover.
     pub max_worker_restarts: Option<u32>,
+    /// `--autoscale <spec>`: elastic copy-width autoscaling — `on` for
+    /// defaults, or `key=value` pairs (`max`, `grow`, `shrink`,
+    /// `cooldown`, `escalate`). Rides the telemetry sampler clock.
+    pub autoscale: Option<String>,
+    /// `--max-copies <n>`: override the autoscaler's copy-count ceiling
+    /// (inert without `--autoscale`).
+    pub max_copies: Option<usize>,
 }
 
 /// Parse the shared flags out of an argument stream.
@@ -120,6 +127,8 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
             "--max-worker-restarts" => {
                 o.max_worker_restarts = args.next().and_then(|v| v.parse().ok())
             }
+            "--autoscale" => o.autoscale = args.next(),
+            "--max-copies" => o.max_copies = args.next().and_then(|v| v.parse().ok()),
             _ => {
                 if let Some(p) = a.strip_prefix("--trace-out=") {
                     o.trace_path = Some(p.to_string());
@@ -147,6 +156,10 @@ pub fn parse_common_opts(args: impl IntoIterator<Item = String>) -> CommonOpts {
                     o.heartbeat_ms = h.parse().ok();
                 } else if let Some(r) = a.strip_prefix("--max-worker-restarts=") {
                     o.max_worker_restarts = r.parse().ok();
+                } else if let Some(s) = a.strip_prefix("--autoscale=") {
+                    o.autoscale = Some(s.to_string());
+                } else if let Some(n) = a.strip_prefix("--max-copies=") {
+                    o.max_copies = n.parse().ok();
                 }
             }
         }
@@ -259,6 +272,15 @@ impl Obs {
         if opts.max_worker_restarts.is_some() {
             exec.max_worker_restarts = opts.max_worker_restarts;
         }
+        if let Some(spec) = &opts.autoscale {
+            // Fail at startup on a typo, not mid-run inside a worker.
+            cgp_core::datacutter::AutoscaleConfig::parse(spec)
+                .unwrap_or_else(|e| panic!("bad --autoscale spec: {e}"));
+            exec.autoscale = opts.autoscale.clone();
+        }
+        if opts.max_copies.is_some() {
+            exec.max_copies = opts.max_copies;
+        }
         let chaos = !exec.faults.is_empty() || exec.deadline.is_some();
         // `--status-every 0` means sampling is explicitly disabled; only
         // a positive cadence (or a log sink) brings up the telemetry
@@ -331,8 +353,11 @@ impl Obs {
                 }
                 // Shared-memory ingress: create the ring(s) before
                 // announcing, so a producer that attaches right after
-                // the marker finds them. Worker-mode plans run one copy
-                // per stage, so the upstream link has one producer.
+                // the marker finds them. Worker-mode plans spec one copy
+                // per stage, but under autoscale an interior upstream
+                // stage is provisioned at the copy cap and each of its
+                // copies owns an egress writer — the ring count must
+                // match that provisioned width, not the spec width.
                 let base = if base.is_empty() || base == "auto" {
                     shm_dir()
                         .join(format!("cgp-{name}-{}-l{stage}", std::process::id()))
@@ -341,8 +366,15 @@ impl Obs {
                 } else {
                     base.to_string()
                 };
-                let shm =
-                    ShmIngress::create(&base, 1, DEFAULT_SHM_CAPACITY, None).unwrap_or_else(|e| {
+                let producers = self
+                    .exec
+                    .provisioned_width(stage - 1, m, 1)
+                    .unwrap_or_else(|e| {
+                        eprintln!("[obs] worker {stage}: bad autoscale spec: {e}");
+                        std::process::exit(1);
+                    });
+                let shm = ShmIngress::create(&base, producers, DEFAULT_SHM_CAPACITY, None)
+                    .unwrap_or_else(|e| {
                         eprintln!("[obs] worker {stage}: cannot create shm rings at {base}: {e}");
                         std::process::exit(1);
                     });
@@ -415,13 +447,16 @@ impl Obs {
             std::process::exit(1);
         });
         let m = compiled.plan.m;
-        // The reference run stays untelemetered: its output is the
+        // The reference run stays untelemetered — its output is the
         // byte-identity oracle, and the merged telemetry log belongs to
-        // the distributed run being observed.
+        // the distributed run being observed — and fixed-width: an
+        // autoscaled distributed run must match the *static* plan's
+        // output exactly, so the oracle must not scale itself.
         let mut reference_exec = self.exec.clone();
         reference_exec.status_every = None;
         reference_exec.telemetry_log = None;
         reference_exec.telemetry_addr = None;
+        reference_exec.autoscale = None;
         let expected = match run_plan_threaded_stats(
             Arc::new(compiled.plan.clone()),
             demo_host_builder(app),
@@ -559,7 +594,7 @@ impl Obs {
                 reg
             });
             match run_plan_threaded_stats(plan, Arc::clone(&builder), None, &exec) {
-                Ok((_, stats)) => {
+                Ok((out, stats)) => {
                     if let Some(reg) = &registry {
                         let reg = reg.lock().unwrap_or_else(|e| e.into_inner());
                         match CalibrationReport::from_run(&compiled.report, &reg) {
@@ -582,6 +617,17 @@ impl Obs {
                                 stats.checkpoint_bytes()
                             );
                         }
+                    }
+                    if stats.autoscale.escalation.is_some() {
+                        self.escalation_rerun(
+                            name,
+                            src,
+                            &opts,
+                            &compiled,
+                            Arc::clone(&builder),
+                            &stats,
+                            &out,
+                        );
                     }
                 }
                 Err(e) => {
@@ -638,6 +684,23 @@ impl Obs {
         builder: cgp_core::HostBuilder,
         dead: usize,
     ) -> Option<Vec<String>> {
+        self.replan_run(name, src, copts, compiled, builder, dead, &self.exec)
+    }
+
+    /// The replan-and-rerun core shared by crash failover and autoscale
+    /// escalation; `exec` lets the escalation path seed the re-run with
+    /// carried busy time.
+    #[allow(clippy::too_many_arguments)]
+    fn replan_run(
+        &self,
+        name: &str,
+        src: &str,
+        copts: &CompileOptions,
+        compiled: &Compiled,
+        builder: cgp_core::HostBuilder,
+        dead: usize,
+        exec: &ExecOptions,
+    ) -> Option<Vec<String>> {
         let current = decompose_dp(&compiled.problem, &compiled.pipeline);
         let plan = match replan(&compiled.problem, &compiled.pipeline, &current, dead) {
             Ok(p) => p,
@@ -658,12 +721,28 @@ impl Obs {
                 return None;
             }
         };
+        let mut exec = exec.clone();
+        if !exec.busy_carry.is_empty() {
+            // Remap carried busy time through the survivor index map
+            // (satellite of the failover plan): unit widths may change
+            // under the new decomposition, so each surviving unit's
+            // carry is summed over its old copies — per-stage totals
+            // stay monotone across the handover even though per-copy
+            // identity does not survive a re-decomposition.
+            let mut carry = vec![Vec::new(); plan.env.m()];
+            for (j, per_copy) in exec.busy_carry.iter().enumerate() {
+                if let Some(nj) = plan.surviving_index(j) {
+                    carry[nj] = vec![per_copy.iter().sum::<Duration>()];
+                }
+            }
+            exec.busy_carry = carry;
+        }
         // The fault plan stays armed — the recovery layer masks it on
         // the new placement, so a completed re-run really demonstrates
         // end-to-end self-healing. (Process-level `CGP_KILL` specs only
         // arm in worker roles, so this in-process run can't shoot
         // itself.)
-        match run_plan_threaded_stats(Arc::new(recompiled.plan), builder, None, &self.exec) {
+        match run_plan_threaded_stats(Arc::new(recompiled.plan), builder, None, &exec) {
             Ok((out, stats)) => {
                 println!(
                     "[obs] failover run for {name} completed on {} units \
@@ -678,6 +757,57 @@ impl Obs {
                 println!("[obs] failover run for {name} failed: {e}");
                 None
             }
+        }
+    }
+
+    /// Autoscale escalation: the controller saturated a stage at its
+    /// copy cap and the backlog never relieved — widening cannot fix a
+    /// decomposition that is structurally wrong for the observed costs.
+    /// Map the advised stage label back to its pipeline unit, re-plan
+    /// the decomposition around it with the same cost-model replanner
+    /// the crash-failover path uses, and re-run in-process seeded with
+    /// the busy time already accumulated, diffing the output against
+    /// the first run: re-decomposition must be invisible in the bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn escalation_rerun(
+        &self,
+        name: &str,
+        src: &str,
+        copts: &CompileOptions,
+        compiled: &Compiled,
+        builder: cgp_core::HostBuilder,
+        stats: &cgp_core::datacutter::RunStats,
+        expected: &[String],
+    ) {
+        let Some(advice) = stats.autoscale.escalation.as_deref() else {
+            return;
+        };
+        let Some(unit) = unit_of_stage_label(advice) else {
+            println!("[obs] autoscale: cannot map escalated stage `{advice}` to a pipeline unit");
+            return;
+        };
+        println!(
+            "[obs] autoscale: {advice} stayed the bottleneck at its copy cap \
+             after {} grow(s); escalating to re-decomposition around unit {unit}",
+            stats.autoscale.grows()
+        );
+        let mut exec = self.exec.clone();
+        exec.busy_carry = stats
+            .stages
+            .iter()
+            .map(|s| s.busy_per_copy.clone())
+            .collect();
+        match self.replan_run(name, src, copts, compiled, builder, unit, &exec) {
+            Some(out) if out == expected => println!(
+                "[obs] autoscale: re-decomposed run for {name} matches the elastic run \
+                 ({} lines)",
+                out.len()
+            ),
+            Some(out) => eprintln!(
+                "[obs] autoscale: re-decomposed output diverges for {name}: expected \
+                 {expected:?}, got {out:?}"
+            ),
+            None => {}
         }
     }
 
@@ -699,6 +829,11 @@ impl Obs {
     }
 }
 
+/// Pre-restart cumulative busy time the aggregator carries for each
+/// source: source → stage name → `busy_us_per_copy` at the moment the
+/// source's connection died without a `fin`.
+type BusyCarry = BTreeMap<String, BTreeMap<String, Vec<u64>>>;
+
 /// Launcher-side telemetry aggregator: a TCP listener workers ship
 /// `Telemetry` frames to, fanned into one JSONL log, one merged live
 /// status line, and one cross-process registry for calibration.
@@ -712,6 +847,10 @@ struct TelemetryAggregator {
     /// Latest in-flight sample per live worker (entries retired on `fin`
     /// or disconnect, so a dead worker never lingers in the status line).
     latest: Arc<Mutex<BTreeMap<String, TelemetrySample>>>,
+    /// `busy_us_per_copy` carried across a worker restart: a respawned
+    /// process restarts its probes from zero, so without this fold the
+    /// merged view's busy time would jump backwards mid-run.
+    carry: Arc<Mutex<BusyCarry>>,
     handle: std::thread::JoinHandle<()>,
 }
 
@@ -731,6 +870,7 @@ impl TelemetryAggregator {
         let sampler = Arc::new(sampler);
         let registries: Arc<Mutex<BTreeMap<String, MetricsRegistry>>> = Arc::default();
         let latest: Arc<Mutex<BTreeMap<String, TelemetrySample>>> = Arc::default();
+        let carry: Arc<Mutex<BusyCarry>> = Arc::default();
         // Worker connection id → source name, and the sources whose final
         // (`fin`) update arrived. A disconnect without a fin is a dead
         // worker: its stale sample must leave the status line, and its
@@ -750,23 +890,52 @@ impl TelemetryAggregator {
             let sampler = Arc::clone(&sampler);
             let registries = Arc::clone(&registries);
             let latest = Arc::clone(&latest);
+            let carry = Arc::clone(&carry);
             let sources = Arc::clone(&sources);
             let finished = Arc::clone(&finished);
             std::thread::spawn(move || {
                 let on_update = {
                     let latest = Arc::clone(&latest);
                     let registries = Arc::clone(&registries);
+                    let carry = Arc::clone(&carry);
                     let sources = Arc::clone(&sources);
                     let finished = Arc::clone(&finished);
                     move |worker: u32, payload: Vec<u8>| {
-                        let Ok(update) = decode_telemetry_payload(&payload) else {
+                        let Ok(mut update) = decode_telemetry_payload(&payload) else {
                             return;
                         };
                         sources
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
                             .insert(worker, update.source.clone());
+                        // Fold any carried pre-restart busy time into the
+                        // incoming sample before it is logged or shown:
+                        // the restarted process's probes start from zero,
+                        // but the *source* has been busy since the run
+                        // began, and the merged view must stay monotone.
+                        if let Some(sample) = update.sample.as_mut() {
+                            let carry = carry.lock().unwrap_or_else(|e| e.into_inner());
+                            if let Some(per_stage) = carry.get(&update.source) {
+                                for st in &mut sample.stages {
+                                    let Some(prev) = per_stage.get(&st.stage) else {
+                                        continue;
+                                    };
+                                    if prev.len() > st.busy_us_per_copy.len() {
+                                        st.busy_us_per_copy.resize(prev.len(), 0);
+                                    }
+                                    for (b, p) in st.busy_us_per_copy.iter_mut().zip(prev) {
+                                        *b += *p;
+                                    }
+                                }
+                            }
+                        }
                         if update.fin {
+                            // The source finished for real — nothing left
+                            // to carry into a future incarnation.
+                            carry
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remove(&update.source);
                             finished
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
@@ -813,7 +982,7 @@ impl TelemetryAggregator {
                     else {
                         return;
                     };
-                    latest
+                    let last = latest
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .remove(&source);
@@ -822,6 +991,19 @@ impl TelemetryAggregator {
                         .unwrap_or_else(|e| e.into_inner())
                         .contains(&source)
                     {
+                        // A disconnect without a fin is a crash: the last
+                        // sample we saw (already carry-folded) becomes
+                        // the carry for the restarted replacement, so the
+                        // source's cumulative busy time survives any
+                        // number of restarts (replace, never add — the
+                        // folded sample already includes earlier carry).
+                        if let Some(sample) = last {
+                            let mut carry = carry.lock().unwrap_or_else(|e| e.into_inner());
+                            let per_stage = carry.entry(source.clone()).or_default();
+                            for st in &sample.stages {
+                                per_stage.insert(st.stage.clone(), st.busy_us_per_copy.clone());
+                            }
+                        }
                         let dropped = registries
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
@@ -852,6 +1034,7 @@ impl TelemetryAggregator {
             sampler,
             registries,
             latest,
+            carry,
             handle,
         }
     }
@@ -871,6 +1054,16 @@ impl TelemetryAggregator {
             );
         }
         drop(stale);
+        let carried = self.carry.lock().unwrap_or_else(|e| e.into_inner());
+        if !carried.is_empty() {
+            // Sources that died and were restarted mid-run: their busy
+            // time was folded forward, so the log's view stayed monotone.
+            eprintln!(
+                "[obs] telemetry: carried busy time across restart(s) of: {}",
+                carried.keys().cloned().collect::<Vec<_>>().join(", ")
+            );
+        }
+        drop(carried);
         let registries = self.registries.lock().unwrap_or_else(|e| e.into_inner());
         if registries.is_empty() {
             eprintln!("[obs] telemetry: no worker snapshots received for {name}");
@@ -950,15 +1143,20 @@ fn demo_config(app: DialectApp) -> (&'static str, &'static str, CompileOptions) 
     }
 }
 
-/// Map a failed stage label (`f{j+1}[c]`, as the plan executor names its
-/// stages) back to the pipeline unit index `j`.
+/// Map an executor stage label (`f{j+1}` as the probes name stages, or
+/// `f{j+1}[c]` as failures name copies) back to the pipeline unit `j`.
+fn unit_of_stage_label(label: &str) -> Option<usize> {
+    let rest = label.strip_prefix('f')?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<usize>().ok()?.checked_sub(1)
+}
+
+/// Map a failed stage label back to the pipeline unit index `j`.
 fn dead_unit_of(err: &CoreError) -> Option<usize> {
     let CoreError::Runtime(fe) = err else {
         return None;
     };
-    let rest = fe.filter.strip_prefix('f')?;
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse::<usize>().ok()?.checked_sub(1)
+    unit_of_stage_label(&fe.filter)
 }
 
 fn demo_host_builder(app: DialectApp) -> cgp_core::HostBuilder {
@@ -1085,6 +1283,86 @@ mod tests {
             !registries.contains_key("worker:1"),
             "the dead worker's partial snapshot must not pollute the merge"
         );
+    }
+
+    #[test]
+    fn parse_common_opts_autoscale_space_and_equals_forms_agree() {
+        let spaced = parse_common_opts(argv(&["--autoscale", "max=4,grow=2", "--max-copies", "8"]));
+        let equals = parse_common_opts(argv(&["--autoscale=max=4,grow=2", "--max-copies=8"]));
+        assert_eq!(spaced, equals);
+        assert_eq!(spaced.autoscale.as_deref(), Some("max=4,grow=2"));
+        assert_eq!(spaced.max_copies, Some(8));
+    }
+
+    #[test]
+    fn aggregator_carries_busy_time_across_a_worker_restart() {
+        use cgp_core::datacutter::{encode_telemetry_payload, TelemetryClient};
+        use cgp_obs::telemetry::StageSample;
+
+        let exec = ExecOptions::default();
+        let agg = TelemetryAggregator::start(2, &exec);
+        let sample = |busy: u64| TelemetrySample {
+            source: "worker:1".to_string(),
+            stages: vec![StageSample {
+                stage: "f2".to_string(),
+                busy_us_per_copy: vec![busy],
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+
+        // First incarnation reports 5000 µs of busy time, then crashes
+        // (connection drops with no fin).
+        let mut w = TelemetryClient::connect(&agg.addr, 1, None).unwrap();
+        w.send(&encode_telemetry_payload(
+            "worker:1",
+            false,
+            Some(&sample(5000)),
+            None,
+        ))
+        .unwrap();
+        drop(w);
+        for _ in 0..400 {
+            if !agg.carry.lock().unwrap().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            agg.carry.lock().unwrap()["worker:1"]["f2"],
+            vec![5000],
+            "the crashed worker's last busy reading becomes the carry"
+        );
+
+        // The respawned replacement restarts its probes from zero: 100 µs
+        // of fresh busy time must read as 5100 in the merged view, not
+        // as a backwards jump to 100.
+        let mut w = TelemetryClient::connect(&agg.addr, 1, None).unwrap();
+        w.send(&encode_telemetry_payload(
+            "worker:1",
+            false,
+            Some(&sample(100)),
+            None,
+        ))
+        .unwrap();
+        let mut merged = None;
+        for _ in 0..400 {
+            if let Some(s) = agg.latest.lock().unwrap().get("worker:1") {
+                merged = Some(s.stages[0].busy_us_per_copy.clone());
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            merged,
+            Some(vec![5100]),
+            "pre-restart busy time must be carried forward across the restart"
+        );
+        drop(w);
+        let _ = agg.handle.join();
+        // A second crash replaces the carry with the folded reading —
+        // 5100, never 5000 + 5100.
+        assert_eq!(agg.carry.lock().unwrap()["worker:1"]["f2"], vec![5100]);
     }
 
     #[test]

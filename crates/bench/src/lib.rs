@@ -16,6 +16,7 @@
 //! Per-figure environment constants (host slowdown, effective link
 //! bandwidth) and their justification are recorded in EXPERIMENTS.md.
 
+pub mod autoscale;
 pub mod dataplane;
 pub mod harness;
 pub mod launcher;

@@ -24,9 +24,9 @@ use crate::error::CoreError;
 use cgp_compiler::FilterPlan;
 use cgp_compiler::FilterStepper;
 use cgp_datacutter::{
-    Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo, FilterResult, NetTuning,
-    Pipeline, RecoveryOptions, RetryPolicy, RunStats, ShmIngress, StageSpec, TelemetryConfig,
-    WorkerEndpoints,
+    AutoscaleConfig, Buffer, BufferPool, CheckpointStore, FaultPlan, Filter, FilterIo,
+    FilterResult, NetTuning, Pipeline, RecoveryOptions, RetryPolicy, RunStats, ShmIngress,
+    StageSpec, TelemetryConfig, WorkerEndpoints,
 };
 use cgp_lang::interp::{split_domain, HostEnv};
 use cgp_obs::metrics::MetricsRegistry;
@@ -144,6 +144,21 @@ pub struct ExecOptions {
     /// uses shared-memory rings, `"tcp"` forces loopback TCP
     /// (`CGP_TRANSPORT`). Cross-host links always use TCP.
     pub transport: Option<String>,
+    /// Elastic copy-width autoscaling spec (`CGP_AUTOSCALE`): `on` for
+    /// defaults, or `key=value` pairs understood by
+    /// [`AutoscaleConfig::parse`] (`max`, `grow`, `shrink`, `cooldown`,
+    /// `escalate`). Requires telemetry with a nonzero cadence; enabling
+    /// it here turns telemetry on with the default cadence if nothing
+    /// else did.
+    pub autoscale: Option<String>,
+    /// Override the autoscaler's copy-count ceiling (`CGP_MAX_COPIES`).
+    /// Inert without [`ExecOptions::autoscale`].
+    pub max_copies: Option<usize>,
+    /// Pre-restart cumulative busy time per stage copy, folded into this
+    /// run's probes and stats so observed busy time stays monotonic
+    /// across a process restart (`busy_carry[stage][copy]`). Empty inner
+    /// vectors (or a shorter outer vector) mean "no carry".
+    pub busy_carry: Vec<Vec<Duration>>,
 }
 
 impl ExecOptions {
@@ -180,7 +195,12 @@ impl ExecOptions {
     /// - `CGP_NO_VM` — `1`/`true`/`on` runs packet steps on the
     ///   tree-walking interpreter instead of the bytecode VM;
     /// - `CGP_TRANSPORT` — `shm` (default) or `tcp` for same-host
-    ///   worker links.
+    ///   worker links;
+    /// - `CGP_AUTOSCALE` — elastic copy-width autoscaling: `on` for
+    ///   defaults or `key=value` pairs (`max`, `grow`, `shrink`,
+    ///   `cooldown`, `escalate`); `0`/`off`/empty disables;
+    /// - `CGP_MAX_COPIES` — autoscaler copy-count ceiling (inert
+    ///   without `CGP_AUTOSCALE`).
     pub fn from_env() -> Result<ExecOptions, CoreError> {
         let mut opts = ExecOptions::default();
         if let Ok(spec) = std::env::var("CGP_FAULTS") {
@@ -297,6 +317,24 @@ impl ExecOptions {
             // error, and must never become a zero-interval spin loop).
             opts.status_every = Some(Duration::from_millis(n));
         }
+        if let Ok(spec) = std::env::var("CGP_AUTOSCALE") {
+            // Validate eagerly so a typo fails at startup, not inside
+            // the run; the raw spec is kept so workers spawned with the
+            // same environment derive identical provisioned widths.
+            AutoscaleConfig::parse(&spec)
+                .map_err(|e| CoreError::Config(format!("CGP_AUTOSCALE: {e}")))?;
+            if !spec.is_empty() {
+                opts.autoscale = Some(spec);
+            }
+        }
+        if let Some(n) = ms("CGP_MAX_COPIES")? {
+            if n == 0 {
+                return Err(CoreError::Config(
+                    "CGP_MAX_COPIES: must be at least 1".into(),
+                ));
+            }
+            opts.max_copies = Some(n as usize);
+        }
         Ok(opts)
     }
 
@@ -305,6 +343,37 @@ impl ExecOptions {
     /// explicit off switch — it must never become a zero-interval spin).
     pub fn sampling_enabled(&self) -> bool {
         self.status_every.is_some_and(|d| d > Duration::ZERO)
+    }
+
+    /// Provisioned copy count for pipeline unit `j` of `m` under these
+    /// options. The elastic runtime provisions every *interior* stage at
+    /// the autoscale copy cap up front (routing gates decide how many
+    /// copies see traffic), so each provisioned copy owns real threads
+    /// and links; endpoints and non-autoscaled runs keep the spec width.
+    /// Anything sizing a cross-process link to a stage — shm ingress
+    /// rings in particular — must agree with the runtime on this number.
+    pub fn provisioned_width(
+        &self,
+        j: usize,
+        m: usize,
+        spec_width: usize,
+    ) -> Result<usize, CoreError> {
+        let Some(spec) = &self.autoscale else {
+            return Ok(spec_width);
+        };
+        let cfg = AutoscaleConfig::parse(spec)
+            .map_err(|e| CoreError::Config(format!("autoscale: {e}")))?;
+        let Some(mut cfg) = cfg else {
+            return Ok(spec_width);
+        };
+        if let Some(max) = self.max_copies {
+            cfg.max_copies = max;
+        }
+        if j == 0 || j + 1 == m {
+            Ok(spec_width)
+        } else {
+            Ok(spec_width.max(cfg.max_copies))
+        }
     }
 
     /// Select the packet-step engine (`true` = bytecode VM, the
@@ -474,6 +543,17 @@ fn build_pipeline(
     let output: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let batch = opts.batch.unwrap_or(DEFAULT_BATCH).max(1);
     let use_vm = !opts.no_vm;
+    let autoscale_cfg = match &opts.autoscale {
+        Some(spec) => {
+            let mut cfg = AutoscaleConfig::parse(spec)
+                .map_err(|e| CoreError::Config(format!("autoscale: {e}")))?;
+            if let (Some(cfg), Some(max)) = (cfg.as_mut(), opts.max_copies) {
+                cfg.max_copies = max;
+            }
+            cfg
+        }
+        None => None,
+    };
 
     let mut pipeline = Pipeline::new()
         .with_capacity(32)
@@ -518,11 +598,22 @@ fn build_pipeline(
     if let Some(reg) = &opts.metrics {
         pipeline = pipeline.with_metrics(Arc::clone(reg));
     }
+    if let Some(cfg) = &autoscale_cfg {
+        pipeline = pipeline.with_autoscale(cfg.clone());
+    }
+    if opts.busy_carry.iter().any(|c| !c.is_empty()) {
+        pipeline = pipeline.with_busy_carry(opts.busy_carry.clone());
+    }
     // An explicit zero cadence means "no in-flight sampling": alone it
     // leaves telemetry off entirely; combined with a log/aggregator it
-    // keeps the final snapshot but skips the sampler loop.
+    // keeps the final snapshot but skips the sampler loop. Autoscaling
+    // rides the sampler clock, so enabling it turns telemetry on too.
     let sampling = opts.sampling_enabled();
-    if sampling || opts.telemetry_log.is_some() || opts.telemetry_addr.is_some() {
+    if sampling
+        || opts.telemetry_log.is_some()
+        || opts.telemetry_addr.is_some()
+        || autoscale_cfg.is_some()
+    {
         let every = opts.status_every.unwrap_or(Duration::from_millis(500));
         // Status lines go to stderr (worker stdout is protocol-reserved);
         // suppress them when a launcher aggregates the merged line.
@@ -922,8 +1013,12 @@ mod tests {
                 .join(format!("cgp-core-test-{unique}.l2"))
                 .display()
                 .to_string();
-            let s1 = ShmIngress::create(&base1, widths[0], DEFAULT_SHM_CAPACITY, None).unwrap();
-            let s2 = ShmIngress::create(&base2, widths[1], DEFAULT_SHM_CAPACITY, None).unwrap();
+            // Ring count per link = the upstream stage's *provisioned*
+            // width (autoscale provisions interior stages at the cap).
+            let p1 = exec.provisioned_width(0, 3, widths[0]).unwrap();
+            let p2 = exec.provisioned_width(1, 3, widths[1]).unwrap();
+            let s1 = ShmIngress::create(&base1, p1, DEFAULT_SHM_CAPACITY, None).unwrap();
+            let s2 = ShmIngress::create(&base2, p2, DEFAULT_SHM_CAPACITY, None).unwrap();
             (
                 [
                     None,
@@ -1081,6 +1176,157 @@ mod tests {
         assert_eq!(cal.stages.len(), 3);
         let text = cal.render_text();
         assert!(text.contains("measured bottleneck"), "{text}");
+    }
+
+    #[test]
+    fn autoscaled_run_matches_oracle_and_provisions_to_cap() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let exec = ExecOptions {
+            autoscale: Some("max=3,cooldown=0".into()),
+            status_every: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let (out, stats) =
+            run_plan_threaded_stats(Arc::new(c.plan), Arc::new(host), None, &exec).unwrap();
+        assert_eq!(out, oracle(), "autoscaled run must be byte-identical");
+        // The interior stage is provisioned at the cap (routing gates
+        // decide how many copies see traffic); endpoints keep spec width.
+        assert_eq!(stats.stages[1].busy_per_copy.len(), 3);
+        assert_eq!(stats.stages[0].busy_per_copy.len(), 1);
+        assert_eq!(stats.stages[2].busy_per_copy.len(), 1);
+    }
+
+    #[test]
+    fn max_copies_overrides_the_autoscale_cap() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let exec = ExecOptions {
+            autoscale: Some("on".into()),
+            max_copies: Some(2),
+            status_every: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let (out, stats) =
+            run_plan_threaded_stats(Arc::new(c.plan), Arc::new(host), None, &exec).unwrap();
+        assert_eq!(out, oracle());
+        assert_eq!(stats.stages[1].busy_per_copy.len(), 2, "cap overridden");
+    }
+
+    #[test]
+    fn autoscale_config_errors_are_surfaced() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        let bad = ExecOptions {
+            autoscale: Some("nonsense".into()),
+            status_every: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let err = run_plan_threaded_opts(Arc::new(c.plan.clone()), Arc::new(host), None, &bad)
+            .expect_err("bad autoscale spec must fail");
+        assert!(matches!(err, CoreError::Config(_)), "{err}");
+        // Autoscaling rides the sampler clock: an explicit zero cadence
+        // contradicts it and is rejected rather than silently ignored.
+        let no_clock = ExecOptions {
+            autoscale: Some("on".into()),
+            status_every: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let err = run_plan_threaded_opts(Arc::new(c.plan), Arc::new(host), None, &no_clock)
+            .expect_err("autoscale without a sampling cadence must fail");
+        assert!(err.to_string().contains("cadence"), "{err}");
+    }
+
+    #[test]
+    fn autoscaled_distributed_run_matches_oracle() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        // Every worker derives the same provisioned widths from the
+        // shared autoscale config, so boundary streams line up even
+        // though each process widens (or not) on its own telemetry.
+        let exec = ExecOptions {
+            autoscale: Some("max=3".into()),
+            status_every: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let out = run_distributed(&c.plan, [1, 1, 1], exec);
+        assert_eq!(out, oracle(), "autoscaled distributed run must match");
+    }
+
+    #[test]
+    fn autoscaled_distributed_recovery_masks_a_fault_and_matches_oracle() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        // A mid-run fault inside the elastic middle worker must be
+        // masked by its checkpointed restart without disturbing the
+        // width gates or the byte-identical output.
+        let exec = ExecOptions {
+            faults: FaultPlan::new().panic_at("f2", 0, 3),
+            deadline: Some(Duration::from_secs(30)),
+            recover: true,
+            checkpoint_every: Some(2),
+            autoscale: Some("max=3".into()),
+            status_every: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let out = run_distributed(&c.plan, [1, 1, 1], exec);
+        assert_eq!(out, oracle(), "fault under autoscale must be masked");
+    }
+
+    #[test]
+    fn provisioned_width_sizes_interior_links_at_the_cap() {
+        let fixed = ExecOptions::default();
+        assert_eq!(fixed.provisioned_width(1, 3, 2).unwrap(), 2);
+        let elastic = ExecOptions {
+            autoscale: Some("max=3".into()),
+            ..Default::default()
+        };
+        // Endpoints keep the spec width; interior stages are provisioned
+        // at the cap (and a wider spec wins over a narrower cap).
+        assert_eq!(elastic.provisioned_width(0, 3, 1).unwrap(), 1);
+        assert_eq!(elastic.provisioned_width(1, 3, 1).unwrap(), 3);
+        assert_eq!(elastic.provisioned_width(2, 3, 1).unwrap(), 1);
+        assert_eq!(elastic.provisioned_width(1, 3, 5).unwrap(), 5);
+        let overridden = ExecOptions {
+            autoscale: Some("on".into()),
+            max_copies: Some(2),
+            ..Default::default()
+        };
+        assert_eq!(overridden.provisioned_width(1, 3, 1).unwrap(), 2);
+        let off = ExecOptions {
+            autoscale: Some("off".into()),
+            ..Default::default()
+        };
+        assert_eq!(off.provisioned_width(1, 3, 1).unwrap(), 1);
+        let bad = ExecOptions {
+            autoscale: Some("max=zero".into()),
+            ..Default::default()
+        };
+        assert!(bad.provisioned_width(1, 3, 1).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn autoscaled_distributed_shm_run_matches_oracle() {
+        let opts =
+            CompileOptions::new(PipelineEnv::uniform(3, 1e7, 1e6, 1e-5), 20).with_symbol("n", 200);
+        let c = compile(SRC, &opts).unwrap();
+        // Over shared memory the ingress ring count is fixed at create
+        // time, so it must be derived from the *provisioned* width of
+        // the upstream stage — one ring per provisioned copy — or the
+        // widened copies find no ring to write into.
+        let exec = ExecOptions {
+            autoscale: Some("max=3".into()),
+            status_every: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let out = run_distributed_shm(&c.plan, [1, 1, 1], exec);
+        assert_eq!(out, oracle(), "autoscaled shm run must match");
     }
 
     #[test]

@@ -47,6 +47,7 @@ use crate::stream::{logical_stream_with, Distribution};
 use crate::telemetry::{
     build_sample, encode_telemetry_payload, now_us, LinkProbe, StageProbe, TelemetryConfig,
 };
+use crate::width::{AutoscaleConfig, AutoscaleReport, StageWidth, WidthController};
 use cgp_obs::metrics::{Histogram, MetricsRegistry};
 use cgp_obs::trace::{self, PID_RUNTIME};
 use std::cell::Cell;
@@ -189,6 +190,9 @@ pub struct RunStats {
     /// final stage), µs. Populated only when telemetry is attached and
     /// the final stage ran in this process; empty otherwise.
     pub e2e_us: Histogram,
+    /// Width decisions the elastic controller made during this run
+    /// ([`Pipeline::with_autoscale`]); empty for fixed-width runs.
+    pub autoscale: AutoscaleReport,
 }
 
 impl RunStats {
@@ -265,6 +269,10 @@ pub struct Pipeline {
     telemetry: Option<TelemetryConfig>,
     same_host_rings: bool,
     net_tuning: NetTuning,
+    autoscale: Option<AutoscaleConfig>,
+    /// Per-stage, per-copy busy time to carry into the probes and stats
+    /// ([`Pipeline::with_busy_carry`]).
+    busy_carry: Vec<Vec<Duration>>,
 }
 
 impl Pipeline {
@@ -285,6 +293,8 @@ impl Pipeline {
             telemetry: None,
             same_host_rings: true,
             net_tuning: NetTuning::default(),
+            autoscale: None,
+            busy_carry: Vec::new(),
         }
     }
 
@@ -409,6 +419,32 @@ impl Pipeline {
         self
     }
 
+    /// Enable elastic copy-width autoscaling (requires telemetry with a
+    /// nonzero sampling cadence — the controller ticks on the sampler's
+    /// clock — and round-robin distribution). Interior stages are
+    /// provisioned at `max(spec width, cfg.max_copies)` transparent
+    /// copies; only the active prefix receives packets, and a
+    /// [`WidthController`] grows/shrinks that prefix online from the
+    /// live probes. Endpoint stages never scale: the source partitions
+    /// the domain by copy at startup, and the final stage is the
+    /// reduction's convergence point. Decisions land in
+    /// [`RunStats::autoscale`].
+    pub fn with_autoscale(mut self, cfg: AutoscaleConfig) -> Self {
+        self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Seed per-stage, per-copy busy time carried over from a previous
+    /// run of the same pipeline (an autoscale escalation redeploys it, a
+    /// supervisor restarts it): the carry folds into the live probes and
+    /// final [`StageStats::busy_per_copy`], so merged telemetry stays
+    /// monotone across the handover instead of restarting from this
+    /// process's epoch. Missing stages/copies default to zero.
+    pub fn with_busy_carry(mut self, carry: Vec<Vec<Duration>>) -> Self {
+        self.busy_carry = carry;
+        self
+    }
+
     pub fn add_stage(mut self, stage: StageSpec) -> Self {
         self.stages.push(stage);
         self
@@ -446,6 +482,26 @@ impl Pipeline {
                 "recovery requires round-robin distribution (a shared queue has \
                  no deterministic packet-to-consumer mapping to replay against)",
             ));
+        }
+        if self.autoscale.is_some() {
+            if self.distribution == Distribution::Shared {
+                return Err(FilterError::new(
+                    "pipeline",
+                    "autoscaling requires round-robin distribution (a shared queue \
+                     has no per-copy routing for the width gate to act on)",
+                ));
+            }
+            if self
+                .telemetry
+                .as_ref()
+                .is_none_or(|t| t.sampler.every() <= Duration::ZERO)
+            {
+                return Err(FilterError::new(
+                    "pipeline",
+                    "autoscaling requires telemetry with a nonzero sampling cadence \
+                     (the width controller ticks on the sampler's clock)",
+                ));
+            }
         }
         let n = self.stages.len();
         if let Some(w) = &worker {
@@ -496,6 +552,32 @@ impl Pipeline {
             None => (None, None, None, None),
         };
 
+        // Elastic width: interior stages are provisioned at
+        // max(spec width, max_copies) transparent copies — threads,
+        // queues, probes — with only the active prefix (initially the
+        // spec width) in the round-robin rotation. Lazily spawning
+        // copies on grow would deadlock (an unspawned copy's writers
+        // never close, so downstream readers wait for its Ends forever);
+        // a parked provisioned copy just blocks in its first receive.
+        // Endpoints keep their spec width: the source partitions the
+        // domain by copy at startup and the final stage is the
+        // reduction's convergence point. Every process of a distributed
+        // run derives the same provisioned widths from the shared
+        // autoscale config, so ingress/egress connection counts agree
+        // across process boundaries.
+        let eff_width: Vec<usize> = (0..n)
+            .map(|s| match &self.autoscale {
+                Some(cfg) if s > 0 && s < n - 1 => self.stages[s].width.max(cfg.max_copies),
+                _ => self.stages[s].width,
+            })
+            .collect();
+        let stage_widths: Vec<Option<Arc<StageWidth>>> = (0..n)
+            .map(|s| {
+                (self.autoscale.is_some() && s > 0 && s < n - 1)
+                    .then(|| StageWidth::new(self.stages[s].width, eff_width[s]))
+            })
+            .collect();
+
         // Build streams between consecutive stages. A worker process only
         // materialises its own stage's boundary streams: the ingress link
         // keeps the full upstream-width → local-width topology (writer
@@ -507,8 +589,8 @@ impl Pipeline {
         let mut readers_per_stage: Vec<Vec<Option<crate::stream::StreamReader>>> =
             (0..n).map(|_| Vec::new()).collect();
         for s in 0..n {
-            readers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
-            writers_per_stage[s] = (0..self.stages[s].width).map(|_| None).collect();
+            readers_per_stage[s] = (0..eff_width[s]).map(|_| None).collect();
+            writers_per_stage[s] = (0..eff_width[s]).map(|_| None).collect();
         }
         let mut ingress_writers: Vec<crate::stream::StreamWriter> = Vec::new();
         let mut egress_readers: Vec<crate::stream::StreamReader> = Vec::new();
@@ -516,8 +598,8 @@ impl Pipeline {
             None => {
                 for s in 0..n.saturating_sub(1) {
                     let (ws, rs) = logical_stream_with(
-                        self.stages[s].width,
-                        self.stages[s + 1].width,
+                        eff_width[s],
+                        eff_width[s + 1],
                         self.buffer_capacity,
                         self.distribution,
                         Some(Arc::clone(&control)),
@@ -535,8 +617,8 @@ impl Pipeline {
             Some(k) => {
                 if k > 0 {
                     let (ws, rs) = logical_stream_with(
-                        self.stages[k - 1].width,
-                        self.stages[k].width,
+                        eff_width[k - 1],
+                        eff_width[k],
                         self.buffer_capacity,
                         self.distribution,
                         Some(Arc::clone(&control)),
@@ -549,7 +631,7 @@ impl Pipeline {
                     }
                 }
                 if k < n - 1 {
-                    for slot in writers_per_stage[k].iter_mut().take(self.stages[k].width) {
+                    for slot in writers_per_stage[k].iter_mut().take(eff_width[k]) {
                         let (mut ws, mut rs) = logical_stream_with(
                             1,
                             1,
@@ -566,6 +648,30 @@ impl Pipeline {
             }
         }
 
+        // Attach the width gates to every writer feeding a scalable
+        // stage. In a worker process the gate for stage k sits on the
+        // ingress writers — this process holds the queues feeding its
+        // own stage — so each worker controls its own stage's active
+        // width without any cross-process coordination.
+        match active_stage {
+            None => {
+                for s in 0..n.saturating_sub(1) {
+                    if let Some(w) = &stage_widths[s + 1] {
+                        for writer in writers_per_stage[s].iter_mut().flatten() {
+                            writer.set_active_width(Arc::clone(w));
+                        }
+                    }
+                }
+            }
+            Some(k) => {
+                if let Some(w) = &stage_widths[k] {
+                    for writer in &mut ingress_writers {
+                        writer.set_active_width(Arc::clone(w));
+                    }
+                }
+            }
+        }
+
         // Live telemetry: one probe per locally-run stage, attached to
         // every stream endpoint the stage's copies touch. All `None`
         // when telemetry is off — the stream hot path then pays nothing
@@ -575,13 +681,42 @@ impl Pipeline {
                 (self.telemetry.is_some() && active_stage.is_none_or(|k| k == s)).then(|| {
                     StageProbe::new(
                         self.stages[s].name.clone(),
-                        self.stages[s].width,
+                        eff_width[s],
                         s == n - 1,
                         self.distribution == Distribution::Shared,
                     )
                 })
             })
             .collect();
+        // Busy time carried over from a previous incarnation of this
+        // pipeline folds into the probes, so mid-run samples stay
+        // monotone across an escalation handover.
+        for (s, probe) in probes.iter().enumerate() {
+            if let Some(p) = probe {
+                if let Some(carry) = self.busy_carry.get(s) {
+                    for (c, d) in carry.iter().enumerate().take(eff_width[s]) {
+                        p.copy(c).set_carried(d.as_micros() as u64);
+                    }
+                }
+            }
+        }
+        // The width controller, ticked by the sampler thread on the
+        // telemetry cadence. Empty (and elided) when no scalable stage
+        // runs in this process.
+        let controller: Mutex<Option<WidthController>> = Mutex::new(
+            self.autoscale
+                .as_ref()
+                .map(|cfg| {
+                    let mut ctl = WidthController::new(cfg.clone());
+                    for s in 0..n {
+                        if let (Some(w), Some(p)) = (&stage_widths[s], &probes[s]) {
+                            ctl.watch(Arc::clone(w), Arc::clone(p));
+                        }
+                    }
+                    ctl
+                })
+                .filter(|ctl| !ctl.is_empty()),
+        );
         let mut link_probes: Vec<(u32, Arc<LinkProbe>)> = Vec::new();
         if self.telemetry.is_some() {
             // Packets arriving over TCP get a fresh residence stamp here:
@@ -611,12 +746,11 @@ impl Pipeline {
 
         // Spawn every copy. Trace tids number filter copies globally
         // (stage by stage), one timeline row per copy.
-        let tid_base: Vec<u32> = self
-            .stages
+        let tid_base: Vec<u32> = eff_width
             .iter()
-            .scan(0u32, |acc, s| {
+            .scan(0u32, |acc, w| {
                 let base = *acc;
-                *acc += s.width as u32;
+                *acc += *w as u32;
                 Some(base)
             })
             .collect();
@@ -626,10 +760,24 @@ impl Pipeline {
         let stats: Arc<Mutex<Vec<StageStats>>> = Arc::new(Mutex::new(
             self.stages
                 .iter()
-                .map(|s| StageStats {
-                    name: s.name.clone(),
-                    busy_per_copy: vec![Duration::ZERO; s.width],
-                    ..Default::default()
+                .enumerate()
+                .map(|(s, spec)| {
+                    // Seed with any carried-over busy time; the per-copy
+                    // exit accounting below accumulates on top of it.
+                    let mut busy_per_copy = vec![Duration::ZERO; eff_width[s]];
+                    let mut busy = Duration::ZERO;
+                    if let Some(carry) = self.busy_carry.get(s) {
+                        for (c, d) in carry.iter().enumerate().take(eff_width[s]) {
+                            busy_per_copy[c] = *d;
+                            busy += *d;
+                        }
+                    }
+                    StageStats {
+                        name: spec.name.clone(),
+                        busy,
+                        busy_per_copy,
+                        ..Default::default()
+                    }
                 })
                 .collect(),
         ));
@@ -638,8 +786,8 @@ impl Pipeline {
         // cancelled — the stall report names these.
         let stalled_at: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let total_copies: usize = match active_stage {
-            None => self.stages.iter().map(|s| s.width).sum(),
-            Some(k) => self.stages[k].width,
+            None => eff_width.iter().sum(),
+            Some(k) => eff_width[k],
         };
         // Network bridge threads participate in the same completion
         // count, so the watchdog covers a wedged socket too.
@@ -692,6 +840,7 @@ impl Pipeline {
                 let probes = &probes;
                 let link_probes = &link_probes;
                 let client_slot = &telemetry_client;
+                let controller_slot = &controller;
                 scope.spawn(move || {
                     if let Some(addr) = &ship {
                         // Telemetry is best-effort: a missing aggregator
@@ -717,15 +866,22 @@ impl Pipeline {
                                 break;
                             }
                         }
+                        let now = now_us();
                         let sample = build_sample(
                             &source,
                             t0.elapsed().as_micros() as u64,
-                            now_us(),
+                            now,
                             false,
                             probes,
                             pool.as_ref(),
                             link_probes,
                         );
+                        // Width decisions ride the sampling clock: one
+                        // controller tick per recorded sample, reading
+                        // the same probes at the same instant.
+                        if let Some(ctl) = plock(controller_slot).as_mut() {
+                            ctl.tick(now);
+                        }
                         let stamped = sampler.record(sample);
                         let mut slot = plock(client_slot);
                         if let Some(client) = slot.as_mut() {
@@ -844,7 +1000,7 @@ impl Pipeline {
                 if active_stage.is_some_and(|k| k != s) {
                     continue;
                 }
-                for c in 0..stage.width {
+                for c in 0..eff_width[s] {
                     let tid = tid_base[s] + c as u32;
                     let injector = self
                         .faults
@@ -854,7 +1010,7 @@ impl Pipeline {
                         input: readers_per_stage[s][c].take(),
                         output: writers_per_stage[s][c].take(),
                         copy_index: c,
-                        width: stage.width,
+                        width: eff_width[s],
                         injector,
                         control: Some(Arc::clone(&control)),
                         pool: self.pool.clone(),
@@ -1105,11 +1261,12 @@ impl Pipeline {
                                 }
                             }
                             entry.busy += busy;
-                            // Final value at copy exit; mid-run snapshots
-                            // read the live per-copy probe instead, so a
+                            // Accumulated at copy exit, on top of any
+                            // carried-over seed; mid-run snapshots read
+                            // the live per-copy probe instead, so a
                             // sample taken before this line (or a crashed
                             // copy's) still shows real busy time.
-                            entry.busy_per_copy[c] = busy;
+                            entry.busy_per_copy[c] += busy;
                             entry.failures += failures_here;
                             entry.retries += retries_here;
                             entry.panics += panics_here;
@@ -1135,6 +1292,10 @@ impl Pipeline {
         });
 
         let mut stages = plock(&stats).clone();
+        let autoscale = plock(&controller)
+            .take()
+            .map(WidthController::into_report)
+            .unwrap_or_default();
         let mut e2e_us = Histogram::default();
         for (s, probe) in probes.iter().enumerate() {
             if let Some(p) = probe {
@@ -1233,6 +1394,15 @@ impl Pipeline {
             if e2e_us.count > 0 {
                 reg.merge_histogram("pipeline.e2e_us", &e2e_us);
             }
+            if autoscale.grows() > 0 {
+                reg.counter("autoscale.grows", autoscale.grows());
+            }
+            if autoscale.shrinks() > 0 {
+                reg.counter("autoscale.shrinks", autoscale.shrinks());
+            }
+            if autoscale.escalation.is_some() {
+                reg.counter("autoscale.escalations", 1);
+            }
         }
 
         // Final telemetry flush: a fin-stamped sample plus the full
@@ -1291,6 +1461,7 @@ impl Pipeline {
             stages,
             net_links,
             e2e_us,
+            autoscale,
         })
     }
 }
@@ -1629,6 +1800,147 @@ mod tests {
         assert_eq!(stats.panics(), 1);
         assert_eq!(stats.recoveries(), 1);
         assert!(stats.replayed_packets() >= 1);
+    }
+
+    /// Pass-through filter that burns `us` of wall time per packet — a
+    /// deliberately compute-bound stage for autoscale tests.
+    fn spin_work(us: u64) -> FilterFactory {
+        Box::new(move |_| {
+            Box::new(ClosureFilter::new("work", move |io: &mut FilterIo| {
+                while let Some(b) = io.read() {
+                    let t = Instant::now();
+                    while t.elapsed() < Duration::from_micros(us) {
+                        std::hint::spin_loop();
+                    }
+                    io.write(b)?;
+                }
+                Ok(())
+            }))
+        })
+    }
+
+    fn sampler_ms(ms: u64) -> Arc<cgp_obs::telemetry::TelemetrySampler> {
+        Arc::new(cgp_obs::telemetry::TelemetrySampler::new(
+            Duration::from_millis(ms),
+        ))
+    }
+
+    fn sum_sink(total: &Arc<AtomicU64>) -> FilterFactory {
+        let total = Arc::clone(total);
+        Box::new(move |_| {
+            let total = Arc::clone(&total);
+            Box::new(ClosureFilter::new("sum", move |io: &mut FilterIo| {
+                while let Some(b) = io.read() {
+                    total.fetch_add(b.u64_le("sum")?, Ordering::Relaxed);
+                }
+                Ok(())
+            }))
+        })
+    }
+
+    #[test]
+    fn autoscale_preconditions_are_enforced() {
+        let err = Pipeline::new()
+            .with_autoscale(AutoscaleConfig::default())
+            .add_stage(StageSpec::new("source", 1, source(10)))
+            .add_stage(StageSpec::new("work", 1, spin_work(0)))
+            .add_stage(StageSpec::new("sum", 1, source(0)))
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("telemetry"), "{err}");
+        let err = Pipeline::new()
+            .with_distribution(Distribution::Shared)
+            .with_telemetry(TelemetryConfig::new(sampler_ms(1), "local"))
+            .with_autoscale(AutoscaleConfig::default())
+            .add_stage(StageSpec::new("source", 1, source(10)))
+            .add_stage(StageSpec::new("work", 1, spin_work(0)))
+            .add_stage(StageSpec::new("sum", 1, source(0)))
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("round-robin"), "{err}");
+    }
+
+    #[test]
+    fn autoscaled_run_widens_under_load_with_identical_output() {
+        let total = Arc::new(AtomicU64::new(0));
+        let stats = Pipeline::new()
+            .with_telemetry(TelemetryConfig::new(sampler_ms(2), "local"))
+            .with_autoscale(
+                AutoscaleConfig::parse("max=4,grow=2,cooldown=0")
+                    .unwrap()
+                    .unwrap(),
+            )
+            .add_stage(StageSpec::new("source", 1, source(300)))
+            .add_stage(StageSpec::new("work", 1, spin_work(400)))
+            .add_stage(StageSpec::new("sum", 1, sum_sink(&total)))
+            .run()
+            .unwrap();
+        // Output is width-independent: the exact fixed-width total.
+        assert_eq!(total.load(Ordering::Relaxed), (0..300).sum::<u64>());
+        // The interior stage was provisioned at the cap (all four copy
+        // threads ran and reported), and the step load actually widened
+        // the rotation.
+        assert_eq!(stats.stages[1].busy_per_copy.len(), 4);
+        assert!(
+            stats.autoscale.grows() >= 1,
+            "a 400µs/packet bottleneck behind a fast source must widen: {:?}",
+            stats.autoscale.events
+        );
+        let first = &stats.autoscale.events[0];
+        assert_eq!((first.stage.as_str(), first.from, first.to), ("work", 1, 2));
+    }
+
+    #[test]
+    fn autoscaled_recovery_masks_a_mid_run_fault_with_identical_output() {
+        let total = Arc::new(AtomicU64::new(0));
+        let stats = Pipeline::new()
+            .with_faults(FaultPlan::new().panic_at("work", 0, 50))
+            .with_recovery(crate::recover::RecoveryOptions::on())
+            .with_telemetry(TelemetryConfig::new(sampler_ms(2), "local"))
+            .with_autoscale(
+                AutoscaleConfig::parse("max=4,grow=2,cooldown=0")
+                    .unwrap()
+                    .unwrap(),
+            )
+            .add_stage(StageSpec::new("source", 1, source(300)))
+            .add_stage(StageSpec::new("work", 1, spin_work(300)))
+            .add_stage(StageSpec::new("sum", 1, sum_sink(&total)))
+            .run()
+            .unwrap();
+        // A copy panic mid-scale is masked by the replay protocol and
+        // the total stays byte-exact — width decisions are routing-only.
+        assert_eq!(total.load(Ordering::Relaxed), (0..300).sum::<u64>());
+        assert_eq!(stats.panics(), 1);
+        assert_eq!(stats.recoveries(), 1);
+    }
+
+    #[test]
+    fn busy_carry_seeds_stats_and_live_samples() {
+        let total = Arc::new(AtomicU64::new(0));
+        let sampler = sampler_ms(1);
+        let carry = vec![Vec::new(), vec![Duration::from_millis(500)]];
+        let stats = Pipeline::new()
+            .with_telemetry(TelemetryConfig::new(Arc::clone(&sampler), "local"))
+            .with_busy_carry(carry)
+            .add_stage(StageSpec::new("source", 1, source(50)))
+            .add_stage(StageSpec::new("work", 1, spin_work(0)))
+            .add_stage(StageSpec::new("sum", 1, sum_sink(&total)))
+            .run()
+            .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), (0..50).sum::<u64>());
+        // Final stats accumulate on top of the carried seed instead of
+        // overwriting it.
+        assert!(stats.stages[1].busy_per_copy[0] >= Duration::from_millis(500));
+        assert!(stats.stages[1].busy >= Duration::from_millis(500));
+        // The fin-stamped sample reads the carry through the live probe,
+        // so a redeployed pipeline's telemetry never jumps backwards.
+        let last = sampler.latest().expect("fin sample recorded");
+        let ws = last
+            .stages
+            .iter()
+            .find(|s| s.stage == "work")
+            .expect("work stage sampled");
+        assert!(ws.busy_us_per_copy[0] >= 500_000);
     }
 
     #[test]

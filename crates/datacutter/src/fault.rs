@@ -9,7 +9,8 @@
 //! ```text
 //! spec    := entry (';' entry)*
 //! entry   := 'seed=' u64            -- seed for probabilistic triggers
-//!          | stage '[' copy ']' '@' packet ':' action
+//!          | site '@' packet ':' action
+//! site    := stage ('[' copy ']')?  -- omitted copy = every copy
 //! stage   := name | '*'             -- stage name ('*' = every stage)
 //! copy    := usize | '*'            -- transparent-copy index
 //! packet  := u64 | '*' | '%' f64    -- exact index, every packet, or
@@ -233,11 +234,20 @@ fn parse_rule_parts(
     // spellings (`stage[copy]@packet:action` and the action-first alias
     // `action@stage[copy]#packet`), "bad rule" alone leaves the user
     // guessing which piece the parser choked on.
-    let (stage, copy) = site
-        .trim()
-        .strip_suffix(']')
-        .and_then(|s| s.split_once('['))
-        .ok_or_else(|| format!("bad site `{}` in `{entry}`: want stage[copy]", site.trim()))?;
+    let site = site.trim();
+    let (stage, copy) = match site.strip_suffix(']').and_then(|s| s.split_once('[')) {
+        Some((stage, copy)) => (stage, Some(copy)),
+        // Omitting the `[copy]` segment selects every transparent copy
+        // of the stage — `kill@f3#4` arms all of f3, matching the
+        // documented `action@stage#packet` alias semantics. A stray
+        // bracket is still a malformed site, not a stage name.
+        None if !site.contains('[') && !site.contains(']') => (site, None),
+        None => {
+            return Err(format!(
+                "bad site `{site}` in `{entry}`: want stage or stage[copy]"
+            ))
+        }
+    };
     let stage = match stage.trim() {
         "*" => None,
         name if !name.is_empty() => Some(name.to_string()),
@@ -247,9 +257,9 @@ fn parse_rule_parts(
             ))
         }
     };
-    let copy = match copy.trim() {
-        "*" => None,
-        c => Some(
+    let copy = match copy.map(str::trim) {
+        None | Some("*") => None,
+        Some(c) => Some(
             c.parse::<usize>()
                 .map_err(|_| format!("bad copy index `{c}` in `{entry}`: want a number or `*`"))?,
         ),
@@ -567,7 +577,39 @@ mod tests {
         assert!(FaultPlan::parse("seed=abc").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("explode@a[0]#1").is_err());
-        assert!(FaultPlan::parse("panic@a#1").is_err(), "missing [copy]");
+        assert!(FaultPlan::parse("panic@a[#1").is_err(), "stray bracket");
+        assert!(FaultPlan::parse("panic@a]0[#1").is_err(), "stray bracket");
+    }
+
+    /// Regression: a site without the `[copy]` segment means "any copy"
+    /// in both spellings — it used to be a parse error, so a
+    /// `CGP_KILL=f3#4` spec against a widened last stage could not be
+    /// written at all.
+    #[test]
+    fn omitted_copy_segment_means_any_copy() {
+        let cases: &[(&str, Option<&str>, Option<usize>)] = &[
+            // (spec, stage, copy)
+            ("panic@a#1", Some("a"), None),
+            ("kill@f3#4", Some("f3"), None),
+            ("a@1:panic", Some("a"), None),
+            ("*@1:drop", None, None),
+            ("drop@*#1", None, None),
+            // The explicit forms are untouched.
+            ("a[2]@1:panic", Some("a"), Some(2)),
+            ("panic@a[*]#1", Some("a"), None),
+        ];
+        for (spec, stage, copy) in cases {
+            let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+            assert_eq!(plan.rules.len(), 1, "`{spec}`");
+            assert_eq!(plan.rules[0].stage.as_deref(), *stage, "`{spec}`");
+            assert_eq!(plan.rules[0].copy, *copy, "`{spec}`");
+        }
+        // An omitted-copy rule arms every copy of the stage.
+        let plan = FaultPlan::parse("kill@f3#4").unwrap();
+        for copy in [0usize, 1, 7] {
+            assert!(plan.injector("f3", copy).is_some(), "copy {copy}");
+        }
+        assert!(plan.injector("f2", 0).is_none(), "stage filter still holds");
     }
 
     /// Malformed specs — in both the canonical and the action-first
@@ -577,7 +619,7 @@ mod tests {
     fn parse_errors_name_the_failing_component() {
         let cases: &[(&str, &str)] = &[
             // (spec, substring the error must contain)
-            ("panic@a#1", "bad site `a`"),
+            ("panic@a[0#1", "bad site `a[0`"),
             ("panic@[0]#1", "empty stage name"),
             ("drop@f2[two]#3", "bad copy index `two`"),
             ("panic@f2[0]#abc", "bad packet selector `abc`"),

@@ -48,6 +48,7 @@ pub mod ring;
 pub mod shm;
 pub mod stream;
 pub mod telemetry;
+pub mod width;
 
 pub use buffer::{
     reassemble, Buffer, BufferBuilder, BufferPool, BufferWriter, PoolStats, DEFAULT_BUFFER_CAPACITY,
@@ -76,3 +77,4 @@ pub use telemetry::{
     decode_telemetry_payload, encode_telemetry_payload, CopyProbe, LinkProbe, StageProbe,
     TelemetryConfig, TelemetryUpdate,
 };
+pub use width::{AutoscaleConfig, AutoscaleEvent, AutoscaleReport, StageWidth, WidthController};

@@ -165,10 +165,25 @@ impl CheckpointStore {
     }
 
     /// Add a durable directory to this store (composes with
-    /// [`Self::with_jsonl`]). Creates the directory if needed.
+    /// [`Self::with_jsonl`]). Creates the directory if needed and
+    /// reclaims any `*.ckpt.tmp` left by a crash mid-commit: the rename
+    /// is the only publishing step, so an orphaned temp is dead weight a
+    /// supervised restart loop would otherwise accumulate forever.
     pub fn with_durable(mut self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let orphaned = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".ckpt.tmp"));
+            if orphaned {
+                // A temp vanishing between readdir and unlink just means
+                // someone else (a racing open) reclaimed it first.
+                let _ = std::fs::remove_file(&path);
+            }
+        }
         self.durable = Some(Arc::new(dir));
         Ok(self)
     }
@@ -538,10 +553,28 @@ mod tests {
                 Some(committed.clone()),
                 "torn tmp of {cut} bytes must not shadow the commit"
             );
+            // Regression: opening the store reclaims the orphaned temp —
+            // without the sweep, a supervised restart loop accumulates
+            // one torn `*.ckpt.tmp` per crash, unboundedly.
+            assert!(
+                !tmp.exists(),
+                "torn tmp of {cut} bytes must be reclaimed on open"
+            );
             // And the torn tmp itself decodes to a *named* error, never
             // a bogus snapshot.
             assert!(decode_snapshot(&next[..cut], "f3", 0).is_err());
         }
+        // The sweep is surgical: committed snapshots and unrelated files
+        // survive an open that reclaims temps.
+        std::fs::write(dir.join("other-file.txt"), b"keep me").unwrap();
+        std::fs::write(path.with_extension("ckpt.tmp"), b"torn").unwrap();
+        let fresh = CheckpointStore::durable(&dir).unwrap();
+        assert!(path.exists(), "committed snapshot survives the sweep");
+        assert!(dir.join("other-file.txt").exists());
+        assert_eq!(
+            fresh.load_persisted("f3", 0).unwrap(),
+            Some(committed.clone())
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -45,6 +45,7 @@ use crate::error::{FilterError, FilterResult};
 use crate::fault::RunControl;
 use crate::ring::{self, RingReceiver, RingSender};
 use crate::telemetry::{instant_us, StageProbe};
+use crate::width::StageWidth;
 use cgp_obs::metrics::Histogram;
 use cgp_obs::trace::{self, PID_RUNTIME};
 use std::collections::VecDeque;
@@ -688,9 +689,22 @@ pub struct StreamWriter {
     /// Source-stage mode: every packet gets a fresh ingest-origin tick
     /// instead of a propagated one.
     fresh_origin: bool,
+    /// Elastic-width gate: when set, round-robin rotates only over the
+    /// consumer's *active* prefix instead of all provisioned queues
+    /// (autoscaled runs). `None` = fixed width, rotate over everything.
+    active_width: Option<Arc<StageWidth>>,
 }
 
 impl StreamWriter {
+    /// How many consumer queues the round-robin currently rotates over:
+    /// the active prefix under elastic width, every queue otherwise.
+    fn fanout(&self) -> usize {
+        match &self.active_width {
+            Some(w) => w.active().min(self.txs.len()).max(1),
+            None => self.txs.len(),
+        }
+    }
+
     /// Packet stamps for the next write: `(sent_us, origin_us)`, both 0
     /// when telemetry is off.
     fn stamps(&self) -> (u64, u64) {
@@ -721,7 +735,7 @@ impl StreamWriter {
         self.write_index += 1;
         let target = match self.distribution {
             Distribution::RoundRobin => {
-                let t = self.next % self.txs.len();
+                let t = self.next % self.fanout();
                 self.next += 1;
                 t
             }
@@ -840,8 +854,11 @@ impl StreamWriter {
         self.bytes_written += bytes;
         // Group the run by target queue. Shared distribution and width-1
         // round-robin collapse to a single group; multi-consumer
-        // round-robin rotates per packet, exactly like `write`.
+        // round-robin rotates per packet, exactly like `write`. Elastic
+        // width is sampled once per batch: the whole run rotates over the
+        // fanout in force when the batch started.
         let targets = self.txs.len();
+        let fan = self.fanout();
         // One tick for the whole run: it is the first send's
         // blocked-accounting start (message assembly lands in "blocked"
         // time — nanoseconds against the µs-scale waits it accounts) and,
@@ -861,7 +878,7 @@ impl StreamWriter {
             self.write_index += 1;
             let target = match self.distribution {
                 Distribution::RoundRobin => {
-                    let t = self.next % targets;
+                    let t = self.next % fan;
                     self.next += 1;
                     t
                 }
@@ -1013,6 +1030,12 @@ impl StreamWriter {
     pub(crate) fn set_origin(&mut self, us: u64) {
         self.origin_us = us;
     }
+
+    /// Gate round-robin rotation behind a live width handle (autoscaled
+    /// runs): packets only route to the consumer's active prefix.
+    pub(crate) fn set_active_width(&mut self, width: Arc<StageWidth>) {
+        self.active_width = Some(width);
+    }
 }
 
 impl Drop for StreamWriter {
@@ -1142,6 +1165,7 @@ pub fn logical_stream_with(
         stamp: false,
         origin_us: 0,
         fresh_origin: false,
+        active_width: None,
     };
     // 1→1 non-recovering links ride the lock-free SPSC ring: exactly one
     // producer endpoint and one consumer endpoint, and no replay state

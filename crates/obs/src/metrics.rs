@@ -57,7 +57,9 @@ fn bucket_of(value: u64) -> usize {
 impl Histogram {
     pub fn record(&mut self, value: u64) {
         self.count += 1;
-        self.sum += value;
+        // Saturating: a wrapped or garbage stamp (u64::MAX-ish) must park
+        // in the top bucket, not abort the recording thread on overflow.
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buckets[bucket_of(value)] += 1;
@@ -139,7 +141,7 @@ impl Histogram {
             return;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
